@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_util Buffer Core Gc List Option Printf Random String Sys Workloads Xqb_algebra Xqb_store Xqb_syntax Xqb_xdm Xqb_xmark Xqb_xml

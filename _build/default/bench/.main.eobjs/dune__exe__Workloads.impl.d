@@ -1,0 +1,1 @@
+bench/workloads.ml: Core Printf Xqb_store Xqb_xmark

@@ -1,0 +1,83 @@
+(* Shared workloads for the experiment benches. *)
+
+module G = Xqb_xmark.Generator
+
+(* The §4.3 query: XMark Q8 variant with a logging insert in the
+   inner return clause. *)
+let q8_with_inserts =
+  {|for $p in $auction//person
+    let $a :=
+      for $t in $auction//closed_auction
+      where $t/buyer/@person = $p/@id
+      return (insert { <buyer person="{$t/buyer/@person}"
+                       itemid="{$t/itemref/@item}" /> }
+              into { $purchasers }, $t)
+    return <item person="{ $p/name }">{ count($a) }</item>|}
+
+(* Pure XMark Q8 (no updates) — isolates the join speedup itself. *)
+let q8_pure =
+  {|for $p in $auction//person
+    let $a :=
+      for $t in $auction//closed_auction
+      where $t/buyer/@person = $p/@id
+      return $t
+    return <item person="{ $p/name }">{ count($a) }</item>|}
+
+(* Engine with an XMark document at the given cardinalities, plus an
+   empty $purchasers target. *)
+let engine ~persons ~closed () =
+  let eng = Core.Engine.create () in
+  let cfg = { G.default with G.persons; closed_auctions = closed } in
+  let doc = G.generate (Core.Engine.store eng) cfg in
+  Core.Engine.bind_node eng "auction" doc;
+  Core.Engine.bind_node eng "purchasers"
+    (Xqb_store.Store.load_string (Core.Engine.store eng) "<purchasers/>");
+  eng
+
+(* The §2 Web-service module (E3). *)
+let web_service_module maxlog =
+  Printf.sprintf
+    {|
+declare variable $log := <log/>;
+declare variable $archive := <archive/>;
+declare variable $maxlog := %d;
+declare variable $d := element counter { 0 };
+
+declare function nextid() as xs:integer {
+  snap { replace { $d/text() } with { $d + 1 }, xs:integer($d) }
+};
+
+declare function archivelog($log, $archive) {
+  snap insert { <batch size="{count($log/logentry)}"/> } into { $archive }
+};
+
+declare function get_item_nolog($itemid, $userid) {
+  let $item := $auction//item[@id = $itemid]
+  return $item
+};
+
+declare function get_item($itemid, $userid) {
+  let $item := $auction//item[@id = $itemid]
+  return (
+    let $name := $auction//person[@id = $userid]/name
+    return
+      (snap insert { <logentry id="{nextid()}" user="{$name}" itemid="{$itemid}"/> }
+        into { $log },
+      if (count($log/logentry) >= $maxlog)
+      then (archivelog($log, $archive),
+            snap delete { $log/logentry })
+      else ()),
+    $item
+  )
+};
+|}
+    maxlog
+
+let web_service_engine ?(maxlog = 16) () =
+  let eng = Core.Engine.create () in
+  let cfg = { G.default with G.persons = 50; items = 30; closed_auctions = 30 } in
+  let doc = G.generate (Core.Engine.store eng) cfg in
+  Core.Engine.bind_node eng "auction" doc;
+  let m = Core.Engine.compile eng (web_service_module maxlog) in
+  Core.Engine.eval_globals eng m;
+  eng

@@ -1,0 +1,272 @@
+(* xqbang — command-line front end for the XQuery! engine.
+
+   Examples:
+     xqbang run query.xq --doc auction=data.xml
+     xqbang run -e 'snap insert {<a/>} into {doc("d")}' --doc d=doc.xml
+     xqbang explain query.xq --doc auction=data.xml
+     xqbang xmark --factor 0.1 > auction.xml
+*)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* --doc name=path bindings: each document is loaded, registered for
+   fn:doc("name") and bound to $name. *)
+let setup_engine docs vars seed =
+  let eng = Core.Engine.create ~seed () in
+  Core.Engine.set_doc_resolver eng read_file;
+  List.iter
+    (fun spec ->
+      match String.index_opt spec '=' with
+      | None -> failwith (Printf.sprintf "--doc expects name=path, got %S" spec)
+      | Some i ->
+        let name = String.sub spec 0 i in
+        let path = String.sub spec (i + 1) (String.length spec - i - 1) in
+        let node = Core.Engine.load_document eng ~uri:name (read_file path) in
+        Core.Engine.bind_node eng name node)
+    docs;
+  List.iter
+    (fun spec ->
+      match String.index_opt spec '=' with
+      | None -> failwith (Printf.sprintf "--var expects name=value, got %S" spec)
+      | Some i ->
+        let name = String.sub spec 0 i in
+        let v = String.sub spec (i + 1) (String.length spec - i - 1) in
+        Core.Engine.bind eng name (Xqb_xdm.Value.of_string v))
+    vars;
+  eng
+
+let get_source query expr =
+  match expr, query with
+  | Some e, _ -> e
+  | None, Some path -> read_file path
+  | None, None -> failwith "provide a query file or -e EXPR"
+
+let mode_of_string = function
+  | "ordered" -> Core.Core_ast.Snap_ordered
+  | "nondeterministic" | "nondet" -> Core.Core_ast.Snap_nondeterministic
+  | "conflict" -> Core.Core_ast.Snap_conflict
+  | s -> failwith (Printf.sprintf "unknown snap mode %S" s)
+
+open Cmdliner
+
+let docs_arg =
+  Arg.(value & opt_all string [] & info [ "doc" ] ~docv:"NAME=PATH"
+         ~doc:"Load an XML document, bind it to \\$NAME and register it for fn:doc(\"NAME\").")
+
+let vars_arg =
+  Arg.(value & opt_all string [] & info [ "var" ] ~docv:"NAME=VALUE"
+         ~doc:"Bind a string value to \\$NAME.")
+
+let expr_arg =
+  Arg.(value & opt (some string) None & info [ "e"; "expr" ] ~docv:"EXPR"
+         ~doc:"Inline query text instead of a query file.")
+
+let query_arg =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"QUERY.xq")
+
+let mode_arg =
+  Arg.(value & opt string "ordered" & info [ "snap-mode" ] ~docv:"MODE"
+         ~doc:"Semantics of the implicit top-level snap: ordered, nondeterministic or conflict.")
+
+let seed_arg =
+  Arg.(value & opt int 0x5eed & info [ "seed" ] ~docv:"N"
+         ~doc:"Seed for the nondeterministic update-application order.")
+
+let optimize_arg =
+  Arg.(value & flag & info [ "O"; "optimize" ]
+         ~doc:"Run through the algebraic compiler (join/group-by unnesting) instead of direct evaluation.")
+
+let trace_arg =
+  Arg.(value & flag & info [ "trace-updates" ]
+         ~doc:"Print each pending-update list (Delta) to stderr as its snap scope closes, before application.")
+
+let report_errors f =
+  try f () with
+  | Core.Engine.Compile_error m -> `Error (false, m)
+  | Xqb_xdm.Errors.Dynamic_error (code, m) ->
+    `Error (false, Printf.sprintf "dynamic error [%s] %s" code m)
+  | Core.Conflict.Conflict m -> `Error (false, "update conflict: " ^ m)
+  | Xqb_store.Store.Update_error m -> `Error (false, "update error: " ^ m)
+  | Failure m -> `Error (false, m)
+  | Sys_error m -> `Error (false, m)
+
+let enable_trace eng =
+  (Core.Engine.context eng).Core.Context.on_apply <-
+    Some
+      (fun delta mode ->
+        Printf.eprintf "snap(%s) applying %d request(s): %s\n%!"
+          (Core.Apply.mode_to_string mode)
+          (List.length delta)
+          (Core.Update.delta_to_string delta))
+
+let run_cmd =
+  let run query expr docs vars mode seed optimize trace quiet =
+    report_errors (fun () ->
+        let eng = setup_engine docs vars seed in
+        if trace then enable_trace eng;
+        let src = get_source query expr in
+        let mode = mode_of_string mode in
+        let compiled = Core.Engine.compile eng src in
+        if not quiet then
+          List.iter
+            (fun w -> Printf.eprintf "warning: %s\n%!" w)
+            compiled.Core.Engine.type_warnings;
+        let value =
+          if optimize then
+            (Xqb_algebra.Runner.run ~mode eng src).Xqb_algebra.Runner.value
+          else Core.Engine.run_compiled ~mode eng compiled
+        in
+        print_endline (Core.Engine.serialize eng value);
+        `Ok ())
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "q"; "quiet" ]
+           ~doc:"Suppress static-typing warnings.")
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Evaluate an XQuery! program")
+    Term.(ret (const run $ query_arg $ expr_arg $ docs_arg $ vars_arg $ mode_arg
+               $ seed_arg $ optimize_arg $ trace_arg $ quiet_arg))
+
+let explain_cmd =
+  let explain query expr docs vars mode seed =
+    try
+      let eng = setup_engine docs vars seed in
+      let src = get_source query expr in
+      let mode = mode_of_string mode in
+      print_endline (Xqb_algebra.Runner.explain ~mode eng src);
+      `Ok ()
+    with
+    | Core.Engine.Compile_error m -> `Error (false, m)
+    | Failure m -> `Error (false, m)
+  in
+  Cmd.v (Cmd.info "explain" ~doc:"Print the optimized query plan")
+    Term.(ret (const explain $ query_arg $ expr_arg $ docs_arg $ vars_arg
+               $ mode_arg $ seed_arg))
+
+let xmark_cmd =
+  let gen factor seed =
+    let cfg = { (Xqb_xmark.Generator.scaled factor) with seed } in
+    print_endline (Xqb_xmark.Generator.to_xml cfg)
+  in
+  let factor_arg =
+    Arg.(value & opt float 0.1 & info [ "factor"; "f" ] ~docv:"F"
+           ~doc:"Scale factor (1.0 ~ 255 persons).")
+  in
+  let gseed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Generator seed.")
+  in
+  Cmd.v (Cmd.info "xmark" ~doc:"Generate an XMark-style auction document")
+    Term.(const gen $ factor_arg $ gseed_arg)
+
+let fmt_cmd =
+  let fmt query expr =
+    report_errors (fun () ->
+        let src = get_source query expr in
+        (match Xqb_syntax.Parser.parse_prog src with
+        | prog -> print_endline (Xqb_syntax.Pretty.prog_to_string prog)
+        | exception Xqb_syntax.Parser.Error (l, c, m) ->
+          failwith (Printf.sprintf "parse error %d:%d: %s" l c m)
+        | exception Xqb_syntax.Lexer.Error (l, c, m) ->
+          failwith (Printf.sprintf "lex error %d:%d: %s" l c m));
+        `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "fmt" ~doc:"Parse a program and reprint it canonically")
+    Term.(ret (const fmt $ query_arg $ expr_arg))
+
+(* A line-oriented REPL. Each line is a full query unless it ends with
+   '\\'; ':'-prefixed lines are REPL commands. Engine state (loaded
+   documents, declared variables and functions, applied updates)
+   persists across inputs. *)
+let repl_cmd =
+  let repl docs vars mode seed trace =
+    report_errors (fun () ->
+        let eng = setup_engine docs vars seed in
+        if trace then enable_trace eng;
+        let mode = ref (mode_of_string mode) in
+        let prompt () =
+          print_string "xq! ";
+          flush stdout
+        in
+        let rec read_input acc =
+          match input_line stdin with
+          | line ->
+            let n = String.length line in
+            if n > 0 && line.[n - 1] = '\\' then begin
+              print_string "  > ";
+              flush stdout;
+              read_input (acc ^ String.sub line 0 (n - 1) ^ "\n")
+            end
+            else Some (acc ^ line)
+          | exception End_of_file -> None
+        in
+        let handle_command line =
+          match String.split_on_char ' ' (String.trim line) with
+          | [ ":quit" ] | [ ":q" ] -> `Quit
+          | [ ":mode"; m ] ->
+            mode := mode_of_string m;
+            Printf.printf "snap mode: %s\n" m;
+            `Continue
+          | [ ":load"; spec ] -> (
+            match String.index_opt spec '=' with
+            | Some i ->
+              let name = String.sub spec 0 i in
+              let path = String.sub spec (i + 1) (String.length spec - i - 1) in
+              let node = Core.Engine.load_document eng ~uri:name (read_file path) in
+              Core.Engine.bind_node eng name node;
+              Printf.printf "loaded %s as $%s\n" path name;
+              `Continue
+            | None ->
+              print_endline ":load expects name=path";
+              `Continue)
+          | ":explain" :: rest when rest <> [] ->
+            let q = String.concat " " rest in
+            (try print_endline (Xqb_algebra.Runner.explain ~mode:!mode eng q)
+             with e -> print_endline (Core.Engine.parse_error_message e));
+            `Continue
+          | [ ":help" ] | [ ":h" ] ->
+            print_endline
+              "commands: :quit | :mode ordered|nondet|conflict | :load name=path | :explain QUERY\n\
+               end a line with '\\' to continue it; anything else runs as a query";
+            `Continue
+          | _ ->
+            print_endline "unknown command (:help for help)";
+            `Continue
+        in
+        print_endline "XQuery! repl — :help for commands";
+        let rec loop () =
+          prompt ();
+          match read_input "" with
+          | None -> ()
+          | Some line when String.trim line = "" -> loop ()
+          | Some line when String.length (String.trim line) > 0 && (String.trim line).[0] = ':'
+            -> (
+            match handle_command line with `Quit -> () | `Continue -> loop ())
+          | Some line ->
+            (try
+               let v = Core.Engine.run ~mode:!mode eng line in
+               print_endline (Core.Engine.serialize eng v)
+             with
+            | Core.Engine.Compile_error m -> print_endline m
+            | Xqb_xdm.Errors.Dynamic_error (code, m) ->
+              Printf.printf "dynamic error [%s] %s\n" code m
+            | Core.Conflict.Conflict m -> Printf.printf "update conflict: %s\n" m
+            | Xqb_store.Store.Update_error m -> Printf.printf "update error: %s\n" m);
+            loop ()
+        in
+        loop ();
+        `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "repl" ~doc:"Interactive session (state persists across queries)")
+    Term.(ret (const repl $ docs_arg $ vars_arg $ mode_arg $ seed_arg $ trace_arg))
+
+let () =
+  let info = Cmd.info "xqbang" ~version:"1.0.0"
+      ~doc:"XQuery! — an XML query language with side effects (EDBT 2006 reproduction)"
+  in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; explain_cmd; xmark_cmd; fmt_cmd; repl_cmd ]))

@@ -1,0 +1,1 @@
+examples/auction_report.ml: Core List Printf String Unix Xqb_algebra Xqb_store Xqb_xdm Xqb_xmark

@@ -1,0 +1,1 @@
+examples/counter.ml: Core Printf String

@@ -1,0 +1,1 @@
+examples/web_service.ml: Core List Printf Xqb_xmark

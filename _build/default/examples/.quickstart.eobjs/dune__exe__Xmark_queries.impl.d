@@ -1,0 +1,1 @@
+examples/xmark_queries.ml: Core List Printexc Printf Unix Xqb_xmark

@@ -1,0 +1,79 @@
+(* An XMark-style query mix over generated auction data, finishing
+   with an XQUF-syntax maintenance script — the "downstream user"
+   workload: read-only analytics plus periodic updates on one store.
+
+   Run with: dune exec examples/xmark_queries.exe *)
+
+let queries =
+  [
+    ( "Q1: initial price of a known open auction",
+      {|for $b in $auction//open_auction[@id = 'open3']
+        return xs:double($b/initial)|} );
+    ( "Q2: current prices, first five",
+      {|let $p := for $b in $auction//open_auction
+                  order by xs:integer($b/current) descending
+                  return <price>{ string($b/current) }</price>
+        return subsequence($p, 1, 5)|} );
+    ( "Q5: how many sold items cost more than 40",
+      {|count(for $i in $auction//closed_auction
+             where xs:double($i/price) >= 40
+             return $i/price)|} );
+    ( "Q7: pieces of prose",
+      {|count($auction//description) + count($auction//annotation)
+        + count($auction//emailaddress)|} );
+    ( "Q8 (join): buyers per person, top entry",
+      {|let $rows :=
+          for $p in $auction//person
+          let $a := for $t in $auction//closed_auction
+                    where $t/buyer/@person = $p/@id
+                    return $t
+          order by count($a) descending, string($p/name)
+          return <item person="{$p/name}">{count($a)}</item>
+        return $rows[1]|} );
+    ( "Q20: demographics",
+      {|<result>
+          <with_phone>{ count($auction//person[phone]) }</with_phone>
+          <with_address>{ count($auction//person[address]) }</with_address>
+        </result>|} );
+  ]
+
+(* Periodic maintenance in XQUF syntax (the W3C language this paper
+   fed into): close out low-value auctions and stamp the document. *)
+let maintenance =
+  {|let $cheap := $auction//open_auction[xs:integer(current) < 1000]
+    return (
+      snap {
+        for $a in $cheap return delete node $a,
+        insert node <maintenance removed="{count($cheap)}"/>
+          as last into $auction/site
+      },
+      concat("removed ", count($cheap), " cheap auctions")
+    )|}
+
+let () =
+  let engine = Core.Engine.create () in
+  let cfg = Xqb_xmark.Generator.scaled 0.5 in
+  let doc = Xqb_xmark.Generator.generate (Core.Engine.store engine) cfg in
+  Core.Engine.bind_node engine "auction" doc;
+  Printf.printf "document: %d persons, %d open auctions, %d closed auctions\n\n"
+    cfg.Xqb_xmark.Generator.persons cfg.Xqb_xmark.Generator.open_auctions
+    cfg.Xqb_xmark.Generator.closed_auctions;
+  List.iter
+    (fun (name, q) ->
+      let t0 = Unix.gettimeofday () in
+      match Core.Engine.run engine q with
+      | v ->
+        let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+        Printf.printf "%-45s (%5.1f ms)\n  %s\n" name ms
+          (Core.Engine.serialize engine v)
+      | exception e ->
+        Printf.printf "%-45s FAILED: %s\n" name (Printexc.to_string e))
+    queries;
+  print_newline ();
+  let v = Core.Engine.run engine maintenance in
+  Printf.printf "maintenance: %s\n" (Core.Engine.serialize engine v);
+  let v =
+    Core.Engine.run engine
+      "(count($auction//open_auction), string($auction/site/maintenance/@removed))"
+  in
+  Printf.printf "after: open auctions + stamp: %s\n" (Core.Engine.serialize engine v)

@@ -1,0 +1,1 @@
+lib/algebra/compile.ml: Core List Option Plan Xqb_syntax

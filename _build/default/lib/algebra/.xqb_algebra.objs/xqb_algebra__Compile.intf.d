@@ -1,0 +1,1 @@
+lib/algebra/compile.mli: Core Plan

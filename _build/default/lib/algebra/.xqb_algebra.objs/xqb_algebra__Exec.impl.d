@@ -1,0 +1,1 @@
+lib/algebra/exec.ml: Array Core Float Hashtbl List Plan String Xqb_xdm Xqb_xml

@@ -1,0 +1,1 @@
+lib/algebra/exec.mli: Core Plan Xqb_xdm

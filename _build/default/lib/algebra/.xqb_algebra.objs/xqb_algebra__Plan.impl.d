@@ -1,0 +1,1 @@
+lib/algebra/plan.ml: Core Format List String Xqb_syntax

@@ -1,0 +1,1 @@
+lib/algebra/runner.ml: Compile Core Exec Plan Xqb_xdm

@@ -1,0 +1,1 @@
+lib/algebra/runner.mli: Compile Core Exec Plan Xqb_xdm

@@ -1,0 +1,207 @@
+(* Compilation of core expressions into the tuple algebra, with the
+   §4.2-4.3 rewrite guards:
+
+   "the optimization rules must be guarded by appropriate
+    preconditions ... cardinality ... and a form of query
+    independence. ... We must check that the inner branch of a join
+    does not have updates. If the inner branch of the join does have
+    update operations, they would be applied once for each element of
+    the outer loop."
+
+   Concretely, with the [Static.purity] classification:
+   - if anything in the FLWOR block is Effecting (contains a snap),
+     the block compiles to [Direct] — evaluation order is pinned;
+   - the *inner branch* of a join (the right input and both keys) must
+     be Pure: a merely-Updating inner branch would change how many
+     update requests are emitted (cardinality);
+   - the return expressions may be Updating: inside the innermost
+     snap they emit requests without touching the store, and the
+     join/group-by plan evaluates them exactly once per match, the
+     same cardinality as the nested loop. *)
+
+module C = Core.Core_ast
+module Static = Core.Static
+
+type clause =
+  | Cl_for of string * string option * C.expr
+  | Cl_let of string * C.expr
+  | Cl_where of C.expr
+
+type trace = { mutable fired : string list; mutable rejected : (string * string) list }
+
+let new_trace () = { fired = []; rejected = [] }
+
+let fire tr name = tr.fired <- name :: tr.fired
+
+let reject tr name why = tr.rejected <- (name, why) :: tr.rejected
+
+(* Split a FLWOR-shaped core expression into its clause chain and
+   return expression. [If (c, rest, Empty)] is a where clause. *)
+let rec collect_clauses (e : C.expr) : clause list * C.expr =
+  match e with
+  | C.For (v, pos, e1, rest) ->
+    let cls, ret = collect_clauses rest in
+    (Cl_for (v, pos, e1) :: cls, ret)
+  | C.Let (v, e1, rest) ->
+    let cls, ret = collect_clauses rest in
+    (Cl_let (v, e1) :: cls, ret)
+  | C.If (c, rest, C.Empty) ->
+    let cls, ret = collect_clauses rest in
+    (Cl_where c :: cls, ret)
+  | _ -> ([], e)
+
+module SSet = Static.SSet
+
+(* Try to split an equality predicate into (left key, right key) where
+   the left key only mentions [bound] variables and the right key only
+   mentions [rvar] (plus variables free in neither side's scope, i.e.
+   globals). *)
+let split_join_pred ~bound ~rvar (pred : C.expr) : (C.expr * C.expr) option =
+  match pred with
+  | C.Binop (Xqb_syntax.Ast.Gen_eq, x, y) ->
+    let fx = Static.free_vars x and fy = Static.free_vars y in
+    let mentions_r f = SSet.mem rvar f in
+    let mentions_bound f = not (SSet.disjoint f bound) in
+    if mentions_r fy && (not (mentions_bound fy)) && not (mentions_r fx) then
+      Some (x, y)
+    else if mentions_r fx && (not (mentions_bound fx)) && not (mentions_r fy)
+    then Some (y, x)
+    else None
+  | _ -> None
+
+(* The inner FLWOR pattern of §4.3:
+     for $t in E2 where k_t = k_bound return R
+   (in core: For (t, _, E2, If (eq, R, Empty))). *)
+let match_inner_flwor ~bound (e : C.expr) :
+    (string * C.expr * C.expr * C.expr * C.expr) option =
+  match e with
+  | C.For (t, None, e2, C.If (pred, r, C.Empty)) -> (
+    match split_join_pred ~bound ~rvar:t pred with
+    | Some (lkey, rkey) when SSet.disjoint (Static.free_vars e2) bound ->
+      Some (t, e2, lkey, rkey, r)
+    | _ -> None)
+  | _ -> None
+
+type ctx = {
+  purity : C.expr -> Static.purity;
+  trace : trace;
+}
+
+let pure cctx e = cctx.purity e = Static.Pure
+let not_effecting cctx e = cctx.purity e <> Static.Effecting
+
+(* Compile a clause chain left to right into a tuple plan. [bound] is
+   the set of variables the current plan binds. *)
+let rec compile_clauses cctx (plan : Plan.tplan) (bound : SSet.t)
+    (clauses : clause list) : Plan.tplan =
+  match clauses with
+  (* -- Join detection: for $v2 in E2 ... where k_l = k_r ----------- *)
+  | Cl_for (v2, None, e2) :: Cl_where pred :: rest
+    when SSet.disjoint (Static.free_vars e2) bound
+         && Option.is_some (split_join_pred ~bound ~rvar:v2 pred) -> (
+    let lkey, rkey = Option.get (split_join_pred ~bound ~rvar:v2 pred) in
+    if not (pure cctx e2) then begin
+      reject cctx.trace "hash-join" "inner branch is not pure";
+      compile_fallback cctx plan bound clauses
+    end
+    else if not (pure cctx lkey && pure cctx rkey) then begin
+      reject cctx.trace "hash-join" "join keys are not pure";
+      compile_fallback cctx plan bound clauses
+    end
+    else begin
+      fire cctx.trace "hash-join";
+      let right = Plan.For_tuple (Plan.Unit, v2, None, e2) in
+      let plan = Plan.Join { left = plan; right; lkey; rkey } in
+      compile_clauses cctx plan (SSet.add v2 bound) rest
+    end)
+  (* -- Outer-join/group-by unnesting (the §4.3 plan) ---------------- *)
+  | Cl_let (a, inner) :: rest
+    when Option.is_some (match_inner_flwor ~bound inner) -> (
+    let t, e2, lkey, rkey, r = Option.get (match_inner_flwor ~bound inner) in
+    if not (pure cctx e2) then begin
+      reject cctx.trace "outer-join-groupby" "inner branch is not pure";
+      compile_fallback cctx plan bound clauses
+    end
+    else if not (pure cctx lkey && pure cctx rkey) then begin
+      reject cctx.trace "outer-join-groupby" "join keys are not pure";
+      compile_fallback cctx plan bound clauses
+    end
+    else if not (not_effecting cctx r) then begin
+      reject cctx.trace "outer-join-groupby" "inner return contains a snap";
+      compile_fallback cctx plan bound clauses
+    end
+    else begin
+      fire cctx.trace "outer-join-groupby";
+      let right = Plan.For_tuple (Plan.Unit, t, None, e2) in
+      let plan =
+        Plan.Outer_join_group { left = plan; right; lkey; rkey; ret = r; out = a }
+      in
+      compile_clauses cctx plan (SSet.add a bound) rest
+    end)
+  | [] -> plan
+  | _ -> compile_fallback cctx plan bound clauses
+
+(* Pipeline compilation: order-preserving, so it needs no purity
+   guard — tuples flow exactly in nested-loop order. *)
+and compile_fallback cctx plan bound = function
+  | [] -> plan
+  | Cl_for (v, pos, e) :: rest ->
+    let bound = SSet.add v bound in
+    let bound = match pos with Some p -> SSet.add p bound | None -> bound in
+    compile_clauses cctx (Plan.For_tuple (plan, v, pos, e)) bound rest
+  | Cl_let (v, e) :: rest ->
+    compile_clauses cctx (Plan.Let_tuple (plan, v, e)) (SSet.add v bound) rest
+  | Cl_where e :: rest -> compile_clauses cctx (Plan.Select (plan, e)) bound rest
+
+(* Compile one expression. FLWOR blocks become tuple plans; sequences
+   recurse; snaps recurse (a snap boundary also restores the pure
+   optimization context inside, §4.2); everything else is Direct. *)
+let rec compile_expr cctx (e : C.expr) : Plan.vplan =
+  match e with
+  | C.Snap (m, body) -> Plan.Snap_v (m, compile_expr cctx body)
+  | C.Seq (a, b) -> Plan.Seq_v (compile_expr cctx a, compile_expr cctx b)
+  (* order-by FLWORs: compile the clause chain (join detection
+     included), then a stable OrderBy over the tuple stream. *)
+  | C.Sort_flwor (clauses, specs, ret) ->
+    if cctx.purity e = Static.Effecting then begin
+      reject cctx.trace "flwor-to-algebra" "block contains a snap";
+      Plan.Direct e
+    end
+    else begin
+      let cls =
+        List.map
+          (function
+            | C.S_for (v, pos, e) -> Cl_for (v, pos, e)
+            | C.S_let (v, e) -> Cl_let (v, e)
+            | C.S_where e -> Cl_where e)
+          clauses
+      in
+      let tplan = compile_clauses cctx Plan.Unit SSet.empty cls in
+      Plan.Map_from_tuple (Plan.Sort (tplan, specs), ret)
+    end
+  | C.For _ | C.Let _ -> (
+    if cctx.purity e = Static.Effecting then begin
+      reject cctx.trace "flwor-to-algebra" "block contains a snap";
+      Plan.Direct e
+    end
+    else
+      let clauses, ret = collect_clauses e in
+      match clauses with
+      | [] -> Plan.Direct e
+      | _ ->
+        let tplan = compile_clauses cctx Plan.Unit SSet.empty clauses in
+        Plan.Map_from_tuple (tplan, ret))
+  | _ -> Plan.Direct e
+
+type result = {
+  plan : Plan.vplan;
+  fired : string list;
+  rejected : (string * string) list;
+}
+
+(* Entry point: compile [e] given a purity oracle (built from the
+   program's function classification, [Static.purity_in_prog]). *)
+let compile ~purity (e : C.expr) : result =
+  let cctx = { purity; trace = new_trace () } in
+  let plan = compile_expr cctx e in
+  { plan; fired = List.rev cctx.trace.fired; rejected = List.rev cctx.trace.rejected }

@@ -1,0 +1,23 @@
+(** Compilation of core expressions into the tuple algebra, with the
+    §4.2-4.3 rewrite guards:
+
+    - a block containing a snap compiles to [Direct] (evaluation order
+      is pinned);
+    - the inner branch of a join (right input and both keys) must be
+      {e pure} — a merely-updating inner branch would change how many
+      update requests are emitted (the cardinality guard);
+    - return clauses may be updating: inside the innermost snap they
+      emit requests without touching the store, and the join/group-by
+      plan preserves their cardinality. *)
+
+(** Rewrite trace: which rules fired and which were rejected (with the
+    guard's reason) — E7's instrumentation. *)
+type result = {
+  plan : Plan.vplan;
+  fired : string list;
+  rejected : (string * string) list;
+}
+
+(** [compile ~purity e] compiles [e]; [purity] is the §5
+    classification oracle (from [Core.Static.purity_in_prog]). *)
+val compile : purity:(Core.Core_ast.expr -> Core.Static.purity) -> Core.Core_ast.expr -> result

@@ -1,0 +1,216 @@
+(* Executor for the tuple algebra. Tuples are variable environments
+   extending the engine's globals; expression leaves are evaluated by
+   the core evaluator, so plan execution and direct evaluation share
+   one semantics (the equivalence tests in test/test_optimizer.ml rely
+   on this split). *)
+
+module C = Core.Core_ast
+module Context = Core.Context
+module Eval = Core.Eval
+module Atomic = Xqb_xdm.Atomic
+module Item = Xqb_xdm.Item
+module Value = Xqb_xdm.Value
+
+type stats = {
+  mutable tuples : int;  (* tuples materialized *)
+  mutable probes : int;  (* hash probes *)
+  mutable matches : int;  (* join pairs produced *)
+}
+
+let new_stats () = { tuples = 0; probes = 0; matches = 0 }
+
+(* Hash keys for the typed hash join, encoding XQuery's general-=
+   coercion rules:
+   - a numeric operand compares numerically with numerics and with
+     untyped (untyped is cast to double);
+   - an untyped operand compares as a string with strings and other
+     untyped values;
+   - a string operand compares as a string with strings and untyped.
+   Build-side entries and probe-side lookups are chosen so a hash hit
+   occurs exactly when general-= would hold. *)
+type key =
+  | K_num of float  (* numeric values *)
+  | K_unt_num of float  (* untyped values, under their numeric reading *)
+  | K_str of string  (* strings and untyped values, string reading *)
+  | K_bool of bool
+
+let build_keys (a : Atomic.t) : key list =
+  match a with
+  | Atomic.Integer i -> [ K_num (float_of_int i) ]
+  | Atomic.Decimal f | Atomic.Double f ->
+    if Float.is_nan f then [] else [ K_num f ]
+  | Atomic.String s -> [ K_str s ]
+  | Atomic.Untyped s -> (
+    K_str s
+    ::
+    (match float_of_string_opt (String.trim s) with
+    | Some f when not (Float.is_nan f) -> [ K_unt_num f ]
+    | _ -> []))
+  | Atomic.Boolean b -> [ K_bool b ]
+  | Atomic.QName q -> [ K_str ("Q{" ^ Xqb_xml.Qname.to_string q) ]
+
+let probe_keys (a : Atomic.t) : key list =
+  match a with
+  | Atomic.Integer i ->
+    let f = float_of_int i in
+    [ K_num f; K_unt_num f ]
+  | Atomic.Decimal f | Atomic.Double f ->
+    if Float.is_nan f then [] else [ K_num f; K_unt_num f ]
+  | Atomic.String s -> [ K_str s ]
+  | Atomic.Untyped s -> (
+    K_str s
+    ::
+    (match float_of_string_opt (String.trim s) with
+    | Some f when not (Float.is_nan f) -> [ K_num f ]
+    | _ -> []))
+  | Atomic.Boolean b -> [ K_bool b ]
+  | Atomic.QName q -> [ K_str ("Q{" ^ Xqb_xml.Qname.to_string q) ]
+
+let eval_keys ctx env (e : C.expr) = Value.atomize ctx.Context.store (Eval.eval ctx env None e)
+
+(* Build an index from right tuples. Returns the tuple array and the
+   key table mapping to tuple indexes. *)
+let build_index ctx stats (rkey : C.expr) (right : Context.env list) =
+  let arr = Array.of_list right in
+  let tbl : (key, int list ref) Hashtbl.t = Hashtbl.create (2 * Array.length arr) in
+  Array.iteri
+    (fun i env ->
+      List.iter
+        (fun a ->
+          List.iter
+            (fun k ->
+              match Hashtbl.find_opt tbl k with
+              | Some l -> l := i :: !l
+              | None -> Hashtbl.add tbl k (ref [ i ]))
+            (build_keys a))
+        (eval_keys ctx env rkey))
+    arr;
+  ignore stats;
+  (arr, tbl)
+
+(* Indexes of right tuples matching the left tuple's key value, in
+   right order, without duplicates. *)
+let matching_indexes ctx stats tbl env (lkey : C.expr) =
+  let hits = ref [] in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun k ->
+          stats.probes <- stats.probes + 1;
+          match Hashtbl.find_opt tbl k with
+          | Some l -> hits := List.rev_append !l !hits
+          | None -> ())
+        (probe_keys a))
+    (eval_keys ctx env lkey);
+  List.sort_uniq compare !hits
+
+(* Merge the variables a sub-plan bound into the outer tuple. Both are
+   full environments; [right] wins on its own variables. *)
+let merge_envs (left : Context.env) (right : Context.env) : Context.env =
+  Context.SMap.union (fun _ _ r -> Some r) left right
+
+let rec exec_t ctx stats (env0 : Context.env) (p : Plan.tplan) : Context.env list =
+  match p with
+  | Plan.Unit ->
+    stats.tuples <- stats.tuples + 1;
+    [ env0 ]
+  | Plan.For_tuple (input, v, pos, e) ->
+    let tuples = exec_t ctx stats env0 input in
+    let out = ref [] in
+    List.iter
+      (fun env ->
+        let items = Eval.eval ctx env None e in
+        List.iteri
+          (fun i item ->
+            stats.tuples <- stats.tuples + 1;
+            let env = Context.bind env v [ item ] in
+            let env =
+              match pos with
+              | None -> env
+              | Some pv -> Context.bind env pv (Value.of_int (i + 1))
+            in
+            out := env :: !out)
+          items)
+      tuples;
+    List.rev !out
+  | Plan.Let_tuple (input, v, e) ->
+    List.map
+      (fun env -> Context.bind env v (Eval.eval ctx env None e))
+      (exec_t ctx stats env0 input)
+  | Plan.Select (input, e) ->
+    List.filter
+      (fun env -> Value.effective_boolean_value (Eval.eval ctx env None e))
+      (exec_t ctx stats env0 input)
+  | Plan.Join { left; right; lkey; rkey } ->
+    let ltuples = exec_t ctx stats env0 left in
+    let rtuples = exec_t ctx stats env0 right in
+    let arr, tbl = build_index ctx stats rkey rtuples in
+    let out = ref [] in
+    List.iter
+      (fun lenv ->
+        List.iter
+          (fun i ->
+            stats.matches <- stats.matches + 1;
+            out := merge_envs lenv arr.(i) :: !out)
+          (matching_indexes ctx stats tbl lenv lkey))
+      ltuples;
+    List.rev !out
+  | Plan.Sort (input, specs) ->
+    let tuples = exec_t ctx stats env0 input in
+    let keyed =
+      List.map
+        (fun env ->
+          ( List.map (fun (k, d) -> (Eval.eval_sort_key ctx env None k, d)) specs,
+            env ))
+        tuples
+    in
+    List.map snd
+      (List.stable_sort (fun (k1, _) (k2, _) -> Eval.compare_sort_keys k1 k2) keyed)
+  | Plan.Outer_join_group { left; right; lkey; rkey; ret; out } ->
+    let ltuples = exec_t ctx stats env0 left in
+    let rtuples = exec_t ctx stats env0 right in
+    let arr, tbl = build_index ctx stats rkey rtuples in
+    List.map
+      (fun lenv ->
+        let group = ref [] in
+        List.iter
+          (fun i ->
+            stats.matches <- stats.matches + 1;
+            let env = merge_envs lenv arr.(i) in
+            group := List.rev_append (Eval.eval ctx env None ret) !group)
+          (matching_indexes ctx stats tbl lenv lkey);
+        Context.bind lenv out (List.rev !group))
+      ltuples
+
+let rec exec_v ctx stats (env0 : Context.env) (p : Plan.vplan) : Value.t =
+  match p with
+  | Plan.Direct e -> Eval.eval ctx env0 None e
+  | Plan.Map_from_tuple (tplan, ret) ->
+    let tuples = exec_t ctx stats env0 tplan in
+    let out = ref [] in
+    List.iter
+      (fun env -> out := List.rev_append (Eval.eval ctx env None ret) !out)
+      tuples;
+    List.rev !out
+  | Plan.Seq_v (a, b) ->
+    let va = exec_v ctx stats env0 a in
+    let vb = exec_v ctx stats env0 b in
+    va @ vb
+  | Plan.Snap_v (mode, body) ->
+    let snaps = ctx.Context.snaps in
+    Core.Snap_stack.push snaps (Core.Apply.mode_of_snap mode);
+    let v =
+      match exec_v ctx stats env0 body with
+      | v -> v
+      | exception ex ->
+        ignore (Core.Snap_stack.pop snaps);
+        raise ex
+    in
+    let delta, mode = Core.Snap_stack.pop snaps in
+    (match ctx.Context.on_apply with
+    | Some hook -> hook delta mode
+    | None -> ());
+    Core.Apply.apply ~rand_state:ctx.Context.rand ctx.Context.store mode delta;
+    v
+
+let exec ?(stats = new_stats ()) ctx env0 plan = exec_v ctx stats env0 plan

@@ -1,0 +1,28 @@
+(** Executor for the tuple algebra. Tuples are variable environments
+    extending the engine's globals; expression leaves are evaluated by
+    the core evaluator, so plan execution and direct evaluation share
+    one semantics. *)
+
+type stats = {
+  mutable tuples : int;  (** tuples materialized *)
+  mutable probes : int;  (** hash-table probes *)
+  mutable matches : int;  (** join pairs produced *)
+}
+
+val new_stats : unit -> stats
+
+(** Execute a tuple plan from an initial environment; returns the
+    tuple stream in order. *)
+val exec_t :
+  Core.Context.t -> stats -> Core.Context.env -> Plan.tplan -> Core.Context.env list
+
+(** Execute a value plan. *)
+val exec_v :
+  Core.Context.t -> stats -> Core.Context.env -> Plan.vplan -> Xqb_xdm.Value.t
+
+val exec :
+  ?stats:stats ->
+  Core.Context.t ->
+  Core.Context.env ->
+  Plan.vplan ->
+  Xqb_xdm.Value.t

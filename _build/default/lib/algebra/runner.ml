@@ -1,0 +1,44 @@
+(* Optimizing front end: the same pipeline as [Core.Engine.run] with
+   the algebraic compilation step of §4.2 inserted between
+   normalization and evaluation. *)
+
+module Engine = Core.Engine
+module C = Core.Core_ast
+
+type run_result = {
+  value : Xqb_xdm.Value.t;
+  plan : Plan.vplan;
+  fired : string list;  (* rewrites that fired *)
+  rejected : (string * string) list;  (* rewrites rejected by a guard *)
+  stats : Exec.stats;
+}
+
+(* Compile [source] and return the optimized plan for its body (under
+   the implicit top-level snap). *)
+let plan_of ?(mode = C.Snap_ordered) engine source =
+  let compiled = Engine.compile engine source in
+  let purity = Core.Static.purity_oracle compiled.Engine.prog in
+  let body =
+    match compiled.Engine.prog.Core.Normalize.body with
+    | Some b -> C.Snap (mode, b)
+    | None -> C.Empty
+  in
+  (compiled, Compile.compile ~purity body)
+
+let run ?(mode = C.Snap_ordered) engine source : run_result =
+  let compiled, cres = plan_of ~mode engine source in
+  Engine.eval_globals ~mode engine compiled;
+  let stats = Exec.new_stats () in
+  let ctx = Engine.context engine in
+  let value = Exec.exec ~stats ctx ctx.Core.Context.globals cres.Compile.plan in
+  {
+    value;
+    plan = cres.Compile.plan;
+    fired = cres.Compile.fired;
+    rejected = cres.Compile.rejected;
+    stats;
+  }
+
+let explain ?mode engine source =
+  let _, cres = plan_of ?mode engine source in
+  Plan.explain cres.Compile.plan

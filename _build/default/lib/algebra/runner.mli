@@ -1,0 +1,26 @@
+(** Optimizing front end: the [Core.Engine] pipeline with the
+    algebraic compilation step of §4.2 between normalization and
+    evaluation. *)
+
+type run_result = {
+  value : Xqb_xdm.Value.t;
+  plan : Plan.vplan;
+  fired : string list;  (** rewrites that fired *)
+  rejected : (string * string) list;  (** rewrites rejected by a guard, with reasons *)
+  stats : Exec.stats;
+}
+
+(** Compile a program and the optimized plan of its body (under the
+    implicit top-level snap). @raise Core.Engine.Compile_error. *)
+val plan_of :
+  ?mode:Core.Core_ast.snap_mode ->
+  Core.Engine.t ->
+  string ->
+  Core.Engine.compiled * Compile.result
+
+(** Compile, optimize and execute. Semantics identical to
+    [Core.Engine.run] (asserted by the equivalence tests). *)
+val run : ?mode:Core.Core_ast.snap_mode -> Core.Engine.t -> string -> run_result
+
+(** Pretty-printed optimized plan (the paper's §4.3 plan syntax). *)
+val explain : ?mode:Core.Core_ast.snap_mode -> Core.Engine.t -> string -> string

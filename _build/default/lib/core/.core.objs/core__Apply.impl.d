@@ -1,0 +1,1 @@
+lib/core/apply.ml: Array Conflict Core_ast List Random Update Xqb_store

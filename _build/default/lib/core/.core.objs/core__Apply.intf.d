@@ -1,0 +1,1 @@
+lib/core/apply.mli: Core_ast Random Update Xqb_store

@@ -1,0 +1,1 @@
+lib/core/conflict.ml: Format Hashtbl List String Update Xqb_store Xqb_xml

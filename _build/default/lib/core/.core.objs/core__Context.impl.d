@@ -1,0 +1,1 @@
+lib/core/context.ml: Apply Core_ast Hashtbl Map Random Snap_stack String Update Xqb_store Xqb_syntax Xqb_xdm Xqb_xml

@@ -1,0 +1,1 @@
+lib/core/context.mli: Apply Core_ast Hashtbl Map Random Snap_stack Update Xqb_store Xqb_syntax Xqb_xdm Xqb_xml

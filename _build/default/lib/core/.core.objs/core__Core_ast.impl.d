@@ -1,0 +1,1 @@
+lib/core/core_ast.ml: Format List Xqb_store Xqb_syntax Xqb_xdm Xqb_xml

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Buffer Context Core_ast Eval Functions Hashtbl List Normalize Option Printexc Printf Rewrite Static Types Typing Xqb_store Xqb_syntax Xqb_xdm Xqb_xml

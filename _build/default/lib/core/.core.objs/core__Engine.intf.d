@@ -1,0 +1,1 @@
+lib/core/engine.mli: Context Core_ast Normalize Static Xqb_store Xqb_xdm

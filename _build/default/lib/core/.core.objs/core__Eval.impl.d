@@ -1,0 +1,1 @@
+lib/core/eval.ml: Apply Context Core_ast Functions Int List Printf Set Snap_stack String Types Update Xqb_store Xqb_syntax Xqb_xdm Xqb_xml

@@ -1,0 +1,1 @@
+lib/core/eval.mli: Context Core_ast Xqb_store Xqb_syntax Xqb_xdm

@@ -1,0 +1,1 @@
+lib/core/functions.ml: Buffer Char Context Float Hashtbl List Logs Re String Types Xqb_store Xqb_syntax Xqb_xdm Xqb_xml

@@ -1,0 +1,1 @@
+lib/core/functions.mli: Context Xqb_store Xqb_xdm

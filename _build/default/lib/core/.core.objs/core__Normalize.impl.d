@@ -1,0 +1,1 @@
+lib/core/normalize.ml: Core_ast Format List Option Printf Xqb_syntax Xqb_xdm Xqb_xml

@@ -1,0 +1,1 @@
+lib/core/normalize.mli: Core_ast Xqb_syntax Xqb_xml

@@ -1,0 +1,1 @@
+lib/core/rewrite.ml: Core_ast Float List Static String Typing Xqb_store Xqb_syntax Xqb_xdm

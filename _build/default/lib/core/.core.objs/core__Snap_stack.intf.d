@@ -1,0 +1,1 @@
+lib/core/snap_stack.mli: Apply Update

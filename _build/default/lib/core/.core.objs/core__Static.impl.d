@@ -1,0 +1,1 @@
+lib/core/static.ml: Core_ast Hashtbl List Normalize Option Printf Set String Xqb_xml

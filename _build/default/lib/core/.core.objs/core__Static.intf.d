@@ -1,0 +1,1 @@
+lib/core/static.mli: Core_ast Normalize Set Xqb_xml

@@ -1,0 +1,1 @@
+lib/core/types.mli: Xqb_store Xqb_syntax Xqb_xdm Xqb_xml

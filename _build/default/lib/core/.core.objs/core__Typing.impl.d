@@ -1,0 +1,1 @@
+lib/core/typing.ml: Core_ast Format Hashtbl List Map Normalize String Xqb_store Xqb_syntax Xqb_xdm Xqb_xml

@@ -1,0 +1,1 @@
+lib/core/typing.mli: Core_ast Map Normalize Xqb_syntax

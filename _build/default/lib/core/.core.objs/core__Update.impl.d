@@ -1,0 +1,1 @@
+lib/core/update.ml: List Printf String Xqb_store Xqb_xml

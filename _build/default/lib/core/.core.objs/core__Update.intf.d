@@ -1,0 +1,1 @@
+lib/core/update.mli: Xqb_store Xqb_xml

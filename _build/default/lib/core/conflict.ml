@@ -1,0 +1,111 @@
+(* Conflict detection for the conflict-detection snap semantics
+   (§3.2): before applying a ∆, try to prove that every permutation of
+   its ordered application would produce the same store. If the proof
+   fails, update application fails (and the snap leaves the store
+   unchanged).
+
+   As in the paper (§4.1), verification is linear in |∆| using hash
+   tables over node ids. The rules are deliberately simple and
+   conservative — the paper concedes the approach "rules out many
+   reasonable pieces of code":
+
+   R1. two inserts targeting the same slot — same (parent, First),
+       same (parent, Last), or the same Before/After anchor — conflict
+       (their relative order determines sibling order);
+   R2. an insert anchored Before/After node n conflicts with a delete
+       of n (after the detach the anchor precondition fails);
+   R3. a node may be inserted by at most one request (a second insert
+       of the same node fails only in some orders);
+   R4. deleting node n conflicts with inserting n (attached vs
+       detached final states differ);
+   R5. two renames of the same node conflict unless they agree on the
+       new name;
+   R6. two set-values of the same node conflict unless they agree on
+       the value, and a set-value conflicts with an insert into or a
+       delete of a child of the same element (we approximate the child
+       relation conservatively: set-value on node n conflicts with any
+       insert whose parent is n and any delete — of n itself). *)
+
+exception Conflict of string
+
+let conflict fmt = Format.kasprintf (fun s -> raise (Conflict s)) fmt
+
+type slot =
+  | Slot_first of Xqb_store.Store.node_id
+  | Slot_last of Xqb_store.Store.node_id
+  | Slot_before of Xqb_store.Store.node_id
+  | Slot_after of Xqb_store.Store.node_id
+
+(* Raises [Conflict] if the ∆ cannot be proven order-independent. *)
+let check (delta : Update.delta) =
+  let slots : (slot, unit) Hashtbl.t = Hashtbl.create 64 in
+  let inserted : (Xqb_store.Store.node_id, unit) Hashtbl.t = Hashtbl.create 64 in
+  let anchors : (Xqb_store.Store.node_id, unit) Hashtbl.t = Hashtbl.create 64 in
+  let deleted : (Xqb_store.Store.node_id, unit) Hashtbl.t = Hashtbl.create 64 in
+  let renamed : (Xqb_store.Store.node_id, Xqb_xml.Qname.t) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let set_valued : (Xqb_store.Store.node_id, string) Hashtbl.t = Hashtbl.create 16 in
+  let insert_parents : (Xqb_store.Store.node_id, unit) Hashtbl.t = Hashtbl.create 16 in
+  let claim_slot s =
+    if Hashtbl.mem slots s then
+      conflict "two inserts target the same position (R1)"
+    else Hashtbl.add slots s ()
+  in
+  List.iter
+    (fun (r : Update.request) ->
+      match r with
+      | Update.Insert { nodes; parent; position } ->
+        Hashtbl.replace insert_parents parent ();
+        if Hashtbl.mem set_valued parent then
+          conflict "insert into node %d whose value is also set (R6)" parent;
+        (match position with
+        | Update.First -> claim_slot (Slot_first parent)
+        | Update.Last -> claim_slot (Slot_last parent)
+        | Update.Before a ->
+          claim_slot (Slot_before a);
+          Hashtbl.replace anchors a ();
+          if Hashtbl.mem deleted a then
+            conflict "insert anchored on node %d which is also deleted (R2)" a
+        | Update.After a ->
+          claim_slot (Slot_after a);
+          Hashtbl.replace anchors a ();
+          if Hashtbl.mem deleted a then
+            conflict "insert anchored on node %d which is also deleted (R2)" a);
+        List.iter
+          (fun n ->
+            if Hashtbl.mem inserted n then
+              conflict "node %d inserted twice (R3)" n;
+            Hashtbl.add inserted n ();
+            if Hashtbl.mem deleted n then
+              conflict "node %d both inserted and deleted (R4)" n)
+          nodes
+      | Update.Delete n ->
+        Hashtbl.replace deleted n ();
+        if Hashtbl.mem anchors n then
+          conflict "delete of node %d used as an insert anchor (R2)" n;
+        if Hashtbl.mem inserted n then
+          conflict "node %d both inserted and deleted (R4)" n;
+        if Hashtbl.mem set_valued n then
+          conflict "set-value of deleted node %d (R6)" n
+      | Update.Rename (n, q) -> (
+        match Hashtbl.find_opt renamed n with
+        | Some q' when not (Xqb_xml.Qname.equal q q') ->
+          conflict "node %d renamed to both %s and %s (R5)" n
+            (Xqb_xml.Qname.to_string q') (Xqb_xml.Qname.to_string q)
+        | Some _ -> ()
+        | None -> Hashtbl.add renamed n q)
+      | Update.Set_value (n, s) -> (
+        if Hashtbl.mem insert_parents n then
+          conflict "set-value of node %d which also receives inserts (R6)" n;
+        if Hashtbl.mem deleted n then
+          conflict "set-value of deleted node %d (R6)" n;
+        match Hashtbl.find_opt set_valued n with
+        | Some s' when not (String.equal s s') ->
+          conflict "node %d set to two different values (R6)" n
+        | Some _ -> ()
+        | None -> Hashtbl.add set_valued n s))
+    delta
+
+let is_conflict_free delta =
+  match check delta with () -> true | exception Conflict _ -> false

@@ -1,0 +1,19 @@
+(** Conflict detection for the conflict-detection snap semantics
+    (§3.2): prove, before application, that every permutation of the
+    ∆'s ordered application yields the same store. Linear in |∆| using
+    hash tables over node ids (§4.1).
+
+    The rules are deliberately conservative (the paper concedes the
+    approach "rules out many reasonable pieces of code"):
+    - R1: two inserts into the same slot conflict;
+    - R2: an insert anchored on a deleted node conflicts;
+    - R3: a node inserted by two requests conflicts;
+    - R4: a node both inserted and deleted conflicts;
+    - R5: diverging renames of one node conflict. *)
+
+exception Conflict of string
+
+(** @raise Conflict when order-independence cannot be proven. *)
+val check : Update.delta -> unit
+
+val is_conflict_free : Update.delta -> bool

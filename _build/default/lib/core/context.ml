@@ -1,0 +1,79 @@
+(* The dynamic context (dynEnv of §3.4) plus the implementation
+   machinery the formal semantics leaves implicit: the store handle,
+   the snap stack, the seeded RNG for the nondeterministic semantics
+   and the document registry backing fn:doc.
+
+   Variable bindings and the focus (context item / position / size)
+   are *not* in here — the evaluator threads them functionally, which
+   matches the substitution-style formal rules and makes scoping bugs
+   impossible. *)
+
+module SMap = Map.Make (String)
+
+type focus = { item : Xqb_xdm.Item.t; position : int; size : int }
+
+type env = Xqb_xdm.Value.t SMap.t
+
+type func = {
+  params : (string * Xqb_syntax.Ast.seq_type option) list;
+  return_type : Xqb_syntax.Ast.seq_type option;
+  body : Core_ast.expr;
+  updating : bool;  (* inferred by [Static]; see §5 *)
+}
+
+type t = {
+  store : Xqb_store.Store.t;
+  functions : (string * int, func) Hashtbl.t;  (* qname string, arity *)
+  snaps : Snap_stack.t;
+  rand : Random.State.t;
+  docs : (string, Xqb_store.Store.node_id) Hashtbl.t;
+  mutable doc_resolver : (string -> string) option;  (* uri -> XML text *)
+  mutable globals : Xqb_xdm.Value.t SMap.t;  (* module-level variables *)
+  mutable on_apply : (Update.delta -> Apply.mode -> unit) option;
+    (* observability hook: called with each ∆ right before a snap
+       applies it (CLI --trace-updates) *)
+  mutable steps_evaluated : int;  (* instrumentation for the benches *)
+}
+
+let create ?(seed = 0x5eed) ?store () =
+  let store = match store with Some s -> s | None -> Xqb_store.Store.create () in
+  {
+    store;
+    functions = Hashtbl.create 16;
+    snaps = Snap_stack.create ();
+    rand = Random.State.make [| seed |];
+    docs = Hashtbl.create 4;
+    doc_resolver = None;
+    globals = SMap.empty;
+    on_apply = None;
+    steps_evaluated = 0;
+  }
+
+let declare_function ctx name arity (f : func) =
+  Hashtbl.replace ctx.functions (Xqb_xml.Qname.to_string name, arity) f
+
+let find_function ctx name arity =
+  Hashtbl.find_opt ctx.functions (Xqb_xml.Qname.to_string name, arity)
+
+let register_doc ctx uri node = Hashtbl.replace ctx.docs uri node
+
+let resolve_doc ctx uri =
+  match Hashtbl.find_opt ctx.docs uri with
+  | Some n -> n
+  | None -> (
+    match ctx.doc_resolver with
+    | None -> Xqb_xdm.Errors.raise_error "FODC0002" "document %S not found" uri
+    | Some resolve ->
+      let xml = resolve uri in
+      let n = Xqb_store.Store.load_string ctx.store xml in
+      Hashtbl.replace ctx.docs uri n;
+      n)
+
+let empty_env : env = SMap.empty
+
+let bind env v value : env = SMap.add v value env
+
+let lookup env v =
+  match SMap.find_opt v env with
+  | Some value -> value
+  | None -> Xqb_xdm.Errors.undefined_variable "undefined variable $%s" v

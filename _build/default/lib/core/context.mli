@@ -1,0 +1,55 @@
+(** The dynamic context (dynEnv of §3.4) plus the machinery the formal
+    semantics leaves implicit: the store handle, the snap stack, the
+    seeded RNG for the nondeterministic semantics, module-level
+    globals and the document registry backing fn:doc.
+
+    Variable bindings ([env]) and the focus are threaded functionally
+    by the evaluator. *)
+
+module SMap : Map.S with type key = string
+
+type focus = { item : Xqb_xdm.Item.t; position : int; size : int }
+
+type env = Xqb_xdm.Value.t SMap.t
+
+(** A user-declared function. [updating] is the §5 flag inferred by
+    {!Static.classify_functions}. *)
+type func = {
+  params : (string * Xqb_syntax.Ast.seq_type option) list;
+  return_type : Xqb_syntax.Ast.seq_type option;
+  body : Core_ast.expr;
+  updating : bool;
+}
+
+type t = {
+  store : Xqb_store.Store.t;
+  functions : (string * int, func) Hashtbl.t;
+  snaps : Snap_stack.t;
+  rand : Random.State.t;
+  docs : (string, Xqb_store.Store.node_id) Hashtbl.t;
+  mutable doc_resolver : (string -> string) option;
+  mutable globals : env;
+  mutable on_apply : (Update.delta -> Apply.mode -> unit) option;
+      (** observability hook: called with each ∆ right before a snap
+          applies it *)
+  mutable steps_evaluated : int;  (** instrumentation *)
+}
+
+(** Fresh context; [seed] drives the nondeterministic application
+    order. *)
+val create : ?seed:int -> ?store:Xqb_store.Store.t -> unit -> t
+
+val declare_function : t -> Xqb_xml.Qname.t -> int -> func -> unit
+val find_function : t -> Xqb_xml.Qname.t -> int -> func option
+
+val register_doc : t -> string -> Xqb_store.Store.node_id -> unit
+
+(** Registry lookup, falling back to [doc_resolver]; raises FODC0002
+    when unresolvable. *)
+val resolve_doc : t -> string -> Xqb_store.Store.node_id
+
+val empty_env : env
+val bind : env -> string -> Xqb_xdm.Value.t -> env
+
+(** @raise Xqb_xdm.Errors.Dynamic_error (XPST0008) when unbound. *)
+val lookup : env -> string -> Xqb_xdm.Value.t

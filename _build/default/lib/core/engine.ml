@@ -1,0 +1,187 @@
+(* The public entry point: compile and run XQuery! programs.
+
+   Pipeline (§4.2): parse -> normalize -> static checks -> (optional
+   algebraic compilation, in [Xqb_algebra]) -> evaluate. The top-level
+   query is wrapped in an implicit snap (§2.3), whose mode defaults to
+   ordered and can be overridden per run. *)
+
+module Value = Xqb_xdm.Value
+module Item = Xqb_xdm.Item
+module Store = Xqb_store.Store
+module Qname = Xqb_xml.Qname
+
+type t = { ctx : Context.t }
+
+exception Compile_error of string
+
+let create ?seed () =
+  let ctx = Context.create ?seed () in
+  { ctx }
+
+let context t = t.ctx
+let store t = t.ctx.Context.store
+
+(* Load an XML document into the store, register it for fn:doc under
+   [uri], and return its document node. *)
+let load_document t ~uri xml =
+  let doc = Store.load_string (store t) xml in
+  Context.register_doc t.ctx uri doc;
+  doc
+
+let set_doc_resolver t f = t.ctx.Context.doc_resolver <- Some f
+
+(* Bind a global variable visible to subsequent queries. *)
+let bind t name value =
+  t.ctx.Context.globals <- Context.bind t.ctx.Context.globals name value
+
+let bind_node t name node = bind t name (Value.of_node node)
+
+let lookup_global t name = Context.SMap.find_opt name t.ctx.Context.globals
+
+type compiled = {
+  prog : Normalize.prog;
+  source : string;
+  rewrites : (string * int) list;  (* simplifier rules fired (§4.2) *)
+  type_warnings : string list;  (* static-typing warnings (advisory) *)
+}
+
+let parse_error_message = function
+  | Xqb_syntax.Parser.Error (l, c, m) -> Printf.sprintf "parse error %d:%d: %s" l c m
+  | Xqb_syntax.Lexer.Error (l, c, m) -> Printf.sprintf "lex error %d:%d: %s" l c m
+  | Normalize.Static_error m -> Printf.sprintf "static error: %s" m
+  | e -> Printexc.to_string e
+
+(* Merge two rule-count alists. *)
+let merge_counts a b =
+  List.fold_left
+    (fun acc (rule, n) ->
+      match List.assoc_opt rule acc with
+      | Some m -> (rule, m + n) :: List.remove_assoc rule acc
+      | None -> (rule, n) :: acc)
+    a b
+
+(* Parse, normalize, statically check and simplify a program (§4.2's
+   "phase of syntactic rewriting", with purity guards). Function
+   declarations are installed into the engine so later [compile]d
+   queries can call them too. *)
+let compile ?(simplify = true) t source : compiled =
+  let extra_fns =
+    Hashtbl.fold
+      (fun (name, arity) _ acc -> (Qname.of_string name, arity) :: acc)
+      t.ctx.Context.functions []
+  in
+  let prog =
+    try
+      let ast = Xqb_syntax.Parser.parse_prog source in
+      Normalize.normalize_prog ~extra_fns ~is_builtin:Functions.is_builtin ast
+    with
+    | (Xqb_syntax.Parser.Error _ | Xqb_syntax.Lexer.Error _ | Normalize.Static_error _)
+      as e ->
+      raise (Compile_error (parse_error_message e))
+  in
+  let host_bound =
+    Context.SMap.fold (fun k _ acc -> k :: acc) t.ctx.Context.globals []
+  in
+  (try Static.check_prog ~initial:host_bound prog
+   with Normalize.Static_error m -> raise (Compile_error ("static error: " ^ m)));
+  (* §4.2 syntactic rewriting, guarded by the purity judgement. *)
+  let rewrites = ref [] in
+  let prog =
+    if not simplify then prog
+    else begin
+      let purity = Static.purity_oracle prog in
+      let simp e =
+        let e', stats = Rewrite.simplify ~purity e in
+        rewrites := merge_counts !rewrites stats;
+        e'
+      in
+      {
+        Normalize.global_vars =
+          List.map (fun (v, ty, e) -> (v, ty, simp e)) prog.Normalize.global_vars;
+        functions =
+          List.map
+            (fun (f : Normalize.func) -> { f with Normalize.body = simp f.Normalize.body })
+            prog.Normalize.functions;
+        body = Option.map simp prog.Normalize.body;
+      }
+    end
+  in
+  let purities = Static.classify_functions prog.Normalize.functions in
+  List.iter
+    (fun (f : Normalize.func) ->
+      let arity = List.length f.Normalize.params in
+      let updating =
+        match
+          List.find_opt
+            (fun (g, m, _) -> Qname.equal f.Normalize.fname g && m = arity)
+            purities
+        with
+        | Some (_, _, Static.Pure) -> false
+        | Some _ -> true
+        | None -> false
+      in
+      Context.declare_function t.ctx f.Normalize.fname arity
+        {
+          Context.params = f.Normalize.params;
+          return_type = f.Normalize.return_type;
+          body = f.Normalize.body;
+          updating;
+        })
+    prog.Normalize.functions;
+  let type_warnings = Typing.check_prog prog in
+  { prog; source; rewrites = !rewrites; type_warnings }
+
+(* Evaluate the global-variable declarations of a compiled program (in
+   order, under the implicit top-level snap like the body). *)
+let eval_globals ?(mode = Core_ast.Snap_ordered) t (c : compiled) =
+  List.iter
+    (fun (v, ty, e) ->
+      let wrapped = Core_ast.Snap (mode, e) in
+      let value = Eval.eval t.ctx t.ctx.Context.globals None wrapped in
+      (match ty with
+      | Some ty ->
+        if not (Types.matches (store t) ty value) then
+          raise
+            (Compile_error
+               (Printf.sprintf "global $%s does not match its declared type" v))
+      | None -> ());
+      bind t v value)
+    c.prog.Normalize.global_vars
+
+(* Run a compiled program's body under the implicit top-level snap. *)
+let run_compiled ?(mode = Core_ast.Snap_ordered) t (c : compiled) : Value.t =
+  eval_globals ~mode t c;
+  match c.prog.Normalize.body with
+  | None -> []
+  | Some body ->
+    Eval.eval t.ctx t.ctx.Context.globals None (Core_ast.Snap (mode, body))
+
+(* One-shot: compile and run. *)
+let run ?mode t source : Value.t =
+  let c = compile t source in
+  run_compiled ?mode t c
+
+(* Serialize a value the way the CLI prints results: nodes as XML,
+   atomics space-separated. *)
+let serialize t (v : Value.t) : string =
+  let store = store t in
+  let buf = Buffer.create 256 in
+  let last_was_atomic = ref false in
+  List.iter
+    (fun item ->
+      match item with
+      | Item.Node n ->
+        Buffer.add_string buf (Store.serialize store n);
+        last_was_atomic := false
+      | Item.Atomic a ->
+        if !last_was_atomic then Buffer.add_char buf ' ';
+        Buffer.add_string buf (Xqb_xdm.Atomic.to_string a);
+        last_was_atomic := true)
+    v;
+  Buffer.contents buf
+
+(* Purity of a compiled body (E7's instrumentation). *)
+let body_purity (c : compiled) =
+  match c.prog.Normalize.body with
+  | None -> Static.Pure
+  | Some body -> Static.purity_in_prog c.prog body

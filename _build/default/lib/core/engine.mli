@@ -1,0 +1,65 @@
+(** The public entry point: compile and run XQuery! programs.
+
+    Pipeline (§4.2): parse → normalize → static checks → evaluate,
+    with the query body wrapped in the implicit top-level snap (§2.3).
+    The algebraic path with join/group-by unnesting is
+    [Xqb_algebra.Runner]. *)
+
+type t
+
+(** Parse/static errors, with positions where available. *)
+exception Compile_error of string
+
+(** Fresh engine (own store, empty module). [seed] drives the
+    nondeterministic update-application order. *)
+val create : ?seed:int -> unit -> t
+
+val context : t -> Context.t
+val store : t -> Xqb_store.Store.t
+
+(** Load an XML document into the store and register it for
+    [fn:doc(uri)]. *)
+val load_document : t -> uri:string -> string -> Xqb_store.Store.node_id
+
+(** Fallback for [fn:doc] on unknown URIs (e.g. read from disk). *)
+val set_doc_resolver : t -> (string -> string) -> unit
+
+(** Bind a global variable visible to all subsequent queries. *)
+val bind : t -> string -> Xqb_xdm.Value.t -> unit
+
+val bind_node : t -> string -> Xqb_store.Store.node_id -> unit
+val lookup_global : t -> string -> Xqb_xdm.Value.t option
+
+type compiled = {
+  prog : Normalize.prog;
+  source : string;
+  rewrites : (string * int) list;
+      (** §4.2 simplifier rules that fired during compilation *)
+  type_warnings : string list;
+      (** advisory static-typing warnings ({!Typing.check_prog}) *)
+}
+
+(** Parse, normalize, statically check and (unless [simplify:false])
+    run the purity-guarded simplifier; installs the program's function
+    declarations into the engine (later queries can call them).
+    @raise Compile_error. *)
+val compile : ?simplify:bool -> t -> string -> compiled
+
+(** Evaluate the program's global-variable declarations, in order,
+    each under an implicit snap. *)
+val eval_globals : ?mode:Core_ast.snap_mode -> t -> compiled -> unit
+
+(** Run a compiled program's body under the implicit top-level snap
+    (default mode: ordered). *)
+val run_compiled : ?mode:Core_ast.snap_mode -> t -> compiled -> Xqb_xdm.Value.t
+
+(** [compile] + [run_compiled]. *)
+val run : ?mode:Core_ast.snap_mode -> t -> string -> Xqb_xdm.Value.t
+
+(** Nodes as XML, atomics space-separated — the CLI's output format. *)
+val serialize : t -> Xqb_xdm.Value.t -> string
+
+(** §5 classification of a compiled body (E7 instrumentation). *)
+val body_purity : compiled -> Static.purity
+
+val parse_error_message : exn -> string

@@ -1,0 +1,35 @@
+(** The dynamic semantics of XQuery! (the paper's Figs. 2-3).
+
+    The judgement [store0; dynEnv |- Expr => value; Delta; store1] is
+    realized as: mutation of [ctx]'s store under a defined
+    left-to-right evaluation order; ∆ accumulation on [ctx]'s snap
+    stack; [Snap] pushes a frame, evaluates, pops and applies. *)
+
+(** [eval ctx env focus e] evaluates a core expression under variable
+    bindings [env] and the optional focus (context item / position /
+    size). @raise Xqb_xdm.Errors.Dynamic_error,
+    @raise Conflict.Conflict, @raise Xqb_store.Store.Update_error. *)
+val eval :
+  Context.t ->
+  Context.env ->
+  Context.focus option ->
+  Core_ast.expr ->
+  Xqb_xdm.Value.t
+
+(** Convert a value to the node list an insert/replace payload
+    denotes: runs of atomics become space-joined text nodes, exactly
+    as in element-constructor content. Exposed for the plan executor
+    and white-box tests. *)
+val content_to_nodes : Context.t -> Xqb_xdm.Value.t -> Xqb_store.Store.node_id list
+
+(** Order-by key machinery, shared with the plan executor's OrderBy:
+    evaluate one key (empty allowed, sequences are errors) and compare
+    key tuples (empty first, untyped-as-string, stable on ties). *)
+val eval_sort_key :
+  Context.t -> Context.env -> Context.focus option -> Core_ast.expr ->
+  Xqb_xdm.Atomic.t option
+
+val compare_sort_keys :
+  (Xqb_xdm.Atomic.t option * Xqb_syntax.Ast.sort_dir) list ->
+  (Xqb_xdm.Atomic.t option * Xqb_syntax.Ast.sort_dir) list ->
+  int

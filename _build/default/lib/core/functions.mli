@@ -1,0 +1,29 @@
+(** Builtin function library: the XQuery 1.0 Functions & Operators
+    subset the paper's programs and the XMark workloads exercise, plus
+    internal helpers produced by normalization ("%ddo", "%avt-part" —
+    not reachable from surface syntax). *)
+
+(** Is [name]/[arity] a known builtin? (fn: or no prefix; "xs:T" names
+    the constructor functions.) *)
+val is_builtin : string -> int -> bool
+
+(** All builtin names (diagnostics). *)
+val names : unit -> string list
+
+(** Distinct-document-order on a node value (exposed for the plan
+    executor). *)
+val ddo : Xqb_store.Store.t -> Xqb_xdm.Value.t -> Xqb_xdm.Value.t
+
+(** fn:deep-equal. *)
+val deep_equal : Xqb_store.Store.t -> Xqb_xdm.Value.t -> Xqb_xdm.Value.t -> bool
+
+(** Dispatch a builtin call. The focus carries the context
+    item/position/size for fn:position, fn:last, fn:string()...
+    @raise Xqb_xdm.Errors.Dynamic_error on errors, including unknown
+    name/arity (XPST0017). *)
+val call :
+  Context.t ->
+  Context.focus option ->
+  string ->
+  Xqb_xdm.Value.t list ->
+  Xqb_xdm.Value.t

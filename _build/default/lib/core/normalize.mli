@@ -1,0 +1,43 @@
+(** Normalization of the surface language into the XQuery! core
+    (§3.3). The paper's one non-trivial rule — a deep copy inserted
+    around insert's first argument and replace's second — plus the
+    standard XQuery 1.0 normalizations: FLWOR chains to nested
+    for/let/if, paths to per-context-node iteration with
+    distinct-doc-order, direct constructors to computed constructors,
+    typeswitch to an instance-of cascade, function resolution. *)
+
+exception Static_error of string
+
+type env = {
+  user_fns : (Xqb_xml.Qname.t * int) list;
+  is_builtin : string -> int -> bool;
+}
+
+(** Fresh internal variable ("%base<n>") — cannot collide with surface
+    names, which never contain '%'. *)
+val fresh_var : string -> string
+
+val normalize : env -> Xqb_syntax.Ast.expr -> Core_ast.expr
+
+type func = {
+  fname : Xqb_xml.Qname.t;
+  params : (string * Xqb_syntax.Ast.seq_type option) list;
+  return_type : Xqb_syntax.Ast.seq_type option;
+  body : Core_ast.expr;
+}
+
+type prog = {
+  global_vars : (string * Xqb_syntax.Ast.seq_type option * Core_ast.expr) list;
+  functions : func list;
+  body : Core_ast.expr option;
+}
+
+(** Normalize a parsed program. [extra_fns] contributes
+    already-installed host functions (earlier modules in the same
+    engine). @raise Static_error on unknown functions/arities and
+    duplicate declarations. *)
+val normalize_prog :
+  ?extra_fns:(Xqb_xml.Qname.t * int) list ->
+  is_builtin:(string -> int -> bool) ->
+  Xqb_syntax.Ast.prog ->
+  prog

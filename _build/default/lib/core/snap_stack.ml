@@ -1,0 +1,43 @@
+(* The stack of pending-update lists described in §4.1: "the
+   nondeterministic and conflict-detection semantics ... can be easily
+   implemented using a stack of update lists, where each update list
+   on the stack corresponds to a given snap scope. The invocation of
+   an update operation adds an update in the update list on the top of
+   the stack. When exiting a snap, the top-most delta ... is popped
+   from the stack and applied."
+
+   We use the same stack for the ordered semantics too: each frame
+   keeps its requests in evaluation order (the order the semantic
+   rules of Figs. 2-3 specify), which is exactly ∆ order. *)
+
+type frame = { mutable requests_rev : Update.request list; mode : Apply.mode }
+
+type t = { mutable frames : frame list }
+
+exception No_snap_scope
+
+let create () = { frames = [] }
+
+let depth t = List.length t.frames
+
+let push t mode = t.frames <- { requests_rev = []; mode } :: t.frames
+
+(* Pop the top frame and return its ∆ in order. *)
+let pop t =
+  match t.frames with
+  | [] -> raise No_snap_scope
+  | f :: rest ->
+    t.frames <- rest;
+    (List.rev f.requests_rev, f.mode)
+
+(* Record an update request in the innermost snap scope. Update
+   operations outside any snap are a dynamic error — in practice they
+   cannot occur because the engine wraps the top-level query in an
+   implicit snap (§2.3). *)
+let emit t (r : Update.request) =
+  match t.frames with
+  | [] -> raise No_snap_scope
+  | f :: _ -> f.requests_rev <- r :: f.requests_rev
+
+(* Number of requests pending in the innermost scope (diagnostics). *)
+let pending t = match t.frames with [] -> 0 | f :: _ -> List.length f.requests_rev

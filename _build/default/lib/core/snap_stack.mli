@@ -1,0 +1,27 @@
+(** The stack of pending-update lists of §4.1: one frame per open snap
+    scope; update operators append to the innermost frame; closing a
+    snap pops its frame and applies the ∆. *)
+
+type t
+
+exception No_snap_scope
+
+val create : unit -> t
+
+(** Number of open snap scopes. *)
+val depth : t -> int
+
+(** Open a scope with the given application mode. *)
+val push : t -> Apply.mode -> unit
+
+(** Close the innermost scope: its ∆ (in evaluation order) and mode.
+    @raise No_snap_scope if none is open. *)
+val pop : t -> Update.delta * Apply.mode
+
+(** Record a request in the innermost scope. @raise No_snap_scope
+    outside any snap (cannot happen under the engine's implicit
+    top-level snap, §2.3). *)
+val emit : t -> Update.request -> unit
+
+(** Requests pending in the innermost scope (diagnostics). *)
+val pending : t -> int

@@ -1,0 +1,209 @@
+(* Static analyses over the core language:
+
+   - variable-scope checking (undefined variables are a static error,
+     XPST0008);
+   - the *updating / effecting* classification sketched in §5: "the
+     signature of functions coming from other modules should contain
+     an updating flag, with the 'monadic' rule that a function that
+     calls an updating function is updating as well." We compute it as
+     a fixpoint over the call graph. The three-way classification is
+     what the optimizer's rewrite guards consume (§4.2-4.3):
+
+     Pure      — no update operations, no snap: freely reorderable;
+     Updating  — emits update requests but contains no snap: the store
+                 is untouched during evaluation, so the expression is
+                 still "side-effects free" in the paper's sense and
+                 lazy/algebraic evaluation applies, subject to
+                 cardinality guards;
+     Effecting — contains a snap (or calls a function that does): the
+                 store may change mid-evaluation; evaluation order is
+                 pinned. *)
+
+module C = Core_ast
+module Qname = Xqb_xml.Qname
+
+exception Static_error = Normalize.Static_error
+
+type purity = Pure | Updating | Effecting
+
+let purity_to_string = function
+  | Pure -> "pure"
+  | Updating -> "updating"
+  | Effecting -> "effecting"
+
+let join a b =
+  match a, b with
+  | Effecting, _ | _, Effecting -> Effecting
+  | Updating, _ | _, Updating -> Updating
+  | Pure, Pure -> Pure
+
+(* Purity of an expression, given a classification for user
+   functions. *)
+let rec purity_with lookup (e : C.expr) : purity =
+  let sub = List.fold_left (fun acc e -> join acc (purity_with lookup e)) Pure in
+  match e with
+  | C.Insert _ | C.Delete _ | C.Replace _ | C.Replace_value _ | C.Rename _ ->
+    join Updating (sub (C.sub_exprs e))
+  | C.Snap _ -> Effecting
+  | C.Call_user (f, args) ->
+    join (lookup f (List.length args)) (sub args)
+  | _ -> sub (C.sub_exprs e)
+
+(* Fixpoint classification of the declared functions. *)
+let classify_functions (funcs : Normalize.func list) :
+    (Qname.t * int * purity) list =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Normalize.func) ->
+      Hashtbl.replace tbl
+        (Qname.to_string f.Normalize.fname, List.length f.Normalize.params)
+        Pure)
+    funcs;
+  let lookup f n =
+    match Hashtbl.find_opt tbl (Qname.to_string f, n) with
+    | Some p -> p
+    | None -> Pure  (* unknown functions are assumed pure; builtins are *)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (f : Normalize.func) ->
+        let key = (Qname.to_string f.Normalize.fname, List.length f.Normalize.params) in
+        let old = Hashtbl.find tbl key in
+        let nu = purity_with lookup f.Normalize.body in
+        if nu <> old then begin
+          Hashtbl.replace tbl key nu;
+          changed := true
+        end)
+      funcs
+  done;
+  List.map
+    (fun (f : Normalize.func) ->
+      let n = List.length f.Normalize.params in
+      ( f.Normalize.fname,
+        n,
+        Hashtbl.find tbl (Qname.to_string f.Normalize.fname, n) ))
+    funcs
+
+(* A reusable purity oracle for a program: the function-classification
+   fixpoint runs once, not per query expression. *)
+let purity_oracle (prog : Normalize.prog) : C.expr -> purity =
+  let classified = classify_functions prog.Normalize.functions in
+  let tbl = Hashtbl.create (List.length classified * 2) in
+  List.iter
+    (fun (f, n, p) -> Hashtbl.replace tbl (Qname.to_string f, n) p)
+    classified;
+  let lookup f n =
+    Option.value ~default:Pure (Hashtbl.find_opt tbl (Qname.to_string f, n))
+  in
+  fun e -> purity_with lookup e
+
+(* Purity of an expression in the context of a normalized program. *)
+let purity_in_prog (prog : Normalize.prog) (e : C.expr) : purity =
+  purity_oracle prog e
+
+(* -- Variable scoping ------------------------------------------------ *)
+
+module SSet = Set.Make (String)
+
+(* Free variables of a core expression (used by the optimizer's
+   independence guards, §4.3: "a form of query independence"). *)
+let rec free_vars (e : C.expr) : SSet.t =
+  match e with
+  | C.Var v -> SSet.singleton v
+  | C.For (v, posvar, e1, body) ->
+    let bound = SSet.add v (match posvar with Some p -> SSet.singleton p | None -> SSet.empty) in
+    SSet.union (free_vars e1) (SSet.diff (free_vars body) bound)
+  | C.Let (v, e1, body) | C.Some_sat (v, e1, body) | C.Every_sat (v, e1, body) ->
+    SSet.union (free_vars e1) (SSet.remove v (free_vars body))
+  | C.Sort_flwor (clauses, specs, ret) ->
+    let bound, acc =
+      List.fold_left
+        (fun (bound, acc) c ->
+          match c with
+          | C.S_for (v, posvar, e) ->
+            let acc = SSet.union acc (SSet.diff (free_vars e) bound) in
+            let bound = SSet.add v bound in
+            let bound =
+              match posvar with Some p -> SSet.add p bound | None -> bound
+            in
+            (bound, acc)
+          | C.S_let (v, e) ->
+            let acc = SSet.union acc (SSet.diff (free_vars e) bound) in
+            (SSet.add v bound, acc)
+          | C.S_where e -> (bound, SSet.union acc (SSet.diff (free_vars e) bound)))
+        (SSet.empty, SSet.empty) clauses
+    in
+    let inner =
+      List.fold_left
+        (fun acc (k, _) -> SSet.union acc (free_vars k))
+        (free_vars ret) specs
+    in
+    SSet.union acc (SSet.diff inner bound)
+  | _ ->
+    List.fold_left
+      (fun acc sub -> SSet.union acc (free_vars sub))
+      SSet.empty (C.sub_exprs e)
+
+let is_independent_of e vars =
+  SSet.disjoint (free_vars e) (SSet.of_list vars)
+
+let rec check_scopes (bound : SSet.t) (e : C.expr) : unit =
+  match e with
+  | C.Var v ->
+    if not (SSet.mem v bound) then
+      raise (Static_error (Printf.sprintf "undefined variable $%s" v))
+  | C.For (v, posvar, e1, body) ->
+    check_scopes bound e1;
+    let bound = SSet.add v bound in
+    let bound = match posvar with Some p -> SSet.add p bound | None -> bound in
+    check_scopes bound body
+  | C.Let (v, e1, body) ->
+    check_scopes bound e1;
+    check_scopes (SSet.add v bound) body
+  | C.Some_sat (v, e1, body) | C.Every_sat (v, e1, body) ->
+    check_scopes bound e1;
+    check_scopes (SSet.add v bound) body
+  | C.Sort_flwor (clauses, specs, ret) ->
+    let bound =
+      List.fold_left
+        (fun bound c ->
+          match c with
+          | C.S_for (v, posvar, e) ->
+            check_scopes bound e;
+            let bound = SSet.add v bound in
+            (match posvar with Some p -> SSet.add p bound | None -> bound)
+          | C.S_let (v, e) ->
+            check_scopes bound e;
+            SSet.add v bound
+          | C.S_where e ->
+            check_scopes bound e;
+            bound)
+        bound clauses
+    in
+    List.iter (fun (k, _) -> check_scopes bound k) specs;
+    check_scopes bound ret
+  | _ -> List.iter (check_scopes bound) (C.sub_exprs e)
+
+let check_prog ?(initial = []) (prog : Normalize.prog) =
+  (* Globals are visible to later globals, to all functions and the
+     body; function parameters shadow globals. [initial] holds names
+     bound by the host (e.g. [Engine.bind]). *)
+  let globals =
+    List.fold_left
+      (fun seen (v, _, e) ->
+        check_scopes seen e;
+        SSet.add v seen)
+      (SSet.of_list initial) prog.Normalize.global_vars
+  in
+  List.iter
+    (fun (f : Normalize.func) ->
+      let bound =
+        List.fold_left
+          (fun acc (p, _) -> SSet.add p acc)
+          globals f.Normalize.params
+      in
+      check_scopes bound f.Normalize.body)
+    prog.Normalize.functions;
+  Option.iter (check_scopes globals) prog.Normalize.body

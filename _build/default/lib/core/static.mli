@@ -1,0 +1,52 @@
+(** Static analyses over the core language: variable scoping, free
+    variables, and the §5 pure/updating/effecting classification with
+    its updating-function fixpoint ("a function that calls an updating
+    function is updating as well"). *)
+
+exception Static_error of string
+
+(** The three-way effect classification the optimizer's guards
+    consume (§4.2-4.3). *)
+type purity =
+  | Pure  (** no updates, no snap: freely reorderable *)
+  | Updating
+    (** emits update requests but contains no snap — the store is
+        untouched during evaluation, so lazy/algebraic evaluation
+        still applies subject to cardinality guards *)
+  | Effecting  (** contains a snap: evaluation order is pinned *)
+
+val purity_to_string : purity -> string
+
+(** Least upper bound. *)
+val join : purity -> purity -> purity
+
+(** Purity given a classification oracle for user functions. *)
+val purity_with : (Xqb_xml.Qname.t -> int -> purity) -> Core_ast.expr -> purity
+
+(** Fixpoint classification of a program's functions. *)
+val classify_functions :
+  Normalize.func list -> (Xqb_xml.Qname.t * int * purity) list
+
+(** A reusable purity oracle: the function-classification fixpoint
+    runs once at construction, then each call is a plain traversal. *)
+val purity_oracle : Normalize.prog -> Core_ast.expr -> purity
+
+(** One-shot [purity_oracle] (reclassifies per call — prefer the
+    oracle in loops). *)
+val purity_in_prog : Normalize.prog -> Core_ast.expr -> purity
+
+module SSet : Set.S with type elt = string
+
+(** Free variables (used by the optimizer's independence guards). *)
+val free_vars : Core_ast.expr -> SSet.t
+
+val is_independent_of : Core_ast.expr -> string list -> bool
+
+(** Scope-check an expression given the bound variables.
+    @raise Static_error (XPST0008-style) on an unbound variable. *)
+val check_scopes : SSet.t -> Core_ast.expr -> unit
+
+(** Scope-check a whole program: globals see earlier globals and
+    [initial] (host-bound names); functions see globals and their
+    parameters. *)
+val check_prog : ?initial:string list -> Normalize.prog -> unit

@@ -1,0 +1,99 @@
+(* Dynamic sequence-type matching: [instance of], function parameter
+   and return checks ("as xs:integer" on nextid() in §2.5), and the
+   cast/castable operators. *)
+
+module A = Xqb_syntax.Ast
+module Atomic = Xqb_xdm.Atomic
+module Item = Xqb_xdm.Item
+module Store = Xqb_store.Store
+module Qname = Xqb_xml.Qname
+
+(* Does atomic [a] have (a subtype of) the named atomic type? The
+   numeric tower is integer <: decimal; all types <: anyAtomicType. *)
+let atomic_matches (a : Atomic.t) (q : Qname.t) =
+  let name = Qname.to_string q in
+  match name, a with
+  | "xs:anyAtomicType", _ -> true
+  | "xs:integer", Atomic.Integer _ -> true
+  | ("xs:decimal" | "xs:numeric"), (Atomic.Integer _ | Atomic.Decimal _) -> true
+  | "xs:numeric", Atomic.Double _ -> true
+  | "xs:double", Atomic.Double _ -> true
+  | "xs:float", Atomic.Double _ -> true
+  | "xs:string", Atomic.String _ -> true
+  | "xs:boolean", Atomic.Boolean _ -> true
+  | "xs:untypedAtomic", Atomic.Untyped _ -> true
+  | "xs:QName", Atomic.QName _ -> true
+  | _ -> false
+
+let item_matches store (it : A.item_type) (i : Item.t) =
+  match it, i with
+  | A.It_item, _ -> true
+  | A.It_atomic q, Item.Atomic a -> atomic_matches a q
+  | A.It_atomic _, Item.Node _ -> false
+  | _, Item.Atomic _ -> false
+  | A.It_node, Item.Node _ -> true
+  | A.It_element None, Item.Node n -> Store.kind store n = Store.Element
+  | A.It_element (Some q), Item.Node n ->
+    Store.kind store n = Store.Element
+    && (match Store.name store n with
+       | Some nm -> Qname.equal nm q
+       | None -> false)
+  | A.It_attribute None, Item.Node n -> Store.kind store n = Store.Attribute
+  | A.It_attribute (Some q), Item.Node n ->
+    Store.kind store n = Store.Attribute
+    && (match Store.name store n with
+       | Some nm -> Qname.equal nm q
+       | None -> false)
+  | A.It_text, Item.Node n -> Store.kind store n = Store.Text
+  | A.It_comment, Item.Node n -> Store.kind store n = Store.Comment
+  | A.It_pi, Item.Node n -> Store.kind store n = Store.Pi
+  | A.It_document, Item.Node n -> Store.kind store n = Store.Document
+
+let matches store (st : A.seq_type) (v : Xqb_xdm.Value.t) =
+  match st with
+  | A.St_empty -> v = []
+  | A.St (it, occ) -> (
+    let ok_items = List.for_all (item_matches store it) v in
+    ok_items
+    &&
+    match occ, v with
+    | A.Occ_one, [ _ ] -> true
+    | A.Occ_one, _ -> false
+    | A.Occ_opt, ([] | [ _ ]) -> true
+    | A.Occ_opt, _ -> false
+    | A.Occ_star, _ -> true
+    | A.Occ_plus, _ :: _ -> true
+    | A.Occ_plus, [] -> false)
+
+(* [cast as] on a single atomic value. *)
+let cast_atomic (a : Atomic.t) (q : Qname.t) : Atomic.t =
+  match Qname.to_string q with
+  | "xs:integer" -> Atomic.Integer (Atomic.to_integer a)
+  | "xs:decimal" -> Atomic.Decimal (Atomic.to_double a)
+  | "xs:double" | "xs:float" -> Atomic.Double (Atomic.to_double a)
+  | "xs:string" -> Atomic.String (Atomic.to_string a)
+  | "xs:boolean" -> Atomic.Boolean (Atomic.to_boolean a)
+  | "xs:untypedAtomic" -> Atomic.Untyped (Atomic.to_string a)
+  | "xs:QName" -> (
+    match a with
+    | Atomic.QName _ -> a
+    | Atomic.String s | Atomic.Untyped s ->
+      let q = Qname.of_string s in
+      if not (Qname.valid q) then
+        Xqb_xdm.Errors.value_error "cannot cast %S to xs:QName" s;
+      Atomic.QName q
+    | _ ->
+      Xqb_xdm.Errors.type_error "cannot cast %s to xs:QName" (Atomic.type_name a))
+  | t -> Xqb_xdm.Errors.type_error "unknown cast target %s" t
+
+let cast store (it : A.item_type) (v : Xqb_xdm.Value.t) : Xqb_xdm.Value.t =
+  match it with
+  | A.It_atomic q -> (
+    match v with
+    | [] -> Xqb_xdm.Errors.type_error "cast of the empty sequence"
+    | [ i ] -> [ Item.Atomic (cast_atomic (Item.atomize store i) q) ]
+    | _ -> Xqb_xdm.Errors.type_error "cast of a sequence of more than one item")
+  | _ -> Xqb_xdm.Errors.type_error "cast target must be an atomic type"
+
+let castable store it v =
+  match cast store it v with _ -> true | exception _ -> false

@@ -1,0 +1,25 @@
+(** Dynamic sequence-type matching: [instance of], [treat as],
+    function signatures ("as xs:integer" on nextid() in §2.5), and the
+    cast/castable operators. *)
+
+(** Atomic-type subsumption: integer <: decimal; everything
+    <: xs:anyAtomicType; untypedAtomic only matches itself. *)
+val atomic_matches : Xqb_xdm.Atomic.t -> Xqb_xml.Qname.t -> bool
+
+val item_matches :
+  Xqb_store.Store.t -> Xqb_syntax.Ast.item_type -> Xqb_xdm.Item.t -> bool
+
+(** Does the value match the sequence type (item type + occurrence)? *)
+val matches : Xqb_store.Store.t -> Xqb_syntax.Ast.seq_type -> Xqb_xdm.Value.t -> bool
+
+(** [cast as] on a single atomic value.
+    @raise Xqb_xdm.Errors.Dynamic_error on failure. *)
+val cast_atomic : Xqb_xdm.Atomic.t -> Xqb_xml.Qname.t -> Xqb_xdm.Atomic.t
+
+(** [cast as] on a value: atomize a singleton, cast it. Errors on
+    empty or plural input and on non-atomic target types. *)
+val cast :
+  Xqb_store.Store.t -> Xqb_syntax.Ast.item_type -> Xqb_xdm.Value.t -> Xqb_xdm.Value.t
+
+(** Would {!cast} succeed? *)
+val castable : Xqb_store.Store.t -> Xqb_syntax.Ast.item_type -> Xqb_xdm.Value.t -> bool

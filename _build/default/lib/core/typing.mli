@@ -1,0 +1,64 @@
+(** A lightweight static type system — the paper's open "static
+    typing" issue, implemented as far as is useful without schema
+    import: sound sequence-type inference (item-kind x occurrence
+    lattices) plus advisory warnings for expressions whose type proves
+    a dynamic error. Warnings never block execution. *)
+
+type atomic_kind =
+  | K_integer
+  | K_decimal
+  | K_double
+  | K_numeric  (** any numeric *)
+  | K_string
+  | K_boolean
+  | K_untyped
+  | K_qname
+  | K_any_atomic
+
+type item_ty =
+  | T_atomic of atomic_kind
+  | T_element
+  | T_attribute
+  | T_text
+  | T_comment
+  | T_pi
+  | T_document
+  | T_node  (** any node kind *)
+  | T_item  (** anything *)
+
+(** How many items the value may contain ([O_zero] = provably empty). *)
+type occ = O_zero | O_one | O_opt | O_star | O_plus
+
+type t = { item : item_ty; occ : occ }
+
+val empty_ty : t
+
+(** The top type, [item()*]. *)
+val item_star : t
+
+val to_string : t -> string
+val item_ty_to_string : item_ty -> string
+
+(** Least upper bounds. *)
+val join : t -> t -> t
+
+(** Type of a sequence concatenation / of an iteration body. *)
+val concat : t -> t -> t
+
+(** Translate a declared sequence type. *)
+val of_seq_type : Xqb_syntax.Ast.seq_type -> t
+
+(** Can a value of the inferred type never match the declared type?
+    (Conservative: [false] when unsure.) *)
+val disjoint_with_declared : t -> t -> bool
+
+module SMap : Map.S with type key = string
+
+(** Infer a whole program; returns the advisory warnings (empty = no
+    definite problems found). Parameter/return annotations seed the
+    environment; unannotated positions default to [item()*]. *)
+val check_prog : Normalize.prog -> string list
+
+(** Infer one expression under optional variable types; returns the
+    type and any warnings. *)
+val infer_expr : ?vars:t SMap.t -> Core_ast.expr -> t * string list

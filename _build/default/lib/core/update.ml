@@ -1,0 +1,99 @@
+(* Update requests and pending-update lists (∆) — §3.2.
+
+   An update request is a tuple "opname(par1, ..., parn)"; its
+   application is a partial function from stores to stores (the
+   preconditions are enforced by [Xqb_store.Store]). A ∆ is an
+   *ordered* list of requests; the order is fully specified by the
+   language semantics, and whether application honors it depends on
+   the snap mode ([Apply]).
+
+   Note on insert positions: the paper's worked example in §3.4
+   (snap ordered { insert <a/>; snap { insert <b/> }; insert <c/> }
+   yielding b,a,c) requires "into" to mean *as last at application
+   time*: the inner snap's <b/> lands before the outer <a/> only if
+   the outer inserts resolve "last" when the outer ∆ is applied, not
+   when the insert expression is evaluated. The appendix's
+   "last child otherwise self" judgement resolves the anchor at
+   evaluation time, which would yield a,b,c instead. We follow the
+   worked example (and the later XQuery Update Facility), keeping
+   First/Last symbolic and Before/After anchored on nodes. *)
+
+type position =
+  | First
+  | Last
+  | Before of Xqb_store.Store.node_id
+  | After of Xqb_store.Store.node_id
+
+type request =
+  | Insert of {
+      nodes : Xqb_store.Store.node_id list;
+      parent : Xqb_store.Store.node_id;
+      position : position;
+    }
+  | Delete of Xqb_store.Store.node_id
+  | Rename of Xqb_store.Store.node_id * Xqb_xml.Qname.t
+  | Set_value of Xqb_store.Store.node_id * string
+    (* XQUF "replace value of node": for text/comment/PI/attribute
+       nodes set the content; for elements/documents replace all
+       children by one text node with the given value *)
+
+(* ∆: most-recent request last. Represented as a reversed list inside
+   accumulation frames (see [Snap_stack]) and materialized in order
+   here. *)
+type delta = request list
+
+let position_to_string = function
+  | First -> "first"
+  | Last -> "last"
+  | Before n -> Printf.sprintf "before(%d)" n
+  | After n -> Printf.sprintf "after(%d)" n
+
+let request_to_string = function
+  | Insert { nodes; parent; position } ->
+    Printf.sprintf "insert([%s], %d, %s)"
+      (String.concat ";" (List.map string_of_int nodes))
+      parent
+      (position_to_string position)
+  | Delete n -> Printf.sprintf "delete(%d)" n
+  | Rename (n, q) -> Printf.sprintf "rename(%d, %s)" n (Xqb_xml.Qname.to_string q)
+  | Set_value (n, s) -> Printf.sprintf "set-value(%d, %S)" n s
+
+let delta_to_string d = String.concat ", " (List.map request_to_string d)
+
+(* Apply one request to the store. Partial: raises
+   [Xqb_store.Store.Update_error] when a precondition fails. *)
+let apply_request store (r : request) =
+  match r with
+  | Insert { nodes; parent; position } -> (
+    match position with
+    | First -> Xqb_store.Store.insert store ~parent ~position:Xqb_store.Store.First nodes
+    | Last -> Xqb_store.Store.insert store ~parent ~position:Xqb_store.Store.Last nodes
+    | After anchor ->
+      Xqb_store.Store.insert store ~parent ~position:(Xqb_store.Store.After anchor) nodes
+    | Before anchor ->
+      (* before(x) = after the preceding sibling of x, or first *)
+      let a = Xqb_store.Store.get store anchor in
+      if a.Xqb_store.Store.parent <> Some parent then
+        raise
+          (Xqb_store.Store.Update_error
+             "insertion anchor is not a child of the target parent");
+      if a.Xqb_store.Store.pos = 0 then
+        Xqb_store.Store.insert store ~parent ~position:Xqb_store.Store.First nodes
+      else
+        let prev =
+          Xqb_store.Store.nth_child store parent (a.Xqb_store.Store.pos - 1)
+        in
+        Xqb_store.Store.insert store ~parent ~position:(Xqb_store.Store.After prev)
+          nodes)
+  | Delete n -> Xqb_store.Store.detach store n
+  | Rename (n, q) -> Xqb_store.Store.rename store n q
+  | Set_value (n, s) -> (
+    match Xqb_store.Store.kind store n with
+    | Xqb_store.Store.Text | Xqb_store.Store.Comment | Xqb_store.Store.Pi
+    | Xqb_store.Store.Attribute ->
+      Xqb_store.Store.set_content store n s
+    | Xqb_store.Store.Element | Xqb_store.Store.Document ->
+      List.iter (Xqb_store.Store.detach store) (Xqb_store.Store.children store n);
+      if s <> "" then
+        Xqb_store.Store.insert store ~parent:n ~position:Xqb_store.Store.Last
+          [ Xqb_store.Store.make_text store s ])

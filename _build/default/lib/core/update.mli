@@ -1,0 +1,42 @@
+(** Update requests and pending-update lists (∆) — §3.2.
+
+    An update request is the tuple "opname(par1, ..., parn)" of the
+    paper; its application is a partial function on stores. A ∆ is an
+    ordered list of requests, collected during evaluation inside a
+    snap scope and applied when the scope closes ({!Apply}).
+
+    Insert positions: [First]/[Last] are kept symbolic and resolved at
+    {e application} time; [Before]/[After] anchor on nodes. This
+    follows the paper's §3.4 worked example (and the later XQuery
+    Update Facility) rather than the appendix's evaluation-time
+    "last child otherwise self" resolution — the two are inconsistent
+    in the paper; see EXPERIMENTS.md "Deviations". *)
+
+type position =
+  | First
+  | Last
+  | Before of Xqb_store.Store.node_id
+  | After of Xqb_store.Store.node_id
+
+type request =
+  | Insert of {
+      nodes : Xqb_store.Store.node_id list;
+      parent : Xqb_store.Store.node_id;
+      position : position;
+    }
+  | Delete of Xqb_store.Store.node_id  (** detach, §3.1 *)
+  | Rename of Xqb_store.Store.node_id * Xqb_xml.Qname.t
+  | Set_value of Xqb_store.Store.node_id * string
+      (** XQUF "replace value of node": content for
+          text/comment/PI/attribute nodes; for elements/documents all
+          children are replaced by one text node *)
+
+type delta = request list
+
+val position_to_string : position -> string
+val request_to_string : request -> string
+val delta_to_string : delta -> string
+
+(** Apply one request. Partial: @raise Xqb_store.Store.Update_error
+    when a precondition fails. *)
+val apply_request : Xqb_store.Store.t -> request -> unit

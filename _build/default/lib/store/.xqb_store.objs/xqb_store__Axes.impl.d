@@ -1,0 +1,1 @@
+lib/store/axes.ml: List Printf Store String Vec Xqb_xml

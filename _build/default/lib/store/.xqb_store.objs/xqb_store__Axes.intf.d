@@ -1,0 +1,1 @@
+lib/store/axes.mli: Store Xqb_xml

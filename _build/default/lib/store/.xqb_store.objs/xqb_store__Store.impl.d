@@ -1,0 +1,1 @@
+lib/store/store.ml: Array Buffer Format Hashtbl List Option Printf Vec Xqb_xml

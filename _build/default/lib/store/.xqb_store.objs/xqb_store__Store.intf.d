@@ -1,0 +1,1 @@
+lib/store/store.mli: Vec Xqb_xml

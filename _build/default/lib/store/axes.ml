@@ -1,0 +1,191 @@
+(* XPath axes over the store. Every axis returns nodes already in the
+   axis' natural order (document order for forward axes, reverse
+   document order for reverse axes); the evaluator still applies
+   distinct-doc-order at step boundaries as XQuery requires. *)
+
+type axis =
+  | Child
+  | Descendant
+  | Descendant_or_self
+  | Attribute
+  | Self
+  | Parent
+  | Ancestor
+  | Ancestor_or_self
+  | Following_sibling
+  | Preceding_sibling
+  | Following
+  | Preceding
+
+let axis_to_string = function
+  | Child -> "child"
+  | Descendant -> "descendant"
+  | Descendant_or_self -> "descendant-or-self"
+  | Attribute -> "attribute"
+  | Self -> "self"
+  | Parent -> "parent"
+  | Ancestor -> "ancestor"
+  | Ancestor_or_self -> "ancestor-or-self"
+  | Following_sibling -> "following-sibling"
+  | Preceding_sibling -> "preceding-sibling"
+  | Following -> "following"
+  | Preceding -> "preceding"
+
+let is_reverse = function
+  | Parent | Ancestor | Ancestor_or_self | Preceding_sibling | Preceding -> true
+  | Child | Descendant | Descendant_or_self | Attribute | Self
+  | Following_sibling | Following -> false
+
+(* Node tests. [Name] matches elements on non-attribute axes and
+   attributes on the attribute axis, per XPath's principal node kind. *)
+type node_test =
+  | Name of Xqb_xml.Qname.t
+  | Wildcard  (* '*' *)
+  | Kind_node  (* node() *)
+  | Kind_text
+  | Kind_element of Xqb_xml.Qname.t option  (* element() / element(n) *)
+  | Kind_attribute of Xqb_xml.Qname.t option
+  | Kind_comment
+  | Kind_pi of string option
+  | Kind_document
+
+let node_test_to_string = function
+  | Name q -> Xqb_xml.Qname.to_string q
+  | Wildcard -> "*"
+  | Kind_node -> "node()"
+  | Kind_text -> "text()"
+  | Kind_element None -> "element()"
+  | Kind_element (Some q) -> Printf.sprintf "element(%s)" (Xqb_xml.Qname.to_string q)
+  | Kind_attribute None -> "attribute()"
+  | Kind_attribute (Some q) -> Printf.sprintf "attribute(%s)" (Xqb_xml.Qname.to_string q)
+  | Kind_comment -> "comment()"
+  | Kind_pi None -> "processing-instruction()"
+  | Kind_pi (Some t) -> Printf.sprintf "processing-instruction(%s)" t
+  | Kind_document -> "document-node()"
+
+let principal_kind = function
+  | Attribute -> Store.Attribute
+  | Child | Descendant | Descendant_or_self | Self | Parent | Ancestor
+  | Ancestor_or_self | Following_sibling | Preceding_sibling | Following
+  | Preceding -> Store.Element
+
+let name_matches qn = function
+  | Some n -> Xqb_xml.Qname.equal qn n
+  | None -> false
+
+let test_matches store axis test id =
+  let k = Store.kind store id in
+  match test with
+  | Name qn -> k = principal_kind axis && name_matches qn (Store.name store id)
+  | Wildcard -> k = principal_kind axis
+  | Kind_node -> true
+  | Kind_text -> k = Store.Text
+  | Kind_element None -> k = Store.Element
+  | Kind_element (Some qn) -> k = Store.Element && name_matches qn (Store.name store id)
+  | Kind_attribute None -> k = Store.Attribute
+  | Kind_attribute (Some qn) ->
+    k = Store.Attribute && name_matches qn (Store.name store id)
+  | Kind_comment -> k = Store.Comment
+  | Kind_pi None -> k = Store.Pi
+  | Kind_pi (Some t) ->
+    k = Store.Pi
+    && (match Store.name store id with
+       | Some q -> String.equal (Xqb_xml.Qname.to_string q) t
+       | None -> false)
+  | Kind_document -> k = Store.Document
+
+(* All descendants of [id] in document order (excluding attributes). *)
+let rec add_descendants store acc id =
+  List.fold_left
+    (fun acc c -> add_descendants store (c :: acc) c)
+    acc (Store.children store id)
+
+let descendants store id = List.rev (add_descendants store [] id)
+
+let ancestors store id =
+  let rec up acc id =
+    match Store.parent store id with None -> acc | Some p -> up (p :: acc) p
+  in
+  List.rev (up [] id)  (* nearest ancestor first (reverse doc order) *)
+
+let siblings_after store id =
+  match Store.parent store id with
+  | None -> []
+  | Some p ->
+    if Store.kind store id = Store.Attribute then []
+    else begin
+      let n = Store.get store id in
+      let cs = Store.get store p in
+      let out = ref [] in
+      for i = Vec.length cs.children - 1 downto n.pos + 1 do
+        out := Vec.get cs.children i :: !out
+      done;
+      !out
+    end
+
+let siblings_before store id =
+  match Store.parent store id with
+  | None -> []
+  | Some p ->
+    if Store.kind store id = Store.Attribute then []
+    else begin
+      let n = Store.get store id in
+      let cs = Store.get store p in
+      let out = ref [] in
+      for i = 0 to n.pos - 1 do
+        out := Vec.get cs.children i :: !out
+      done;
+      !out  (* nearest sibling first: reverse document order *)
+    end
+
+(* Nodes strictly after [id] in document order, excluding descendants
+   and attributes (the XPath [following] axis): the following siblings
+   of [id] with their subtrees, then those of its parent, and so on. *)
+let following store id =
+  let rec up id =
+    let here =
+      List.concat_map
+        (fun s -> s :: descendants store s)
+        (siblings_after store id)
+    in
+    match Store.parent store id with None -> here | Some p -> here @ up p
+  in
+  up id
+
+let preceding store id =
+  (* Nodes strictly before [id], excluding ancestors and attributes,
+     in reverse document order. *)
+  let ancs = ancestors store id in
+  let is_anc x = List.mem x ancs in
+  let rec up acc id =
+    let acc =
+      List.fold_left
+        (fun acc s ->
+          if is_anc s then acc else List.rev_append (descendants store s) (s :: acc))
+        acc
+        (List.rev (siblings_before store id))
+      (* siblings_before is nearest-first; List.rev gives doc order;
+         we accumulate reversed so nearest material ends up first. *)
+    in
+    match Store.parent store id with None -> acc | Some p -> up acc p
+  in
+  up [] id
+
+let apply store axis id =
+  match axis with
+  | Child -> Store.children store id
+  | Attribute -> Store.attributes store id
+  | Self -> [ id ]
+  | Parent -> (match Store.parent store id with None -> [] | Some p -> [ p ])
+  | Descendant -> descendants store id
+  | Descendant_or_self -> id :: descendants store id
+  | Ancestor -> ancestors store id
+  | Ancestor_or_self -> id :: ancestors store id
+  | Following_sibling -> siblings_after store id
+  | Preceding_sibling -> siblings_before store id
+  | Following -> following store id
+  | Preceding -> preceding store id
+
+(* One full step: axis + node test from a single context node. *)
+let step store axis test id =
+  List.filter (test_matches store axis test) (apply store axis id)

@@ -1,0 +1,673 @@
+(* The XDM store of §3.2: for each node id, its kind, parent, name and
+   content, plus the accessors and constructors corresponding to the
+   XDM. The store is mutable; the formal semantics' store-threading is
+   realized by in-place mutation under the evaluator's defined
+   left-to-right evaluation order.
+
+   Delete follows the paper's *detach* semantics: nodes are never
+   erased, only disconnected from their parent; a detached subtree
+   remains queryable and re-insertable (§3.1).
+
+   Each node caches its index within its parent ([pos]); insert/detach
+   maintain it, which makes document-order comparison O(depth) and
+   keeps E1's complexity claims honest (no hidden linear scans). *)
+
+type node_id = int
+
+type kind = Document | Element | Attribute | Text | Comment | Pi
+
+let kind_to_string = function
+  | Document -> "document"
+  | Element -> "element"
+  | Attribute -> "attribute"
+  | Text -> "text"
+  | Comment -> "comment"
+  | Pi -> "processing-instruction"
+
+type node = {
+  id : node_id;
+  mutable kind : kind;
+  mutable name : Xqb_xml.Qname.t option;
+  mutable content : string;  (* text/comment/pi content, attribute value *)
+  mutable parent : node_id option;
+  mutable pos : int;  (* index within parent's children or attributes *)
+  children : Vec.t;
+  attributes : Vec.t;
+}
+
+type journal_entry =
+  | J_child_inserted of node_id * node_id  (* parent, child *)
+  | J_attr_inserted of node_id * node_id
+  | J_detached_child of node_id * node_id * int  (* child, parent, index *)
+  | J_detached_attr of node_id * node_id * int
+  | J_renamed of node_id * Xqb_xml.Qname.t option
+  | J_content of node_id * string
+
+type t = {
+  mutable tbl : node array;
+  mutable next_id : int;
+  mutable journal : journal_entry list;
+  mutable journal_on : bool;
+  mutable mutations : int;  (* statistics: store-changing operations *)
+  (* element-name index: (root, version, name) -> descendants in doc
+     order, built lazily per parentless root. Invalidation is
+     *per-root*: every mutation bumps the version of the root above
+     the touched node, so writes to one tree (a log) never evict
+     another tree's index (the auction document) — see bench E13.
+     Stale generations linger until the size-triggered reset. *)
+  mutable index_enabled : bool;
+  name_index : (node_id * int * string, node_id list) Hashtbl.t;
+  indexed_roots : (node_id * int, unit) Hashtbl.t;
+  root_versions : (node_id, int) Hashtbl.t;
+  (* attribute-value key index: (root, version, elem, attr) -> value
+     -> nodes; same policy *)
+  key_index :
+    (node_id * int * string * string, (string, node_id list) Hashtbl.t) Hashtbl.t;
+}
+
+exception Update_error of string
+
+let update_error fmt = Format.kasprintf (fun s -> raise (Update_error s)) fmt
+
+let dummy_node =
+  { id = -1; kind = Text; name = None; content = ""; parent = None; pos = 0;
+    children = Vec.create (); attributes = Vec.create () }
+
+let create () =
+  { tbl = Array.make 64 dummy_node; next_id = 0; journal = []; journal_on = false;
+    mutations = 0; index_enabled = true; name_index = Hashtbl.create 64;
+    indexed_roots = Hashtbl.create 8; root_versions = Hashtbl.create 8;
+    key_index = Hashtbl.create 16 }
+
+let set_indexing store b = store.index_enabled <- b
+
+let root_version store root =
+  Option.value ~default:0 (Hashtbl.find_opt store.root_versions root)
+
+let node_count store = store.next_id
+
+let mutation_count store = store.mutations
+
+let get store id =
+  if id < 0 || id >= store.next_id then invalid_arg "Store.get: bad node id";
+  store.tbl.(id)
+
+let alloc store kind name content =
+  if store.next_id >= Array.length store.tbl then begin
+    let tbl = Array.make (2 * Array.length store.tbl) dummy_node in
+    Array.blit store.tbl 0 tbl 0 store.next_id;
+    store.tbl <- tbl
+  end;
+  let n =
+    { id = store.next_id; kind; name; content; parent = None; pos = 0;
+      children = Vec.create (); attributes = Vec.create () }
+  in
+  store.tbl.(store.next_id) <- n;
+  store.next_id <- store.next_id + 1;
+  n.id
+
+(* -- Constructors ------------------------------------------------- *)
+
+let make_document store = alloc store Document None ""
+let make_element store name = alloc store Element (Some name) ""
+let make_text store content = alloc store Text None content
+let make_comment store content = alloc store Comment None content
+let make_pi store target content = alloc store Pi (Some (Xqb_xml.Qname.make target)) content
+
+let make_attribute store name value = alloc store Attribute (Some name) value
+
+(* -- Accessors ---------------------------------------------------- *)
+
+let kind store id = (get store id).kind
+let name store id = (get store id).name
+let content store id = (get store id).content
+let parent store id = (get store id).parent
+let children store id = Vec.to_list (get store id).children
+let attributes store id = Vec.to_list (get store id).attributes
+let child_count store id = Vec.length (get store id).children
+let attribute_count store id = Vec.length (get store id).attributes
+let nth_child store id i = Vec.get (get store id).children i
+
+let node_name store id =
+  match (get store id).name with
+  | Some n -> Some n
+  | None -> None
+
+let rec string_value store id =
+  let n = get store id in
+  match n.kind with
+  | Text | Comment | Pi | Attribute -> n.content
+  | Element | Document ->
+    let buf = Buffer.create 16 in
+    add_text_descendants store buf id;
+    Buffer.contents buf
+
+and add_text_descendants store buf id =
+  let n = get store id in
+  match n.kind with
+  | Text -> Buffer.add_string buf n.content
+  | Element | Document ->
+    Vec.iter (fun c -> add_text_descendants store buf c) n.children
+  | Attribute | Comment | Pi -> ()
+
+let is_ancestor store ~ancestor id =
+  let rec up id =
+    match (get store id).parent with
+    | None -> false
+    | Some p -> p = ancestor || up p
+  in
+  up id
+
+let root store id =
+  let rec up id =
+    match (get store id).parent with None -> id | Some p -> up p
+  in
+  up id
+
+(* Invalidate the index generation of the tree containing [id]
+   (bump the version of its root). O(depth). Runs even while indexing
+   is disabled, so caches built before a disable/enable cycle can
+   never be served stale. *)
+let bump_index store id =
+  let r = root store id in
+  Hashtbl.replace store.root_versions r
+    (Option.value ~default:0 (Hashtbl.find_opt store.root_versions r) + 1)
+
+(* -- Journal ------------------------------------------------------ *)
+
+let record store e = if store.journal_on then store.journal <- e :: store.journal
+
+let undo store e =
+  (match e with
+  | J_child_inserted (parent, _)
+  | J_attr_inserted (parent, _)
+  | J_detached_child (_, parent, _)
+  | J_detached_attr (_, parent, _) ->
+    bump_index store parent
+  | J_renamed (id, _) | J_content (id, _) -> bump_index store id);
+  match e with
+  | J_child_inserted (parent, child) ->
+    let p = get store parent in
+    let c = get store child in
+    Vec.remove_at p.children c.pos;
+    for i = c.pos to Vec.length p.children - 1 do
+      (get store (Vec.get p.children i)).pos <- i
+    done;
+    c.parent <- None;
+    c.pos <- 0
+  | J_attr_inserted (parent, attr) ->
+    let p = get store parent in
+    let a = get store attr in
+    Vec.remove_at p.attributes a.pos;
+    for i = a.pos to Vec.length p.attributes - 1 do
+      (get store (Vec.get p.attributes i)).pos <- i
+    done;
+    a.parent <- None;
+    a.pos <- 0
+  | J_detached_child (child, parent, idx) ->
+    let p = get store parent in
+    let c = get store child in
+    Vec.insert p.children idx child;
+    c.parent <- Some parent;
+    for i = idx to Vec.length p.children - 1 do
+      (get store (Vec.get p.children i)).pos <- i
+    done
+  | J_detached_attr (attr, parent, idx) ->
+    let p = get store parent in
+    let a = get store attr in
+    Vec.insert p.attributes idx attr;
+    a.parent <- Some parent;
+    for i = idx to Vec.length p.attributes - 1 do
+      (get store (Vec.get p.attributes i)).pos <- i
+    done
+  | J_renamed (id, old) -> (get store id).name <- old
+  | J_content (id, old) -> (get store id).content <- old
+
+(* Run [f ()]; if it raises, undo every store mutation it performed
+   and re-raise. Used by snap application so a failing update list
+   (precondition violation, detected conflict) leaves the store
+   unchanged — the paper's "update application fails" is atomic here.
+   Transactions nest by saving the enclosing journal. *)
+let transactionally store f =
+  let saved_journal = store.journal and saved_on = store.journal_on in
+  store.journal <- [];
+  store.journal_on <- true;
+  match f () with
+  | v ->
+    (* Commit: fold our entries into the enclosing journal (if any) so
+       an outer transaction can still undo them. *)
+    store.journal_on <- saved_on;
+    store.journal <- (if saved_on then store.journal @ saved_journal else saved_journal);
+    v
+  | exception e ->
+    let mine = store.journal in
+    List.iter (undo store) mine;
+    store.journal <- saved_journal;
+    store.journal_on <- saved_on;
+    raise e
+
+(* -- Mutations ---------------------------------------------------- *)
+
+let rename store id new_name =
+  let n = get store id in
+  (match n.kind with
+  | Element | Attribute | Pi -> ()
+  | Document | Text | Comment ->
+    update_error "cannot rename a %s node" (kind_to_string n.kind));
+  record store (J_renamed (id, n.name));
+  bump_index store id;
+  n.name <- Some new_name;
+  store.mutations <- store.mutations + 1
+
+let set_content store id s =
+  let n = get store id in
+  (match n.kind with
+  | Text | Comment | Pi | Attribute -> ()
+  | Document | Element ->
+    update_error "cannot set content of a %s node" (kind_to_string n.kind));
+  record store (J_content (id, n.content));
+  bump_index store id;
+  n.content <- s;
+  store.mutations <- store.mutations + 1
+
+(* Detach [id] from its parent (the paper's delete). Detaching an
+   already parentless node is a no-op, matching the partial-function
+   reading: the request "delete n" asks that n have no parent. *)
+let detach store id =
+  let n = get store id in
+  match n.parent with
+  | None -> ()
+  | Some pid ->
+    bump_index store pid;  (* before the detach changes the root chain *)
+    let p = get store pid in
+    let vec = if n.kind = Attribute then p.attributes else p.children in
+    let idx = n.pos in
+    if idx >= Vec.length vec || Vec.get vec idx <> id then
+      invalid_arg "Store.detach: corrupted position cache";
+    Vec.remove_at vec idx;
+    for i = idx to Vec.length vec - 1 do
+      (get store (Vec.get vec i)).pos <- i
+    done;
+    record store
+      (if n.kind = Attribute then J_detached_attr (id, pid, idx)
+       else J_detached_child (id, pid, idx));
+    n.parent <- None;
+    n.pos <- 0;
+    store.mutations <- store.mutations + 1
+
+type insert_position = First | Last | After of node_id
+
+(* Insert [nodes] under [parent]. Attribute nodes go to the attribute
+   list (appended); other nodes are spliced into the child list at
+   [position]. Preconditions (§3.2): every inserted node must be
+   parentless; an [After n] position must denote a child of [parent];
+   the parent must accept the node kind; no cycles. *)
+let insert store ~parent:pid ~position nodes =
+  let p = get store pid in
+  (match p.kind with
+  | Element | Document -> ()
+  | Attribute | Text | Comment | Pi ->
+    update_error "cannot insert into a %s node" (kind_to_string p.kind));
+  (* Validate all preconditions before mutating anything. *)
+  List.iter
+    (fun nid ->
+      let n = get store nid in
+      (match n.parent with
+      | Some _ -> update_error "inserted node %d already has a parent" nid
+      | None -> ());
+      (match n.kind with
+      | Document -> update_error "cannot insert a document node"
+      | Attribute ->
+        if p.kind <> Element then
+          update_error "attributes can only be inserted into elements";
+        (match n.name with
+        | Some an ->
+          if
+            Vec.exists
+              (fun aid ->
+                match (get store aid).name with
+                | Some bn -> Xqb_xml.Qname.equal an bn
+                | None -> false)
+              p.attributes
+          then update_error "duplicate attribute %s" (Xqb_xml.Qname.to_string an)
+        | None -> ())
+      | Element | Text | Comment | Pi -> ());
+      if nid = pid || is_ancestor store ~ancestor:nid pid then
+        update_error "insertion would create a cycle")
+    nodes;
+  bump_index store pid;
+  let base_idx =
+    match position with
+    | First -> 0
+    | Last -> Vec.length p.children
+    | After anchor ->
+      let a = get store anchor in
+      if a.parent <> Some pid || a.kind = Attribute then
+        update_error "insertion anchor is not a child of the target parent";
+      a.pos + 1
+  in
+  let inserted_children = ref 0 in
+  List.iter
+    (fun nid ->
+      let n = get store nid in
+      if n.kind = Attribute then begin
+        Vec.push p.attributes nid;
+        n.parent <- Some pid;
+        n.pos <- Vec.length p.attributes - 1;
+        record store (J_attr_inserted (pid, nid))
+      end
+      else begin
+        let idx = base_idx + !inserted_children in
+        Vec.insert p.children idx nid;
+        n.parent <- Some pid;
+        incr inserted_children;
+        for i = idx to Vec.length p.children - 1 do
+          (get store (Vec.get p.children i)).pos <- i
+        done;
+        record store (J_child_inserted (pid, nid))
+      end;
+      store.mutations <- store.mutations + 1)
+    nodes
+
+(* -- Deep copy (the [copy { e }] operator's data-model half) ------- *)
+
+let rec deep_copy store id =
+  let n = get store id in
+  let fresh =
+    alloc store n.kind n.name n.content
+  in
+  let f = get store fresh in
+  Vec.iter
+    (fun aid ->
+      let c = deep_copy store aid in
+      Vec.push f.attributes c;
+      (get store c).parent <- Some fresh;
+      (get store c).pos <- Vec.length f.attributes - 1)
+    n.attributes;
+  Vec.iter
+    (fun cid ->
+      let c = deep_copy store cid in
+      Vec.push f.children c;
+      (get store c).parent <- Some fresh;
+      (get store c).pos <- Vec.length f.children - 1)
+    n.children;
+  fresh
+
+(* -- Document order ----------------------------------------------- *)
+
+(* Rank of a node among its siblings: attributes order before child
+   nodes of the same parent (XDM: attributes follow their element but
+   precede its children). *)
+let sibling_rank store id =
+  let n = get store id in
+  if n.kind = Attribute then (0, n.pos) else (1, n.pos)
+
+(* Total order: within a tree, document order; across trees (including
+   detached subtrees and freshly constructed nodes), by root id, which
+   is creation order — stable and deterministic. *)
+let compare_order store a b =
+  if a = b then 0
+  else begin
+    let chain id =
+      let rec up acc id =
+        match (get store id).parent with None -> id :: acc | Some p -> up (id :: acc) p
+      in
+      up [] id
+    in
+    let ca = chain a and cb = chain b in
+    match ca, cb with
+    | ra :: _, rb :: _ when ra <> rb -> compare ra rb
+    | _ ->
+      let rec walk ca cb =
+        match ca, cb with
+        | [], [] -> 0
+        | [], _ :: _ -> -1 (* a is an ancestor of b: a first *)
+        | _ :: _, [] -> 1
+        | x :: ca', y :: cb' ->
+          if x = y then walk ca' cb'
+          else compare (sibling_rank store x) (sibling_rank store y)
+      in
+      walk ca cb
+  end
+
+(* Sort into document order and remove duplicates (the ddo applied to
+   every path-expression result). *)
+let sort_doc_order store ids =
+  let sorted = List.sort_uniq (compare_order store) ids in
+  sorted
+
+(* -- Serialization ------------------------------------------------ *)
+
+let rec add_events store acc id =
+  let n = get store id in
+  match n.kind with
+  | Document -> Vec.fold (fun acc c -> add_events store acc c) acc n.children
+  | Element ->
+    let name = match n.name with Some q -> q | None -> Xqb_xml.Qname.make "_" in
+    let attrs =
+      Vec.fold
+        (fun acc aid ->
+          let a = get store aid in
+          match a.name with
+          | Some an -> (an, a.content) :: acc
+          | None -> acc)
+        [] n.attributes
+      |> List.rev
+    in
+    let acc = Xqb_xml.Event.Start_element (name, attrs) :: acc in
+    let acc = Vec.fold (fun acc c -> add_events store acc c) acc n.children in
+    Xqb_xml.Event.End_element name :: acc
+  | Text -> Xqb_xml.Event.Text n.content :: acc
+  | Comment -> Xqb_xml.Event.Comment n.content :: acc
+  | Pi ->
+    let target = match n.name with Some q -> Xqb_xml.Qname.to_string q | None -> "" in
+    Xqb_xml.Event.Pi (target, n.content) :: acc
+  | Attribute -> acc (* standalone attributes have no event form *)
+
+let events_of_node store id = List.rev (add_events store [] id)
+
+let serialize store id =
+  let n = get store id in
+  match n.kind with
+  | Attribute ->
+    (match n.name with
+    | Some an ->
+      Printf.sprintf "%s=\"%s\"" (Xqb_xml.Qname.to_string an) (Xqb_xml.Escape.attr n.content)
+    | None -> "")
+  | Document | Element | Text | Comment | Pi ->
+    Xqb_xml.Xml_writer.to_string (events_of_node store id)
+
+(* -- Loading ------------------------------------------------------ *)
+
+(* Build a document node from an event stream. *)
+let load_events store events =
+  let doc = make_document store in
+  let stack = ref [ doc ] in
+  let top () = match !stack with t :: _ -> t | [] -> assert false in
+  List.iter
+    (fun (e : Xqb_xml.Event.t) ->
+      match e with
+      | Start_element (name, attrs) ->
+        let el = make_element store name in
+        let attr_ids =
+          List.map (fun (an, av) -> make_attribute store an av) attrs
+        in
+        insert store ~parent:el ~position:Last attr_ids;
+        insert store ~parent:(top ()) ~position:Last [ el ];
+        stack := el :: !stack
+      | End_element _ -> (
+        match !stack with
+        | _ :: rest -> stack := rest
+        | [] -> assert false)
+      | Text s -> insert store ~parent:(top ()) ~position:Last [ make_text store s ]
+      | Comment s -> insert store ~parent:(top ()) ~position:Last [ make_comment store s ]
+      | Pi (t, c) -> insert store ~parent:(top ()) ~position:Last [ make_pi store t c ])
+    events;
+  doc
+
+let load_string ?keep_ws store src =
+  load_events store (Xqb_xml.Xml_parser.parse ?keep_ws src)
+
+(* -- Invariant checking (used by tests and failure injection) ------ *)
+
+let validate store =
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  for id = 0 to store.next_id - 1 do
+    let n = store.tbl.(id) in
+    if n.id <> id then err "node %d has wrong id %d" id n.id;
+    (match n.parent with
+    | Some pid ->
+      let p = get store pid in
+      let vec = if n.kind = Attribute then p.attributes else p.children in
+      if not (n.pos >= 0 && n.pos < Vec.length vec && Vec.get vec n.pos = id) then
+        err "node %d: position cache does not match parent %d" id pid
+    | None -> ());
+    Vec.iter
+      (fun cid ->
+        let c = get store cid in
+        if c.parent <> Some id then err "child %d of %d has parent %s" cid id
+            (match c.parent with None -> "none" | Some p -> string_of_int p);
+        if c.kind = Attribute then err "attribute %d stored as child of %d" cid id;
+        if c.kind = Document then err "document %d stored as child of %d" cid id)
+      n.children;
+    Vec.iter
+      (fun aid ->
+        let a = get store aid in
+        if a.parent <> Some id then err "attribute %d of %d has wrong parent" aid id;
+        if a.kind <> Attribute then err "non-attribute %d in attribute list of %d" aid id)
+      n.attributes
+  done;
+  List.rev !errors
+
+(* -- Element-name index -------------------------------------------- *)
+
+(* Elements named [q] among the descendants of [root], in document
+   order — the workhorse of [e//name] steps. Results are cached per
+   parentless root and invalidated (wholesale, by version) on any
+   store mutation; descendant queries from attached context nodes are
+   computed directly, keeping the cache's memory linear in the store. *)
+let descendants_by_name store root q =
+  let compute ctxnode =
+    let out = ref [] in
+    let rec walk id =
+      let n = get store id in
+      (match n.kind, n.name with
+      | Element, Some nm when Xqb_xml.Qname.equal nm q -> out := id :: !out
+      | _ -> ());
+      Vec.iter walk n.children
+    in
+    let n = get store ctxnode in
+    Vec.iter walk n.children;
+    List.rev !out
+  in
+  if not store.index_enabled then compute root
+  else begin
+    (* size-bounded: stale generations accumulate until this reset *)
+    if Hashtbl.length store.name_index > 65536 then begin
+      Hashtbl.reset store.name_index;
+      Hashtbl.reset store.indexed_roots;
+      Hashtbl.reset store.key_index
+    end;
+    let n = get store root in
+    if n.parent <> None then compute root
+    else begin
+      let version = root_version store root in
+      if not (Hashtbl.mem store.indexed_roots (root, version)) then begin
+        (* one DFS filling the per-name buckets for this generation *)
+        let buckets : (string, node_id list ref) Hashtbl.t = Hashtbl.create 32 in
+        let rec walk id =
+          let nd = get store id in
+          (match nd.kind, nd.name with
+          | Element, Some nm ->
+            let key = Xqb_xml.Qname.to_string nm in
+            (match Hashtbl.find_opt buckets key with
+            | Some l -> l := id :: !l
+            | None -> Hashtbl.add buckets key (ref [ id ]))
+          | _ -> ());
+          Vec.iter walk nd.children
+        in
+        Vec.iter walk n.children;
+        Hashtbl.iter
+          (fun name l ->
+            Hashtbl.replace store.name_index (root, version, name) (List.rev !l))
+          buckets;
+        Hashtbl.replace store.indexed_roots (root, version) ()
+      end;
+      match
+        Hashtbl.find_opt store.name_index (root, version, Xqb_xml.Qname.to_string q)
+      with
+      | Some l -> l
+      | None -> []
+    end
+  end
+
+(* Attribute value of [elem] for [attr], if present. *)
+let attr_value store elem attr =
+  let n = get store elem in
+  let found = ref None in
+  Vec.iter
+    (fun aid ->
+      let a = get store aid in
+      match a.name with
+      | Some an when Xqb_xml.Qname.equal an attr && !found = None ->
+        found := Some a.content
+      | _ -> ())
+    n.attributes;
+  !found
+
+(* Elements [elem] under [root] whose @[attr] string-equals [value] —
+   the hash path behind //elem[@attr = $v] when $v is a string. Shares
+   the name index's cache policy and invalidation. *)
+let lookup_by_key store root ~elem ~attr value =
+  let candidates () = descendants_by_name store root elem in
+  let scan () =
+    List.filter
+      (fun e -> attr_value store e attr = Some value)
+      (candidates ())
+  in
+  if not store.index_enabled then scan ()
+  else begin
+    let base = candidates () in
+    let n = get store root in
+    if n.parent <> None then
+      List.filter (fun e -> attr_value store e attr = Some value) base
+    else begin
+      let key =
+        ( root,
+          root_version store root,
+          Xqb_xml.Qname.to_string elem,
+          Xqb_xml.Qname.to_string attr )
+      in
+      let tbl =
+        match Hashtbl.find_opt store.key_index key with
+        | Some tbl -> tbl
+        | None ->
+          let tbl = Hashtbl.create 64 in
+          List.iter
+            (fun e ->
+              match attr_value store e attr with
+              | Some v ->
+                let prev = Option.value ~default:[] (Hashtbl.find_opt tbl v) in
+                Hashtbl.replace tbl v (e :: prev)
+              | None -> ())
+            base;
+          (* store buckets in document order *)
+          Hashtbl.filter_map_inplace (fun _ l -> Some (List.rev l)) tbl;
+          Hashtbl.add store.key_index key tbl;
+          tbl
+      in
+      Option.value ~default:[] (Hashtbl.find_opt tbl value)
+    end
+  end
+
+(* Count nodes that are not reachable from any document node —
+   §4.1's "persistent but unreachable nodes" produced by the detach
+   semantics (candidates for garbage collection). *)
+let detached_count store =
+  let n = ref 0 in
+  for id = 0 to store.next_id - 1 do
+    let node = store.tbl.(id) in
+    if node.parent = None && node.kind <> Document then incr n
+  done;
+  !n

@@ -1,0 +1,164 @@
+(** The XDM store of the paper's §3.2: for each node id its kind,
+    parent, name and content, with the accessors and constructors
+    corresponding to the XQuery data model.
+
+    The store is mutable; the formal semantics' store-threading is
+    realized by in-place mutation under the evaluator's defined
+    left-to-right evaluation order.
+
+    Delete follows the paper's {e detach} semantics (§3.1): nodes are
+    never erased, only disconnected from their parent; a detached
+    subtree remains queryable and re-insertable. *)
+
+type node_id = int
+
+type kind = Document | Element | Attribute | Text | Comment | Pi
+
+val kind_to_string : kind -> string
+
+(** The physical node record. Exposed for the store-internal modules
+    ([Axes]) and white-box tests; engine code should use the accessors. *)
+type node = {
+  id : node_id;
+  mutable kind : kind;
+  mutable name : Xqb_xml.Qname.t option;
+  mutable content : string;
+  mutable parent : node_id option;
+  mutable pos : int;  (** index within the parent's child/attr list *)
+  children : Vec.t;
+  attributes : Vec.t;
+}
+
+type t
+
+(** Raised when an update's precondition fails (§3.2: update
+    application is a partial function). *)
+exception Update_error of string
+
+val create : unit -> t
+
+(** Number of nodes ever allocated. *)
+val node_count : t -> int
+
+(** Number of store-mutating operations performed (instrumentation). *)
+val mutation_count : t -> int
+
+val get : t -> node_id -> node
+
+(** {1 Constructors (XDM)} *)
+
+val make_document : t -> node_id
+val make_element : t -> Xqb_xml.Qname.t -> node_id
+val make_text : t -> string -> node_id
+val make_comment : t -> string -> node_id
+val make_pi : t -> string -> string -> node_id
+val make_attribute : t -> Xqb_xml.Qname.t -> string -> node_id
+
+(** {1 Accessors (XDM)} *)
+
+val kind : t -> node_id -> kind
+val name : t -> node_id -> Xqb_xml.Qname.t option
+val node_name : t -> node_id -> Xqb_xml.Qname.t option
+val content : t -> node_id -> string
+val parent : t -> node_id -> node_id option
+val children : t -> node_id -> node_id list
+val attributes : t -> node_id -> node_id list
+val child_count : t -> node_id -> int
+val attribute_count : t -> node_id -> int
+val nth_child : t -> node_id -> int -> node_id
+
+(** Concatenated text of the subtree (fn:string on nodes). *)
+val string_value : t -> node_id -> string
+
+val is_ancestor : t -> ancestor:node_id -> node_id -> bool
+
+(** Topmost parentless node above [id]. *)
+val root : t -> node_id -> node_id
+
+(** {1 Transactions}
+
+    [transactionally store f] runs [f ()]; if it raises, every store
+    mutation it performed is undone and the exception re-raised. Used
+    by snap application so a failing update list (precondition
+    violation, detected conflict) leaves the store unchanged.
+    Transactions nest. *)
+val transactionally : t -> (unit -> 'a) -> 'a
+
+(** {1 Mutations (the update-request applications of §3.2)} *)
+
+(** @raise Update_error on document/text/comment nodes. *)
+val rename : t -> node_id -> Xqb_xml.Qname.t -> unit
+
+(** Set text/comment/PI/attribute content.
+    @raise Update_error on element/document nodes. *)
+val set_content : t -> node_id -> string -> unit
+
+(** Detach from the parent (the paper's delete). Idempotent. *)
+val detach : t -> node_id -> unit
+
+type insert_position = First | Last | After of node_id
+
+(** [insert store ~parent ~position nodes] splices [nodes] into
+    [parent]'s child list ([Attribute] nodes go to the attribute
+    list). Preconditions (§3.2), checked before any mutation: every
+    inserted node is parentless; an [After] anchor is a child of
+    [parent]; kinds are compatible; no cycles; no duplicate attribute
+    names. @raise Update_error otherwise. *)
+val insert : t -> parent:node_id -> position:insert_position -> node_id list -> unit
+
+(** Deep copy of a subtree; the copy is parentless (the data-model
+    half of [copy { e }]). *)
+val deep_copy : t -> node_id -> node_id
+
+(** {1 Document order} *)
+
+(** Total order: document order within a tree; across trees (incl.
+    detached/fresh nodes) by root creation order. Attributes order
+    after their element and before its children. O(depth). *)
+val compare_order : t -> node_id -> node_id -> int
+
+(** Sort into document order and drop duplicates (the ddo applied to
+    path-expression results). *)
+val sort_doc_order : t -> node_id list -> node_id list
+
+(** {1 Serialization and loading} *)
+
+val events_of_node : t -> node_id -> Xqb_xml.Event.t list
+val serialize : t -> node_id -> string
+
+(** Build a document node from an event stream / XML text. *)
+val load_events : t -> Xqb_xml.Event.t list -> node_id
+
+val load_string : ?keep_ws:bool -> t -> string -> node_id
+
+(** {1 Element-name index} *)
+
+(** Elements named [q] among the descendants of the context node, in
+    document order — the workhorse of [e//name] steps. Cached per
+    parentless root; invalidated (by version) on any store mutation;
+    computed directly for attached context nodes. *)
+val descendants_by_name : t -> node_id -> Xqb_xml.Qname.t -> node_id list
+
+(** String value of [elem]'s attribute named [attr], if present. *)
+val attr_value : t -> node_id -> Xqb_xml.Qname.t -> string option
+
+(** Elements [elem] under [root] whose @[attr] string-equals [value] —
+    the hash path behind [//elem[@attr = $v]] for string keys. Same
+    caching and invalidation policy as {!descendants_by_name}. *)
+val lookup_by_key :
+  t -> node_id -> elem:Xqb_xml.Qname.t -> attr:Xqb_xml.Qname.t -> string ->
+  node_id list
+
+(** Turn the caches off (the ablation knob for benches E12/E13;
+    results are identical either way). *)
+val set_indexing : t -> bool -> unit
+
+(** {1 Introspection} *)
+
+(** Structural-invariant check; returns human-readable violations
+    (empty = healthy). Used by tests and failure injection. *)
+val validate : t -> string list
+
+(** Parentless non-document nodes — the "persistent but unreachable
+    nodes" of §4.1 the detach semantics produces. *)
+val detached_count : t -> int

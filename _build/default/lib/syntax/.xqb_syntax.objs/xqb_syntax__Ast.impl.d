@@ -1,0 +1,1 @@
+lib/syntax/ast.ml: Xqb_store Xqb_xml

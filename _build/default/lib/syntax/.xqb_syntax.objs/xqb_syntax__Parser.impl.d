@@ -1,0 +1,1 @@
+lib/syntax/parser.ml: Ast Lexer List Option Printf String Xqb_store Xqb_xml

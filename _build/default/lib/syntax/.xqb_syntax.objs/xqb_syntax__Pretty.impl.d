@@ -1,0 +1,1 @@
+lib/syntax/pretty.ml: Ast Buffer Float List Option Printf String Xqb_store Xqb_xml

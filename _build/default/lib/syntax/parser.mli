@@ -1,0 +1,12 @@
+(** Recursive-descent parser for XQuery! — the Fig. 1 grammar over the
+    XQuery 1.0 expression grammar. Keywords are contextual; direct
+    element constructors are lexed in raw character mode. *)
+
+exception Error of int * int * string  (** line, column, message *)
+
+(** Parse a whole program: prolog declarations then an optional query
+    body. @raise Error on malformed input. *)
+val parse_prog : string -> Ast.prog
+
+(** Parse a single expression (must consume all input). *)
+val parse_expr_string : string -> Ast.expr

@@ -1,0 +1,7 @@
+(** Pretty-printer for the surface AST. Output re-parses to the same
+    AST (a qcheck property in the test suite), so it over-parenthesizes
+    rather than track precedence minimally. *)
+
+val expr_to_string : Ast.expr -> string
+val decl_to_string : Ast.decl -> string
+val prog_to_string : Ast.prog -> string

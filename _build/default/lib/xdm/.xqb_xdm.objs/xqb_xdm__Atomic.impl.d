@@ -1,0 +1,1 @@
+lib/xdm/atomic.ml: Bool Errors Float Format Printf String Xqb_xml

@@ -1,0 +1,1 @@
+lib/xdm/atomic.mli: Format Xqb_xml

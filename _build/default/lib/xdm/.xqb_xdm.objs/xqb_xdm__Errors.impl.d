@@ -1,0 +1,1 @@
+lib/xdm/errors.ml: Format Printexc Printf

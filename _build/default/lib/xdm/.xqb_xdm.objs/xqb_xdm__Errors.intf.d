@@ -1,0 +1,1 @@
+lib/xdm/errors.mli: Format

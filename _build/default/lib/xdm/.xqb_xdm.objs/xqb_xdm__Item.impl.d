@@ -1,0 +1,1 @@
+lib/xdm/item.ml: Atomic Errors Format Xqb_store Xqb_xml

@@ -1,0 +1,1 @@
+lib/xdm/item.mli: Atomic Format Xqb_store

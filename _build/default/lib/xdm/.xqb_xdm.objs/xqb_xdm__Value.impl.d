@@ -1,0 +1,1 @@
+lib/xdm/value.ml: Atomic Errors Float Format Item List

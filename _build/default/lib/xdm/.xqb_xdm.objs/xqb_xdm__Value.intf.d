@@ -1,0 +1,1 @@
+lib/xdm/value.mli: Atomic Format Item Xqb_store

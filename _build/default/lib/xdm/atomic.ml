@@ -1,0 +1,232 @@
+(* Atomic values of the XDM fragment the paper exercises. The paper
+   restricts attention to well-formed (untyped) documents, so the
+   atomic universe is: the numeric tower integer/decimal/double,
+   strings, booleans, untypedAtomic (what node atomization yields) and
+   QNames (for rename). *)
+
+type t =
+  | Integer of int
+  | Decimal of float
+  | Double of float
+  | String of string
+  | Boolean of bool
+  | Untyped of string
+  | QName of Xqb_xml.Qname.t
+
+let type_name = function
+  | Integer _ -> "xs:integer"
+  | Decimal _ -> "xs:decimal"
+  | Double _ -> "xs:double"
+  | String _ -> "xs:string"
+  | Boolean _ -> "xs:boolean"
+  | Untyped _ -> "xs:untypedAtomic"
+  | QName _ -> "xs:QName"
+
+(* XPath-style number formatting: integers without decimal point,
+   doubles shortest-round-trip. *)
+let float_to_string f =
+  let f = if f = 0.0 then 0.0 else f in  (* fold -0.0 into 0 *)
+  if Float.is_integer f && Float.abs f < 1e16 then
+    Printf.sprintf "%.0f" f
+  else if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "INF"
+  else if f = Float.neg_infinity then "-INF"
+  else
+    let s = Printf.sprintf "%.12g" f in
+    s
+
+let to_string = function
+  | Integer i -> string_of_int i
+  | Decimal f | Double f -> float_to_string f
+  | String s | Untyped s -> s
+  | Boolean b -> if b then "true" else "false"
+  | QName q -> Xqb_xml.Qname.to_string q
+
+let pp ppf a = Format.pp_print_string ppf (to_string a)
+
+(* -- Casts --------------------------------------------------------- *)
+
+let parse_integer s =
+  match int_of_string_opt (String.trim s) with
+  | Some i -> i
+  | None -> Errors.value_error "cannot cast %S to xs:integer" s
+
+let parse_float s =
+  let s = String.trim s in
+  match s with
+  | "INF" -> Float.infinity
+  | "-INF" -> Float.neg_infinity
+  | "NaN" -> Float.nan
+  | _ -> (
+    match float_of_string_opt s with
+    | Some f -> f
+    | None -> Errors.value_error "cannot cast %S to xs:double" s)
+
+let parse_boolean s =
+  match String.trim s with
+  | "true" | "1" -> true
+  | "false" | "0" -> false
+  | s -> Errors.value_error "cannot cast %S to xs:boolean" s
+
+let to_integer = function
+  | Integer i -> i
+  | Decimal f | Double f ->
+    if Float.is_nan f || Float.abs f = Float.infinity then
+      Errors.value_error "cannot cast %s to xs:integer" (float_to_string f)
+    else int_of_float (Float.trunc f)
+  | String s | Untyped s -> parse_integer s
+  | Boolean b -> if b then 1 else 0
+  | QName _ -> Errors.type_error "cannot cast xs:QName to xs:integer"
+
+let to_double = function
+  | Integer i -> float_of_int i
+  | Decimal f | Double f -> f
+  | String s | Untyped s -> parse_float s
+  | Boolean b -> if b then 1.0 else 0.0
+  | QName _ -> Errors.type_error "cannot cast xs:QName to xs:double"
+
+let to_boolean = function
+  | Boolean b -> b
+  | Integer i -> i <> 0
+  | Decimal f | Double f -> not (f = 0.0 || Float.is_nan f)
+  | String s | Untyped s -> parse_boolean s
+  | QName _ -> Errors.type_error "cannot cast xs:QName to xs:boolean"
+
+let is_numeric = function
+  | Integer _ | Decimal _ | Double _ -> true
+  | String _ | Boolean _ | Untyped _ | QName _ -> false
+
+let is_nan = function
+  | Double f | Decimal f -> Float.is_nan f
+  | Integer _ | String _ | Boolean _ | Untyped _ | QName _ -> false
+
+(* -- Arithmetic ----------------------------------------------------- *)
+
+type arith_op = Add | Sub | Mul | Div | Idiv | Mod
+
+let arith_op_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "div"
+  | Idiv -> "idiv"
+  | Mod -> "mod"
+
+(* Numeric type promotion: integer < decimal < double; untypedAtomic
+   is cast to xs:double first (XQuery 1.0 §3.4). *)
+let promote a =
+  match a with
+  | Untyped s -> Double (parse_float s)
+  | Integer _ | Decimal _ | Double _ -> a
+  | String _ | Boolean _ | QName _ ->
+    Errors.type_error "operand of arithmetic is not numeric: %s" (type_name a)
+
+let arith op a b =
+  let a = promote a and b = promote b in
+  match a, b, op with
+  | Integer x, Integer y, Add -> Integer (x + y)
+  | Integer x, Integer y, Sub -> Integer (x - y)
+  | Integer x, Integer y, Mul -> Integer (x * y)
+  | Integer x, Integer y, Idiv ->
+    if y = 0 then Errors.division_by_zero () else Integer (x / y)
+  | Integer x, Integer y, Mod ->
+    if y = 0 then Errors.division_by_zero () else Integer (x mod y)
+  | Integer x, Integer y, Div ->
+    if y = 0 then Errors.division_by_zero ()
+    else if x mod y = 0 then Integer (x / y)
+    else Decimal (float_of_int x /. float_of_int y)
+  | _ ->
+    let x = to_double a and y = to_double b in
+    let both_decimal =
+      match a, b with
+      | (Integer _ | Decimal _), (Integer _ | Decimal _) -> true
+      | _ -> false
+    in
+    let wrap f = if both_decimal then Decimal f else Double f in
+    (match op with
+    | Add -> wrap (x +. y)
+    | Sub -> wrap (x -. y)
+    | Mul -> wrap (x *. y)
+    | Div ->
+      if y = 0.0 && both_decimal then Errors.division_by_zero ()
+      else wrap (x /. y)
+    | Idiv ->
+      if y = 0.0 then Errors.division_by_zero ()
+      else Integer (int_of_float (Float.trunc (x /. y)))
+    | Mod ->
+      if y = 0.0 && both_decimal then Errors.division_by_zero ()
+      else wrap (Float.rem x y))
+
+let negate = function
+  | Integer i -> Integer (-i)
+  | Decimal f -> Decimal (-.f)
+  | Double f -> Double (-.f)
+  | Untyped s -> Double (-.parse_float s)
+  | a -> Errors.type_error "cannot negate a %s" (type_name a)
+
+(* -- Comparison ------------------------------------------------------ *)
+
+type cmp_op = Eq | Ne | Lt | Le | Gt | Ge
+
+let cmp_op_to_string = function
+  | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge"
+
+(* Value comparison after both operands have been coerced to a common
+   type. In *general* comparisons an untyped operand is cast to the
+   other operand's type (to string if both untyped); in *value*
+   comparisons untyped is treated as string. The caller does that
+   coercion; here both sides must already be comparable. *)
+let compare_values a b : int option =
+  match a, b with
+  | (Integer _ | Decimal _ | Double _ | Untyped _), (Integer _ | Decimal _ | Double _ | Untyped _)
+    when is_numeric a || is_numeric b ->
+    let x = to_double a and y = to_double b in
+    if Float.is_nan x || Float.is_nan y then None else Some (Float.compare x y)
+  | (String x | Untyped x), (String y | Untyped y) -> Some (String.compare x y)
+  | Boolean x, Boolean y -> Some (Bool.compare x y)
+  | QName x, QName y -> if Xqb_xml.Qname.equal x y then Some 0 else Some 1
+  | _ ->
+    Errors.type_error "cannot compare %s with %s" (type_name a) (type_name b)
+
+(* General-comparison coercion of the pair, per XQuery 1.0 §3.5.2. *)
+let coerce_general a b =
+  match a, b with
+  | Untyped x, Untyped y -> String x, String y
+  | Untyped x, (Integer _ | Decimal _ | Double _) -> Double (parse_float x), b
+  | (Integer _ | Decimal _ | Double _), Untyped y -> a, Double (parse_float y)
+  | Untyped x, String _ -> String x, b
+  | String _, Untyped y -> a, String y
+  | Untyped x, Boolean _ -> Boolean (parse_boolean x), b
+  | Boolean _, Untyped y -> a, Boolean (parse_boolean y)
+  | _ -> a, b
+
+let cmp_result op c =
+  match op, c with
+  | Eq, Some 0 -> true
+  | Ne, Some c -> c <> 0
+  | Lt, Some c -> c < 0
+  | Le, Some c -> c <= 0
+  | Gt, Some c -> c > 0
+  | Ge, Some c -> c >= 0
+  | Eq, Some _ -> false
+  | _, None -> false (* NaN comparisons are false; Ne with NaN: also false per spec? *)
+
+(* General comparison of two atomics. *)
+let general_compare op a b =
+  let a, b = coerce_general a b in
+  cmp_result op (compare_values a b)
+
+(* Value comparison ('eq', 'lt', ...): untyped treated as string. *)
+let value_compare op a b =
+  let norm = function Untyped s -> String s | x -> x in
+  cmp_result op (compare_values (norm a) (norm b))
+
+let equal a b =
+  match a, b with
+  | Integer x, Integer y -> x = y
+  | Boolean x, Boolean y -> x = y
+  | QName x, QName y -> Xqb_xml.Qname.equal x y
+  | (String x | Untyped x), (String y | Untyped y) -> String.equal x y
+  | _ ->
+    if is_numeric a && is_numeric b then to_double a = to_double b
+    else false

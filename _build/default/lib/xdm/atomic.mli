@@ -1,0 +1,73 @@
+(** Atomic values of the XDM fragment the paper exercises: the numeric
+    tower integer/decimal/double, strings, booleans, untypedAtomic
+    (what untyped-node atomization yields) and QNames (for rename). *)
+
+type t =
+  | Integer of int
+  | Decimal of float
+  | Double of float
+  | String of string
+  | Boolean of bool
+  | Untyped of string
+  | QName of Xqb_xml.Qname.t
+
+val type_name : t -> string
+
+(** XPath-style lexical form ("3", "3.5", "INF", "true", ...). *)
+val to_string : t -> string
+
+val float_to_string : float -> string
+val pp : Format.formatter -> t -> unit
+
+(** {1 Casts} — raise [Errors.Dynamic_error] on failure. *)
+
+val parse_integer : string -> int
+val parse_float : string -> float
+val parse_boolean : string -> bool
+val to_integer : t -> int
+val to_double : t -> float
+val to_boolean : t -> bool
+val is_numeric : t -> bool
+val is_nan : t -> bool
+
+(** {1 Arithmetic} *)
+
+type arith_op = Add | Sub | Mul | Div | Idiv | Mod
+
+val arith_op_to_string : arith_op -> string
+
+(** Numeric promotion: integer < decimal < double; untypedAtomic casts
+    to double first (XQuery 1.0 §3.4). *)
+val promote : t -> t
+
+(** [arith op a b] after promotion. Integer [div] yields an integer
+    when exact, a decimal otherwise; division by zero is an error for
+    integers/decimals and ±INF/NaN for doubles. *)
+val arith : arith_op -> t -> t -> t
+
+val negate : t -> t
+
+(** {1 Comparison} *)
+
+type cmp_op = Eq | Ne | Lt | Le | Gt | Ge
+
+val cmp_op_to_string : cmp_op -> string
+
+(** Three-way comparison of already-coerced operands; [None] when a
+    NaN is involved. @raise Errors.Dynamic_error on incomparable
+    types. *)
+val compare_values : t -> t -> int option
+
+(** The general-comparison coercion of the operand pair (XQuery 1.0
+    §3.5.2): untyped-untyped compares as strings, untyped-numeric as
+    numbers, etc. *)
+val coerce_general : t -> t -> t * t
+
+(** General comparison of two atomics ([=], [<], ...). *)
+val general_compare : cmp_op -> t -> t -> bool
+
+(** Value comparison ([eq], [lt], ...): untyped treated as string. *)
+val value_compare : cmp_op -> t -> t -> bool
+
+(** Loose equality used by item comparison (numeric tower folded). *)
+val equal : t -> t -> bool

@@ -1,0 +1,21 @@
+(* Dynamic and type errors, named with the W3C error codes the
+   XQuery 1.0 / Formal Semantics drafts use. A single exception keeps
+   error propagation simple across the evaluator, functions library
+   and plan executor. *)
+
+exception Dynamic_error of string * string  (* code, message *)
+
+let raise_error code fmt =
+  Format.kasprintf (fun msg -> raise (Dynamic_error (code, msg))) fmt
+
+(* Common codes *)
+let type_error fmt = raise_error "XPTY0004" fmt
+let value_error fmt = raise_error "FORG0001" fmt
+let arity_error fmt = raise_error "XPST0017" fmt
+let undefined_variable fmt = raise_error "XPST0008" fmt
+let division_by_zero () = raise_error "FOAR0001" "division by zero"
+let ebv_error fmt = raise_error "FORG0006" fmt
+
+let to_string = function
+  | Dynamic_error (code, msg) -> Printf.sprintf "[%s] %s" code msg
+  | e -> Printexc.to_string e

@@ -1,0 +1,28 @@
+(** Dynamic and type errors, named with the W3C error codes the
+    XQuery 1.0 drafts use. *)
+
+exception Dynamic_error of string * string  (** code, message *)
+
+(** [raise_error code fmt ...] raises {!Dynamic_error}. *)
+val raise_error : string -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** XPTY0004. *)
+val type_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** FORG0001 (invalid lexical value). *)
+val value_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** XPST0017 (unknown function / wrong arity). *)
+val arity_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** XPST0008. *)
+val undefined_variable : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** FOAR0001. *)
+val division_by_zero : unit -> 'a
+
+(** FORG0006 (bad effective boolean value). *)
+val ebv_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** Render any exception, formatting {!Dynamic_error} as "[code] msg". *)
+val to_string : exn -> string

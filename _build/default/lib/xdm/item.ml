@@ -1,0 +1,46 @@
+(* XDM items: a node reference or an atomic value. *)
+
+type t =
+  | Node of Xqb_store.Store.node_id
+  | Atomic of Atomic.t
+
+let node id = Node id
+let atomic a = Atomic a
+let integer i = Atomic (Atomic.Integer i)
+let string s = Atomic (Atomic.String s)
+let boolean b = Atomic (Atomic.Boolean b)
+let double f = Atomic (Atomic.Double f)
+
+let is_node = function Node _ -> true | Atomic _ -> false
+
+let as_node = function
+  | Node id -> id
+  | Atomic a -> Errors.type_error "expected a node, got %s" (Atomic.type_name a)
+
+let as_atomic = function
+  | Atomic a -> a
+  | Node _ -> Errors.type_error "expected an atomic value, got a node"
+
+(* String value of an item (fn:string). *)
+let string_value store = function
+  | Node id -> Xqb_store.Store.string_value store id
+  | Atomic a -> Atomic.to_string a
+
+(* Typed value: nodes in well-formed (untyped) documents atomize to
+   xs:untypedAtomic of their string value. *)
+let atomize store = function
+  | Node id -> Atomic.Untyped (Xqb_store.Store.string_value store id)
+  | Atomic a -> a
+
+let equal store a b =
+  match a, b with
+  | Node x, Node y -> x = y
+  | Atomic x, Atomic y -> Atomic.equal x y
+  | Node _, Atomic _ | Atomic _, Node _ -> ignore store; false
+
+let pp store ppf = function
+  | Node id -> Format.fprintf ppf "node:%d<%s>" id
+      (match Xqb_store.Store.name store id with
+      | Some q -> Xqb_xml.Qname.to_string q
+      | None -> Xqb_store.Store.kind_to_string (Xqb_store.Store.kind store id))
+  | Atomic a -> Atomic.pp ppf a

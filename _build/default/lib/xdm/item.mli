@@ -1,0 +1,32 @@
+(** XDM items: a node reference or an atomic value. *)
+
+type t =
+  | Node of Xqb_store.Store.node_id
+  | Atomic of Atomic.t
+
+val node : Xqb_store.Store.node_id -> t
+val atomic : Atomic.t -> t
+val integer : int -> t
+val string : string -> t
+val boolean : bool -> t
+val double : float -> t
+
+val is_node : t -> bool
+
+(** @raise Errors.Dynamic_error (XPTY0004) on an atomic. *)
+val as_node : t -> Xqb_store.Store.node_id
+
+(** @raise Errors.Dynamic_error (XPTY0004) on a node. *)
+val as_atomic : t -> Atomic.t
+
+(** fn:string of a single item. *)
+val string_value : Xqb_store.Store.t -> t -> string
+
+(** Typed value: untyped nodes atomize to [xs:untypedAtomic] of their
+    string value. *)
+val atomize : Xqb_store.Store.t -> t -> Atomic.t
+
+(** Node identity / atomic equality. *)
+val equal : Xqb_store.Store.t -> t -> t -> bool
+
+val pp : Xqb_store.Store.t -> Format.formatter -> t -> unit

@@ -1,0 +1,46 @@
+(** XDM values: flat sequences of items. There are no nested
+    sequences; a single item is its singleton sequence. *)
+
+type t = Item.t list
+
+val empty : t
+val of_item : Item.t -> t
+val of_atomic : Atomic.t -> t
+val of_node : Xqb_store.Store.node_id -> t
+val of_nodes : Xqb_store.Store.node_id list -> t
+val of_int : int -> t
+val of_bool : bool -> t
+val of_string : string -> t
+val of_double : float -> t
+
+(** Exactly one item. @raise Errors.Dynamic_error otherwise. *)
+val singleton_item : t -> Item.t
+
+(** Zero or one item. @raise Errors.Dynamic_error on more. *)
+val item_opt : t -> Item.t option
+
+(** Atomize every item (fn:data). *)
+val atomize : Xqb_store.Store.t -> t -> Atomic.t list
+
+(** Atomized single item. *)
+val singleton_atomic : Xqb_store.Store.t -> t -> Atomic.t
+
+(** Single node. @raise Errors.Dynamic_error otherwise. *)
+val singleton_node : t -> Xqb_store.Store.node_id
+
+(** All items as node ids. @raise Errors.Dynamic_error on atomics. *)
+val nodes_of : t -> Xqb_store.Store.node_id list
+
+(** Effective boolean value, XQuery 1.0 §2.4.3: empty is false, a
+    node-first sequence is true, a singleton atomic by its own rules,
+    a multi-atomic sequence is an error (FORG0006). *)
+val effective_boolean_value : t -> bool
+
+(** fn:string: "" for empty, the item's string for singletons,
+    an error for longer sequences. *)
+val string_value : Xqb_store.Store.t -> t -> string
+
+val to_integer : Xqb_store.Store.t -> t -> int
+val to_double : Xqb_store.Store.t -> t -> float
+val equal : Xqb_store.Store.t -> t -> t -> bool
+val pp : Xqb_store.Store.t -> Format.formatter -> t -> unit

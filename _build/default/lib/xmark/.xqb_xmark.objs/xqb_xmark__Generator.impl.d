@@ -1,0 +1,1 @@
+lib/xmark/generator.ml: Array List Printf Rand String Text_pool Xqb_store Xqb_xml

@@ -1,0 +1,1 @@
+lib/xmark/generator.mli: Xqb_store Xqb_xml

@@ -1,0 +1,1 @@
+lib/xmark/rand.ml: Array Int64

@@ -1,0 +1,1 @@
+lib/xmark/text_pool.ml: Buffer Rand

@@ -1,0 +1,191 @@
+(* XMark-style auction document generator (substitute for xmlgen,
+   Schmidt et al., VLDB 2002 — cited by the paper as its workload).
+
+   It reproduces the structural shape the paper's queries touch:
+
+     <site>
+       <regions><{region}><item id="itemN">...</item>...</{region}>...</regions>
+       <categories><category id="catN">...</category>...</categories>
+       <people><person id="personN"><name/><emailaddress/>...</person>...</people>
+       <open_auctions><open_auction id="openN">...<bidder>...</open_auction>...
+       <closed_auctions><closed_auction>
+           <seller person="..."/><buyer person="..."/>
+           <itemref item="..."/><price>...</price>...
+       </closed_auction>...</closed_auctions>
+     </site>
+
+   Cardinalities scale linearly in [config]; the §4.3 experiment (E1)
+   only depends on |person|, |closed_auction| and the join selectivity
+   buyer/@person = person/@id, which we control exactly. *)
+
+type config = {
+  persons : int;
+  items : int;
+  categories : int;
+  open_auctions : int;
+  closed_auctions : int;
+  seed : int;
+}
+
+let default = {
+  persons = 100;
+  items = 80;
+  categories = 10;
+  open_auctions = 40;
+  closed_auctions = 200;
+  seed = 42;
+}
+
+(* The standard XMark scale knob: factor 1.0 ~ 25500 persons in the
+   original; we keep the original's *ratios* at a laptop-friendly
+   absolute size. *)
+let scaled factor =
+  let f x = max 1 (int_of_float (float_of_int x *. factor)) in
+  {
+    persons = f 255;
+    items = f 217;
+    categories = f 10;
+    open_auctions = f 120;
+    closed_auctions = f 97;
+    seed = 42;
+  }
+
+let regions = [| "africa"; "asia"; "australia"; "europe"; "namerica"; "samerica" |]
+
+
+let q = Xqb_xml.Qname.make
+
+let start_el emit name attrs =
+  emit (Xqb_xml.Event.Start_element
+          (q name, List.map (fun (k, v) -> (q k, v)) attrs))
+
+let end_el emit name = emit (Xqb_xml.Event.End_element (q name))
+
+let text_el emit name s =
+  start_el emit name [];
+  emit (Xqb_xml.Event.Text s);
+  end_el emit name
+
+let gen_person rand emit i =
+  start_el emit "person" [ ("id", Printf.sprintf "person%d" i) ];
+  let name =
+    Printf.sprintf "%s %s" (Rand.pick rand Text_pool.first_names)
+      (Rand.pick rand Text_pool.last_names)
+  in
+  text_el emit "name" name;
+  text_el emit "emailaddress"
+    (Printf.sprintf "mailto:%s%d@example.org"
+       (String.lowercase_ascii (Rand.pick rand Text_pool.last_names)) i);
+  if Rand.bool rand then text_el emit "phone" (Printf.sprintf "+39 %07d" (Rand.int rand 10000000));
+  if Rand.int rand 4 = 0 then begin
+    start_el emit "address" [];
+    text_el emit "street" (Printf.sprintf "%d %s St" (1 + Rand.int rand 99) (Rand.pick rand Text_pool.words));
+    text_el emit "city" (Rand.pick rand Text_pool.cities);
+    end_el emit "address"
+  end;
+  end_el emit "person"
+
+let gen_item rand emit cfg i =
+  start_el emit "item" [ ("id", Printf.sprintf "item%d" i) ];
+  text_el emit "location" (Rand.pick rand Text_pool.cities);
+  text_el emit "quantity" (string_of_int (1 + Rand.int rand 5));
+  text_el emit "name" (Text_pool.sentence rand 2);
+  start_el emit "description" [];
+  text_el emit "text" (Text_pool.sentence rand (3 + Rand.int rand 10));
+  end_el emit "description";
+  start_el emit "incategory"
+    [ ("category", Printf.sprintf "cat%d" (Rand.int rand cfg.categories)) ];
+  end_el emit "incategory";
+  end_el emit "item"
+
+let gen_open_auction rand emit cfg i =
+  start_el emit "open_auction" [ ("id", Printf.sprintf "open%d" i) ];
+  text_el emit "initial" (string_of_int (1 + Rand.int rand 200));
+  let bidders = Rand.int rand 5 in
+  for _ = 1 to bidders do
+    start_el emit "bidder" [];
+    start_el emit "personref"
+      [ ("person", Printf.sprintf "person%d" (Rand.int rand cfg.persons)) ];
+    end_el emit "personref";
+    text_el emit "increase" (string_of_int (1 + (2 * Rand.int rand 10)));
+    end_el emit "bidder"
+  done;
+  text_el emit "current" (string_of_int (10 + Rand.int rand 4000));
+  start_el emit "itemref"
+    [ ("item", Printf.sprintf "item%d" (Rand.int rand (max 1 cfg.items))) ];
+  end_el emit "itemref";
+  text_el emit "quantity" "1";
+  end_el emit "open_auction"
+
+let gen_closed_auction rand emit cfg =
+  start_el emit "closed_auction" [];
+  start_el emit "seller"
+    [ ("person", Printf.sprintf "person%d" (Rand.int rand cfg.persons)) ];
+  end_el emit "seller";
+  start_el emit "buyer"
+    [ ("person", Printf.sprintf "person%d" (Rand.int rand cfg.persons)) ];
+  end_el emit "buyer";
+  start_el emit "itemref"
+    [ ("item", Printf.sprintf "item%d" (Rand.int rand (max 1 cfg.items))) ];
+  end_el emit "itemref";
+  text_el emit "price" (string_of_int (5 + Rand.int rand 500));
+  text_el emit "date" (Printf.sprintf "%02d/%02d/2005" (1 + Rand.int rand 12) (1 + Rand.int rand 28));
+  text_el emit "quantity" "1";
+  start_el emit "annotation" [];
+  text_el emit "description" (Text_pool.sentence rand (2 + Rand.int rand 6));
+  end_el emit "annotation";
+  end_el emit "closed_auction"
+
+(* Generate as an event stream. *)
+let events (cfg : config) : Xqb_xml.Event.t list =
+  let rand = Rand.create cfg.seed in
+  let out = ref [] in
+  let emit e = out := e :: !out in
+  start_el emit "site" [];
+  (* regions with items *)
+  start_el emit "regions" [];
+  Array.iteri
+    (fun ri rname ->
+      start_el emit rname [];
+      let lo = ri * cfg.items / Array.length regions in
+      let hi = (ri + 1) * cfg.items / Array.length regions in
+      for i = lo to hi - 1 do
+        gen_item rand emit cfg i
+      done;
+      end_el emit rname)
+    regions;
+  end_el emit "regions";
+  (* categories *)
+  start_el emit "categories" [];
+  for i = 0 to cfg.categories - 1 do
+    start_el emit "category" [ ("id", Printf.sprintf "cat%d" i) ];
+    text_el emit "name" Text_pool.categories_pool.(i mod Array.length Text_pool.categories_pool);
+    end_el emit "category"
+  done;
+  end_el emit "categories";
+  (* people *)
+  start_el emit "people" [];
+  for i = 0 to cfg.persons - 1 do
+    gen_person rand emit i
+  done;
+  end_el emit "people";
+  (* open auctions *)
+  start_el emit "open_auctions" [];
+  for i = 0 to cfg.open_auctions - 1 do
+    gen_open_auction rand emit cfg i
+  done;
+  end_el emit "open_auctions";
+  (* closed auctions *)
+  start_el emit "closed_auctions" [];
+  for _ = 1 to cfg.closed_auctions do
+    gen_closed_auction rand emit cfg
+  done;
+  end_el emit "closed_auctions";
+  end_el emit "site";
+  List.rev !out
+
+(* Generate straight into a store; returns the document node. *)
+let generate store cfg = Xqb_store.Store.load_events store (events cfg)
+
+(* Generate as XML text (for the CLI and for parser round-trips). *)
+let to_xml cfg = Xqb_xml.Xml_writer.to_string (events cfg)

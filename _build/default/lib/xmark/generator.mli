@@ -1,0 +1,31 @@
+(** XMark-style auction document generator — the reproduction's
+    substitute for xmlgen (Schmidt et al., VLDB 2002), the paper's
+    workload. Deterministic for a given [config] (including [seed]);
+    reproduces the structural shape the paper's queries touch:
+    regions/items, categories, people, open and closed auctions, with
+    resolvable person/item references (join keys for experiment E1). *)
+
+type config = {
+  persons : int;
+  items : int;
+  categories : int;
+  open_auctions : int;
+  closed_auctions : int;
+  seed : int;
+}
+
+val default : config
+
+(** Standard XMark-style scale knob, preserving the original's
+    cardinality ratios at laptop-friendly absolute sizes (factor 1.0 ≈
+    255 persons). *)
+val scaled : float -> config
+
+(** The document as an event stream. *)
+val events : config -> Xqb_xml.Event.t list
+
+(** Generate straight into a store; returns the document node. *)
+val generate : Xqb_store.Store.t -> config -> Xqb_store.Store.node_id
+
+(** The document as XML text. *)
+val to_xml : config -> string

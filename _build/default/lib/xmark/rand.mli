@@ -1,0 +1,13 @@
+(** Small deterministic PRNG (splitmix64-style): generated documents
+    are identical across runs and platforms. *)
+
+type t
+
+val create : int -> t
+val next : t -> int64
+
+(** Uniform in [0, bound). @raise Invalid_argument if [bound <= 0]. *)
+val int : t -> int -> int
+
+val pick : t -> 'a array -> 'a
+val bool : t -> bool

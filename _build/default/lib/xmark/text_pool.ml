@@ -1,0 +1,38 @@
+(* Word pools for the XMark-style generator. The real xmlgen uses
+   Shakespeare excerpts; any fixed pool preserves the properties that
+   matter for the experiments (distinct names, plausible string
+   lengths, repeatable content). *)
+
+let first_names =
+  [| "Anna"; "Bob"; "Carmen"; "Dmitri"; "Elena"; "Farid"; "Giorgio"; "Hana";
+     "Ines"; "Jerome"; "Kurt"; "Lena"; "Marco"; "Nadia"; "Omar"; "Paula";
+     "Quentin"; "Rosa"; "Stefan"; "Tara"; "Umberto"; "Vera"; "Walter";
+     "Xenia"; "Yusuf"; "Zelda" |]
+
+let last_names =
+  [| "Ghelli"; "Re"; "Simeon"; "Schmidt"; "Waas"; "Kersten"; "Carey";
+     "Manolescu"; "Busse"; "Florescu"; "Kossmann"; "Chamberlin"; "Robie";
+     "Fernandez"; "Wadler"; "Rys"; "Lehti"; "Suciu"; "Benedikt"; "Bonifati" |]
+
+let words =
+  [| "auction"; "vintage"; "rare"; "mint"; "boxed"; "signed"; "antique";
+     "modern"; "large"; "small"; "blue"; "red"; "golden"; "silver"; "wooden";
+     "ceramic"; "painted"; "engraved"; "limited"; "edition"; "classic";
+     "original"; "restored"; "working"; "complete"; "partial"; "early";
+     "late"; "curious"; "delicate" |]
+
+let cities =
+  [| "Pisa"; "Seattle"; "Hawthorne"; "Amsterdam"; "Darmstadt"; "Paris";
+     "Tokyo"; "Sydney"; "Toronto"; "Cape Town" |]
+
+let categories_pool =
+  [| "art"; "books"; "coins"; "stamps"; "toys"; "tools"; "music";
+     "photography"; "maps"; "clocks" |]
+
+let sentence rand n =
+  let buf = Buffer.create 64 in
+  for i = 1 to n do
+    if i > 1 then Buffer.add_char buf ' ';
+    Buffer.add_string buf (Rand.pick rand words)
+  done;
+  Buffer.contents buf

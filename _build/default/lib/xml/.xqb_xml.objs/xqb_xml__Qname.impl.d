@@ -1,0 +1,1 @@
+lib/xml/qname.ml: Char Format Hashtbl String

@@ -1,0 +1,1 @@
+lib/xml/xml_parser.ml: Escape Event List Printf Qname String

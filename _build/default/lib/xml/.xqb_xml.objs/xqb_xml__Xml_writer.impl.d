@@ -1,0 +1,1 @@
+lib/xml/xml_writer.ml: Buffer Escape Event List Qname

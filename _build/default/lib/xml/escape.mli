@@ -1,0 +1,27 @@
+(** XML escaping and entity resolution. *)
+
+exception Unknown_entity of string
+
+(** Escape ['<' '>' '&'] for element content. *)
+val text : string -> string
+
+(** Escape ['<' '>' '&' '"'] plus tab/newline for attribute values
+    (double-quoted). *)
+val attr : string -> string
+
+(** Buffer variants used by the serializer. *)
+val add_escaped_text : Buffer.t -> string -> unit
+
+val add_escaped_attr : Buffer.t -> string -> unit
+
+(** Append a Unicode code point as UTF-8. *)
+val add_utf8 : Buffer.t -> int -> unit
+
+(** Append the expansion of one entity name (the text between ['&']
+    and [';']) to the buffer. @raise Unknown_entity if undefined. *)
+val resolve_entity : Buffer.t -> string -> unit
+
+(** Expand [&lt; &gt; &amp; &quot; &apos; &#10; &#x1F;]-style
+    references. @raise Unknown_entity on undefined or unterminated
+    references. *)
+val unescape : string -> string

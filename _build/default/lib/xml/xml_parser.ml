@@ -1,0 +1,242 @@
+(* A small, strict XML 1.0 parser producing {!Event.t} values.
+
+   Supported: prolog, elements, attributes (single or double quoted),
+   character data, entity and character references, CDATA sections,
+   comments, processing instructions. Not supported (rejected):
+   DOCTYPE with internal subsets beyond a name, parameter entities.
+   This covers the documents the paper's workloads exercise (XMark
+   auction data, Web-service logs) while staying auditable. *)
+
+type position = { line : int; col : int }
+
+exception Error of position * string
+
+type state = {
+  src : string;
+  mutable pos : int;  (* byte offset *)
+  mutable line : int;
+  mutable bol : int;  (* offset of beginning of current line *)
+}
+
+let position st = { line = st.line; col = st.pos - st.bol + 1 }
+
+let fail st msg = raise (Error (position st, msg))
+
+let eof st = st.pos >= String.length st.src
+
+let peek st = if eof st then '\000' else st.src.[st.pos]
+
+let peek2 st =
+  if st.pos + 1 >= String.length st.src then '\000' else st.src.[st.pos + 1]
+
+let advance st =
+  if not (eof st) then begin
+    if st.src.[st.pos] = '\n' then begin
+      st.line <- st.line + 1;
+      st.bol <- st.pos + 1
+    end;
+    st.pos <- st.pos + 1
+  end
+
+let expect st c =
+  if peek st <> c then fail st (Printf.sprintf "expected %C" c);
+  advance st
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let skip_space st =
+  while (not (eof st)) && is_space (peek st) do
+    advance st
+  done
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+
+let skip_string st s =
+  if not (looking_at st s) then fail st (Printf.sprintf "expected %S" s);
+  for _ = 1 to String.length s do
+    advance st
+  done
+
+(* Scan until [stop] appears; returns the text before it and consumes
+   the terminator. *)
+let scan_until st stop =
+  match
+    let rec find i =
+      if i + String.length stop > String.length st.src then None
+      else if String.sub st.src i (String.length stop) = stop then Some i
+      else find (i + 1)
+    in
+    find st.pos
+  with
+  | None -> fail st (Printf.sprintf "unterminated construct, expected %S" stop)
+  | Some j ->
+    let text = String.sub st.src st.pos (j - st.pos) in
+    while st.pos < j + String.length stop do
+      advance st
+    done;
+    text
+
+let parse_name st =
+  let start = st.pos in
+  if not (Qname.is_name_start (peek st)) then fail st "expected a name";
+  while (not (eof st)) && (Qname.is_name_char (peek st) || peek st = ':') do
+    advance st
+  done;
+  Qname.of_string (String.sub st.src start (st.pos - start))
+
+let parse_attr_value st =
+  let quote = peek st in
+  if quote <> '"' && quote <> '\'' then fail st "expected attribute value";
+  advance st;
+  let start = st.pos in
+  while (not (eof st)) && peek st <> quote do
+    if peek st = '<' then fail st "'<' in attribute value";
+    advance st
+  done;
+  if eof st then fail st "unterminated attribute value";
+  let raw = String.sub st.src start (st.pos - start) in
+  advance st;
+  try Escape.unescape raw
+  with Escape.Unknown_entity e -> fail st ("unknown entity: " ^ e)
+
+let parse_attributes st =
+  let rec loop acc =
+    skip_space st;
+    let c = peek st in
+    if c = '>' || c = '/' || eof st then List.rev acc
+    else begin
+      let name = parse_name st in
+      skip_space st;
+      expect st '=';
+      skip_space st;
+      let value = parse_attr_value st in
+      if List.exists (fun (n, _) -> Qname.equal n name) acc then
+        fail st ("duplicate attribute " ^ Qname.to_string name);
+      loop ((name, value) :: acc)
+    end
+  in
+  loop []
+
+(* Parse the document into an event list. [keep_ws] keeps
+   whitespace-only text nodes between elements (default: dropped, as
+   for data-oriented documents). *)
+let parse ?(keep_ws = false) src =
+  let st = { src; pos = 0; line = 1; bol = 0 } in
+  let events = ref [] in
+  let emit e = events := e :: !events in
+  let depth = ref 0 in
+  let seen_root = ref false in
+  let emit_text raw =
+    let text =
+      try Escape.unescape raw
+      with Escape.Unknown_entity e -> fail st ("unknown entity: " ^ e)
+    in
+    let ws_only = String.for_all is_space text in
+    if text <> "" && ((not ws_only) || (keep_ws && !depth > 0)) then begin
+      if !depth = 0 && not ws_only then fail st "text outside root element";
+      emit (Event.Text text)
+    end
+  in
+  let rec element_content () =
+    (* Invariant: st.pos is at '<' of a markup construct or at text. *)
+    if eof st then ()
+    else if peek st = '<' then begin
+      if looking_at st "<!--" then begin
+        skip_string st "<!--";
+        let body = scan_until st "-->" in
+        emit (Event.Comment body);
+        element_content ()
+      end
+      else if looking_at st "<![CDATA[" then begin
+        if !depth = 0 then fail st "CDATA outside root element";
+        skip_string st "<![CDATA[";
+        let body = scan_until st "]]>" in
+        if body <> "" then emit (Event.Text body);
+        element_content ()
+      end
+      else if looking_at st "<?" then begin
+        skip_string st "<?";
+        let name = parse_name st in
+        skip_space st;
+        let body = scan_until st "?>" in
+        let target = Qname.to_string name in
+        if String.lowercase_ascii target <> "xml" then
+          emit (Event.Pi (target, body));
+        element_content ()
+      end
+      else if looking_at st "<!DOCTYPE" then begin
+        skip_string st "<!DOCTYPE";
+        (* Accept a simple <!DOCTYPE name> declaration; reject internal
+           subsets, which we do not need for the paper's workloads. *)
+        let body = scan_until st ">" in
+        if String.contains body '[' then
+          fail st "DOCTYPE internal subsets are not supported";
+        element_content ()
+      end
+      else if peek2 st = '/' then begin
+        skip_string st "</";
+        let name = parse_name st in
+        skip_space st;
+        expect st '>';
+        decr depth;
+        emit (Event.End_element name);
+        element_content ()
+      end
+      else begin
+        advance st;
+        let name = parse_name st in
+        let attrs = parse_attributes st in
+        skip_space st;
+        if !depth = 0 then begin
+          if !seen_root then fail st "multiple root elements";
+          seen_root := true
+        end;
+        if peek st = '/' then begin
+          advance st;
+          expect st '>';
+          emit (Event.Start_element (name, attrs));
+          emit (Event.End_element name)
+        end
+        else begin
+          expect st '>';
+          emit (Event.Start_element (name, attrs));
+          incr depth
+        end;
+        element_content ()
+      end
+    end
+    else begin
+      let start = st.pos in
+      while (not (eof st)) && peek st <> '<' do
+        advance st
+      done;
+      emit_text (String.sub st.src start (st.pos - start));
+      element_content ()
+    end
+  in
+  element_content ();
+  if !depth <> 0 then fail st "unclosed element";
+  if not !seen_root then fail st "no root element";
+  (* Check well-nestedness of end tags in a second pass (cheap and
+     keeps the main loop simple). *)
+  let evs = List.rev !events in
+  let stack = ref [] in
+  List.iter
+    (fun e ->
+      match e with
+      | Event.Start_element (n, _) -> stack := n :: !stack
+      | Event.End_element n -> (
+        match !stack with
+        | top :: rest when Qname.equal top n -> stack := rest
+        | top :: _ ->
+          fail st
+            (Printf.sprintf "mismatched end tag </%s>, expected </%s>"
+               (Qname.to_string n) (Qname.to_string top))
+        | [] -> fail st "stray end tag")
+      | Event.Text _ | Event.Comment _ | Event.Pi _ -> ())
+    evs;
+  evs
+
+let parse_string = parse

@@ -1,0 +1,19 @@
+(** A small, strict XML 1.0 parser producing {!Event.t} values.
+
+    Supported: prolog, elements, attributes, character data, entity
+    and character references, CDATA, comments, processing
+    instructions, subset-free DOCTYPE. Rejected: internal DTD subsets,
+    mismatched/unclosed tags, duplicate attributes, text or multiple
+    elements at top level. *)
+
+type position = { line : int; col : int }
+
+exception Error of position * string
+
+(** Parse a document into its event list. [keep_ws] keeps
+    whitespace-only text nodes (default: dropped, as for data-oriented
+    documents). @raise Error with a source position on malformed
+    input. *)
+val parse : ?keep_ws:bool -> string -> Event.t list
+
+val parse_string : ?keep_ws:bool -> string -> Event.t list

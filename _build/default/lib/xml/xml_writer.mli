@@ -1,0 +1,15 @@
+(** Serialize event streams back to XML text; inverse of
+    {!Xml_parser.parse} on its supported subset (checked by a
+    round-trip property in the test suite). *)
+
+val add_event : Buffer.t -> Event.t -> unit
+
+val to_string : Event.t list -> string
+
+(** Human-oriented variant: elements on their own lines where content
+    permits. *)
+val to_string_indented : Event.t list -> string
+
+(** Like {!to_string} but collapses empty Start/End pairs into
+    [<e/>]. *)
+val to_string_self_closing : Event.t list -> string

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Core List Printexc QCheck2 QCheck_alcotest String Xqb_store Xqb_xdm Xqb_xml

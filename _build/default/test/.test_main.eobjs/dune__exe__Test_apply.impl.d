@@ -1,0 +1,1 @@
+test/test_apply.ml: Alcotest Array Core Fun Helpers List Printf QCheck2 Random Xqb_store

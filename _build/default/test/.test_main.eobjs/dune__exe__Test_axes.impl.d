@@ -1,0 +1,1 @@
+test/test_axes.ml: Alcotest Fun Helpers List QCheck2 Xqb_store

@@ -1,0 +1,1 @@
+test/test_conformance.ml: Alcotest Helpers List Printexc Printf Xqb_syntax

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Core Helpers Printf Re String Xqb_store Xqb_xdm Xqb_xml

@@ -1,0 +1,1 @@
+test/test_eval_xquery.ml: Core Helpers

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Core Helpers Xqb_store Xqb_xdm

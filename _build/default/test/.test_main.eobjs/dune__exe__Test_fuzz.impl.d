@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Core Helpers List Printexc Printf QCheck2 Random String Xqb_algebra Xqb_store

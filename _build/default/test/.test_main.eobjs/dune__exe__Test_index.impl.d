@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Core Helpers List Option Xqb_store Xqb_syntax Xqb_xml

@@ -1,0 +1,1 @@
+test/test_normalize.ml: Alcotest Core Helpers Option Xqb_store Xqb_syntax Xqb_xdm

@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest Core Helpers List Option Printf QCheck2 Re Xqb_algebra Xqb_store Xqb_xmark

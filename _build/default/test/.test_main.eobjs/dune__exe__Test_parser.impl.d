@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Helpers List Xqb_store Xqb_syntax Xqb_xml

@@ -1,0 +1,1 @@
+test/test_pretty.ml: Alcotest Helpers List Printexc QCheck2 Xqb_store Xqb_syntax

@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Core Helpers List Option Test_conformance Xqb_syntax Xqb_xdm

@@ -1,0 +1,1 @@
+test/test_static.ml: Alcotest Core Helpers List Option Xqb_syntax Xqb_xml

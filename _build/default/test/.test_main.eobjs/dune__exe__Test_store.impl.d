@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Helpers List Option QCheck2 Xqb_store Xqb_xml

@@ -1,0 +1,1 @@
+test/test_types.ml: Alcotest Core Helpers Xqb_syntax Xqb_xdm Xqb_xml

@@ -1,0 +1,1 @@
+test/test_typing.ml: Alcotest Core Helpers List Option Test_conformance Xqb_store Xqb_syntax Xqb_xdm

@@ -1,0 +1,1 @@
+test/test_update_matrix.ml: Alcotest Core Helpers List Printf

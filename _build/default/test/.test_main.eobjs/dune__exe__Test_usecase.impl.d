@@ -1,0 +1,1 @@
+test/test_usecase.ml: Alcotest Core Helpers Printf Xqb_xmark

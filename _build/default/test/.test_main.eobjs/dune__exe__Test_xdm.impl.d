@@ -1,0 +1,1 @@
+test/test_xdm.ml: Alcotest Float Helpers QCheck2 Xqb_xdm

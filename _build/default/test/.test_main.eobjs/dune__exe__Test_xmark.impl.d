@@ -1,0 +1,1 @@
+test/test_xmark.ml: Alcotest Core Helpers Lazy List Option QCheck2 Xqb_store Xqb_xmark Xqb_xml

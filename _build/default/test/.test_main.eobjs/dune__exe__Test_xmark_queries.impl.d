@@ -1,0 +1,1 @@
+test/test_xmark_queries.ml: Alcotest Core Helpers Lazy String Xqb_xmark

@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Helpers List QCheck2 Xqb_xml

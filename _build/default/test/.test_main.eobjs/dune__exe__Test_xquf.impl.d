@@ -1,0 +1,1 @@
+test/test_xquf.ml: Alcotest Core Helpers Option Xqb_syntax

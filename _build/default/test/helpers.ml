@@ -1,0 +1,76 @@
+(* Shared helpers for the test suite. *)
+
+module Store = Xqb_store.Store
+module Value = Xqb_xdm.Value
+module Item = Xqb_xdm.Item
+module Atomic = Xqb_xdm.Atomic
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+(* Run a query on a fresh engine; return the serialized result. *)
+let run ?mode ?pre src =
+  let eng = Core.Engine.create () in
+  (match pre with Some f -> f eng | None -> ());
+  let v = Core.Engine.run ?mode eng src in
+  Core.Engine.serialize eng v
+
+(* Run and expect a given serialized output. *)
+let expect ?mode ?pre name src expected =
+  tc name `Quick (fun () -> check Alcotest.string name expected (run ?mode ?pre src))
+
+(* Run and expect some exception. *)
+let expect_error name src (matches : exn -> bool) =
+  tc name `Quick (fun () ->
+      match run src with
+      | s -> Alcotest.failf "%s: expected an error, got %S" name s
+      | exception e ->
+        if not (matches e) then
+          Alcotest.failf "%s: unexpected exception %s" name (Printexc.to_string e))
+
+let any_dynamic_error = function
+  | Xqb_xdm.Errors.Dynamic_error _ -> true
+  | _ -> false
+
+let dynamic_error code = function
+  | Xqb_xdm.Errors.Dynamic_error (c, _) -> String.equal c code
+  | _ -> false
+
+let compile_error = function Core.Engine.Compile_error _ -> true | _ -> false
+
+(* A small fixed document used by many node-level tests:
+   doc > a > (b1[x=1] > t1, c1, b2 > (t2, d1)), plus comment and pi. *)
+type fixture = {
+  store : Store.t;
+  doc : Store.node_id;
+  a : Store.node_id;
+  b1 : Store.node_id;
+  x1 : Store.node_id;  (* attribute on b1 *)
+  t1 : Store.node_id;
+  c1 : Store.node_id;
+  b2 : Store.node_id;
+  t2 : Store.node_id;
+  d1 : Store.node_id;
+}
+
+let fixture () =
+  let store = Store.create () in
+  let doc =
+    Store.load_string store "<a><b x=\"1\">one</b><c/><b>two<d/></b></a>"
+  in
+  let a = List.hd (Store.children store doc) in
+  match Store.children store a with
+  | [ b1; c1; b2 ] ->
+    let x1 = List.hd (Store.attributes store b1) in
+    let t1 = List.hd (Store.children store b1) in
+    (match Store.children store b2 with
+    | [ t2; d1 ] -> { store; doc; a; b1; x1; t1; c1; b2; t2; d1 }
+    | _ -> assert false)
+  | _ -> assert false
+
+let qn = Xqb_xml.Qname.of_string
+
+(* qcheck -> alcotest adapter with a fixed seed for reproducibility. *)
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest ~long:false
+    (QCheck2.Test.make ~count ~name gen prop)

@@ -1,0 +1,298 @@
+(* S5/E2: the three update-application semantics of §3.2 and the
+   conflict-detection rules, including the qcheck property behind the
+   conflict-detection design: a ∆ that passes verification yields the
+   same store under *every* permutation. *)
+
+open Helpers
+module Store = Xqb_store.Store
+module Update = Core.Update
+module Apply = Core.Apply
+module Conflict = Core.Conflict
+
+(* Build a store with a root <x/> plus n fresh <e{i}/> roots to
+   insert. *)
+let setup n =
+  let store = Store.create () in
+  let doc = Store.load_string store "<x><a/><b/></x>" in
+  let x = List.hd (Store.children store doc) in
+  let fresh = List.init n (fun i -> Store.make_element store (qn (Printf.sprintf "e%d" i))) in
+  (store, x, fresh)
+
+let serialize store x = Store.serialize store x
+
+let ordered_tests =
+  [
+    tc "ordered applies in delta order" `Quick (fun () ->
+        let store, x, fresh = setup 3 in
+        let delta =
+          List.map
+            (fun n -> Update.Insert { nodes = [ n ]; parent = x; position = Update.Last })
+            fresh
+        in
+        Apply.apply store Apply.Ordered delta;
+        check Alcotest.string "xml"
+          "<x><a></a><b></b><e0></e0><e1></e1><e2></e2></x>"
+          (serialize store x));
+    tc "failure rolls back everything" `Quick (fun () ->
+        let store, x, fresh = setup 2 in
+        let before = serialize store x in
+        let bad =
+          (* second request inserts a node that just got a parent *)
+          [
+            Update.Insert { nodes = [ List.nth fresh 0 ]; parent = x; position = Update.Last };
+            Update.Insert { nodes = [ List.nth fresh 0 ]; parent = x; position = Update.Last };
+          ]
+        in
+        (match Apply.apply store Apply.Ordered bad with
+        | _ -> Alcotest.fail "expected Update_error"
+        | exception Store.Update_error _ -> ());
+        check Alcotest.string "unchanged" before (serialize store x);
+        check (Alcotest.list Alcotest.string) "invariants" [] (Store.validate store));
+    tc "before/after anchors resolve at application time" `Quick (fun () ->
+        let store, x, fresh = setup 2 in
+        let a = List.hd (Store.children store x) in
+        let delta =
+          [
+            Update.Insert { nodes = [ List.nth fresh 0 ]; parent = x; position = Update.After a };
+            Update.Insert { nodes = [ List.nth fresh 1 ]; parent = x; position = Update.Before a };
+          ]
+        in
+        Apply.apply store Apply.Ordered delta;
+        check Alcotest.string "xml"
+          "<x><e1></e1><a></a><e0></e0><b></b></x>"
+          (serialize store x));
+  ]
+
+let nondet_tests =
+  [
+    tc "nondeterministic permutes by seed" `Quick (fun () ->
+        (* With enough independent same-slot inserts, two different
+           seeds are overwhelmingly likely to give different orders;
+           the same seed must give the same order. *)
+        let run seed =
+          let store, x, fresh = setup 6 in
+          let delta =
+            List.map
+              (fun n ->
+                Update.Insert { nodes = [ n ]; parent = x; position = Update.Last })
+              fresh
+          in
+          Apply.apply ~rand_state:(Random.State.make [| seed |]) store
+            Apply.Nondeterministic delta;
+          serialize store x
+        in
+        check Alcotest.string "same seed, same result" (run 7) (run 7);
+        check Alcotest.bool "different seeds differ somewhere" true
+          (List.exists (fun s -> run s <> run 7) [ 1; 2; 3; 4; 5 ]));
+    tc "order-independent deltas agree across seeds" `Quick (fun () ->
+        let run seed =
+          let store, x, _ = setup 0 in
+          let kids = Store.children store x in
+          let delta = List.map (fun k -> Update.Delete k) kids in
+          Apply.apply ~rand_state:(Random.State.make [| seed |]) store
+            Apply.Nondeterministic delta;
+          serialize store x
+        in
+        check Alcotest.string "same" (run 1) (run 42));
+  ]
+
+let conflict_rules =
+  let insert_last nodes parent = Update.Insert { nodes; parent; position = Update.Last } in
+  [
+    tc "R1: two inserts on the same slot" `Quick (fun () ->
+        check Alcotest.bool "conflict" false
+          (Conflict.is_conflict_free [ insert_last [ 10 ] 1; insert_last [ 11 ] 1 ]));
+    tc "R1: different parents are fine" `Quick (fun () ->
+        check Alcotest.bool "free" true
+          (Conflict.is_conflict_free [ insert_last [ 10 ] 1; insert_last [ 11 ] 2 ]));
+    tc "R1: first vs last on same parent are distinct slots" `Quick (fun () ->
+        check Alcotest.bool "free" true
+          (Conflict.is_conflict_free
+             [
+               Update.Insert { nodes = [ 10 ]; parent = 1; position = Update.First };
+               insert_last [ 11 ] 1;
+             ]));
+    tc "R2: insert anchored on a deleted node" `Quick (fun () ->
+        check Alcotest.bool "conflict" false
+          (Conflict.is_conflict_free
+             [
+               Update.Insert { nodes = [ 10 ]; parent = 1; position = Update.After 5 };
+               Update.Delete 5;
+             ]);
+        (* in either order *)
+        check Alcotest.bool "conflict" false
+          (Conflict.is_conflict_free
+             [
+               Update.Delete 5;
+               Update.Insert { nodes = [ 10 ]; parent = 1; position = Update.Before 5 };
+             ]));
+    tc "R3: same node inserted twice" `Quick (fun () ->
+        check Alcotest.bool "conflict" false
+          (Conflict.is_conflict_free [ insert_last [ 10 ] 1; insert_last [ 10 ] 2 ]));
+    tc "R4: node both inserted and deleted" `Quick (fun () ->
+        check Alcotest.bool "conflict" false
+          (Conflict.is_conflict_free [ insert_last [ 10 ] 1; Update.Delete 10 ]);
+        check Alcotest.bool "conflict" false
+          (Conflict.is_conflict_free [ Update.Delete 10; insert_last [ 10 ] 1 ]));
+    tc "R5: diverging renames" `Quick (fun () ->
+        check Alcotest.bool "conflict" false
+          (Conflict.is_conflict_free
+             [ Update.Rename (3, qn "a"); Update.Rename (3, qn "b") ]);
+        check Alcotest.bool "same name ok" true
+          (Conflict.is_conflict_free
+             [ Update.Rename (3, qn "a"); Update.Rename (3, qn "a") ]));
+    tc "independent mix is conflict-free" `Quick (fun () ->
+        check Alcotest.bool "free" true
+          (Conflict.is_conflict_free
+             [
+               insert_last [ 10 ] 1;
+               Update.Insert { nodes = [ 11 ]; parent = 2; position = Update.First };
+               Update.Delete 7;
+               Update.Delete 7;
+               Update.Rename (8, qn "n");
+             ]));
+    tc "deletes of the same node commute" `Quick (fun () ->
+        check Alcotest.bool "free" true
+          (Conflict.is_conflict_free [ Update.Delete 7; Update.Delete 7 ]));
+  ]
+
+let conflict_engine =
+  [
+    expect_error "conflicting snap fails"
+      {|let $x := <x/>
+        return snap conflict { insert {<a/>} into {$x}, insert {<b/>} into {$x} }|}
+      (fun e -> match e with Core.Conflict.Conflict _ -> true | _ -> false);
+    expect "store untouched after rejected conflict snap"
+      {|let $x := <x><keep/></x>
+        let $r := (
+          (: trap the conflict in a sibling snap: not expressible in
+             the language, so check from the outside that a rejected
+             snap earlier in the program leaves the store intact —
+             covered by the engine test; here verify the positive
+             case :)
+          snap conflict { insert {<a/>} into {$x}, rename {$x/keep} to {'kept'} }
+        )
+        return ($x/kept is $x/*[1], count($x/a))|}
+      "true 1";
+    expect "conflict-free snap applies in any order"
+      {|let $x := <x><a/><b/></x>
+        return (snap conflict { delete {$x/a}, rename {$x/b} to {'z'} }, $x)|}
+      "<x><z></z></x>";
+  ]
+
+(* -- The E2 property: conflict-free ⇒ permutation-independent ------- *)
+
+(* Generate random deltas over a fixed store shape, apply under every
+   permutation (n ≤ 4 requests): if the conflict checker accepts, all
+   permutations must agree. This is the soundness property of the
+   §3.2 conflict-detection semantics. *)
+let gen_requests =
+  let open QCheck2.Gen in
+  list_size (int_range 1 4)
+    (oneof
+       [
+         map2 (fun parent fresh -> `Ins (parent, fresh)) (int_bound 3) (int_bound 3);
+         map (fun t -> `Del t) (int_bound 3);
+         map2 (fun t n -> `Ren (t, n)) (int_bound 3) (oneofl [ "m"; "n" ]);
+         map2 (fun t v -> `SetV (t, v)) (int_bound 3) (oneofl [ "u"; "w" ]);
+       ])
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x ->
+        let rest = List.filter (fun y -> y != x) l in
+        List.map (fun p -> x :: p) (permutations rest))
+      l
+
+let conflict_free_is_order_independent =
+  qtest ~count:300 "conflict-free deltas commute (E2 soundness)" gen_requests
+    (fun spec ->
+      (* Materialize the delta against a fresh store; node ids are
+         deterministic, so the same spec builds the same delta in
+         every run. *)
+      let build () =
+        let store = Store.create () in
+        let doc = Store.load_string store "<r><p0/><p1/><p2/><p3/></r>" in
+        let r = List.hd (Store.children store doc) in
+        let parents = Store.children store r in
+        let fresh = List.init 4 (fun i -> Store.make_element store (qn (Printf.sprintf "f%d" i))) in
+        let delta =
+          List.map
+            (function
+              | `Ins (p, f) ->
+                Update.Insert
+                  {
+                    nodes = [ List.nth fresh f ];
+                    parent = List.nth parents p;
+                    position = Update.Last;
+                  }
+              | `Del t -> Update.Delete (List.nth parents t)
+              | `Ren (t, n) -> Update.Rename (List.nth parents t, qn n)
+              | `SetV (t, v) -> Update.Set_value (List.nth parents t, v))
+            spec
+        in
+        (store, doc, delta)
+      in
+      let _, _, delta0 = build () in
+      if not (Conflict.is_conflict_free delta0) then true (* property vacuous *)
+      else begin
+        let results =
+          List.map
+            (fun perm ->
+              let store, doc, delta = build () in
+              let permuted = List.map (fun i -> List.nth delta i) perm in
+              match Apply.apply store Apply.Ordered permuted with
+              | () -> Some (Store.serialize store doc)
+              | exception _ -> None)
+            (permutations (List.init (List.length delta0) Fun.id))
+        in
+        match results with
+        | [] -> true
+        | first :: rest ->
+          if List.for_all (fun r -> r = first) rest then true
+          else
+            QCheck2.Test.fail_reportf
+              "conflict-free delta diverged under permutation: %s"
+              (Update.delta_to_string delta0)
+      end)
+
+(* The checker itself must not depend on ∆ order: acceptance of a ∆
+   is a property of its *set* of requests (it decides whether all
+   permutations commute), so permuting the input must not change the
+   verdict. *)
+let checker_permutation_insensitive =
+  qtest ~count:200 "Conflict.check is permutation-insensitive"
+    QCheck2.Gen.(
+      pair gen_requests (int_bound 1000))
+    (fun (spec, seed) ->
+      let mk =
+        List.map (function
+          | `Ins (p, f) ->
+            Update.Insert { nodes = [ 100 + f ]; parent = p; position = Update.Last }
+          | `Del t -> Update.Delete t
+          | `Ren (t, n) -> Update.Rename (t, qn n)
+          | `SetV (t, v) -> Update.Set_value (t, v))
+      in
+      let delta = mk spec in
+      let rand = Random.State.make [| seed |] in
+      let arr = Array.of_list delta in
+      for i = Array.length arr - 1 downto 1 do
+        let j = Random.State.int rand (i + 1) in
+        let t = arr.(i) in
+        arr.(i) <- arr.(j);
+        arr.(j) <- t
+      done;
+      Conflict.is_conflict_free delta
+      = Conflict.is_conflict_free (Array.to_list arr))
+
+let suite =
+  [
+    ("apply:ordered", ordered_tests);
+    ("apply:checker-insensitive", [ checker_permutation_insensitive ]);
+    ("apply:nondeterministic", nondet_tests);
+    ("apply:conflict-rules", conflict_rules);
+    ("apply:conflict-engine", conflict_engine);
+    ("apply:permutation-property", [ conflict_free_is_order_independent ]);
+  ]

@@ -1,0 +1,198 @@
+(* S5: the update operations of Fig. 2 — one or more tests per
+   semantic rule, including the copy-insertion behaviour of §3.3 and
+   the "updates return ()" property of §2.2. *)
+
+open Helpers
+
+let updates_return_empty =
+  [
+    expect "insert returns ()" "let $x := <x/> return count((insert {<a/>} into {$x}))"
+      "0";
+    expect "delete returns ()" "let $x := <x><a/></x> return count((delete {$x/a}))" "0";
+    expect "rename returns ()" "let $x := <x/> return count((rename {$x} to {'y'}))" "0";
+    expect "replace returns ()"
+      "let $x := <x><a/></x> return count((replace {$x/a} with {<b/>}))" "0";
+    expect "composition via comma (the get_item pattern)"
+      "let $x := <x/> return (insert {<l/>} into {$x}, 'value')" "value";
+  ]
+
+let insert_locations =
+  [
+    expect "into appends (as last)"
+      "let $x := <x><a/></x> return (snap insert {<z/>} into {$x}, $x)"
+      "<x><a></a><z></z></x>";
+    expect "as first into"
+      "let $x := <x><a/></x> return (snap insert {<z/>} as first into {$x}, $x)"
+      "<x><z></z><a></a></x>";
+    expect "as last into"
+      "let $x := <x><a/></x> return (snap insert {<z/>} as last into {$x}, $x)"
+      "<x><a></a><z></z></x>";
+    expect "before"
+      "let $x := <x><a/><b/></x> return (snap insert {<z/>} before {$x/b}, $x)"
+      "<x><a></a><z></z><b></b></x>";
+    expect "before first child"
+      "let $x := <x><a/></x> return (snap insert {<z/>} before {$x/a}, $x)"
+      "<x><z></z><a></a></x>";
+    expect "after"
+      "let $x := <x><a/><b/></x> return (snap insert {<z/>} after {$x/a}, $x)"
+      "<x><a></a><z></z><b></b></x>";
+    expect "insert a sequence keeps its order"
+      "let $x := <x/> return (snap insert {(<a/>, <b/>, <c/>)} into {$x}, $x)"
+      "<x><a></a><b></b><c></c></x>";
+    expect "insert atomic payload becomes text"
+      "let $x := <x/> return (snap insert {1 + 1} into {$x}, $x)" "<x>2</x>";
+    expect "insert attribute node"
+      "let $x := <x/> return (snap insert {attribute k {'v'}} into {$x}, $x)"
+      "<x k=\"v\"></x>";
+    expect_error "insert before parentless node"
+      "let $x := <x/> return snap insert {<z/>} before {$x}"
+      (dynamic_error "XUDY0029");
+    expect_error "insert into text node"
+      "let $x := <x>t</x> return snap insert {<z/>} into {$x/text()}"
+      (fun e -> match e with Xqb_store.Store.Update_error _ -> true | _ -> false);
+  ]
+
+let copy_semantics =
+  [
+    (* §3.3: "this copy prevents the inserted tree from having two
+       parents" — inserting an attached node must copy it. *)
+    expect "insert copies its payload"
+      {|let $x := <x><keep/></x>
+        let $y := <y/>
+        return (snap insert {$x/keep} into {$y},
+                count($x/keep), count($y/keep))|}
+      "1 1";
+    expect "replace copies its payload"
+      {|let $x := <x><a/></x>
+        let $y := <y><b/></y>
+        return (snap replace {$y/b} with {$x/a}, count($x/a), count($y/a))|}
+      "1 1";
+    expect "explicit copy is deep and fresh"
+      {|let $x := <x><a><b/></a></x>
+        let $c := copy {$x/a}
+        return (count($c/b), $c is $x/a)|}
+      "1 false";
+    expect "copy of atomics is identity" "copy {(1, 'a')}" "1 a";
+    expect "mutating the copy leaves the original"
+      {|let $x := <x><a/></x>
+        let $c := copy {$x}
+        return (snap delete {$c/a}, count($x/a), count($c/a))|}
+      "1 0";
+  ]
+
+let delete_semantics =
+  [
+    expect "delete detaches"
+      "let $x := <x><a/><b/></x> return (snap delete {$x/a}, $x)" "<x><b></b></x>";
+    expect "detached nodes remain queryable (§3.1)"
+      {|let $x := <x><a><c/></a></x>
+        let $a := $x/a
+        return (snap delete {$x/a}, count($x/a), count($a/c))|}
+      "0 1";
+    (* insert always copies its payload (§3.3), so moving a detached
+       node actually inserts a fresh copy of it *)
+    expect "re-inserting a detached node still copies"
+      {|let $x := <x><a/></x>
+        let $y := <y/>
+        let $a := $x/a
+        return (snap delete {$a},
+                snap insert {$a} into {$y},
+                count($y/a), $y/a is $a)|}
+      "1 false";
+    expect "delete a whole sequence"
+      "let $x := <x><a/><a/><a/></x> return (snap delete {$x/a}, count($x/a))" "0";
+    expect "delete of empty sequence is fine"
+      "let $x := <x/> return (snap delete {$x/nothing}, 'ok')" "ok";
+    expect "delete attribute"
+      "let $x := <x k=\"v\"/> return (snap delete {$x/@k}, count($x/@k))" "0";
+  ]
+
+let rename_replace =
+  [
+    expect "rename element"
+      "let $x := <x><a/></x> return (snap rename {$x/a} to {'z'}, $x)"
+      "<x><z></z></x>";
+    expect "rename with computed name"
+      "let $x := <x><a/></x> return (snap rename {$x/a} to {concat('n', 1)}, $x)"
+      "<x><n1></n1></x>";
+    expect "rename attribute"
+      "let $x := <x k=\"v\"/> return (snap rename {$x/@k} to {'j'}, string($x/@j))"
+      "v";
+    expect_error "rename to invalid name"
+      "let $x := <x><a/></x> return snap rename {$x/a} to {'not a name'}"
+      any_dynamic_error;
+    expect "replace produces insert+delete at the same spot (Fig. 2)"
+      "let $x := <x><a/><b/><c/></x> return (snap replace {$x/b} with {<z/>}, $x)"
+      "<x><a></a><z></z><c></c></x>";
+    expect "replace with sequence"
+      "let $x := <x><a/></x> return (snap replace {$x/a} with {(<p/>, <q/>)}, $x)"
+      "<x><p></p><q></q></x>";
+    expect "replace with atomic (counter pattern, §2.5)"
+      "let $d := <c>0</c> return (snap replace {$d/text()} with {$d + 1}, string($d))"
+      "1";
+    expect_error "replace parentless node"
+      "let $x := <x/> return snap replace {$x} with {<y/>}"
+      (dynamic_error "XUDY0009");
+    expect_error "rename needs a node" "snap rename {1} to {'x'}" any_dynamic_error;
+  ]
+
+(* Fig. 2/3 ordering: Delta3 = (Delta1, Delta2, op...) — sub-expression
+   updates come first, and sequence order is preserved. *)
+let delta_ordering =
+  [
+    expect "sequence concatenates deltas in order"
+      {|let $x := <x/>
+        return (snap ordered { insert {<a/>} into {$x}, insert {<b/>} into {$x} }, $x)|}
+      "<x><a></a><b></b></x>";
+    expect "for loop emits deltas in iteration order"
+      {|let $x := <x/>
+        return (snap ordered { for $i in (1,2,3) return insert {element n {$i}} into {$x} }, $x)|}
+      "<x><n>1</n><n>2</n><n>3</n></x>";
+    expect "function call: argument deltas precede body deltas"
+      {|declare variable $x := <x/>;
+        declare function f($arg) { insert {<body/>} into {$x} };
+        (snap ordered { f(insert {<arg/>} into {$x}) }, $x)|}
+      "<x><arg></arg><body></body></x>";
+    expect "nested update operands: inner expressions first"
+      {|let $x := <x/>
+        return (snap ordered {
+                  insert { (insert {<inner/>} into {$x}, <outer/>) } into {$x}
+                }, $x)|}
+      "<x><inner></inner><outer></outer></x>";
+    expect "where clause updates are collected"
+      {|let $x := <x/>
+        return (snap ordered {
+                  for $i in (1,2)
+                  where (insert {element w {$i}} into {$x}, true())
+                  return insert {element r {$i}} into {$x}
+                }, $x)|}
+      "<x><w>1</w><r>1</r><w>2</w><r>2</r></x>";
+  ]
+
+let snapshot_isolation =
+  [
+    (* Inside a snap, updates are pending: queries see the old store. *)
+    expect "pending updates are invisible inside their snap"
+      {|let $x := <x/>
+        return snap { insert {<a/>} into {$x}, count($x/a) }|}
+      "0";
+    expect "visible after the snap closes"
+      {|let $x := <x/>
+        return (snap { insert {<a/>} into {$x} }, count($x/a))|}
+      "1";
+    expect "top-level implicit snap delays to query end"
+      {|let $x := <x/>
+        return (insert {<a/>} into {$x}, count($x/a))|}
+      "0";
+  ]
+
+let suite =
+  [
+    ("updates:return-empty", updates_return_empty);
+    ("updates:insert-locations", insert_locations);
+    ("updates:copy", copy_semantics);
+    ("updates:delete", delete_semantics);
+    ("updates:rename-replace", rename_replace);
+    ("updates:delta-order", delta_ordering);
+    ("updates:snapshot", snapshot_isolation);
+  ]

@@ -1,0 +1,105 @@
+(* S5: the builtin function library (F&O subset). *)
+
+open Helpers
+
+let pre eng =
+  let d =
+    Core.Engine.load_document eng ~uri:"d"
+      "<r><a>1</a><a>2</a><b>x</b><c/></r>"
+  in
+  Core.Engine.bind_node eng "d" d
+
+let sequences =
+  [
+    expect "count/empty/exists" "(count((1,2,3)), empty(()), exists(()))" "3 true false";
+    expect "not and boolean" "(not(0), boolean('x'))" "true true";
+    expect "true false" "(true(), false())" "true false";
+    expect "distinct-values" "distinct-values((1, 2, 1, 1.0, 'a', 'a'))" "1 2 a";
+    expect "distinct-values numeric tower" "count(distinct-values((1, 1.0, 2e0)))" "2";
+    expect "reverse" "reverse((1,2,3))" "3 2 1";
+    expect "subsequence/2" "subsequence((1,2,3,4), 3)" "3 4";
+    expect "subsequence/3" "subsequence((1,2,3,4), 2, 2)" "2 3";
+    expect "insert-before" "insert-before((1,2,3), 2, (9,9))" "1 9 9 2 3";
+    expect "insert-before at end" "insert-before((1,2), 9, 0)" "1 2 0";
+    expect "remove" "remove((1,2,3), 2)" "1 3";
+    expect "index-of" "index-of((5,6,5), 5)" "1 3";
+    expect "exactly-one ok" "exactly-one((42))" "42";
+    expect_error "exactly-one fails" "exactly-one((1,2))" any_dynamic_error;
+    expect "zero-or-one" "zero-or-one(())" "";
+    expect_error "one-or-more fails" "one-or-more(())" any_dynamic_error;
+  ]
+
+let strings =
+  [
+    expect "concat" "concat('a', 1, 'b')" "a1b";
+    expect "string-join" "string-join(('a','b','c'), '-')" "a-b-c";
+    expect "string-length" "string-length('hello')" "5";
+    expect "contains" "(contains('abc','b'), contains('abc','z'), contains('abc',''))"
+      "true false true";
+    expect "starts/ends-with" "(starts-with('abc','ab'), ends-with('abc','bc'))"
+      "true true";
+    expect "substring" "(substring('12345', 2), substring('12345', 2, 2))" "2345 23";
+    expect "substring clamps" "(substring('abc', 0), substring('abc', 9))" "abc ";
+    expect "substring-before/after"
+      "(substring-before('a=b','='), substring-after('a=b','='))" "a b";
+    expect "upper/lower" "(upper-case('aBc'), lower-case('aBc'))" "ABC abc";
+    expect "translate" "translate('abcabc', 'abc', 'AB')" "ABAB";
+    expect "normalize-space" "normalize-space('  a  b ')" "a b";
+    expect "matches" "(matches('abc','b.'), matches('abc','^c'))" "true false";
+    expect "replace" "replace('banana', 'an', '*')" "b**a";
+    expect "tokenize" "tokenize('a,b,,c', ',')" "a b  c";
+    expect "string on node" ~pre "string(($d//a)[1])" "1";
+    expect "string-length of context" "('abc')[string-length() = 3]" "abc";
+  ]
+
+let numerics =
+  [
+    expect "sum" "sum((1, 2, 3))" "6";
+    expect "sum of empty" "sum(())" "0";
+    expect "sum with zero value" "sum((), 100)" "100";
+    expect "avg" "avg((1, 2, 3))" "2";
+    expect "avg of empty" "count(avg(()))" "0";
+    expect "max min" "(max((3,1,2)), min((3,1,2)))" "3 1";
+    expect "max over untyped" ~pre "max($d//a)" "2";
+    expect "abs" "(abs(-3), abs(3.5))" "3 3.5";
+    expect "floor ceiling round" "(floor(1.7), ceiling(1.2), round(1.5))" "1 2 2";
+    expect "number" "(number('3'), number('x'))" "3 NaN";
+    expect "sum promotes" "sum((1, 0.5))" "1.5";
+  ]
+
+let nodes =
+  [
+    expect "name and local-name" ~pre "(name(($d//a)[1]), local-name(($d//a)[1]))" "a a";
+    expect "name of empty" "name(())" "";
+    expect "node-name" ~pre "count(node-name(($d//c)[1]))" "1";
+    expect "root" ~pre "(root(($d//a)[1]) is $d)" "true";
+    expect "data" ~pre "data($d//a)" "1 2";
+    expect "deep-equal same" "deep-equal(<a x='1'>t<b/></a>, <a x='1'>t<b/></a>)" "true";
+    expect "deep-equal attr order" "deep-equal(<a x='1' y='2'/>, <a y='2' x='1'/>)"
+      "true";
+    expect "deep-equal differs" "deep-equal(<a>1</a>, <a>2</a>)" "false";
+    expect "deep-equal atomics" "(deep-equal((1,'a'), (1,'a')), deep-equal(1, 2))"
+      "true false";
+    expect "doc function" ~pre "count(doc('d')//a)" "2";
+    expect_error "doc unknown" "doc('missing')" (dynamic_error "FODC0002");
+  ]
+
+let errors_and_misc =
+  [
+    expect_error "fn:error" "error()" (dynamic_error "FOER0000");
+    expect_error "fn:error with code" "error('MYERR', 'boom')" (dynamic_error "MYERR");
+    expect "position/last" "(1,2,3)[position() = last()]" "3";
+    expect_error "position without context" "position()" (dynamic_error "XPDY0002");
+    expect "xs constructors" "(xs:integer('7'), xs:string(7), xs:boolean('1'), xs:double('1.5'))"
+      "7 7 true 1.5";
+    expect "trace passes value" "trace((1,2), 'lbl')" "1 2";
+  ]
+
+let suite =
+  [
+    ("functions:sequences", sequences);
+    ("functions:strings", strings);
+    ("functions:numerics", numerics);
+    ("functions:nodes", nodes);
+    ("functions:misc", errors_and_misc);
+  ]

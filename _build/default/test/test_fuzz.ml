@@ -1,0 +1,187 @@
+(* Program-level fuzzing: generate random *well-scoped* XQuery!
+   programs mixing queries and updates, then check engine-level
+   invariants that must hold for every program:
+
+   P1. determinism — running the same program twice on fresh engines
+       (same seed) produces identical serializations and stores;
+   P2. store health — after any run (including failed ones), the store
+       invariants hold;
+   P3. the §4.2 simplifier never changes results;
+   P4. the algebraic runner agrees with direct evaluation. *)
+
+open Helpers
+
+(* -- a generator of well-scoped programs ----------------------------- *)
+
+(* Variables: $d0..$d2 are document roots bound by the harness; query
+   generation threads the set of bound let-variables. *)
+
+type genv = { depth : int; vars : string list; rng : Random.State.t }
+
+let pick g l = List.nth l (Random.State.int g.rng (List.length l))
+
+let fresh_var =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Printf.sprintf "v%d" !n
+
+let gen_path g root =
+  let steps = [ ""; "/*"; "//*"; "/a"; "//b"; "//node()"; "/*[1]"; "//a/.." ] in
+  root ^ pick g steps
+
+let gen_atom g vars =
+  match Random.State.int g.rng 6 with
+  | 0 -> string_of_int (Random.State.int g.rng 10)
+  | 1 -> Printf.sprintf "'s%d'" (Random.State.int g.rng 4)
+  | 2 -> "<n/>"
+  | 3 -> Printf.sprintf "<e k=\"%d\">t</e>" (Random.State.int g.rng 3)
+  | 4 when vars <> [] -> "$" ^ pick g vars
+  | _ -> "."
+
+(* a node-valued expression (target of updates) *)
+let gen_target g = gen_path g (pick g [ "$d0"; "$d1"; "$d2" ])
+
+let rec gen_expr (g : genv) : string =
+  if g.depth = 0 then gen_atom g g.vars
+  else
+    let sub () = gen_expr { g with depth = g.depth - 1 } in
+    match Random.State.int g.rng 14 with
+    | 0 -> Printf.sprintf "(%s, %s)" (sub ()) (sub ())
+    | 1 ->
+      let v = fresh_var () in
+      Printf.sprintf "let $%s := %s return %s" v (sub ())
+        (gen_expr { g with depth = g.depth - 1; vars = v :: g.vars })
+    | 2 ->
+      let v = fresh_var () in
+      Printf.sprintf "for $%s in %s return %s" v (sub ())
+        (gen_expr { g with depth = g.depth - 1; vars = v :: g.vars })
+    | 3 -> Printf.sprintf "if (%s) then %s else %s" (sub ()) (sub ()) (sub ())
+    | 4 -> Printf.sprintf "count(%s)" (sub ())
+    | 5 -> Printf.sprintf "(%s)[%d]" (sub ()) (1 + Random.State.int g.rng 3)
+    | 6 -> gen_target g
+    | 7 -> Printf.sprintf "<w>{%s}</w>" (sub ())
+    | 8 -> Printf.sprintf "insert {%s} into {%s}" (sub ()) (gen_target g)
+    | 9 -> Printf.sprintf "delete {%s}" (gen_target g)
+    | 10 ->
+      Printf.sprintf "rename {(%s)[1]} to {'r%d'}" (gen_target g)
+        (Random.State.int g.rng 3)
+    | 11 -> Printf.sprintf "snap { %s }" (sub ())
+    | 12 -> Printf.sprintf "string-join(for $s in %s return name($s), ',')" (sub ())
+    | _ -> Printf.sprintf "(%s = %s)" (sub ()) (sub ())
+
+let gen_program seed =
+  let rng = Random.State.make [| seed |] in
+  gen_expr { depth = 4; vars = []; rng }
+
+(* -- the harness ------------------------------------------------------ *)
+
+let docs =
+  [
+    "<r><a>1</a><b><a>2</a></b></r>";
+    "<r><b/><b/><c><a/></c></r>";
+    "<r>text<a k=\"v\"/></r>";
+  ]
+
+let run_program ?(simplify = true) ?(optimized = false) src =
+  let eng = Core.Engine.create ~seed:1234 () in
+  List.iteri
+    (fun i xml ->
+      let d = Core.Engine.load_document eng ~uri:(Printf.sprintf "d%d" i) xml in
+      Core.Engine.bind_node eng (Printf.sprintf "d%d" i) d)
+    docs;
+  let outcome =
+    if optimized then
+      match Xqb_algebra.Runner.run eng src with
+      | r -> Ok (Core.Engine.serialize eng r.Xqb_algebra.Runner.value)
+      | exception e -> Error (Printexc.to_string e)
+    else
+      match Core.Engine.compile ~simplify eng src with
+      | c -> (
+        match Core.Engine.run_compiled eng c with
+        | v -> Ok (Core.Engine.serialize eng v)
+        | exception e -> Error (Printexc.to_string e))
+      | exception e -> Error (Printexc.to_string e)
+  in
+  let store_state =
+    String.concat "|"
+      (List.mapi
+         (fun i _ ->
+           Core.Engine.serialize eng
+             (Core.Engine.run eng (Printf.sprintf "$d%d" i)))
+         docs)
+  in
+  let health = Xqb_store.Store.validate (Core.Engine.store eng) in
+  (outcome, store_state, health)
+
+let seeds = QCheck2.Gen.int_range 0 100000
+
+let p1_determinism =
+  qtest ~count:150 "P1: same program, same seed, same result" seeds (fun seed ->
+      let src = gen_program seed in
+      let o1, s1, _ = run_program src in
+      let o2, s2, _ = run_program src in
+      if o1 = o2 && s1 = s2 then true
+      else
+        QCheck2.Test.fail_reportf "diverged on:@.%s@.%s vs %s" src
+          (match o1 with Ok s -> s | Error e -> "ERR " ^ e)
+          (match o2 with Ok s -> s | Error e -> "ERR " ^ e))
+
+let p2_store_health =
+  qtest ~count:150 "P2: store invariants survive any program" seeds (fun seed ->
+      let src = gen_program seed in
+      let _, _, health = run_program src in
+      if health = [] then true
+      else
+        QCheck2.Test.fail_reportf "store corrupted by:@.%s@.%s" src
+          (String.concat "; " health))
+
+let p3_simplifier =
+  qtest ~count:150 "P3: simplifier preserves results" seeds (fun seed ->
+      let src = gen_program seed in
+      let simplified, s1, _ = run_program ~simplify:true src in
+      let plain, s2, _ = run_program ~simplify:false src in
+      (* XQuery 1.0 §2.3.4 allows an implementation to avoid evaluating
+         expressions whose value is not needed, so simplification may
+         legally *eliminate* a dynamic error (dead-let dropping an
+         erroring unused binding). The reverse — introducing an error —
+         is a bug, as is any divergence between two successful runs. *)
+      let same =
+        match simplified, plain with
+        | Ok a, Ok b -> a = b && s1 = s2
+        | Error e1, Error e2 ->
+          (* same failure => same trajectory => same store; if the
+             simplifier legally eliminated an *earlier* error (§2.3.4
+             latitude), evaluation proceeds further and inner snaps it
+             reaches may apply, so the stores may differ *)
+          if e1 = e2 then s1 = s2 else true
+        | Ok _, Error _ -> true  (* error legally optimized away *)
+        | Error _, Ok _ -> false
+      in
+      if same then true
+      else QCheck2.Test.fail_reportf "simplifier changed semantics of:@.%s" src)
+
+let p4_optimizer =
+  qtest ~count:150 "P4: algebraic runner agrees with direct evaluation" seeds
+    (fun seed ->
+      let src = gen_program seed in
+      let o1, s1, _ = run_program ~optimized:false src in
+      let o2, s2, _ = run_program ~optimized:true src in
+      let same =
+        match o1, o2 with
+        | Ok a, Ok b -> a = b && s1 = s2
+        | Error _, Error _ -> s1 = s2
+        | _ -> false
+      in
+      if same then true
+      else
+        QCheck2.Test.fail_reportf "optimizer changed semantics of:@.%s@.%s / %s"
+          src
+          (match o1 with Ok s -> s | Error e -> "ERR " ^ e)
+          (match o2 with Ok s -> s | Error e -> "ERR " ^ e))
+
+let suite =
+  [
+    ( "fuzz:programs",
+      [ p1_determinism; p2_store_health; p3_simplifier; p4_optimizer ] );
+  ]

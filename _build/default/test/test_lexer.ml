@@ -1,0 +1,60 @@
+(* S4: token-level lexer behaviour. *)
+
+open Helpers
+module L = Xqb_syntax.Lexer
+
+let tokens src =
+  let lx = L.make src in
+  let rec go acc =
+    match L.next lx with L.Eof -> List.rev acc | t -> go (t :: acc)
+  in
+  go []
+
+let tok = Alcotest.testable (fun ppf t -> Format.pp_print_string ppf (L.token_to_string t)) ( = )
+
+let lexer_tests =
+  [
+    tc "numbers" `Quick (fun () ->
+        check (Alcotest.list tok) "ints"
+          [ L.Int 0; L.Int 42 ] (tokens "0 42");
+        check (Alcotest.list tok) "decimal" [ L.Decimal 1.5 ] (tokens "1.5");
+        check (Alcotest.list tok) "double" [ L.Double 1500.0 ] (tokens "1.5e3");
+        check (Alcotest.list tok) "leading dot" [ L.Decimal 0.5 ] (tokens ".5"));
+    tc "strings with quote doubling and entities" `Quick (fun () ->
+        check (Alcotest.list tok) "dquote" [ L.Str {|say "hi"|} ] (tokens {|"say ""hi"""|});
+        check (Alcotest.list tok) "squote" [ L.Str "it's" ] (tokens "'it''s'");
+        check (Alcotest.list tok) "entity" [ L.Str "a&b" ] (tokens {|"a&amp;b"|}));
+    tc "names and qnames" `Quick (fun () ->
+        check (Alcotest.list tok) "plain" [ L.Name "foo" ] (tokens "foo");
+        check (Alcotest.list tok) "qname" [ L.Qname ("xs", "integer") ] (tokens "xs:integer");
+        check (Alcotest.list tok) "spaced colon is not a qname"
+          [ L.Name "a"; L.Coloncolon; L.Name "b" ] (tokens "a::b"));
+    tc "variables" `Quick (fun () ->
+        check (Alcotest.list tok) "var" [ L.Var "x" ] (tokens "$x");
+        check (Alcotest.list tok) "prefixed" [ L.Var "local:x" ] (tokens "$local:x"));
+    tc "operators" `Quick (fun () ->
+        check (Alcotest.list tok) "cmp"
+          [ L.Le; L.Lt; L.Ge; L.Gt; L.Ne; L.Eq; L.Ltlt; L.Gtgt ]
+          (tokens "<= < >= > != = << >>");
+        check (Alcotest.list tok) "assign" [ L.Colonassign ] (tokens ":=");
+        check (Alcotest.list tok) "paths"
+          [ L.Slash; L.Slashslash; L.Dot; L.Dotdot; L.At ] (tokens "/ // . .. @"));
+    tc "comments nest" `Quick (fun () ->
+        check (Alcotest.list tok) "nested" [ L.Int 1 ] (tokens "(: a (: b :) c :) 1");
+        match tokens "(: unterminated" with
+        | _ -> Alcotest.fail "expected error"
+        | exception L.Error _ -> ());
+    tc "positions" `Quick (fun () ->
+        let lx = L.make "a\n  b" in
+        ignore (L.next lx);
+        ignore (L.next lx);
+        let line, col = L.position lx in
+        check Alcotest.int "line" 2 line;
+        check Alcotest.int "col" 4 col);
+    tc "unterminated string" `Quick (fun () ->
+        match tokens "\"abc" with
+        | _ -> Alcotest.fail "expected error"
+        | exception L.Error _ -> ());
+  ]
+
+let suite = [ ("lexer", lexer_tests) ]

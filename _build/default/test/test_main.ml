@@ -1,0 +1,36 @@
+(* Aggregate test runner: every module contributes a list of
+   (suite name, test cases). *)
+
+let () =
+  Alcotest.run "xquery_bang"
+    (List.concat
+       [
+         Test_xml.suite;
+         Test_store.suite;
+         Test_axes.suite;
+         Test_xdm.suite;
+         Test_lexer.suite;
+         Test_parser.suite;
+         Test_pretty.suite;
+         Test_normalize.suite;
+         Test_eval_xquery.suite;
+         Test_functions.suite;
+         Test_eval_updates.suite;
+         Test_snap.suite;
+         Test_apply.suite;
+         Test_types.suite;
+         Test_static.suite;
+         Test_optimizer.suite;
+         Test_xmark.suite;
+         Test_engine.suite;
+         Test_usecase.suite;
+         Test_extensions.suite;
+         Test_conformance.suite;
+         Test_update_matrix.suite;
+         Test_xquf.suite;
+         Test_rewrite.suite;
+         Test_typing.suite;
+         Test_fuzz.suite;
+         Test_index.suite;
+         Test_xmark_queries.suite;
+       ])

@@ -1,0 +1,161 @@
+(* S5: normalization (§3.3). The paper's one non-trivial rule — the
+   deep copy inserted around insert's first argument and replace's
+   second — plus into => as-last, FLWOR nesting and path iteration. *)
+
+open Helpers
+module A = Xqb_syntax.Ast
+module C = Core.Core_ast
+module N = Core.Normalize
+
+let normalize src =
+  let ast = Xqb_syntax.Parser.parse_prog src in
+  let prog = N.normalize_prog ~is_builtin:Core.Functions.is_builtin ast in
+  Option.get prog.N.body
+
+let norm name src pred =
+  tc name `Quick (fun () ->
+      let e = normalize src in
+      if not (pred e) then
+        Alcotest.failf "%s: unexpected core for %s:\n%s" name src (C.to_string e))
+
+let copy_insertion =
+  [
+    norm "insert wraps payload in copy (the Fig. 3.3 rule)"
+      "insert { $a } into { $b }"
+      (function
+        | C.Insert (C.T_last, C.Copy (C.Var "a"), C.Var "b") -> true
+        | _ -> false);
+    norm "into normalizes to as-last-into" "insert { $a } as last into { $b }"
+      (function C.Insert (C.T_last, _, _) -> true | _ -> false);
+    norm "as first survives" "insert { $a } as first into { $b }"
+      (function C.Insert (C.T_first, _, _) -> true | _ -> false);
+    norm "before/after survive" "(insert {$a} before {$b}, insert {$a} after {$b})"
+      (function
+        | C.Seq (C.Insert (C.T_before, _, _), C.Insert (C.T_after, _, _)) -> true
+        | _ -> false);
+    norm "replace wraps second argument in copy" "replace { $a } with { $b }"
+      (function C.Replace (C.Var "a", C.Copy (C.Var "b")) -> true | _ -> false);
+    norm "delete takes no copy" "delete { $a }"
+      (function C.Delete (C.Var "a") -> true | _ -> false);
+    norm "rename takes no copy" "rename { $a } to { $b }"
+      (function C.Rename (C.Var "a", C.Var "b") -> true | _ -> false);
+    norm "explicit copy is kept" "copy { $a }"
+      (function C.Copy (C.Var "a") -> true | _ -> false);
+  ]
+
+let flwor_norm =
+  [
+    norm "where becomes if" "for $x in $s where $x return $x"
+      (function
+        | C.For ("x", None, C.Var "s", C.If (C.Var "x", C.Var "x", C.Empty)) -> true
+        | _ -> false);
+    norm "multiple bindings nest" "for $x in $s, $y in $t return 1"
+      (function
+        | C.For ("x", None, _, C.For ("y", None, _, _)) -> true
+        | _ -> false);
+    norm "let chain nests" "let $x := 1 let $y := 2 return $y"
+      (function C.Let ("x", _, C.Let ("y", _, _)) -> true | _ -> false);
+    norm "order by keeps a sort flwor" "for $x in $s order by $x return $x"
+      (function C.Sort_flwor ([ C.S_for _ ], [ _ ], _) -> true | _ -> false);
+    norm "quantifiers fold" "some $x in $a, $y in $b satisfies 1"
+      (function C.Some_sat ("x", _, C.Some_sat ("y", _, _)) -> true | _ -> false);
+  ]
+
+let path_norm =
+  [
+    norm "plain step gets ddo only" "$x/a"
+      (function
+        | C.Call_builtin ("%ddo", [ C.Step (C.Var "x", Xqb_store.Axes.Child, _) ]) ->
+          true
+        | _ -> false);
+    norm "predicate introduces per-dot iteration" "$x/a[1]"
+      (function
+        | C.Call_builtin
+            ("%ddo", [ C.For (dot, None, C.Var "x", C.Predicate (C.Step (C.Var dot', _, _), _)) ])
+          ->
+          dot = dot'
+        | _ -> false);
+    norm "general rhs becomes Map" "$x/string()"
+      (function C.Map (C.Var "x", C.Call_builtin ("string", [])) -> true | _ -> false);
+    norm "root becomes fn:root(.)" "/"
+      (function C.Call_builtin ("root", [ C.Context_item ]) -> true | _ -> false);
+  ]
+
+let constructor_norm =
+  [
+    norm "direct ctor: attributes precede content"
+      {|<a x="1">t</a>|}
+      (function
+        | C.Elem (C.Static _, C.Seq (C.Attr (C.Static _, _), C.Text_node _)) -> true
+        | _ -> false);
+    norm "avt with one expr" {|<a x="{$v}"/>|}
+      (function
+        | C.Elem (_, C.Attr (_, C.Call_builtin ("%avt-part", [ C.Var "v" ]))) -> true
+        | _ -> false);
+    norm "avt mixing text and exprs uses concat" {|<a x="p{$v}s"/>|}
+      (function
+        | C.Elem (_, C.Attr (_, C.Call_builtin ("concat", [ _; _; _ ]))) -> true
+        | _ -> false);
+  ]
+
+let call_resolution =
+  [
+    tc "builtin resolution" `Quick (fun () ->
+        match normalize "count((1,2))" with
+        | C.Call_builtin ("count", [ _ ]) -> ()
+        | e -> Alcotest.failf "got %s" (C.to_string e));
+    tc "fn: prefix resolves to builtin" `Quick (fun () ->
+        match normalize "fn:count(())" with
+        | C.Call_builtin ("count", _) -> ()
+        | e -> Alcotest.failf "got %s" (C.to_string e));
+    tc "xs: constructor functions" `Quick (fun () ->
+        match normalize "xs:integer('3')" with
+        | C.Call_builtin ("xs:integer", _) -> ()
+        | e -> Alcotest.failf "got %s" (C.to_string e));
+    tc "user function beats builtin" `Quick (fun () ->
+        let ast =
+          Xqb_syntax.Parser.parse_prog
+            "declare function count($x) { 0 }; count((1,2))"
+        in
+        let prog = N.normalize_prog ~is_builtin:Core.Functions.is_builtin ast in
+        match Option.get prog.N.body with
+        | C.Call_user (_, _) -> ()
+        | e -> Alcotest.failf "got %s" (C.to_string e));
+    tc "unknown function is a static error" `Quick (fun () ->
+        match normalize "no_such_fn(1)" with
+        | _ -> Alcotest.fail "expected static error"
+        | exception N.Static_error _ -> ());
+    tc "wrong arity is a static error" `Quick (fun () ->
+        match normalize "count(1, 2, 3)" with
+        | _ -> Alcotest.fail "expected static error"
+        | exception N.Static_error _ -> ());
+    tc "duplicate function declaration rejected" `Quick (fun () ->
+        let ast =
+          Xqb_syntax.Parser.parse_prog
+            "declare function f() { 1 }; declare function f() { 2 }; f()"
+        in
+        match N.normalize_prog ~is_builtin:Core.Functions.is_builtin ast with
+        | _ -> Alcotest.fail "expected static error"
+        | exception N.Static_error _ -> ());
+  ]
+
+let misc =
+  [
+    norm "sequence right-nests" "1, 2, 3"
+      (function C.Seq (_, C.Seq (_, _)) -> true | _ -> false);
+    norm "empty parens" "()" (function C.Empty -> true | _ -> false);
+    norm "literals become scalars" "1.5"
+      (function C.Scalar (Xqb_xdm.Atomic.Decimal _) -> true | _ -> false);
+    norm "snap mode is preserved" "snap conflict { 1 }"
+      (function C.Snap (C.Snap_conflict, _) -> true | _ -> false);
+  ]
+
+let suite =
+  [
+    ("normalize:copy", copy_insertion);
+    ("normalize:flwor", flwor_norm);
+    ("normalize:path", path_norm);
+    ("normalize:constructors", constructor_norm);
+    ("normalize:calls", call_resolution);
+    ("normalize:misc", misc);
+  ]

@@ -1,0 +1,211 @@
+(* S4: the parser, covering every production of the paper's Fig. 1
+   grammar plus the XQuery 1.0 fragment. Structural assertions on the
+   AST; textual round-trips live in test_pretty.ml. *)
+
+open Helpers
+module A = Xqb_syntax.Ast
+module P = Xqb_syntax.Parser
+module Axes = Xqb_store.Axes
+
+let parse = P.parse_expr_string
+
+let parses name src pred =
+  tc name `Quick (fun () ->
+      let e = parse src in
+      if not (pred e) then
+        Alcotest.failf "%s: unexpected AST for %s" name src)
+
+let parse_fails name src =
+  tc name `Quick (fun () ->
+      match parse src with
+      | _ -> Alcotest.failf "%s: expected parse error" name
+      | exception (P.Error _ | Xqb_syntax.Lexer.Error _) -> ())
+
+(* -- Fig. 1: the XQuery! productions ------------------------------- *)
+
+let fig1_tests =
+  [
+    parses "DeleteExpr" "delete { $x }" (function A.Delete (A.Var "x") -> true | _ -> false);
+    parses "snap DeleteExpr abbreviation" "snap delete { $x }"
+      (function A.Snap (A.Snap_default, A.Delete _) -> true | _ -> false);
+    parses "InsertExpr into" "insert { $a } into { $b }"
+      (function A.Insert (A.Var "a", A.Into (A.Var "b")) -> true | _ -> false);
+    parses "InsertExpr as first" "insert { $a } as first into { $b }"
+      (function A.Insert (_, A.Into_as_first _) -> true | _ -> false);
+    parses "InsertExpr as last" "insert { $a } as last into { $b }"
+      (function A.Insert (_, A.Into_as_last _) -> true | _ -> false);
+    parses "InsertExpr before" "insert { $a } before { $b }"
+      (function A.Insert (_, A.Before _) -> true | _ -> false);
+    parses "InsertExpr after" "insert { $a } after { $b }"
+      (function A.Insert (_, A.After _) -> true | _ -> false);
+    parses "snap insert abbreviation" "snap insert { $a } into { $b }"
+      (function A.Snap (A.Snap_default, A.Insert _) -> true | _ -> false);
+    parses "ReplaceExpr" "replace { $a } with { $b }"
+      (function A.Replace (A.Var "a", A.Var "b") -> true | _ -> false);
+    parses "RenameExpr" "rename { $a } to { \"n\" }"
+      (function A.Rename (A.Var "a", A.Literal (A.Lit_string "n")) -> true | _ -> false);
+    parses "CopyExpr" "copy { $x }" (function A.Copy (A.Var "x") -> true | _ -> false);
+    parses "SnapExpr default" "snap { $x }"
+      (function A.Snap (A.Snap_default, A.Var "x") -> true | _ -> false);
+    parses "SnapExpr ordered" "snap ordered { 1 }"
+      (function A.Snap (A.Snap_ordered, _) -> true | _ -> false);
+    parses "SnapExpr nondeterministic" "snap nondeterministic { 1 }"
+      (function A.Snap (A.Snap_nondeterministic, _) -> true | _ -> false);
+    parses "SnapExpr conflict" "snap conflict { 1 }"
+      (function A.Snap (A.Snap_conflict, _) -> true | _ -> false);
+    parses "nested snap" "snap { snap { 1 } }"
+      (function A.Snap (_, A.Snap (_, _)) -> true | _ -> false);
+    (* keywords stay available as element names *)
+    parses "delete as a path step" "$x/delete"
+      (function A.Path (A.Var "x", { A.test = Axes.Name n; _ }) ->
+         Xqb_xml.Qname.local n = "delete" | _ -> false);
+    parses "snap as element name" "<snap/>"
+      (function A.Dir_elem (n, [], []) -> Xqb_xml.Qname.local n = "snap" | _ -> false);
+  ]
+
+(* -- XQuery 1.0 fragment -------------------------------------------- *)
+
+let xquery_tests =
+  [
+    parses "precedence: or < and < comparison < additive"
+      "$a or $b and $c = $d + 1"
+      (function
+        | A.Binop (A.Or, A.Var "a",
+            A.Binop (A.And, A.Var "b",
+              A.Binop (A.Gen_eq, A.Var "c", A.Binop (A.Add, A.Var "d", _)))) ->
+          true
+        | _ -> false);
+    parses "multiplicative binds tighter" "1 + 2 * 3"
+      (function
+        | A.Binop (A.Add, _, A.Binop (A.Mul, _, _)) -> true
+        | _ -> false);
+    parses "value comparisons" "$a eq $b"
+      (function A.Binop (A.Val_eq, _, _) -> true | _ -> false);
+    parses "node comparisons" "$a is $b"
+      (function A.Binop (A.Is, _, _) -> true | _ -> false);
+    parses "range" "1 to 3" (function A.Binop (A.To, _, _) -> true | _ -> false);
+    parses "union bar" "$a | $b" (function A.Binop (A.Union, _, _) -> true | _ -> false);
+    parses "intersect" "$a intersect $b"
+      (function A.Binop (A.Intersect, _, _) -> true | _ -> false);
+    parses "flwor clauses" "for $x in $s let $y := $x where $y return $y"
+      (function
+        | A.Flwor ([ A.For [ ("x", None, _) ]; A.Let [ ("y", _) ]; A.Where _ ], None, _)
+          ->
+          true
+        | _ -> false);
+    parses "for with at" "for $x at $i in $s return $i"
+      (function A.Flwor ([ A.For [ ("x", Some "i", _) ] ], None, _) -> true | _ -> false);
+    parses "multiple bindings" "for $x in $a, $y in $b return 1"
+      (function A.Flwor ([ A.For [ _; _ ] ], None, _) -> true | _ -> false);
+    parses "order by" "for $x in $s order by $x descending return $x"
+      (function A.Flwor (_, Some [ (_, A.Descending) ], _) -> true | _ -> false);
+    parses "quantified" "every $x in $s satisfies $x > 0"
+      (function A.Quantified (A.Every_q, [ _ ], _) -> true | _ -> false);
+    parses "if then else" "if ($c) then 1 else 2"
+      (function A.If (_, _, _) -> true | _ -> false);
+    parses "paths with axes" "$x/ancestor-or-self::node()"
+      (function
+        | A.Path (_, { A.axis = Axes.Ancestor_or_self; test = Axes.Kind_node; _ }) -> true
+        | _ -> false);
+    parses "abbreviated attribute" "$x/@id"
+      (function A.Path (_, { A.axis = Axes.Attribute; _ }) -> true | _ -> false);
+    parses "dotdot" "$x/.."
+      (function A.Path (_, { A.axis = Axes.Parent; _ }) -> true | _ -> false);
+    parses "descendant shorthand" "$x//y"
+      (function
+        | A.Path (A.Path (_, { A.axis = Axes.Descendant_or_self; _ }), _) -> true
+        | _ -> false);
+    parses "predicates attach to steps" "$x/y[1][2]"
+      (function A.Path (_, { A.preds = [ _; _ ]; _ }) -> true | _ -> false);
+    parses "filter on primary" "$x[3]"
+      (function A.Filter (A.Var "x", [ _ ]) -> true | _ -> false);
+    parses "general rhs step" "$x/string()"
+      (function A.Path_general (A.Var "x", A.Call _) -> true | _ -> false);
+    parses "root only" "/" (function A.Root -> true | _ -> false);
+    parses "root then step" "/site"
+      (function A.Path (A.Root, _) -> true | _ -> false);
+    parses "context item" "." (function A.Context_item -> true | _ -> false);
+    parses "empty seq" "()" (function A.Seq [] -> true | _ -> false);
+    parses "sequence" "1, 2, 3" (function A.Seq [ _; _; _ ] -> true | _ -> false);
+    parses "function call" "concat('a', 'b')"
+      (function A.Call (f, [ _; _ ]) -> Xqb_xml.Qname.local f = "concat" | _ -> false);
+    parses "instance of" "$x instance of xs:integer+"
+      (function
+        | A.Instance_of (_, A.St (A.It_atomic _, A.Occ_plus)) -> true
+        | _ -> false);
+    parses "instance of empty-sequence" "$x instance of empty-sequence()"
+      (function A.Instance_of (_, A.St_empty) -> true | _ -> false);
+    parses "cast as" "'1' cast as xs:integer"
+      (function A.Cast_as (_, A.It_atomic _) -> true | _ -> false);
+    parses "castable as" "'1' castable as xs:double"
+      (function A.Castable_as (_, _) -> true | _ -> false);
+    parses "computed element" "element foo { 1 }"
+      (function A.Comp_elem (A.Static_name _, _) -> true | _ -> false);
+    parses "computed dynamic name" "element { $n } { 1 }"
+      (function A.Comp_elem (A.Dynamic_name _, _) -> true | _ -> false);
+    parses "computed attribute/text/document"
+      "(attribute a { 1 }, text { 'x' }, document { <a/> })"
+      (function
+        | A.Seq [ A.Comp_attr _; A.Comp_text _; A.Comp_doc _ ] -> true
+        | _ -> false);
+    parses "direct ctor with avt" {|<a b="x{$v}y"/>|}
+      (function
+        | A.Dir_elem (_, [ (_, [ A.Avt_text "x"; A.Avt_expr _; A.Avt_text "y" ]) ], [])
+          ->
+          true
+        | _ -> false);
+    parses "direct ctor content" "<a>t{1}<b/></a>"
+      (function
+        | A.Dir_elem (_, [], [ A.C_text "t"; A.C_expr _; A.C_elem _ ]) -> true
+        | _ -> false);
+    parses "brace escaping in content" "<a>{{literal}}</a>"
+      (function A.Dir_elem (_, [], [ A.C_text "{literal}" ]) -> true | _ -> false);
+    parses "unary minus" "-1" (function A.Unary_minus _ -> true | _ -> false);
+    parses "some with multiple bindings" "some $x in $a, $y in $b satisfies $x = $y"
+      (function A.Quantified (A.Some_q, [ _; _ ], _) -> true | _ -> false);
+  ]
+
+let prog_tests =
+  [
+    tc "prolog: variable + function" `Quick (fun () ->
+        let p =
+          P.parse_prog
+            {|declare variable $v := 1;
+              declare function f($x as xs:integer) as xs:integer { $x + $v };
+              f(1)|}
+        in
+        check Alcotest.int "decls" 2 (List.length p.A.prolog);
+        check Alcotest.bool "body" true (p.A.body <> None));
+    tc "declare namespace accepted" `Quick (fun () ->
+        let p = P.parse_prog {|declare namespace foo = "http://x"; 1|} in
+        check Alcotest.int "no decls recorded" 0 (List.length p.A.prolog));
+    tc "prolog only" `Quick (fun () ->
+        let p = P.parse_prog {|declare variable $v := 1;|} in
+        check Alcotest.bool "no body" true (p.A.body = None));
+    tc "missing semicolon rejected" `Quick (fun () ->
+        match P.parse_prog "declare variable $v := 1 2" with
+        | _ -> Alcotest.fail "expected error"
+        | exception P.Error _ -> ());
+  ]
+
+let error_tests =
+  [
+    parse_fails "unbalanced paren" "(1, 2";
+    parse_fails "missing brace" "snap { 1";
+    parse_fails "insert without location" "insert { $a }";
+    parse_fails "replace without with" "replace { $a } { $b }";
+    parse_fails "for without return" "for $x in $y";
+    parse_fails "dangling operator" "1 +";
+    parse_fails "bad axis" "$x/sideways::a";
+    parse_fails "mismatched constructor tags" "<a></b>";
+    parse_fails "empty" "";
+    parse_fails "if without else" "if ($c) then 1";
+  ]
+
+let suite =
+  [
+    ("parser:fig1", fig1_tests);
+    ("parser:xquery", xquery_tests);
+    ("parser:prog", prog_tests);
+    ("parser:errors", error_tests);
+  ]

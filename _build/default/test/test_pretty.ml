@@ -1,0 +1,140 @@
+(* S4: pretty-printer round-trip — parse (pretty e) = e for random
+   ASTs covering the full expression grammar, plus golden strings. *)
+
+open Helpers
+module A = Xqb_syntax.Ast
+module P = Xqb_syntax.Parser
+module Pretty = Xqb_syntax.Pretty
+module Axes = Xqb_store.Axes
+
+(* Random AST generator. Names are drawn from a small pool; depth is
+   bounded so shrinking stays fast. *)
+let gen_expr : A.expr QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let name = oneofl [ "a"; "b"; "foo"; "ns:x" ] in
+  let var = oneofl [ "v"; "w"; "acc" ] in
+  let lit =
+    oneof
+      [
+        map (fun i -> A.Literal (A.Lit_integer i)) (int_bound 100);
+        map (fun s -> A.Literal (A.Lit_string s)) (oneofl [ "x"; "a b"; "<&>"; "" ]);
+      ]
+  in
+  let axis =
+    oneofl
+      [ Axes.Child; Axes.Descendant; Axes.Attribute; Axes.Parent;
+        Axes.Ancestor_or_self; Axes.Following_sibling ]
+  in
+  let test =
+    oneof
+      [
+        map (fun n -> Axes.Name (qn n)) name;
+        pure Axes.Wildcard;
+        pure Axes.Kind_node;
+        pure Axes.Kind_text;
+        map (fun n -> Axes.Kind_element (Some (qn n))) name;
+      ]
+  in
+  let binop =
+    oneofl
+      [ A.Or; A.And; A.Gen_eq; A.Gen_lt; A.Val_eq; A.Val_gt; A.Is; A.Add;
+        A.Sub; A.Mul; A.Div; A.Mod; A.To; A.Union; A.Intersect ]
+  in
+  let rec expr depth =
+    if depth = 0 then oneof [ lit; map (fun v -> A.Var v) var; pure A.Context_item ]
+    else
+      let e = expr (depth - 1) in
+      oneof
+        [
+          lit;
+          map (fun v -> A.Var v) var;
+          map (fun es -> A.Seq es) (list_size (int_range 2 3) e);
+          map3 (fun l op r -> A.Binop (op, l, r)) e binop e;
+          map (fun e -> A.Unary_minus e) e;
+          map3 (fun b ax t -> A.Path (b, { A.axis = ax; test = t; preds = [] }))
+            e axis test;
+          map3
+            (fun b t p -> A.Path (b, { A.axis = Axes.Child; test = t; preds = [ p ] }))
+            e test e;
+          map2 (fun b p -> A.Filter (b, [ p ])) e e;
+          map3 (fun v e1 e2 -> A.Flwor ([ A.For [ (v, None, e1) ] ], None, e2)) var e e;
+          map3 (fun v e1 e2 -> A.Flwor ([ A.Let [ (v, e1) ] ], None, e2)) var e e;
+          map3 (fun c t f -> A.If (c, t, f)) e e e;
+          map3 (fun v e1 e2 -> A.Quantified (A.Some_q, [ (v, e1) ], e2)) var e e;
+          map2 (fun n c -> A.Comp_elem (A.Static_name (qn n), c)) name e;
+          map2 (fun n c -> A.Comp_attr (A.Static_name (qn n), c)) name e;
+          map (fun c -> A.Comp_text c) e;
+          (* Fig. 1 operations *)
+          map2 (fun a b -> A.Insert (a, A.Into b)) e e;
+          map2 (fun a b -> A.Insert (a, A.Into_as_first b)) e e;
+          map2 (fun a b -> A.Insert (a, A.After b)) e e;
+          map (fun a -> A.Delete a) e;
+          map2 (fun a b -> A.Replace (a, b)) e e;
+          map2 (fun a b -> A.Rename (a, b)) e e;
+          map (fun a -> A.Copy a) e;
+          map2
+            (fun m a -> A.Snap (m, a))
+            (oneofl [ A.Snap_default; A.Snap_ordered; A.Snap_nondeterministic; A.Snap_conflict ])
+            e;
+          map2
+            (fun n segs ->
+              (* adjacent literal text merges on re-parse: normalize *)
+              let rec merge = function
+                | A.C_text a :: A.C_text b :: rest -> merge (A.C_text (a ^ b) :: rest)
+                | s :: rest -> s :: merge rest
+                | [] -> []
+              in
+              A.Dir_elem (qn n, [], merge segs))
+            name
+            (list_size (int_bound 2)
+               (oneof
+                  [
+                    map (fun s -> A.C_text s) (oneofl [ "t"; "a b" ]);
+                    map (fun e -> A.C_expr e) e;
+                  ]));
+        ]
+  in
+  expr 3
+
+let roundtrip =
+  qtest ~count:500 "parse (pretty e) = e" gen_expr (fun e ->
+      let s = Pretty.expr_to_string e in
+      match P.parse_expr_string s with
+      | e' ->
+        if e = e' then true
+        else QCheck2.Test.fail_reportf "not equal after round-trip:@.%s" s
+      | exception ex ->
+        QCheck2.Test.fail_reportf "re-parse failed: %s@.%s" (Printexc.to_string ex) s)
+
+(* Golden outputs: the printer's concrete syntax is part of the
+   tooling surface (explain output, error messages). *)
+let golden =
+  [
+    tc "golden strings" `Quick (fun () ->
+        let cases =
+          [
+            ("1 + 2 * 3", "(1 + (2 * 3))");
+            ("snap delete { $x }", "snap {delete {$x}}");
+            ("insert { <a/> } into { $x }", "insert {<a/>} into {$x}");
+            ("$a//b[1]", "($a/descendant-or-self::node())/b[1]");
+            ("for $x in $s return $x", "(for $x in $s return $x)");
+          ]
+        in
+        List.iter
+          (fun (src, expected) ->
+            check Alcotest.string src expected
+              (Pretty.expr_to_string (P.parse_expr_string src)))
+          cases);
+    tc "prog printing round-trips" `Quick (fun () ->
+        let src =
+          {|declare variable $v := 1;
+            declare function f($x as xs:integer) as xs:integer { $x + $v };
+            f(2)|}
+        in
+        let p = P.parse_prog src in
+        let printed = Pretty.prog_to_string p in
+        let p2 = P.parse_prog printed in
+        check Alcotest.bool "equal" true (p = p2));
+  ]
+
+let suite = [ ("pretty:roundtrip", [ roundtrip ]); ("pretty:golden", golden) ]

@@ -1,0 +1,129 @@
+(* The §4.2 syntactic-rewriting phase: each rule fires where legal and
+   is blocked by the side-effect judgement where it would change
+   semantics. Plus an end-to-end property: simplification preserves
+   results on the whole conformance corpus. *)
+
+open Helpers
+module C = Core.Core_ast
+module R = Core.Rewrite
+
+let normalize src =
+  let prog =
+    Core.Normalize.normalize_prog ~is_builtin:Core.Functions.is_builtin
+      (Xqb_syntax.Parser.parse_prog src)
+  in
+  (prog, Option.get prog.Core.Normalize.body)
+
+let simplify src =
+  let prog, body = normalize src in
+  let purity e = Core.Static.purity_in_prog prog e in
+  R.simplify ~purity body
+
+let fired rule stats = List.mem_assoc rule stats
+
+let rules =
+  [
+    tc "if-const folds both ways" `Quick (fun () ->
+        let e, s = simplify "if (true()) then 1 else 2" in
+        check Alcotest.bool "fired" true (fired "if-const" s);
+        check Alcotest.bool "kept then" true (e = C.Scalar (Xqb_xdm.Atomic.Integer 1));
+        let e2, _ = simplify "if (0) then 1 else 2" in
+        check Alcotest.bool "kept else" true
+          (e2 = C.Scalar (Xqb_xdm.Atomic.Integer 2)));
+    tc "dead-let drops unused pure binding" `Quick (fun () ->
+        let e, s = simplify "let $unused := (1, 2, 3) return 7" in
+        check Alcotest.bool "fired" true (fired "dead-let" s);
+        check Alcotest.bool "just the body" true
+          (e = C.Scalar (Xqb_xdm.Atomic.Integer 7)));
+    tc "dead-let keeps an updating binding" `Quick (fun () ->
+        let _, s =
+          simplify
+            "declare variable $x := <x/>; let $u := insert {<a/>} into {$x} return 7"
+        in
+        check Alcotest.bool "not fired" false (fired "dead-let" s));
+    tc "inline-let propagates variables and literals" `Quick (fun () ->
+        let e, s = simplify "declare variable $g := 1; let $v := $g return $v + 0" in
+        check Alcotest.bool "fired" true (fired "inline-let" s);
+        ignore e);
+    tc "inline-let does not move constructors (node identity)" `Quick (fun () ->
+        let _, s = simplify "let $v := <a/> return count($v)" in
+        check Alcotest.bool "not fired" false (fired "inline-let" s));
+    tc "const-fold arithmetic and comparisons" `Quick (fun () ->
+        let e, s = simplify "1 + 2 * 3" in
+        check Alcotest.bool "fired" true (fired "const-fold" s);
+        check Alcotest.bool "value" true (e = C.Scalar (Xqb_xdm.Atomic.Integer 7));
+        let e2, _ = simplify "2 < 3" in
+        check Alcotest.bool "cmp folded" true
+          (e2 = C.Scalar (Xqb_xdm.Atomic.Boolean true)));
+    tc "const-fold leaves runtime errors alone" `Quick (fun () ->
+        let _, s = simplify "1 div 0" in
+        check Alcotest.bool "not fired" false (fired "const-fold" s);
+        (* and the error still happens at run time *)
+        match run "1 div 0" with
+        | _ -> Alcotest.fail "expected division error"
+        | exception Xqb_xdm.Errors.Dynamic_error ("FOAR0001", _) -> ());
+    tc "seq-empty collapses" `Quick (fun () ->
+        let e, s = simplify "((), 5, ())" in
+        check Alcotest.bool "fired" true (fired "seq-empty" s);
+        check Alcotest.bool "single" true (e = C.Scalar (Xqb_xdm.Atomic.Integer 5)));
+    tc "for-empty eliminates the loop" `Quick (fun () ->
+        let e, s = simplify "for $x in () return error()" in
+        check Alcotest.bool "fired" true (fired "for-empty" s);
+        check Alcotest.bool "empty" true (e = C.Empty));
+    tc "for-singleton becomes let" `Quick (fun () ->
+        let _, s = simplify "for $x in 5 return $x + $x" in
+        check Alcotest.bool "fired" true (fired "for-singleton" s));
+    tc "pred-true strips, numeric predicates survive" `Quick (fun () ->
+        let _, s = simplify "(1,2,3)[true()]" in
+        check Alcotest.bool "fired" true (fired "pred-true" s);
+        let _, s2 = simplify "(1,2,3)[1]" in
+        check Alcotest.bool "positional untouched" false (fired "pred-true" s2);
+        (* and it still selects by position *)
+        check Alcotest.string "semantics" "1" (run "(1,2,3)[1]"));
+    tc "pred-false guard requires a pure input" `Quick (fun () ->
+        let _, s =
+          simplify
+            "declare variable $x := <x/>; ((insert {<a/>} into {$x}, 1))[false()]"
+        in
+        check Alcotest.bool "not fired on updating input" false (fired "pred-false" s));
+    tc "no capture through shadowing binders" `Quick (fun () ->
+        (* $v := $g, but the body rebinds $g: inlining $v would
+           capture. (inline-let may still fire on inner lets the
+           for-singleton rule creates — that one is capture-free.) *)
+        check Alcotest.string "semantics intact" "1 9"
+          (run
+             "declare variable $g := 1; let $v := $g return for $g in (9) return ($v, $g)");
+        (* direct unit check on the guard *)
+        let prog, body =
+          normalize
+            "declare variable $g := 1; let $v := $g return for $g in (<e/>, <f/>) return ($v, count($g))"
+        in
+        let purity e = Core.Static.purity_in_prog prog e in
+        let _, s = R.simplify ~purity body in
+        check Alcotest.bool "outer inline blocked" false (fired "inline-let" s));
+  ]
+
+(* End-to-end: for every conformance query, running with the
+   simplifier on equals running with it off. *)
+let corpus_equivalence =
+  List.map
+    (fun (group, cases) ->
+      tc (group ^ " unchanged by simplification") `Quick (fun () ->
+          List.iter
+            (fun (name, q, _) ->
+              let with_simp =
+                let eng = Core.Engine.create () in
+                let c = Core.Engine.compile ~simplify:true eng q in
+                Core.Engine.serialize eng (Core.Engine.run_compiled eng c)
+              in
+              let without =
+                let eng = Core.Engine.create () in
+                let c = Core.Engine.compile ~simplify:false eng q in
+                Core.Engine.serialize eng (Core.Engine.run_compiled eng c)
+              in
+              check Alcotest.string name without with_simp)
+            cases))
+    Test_conformance.all_cases
+
+let suite =
+  [ ("rewrite:rules", rules); ("rewrite:corpus-equivalence", corpus_equivalence) ]

@@ -1,0 +1,130 @@
+(* S5: dynamic sequence-type matching and casts (Types). *)
+
+open Helpers
+module A = Xqb_syntax.Ast
+module Types = Core.Types
+module Atomic = Xqb_xdm.Atomic
+module Item = Xqb_xdm.Item
+
+let st it occ = A.St (it, occ)
+let xs l = A.It_atomic (Xqb_xml.Qname.xs l)
+
+let matching =
+  [
+    tc "atomic types and the numeric tower" `Quick (fun () ->
+        let f = fixture () in
+        let m ty v = Types.matches f.store ty v in
+        check Alcotest.bool "int : integer" true
+          (m (st (xs "integer") A.Occ_one) (Xqb_xdm.Value.of_int 1));
+        check Alcotest.bool "int : decimal" true
+          (m (st (xs "decimal") A.Occ_one) (Xqb_xdm.Value.of_int 1));
+        check Alcotest.bool "int : anyAtomicType" true
+          (m (st (xs "anyAtomicType") A.Occ_one) (Xqb_xdm.Value.of_int 1));
+        check Alcotest.bool "double !: integer" false
+          (m (st (xs "integer") A.Occ_one) (Xqb_xdm.Value.of_double 1.0));
+        check Alcotest.bool "untyped !: string" false
+          (m (st (xs "string") A.Occ_one) [ Item.Atomic (Atomic.Untyped "x") ]));
+    tc "occurrence indicators" `Quick (fun () ->
+        let f = fixture () in
+        let m occ v = Types.matches f.store (st (xs "integer") occ) v in
+        let one = Xqb_xdm.Value.of_int 1 in
+        let two = one @ one in
+        check Alcotest.bool "one/1" true (m A.Occ_one one);
+        check Alcotest.bool "one/0" false (m A.Occ_one []);
+        check Alcotest.bool "one/2" false (m A.Occ_one two);
+        check Alcotest.bool "opt/0" true (m A.Occ_opt []);
+        check Alcotest.bool "opt/2" false (m A.Occ_opt two);
+        check Alcotest.bool "star/2" true (m A.Occ_star two);
+        check Alcotest.bool "plus/0" false (m A.Occ_plus []);
+        check Alcotest.bool "plus/2" true (m A.Occ_plus two));
+    tc "empty-sequence()" `Quick (fun () ->
+        let f = fixture () in
+        check Alcotest.bool "empty" true (Types.matches f.store A.St_empty []);
+        check Alcotest.bool "non-empty" false
+          (Types.matches f.store A.St_empty (Xqb_xdm.Value.of_int 1)));
+    tc "node kind matching" `Quick (fun () ->
+        let f = fixture () in
+        let m it n = Types.matches f.store (st it A.Occ_one) [ Item.Node n ] in
+        check Alcotest.bool "element()" true (m (A.It_element None) f.b1);
+        check Alcotest.bool "element(b)" true (m (A.It_element (Some (qn "b"))) f.b1);
+        check Alcotest.bool "element(z)" false (m (A.It_element (Some (qn "z"))) f.b1);
+        check Alcotest.bool "attribute(x)" true
+          (m (A.It_attribute (Some (qn "x"))) f.x1);
+        check Alcotest.bool "text()" true (m A.It_text f.t1);
+        check Alcotest.bool "document-node()" true (m A.It_document f.doc);
+        check Alcotest.bool "node()" true (m A.It_node f.c1);
+        check Alcotest.bool "item() matches atomic" true
+          (Types.matches f.store (st A.It_item A.Occ_one) (Xqb_xdm.Value.of_int 1));
+        check Alcotest.bool "node() rejects atomic" false
+          (Types.matches f.store (st A.It_node A.Occ_one) (Xqb_xdm.Value.of_int 1)));
+  ]
+
+let casting =
+  [
+    tc "cast_atomic conversions" `Quick (fun () ->
+        check Alcotest.bool "string->int" true
+          (Types.cast_atomic (Atomic.String "12") (Xqb_xml.Qname.xs "integer")
+          = Atomic.Integer 12);
+        check Alcotest.bool "int->string" true
+          (Types.cast_atomic (Atomic.Integer 12) (Xqb_xml.Qname.xs "string")
+          = Atomic.String "12");
+        check Alcotest.bool "untyped->double" true
+          (Types.cast_atomic (Atomic.Untyped "1.5") (Xqb_xml.Qname.xs "double")
+          = Atomic.Double 1.5);
+        check Alcotest.bool "string->QName" true
+          (Types.cast_atomic (Atomic.String "a:b") (Xqb_xml.Qname.xs "QName")
+          = Atomic.QName (qn "a:b")));
+    tc "cast on sequences" `Quick (fun () ->
+        let f = fixture () in
+        (match Types.cast f.store (xs "integer") [] with
+        | _ -> Alcotest.fail "empty cast should fail"
+        | exception Xqb_xdm.Errors.Dynamic_error _ -> ());
+        match
+          Types.cast f.store (xs "integer")
+            (Xqb_xdm.Value.of_int 1 @ Xqb_xdm.Value.of_int 2)
+        with
+        | _ -> Alcotest.fail "multi cast should fail"
+        | exception Xqb_xdm.Errors.Dynamic_error _ -> ());
+    tc "castable mirrors cast" `Quick (fun () ->
+        let f = fixture () in
+        check Alcotest.bool "yes" true
+          (Types.castable f.store (xs "integer") (Xqb_xdm.Value.of_string "3"));
+        check Alcotest.bool "no" false
+          (Types.castable f.store (xs "integer") (Xqb_xdm.Value.of_string "x")));
+    tc "node casts via atomization" `Quick (fun () ->
+        let f = fixture () in
+        (* b1's string value is "one": not castable to integer *)
+        (match Types.cast f.store (xs "integer") [ Item.Node f.b1 ] with
+        | _ -> Alcotest.fail "element cast should fail"
+        | exception Xqb_xdm.Errors.Dynamic_error _ -> ());
+        match Types.cast f.store (xs "integer") [ Item.Node f.x1 ] with
+        | [ Item.Atomic (Atomic.Integer 1) ] -> ()
+        | _ -> Alcotest.fail "attr cast");
+  ]
+
+let signature_checks =
+  [
+    expect "declared types on globals"
+      "declare variable $v as xs:integer := 3; $v + 1" "4";
+    expect_error "global type mismatch"
+      "declare variable $v as xs:string := 3; $v" compile_error;
+    expect "sequence param types"
+      "declare function f($xs as xs:integer*) { count($xs) }; f((1,2,3))" "3";
+    expect_error "plus rejects empty"
+      "declare function f($xs as xs:integer+) { count($xs) }; f(())"
+      any_dynamic_error;
+    expect "element param"
+      "declare function f($e as element(a)) { name($e) }; f(<a/>)" "a";
+    expect_error "element param mismatch"
+      "declare function f($e as element(a)) { name($e) }; f(<b/>)"
+      any_dynamic_error;
+    expect "the nextid signature from §2.5 enforces integers"
+      {|declare function f() as xs:integer { 41 + 1 }; f()|} "42";
+  ]
+
+let suite =
+  [
+    ("types:matching", matching);
+    ("types:casting", casting);
+    ("types:signatures", signature_checks);
+  ]

@@ -1,0 +1,149 @@
+(* The lightweight static type system (the paper's open "static
+   typing" issue): inference soundness on the conformance corpus and
+   the advisory warnings. *)
+
+open Helpers
+module T = Core.Typing
+module C = Core.Core_ast
+
+let normalize src =
+  Core.Normalize.normalize_prog ~is_builtin:Core.Functions.is_builtin
+    (Xqb_syntax.Parser.parse_prog src)
+
+let infer src =
+  let prog = normalize src in
+  fst (T.infer_expr (Option.get prog.Core.Normalize.body))
+
+let warnings src = T.check_prog (normalize src)
+
+let ty name src expected =
+  tc name `Quick (fun () ->
+      check Alcotest.string name expected (T.to_string (infer src)))
+
+let inference =
+  [
+    ty "integer literal" "1" "xs:integer";
+    ty "decimal literal" "1.5" "xs:decimal";
+    ty "string literal" "'x'" "xs:string";
+    ty "empty" "()" "empty-sequence()";
+    ty "sequence of ints" "(1, 2)" "xs:integer+";
+    ty "mixed numeric sequence" "(1, 1.5)" "xs:numeric+";
+    ty "mixed atomic sequence" "(1, 'a')" "xs:anyAtomicType+";
+    ty "arithmetic" "1 + 2" "xs:numeric";
+    ty "arithmetic with maybe-empty" "1 + ()" "xs:numeric?";
+    ty "comparison" "1 = 2" "xs:boolean";
+    ty "value comparison may be empty" "() eq 1" "xs:boolean?";
+    ty "if join" "if (1) then 1 else 2.5" "xs:numeric";
+    ty "if with branches of different kinds" "if (1) then 1 else 'a'"
+      "xs:anyAtomicType";
+    ty "element constructor" "<a/>" "element()";
+    ty "attribute constructor" "attribute k {1}" "attribute()";
+    ty "text constructor" "text {'x'}" "text()";
+    ty "element sequence via for" "for $x in (1,2,3) return <a/>" "element()+";
+    ty "for over possibly-empty" "for $x in (1,2)[. > 1] return <a/>" "element()*";
+    ty "step type" "<a><b/></a>/b" "node()*";
+    ty "count is an integer" "count((1,2))" "xs:integer";
+    ty "string function" "concat('a','b')" "xs:string";
+    ty "updates are empty" "delete {<a/>}" "empty-sequence()";
+    ty "snap passes its body type" "snap { 1 }" "xs:integer";
+    ty "range" "1 to 3" "xs:integer*";
+    ty "cast" "'1' cast as xs:integer" "xs:integer";
+    ty "treat" "(1,2) treat as xs:integer+" "xs:integer+";
+    ty "quantifier" "some $x in (1) satisfies $x" "xs:boolean";
+    ty "union of nodes" "(<a/> union <b/>)" "element()*";
+  ]
+
+(* Soundness on the conformance corpus: the inferred type must match
+   the actual runtime value (checked with the dynamic matcher). *)
+let soundness =
+  [
+    tc "inference is sound on the conformance corpus" `Quick (fun () ->
+        List.iter
+          (fun (_, cases) ->
+            List.iter
+              (fun (name, q, _) ->
+                let eng = Core.Engine.create () in
+                let prog = normalize q in
+                let t = fst (T.infer_expr (Option.get prog.Core.Normalize.body)) in
+                match Core.Engine.run eng q with
+                | v ->
+                  let store = Core.Engine.store eng in
+                  let n = List.length v in
+                  (* occurrence soundness *)
+                  let occ_ok =
+                    match t.T.occ with
+                    | T.O_zero -> n = 0
+                    | T.O_one -> n = 1
+                    | T.O_opt -> n <= 1
+                    | T.O_plus -> n >= 1
+                    | T.O_star -> true
+                  in
+                  if not occ_ok then
+                    Alcotest.failf "%s: inferred %s but got %d items" name
+                      (T.to_string t) n;
+                  (* item-kind soundness *)
+                  List.iter
+                    (fun item ->
+                      let ok =
+                        match t.T.item, item with
+                        | T.T_item, _ -> true
+                        | T.T_atomic _, Xqb_xdm.Item.Atomic _ -> true
+                        | T.T_atomic _, Xqb_xdm.Item.Node _ -> false
+                        | T.T_node, Xqb_xdm.Item.Node _ -> true
+                        | kind, Xqb_xdm.Item.Node nd ->
+                          let k = Xqb_store.Store.kind store nd in
+                          (match kind, k with
+                          | T.T_element, Xqb_store.Store.Element
+                          | T.T_attribute, Xqb_store.Store.Attribute
+                          | T.T_text, Xqb_store.Store.Text
+                          | T.T_comment, Xqb_store.Store.Comment
+                          | T.T_pi, Xqb_store.Store.Pi
+                          | T.T_document, Xqb_store.Store.Document ->
+                            true
+                          | _ -> false)
+                        | _, Xqb_xdm.Item.Atomic _ -> false
+                      in
+                      if not ok then
+                        Alcotest.failf "%s: inferred %s, got incompatible item"
+                          name (T.to_string t))
+                    v
+                | exception _ -> () (* runtime errors are outside the claim *))
+              cases)
+          Test_conformance.all_cases);
+  ]
+
+let warning_tests =
+  [
+    tc "arithmetic on a string warns" `Quick (fun () ->
+        check Alcotest.int "one warning" 1 (List.length (warnings "'a' + 1")));
+    tc "path step over atomics warns" `Quick (fun () ->
+        check Alcotest.bool "warns" true (warnings "(1, 2)/child::a" <> []));
+    tc "delete of atomics warns" `Quick (fun () ->
+        check Alcotest.bool "warns" true (warnings "delete {(1, 2)}" <> []));
+    tc "declared return type contradiction warns" `Quick (fun () ->
+        check Alcotest.bool "warns" true
+          (warnings "declare function f() as xs:integer { 'nope' }; 1" <> []));
+    tc "declared global contradiction warns" `Quick (fun () ->
+        check Alcotest.bool "warns" true
+          (warnings "declare variable $v as element() := 3; 1" <> []));
+    tc "clean programs stay quiet" `Quick (fun () ->
+        check (Alcotest.list Alcotest.string) "no warnings" []
+          (warnings
+             {|declare variable $x := <x><a>1</a></x>;
+               declare function total() as xs:numeric { sum($x/a) };
+               (total() + 1, for $a in $x/a return delete {$a})|}));
+    tc "untyped stays permissive (no false positives)" `Quick (fun () ->
+        check (Alcotest.list Alcotest.string) "no warnings" []
+          (warnings "<a>3</a> + 1"));
+    tc "engine surfaces warnings on compile" `Quick (fun () ->
+        let eng = Core.Engine.create () in
+        let c = Core.Engine.compile eng "'a' * 2" in
+        check Alcotest.bool "present" true (c.Core.Engine.type_warnings <> []));
+  ]
+
+let suite =
+  [
+    ("typing:inference", inference);
+    ("typing:soundness", soundness);
+    ("typing:warnings", warning_tests);
+  ]

@@ -1,0 +1,188 @@
+(* Systematic update-combination corpus: insert locations × payload
+   kinds, operation interleavings, snap-mode agreement on
+   order-independent programs, and the snap-scope visibility matrix.
+   Complements the per-rule tests in test_eval_updates.ml. *)
+
+open Helpers
+
+(* -- locations × payloads ------------------------------------------- *)
+
+(* Target tree: <x><a/><b/></x>; insert the payload at each location
+   relative to $x/a and check the final serialization. *)
+let payloads =
+  [
+    ("element ctor", "<p/>", "<p></p>");
+    ("text ctor", "text {'t'}", "t");
+    ("atomic", "'s'", "s");
+    ("two atomics", "(1, 2)", "1 2");
+    ("sequence of elements", "(<p/>, <q/>)", "<p></p><q></q>");
+    ("copied subtree", "copy {<p><i/></p>}", "<p><i></i></p>");
+  ]
+
+let locations =
+  [
+    ("into", "into {$x}", fun payload -> "<x><a></a><b></b>" ^ payload ^ "</x>");
+    ("as first into", "as first into {$x}",
+     fun payload -> "<x>" ^ payload ^ "<a></a><b></b></x>");
+    ("as last into", "as last into {$x}",
+     fun payload -> "<x><a></a><b></b>" ^ payload ^ "</x>");
+    ("before", "before {$x/b}", fun payload -> "<x><a></a>" ^ payload ^ "<b></b></x>");
+    ("after", "after {$x/a}", fun payload -> "<x><a></a>" ^ payload ^ "<b></b></x>");
+  ]
+
+let location_payload_cases =
+  List.concat_map
+    (fun (lname, lsyntax, expected_of) ->
+      List.map
+        (fun (pname, psyntax, pserial) ->
+          expect
+            (Printf.sprintf "insert %s %s" pname lname)
+            (Printf.sprintf
+               "let $x := <x><a/><b/></x> return (snap insert {%s} %s, $x)"
+               psyntax lsyntax)
+            (expected_of pserial))
+        payloads)
+    locations
+
+(* -- operation interleavings within one snap ------------------------ *)
+
+let interleavings =
+  [
+    expect "insert then delete of distinct nodes"
+      {|let $x := <x><a/><b/></x>
+        return (snap ordered { insert {<c/>} into {$x}, delete {$x/a} }, $x)|}
+      "<x><b></b><c></c></x>";
+    expect "delete then insert at same parent"
+      {|let $x := <x><a/></x>
+        return (snap ordered { delete {$x/a}, insert {<c/>} into {$x} }, $x)|}
+      "<x><c></c></x>";
+    expect "rename then insert before the renamed node"
+      {|let $x := <x><a/></x>
+        return (snap ordered { rename {$x/a} to {'z'}, insert {<c/>} before {$x/a} }, $x)|}
+      "<x><c></c><z></z></x>";
+    expect "replace then insert after the replacement spot"
+      {|let $x := <x><a/><b/></x>
+        return (snap ordered { replace {$x/a} with {<r/>}, insert {<c/>} after {$x/b} }, $x)|}
+      "<x><r></r><b></b><c></c></x>";
+    expect "two inserts before the same anchor stack in delta order"
+      {|let $x := <x><m/></x>
+        return (snap ordered { insert {<a/>} before {$x/m}, insert {<b/>} before {$x/m} }, $x)|}
+      "<x><a></a><b></b><m></m></x>";
+    expect "two inserts after the same anchor: later lands closer"
+      {|let $x := <x><m/></x>
+        return (snap ordered { insert {<a/>} after {$x/m}, insert {<b/>} after {$x/m} }, $x)|}
+      "<x><m></m><b></b><a></a></x>";
+    expect "delete of anchor after insert-before resolves in order"
+      {|let $x := <x><m/></x>
+        return (snap ordered { insert {<a/>} before {$x/m}, delete {$x/m} }, $x)|}
+      "<x><a></a></x>";
+    expect "update inside both branches via sequence"
+      {|let $x := <x/>
+        let $y := <y/>
+        return (snap ordered { insert {<a/>} into {$x}, insert {<b/>} into {$y} },
+                $x, $y)|}
+      "<x><a></a></x><y><b></b></y>";
+    expect "delete parent and child in either order"
+      {|let $x := <x><p><c/></p></x>
+        let $p := $x/p
+        return (snap ordered { delete {$p/c}, delete {$p} }, $x, $p)|}
+      "<x></x><p></p>";
+  ]
+
+(* -- snap-mode agreement on order-independent programs -------------- *)
+
+let mode_agreement =
+  let program mode =
+    "let $x := <x><a/><b/><c/></x>\n"
+    ^ "return (snap " ^ mode ^ " {\n"
+    ^ "          rename {$x/a} to {'a2'},\n"
+    ^ "          delete {$x/b},\n"
+    ^ "          insert {<d/>} into {$x}\n"
+    ^ "        }, $x)"
+  in
+  let expected = "<x><a2></a2><c></c><d></d></x>" in
+  List.map
+    (fun mode ->
+      expect
+        (Printf.sprintf "independent updates agree under %s" mode)
+        (program mode) expected)
+    [ "ordered"; "nondeterministic"; "conflict"; "atomic" ]
+
+(* -- scope visibility matrix ---------------------------------------- *)
+
+(* Observation points: before any update, after emitting (same scope),
+   after an inner snap closes, after the outer snap closes. *)
+let visibility =
+  [
+    expect "visibility matrix"
+      {|let $x := <x/>
+        let $o1 := count($x/*)                       (: 0: nothing yet :)
+        let $r := snap {
+          insert {<a/>} into {$x},
+          (: still pending in this scope :)
+          count($x/*),
+          snap { insert {<b/>} into {$x} },
+          (: b applied, a still pending :)
+          count($x/b), count($x/a)
+        }
+        (: both applied now :)
+        return ($o1, $r, count($x/*))|}
+      "0 0 1 0 2";
+    expect "sibling snaps see each other's effects"
+      {|let $x := <x/>
+        return (snap insert {<a/>} into {$x},
+                snap insert {element n {count($x/*)}} into {$x},
+                string($x/n))|}
+      "1";
+    expect "function call inside snap contributes to caller's delta"
+      {|declare variable $x := <x/>;
+        declare function add() { insert {<f/>} into {$x} };
+        snap { add(), add(), count($x/*) }|}
+      "0";
+    expect "function with its own snap applies immediately"
+      {|declare variable $x := <x/>;
+        declare function add_now() { snap insert {<f/>} into {$x} };
+        snap { add_now(), add_now(), count($x/*) }|}
+      "2";
+  ]
+
+(* -- deterministic engine behaviour --------------------------------- *)
+
+let determinism =
+  [
+    tc "same seed => identical nondeterministic application" `Quick (fun () ->
+        let run () =
+          let eng = Core.Engine.create ~seed:99 () in
+          let v =
+            Core.Engine.run eng
+              {|let $x := <x/>
+                return (snap nondeterministic {
+                          for $i in 1 to 8 return insert {element n {$i}} into {$x}
+                        }, $x)|}
+          in
+          Core.Engine.serialize eng v
+        in
+        check Alcotest.string "deterministic" (run ()) (run ()));
+    tc "ordered mode ignores the seed" `Quick (fun () ->
+        let run seed =
+          let eng = Core.Engine.create ~seed () in
+          let v =
+            Core.Engine.run eng
+              {|let $x := <x/>
+                return (snap ordered {
+                          for $i in 1 to 8 return insert {element n {$i}} into {$x}
+                        }, $x)|}
+          in
+          Core.Engine.serialize eng v
+        in
+        check Alcotest.string "seed independent" (run 1) (run 2));
+  ]
+
+let suite =
+  [
+    ("update-matrix:location-x-payload", location_payload_cases);
+    ("update-matrix:interleavings", interleavings);
+    ("update-matrix:mode-agreement", mode_agreement);
+    ("update-matrix:visibility", visibility);
+    ("update-matrix:determinism", determinism);
+  ]

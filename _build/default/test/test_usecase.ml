@@ -1,0 +1,98 @@
+(* E3: the full §2 Web-service use case as an integration test —
+   updates inside functions, snap-per-entry logging, archiving every
+   $maxlog entries, nextid() ids monotonically increasing. *)
+
+open Helpers
+
+let service =
+  {|
+declare variable $log := <log/>;
+declare variable $archive := <archive/>;
+declare variable $maxlog := 3;
+declare variable $d := element counter { 0 };
+
+declare function nextid() as xs:integer {
+  snap { replace { $d/text() } with { $d + 1 }, xs:integer($d) }
+};
+
+declare function archivelog($log, $archive) {
+  snap insert { <batch size="{count($log/logentry)}"/> } into { $archive }
+};
+
+declare function get_item($itemid, $userid) {
+  let $item := $auction//item[@id = $itemid]
+  return (
+    let $name := $auction//person[@id = $userid]/name
+    return
+      (snap insert { <logentry id="{nextid()}" user="{$name}" itemid="{$itemid}"/> }
+        into { $log },
+      if (count($log/logentry) >= $maxlog)
+      then (archivelog($log, $archive),
+            snap delete { $log/logentry })
+      else ()),
+    $item
+  )
+};
+|}
+
+let make_service () =
+  let eng = Core.Engine.create () in
+  let cfg = { Xqb_xmark.Generator.default with Xqb_xmark.Generator.persons = 12;
+              items = 6; closed_auctions = 10; open_auctions = 5 } in
+  let doc = Xqb_xmark.Generator.generate (Core.Engine.store eng) cfg in
+  Core.Engine.bind_node eng "auction" doc;
+  let m = Core.Engine.compile eng service in
+  Core.Engine.eval_globals eng m;
+  eng
+
+let q eng src = Core.Engine.serialize eng (Core.Engine.run eng src)
+
+let call eng i u = q eng (Printf.sprintf "count(get_item('item%d','person%d'))" i u)
+
+let usecase =
+  [
+    tc "get_item returns the item and logs" `Quick (fun () ->
+        let eng = make_service () in
+        check Alcotest.string "one item" "1" (call eng 0 1);
+        check Alcotest.string "one log entry" "1" (q eng "count($log/logentry)");
+        check Alcotest.string "entry fields" "item0"
+          (q eng "string($log/logentry/@itemid)"));
+    tc "log archives every maxlog entries" `Quick (fun () ->
+        let eng = make_service () in
+        for i = 0 to 6 do
+          ignore (call eng (i mod 6) (i mod 12))
+        done;
+        (* 7 calls, maxlog=3: archive after calls 3 and 6, leaving 1 *)
+        check Alcotest.string "batches" "2" (q eng "count($archive/batch)");
+        check Alcotest.string "batch sizes" "3 3"
+          (q eng "for $b in $archive/batch return xs:integer($b/@size)");
+        check Alcotest.string "residue" "1" (q eng "count($log/logentry)"));
+    tc "nextid ids increase across calls" `Quick (fun () ->
+        let eng = make_service () in
+        for i = 0 to 4 do
+          ignore (call eng (i mod 6) i)
+        done;
+        check Alcotest.string "counter" "5" (q eng "string($d)");
+        (* the remaining log entries carry the most recent ids *)
+        check Alcotest.string "ids" "3 4"
+          (q eng "for $e in $log/logentry return xs:integer($e/@id)"));
+    tc "unknown user logs empty name but still returns the item" `Quick
+      (fun () ->
+        let eng = make_service () in
+        check Alcotest.string "item" "1" (call eng 2 9999);
+        check Alcotest.string "empty user" ""
+          (q eng "string($log/logentry[1]/@user)"));
+    tc "unknown item returns empty but logs the access" `Quick (fun () ->
+        let eng = make_service () in
+        check Alcotest.string "no item" "0" (call eng 9999 1);
+        check Alcotest.string "logged anyway" "1" (q eng "count($log/logentry)"));
+    tc "logging is oblivious to the caller (snapshot isolation)" `Quick
+      (fun () ->
+        let eng = make_service () in
+        (* the log insert inside get_item is snapped, so it is visible
+           to code running after the call in the same query *)
+        check Alcotest.string "visible" "1"
+          (q eng "(get_item('item1','person1'), count($log/logentry))[last()]"));
+  ]
+
+let suite = [ ("usecase:web-service", usecase) ]

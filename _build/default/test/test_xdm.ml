@@ -1,0 +1,162 @@
+(* S3: atomic values, arithmetic, comparisons, EBV, atomization. *)
+
+open Helpers
+module Atomic = Xqb_xdm.Atomic
+module Value = Xqb_xdm.Value
+module Item = Xqb_xdm.Item
+module Errors = Xqb_xdm.Errors
+
+let a_int i = Atomic.Integer i
+let a_dbl f = Atomic.Double f
+let a_str s = Atomic.String s
+let a_unt s = Atomic.Untyped s
+
+let atomic_str = Alcotest.testable Atomic.pp Atomic.equal
+
+let arith_tests =
+  [
+    tc "integer arithmetic" `Quick (fun () ->
+        check atomic_str "add" (a_int 7) (Atomic.arith Atomic.Add (a_int 3) (a_int 4));
+        check atomic_str "mul" (a_int 12) (Atomic.arith Atomic.Mul (a_int 3) (a_int 4));
+        check atomic_str "idiv" (a_int 2) (Atomic.arith Atomic.Idiv (a_int 7) (a_int 3));
+        check atomic_str "mod" (a_int 1) (Atomic.arith Atomic.Mod (a_int 7) (a_int 3)));
+    tc "integer div yields decimal when inexact" `Quick (fun () ->
+        check atomic_str "exact" (a_int 2) (Atomic.arith Atomic.Div (a_int 6) (a_int 3));
+        match Atomic.arith Atomic.Div (a_int 7) (a_int 2) with
+        | Atomic.Decimal f -> check (Alcotest.float 1e-9) "3.5" 3.5 f
+        | a -> Alcotest.failf "expected decimal, got %s" (Atomic.type_name a));
+    tc "division by zero" `Quick (fun () ->
+        (match Atomic.arith Atomic.Div (a_int 1) (a_int 0) with
+        | _ -> Alcotest.fail "expected error"
+        | exception Errors.Dynamic_error ("FOAR0001", _) -> ());
+        (* double division by zero gives infinity, not an error *)
+        match Atomic.arith Atomic.Div (a_dbl 1.) (a_dbl 0.) with
+        | Atomic.Double f -> check Alcotest.bool "inf" true (f = Float.infinity)
+        | _ -> Alcotest.fail "expected double");
+    tc "promotion integer->double" `Quick (fun () ->
+        match Atomic.arith Atomic.Add (a_int 1) (a_dbl 0.5) with
+        | Atomic.Double f -> check (Alcotest.float 1e-9) "1.5" 1.5 f
+        | a -> Alcotest.failf "expected double, got %s" (Atomic.type_name a));
+    tc "untyped promotes to double" `Quick (fun () ->
+        match Atomic.arith Atomic.Add (a_unt "2") (a_int 1) with
+        | Atomic.Double f -> check (Alcotest.float 1e-9) "3" 3.0 f
+        | a -> Alcotest.failf "expected double, got %s" (Atomic.type_name a));
+    tc "string arithmetic is a type error" `Quick (fun () ->
+        match Atomic.arith Atomic.Add (a_str "x") (a_int 1) with
+        | _ -> Alcotest.fail "expected error"
+        | exception Errors.Dynamic_error ("XPTY0004", _) -> ());
+    tc "negate" `Quick (fun () ->
+        check atomic_str "int" (a_int (-3)) (Atomic.negate (a_int 3)));
+    qtest "integer add/sub cancel" QCheck2.Gen.(pair int int) (fun (x, y) ->
+        Atomic.arith Atomic.Sub (Atomic.arith Atomic.Add (a_int x) (a_int y)) (a_int y)
+        = a_int x);
+  ]
+
+let cmp_tests =
+  [
+    tc "general compare: untyped vs number is numeric" `Quick (fun () ->
+        check Alcotest.bool "10 > 9" true
+          (Atomic.general_compare Atomic.Gt (a_unt "10") (a_int 9)));
+    tc "general compare: untyped vs untyped is string" `Quick (fun () ->
+        (* "10" < "9" as strings *)
+        check Alcotest.bool "10 lt 9 stringly" true
+          (Atomic.general_compare Atomic.Lt (a_unt "10") (a_unt "9")));
+    tc "general compare: untyped vs string is string" `Quick (fun () ->
+        check Alcotest.bool "eq" true
+          (Atomic.general_compare Atomic.Eq (a_unt "ab") (a_str "ab")));
+    tc "value compare: untyped as string" `Quick (fun () ->
+        check Alcotest.bool "eq" true
+          (Atomic.value_compare Atomic.Eq (a_unt "x") (a_str "x")));
+    tc "NaN comparisons are false" `Quick (fun () ->
+        check Alcotest.bool "eq" false
+          (Atomic.general_compare Atomic.Eq (a_dbl Float.nan) (a_dbl Float.nan));
+        check Alcotest.bool "lt" false
+          (Atomic.general_compare Atomic.Lt (a_dbl Float.nan) (a_dbl 1.)));
+    tc "boolean compare" `Quick (fun () ->
+        check Alcotest.bool "t=t" true
+          (Atomic.general_compare Atomic.Eq (Atomic.Boolean true) (Atomic.Boolean true));
+        check Alcotest.bool "f<t" true
+          (Atomic.general_compare Atomic.Lt (Atomic.Boolean false) (Atomic.Boolean true)));
+    tc "numeric tower equality" `Quick (fun () ->
+        check Alcotest.bool "1 = 1.0" true
+          (Atomic.general_compare Atomic.Eq (a_int 1) (a_dbl 1.0)));
+    qtest "general eq is symmetric"
+      QCheck2.Gen.(
+        pair
+          (oneof [ map a_int (int_bound 20); map a_unt (oneofl ["1";"2";"x"]); map a_str (oneofl ["1";"x"]) ])
+          (oneof [ map a_int (int_bound 20); map a_unt (oneofl ["1";"2";"x"]); map a_str (oneofl ["1";"x"]) ]))
+      (fun (x, y) ->
+        match Atomic.general_compare Atomic.Eq x y with
+        | r -> (try r = Atomic.general_compare Atomic.Eq y x with _ -> false)
+        | exception _ -> (match Atomic.general_compare Atomic.Eq y x with
+                          | _ -> false | exception _ -> true));
+  ]
+
+let cast_tests =
+  [
+    tc "to_integer" `Quick (fun () ->
+        check Alcotest.int "str" 42 (Atomic.to_integer (a_str " 42 "));
+        check Alcotest.int "trunc" 3 (Atomic.to_integer (a_dbl 3.9));
+        check Alcotest.int "neg trunc" (-3) (Atomic.to_integer (a_dbl (-3.9)));
+        check Alcotest.int "bool" 1 (Atomic.to_integer (Atomic.Boolean true)));
+    tc "to_double special" `Quick (fun () ->
+        check Alcotest.bool "INF" true (Atomic.to_double (a_str "INF") = Float.infinity);
+        check Alcotest.bool "NaN" true (Float.is_nan (Atomic.to_double (a_str "NaN"))));
+    tc "to_boolean" `Quick (fun () ->
+        check Alcotest.bool "1" true (Atomic.to_boolean (a_str "1"));
+        check Alcotest.bool "false" false (Atomic.to_boolean (a_str "false"));
+        match Atomic.to_boolean (a_str "maybe") with
+        | _ -> Alcotest.fail "expected error"
+        | exception Errors.Dynamic_error _ -> ());
+    tc "float formatting" `Quick (fun () ->
+        check Alcotest.string "int-like" "3" (Atomic.to_string (a_dbl 3.0));
+        check Alcotest.string "frac" "3.5" (Atomic.to_string (a_dbl 3.5));
+        check Alcotest.string "INF" "INF" (Atomic.to_string (a_dbl Float.infinity)));
+  ]
+
+let ebv_tests =
+  let ebv v = Value.effective_boolean_value v in
+  [
+    tc "empty is false" `Quick (fun () -> check Alcotest.bool "ebv" false (ebv []));
+    tc "node-first is true" `Quick (fun () ->
+        check Alcotest.bool "ebv" true (ebv [ Item.Node 0; Item.integer 0 ]));
+    tc "singleton atomics" `Quick (fun () ->
+        check Alcotest.bool "0" false (ebv (Value.of_int 0));
+        check Alcotest.bool "1" true (ebv (Value.of_int 1));
+        check Alcotest.bool "''" false (ebv (Value.of_string ""));
+        check Alcotest.bool "'x'" true (ebv (Value.of_string "x"));
+        check Alcotest.bool "NaN" false (ebv (Value.of_double Float.nan));
+        check Alcotest.bool "false" false (ebv (Value.of_bool false)));
+    tc "multi-atomic is an error" `Quick (fun () ->
+        match ebv [ Item.integer 1; Item.integer 2 ] with
+        | _ -> Alcotest.fail "expected error"
+        | exception Errors.Dynamic_error ("FORG0006", _) -> ());
+  ]
+
+let atomize_tests =
+  [
+    tc "node atomizes to untyped string value" `Quick (fun () ->
+        let f = fixture () in
+        (match Item.atomize f.store (Item.Node f.b1) with
+        | Atomic.Untyped s -> check Alcotest.string "sv" "one" s
+        | a -> Alcotest.failf "expected untyped, got %s" (Atomic.type_name a));
+        match Item.atomize f.store (Item.Node f.x1) with
+        | Atomic.Untyped s -> check Alcotest.string "attr" "1" s
+        | a -> Alcotest.failf "expected untyped, got %s" (Atomic.type_name a));
+    tc "singleton helpers" `Quick (fun () ->
+        (match Value.singleton_item [] with
+        | _ -> Alcotest.fail "expected error"
+        | exception Errors.Dynamic_error _ -> ());
+        match Value.item_opt [ Item.integer 1; Item.integer 2 ] with
+        | _ -> Alcotest.fail "expected error"
+        | exception Errors.Dynamic_error _ -> ());
+  ]
+
+let suite =
+  [
+    ("xdm:arith", arith_tests);
+    ("xdm:compare", cmp_tests);
+    ("xdm:cast", cast_tests);
+    ("xdm:ebv", ebv_tests);
+    ("xdm:atomize", atomize_tests);
+  ]

@@ -1,0 +1,114 @@
+(* S7: the XMark-style generator — shape, determinism, scaling, and
+   referential integrity of the join keys E1 depends on. *)
+
+open Helpers
+module G = Xqb_xmark.Generator
+module Store = Xqb_store.Store
+
+let gen ?(cfg = G.default) () =
+  let store = Store.create () in
+  let doc = G.generate store cfg in
+  (store, doc)
+
+(* A shared engine over the default document; the queries below are
+   read-only. *)
+let default_engine =
+  lazy
+    (let eng = Core.Engine.create () in
+     let doc = G.generate (Core.Engine.store eng) G.default in
+     Core.Engine.bind_node eng "a" doc;
+     eng)
+
+let q query =
+  let eng = Lazy.force default_engine in
+  Core.Engine.serialize eng (Core.Engine.run eng query)
+
+let structure =
+  [
+    tc "document shape" `Quick (fun () ->
+        let store, doc = gen () in
+        let site = List.hd (Store.children store doc) in
+        let names =
+          List.map
+            (fun c -> Xqb_xml.Qname.to_string (Option.get (Store.name store c)))
+            (Store.children store site)
+        in
+        check
+          (Alcotest.list Alcotest.string)
+          "sections"
+          [ "regions"; "categories"; "people"; "open_auctions"; "closed_auctions" ]
+          names;
+        check (Alcotest.list Alcotest.string) "invariants" [] (Store.validate store));
+    tc "cardinalities match config" `Quick (fun () ->
+        check Alcotest.string "persons" (string_of_int G.default.G.persons)
+          (q "count($a//person)");
+        check Alcotest.string "closed" (string_of_int G.default.G.closed_auctions)
+          (q "count($a//closed_auction)");
+        check Alcotest.string "items" (string_of_int G.default.G.items)
+          (q "count($a//item)");
+        check Alcotest.string "categories" (string_of_int G.default.G.categories)
+          (q "count($a//category)"));
+    tc "person ids are unique and well-formed" `Quick (fun () ->
+        check Alcotest.string "distinct ids" (string_of_int G.default.G.persons)
+          (q "count(distinct-values($a//person/@id))");
+        check Alcotest.string "prefixed" "true"
+          (q "every $p in $a//person satisfies starts-with($p/@id, 'person')"));
+    tc "buyer references resolve (join integrity for E1)" `Quick (fun () ->
+        check Alcotest.string "all buyers are persons" "true"
+          (q "every $t in $a//closed_auction satisfies exists($a//person[@id = $t/buyer/@person])");
+        check Alcotest.string "itemrefs resolve" "true"
+          (q "every $t in $a//closed_auction satisfies exists($a//item[@id = $t/itemref/@item])"));
+  ]
+
+let determinism =
+  [
+    tc "same seed, same document" `Quick (fun () ->
+        check Alcotest.string "equal" (G.to_xml G.default) (G.to_xml G.default));
+    tc "different seed, different document" `Quick (fun () ->
+        check Alcotest.bool "differ" true
+          (G.to_xml G.default <> G.to_xml { G.default with G.seed = 43 }));
+    tc "events round-trip through the XML parser" `Quick (fun () ->
+        let xml = G.to_xml { G.default with G.persons = 10; items = 8 } in
+        let events = Xqb_xml.Xml_parser.parse xml in
+        check Alcotest.bool "nonempty" true (List.length events > 50));
+  ]
+
+let scaling =
+  [
+    tc "scaled keeps XMark ratios" `Quick (fun () ->
+        let s1 = G.scaled 1.0 in
+        let s2 = G.scaled 2.0 in
+        check Alcotest.int "persons x2" (2 * s1.G.persons) s2.G.persons;
+        check Alcotest.bool "ratio persons/closed" true
+          (abs ((s1.G.persons * 97) - (s1.G.closed_auctions * 255)) < 300));
+    tc "tiny factors stay positive" `Quick (fun () ->
+        let s = G.scaled 0.001 in
+        check Alcotest.bool "all >= 1" true
+          (s.G.persons >= 1 && s.G.items >= 1 && s.G.closed_auctions >= 1));
+  ]
+
+let prng =
+  [
+    tc "rand determinism and bounds" `Quick (fun () ->
+        let r1 = Xqb_xmark.Rand.create 7 in
+        let r2 = Xqb_xmark.Rand.create 7 in
+        for _ = 1 to 100 do
+          let a = Xqb_xmark.Rand.int r1 13 in
+          let b = Xqb_xmark.Rand.int r2 13 in
+          check Alcotest.int "same stream" a b;
+          check Alcotest.bool "in bounds" true (a >= 0 && a < 13)
+        done);
+    qtest "rand stays in range" QCheck2.Gen.(pair small_nat (int_range 1 1000))
+      (fun (seed, bound) ->
+        let r = Xqb_xmark.Rand.create seed in
+        let x = Xqb_xmark.Rand.int r bound in
+        x >= 0 && x < bound);
+  ]
+
+let suite =
+  [
+    ("xmark:structure", structure);
+    ("xmark:determinism", determinism);
+    ("xmark:scaling", scaling);
+    ("xmark:prng", prng);
+  ]

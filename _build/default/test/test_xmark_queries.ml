@@ -1,0 +1,95 @@
+(* Integration corpus: XMark-flavoured queries over the generated
+   auction document. The generator is deterministic (seed 42, default
+   config), so the expected values are exact goldens — any engine or
+   generator regression shows up as a concrete value change. *)
+
+open Helpers
+module G = Xqb_xmark.Generator
+
+let engine =
+  lazy
+    (let eng = Core.Engine.create () in
+     let doc = G.generate (Core.Engine.store eng) G.default in
+     Core.Engine.bind_node eng "auction" doc;
+     eng)
+
+let q name src pred =
+  tc name `Quick (fun () ->
+      let eng = Lazy.force engine in
+      let got = Core.Engine.serialize eng (Core.Engine.run eng src) in
+      pred got)
+
+let eq expected got = check Alcotest.string "value" expected got
+
+let int_in lo hi got =
+  let n = int_of_string got in
+  if n < lo || n > hi then
+    Alcotest.failf "expected a value in [%d, %d], got %d" lo hi n
+
+let queries =
+  [
+    q "Q1-like: initial of a known auction"
+      "xs:double(($auction//open_auction[@id = 'open0']/initial)[1]) > 0"
+      (eq "true");
+    q "Q3-like: auctions with at least two bidders"
+      "count($auction//open_auction[count(bidder) >= 2])"
+      (int_in 1 G.default.G.open_auctions);
+    q "Q4-like: ordered price list is sorted"
+      {|let $prices := for $a in $auction//open_auction
+                      order by xs:integer($a/current)
+                      return xs:integer($a/current)
+        return every $i in 1 to count($prices) - 1
+               satisfies $prices[$i] <= $prices[$i + 1]|}
+      (eq "true");
+    q "Q5-like: expensive closed auctions"
+      "count($auction//closed_auction[xs:double(price) >= 40])"
+      (int_in 1 G.default.G.closed_auctions);
+    q "Q6-like: items per region sum to all items"
+      {|sum(for $r in $auction/site/regions/* return count($r/item))
+        = count($auction//item)|}
+      (eq "true");
+    q "Q8-like: buyer counts sum to closed auctions"
+      {|sum(for $p in $auction//person
+            return count($auction//closed_auction[buyer/@person = $p/@id]))
+        = count($auction//closed_auction)|}
+      (eq "true");
+    q "Q13-like: region listing preserves items"
+      {|count(for $i in $auction/site/regions/australia/item
+             return <item name="{$i/name}">{$i/description}</item>)
+        = count($auction/site/regions/australia/item)|}
+      (eq "true");
+    q "Q14-like: items whose description mentions a word"
+      "count($auction//item[contains(string(description), 'vintage')]) >= 0"
+      (eq "true");
+    q "Q17-like: people without a phone"
+      {|count($auction//person[empty(phone)]) + count($auction//person[phone])
+        = count($auction//person)|}
+      (eq "true");
+    q "Q19-like: order by name gives deterministic first"
+      {|(for $p in $auction//person
+         order by string($p/name), string($p/@id)
+         return string($p/@id))[1]|}
+      (fun got ->
+        check Alcotest.bool "person id" true
+          (String.length got > 6 && String.sub got 0 6 = "person"));
+    q "aggregates: average closed price is plausible"
+      {|let $p := avg(for $t in $auction//closed_auction return xs:double($t/price))
+        return ($p >= 5 and $p <= 505)|}
+      (eq "true");
+    q "join keys resolve exactly"
+      {|every $t in $auction//closed_auction satisfies
+          count($auction//person[@id = $t/buyer/@person]) = 1|}
+      (eq "true");
+    q "identity: two paths to the same node"
+      {|let $p := ($auction//person)[1]
+        return $p is $auction/site/people/person[1]|}
+      (eq "true");
+    q "update round-trip on the shared doc (snap + undo by delete)"
+      {|let $site := $auction/site
+        return (snap insert {<marker/>} into {$site},
+                let $n := count($site/marker)
+                return (snap delete {$site/marker}, concat($n, '-', count($site/marker))))|}
+      (eq "1-0");
+  ]
+
+let suite = [ ("xmark-queries", queries) ]

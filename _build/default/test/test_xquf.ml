@@ -1,0 +1,198 @@
+(* XQuery Update Facility compatibility front end. The paper fed into
+   XQUF's design; this suite checks that XQUF surface syntax maps onto
+   the XQuery! core with XQUF's observable semantics (the whole query
+   runs under one snapshot — which is exactly the implicit top-level
+   snap of §2.3). *)
+
+open Helpers
+module A = Xqb_syntax.Ast
+module P = Xqb_syntax.Parser
+
+let syntax_mapping =
+  let parses name src pred =
+    tc name `Quick (fun () ->
+        let e = P.parse_expr_string src in
+        if not (pred e) then Alcotest.failf "%s: unexpected AST" name)
+  in
+  [
+    parses "insert node ... into" "insert node <a/> into $x"
+      (function A.Insert (A.Dir_elem _, A.Into (A.Var "x")) -> true | _ -> false);
+    parses "insert nodes plural" "insert nodes ($a, $b) into $x"
+      (function A.Insert (A.Seq [ _; _ ], A.Into _) -> true | _ -> false);
+    parses "insert node as first into" "insert node <a/> as first into $x"
+      (function A.Insert (_, A.Into_as_first _) -> true | _ -> false);
+    parses "insert node as last into" "insert node <a/> as last into $x"
+      (function A.Insert (_, A.Into_as_last _) -> true | _ -> false);
+    parses "insert node before" "insert node <a/> before $x/b"
+      (function A.Insert (_, A.Before _) -> true | _ -> false);
+    parses "insert node after" "insert node <a/> after $x/b"
+      (function A.Insert (_, A.After _) -> true | _ -> false);
+    parses "delete node" "delete node $x/a"
+      (function A.Delete (A.Path _) -> true | _ -> false);
+    parses "delete nodes" "delete nodes $x/a"
+      (function A.Delete _ -> true | _ -> false);
+    parses "replace node with" "replace node $x/a with <b/>"
+      (function A.Replace (_, A.Dir_elem _) -> true | _ -> false);
+    parses "replace value of node" "replace value of node $x/a with 'v'"
+      (function A.Replace_value (_, A.Literal _) -> true | _ -> false);
+    parses "rename node as" "rename node $x/a as 'b'"
+      (function A.Rename (_, A.Literal _) -> true | _ -> false);
+    parses "both syntaxes coexist"
+      "(insert {<a/>} into {$x}, insert node <a/> into $x)"
+      (function A.Seq [ A.Insert _; A.Insert _ ] -> true | _ -> false);
+    parses "delete with braces still works" "delete { $x }"
+      (function A.Delete (A.Var "x") -> true | _ -> false);
+  ]
+
+let semantics =
+  [
+    expect "XQUF insert applies at query end (snapshot)"
+      {|let $x := <x/>
+        return (insert node <a/> into $x, count($x/a))|}
+      "0";
+    expect "XQUF insert visible in the next query step via snap"
+      {|let $x := <x/>
+        return (snap { insert node <a/> into $x }, count($x/a))|}
+      "1";
+    expect "insert node into full round trip"
+      {|let $x := <x><old/></x>
+        return (snap { insert node <new/> as first into $x }, $x)|}
+      "<x><new></new><old></old></x>";
+    expect "delete node"
+      {|let $x := <x><a/><b/></x>
+        return (snap { delete node $x/a }, $x)|}
+      "<x><b></b></x>";
+    expect "replace node"
+      {|let $x := <x><a/></x>
+        return (snap { replace node $x/a with <b/> }, $x)|}
+      "<x><b></b></x>";
+    expect "rename node as"
+      {|let $x := <x><a/></x>
+        return (snap { rename node $x/a as 'z' }, $x)|}
+      "<x><z></z></x>";
+  ]
+
+let replace_value =
+  [
+    expect "replace value of element replaces its children"
+      {|let $x := <x><a>old<b/></a></x>
+        return (snap { replace value of node $x/a with 'new' }, $x)|}
+      "<x><a>new</a></x>";
+    expect "replace value of attribute"
+      {|let $x := <x k="old"/>
+        return (snap { replace value of node $x/@k with 41 + 1 }, string($x/@k))|}
+      "42";
+    expect "replace value of text node"
+      {|let $x := <x>old</x>
+        return (snap { replace value of node $x/text() with 'new' }, string($x))|}
+      "new";
+    expect "replace value with empty clears"
+      {|let $x := <x><a>old</a></x>
+        return (snap { replace value of node $x/a with '' }, count($x/a/node()))|}
+      "0";
+    expect "replace value atomizes a sequence"
+      {|let $x := <x><a/></x>
+        return (snap { replace value of node $x/a with (1, 2) }, string($x/a))|}
+      "1 2";
+    expect "replace value needs no copy (no aliasing possible)"
+      {|let $src := <s>v</s>
+        let $x := <x><a/></x>
+        return (snap { replace value of node $x/a with $src },
+                string($x/a), count($src))|}
+      "v 1";
+    expect_error "replace value of a non-node" "snap { replace value of node 1 with 'v' }"
+      any_dynamic_error;
+  ]
+
+let conflict_r6 =
+  let sv n s = Core.Update.Set_value (n, s) in
+  [
+    tc "R6: diverging set-values conflict" `Quick (fun () ->
+        check Alcotest.bool "conflict" false
+          (Core.Conflict.is_conflict_free [ sv 3 "a"; sv 3 "b" ]);
+        check Alcotest.bool "agreeing ok" true
+          (Core.Conflict.is_conflict_free [ sv 3 "a"; sv 3 "a" ]));
+    tc "R6: set-value vs insert into same node" `Quick (fun () ->
+        let ins =
+          Core.Update.Insert { nodes = [ 9 ]; parent = 3; position = Core.Update.Last }
+        in
+        check Alcotest.bool "conflict either order" false
+          (Core.Conflict.is_conflict_free [ sv 3 "a"; ins ]);
+        check Alcotest.bool "conflict either order 2" false
+          (Core.Conflict.is_conflict_free [ ins; sv 3 "a" ]));
+    tc "R6: set-value vs delete of the node" `Quick (fun () ->
+        check Alcotest.bool "conflict" false
+          (Core.Conflict.is_conflict_free [ sv 3 "a"; Core.Update.Delete 3 ]);
+        check Alcotest.bool "conflict 2" false
+          (Core.Conflict.is_conflict_free [ Core.Update.Delete 3; sv 3 "a" ]));
+    tc "R6: independent set-values are fine" `Quick (fun () ->
+        check Alcotest.bool "free" true
+          (Core.Conflict.is_conflict_free [ sv 3 "a"; sv 4 "b" ]));
+    expect "conflict-mode accepts one replace value"
+      {|let $x := <x><a>v</a></x>
+        return (snap conflict { replace value of node $x/a with 'w' }, string($x/a))|}
+      "w";
+  ]
+
+let purity =
+  [
+    tc "replace value classifies as updating" `Quick (fun () ->
+        let prog =
+          Core.Normalize.normalize_prog ~is_builtin:Core.Functions.is_builtin
+            (P.parse_prog
+               "declare variable $x := <x/>; replace value of node $x with 'v'")
+        in
+        check Alcotest.string "updating" "updating"
+          (Core.Static.purity_to_string
+             (Core.Static.purity_in_prog prog (Option.get prog.Core.Normalize.body))));
+  ]
+
+let suite =
+  [
+    ("xquf:syntax", syntax_mapping);
+    ("xquf:semantics", semantics);
+    ("xquf:replace-value", replace_value);
+    ("xquf:conflict-r6", conflict_r6);
+    ("xquf:purity", purity);
+  ]
+
+(* -- XQUF transform (copy ... modify ... return) --------------------- *)
+
+let transform_tests =
+  [
+    expect "transform leaves the source untouched"
+      {|let $src := <e><a/></e>
+        let $out := copy $c := $src modify delete node $c/a return $c
+        return (count($src/a), count($out/a))|}
+      "1 0";
+    expect "transform modify applies before return"
+      {|copy $c := <e count="0"/>
+        modify replace value of node $c/@count with 42
+        return string($c/@count)|}
+      "42";
+    expect "multiple copy bindings"
+      {|copy $a := <x>1</x>, $b := <y>2</y>
+        modify (rename node $a as 'z', rename node $b as 'z')
+        return concat(name($a), name($b))|}
+      "zz";
+    expect "transform composes with XQuery! snap"
+      {|let $log := <log/>
+        let $out := copy $c := <v/> modify insert node <m/> into $c
+                    return (snap insert {<entry/>} into {$log}, $c)
+        return (count($out/m), count($log/entry))|}
+      "1 1";
+    expect "transform result can be any expression"
+      {|copy $c := <e><n>3</n></e>
+        modify replace value of node $c/n with 4
+        return xs:integer($c/n) * 10|}
+      "40";
+    tc "transform pretty round-trips" `Quick (fun () ->
+        let src = "copy $c := <a/> modify delete node $c return $c" in
+        let e = Xqb_syntax.Parser.parse_expr_string src in
+        (match e with A.Transform ([ _ ], _, _) -> () | _ -> Alcotest.fail "not a transform");
+        let printed = Xqb_syntax.Pretty.expr_to_string e in
+        check Alcotest.bool "reparses equal" true
+          (Xqb_syntax.Parser.parse_expr_string printed = e));
+  ]
+
+let suite = suite @ [ ("xquf:transform", transform_tests) ]
