@@ -8,6 +8,39 @@
 
 open Bechamel
 
+(* -- machine-readable results (bench --json PATH) -------------------
+
+   Every measurement records (name, n, median ns) here; [write_json]
+   dumps the run for per-PR BENCH_*.json trajectory files. [n] is
+   the workload size the number refers to (1 for micro-ops). *)
+
+let json_results : (string * int * float) list ref = ref []
+
+let record ~name ~n ns = json_results := (name, n, ns) :: !json_results
+
+let write_json path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let escape s =
+        String.concat ""
+          (List.map
+             (function
+               | '"' -> "\\\"" | '\\' -> "\\\\" | '\n' -> "\\n"
+               | c -> String.make 1 c)
+             (List.init (String.length s) (String.get s)))
+      in
+      output_string oc "[\n";
+      List.iteri
+        (fun i (name, n, ns) ->
+          Printf.fprintf oc "  {\"name\":\"%s\",\"n\":%d,\"median_ns\":%.1f}%s\n"
+            (escape name) n ns
+            (if i = List.length !json_results - 1 then "" else ","))
+        (List.rev !json_results);
+      output_string oc "]\n");
+  Printf.printf "wrote %d results to %s\n" (List.length !json_results) path
+
 let ols =
   Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
 
@@ -20,7 +53,9 @@ let measure_ns ?(quota = 0.4) name (f : unit -> unit) : float =
   let raw = Benchmark.all cfg [ clock ] test in
   let res = Analyze.all ols clock raw in
   match Analyze.OLS.estimates (Hashtbl.find res name) with
-  | Some [ t ] -> t
+  | Some [ t ] ->
+    record ~name ~n:1 t;
+    t
   | _ -> Float.nan
 
 (* One wall-clock run, in milliseconds, with the result value kept

@@ -265,8 +265,106 @@ let repl_cmd =
     (Cmd.info "repl" ~doc:"Interactive session (state persists across queries)")
     Term.(ret (const repl $ docs_arg $ vars_arg $ mode_arg $ seed_arg $ trace_arg))
 
+(* The query service (docs/SERVICE.md): sessions over a shared
+   document catalog, a prepared-plan cache and the purity-gated
+   parallel scheduler, speaking the newline-delimited protocol of
+   [Xqb_service.Protocol] on stdin or a TCP socket. *)
+let serve_cmd =
+  let module Svc = Xqb_service.Service in
+  let module P = Xqb_service.Protocol in
+  let handle_request svc stop req =
+    try
+      match (req : P.request) with
+      | P.Open -> P.ok (string_of_int (Svc.open_session svc))
+      | P.Close sid ->
+        Svc.close_session svc sid;
+        P.ok "closed"
+      | P.Load (sid, uri, path) ->
+        Svc.load_document svc sid ~uri (read_file path);
+        P.ok ("loaded " ^ uri)
+      | P.Query (sid, q) -> (
+        match Svc.query svc sid q with
+        | Ok result -> P.ok result
+        | Error e -> P.err e)
+      | P.Stats -> P.ok (Svc.stats_json svc)
+      | P.Quit ->
+        stop ();
+        P.ok "bye"
+    with
+    | Failure m | Sys_error m -> P.err m
+    | e -> P.err (Printexc.to_string e)
+  in
+  let session_loop svc ic oc =
+    let stopped = ref false in
+    let stop () = stopped := true in
+    let rec loop () =
+      match input_line ic with
+      | line ->
+        let reply =
+          match P.parse line with
+          | Ok req -> handle_request svc stop req
+          | Error e -> P.err e
+        in
+        output_string oc (reply ^ "\n");
+        flush oc;
+        if not !stopped then loop ()
+      | exception End_of_file -> ()
+    in
+    loop ()
+  in
+  let serve domains cache_capacity port =
+    report_errors (fun () ->
+        let svc = Svc.create ~domains ~cache_capacity () in
+        (match port with
+        | None ->
+          (* newline-delimited requests on stdin, replies on stdout *)
+          session_loop svc stdin stdout
+        | Some port ->
+          let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          Unix.setsockopt sock Unix.SO_REUSEADDR true;
+          Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+          Unix.listen sock 64;
+          Printf.eprintf "xqbang serve: listening on 127.0.0.1:%d\n%!" port;
+          (* one thread per connection; they all share the service,
+             whose scheduler interleaves their queries *)
+          let rec accept_loop () =
+            let fd, _ = Unix.accept sock in
+            ignore
+              (Thread.create
+                 (fun fd ->
+                   let ic = Unix.in_channel_of_descr fd in
+                   let oc = Unix.out_channel_of_descr fd in
+                   (try session_loop svc ic oc with _ -> ());
+                   (try Unix.close fd with _ -> ()))
+                 fd);
+            accept_loop ()
+          in
+          accept_loop ());
+        Svc.shutdown svc;
+        `Ok ())
+  in
+  let domains_arg =
+    Arg.(value & opt int 4 & info [ "domains" ] ~docv:"N"
+           ~doc:"Worker domains in the scheduler pool (0 = synchronous).")
+  in
+  let cache_arg =
+    Arg.(value & opt int 128 & info [ "plan-cache" ] ~docv:"N"
+           ~doc:"Prepared-plan cache capacity (LRU).")
+  in
+  let port_arg =
+    Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT"
+           ~doc:"Listen on 127.0.0.1:PORT instead of serving stdin.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the multi-client query service (newline-delimited protocol)")
+    Term.(ret (const serve $ domains_arg $ cache_arg $ port_arg))
+
 let () =
   let info = Cmd.info "xqbang" ~version:"1.0.0"
       ~doc:"XQuery! — an XML query language with side effects (EDBT 2006 reproduction)"
   in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; explain_cmd; xmark_cmd; fmt_cmd; repl_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; explain_cmd; xmark_cmd; fmt_cmd; repl_cmd; serve_cmd ]))

@@ -27,6 +27,10 @@ type t = {
   snaps : Snap_stack.t;
   rand : Random.State.t;
   docs : (string, Xqb_store.Store.node_id) Hashtbl.t;
+  mutable doc_lookup : (string -> Xqb_store.Store.node_id option) option;
+    (* secondary registry consulted on a [docs] miss before the
+       resolver — the service layer points it at the shared document
+       catalog. Must not load anything: lookup only. *)
   mutable doc_resolver : (string -> string) option;  (* uri -> XML text *)
   mutable globals : Xqb_xdm.Value.t SMap.t;  (* module-level variables *)
   mutable on_apply : (Update.delta -> Apply.mode -> unit) option;
@@ -43,8 +47,31 @@ let create ?(seed = 0x5eed) ?store () =
     snaps = Snap_stack.create ();
     rand = Random.State.make [| seed |];
     docs = Hashtbl.create 4;
+    doc_lookup = None;
     doc_resolver = None;
     globals = SMap.empty;
+    on_apply = None;
+    steps_evaluated = 0;
+  }
+
+(* A read-only fork for concurrent evaluation (the service layer's
+   purity-gated scheduler): shares the store, but snapshots every
+   other piece of mutable state so evaluation in the fork can never
+   race with the parent session. The function and document tables are
+   copied (cheap — they are small), the snap stack and RNG are fresh,
+   and the doc resolver is dropped: a fork may *look up* already
+   registered documents but must never load new XML into the shared
+   store. *)
+let fork_read ctx =
+  {
+    store = ctx.store;
+    functions = Hashtbl.copy ctx.functions;
+    snaps = Snap_stack.create ();
+    rand = Random.State.make [| 0x5eed |];
+    docs = Hashtbl.copy ctx.docs;
+    doc_lookup = ctx.doc_lookup;  (* lookup-only: safe in a fork *)
+    doc_resolver = None;
+    globals = ctx.globals;
     on_apply = None;
     steps_evaluated = 0;
   }
@@ -61,13 +88,18 @@ let resolve_doc ctx uri =
   match Hashtbl.find_opt ctx.docs uri with
   | Some n -> n
   | None -> (
-    match ctx.doc_resolver with
-    | None -> Xqb_xdm.Errors.raise_error "FODC0002" "document %S not found" uri
-    | Some resolve ->
-      let xml = resolve uri in
-      let n = Xqb_store.Store.load_string ctx.store xml in
+    match (match ctx.doc_lookup with Some f -> f uri | None -> None) with
+    | Some n ->
       Hashtbl.replace ctx.docs uri n;
-      n)
+      n
+    | None -> (
+      match ctx.doc_resolver with
+      | None -> Xqb_xdm.Errors.raise_error "FODC0002" "document %S not found" uri
+      | Some resolve ->
+        let xml = resolve uri in
+        let n = Xqb_store.Store.load_string ctx.store xml in
+        Hashtbl.replace ctx.docs uri n;
+        n))
 
 let empty_env : env = SMap.empty
 

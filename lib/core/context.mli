@@ -27,6 +27,10 @@ type t = {
   snaps : Snap_stack.t;
   rand : Random.State.t;
   docs : (string, Xqb_store.Store.node_id) Hashtbl.t;
+  mutable doc_lookup : (string -> Xqb_store.Store.node_id option) option;
+      (** secondary registry consulted on a [docs] miss before the
+          resolver (the service's shared catalog); lookup only, never
+          loads *)
   mutable doc_resolver : (string -> string) option;
   mutable globals : env;
   mutable on_apply : (Update.delta -> Apply.mode -> unit) option;
@@ -39,13 +43,21 @@ type t = {
     order. *)
 val create : ?seed:int -> ?store:Xqb_store.Store.t -> unit -> t
 
+(** A read-only fork for concurrent evaluation: shares the store but
+    snapshots all other mutable state (function/document tables are
+    copied, snap stack and RNG are fresh, [doc_resolver] is dropped so
+    a fork can never load new XML into the shared store). Evaluating
+    a {!Static.prog_parallel_safe} program in a fork touches no state
+    another fork can observe. *)
+val fork_read : t -> t
+
 val declare_function : t -> Xqb_xml.Qname.t -> int -> func -> unit
 val find_function : t -> Xqb_xml.Qname.t -> int -> func option
 
 val register_doc : t -> string -> Xqb_store.Store.node_id -> unit
 
-(** Registry lookup, falling back to [doc_resolver]; raises FODC0002
-    when unresolvable. *)
+(** Registry lookup, falling back to [doc_lookup] then
+    [doc_resolver]; raises FODC0002 when unresolvable. *)
 val resolve_doc : t -> string -> Xqb_store.Store.node_id
 
 val empty_env : env

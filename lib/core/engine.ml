@@ -14,12 +14,16 @@ type t = { ctx : Context.t }
 
 exception Compile_error of string
 
-let create ?seed () =
-  let ctx = Context.create ?seed () in
+let create ?seed ?store () =
+  let ctx = Context.create ?seed ?store () in
   { ctx }
 
 let context t = t.ctx
 let store t = t.ctx.Context.store
+
+(* Engine-level wrapper over {!Context.fork_read}: a read-only fork
+   sharing the store but isolated from all session mutations. *)
+let fork_read t = { ctx = Context.fork_read t.ctx }
 
 (* Load an XML document into the store, register it for fn:doc under
    [uri], and return its document node. *)
@@ -59,6 +63,35 @@ let merge_counts a b =
       | Some m -> (rule, m + n) :: List.remove_assoc rule acc
       | None -> (rule, n) :: acc)
     a b
+
+(* Install a compiled program's function declarations into the engine.
+   [compile] does this automatically; the service layer's plan cache
+   calls it on cache hits, where the parse/normalize/rewrite phases
+   are skipped but a fresh session still needs the declarations. *)
+let install_functions t (c : compiled) =
+  let prog = c.prog in
+  let purities = Static.classify_functions prog.Normalize.functions in
+  List.iter
+    (fun (f : Normalize.func) ->
+      let arity = List.length f.Normalize.params in
+      let updating =
+        match
+          List.find_opt
+            (fun (g, m, _) -> Qname.equal f.Normalize.fname g && m = arity)
+            purities
+        with
+        | Some (_, _, Static.Pure) -> false
+        | Some _ -> true
+        | None -> false
+      in
+      Context.declare_function t.ctx f.Normalize.fname arity
+        {
+          Context.params = f.Normalize.params;
+          return_type = f.Normalize.return_type;
+          body = f.Normalize.body;
+          updating;
+        })
+    prog.Normalize.functions
 
 (* Parse, normalize, statically check and simplify a program (§4.2's
    "phase of syntactic rewriting", with purity guards). Function
@@ -106,30 +139,10 @@ let compile ?(simplify = true) t source : compiled =
       }
     end
   in
-  let purities = Static.classify_functions prog.Normalize.functions in
-  List.iter
-    (fun (f : Normalize.func) ->
-      let arity = List.length f.Normalize.params in
-      let updating =
-        match
-          List.find_opt
-            (fun (g, m, _) -> Qname.equal f.Normalize.fname g && m = arity)
-            purities
-        with
-        | Some (_, _, Static.Pure) -> false
-        | Some _ -> true
-        | None -> false
-      in
-      Context.declare_function t.ctx f.Normalize.fname arity
-        {
-          Context.params = f.Normalize.params;
-          return_type = f.Normalize.return_type;
-          body = f.Normalize.body;
-          updating;
-        })
-    prog.Normalize.functions;
   let type_warnings = Typing.check_prog prog in
-  { prog; source; rewrites = !rewrites; type_warnings }
+  let c = { prog; source; rewrites = !rewrites; type_warnings } in
+  install_functions t c;
+  c
 
 (* Evaluate the global-variable declarations of a compiled program (in
    order, under the implicit top-level snap like the body). *)
@@ -162,9 +175,10 @@ let run ?mode t source : Value.t =
   run_compiled ?mode t c
 
 (* Serialize a value the way the CLI prints results: nodes as XML,
-   atomics space-separated. *)
-let serialize t (v : Value.t) : string =
-  let store = store t in
+   atomics space-separated. [serialize_with] takes an explicit store
+   handle — the service layer serializes results while still holding
+   the scheduler's read lock, possibly from a forked context. *)
+let serialize_with store (v : Value.t) : string =
   let buf = Buffer.create 256 in
   let last_was_atomic = ref false in
   List.iter
@@ -180,8 +194,44 @@ let serialize t (v : Value.t) : string =
     v;
   Buffer.contents buf
 
+let serialize t (v : Value.t) : string = serialize_with (store t) v
+
 (* Purity of a compiled body (E7's instrumentation). *)
 let body_purity (c : compiled) =
   match c.prog.Normalize.body with
   | None -> Static.Pure
   | Some body -> Static.purity_in_prog c.prog body
+
+(* May this compiled program run concurrently with other such programs
+   against the shared store? See {!Static.prog_parallel_safe}. *)
+let parallel_safe (c : compiled) = Static.prog_parallel_safe c.prog
+
+(* Run a parallel-safe compiled program without touching any of the
+   session's mutable state: evaluation happens in a [Context.fork_read]
+   of the session context, and — because the program is Pure — the
+   implicit top-level snap is skipped entirely (it could only ever
+   apply an empty ∆, but pushing the frame and applying would mutate
+   the snap stack and the store's journal flags).
+
+   @raise Invalid_argument when the program is not parallel-safe. *)
+let run_readonly t (c : compiled) : Value.t =
+  if not (parallel_safe c) then
+    invalid_arg "Engine.run_readonly: program is not parallel-safe";
+  let ctx = Context.fork_read t.ctx in
+  let env =
+    List.fold_left
+      (fun env (v, ty, e) ->
+        let value = Eval.eval ctx env None e in
+        (match ty with
+        | Some ty ->
+          if not (Types.matches ctx.Context.store ty value) then
+            raise
+              (Compile_error
+                 (Printf.sprintf "global $%s does not match its declared type" v))
+        | None -> ());
+        Context.bind env v value)
+      ctx.Context.globals c.prog.Normalize.global_vars
+  in
+  match c.prog.Normalize.body with
+  | None -> []
+  | Some body -> Eval.eval ctx env None body

@@ -10,12 +10,19 @@ type t
 (** Parse/static errors, with positions where available. *)
 exception Compile_error of string
 
-(** Fresh engine (own store, empty module). [seed] drives the
-    nondeterministic update-application order. *)
-val create : ?seed:int -> unit -> t
+(** Fresh engine (empty module). [seed] drives the nondeterministic
+    update-application order; [store] shares an existing store between
+    engines (the service layer's shared document catalog). *)
+val create : ?seed:int -> ?store:Xqb_store.Store.t -> unit -> t
 
 val context : t -> Context.t
 val store : t -> Xqb_store.Store.t
+
+(** Engine-level {!Context.fork_read}: a read-only fork sharing the
+    store but isolated from all session mutations (the service layer
+    forks at submission time so in-flight reads never race with the
+    session). *)
+val fork_read : t -> t
 
 (** Load an XML document into the store and register it for
     [fn:doc(uri)]. *)
@@ -45,6 +52,12 @@ type compiled = {
     @raise Compile_error. *)
 val compile : ?simplify:bool -> t -> string -> compiled
 
+(** Install a compiled program's function declarations into the
+    engine. [compile] does this itself; the service layer's plan
+    cache calls it on cache hits so a session that skipped
+    compilation still sees the declarations. *)
+val install_functions : t -> compiled -> unit
+
 (** Evaluate the program's global-variable declarations, in order,
     each under an implicit snap. *)
 val eval_globals : ?mode:Core_ast.snap_mode -> t -> compiled -> unit
@@ -56,10 +69,29 @@ val run_compiled : ?mode:Core_ast.snap_mode -> t -> compiled -> Xqb_xdm.Value.t
 (** [compile] + [run_compiled]. *)
 val run : ?mode:Core_ast.snap_mode -> t -> string -> Xqb_xdm.Value.t
 
-(** Nodes as XML, atomics space-separated — the CLI's output format. *)
+(** Nodes as XML, atomics space-separated — the CLI's output format.
+    [serialize_with] takes an explicit store handle (for serializing
+    from a forked read-only context). *)
 val serialize : t -> Xqb_xdm.Value.t -> string
+
+val serialize_with : Xqb_store.Store.t -> Xqb_xdm.Value.t -> string
 
 (** §5 classification of a compiled body (E7 instrumentation). *)
 val body_purity : compiled -> Static.purity
+
+(** May this program run concurrently with other parallel-safe
+    programs against the shared store ({!Static.prog_parallel_safe}:
+    Pure and allocation-free)? *)
+val parallel_safe : compiled -> bool
+
+(** Run a {!parallel_safe} program without touching any session
+    state: evaluation happens in a {!Context.fork_read} of the
+    session context and the implicit top-level snap is skipped (a
+    Pure program's ∆ is necessarily empty). Safe to call from
+    multiple domains concurrently, provided no writer is mutating the
+    store (the service scheduler's readers–writer lock enforces
+    this).
+    @raise Invalid_argument when the program is not parallel-safe. *)
+val run_readonly : t -> compiled -> Xqb_xdm.Value.t
 
 val parse_error_message : exn -> string

@@ -204,17 +204,25 @@ let deep_equal store (x : Value.t) (y : Value.t) =
          | Item.Node _, Item.Atomic _ | Item.Atomic _, Item.Node _ -> false)
        x y
 
+(* Global memo; locked because pure queries touch it and the service
+   scheduler runs pure queries from several domains at once. *)
 let regexp_cache : (string, Re.re) Hashtbl.t = Hashtbl.create 16
+let regexp_lock = Mutex.create ()
 
 let compile_re pattern =
-  match Hashtbl.find_opt regexp_cache pattern with
+  Mutex.lock regexp_lock;
+  let cached = Hashtbl.find_opt regexp_cache pattern in
+  Mutex.unlock regexp_lock;
+  match cached with
   | Some re -> re
   | None ->
     let re =
       try Re.Pcre.re pattern |> Re.compile
       with _ -> Errors.raise_error "FORX0002" "invalid regular expression %S" pattern
     in
-    Hashtbl.add regexp_cache pattern re;
+    Mutex.lock regexp_lock;
+    Hashtbl.replace regexp_cache pattern re;
+    Mutex.unlock regexp_lock;
     re
 
 (* -- dispatch -------------------------------------------------------- *)

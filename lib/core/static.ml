@@ -103,6 +103,81 @@ let purity_oracle (prog : Normalize.prog) : C.expr -> purity =
 let purity_in_prog (prog : Normalize.prog) (e : C.expr) : purity =
   purity_oracle prog e
 
+(* -- Node allocation --------------------------------------------------
+
+   [Pure] means "emits no update requests and contains no snap" — but
+   a pure expression may still *allocate* fresh nodes in the store
+   (constructors, [Copy]). Allocation mutates the shared node table,
+   so the service scheduler needs the stronger judgement below before
+   it runs two queries concurrently against one store. *)
+
+(* Does the expression allocate store nodes, given a judgement for
+   user functions? Builtins never allocate: fn:doc only loads via the
+   context's resolver, which {!Context.fork_read} drops. *)
+let rec allocates_with lookup (e : C.expr) : bool =
+  let sub = List.exists (allocates_with lookup) in
+  match e with
+  | C.Elem _ | C.Attr _ | C.Text_node _ | C.Comment_node _ | C.Pi_node _
+  | C.Doc_node _ | C.Copy _ ->
+    true
+  (* update requests carry Copy-wrapped payloads; conservatively
+     allocating (they are never Pure anyway) *)
+  | C.Insert _ | C.Replace _ -> true
+  | C.Call_user (f, args) -> lookup f (List.length args) || sub args
+  | _ -> sub (C.sub_exprs e)
+
+(* Fixpoint: a function that calls an allocating function allocates. *)
+let classify_alloc_functions (funcs : Normalize.func list) :
+    (Qname.t * int * bool) list =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Normalize.func) ->
+      Hashtbl.replace tbl
+        (Qname.to_string f.Normalize.fname, List.length f.Normalize.params)
+        false)
+    funcs;
+  let lookup f n =
+    Option.value ~default:false (Hashtbl.find_opt tbl (Qname.to_string f, n))
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (f : Normalize.func) ->
+        let key = (Qname.to_string f.Normalize.fname, List.length f.Normalize.params) in
+        let old = Hashtbl.find tbl key in
+        let nu = allocates_with lookup f.Normalize.body in
+        if nu <> old then begin
+          Hashtbl.replace tbl key nu;
+          changed := true
+        end)
+      funcs
+  done;
+  List.map
+    (fun (f : Normalize.func) ->
+      let n = List.length f.Normalize.params in
+      ( f.Normalize.fname,
+        n,
+        Hashtbl.find tbl (Qname.to_string f.Normalize.fname, n) ))
+    funcs
+
+(* Can the whole program run concurrently with other such programs
+   against a shared store? Required: every global initializer and the
+   body are [Pure] *and* allocation-free. This is the gate the
+   service scheduler's read side checks. *)
+let prog_parallel_safe (prog : Normalize.prog) : bool =
+  let purity = purity_oracle prog in
+  let alloc_tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (f, n, a) -> Hashtbl.replace alloc_tbl (Qname.to_string f, n) a)
+    (classify_alloc_functions prog.Normalize.functions);
+  let alloc_lookup f n =
+    Option.value ~default:false (Hashtbl.find_opt alloc_tbl (Qname.to_string f, n))
+  in
+  let safe e = purity e = Pure && not (allocates_with alloc_lookup e) in
+  List.for_all (fun (_, _, e) -> safe e) prog.Normalize.global_vars
+  && (match prog.Normalize.body with None -> true | Some b -> safe b)
+
 (* -- Variable scoping ------------------------------------------------ *)
 
 module SSet = Set.Make (String)

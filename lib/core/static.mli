@@ -35,6 +35,22 @@ val purity_oracle : Normalize.prog -> Core_ast.expr -> purity
     oracle in loops). *)
 val purity_in_prog : Normalize.prog -> Core_ast.expr -> purity
 
+(** Does the expression allocate fresh store nodes (constructors,
+    [Copy], update payloads), given a judgement for user functions?
+    [Pure] expressions can still allocate — this is the extra check
+    concurrent execution against a shared store needs. *)
+val allocates_with : (Xqb_xml.Qname.t -> int -> bool) -> Core_ast.expr -> bool
+
+(** Fixpoint allocation classification of a program's functions ("a
+    function that calls an allocating function allocates"). *)
+val classify_alloc_functions :
+  Normalize.func list -> (Xqb_xml.Qname.t * int * bool) list
+
+(** [true] iff every global initializer and the body are [Pure] and
+    allocation-free — the gate for the service scheduler's parallel
+    read side. *)
+val prog_parallel_safe : Normalize.prog -> bool
+
 module SSet : Set.S with type elt = string
 
 (** Free variables (used by the optimizer's independence guards). *)

@@ -1,0 +1,27 @@
+(** Shared document catalog: one store for the whole service,
+    load-once documents, per-session refcounts. Loads mutate the
+    shared store and must run under the scheduler's write lock; the
+    registry itself is internally synchronized. *)
+
+type t
+
+val create : ?store:Xqb_store.Store.t -> unit -> t
+val store : t -> Xqb_store.Store.t
+
+(** Parse and load [xml] under [uri] unless already resident; returns
+    the document root either way (initial refcount 0). Caller must
+    hold the scheduler's write lock when this can actually load. *)
+val load : t -> uri:string -> string -> Xqb_store.Store.node_id
+
+val find : t -> string -> Xqb_store.Store.node_id option
+
+(** Take a reference; [None] when the URI is not resident. *)
+val acquire : t -> string -> Xqb_store.Store.node_id option
+
+(** Drop a reference; the registry entry is removed at zero. *)
+val release : t -> string -> unit
+
+val refcount : t -> string -> int
+
+(** [(uri, refcount, bytes)] for each resident document. *)
+val list : t -> (string * int * int) list

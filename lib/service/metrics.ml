@@ -1,0 +1,236 @@
+(* Service observability: per-query latency, scheduler queue depth,
+   purity-class counts and applied-∆ counts (fed by each session
+   engine's [Context.on_apply] hook), dumped as JSON. All counters
+   live behind one mutex — recording is a few stores, and queries are
+   milliseconds. *)
+
+type t = {
+  mutex : Mutex.t;
+  mutable queries : int;
+  mutable parallel : int;  (* executed on the read side *)
+  mutable exclusive : int;  (* executed on the write side *)
+  mutable errors : int;
+  mutable pure : int;
+  mutable updating : int;
+  mutable effecting : int;
+  (* latency reservoir: every query's wall time, ns *)
+  mutable lat : float array;
+  mutable lat_len : int;
+  (* scheduler queue depth sampled at each submit *)
+  mutable depth_sum : int;
+  mutable depth_samples : int;
+  mutable depth_max : int;
+  (* ∆ accounting from Context.on_apply *)
+  mutable deltas_applied : int;  (* snap applications *)
+  mutable update_requests : int;  (* total requests across all ∆s *)
+  (* in-flight gauges: how many jobs hold each side of the purity
+     gate right now / at peak. max_inflight_par > 1 is direct
+     evidence the read side admits concurrent Pure queries;
+     max_inflight_excl stays 1 by construction of the write lock. *)
+  mutable inflight_par : int;
+  mutable max_inflight_par : int;
+  mutable inflight_excl : int;
+  mutable max_inflight_excl : int;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    queries = 0;
+    parallel = 0;
+    exclusive = 0;
+    errors = 0;
+    pure = 0;
+    updating = 0;
+    effecting = 0;
+    lat = Array.make 1024 0.;
+    lat_len = 0;
+    depth_sum = 0;
+    depth_samples = 0;
+    depth_max = 0;
+    deltas_applied = 0;
+    update_requests = 0;
+    inflight_par = 0;
+    max_inflight_par = 0;
+    inflight_excl = 0;
+    max_inflight_excl = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let push_latency t ns =
+  if t.lat_len = Array.length t.lat then begin
+    let bigger = Array.make (2 * Array.length t.lat) 0. in
+    Array.blit t.lat 0 bigger 0 t.lat_len;
+    t.lat <- bigger
+  end;
+  t.lat.(t.lat_len) <- ns;
+  t.lat_len <- t.lat_len + 1
+
+let record_query t ~purity ~parallel ~ok ~latency_ns =
+  locked t (fun () ->
+      t.queries <- t.queries + 1;
+      if parallel then t.parallel <- t.parallel + 1
+      else t.exclusive <- t.exclusive + 1;
+      if not ok then t.errors <- t.errors + 1;
+      (match (purity : Core.Static.purity) with
+      | Core.Static.Pure -> t.pure <- t.pure + 1
+      | Core.Static.Updating -> t.updating <- t.updating + 1
+      | Core.Static.Effecting -> t.effecting <- t.effecting + 1);
+      push_latency t latency_ns)
+
+(* A submission that failed before reaching the scheduler (parse or
+   static error): counts as a query and an error, no purity class. *)
+let record_compile_error t =
+  locked t (fun () ->
+      t.queries <- t.queries + 1;
+      t.errors <- t.errors + 1)
+
+let record_queue_depth t d =
+  locked t (fun () ->
+      t.depth_sum <- t.depth_sum + d;
+      t.depth_samples <- t.depth_samples + 1;
+      if d > t.depth_max then t.depth_max <- d)
+
+(* Called by the service around each job's execution, with the
+   corresponding side of the scheduler's lock already held. *)
+let job_begin t ~parallel =
+  locked t (fun () ->
+      if parallel then begin
+        t.inflight_par <- t.inflight_par + 1;
+        if t.inflight_par > t.max_inflight_par then
+          t.max_inflight_par <- t.inflight_par
+      end
+      else begin
+        t.inflight_excl <- t.inflight_excl + 1;
+        if t.inflight_excl > t.max_inflight_excl then
+          t.max_inflight_excl <- t.inflight_excl
+      end)
+
+let job_end t ~parallel =
+  locked t (fun () ->
+      if parallel then t.inflight_par <- t.inflight_par - 1
+      else t.inflight_excl <- t.inflight_excl - 1)
+
+let counts t = locked t (fun () -> (t.queries, t.parallel, t.exclusive, t.errors))
+
+let max_inflight t =
+  locked t (fun () -> (t.max_inflight_par, t.max_inflight_excl))
+
+(* Wired into each session engine's [Context.on_apply]. *)
+let record_delta t delta =
+  locked t (fun () ->
+      t.deltas_applied <- t.deltas_applied + 1;
+      t.update_requests <- t.update_requests + List.length delta)
+
+(* -- JSON dump ------------------------------------------------------ *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* The full dump. [cache] carries the plan cache's counters; [docs]
+   the catalog listing. *)
+let to_json ?(cache : Plan_cache.stats option)
+    ?(docs : (string * int * int) list = []) t =
+  locked t (fun () ->
+      let lat = Array.sub t.lat 0 t.lat_len in
+      Array.sort compare lat;
+      let mean =
+        if t.lat_len = 0 then 0.
+        else Array.fold_left ( +. ) 0. lat /. float_of_int t.lat_len
+      in
+      let buf = Buffer.create 512 in
+      let obj fields =
+        "{" ^ String.concat "," fields ^ "}"
+      in
+      let fint k v = Printf.sprintf "\"%s\":%d" k v in
+      let ffloat k v = Printf.sprintf "\"%s\":%.1f" k v in
+      Buffer.add_string buf "{";
+      Buffer.add_string buf
+        (String.concat ","
+           [
+             Printf.sprintf "\"queries\":%s"
+               (obj
+                  [
+                    fint "total" t.queries;
+                    fint "parallel" t.parallel;
+                    fint "exclusive" t.exclusive;
+                    fint "errors" t.errors;
+                    fint "pure" t.pure;
+                    fint "updating" t.updating;
+                    fint "effecting" t.effecting;
+                  ]);
+             Printf.sprintf "\"latency_ns\":%s"
+               (obj
+                  [
+                    ffloat "mean" mean;
+                    ffloat "p50" (percentile lat 0.50);
+                    ffloat "p95" (percentile lat 0.95);
+                    ffloat "max" (percentile lat 1.0);
+                  ]);
+             Printf.sprintf "\"queue_depth\":%s"
+               (obj
+                  [
+                    ffloat "mean"
+                      (if t.depth_samples = 0 then 0.
+                       else float_of_int t.depth_sum /. float_of_int t.depth_samples);
+                    fint "max" t.depth_max;
+                  ]);
+             Printf.sprintf "\"concurrency\":%s"
+               (obj
+                  [
+                    fint "max_parallel_inflight" t.max_inflight_par;
+                    fint "max_exclusive_inflight" t.max_inflight_excl;
+                  ]);
+             Printf.sprintf "\"deltas\":%s"
+               (obj
+                  [
+                    fint "applied" t.deltas_applied;
+                    fint "update_requests" t.update_requests;
+                  ]);
+             (match cache with
+             | None -> "\"plan_cache\":null"
+             | Some c ->
+               Printf.sprintf "\"plan_cache\":%s"
+                 (obj
+                    [
+                      fint "hits" c.Plan_cache.hits;
+                      fint "misses" c.Plan_cache.misses;
+                      fint "evictions" c.Plan_cache.evictions;
+                      fint "size" c.Plan_cache.size;
+                      fint "capacity" c.Plan_cache.capacity;
+                    ]));
+             Printf.sprintf "\"documents\":[%s]"
+               (String.concat ","
+                  (List.map
+                     (fun (uri, rc, bytes) ->
+                       obj
+                         [
+                           Printf.sprintf "\"uri\":\"%s\"" (json_escape uri);
+                           fint "refcount" rc;
+                           fint "bytes" bytes;
+                         ])
+                     docs));
+           ]);
+      Buffer.add_string buf "}";
+      Buffer.contents buf)

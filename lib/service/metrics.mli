@@ -1,0 +1,41 @@
+(** Service observability: query counts by purity class and
+    scheduling side, latency percentiles, scheduler queue depth,
+    applied-∆ accounting. Thread-safe; dumped as JSON. *)
+
+type t
+
+val create : unit -> t
+
+val record_query :
+  t ->
+  purity:Core.Static.purity ->
+  parallel:bool ->
+  ok:bool ->
+  latency_ns:float ->
+  unit
+
+(** A submission rejected at compile time (no purity class). *)
+val record_compile_error : t -> unit
+
+val record_queue_depth : t -> int -> unit
+
+(** Wire into a session engine's [Context.on_apply]. *)
+val record_delta : t -> Core.Update.delta -> unit
+
+(** Bracket a job's execution (lock already held) to maintain the
+    in-flight gauges. *)
+val job_begin : t -> parallel:bool -> unit
+
+val job_end : t -> parallel:bool -> unit
+
+(** [(queries, parallel, exclusive, errors)]. *)
+val counts : t -> int * int * int * int
+
+(** Peak concurrent jobs [(read side, write side)]. The read-side
+    peak exceeding 1 is direct evidence Pure queries overlapped. *)
+val max_inflight : t -> int * int
+
+val json_escape : string -> string
+
+val to_json :
+  ?cache:Plan_cache.stats -> ?docs:(string * int * int) list -> t -> string

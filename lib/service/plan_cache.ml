@@ -1,0 +1,104 @@
+(* Bounded LRU cache of prepared query plans, keyed on the
+   whitespace-normalized query source. A hit skips the whole
+   parse → normalize → static-check → rewrite pipeline (bench E15
+   measures what that saves); eviction is least-recently-used so a
+   service's steady-state working set stays resident.
+
+   Thread-safe: the service submits from many client threads.
+   Eviction scans the table (O(capacity)) — irrelevant next to a
+   compile, which is what a miss costs anyway. *)
+
+type 'a entry = { value : 'a; mutable last_used : int }
+
+type 'a t = {
+  capacity : int;
+  tbl : (string, 'a entry) Hashtbl.t;
+  mutex : Mutex.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;
+  capacity : int;
+}
+
+let create ?(capacity = 128) () =
+  if capacity <= 0 then invalid_arg "Plan_cache.create: capacity must be positive";
+  {
+    capacity;
+    tbl = Hashtbl.create (2 * capacity);
+    mutex = Mutex.create ();
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+(* Key normalization: collapse whitespace runs so trivial reformatting
+   of a repeated query still hits. *)
+let normalize_key src =
+  let buf = Buffer.create (String.length src) in
+  let in_ws = ref true (* leading whitespace dropped *) in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\t' | '\n' | '\r' -> if not !in_ws then in_ws := true
+      | c ->
+        if !in_ws && Buffer.length buf > 0 then Buffer.add_char buf ' ';
+        in_ws := false;
+        Buffer.add_char buf c)
+    src;
+  Buffer.contents buf
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let find t key =
+  locked t (fun () ->
+      t.tick <- t.tick + 1;
+      match Hashtbl.find_opt t.tbl key with
+      | Some e ->
+        e.last_used <- t.tick;
+        t.hits <- t.hits + 1;
+        Some e.value
+      | None ->
+        t.misses <- t.misses + 1;
+        None)
+
+let add t key value =
+  locked t (fun () ->
+      t.tick <- t.tick + 1;
+      if not (Hashtbl.mem t.tbl key) && Hashtbl.length t.tbl >= t.capacity then begin
+        (* evict the least-recently-used entry *)
+        let victim =
+          Hashtbl.fold
+            (fun k e acc ->
+              match acc with
+              | Some (_, best) when best <= e.last_used -> acc
+              | _ -> Some (k, e.last_used))
+            t.tbl None
+        in
+        match victim with
+        | Some (k, _) ->
+          Hashtbl.remove t.tbl k;
+          t.evictions <- t.evictions + 1
+        | None -> ()
+      end;
+      Hashtbl.replace t.tbl key { value; last_used = t.tick })
+
+let stats t =
+  locked t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        size = Hashtbl.length t.tbl;
+        capacity = t.capacity;
+      })

@@ -1,0 +1,27 @@
+(** Bounded LRU cache of prepared query plans keyed on
+    whitespace-normalized source. Thread-safe. *)
+
+type 'a t
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;
+  capacity : int;
+}
+
+val create : ?capacity:int -> unit -> 'a t
+
+(** Collapse whitespace runs so reformatted repeats of a query still
+    hit the cache. *)
+val normalize_key : string -> string
+
+(** Lookup by (already normalized) key; counts a hit or miss and
+    refreshes recency. *)
+val find : 'a t -> string -> 'a option
+
+(** Insert, evicting the least-recently-used entry when full. *)
+val add : 'a t -> string -> 'a -> unit
+
+val stats : 'a t -> stats

@@ -1,0 +1,102 @@
+(* The newline-delimited request protocol behind `xqbang serve`.
+
+   Requests (one per line; keywords case-insensitive):
+
+     OPEN                          open a session       -> OK <sid>
+     CLOSE <sid>                   close a session      -> OK closed
+     LOAD <sid> <uri> <path>       load + attach a doc  -> OK loaded <uri>
+     QUERY <sid> <query...>        run a query          -> OK <result> | ERR <msg>
+     STATS                         metrics dump         -> OK <json>
+     QUIT                          end the connection   -> OK bye
+
+   Query text is the rest of the line with the two-character escapes
+   \n \r \\ decoded, so multi-line queries fit on one request line.
+   Replies are a single line: "OK " or "ERR " followed by the
+   escaped payload. *)
+
+type request =
+  | Open
+  | Close of int
+  | Load of int * string * string  (* sid, uri, path *)
+  | Query of int * string
+  | Stats
+  | Quit
+
+(* -- one-line escaping ---------------------------------------------- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (if s.[!i] = '\\' && !i + 1 < n then begin
+       (match s.[!i + 1] with
+       | 'n' -> Buffer.add_char buf '\n'
+       | 'r' -> Buffer.add_char buf '\r'
+       | '\\' -> Buffer.add_char buf '\\'
+       | c ->
+         Buffer.add_char buf '\\';
+         Buffer.add_char buf c);
+       i := !i + 2
+     end
+     else begin
+       Buffer.add_char buf s.[!i];
+       incr i
+     end)
+  done;
+  Buffer.contents buf
+
+let ok payload = "OK " ^ escape payload
+let err payload = "ERR " ^ escape payload
+
+(* -- parsing -------------------------------------------------------- *)
+
+(* Split off the first whitespace-delimited word. *)
+let split_word s =
+  let s = String.trim s in
+  match String.index_opt s ' ' with
+  | None -> (s, "")
+  | Some i ->
+    (String.sub s 0 i, String.trim (String.sub s (i + 1) (String.length s - i - 1)))
+
+let parse_sid word =
+  match int_of_string_opt word with
+  | Some sid -> Ok sid
+  | None -> Error (Printf.sprintf "expected a session id, got %S" word)
+
+let parse line : (request, string) result =
+  let keyword, rest = split_word line in
+  match String.uppercase_ascii keyword with
+  | "OPEN" -> Ok Open
+  | "CLOSE" -> Result.map (fun sid -> Close sid) (parse_sid rest)
+  | "LOAD" -> (
+    let sid_w, rest = split_word rest in
+    let uri, path = split_word rest in
+    match parse_sid sid_w with
+    | Error e -> Error e
+    | Ok sid ->
+      if uri = "" || path = "" then Error "LOAD expects: LOAD <sid> <uri> <path>"
+      else Ok (Load (sid, uri, path)))
+  | "QUERY" -> (
+    let sid_w, rest = split_word rest in
+    match parse_sid sid_w with
+    | Error e -> Error e
+    | Ok sid ->
+      if rest = "" then Error "QUERY expects: QUERY <sid> <query text>"
+      else Ok (Query (sid, unescape rest)))
+  | "STATS" -> Ok Stats
+  | "QUIT" -> Ok Quit
+  | "" -> Error "empty request"
+  | kw -> Error (Printf.sprintf "unknown request %S" kw)

@@ -1,0 +1,22 @@
+(** The newline-delimited request protocol behind [xqbang serve].
+    See docs/SERVICE.md for the grammar. *)
+
+type request =
+  | Open
+  | Close of int
+  | Load of int * string * string  (** sid, uri, path *)
+  | Query of int * string
+  | Stats
+  | Quit
+
+val parse : string -> (request, string) result
+
+(** Two-character escapes \n \r \\ for one-line payloads. *)
+val escape : string -> string
+
+val unescape : string -> string
+
+(** ["OK " ^ escape payload] / ["ERR " ^ escape payload]. *)
+val ok : string -> string
+
+val err : string -> string

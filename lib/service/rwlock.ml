@@ -1,0 +1,66 @@
+(* A readers–writer lock with writer preference: the purity gate of
+   the service scheduler. Any number of Pure queries hold the read
+   side concurrently; an Updating/Effecting query takes the write
+   side exclusively. Writer preference (arriving writers block new
+   readers) keeps update latency bounded under read-heavy load —
+   the regime the paper's §2 web service lives in. *)
+
+type t = {
+  mutex : Mutex.t;
+  can_read : Condition.t;
+  can_write : Condition.t;
+  mutable readers : int;  (* active readers *)
+  mutable writer : bool;  (* active writer *)
+  mutable waiting_writers : int;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    can_read = Condition.create ();
+    can_write = Condition.create ();
+    readers = 0;
+    writer = false;
+    waiting_writers = 0;
+  }
+
+let read_lock t =
+  Mutex.lock t.mutex;
+  while t.writer || t.waiting_writers > 0 do
+    Condition.wait t.can_read t.mutex
+  done;
+  t.readers <- t.readers + 1;
+  Mutex.unlock t.mutex
+
+let read_unlock t =
+  Mutex.lock t.mutex;
+  t.readers <- t.readers - 1;
+  if t.readers = 0 then Condition.signal t.can_write;
+  Mutex.unlock t.mutex
+
+let write_lock t =
+  Mutex.lock t.mutex;
+  t.waiting_writers <- t.waiting_writers + 1;
+  while t.writer || t.readers > 0 do
+    Condition.wait t.can_write t.mutex
+  done;
+  t.waiting_writers <- t.waiting_writers - 1;
+  t.writer <- true;
+  Mutex.unlock t.mutex
+
+let write_unlock t =
+  Mutex.lock t.mutex;
+  t.writer <- false;
+  (* wake a waiting writer first (it rechecks the guard); readers
+     also wake but go back to sleep while writers are waiting *)
+  Condition.signal t.can_write;
+  Condition.broadcast t.can_read;
+  Mutex.unlock t.mutex
+
+let with_read t f =
+  read_lock t;
+  Fun.protect ~finally:(fun () -> read_unlock t) f
+
+let with_write t f =
+  write_lock t;
+  Fun.protect ~finally:(fun () -> write_unlock t) f

@@ -1,0 +1,16 @@
+(** Readers–writer lock with writer preference. The scheduler's
+    purity gate: Pure queries share the read side, Updating/Effecting
+    queries take the write side exclusively. *)
+
+type t
+
+val create : unit -> t
+val read_lock : t -> unit
+val read_unlock : t -> unit
+val write_lock : t -> unit
+val write_unlock : t -> unit
+
+(** Exception-safe scoped forms. *)
+val with_read : t -> (unit -> 'a) -> 'a
+
+val with_write : t -> (unit -> 'a) -> 'a

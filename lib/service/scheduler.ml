@@ -1,0 +1,151 @@
+(* The purity-gated scheduler: a fixed pool of OCaml 5 domains
+   draining one job queue, with a readers–writer lock as the purity
+   gate. Jobs submitted with [exclusive:false] (statically Pure and
+   allocation-free programs — {!Core.Static.prog_parallel_safe}) run
+   under the read side, so any number execute concurrently against
+   the shared store; [exclusive:true] jobs (Updating/Effecting, and
+   anything else that mutates shared state, e.g. document loads) take
+   the write side. Within one query, evaluation order is exactly the
+   paper's: a job never migrates between domains.
+
+   [domains = 0] degenerates to synchronous in-caller execution
+   (still lock-gated) — the "scheduler off" baseline in bench E15. *)
+
+type 'a state = Pending | Done of ('a, exn) result
+
+type 'a future = {
+  fmutex : Mutex.t;
+  fcond : Condition.t;
+  mutable state : 'a state;
+}
+
+type job = { exclusive : bool; run : unit -> unit }
+
+type t = {
+  rw : Rwlock.t;
+  queue : job Queue.t;
+  qmutex : Mutex.t;
+  qcond : Condition.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t array;
+  domains : int;
+}
+
+let new_future () =
+  { fmutex = Mutex.create (); fcond = Condition.create (); state = Pending }
+
+let fill fut result =
+  Mutex.lock fut.fmutex;
+  fut.state <- Done result;
+  Condition.broadcast fut.fcond;
+  Mutex.unlock fut.fmutex
+
+let await fut =
+  Mutex.lock fut.fmutex;
+  while fut.state = Pending do
+    Condition.wait fut.fcond fut.fmutex
+  done;
+  let r = match fut.state with Done r -> r | Pending -> assert false in
+  Mutex.unlock fut.fmutex;
+  r
+
+let await_exn fut = match await fut with Ok v -> v | Error e -> raise e
+
+(* An already-completed future (e.g. a submission rejected at compile
+   time: there is nothing to schedule but callers still get the
+   uniform future interface). *)
+let ready v =
+  let fut = new_future () in
+  fut.state <- Done (Ok v);
+  fut
+
+(* Run [job.run] with the appropriate side of the lock held. *)
+let execute t job =
+  if job.exclusive then Rwlock.with_write t.rw job.run
+  else Rwlock.with_read t.rw job.run
+
+let worker_loop t () =
+  let rec next () =
+    Mutex.lock t.qmutex;
+    let rec wait () =
+      match Queue.take_opt t.queue with
+      | Some job ->
+        Mutex.unlock t.qmutex;
+        Some job
+      | None ->
+        if t.stopping then begin
+          Mutex.unlock t.qmutex;
+          None
+        end
+        else begin
+          Condition.wait t.qcond t.qmutex;
+          wait ()
+        end
+    in
+    match wait () with
+    | None -> ()
+    | Some job ->
+      execute t job;
+      next ()
+  in
+  next ()
+
+let create ?(domains = 4) () =
+  if domains < 0 then invalid_arg "Scheduler.create: negative domain count";
+  let t =
+    {
+      rw = Rwlock.create ();
+      queue = Queue.create ();
+      qmutex = Mutex.create ();
+      qcond = Condition.create ();
+      stopping = false;
+      workers = [||];
+      domains;
+    }
+  in
+  t.workers <- Array.init domains (fun _ -> Domain.spawn (worker_loop t));
+  t
+
+let domains t = t.domains
+
+let queue_depth t =
+  Mutex.lock t.qmutex;
+  let d = Queue.length t.queue in
+  Mutex.unlock t.qmutex;
+  d
+
+(* Submit [f]; the future completes with its result or exception. *)
+let submit t ~exclusive (f : unit -> 'a) : 'a future =
+  let fut = new_future () in
+  let run () =
+    let result = try Ok (f ()) with e -> Error e in
+    fill fut result
+  in
+  let job = { exclusive; run } in
+  if t.domains = 0 then execute t job
+  else begin
+    Mutex.lock t.qmutex;
+    if t.stopping then begin
+      Mutex.unlock t.qmutex;
+      fill fut (Error (Failure "scheduler is shut down"))
+    end
+    else begin
+      Queue.add job t.queue;
+      Condition.signal t.qcond;
+      Mutex.unlock t.qmutex
+    end
+  end;
+  fut
+
+(* Direct access to the gate, for operations that bypass the queue
+   (the service loads documents under the write side synchronously). *)
+let with_write t f = Rwlock.with_write t.rw f
+let with_read t f = Rwlock.with_read t.rw f
+
+(* Drain and stop: running jobs finish, queued jobs still execute. *)
+let shutdown t =
+  Mutex.lock t.qmutex;
+  t.stopping <- true;
+  Condition.broadcast t.qcond;
+  Mutex.unlock t.qmutex;
+  Array.iter Domain.join t.workers

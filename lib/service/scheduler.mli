@@ -1,0 +1,33 @@
+(** Purity-gated scheduler: a fixed pool of OCaml 5 domains plus a
+    readers–writer lock. Non-exclusive jobs (statically parallel-safe
+    queries) share the read side and run concurrently; exclusive jobs
+    (updating/effecting queries, document loads) serialize on the
+    write side. [domains = 0] executes synchronously in the caller
+    (still lock-gated) — the "scheduler off" baseline. *)
+
+type t
+
+type 'a future
+
+val create : ?domains:int -> unit -> t
+val domains : t -> int
+val queue_depth : t -> int
+
+val submit : t -> exclusive:bool -> (unit -> 'a) -> 'a future
+
+(** Blocks until the job has run. *)
+val await : 'a future -> ('a, exn) result
+
+val await_exn : 'a future -> 'a
+
+(** An already-completed future holding [v]. *)
+val ready : 'a -> 'a future
+
+(** Run [f] under the gate directly, bypassing the queue (used for
+    synchronous shared-state operations such as catalog loads). *)
+val with_write : t -> (unit -> 'a) -> 'a
+
+val with_read : t -> (unit -> 'a) -> 'a
+
+(** Drain queued jobs, stop the workers, join the domains. *)
+val shutdown : t -> unit

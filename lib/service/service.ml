@@ -1,0 +1,235 @@
+(* The query service: multi-client sessions over one shared store.
+
+   Putting the pieces together:
+
+   - every session wraps a [Core.Engine.t] sharing the catalog's
+     store, so [fn:doc]/bound documents are loaded once and visible
+     to all sessions, while functions and globals stay per-session;
+   - prepared plans are cached across sessions ({!Plan_cache}),
+     keyed on whitespace-normalized source — a hit skips
+     parse → normalize → static-check → rewrite entirely;
+   - execution goes through the purity-gated {!Scheduler}:
+     statically parallel-safe programs ({!Core.Static.prog_parallel_safe}
+     — Pure *and* allocation-free) run concurrently on the read side
+     of a readers–writer lock, everything else takes the write side;
+   - {!Metrics} aggregates per-query latency, queue depth, purity
+     counts, plan-cache counters and applied-∆ counts (via each
+     session's [Context.on_apply] hook).
+
+   Concurrency protocol, in one place:
+
+   - session mutable state (globals, function table) is only touched
+     (a) at submit time under the session lock (compile / install /
+     fork) and (b) inside write-side jobs, which also take the
+     session lock and additionally exclude every reader via the
+     write lock;
+   - read-side jobs evaluate in a [Context.fork_read] taken at
+     submit time under the session lock, so they observe a coherent
+     snapshot of the session and share nothing mutable with it;
+   - the store is only mutated by write-side jobs and catalog loads
+     (also under the write lock); the one exception, the lazy index
+     caches filled during reads, is internally locked by the store. *)
+
+module Engine = Core.Engine
+
+type plan = {
+  compiled : Engine.compiled;
+  purity : Core.Static.purity;  (* of the body, for metrics *)
+  parallel : bool;  (* Static.prog_parallel_safe: read-side eligible *)
+}
+
+type session = {
+  sid : int;
+  engine : Engine.t;
+  slock : Mutex.t;
+  mutable docs_held : string list;
+}
+
+type t = {
+  catalog : Catalog.t;
+  cache : plan Plan_cache.t;
+  sched : Scheduler.t;
+  metrics : Metrics.t;
+  sessions : (int, session) Hashtbl.t;
+  smutex : Mutex.t;
+  mutable next_sid : int;
+  seed : int;
+}
+
+let create ?(domains = 4) ?(cache_capacity = 128) ?(seed = 0x5eed) () =
+  {
+    catalog = Catalog.create ();
+    cache = Plan_cache.create ~capacity:cache_capacity ();
+    sched = Scheduler.create ~domains ();
+    metrics = Metrics.create ();
+    sessions = Hashtbl.create 16;
+    smutex = Mutex.create ();
+    next_sid = 1;
+    seed;
+  }
+
+let catalog t = t.catalog
+let scheduler t = t.sched
+let metrics t = t.metrics
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* -- sessions ------------------------------------------------------- *)
+
+let open_session t =
+  locked t.smutex (fun () ->
+      let sid = t.next_sid in
+      t.next_sid <- sid + 1;
+      let engine =
+        Engine.create ~seed:(t.seed + sid) ~store:(Catalog.store t.catalog) ()
+      in
+      (* fn:doc falls back to the shared catalog (lookup only) *)
+      (Engine.context engine).Core.Context.doc_lookup <-
+        Some (fun uri -> Catalog.find t.catalog uri);
+      (* applied-∆ accounting; only non-empty ∆s are interesting *)
+      (Engine.context engine).Core.Context.on_apply <-
+        Some
+          (fun delta _mode ->
+            if delta <> [] then Metrics.record_delta t.metrics delta);
+      Hashtbl.replace t.sessions sid
+        { sid; engine; slock = Mutex.create (); docs_held = [] };
+      sid)
+
+let find_session t sid =
+  match locked t.smutex (fun () -> Hashtbl.find_opt t.sessions sid) with
+  | Some s -> s
+  | None -> failwith (Printf.sprintf "unknown session %d" sid)
+
+let close_session t sid =
+  match locked t.smutex (fun () ->
+      let s = Hashtbl.find_opt t.sessions sid in
+      Hashtbl.remove t.sessions sid;
+      s)
+  with
+  | None -> ()
+  | Some s ->
+    locked s.slock (fun () ->
+        List.iter (Catalog.release t.catalog) s.docs_held;
+        s.docs_held <- [])
+
+let session_count t = locked t.smutex (fun () -> Hashtbl.length t.sessions)
+
+(* Load a document into the shared catalog (under the scheduler's
+   write lock — loading parses XML into the shared store) and attach
+   it to the session: registered for [fn:doc(uri)] and bound to
+   [$uri]. Load-once: a second session attaching the same URI reuses
+   the resident tree. *)
+let load_document t sid ~uri xml =
+  let s = find_session t sid in
+  let root =
+    match Catalog.acquire t.catalog uri with
+    | Some root -> root
+    | None ->
+      Scheduler.with_write t.sched (fun () ->
+          let root = Catalog.load t.catalog ~uri xml in
+          ignore (Catalog.acquire t.catalog uri);
+          root)
+  in
+  locked s.slock (fun () ->
+      if not (List.mem uri s.docs_held) then s.docs_held <- uri :: s.docs_held;
+      Core.Context.register_doc (Engine.context s.engine) uri root;
+      Engine.bind_node s.engine uri root)
+
+(* -- query submission ----------------------------------------------- *)
+
+let error_message = function
+  | Engine.Compile_error m -> m
+  | Xqb_xdm.Errors.Dynamic_error (code, m) ->
+    Printf.sprintf "dynamic error [%s] %s" code m
+  | Core.Conflict.Conflict m -> "update conflict: " ^ m
+  | Xqb_store.Store.Update_error m -> "update error: " ^ m
+  | Invalid_argument m | Failure m -> m
+  | e -> Printexc.to_string e
+
+(* Prepared plan for [src]: cache hit or full compile. On a hit the
+   program's function declarations are still installed into the
+   session (cheap), so cross-session hits behave like a local
+   compile. Caller holds the session lock. *)
+let prepare t s src =
+  let key = Plan_cache.normalize_key src in
+  match Plan_cache.find t.cache key with
+  | Some plan ->
+    Engine.install_functions s.engine plan.compiled;
+    plan
+  | None ->
+    let compiled = Engine.compile s.engine src in
+    let plan =
+      {
+        compiled;
+        purity = Engine.body_purity compiled;
+        parallel = Engine.parallel_safe compiled;
+      }
+    in
+    Plan_cache.add t.cache key plan;
+    plan
+
+(* Submit a query for the session; the future completes with the
+   serialized result or an error message. Parallel-safe programs run
+   concurrently on the scheduler's read side against a fork of the
+   session taken now; everything else serializes on the write side. *)
+let submit t sid src : (string, string) result Scheduler.future =
+  let s = find_session t sid in
+  let t0 = Unix.gettimeofday () in
+  Metrics.record_queue_depth t.metrics (Scheduler.queue_depth t.sched);
+  match
+    locked s.slock (fun () ->
+        let plan = prepare t s src in
+        let fork = if plan.parallel then Some (Engine.fork_read s.engine) else None in
+        (plan, fork))
+  with
+  | exception e ->
+    Metrics.record_compile_error t.metrics;
+    Scheduler.ready (Error (error_message e))
+  | plan, fork ->
+    let finish ok =
+      let latency_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+      Metrics.record_query t.metrics ~purity:plan.purity ~parallel:plan.parallel
+        ~ok ~latency_ns
+    in
+    let job () =
+      Metrics.job_begin t.metrics ~parallel:plan.parallel;
+      Fun.protect
+        ~finally:(fun () -> Metrics.job_end t.metrics ~parallel:plan.parallel)
+      @@ fun () ->
+      match
+        match fork with
+        | Some feng ->
+          (* read side: forked context, snap-free evaluation *)
+          let v = Engine.run_readonly feng plan.compiled in
+          Engine.serialize_with (Catalog.store t.catalog) v
+        | None ->
+          (* write side: the session itself, full snap semantics *)
+          locked s.slock (fun () ->
+              let v = Engine.run_compiled s.engine plan.compiled in
+              Engine.serialize s.engine v)
+      with
+      | out ->
+        finish true;
+        Ok out
+      | exception e ->
+        finish false;
+        Error (error_message e)
+    in
+    Scheduler.submit t.sched ~exclusive:(not plan.parallel) job
+
+(* Synchronous submit-and-await. *)
+let query t sid src =
+  match Scheduler.await (submit t sid src) with
+  | Ok r -> r
+  | Error e -> Error (error_message e)
+
+let cache_stats t = Plan_cache.stats t.cache
+
+let stats_json t =
+  Metrics.to_json
+    ~cache:(Plan_cache.stats t.cache)
+    ~docs:(Catalog.list t.catalog) t.metrics
+
+let shutdown t = Scheduler.shutdown t.sched

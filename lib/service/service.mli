@@ -1,0 +1,46 @@
+(** The query service: multi-client sessions over one shared store,
+    with a cross-session prepared-plan cache and a purity-gated
+    parallel scheduler. See docs/SERVICE.md for the architecture. *)
+
+type t
+
+(** Session handles are plain ints (they cross the wire protocol). *)
+val create : ?domains:int -> ?cache_capacity:int -> ?seed:int -> unit -> t
+
+val catalog : t -> Catalog.t
+val scheduler : t -> Scheduler.t
+val metrics : t -> Metrics.t
+
+(** A fresh session: its own engine (functions, globals, snap
+    semantics) over the shared catalog store. *)
+val open_session : t -> int
+
+(** Releases the session's catalog references. Idempotent. *)
+val close_session : t -> int -> unit
+
+val session_count : t -> int
+
+(** Load [xml] into the shared catalog under [uri] (load-once;
+    subsequent sessions reuse the resident tree) and attach it to the
+    session: resolvable via [fn:doc(uri)] and bound to [$uri].
+    @raise Failure on an unknown session. *)
+val load_document : t -> int -> uri:string -> string -> unit
+
+(** Submit a query; the future resolves to the serialized result or
+    an error message. Parallel-safe programs (Pure and
+    allocation-free) run concurrently on the scheduler's read side
+    against a submission-time fork of the session; all others
+    serialize on the write side with full snap semantics.
+    @raise Failure on an unknown session. *)
+val submit : t -> int -> string -> (string, string) result Scheduler.future
+
+(** Synchronous [submit] + await. *)
+val query : t -> int -> string -> (string, string) result
+
+val cache_stats : t -> Plan_cache.stats
+
+(** Metrics + plan-cache + catalog state as a JSON object. *)
+val stats_json : t -> string
+
+(** Stop the scheduler's worker domains (queued jobs still run). *)
+val shutdown : t -> unit

@@ -63,6 +63,13 @@ type t = {
      -> nodes; same policy *)
   key_index :
     (node_id * int * string * string, (string, node_id list) Hashtbl.t) Hashtbl.t;
+  (* The index caches above are filled *lazily during reads*, so they
+     are the one piece of store state that concurrent read-only
+     queries (the service scheduler's parallel side) mutate. This
+     lock serializes cache fill/lookup; everything else in the store
+     is only mutated by updates, which the scheduler runs under an
+     exclusive write lock. Uncontended cost is a few ns. *)
+  index_lock : Mutex.t;
 }
 
 exception Update_error of string
@@ -77,9 +84,13 @@ let create () =
   { tbl = Array.make 64 dummy_node; next_id = 0; journal = []; journal_on = false;
     mutations = 0; index_enabled = true; name_index = Hashtbl.create 64;
     indexed_roots = Hashtbl.create 8; root_versions = Hashtbl.create 8;
-    key_index = Hashtbl.create 16 }
+    key_index = Hashtbl.create 16; index_lock = Mutex.create () }
 
 let set_indexing store b = store.index_enabled <- b
+
+let with_index_lock store f =
+  Mutex.lock store.index_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock store.index_lock) f
 
 let root_version store root =
   Option.value ~default:0 (Hashtbl.find_opt store.root_versions root)
@@ -562,7 +573,10 @@ let descendants_by_name store root q =
     List.rev !out
   in
   if not store.index_enabled then compute root
-  else begin
+  else if (get store root).parent <> None then compute root
+  else
+    with_index_lock store (fun () ->
+    begin
     (* size-bounded: stale generations accumulate until this reset *)
     if Hashtbl.length store.name_index > 65536 then begin
       Hashtbl.reset store.name_index;
@@ -570,8 +584,7 @@ let descendants_by_name store root q =
       Hashtbl.reset store.key_index
     end;
     let n = get store root in
-    if n.parent <> None then compute root
-    else begin
+    begin
       let version = root_version store root in
       if not (Hashtbl.mem store.indexed_roots (root, version)) then begin
         (* one DFS filling the per-name buckets for this generation *)
@@ -600,7 +613,7 @@ let descendants_by_name store root q =
       | Some l -> l
       | None -> []
     end
-  end
+    end)
 
 (* Attribute value of [elem] for [attr], if present. *)
 let attr_value store elem attr =
@@ -628,11 +641,15 @@ let lookup_by_key store root ~elem ~attr value =
   in
   if not store.index_enabled then scan ()
   else begin
+    (* [candidates] takes the index lock itself, so it must run
+       before we acquire it (the lock is not reentrant) *)
     let base = candidates () in
     let n = get store root in
     if n.parent <> None then
       List.filter (fun e -> attr_value store e attr = Some value) base
-    else begin
+    else
+      with_index_lock store (fun () ->
+      begin
       let key =
         ( root,
           root_version store root,
@@ -658,7 +675,7 @@ let lookup_by_key store root ~elem ~attr value =
           tbl
       in
       Option.value ~default:[] (Hashtbl.find_opt tbl value)
-    end
+      end)
   end
 
 (* Count nodes that are not reachable from any document node —

@@ -33,4 +33,5 @@ let () =
          Test_fuzz.suite;
          Test_index.suite;
          Test_xmark_queries.suite;
+         Test_service.suite;
        ])

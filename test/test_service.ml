@@ -1,0 +1,193 @@
+(* The query service layer (lib/service): sessions over a shared
+   document catalog, the cross-session plan cache, and the
+   purity-gated scheduler. Scheduler tests run the same workload with
+   domains=0 (synchronous) and domains=4 and require identical
+   results. *)
+
+open Helpers
+module Svc = Xqb_service.Service
+module Catalog = Xqb_service.Catalog
+module Metrics = Xqb_service.Metrics
+module Sched = Xqb_service.Scheduler
+module PC = Xqb_service.Plan_cache
+
+let ok = function
+  | Ok s -> s
+  | Error e -> Alcotest.failf "query failed: %s" e
+
+let err = function
+  | Ok s -> Alcotest.failf "expected an error, got %S" s
+  | Error e -> e
+
+let with_service ?(domains = 0) ?cache_capacity f =
+  let svc = Svc.create ~domains ?cache_capacity () in
+  Fun.protect ~finally:(fun () -> Svc.shutdown svc) (fun () -> f svc)
+
+let doc_xml = "<r><a>1</a><a>2</a><b>x</b></r>"
+
+let sessions =
+  [
+    tc "functions are per-session" `Quick (fun () ->
+        with_service (fun svc ->
+            let s1 = Svc.open_session svc and s2 = Svc.open_session svc in
+            check Alcotest.string "declare+call" "42"
+              (ok (Svc.query svc s1 "declare function fortytwo() { 42 }; fortytwo()"));
+            (* s2 never saw the declaration *)
+            ignore (err (Svc.query svc s2 "fortytwo()"))));
+    tc "globals are per-session" `Quick (fun () ->
+        with_service (fun svc ->
+            let s1 = Svc.open_session svc and s2 = Svc.open_session svc in
+            check Alcotest.string "declare" "7"
+              (ok (Svc.query svc s1 "declare variable $g := 7; $g"));
+            ignore (err (Svc.query svc s2 "$g"))));
+    tc "documents load once and are shared" `Quick (fun () ->
+        with_service (fun svc ->
+            let s1 = Svc.open_session svc and s2 = Svc.open_session svc in
+            Svc.load_document svc s1 ~uri:"d" doc_xml;
+            (* second load of the same uri reuses the resident tree *)
+            Svc.load_document svc s2 ~uri:"d" "<r><a>only-one</a></r>";
+            check Alcotest.string "s2 sees the first load" "2"
+              (ok (Svc.query svc s2 {|count($d//a)|}));
+            check Alcotest.int "refcounted twice" 2
+              (Catalog.refcount (Svc.catalog svc) "d");
+            Svc.close_session svc s1;
+            check Alcotest.int "release on close" 1
+              (Catalog.refcount (Svc.catalog svc) "d");
+            Svc.close_session svc s2;
+            check Alcotest.bool "evicted at zero" true
+              (Catalog.find (Svc.catalog svc) "d" = None)));
+    tc "fn:doc resolves across sessions" `Quick (fun () ->
+        with_service (fun svc ->
+            let s1 = Svc.open_session svc in
+            Svc.load_document svc s1 ~uri:"d" doc_xml;
+            (* s2 never loaded anything: resolution goes through the
+               shared catalog *)
+            let s2 = Svc.open_session svc in
+            check Alcotest.string "doc() from the catalog" "2"
+              (ok (Svc.query svc s2 {|count(doc("d")//a)|}))));
+    tc "unknown session is an error" `Quick (fun () ->
+        with_service (fun svc ->
+            match Svc.query svc 999 "1" with
+            | exception Failure _ -> ()
+            | _ -> Alcotest.fail "expected Failure"));
+  ]
+
+let plan_cache =
+  [
+    tc "whitespace-insensitive cross-session hits" `Quick (fun () ->
+        with_service (fun svc ->
+            let s1 = Svc.open_session svc and s2 = Svc.open_session svc in
+            check Alcotest.string "miss" "2" (ok (Svc.query svc s1 "1 + 1"));
+            check Alcotest.string "hit" "2"
+              (ok (Svc.query svc s2 "1    +\n  1"));
+            let st = Svc.cache_stats svc in
+            check Alcotest.int "hits" 1 st.PC.hits;
+            check Alcotest.int "misses" 1 st.PC.misses));
+    tc "cached plans carry function declarations" `Quick (fun () ->
+        with_service (fun svc ->
+            let src = "declare function sq($x) { $x * $x }; sq(3)" in
+            let s1 = Svc.open_session svc and s2 = Svc.open_session svc in
+            check Alcotest.string "compile" "9" (ok (Svc.query svc s1 src));
+            (* the hit installs sq into s2, so the cached body runs *)
+            check Alcotest.string "cache hit" "9" (ok (Svc.query svc s2 src));
+            check Alcotest.int "was a hit" 1 (Svc.cache_stats svc).PC.hits));
+    tc "bounded LRU evicts" `Quick (fun () ->
+        with_service ~cache_capacity:2 (fun svc ->
+            let s = Svc.open_session svc in
+            ignore (ok (Svc.query svc s "1"));
+            ignore (ok (Svc.query svc s "2"));
+            ignore (ok (Svc.query svc s "3"));
+            let st = Svc.cache_stats svc in
+            check Alcotest.bool "evicted" true (st.PC.evictions >= 1);
+            check Alcotest.bool "bounded" true (st.PC.size <= 2);
+            (* "1" was least recently used: re-running it is a miss *)
+            let misses = st.PC.misses in
+            ignore (ok (Svc.query svc s "1"));
+            check Alcotest.int "re-miss after eviction" (misses + 1)
+              (Svc.cache_stats svc).PC.misses));
+  ]
+
+let reads =
+  [|
+    {|count(doc("d")//a)|};
+    {|count(for $x in doc("d")//a where $x = "1" return $x)|};
+    {|count(doc("d")//b) + count(doc("d")//a)|};
+  |]
+
+(* Pure-only workload: with no writers, results are independent of
+   scheduling, so the 4-domain run must match the synchronous one
+   exactly, entry for entry. *)
+let pure_workload svc =
+  let s1 = Svc.open_session svc and s2 = Svc.open_session svc in
+  Svc.load_document svc s1 ~uri:"d" doc_xml;
+  let jobs =
+    List.init 20 (fun i ->
+        ((if i mod 2 = 0 then s1 else s2), reads.(i mod 3)))
+  in
+  let futs = List.map (fun (sid, q) -> Svc.submit svc sid q) jobs in
+  List.map (fun f -> ok (Sched.await_exn f)) futs
+
+(* Mixed workload: one insert every 5th query. Read/write
+   *interleaving* is scheduler-dependent (a read may run before or
+   after a concurrent insert — exactly the latitude the paper's
+   semantics give a store shared between clients), but the final
+   store state is not: every insert must land. *)
+let mixed_workload svc =
+  let s1 = Svc.open_session svc and s2 = Svc.open_session svc in
+  Svc.load_document svc s1 ~uri:"d" doc_xml;
+  Svc.load_document svc s1 ~uri:"log" "<log/>";
+  let jobs =
+    List.init 20 (fun i ->
+        let sid = if i mod 2 = 0 then s1 else s2 in
+        if i mod 5 = 0 then
+          (sid, Printf.sprintf {|insert {element hit {%d}} into {doc("log")/log}|} i)
+        else (sid, reads.(i mod 3)))
+  in
+  let futs = List.map (fun (sid, q) -> Svc.submit svc sid q) jobs in
+  List.iter (fun f -> ignore (ok (Sched.await_exn f))) futs;
+  ok (Svc.query svc s1 {|count(doc("log")/log/hit)|})
+
+let scheduler =
+  [
+    tc "pure queries classify parallel, allocating ones do not" `Quick
+      (fun () ->
+        with_service (fun svc ->
+            let s = Svc.open_session svc in
+            Svc.load_document svc s ~uri:"d" doc_xml;
+            ignore (ok (Svc.query svc s {|count(doc("d")//a)|}));
+            (* Pure but allocating (constructor): must take the write
+               side — a fork evaluating it would grow the shared store *)
+            ignore (ok (Svc.query svc s "<a/>"));
+            let _, par, excl, _ = Metrics.counts (Svc.metrics svc) in
+            check Alcotest.int "parallel" 1 par;
+            check Alcotest.int "exclusive" 1 excl));
+    tc "concurrent pure queries match sequential results" `Quick (fun () ->
+        let seq = with_service ~domains:0 pure_workload in
+        let par = with_service ~domains:4 pure_workload in
+        check Alcotest.(list string) "identical results" seq par);
+    tc "every update lands under the 4-domain pool" `Quick (fun () ->
+        with_service ~domains:4 (fun svc ->
+            let final = mixed_workload svc in
+            check Alcotest.string "4 inserts applied" "4" final;
+            let q, par, excl, errors = Metrics.counts (Svc.metrics svc) in
+            check Alcotest.int "queries" 21 q;
+            check Alcotest.int "errors" 0 errors;
+            (* 4 inserts take the write side; reads + the final count
+               take the read side *)
+            check Alcotest.int "exclusive" 4 excl;
+            check Alcotest.int "parallel" 17 par));
+    tc "errors are reported, service stays usable" `Quick (fun () ->
+        with_service ~domains:2 (fun svc ->
+            let s = Svc.open_session svc in
+            ignore (err (Svc.query svc s "1 +"));  (* parse error *)
+            ignore (err (Svc.query svc s "$nope"));  (* static error *)
+            check Alcotest.string "still alive" "2"
+              (ok (Svc.query svc s "1 + 1"))));
+  ]
+
+let suite =
+  [
+    ("service:sessions", sessions);
+    ("service:plan-cache", plan_cache);
+    ("service:scheduler", scheduler);
+  ]

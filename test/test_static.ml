@@ -148,6 +148,54 @@ let join_meet =
           (Static.join Static.Pure Static.Pure = Static.Pure));
   ]
 
+(* -- qcheck: Pure programs never touch the store ---------------------
+
+   The property behind the service layer's purity gate
+   (docs/SERVICE.md): if the §5 analysis classifies a program's body
+   as Pure, evaluating it leaves every pre-existing document
+   bit-identical and the store invariants intact. (A Pure program may
+   still *allocate* fresh nodes — constructors are pure — so the
+   check compares the serialized documents, not store size; the
+   stronger allocation-free judgement is [Static.prog_parallel_safe].)
+   Reuses the fuzz generator, whose samples mix reads and updates, so
+   a good fraction exercise the Pure branch. *)
+
+let pure_leaves_store_intact =
+  let snapshot eng =
+    String.concat "|"
+      (List.map
+         (fun v -> Core.Engine.serialize eng (Core.Engine.run eng v))
+         [ "$d0"; "$d1"; "$d2" ])
+  in
+  qtest ~count:300 "Pure-classified programs leave documents bit-identical"
+    Test_fuzz.seeds (fun seed ->
+      let src = Test_fuzz.gen_program seed in
+      let eng = Core.Engine.create ~seed:1234 () in
+      List.iteri
+        (fun i xml ->
+          let d =
+            Core.Engine.load_document eng ~uri:(Printf.sprintf "d%d" i) xml
+          in
+          Core.Engine.bind_node eng (Printf.sprintf "d%d" i) d)
+        Test_fuzz.docs;
+      match Core.Engine.compile eng src with
+      | exception _ -> true  (* ill-typed sample: nothing to check *)
+      | c ->
+        if Core.Engine.body_purity c <> Static.Pure then true
+        else begin
+          let before = snapshot eng in
+          (* a Pure program may still fail dynamically; the store must
+             be untouched either way *)
+          (try ignore (Core.Engine.run_compiled eng c) with _ -> ());
+          let after = snapshot eng in
+          let health = Xqb_store.Store.validate (Core.Engine.store eng) in
+          if before = after && health = [] then true
+          else
+            QCheck2.Test.fail_reportf
+              "Pure program mutated the store:@.%s@.before %s@.after  %s@.%s"
+              src before after (String.concat "; " health)
+        end)
+
 let suite =
   [
     ("static:scoping", scoping);
@@ -155,4 +203,5 @@ let suite =
     ("static:purity", purity);
     ("static:fixpoint", fixpoint);
     ("static:join", join_meet);
+    ("static:pure-no-writes", [ pure_leaves_store_intact ]);
   ]
