@@ -644,7 +644,10 @@ let e15 () =
     "E15: query service — plan-cache reuse and purity-gated parallelism";
   let cores = Domain.recommended_domain_count () in
   Printf.printf "host cores available: %d\n" cores;
-  let expect_ok = function Ok r -> r | Error e -> failwith ("e15: " ^ e) in
+  let expect_ok = function
+    | Ok r -> r
+    | Error e -> failwith ("e15: " ^ Xqb_service.Service_error.to_string e)
+  in
   (* one XMark instance, serialized once, loaded into each service *)
   let xml =
     let store = Xqb_store.Store.create () in
@@ -773,10 +776,109 @@ let e15 () =
      peak in-flight: %d readers / %d writer(s); all 8 inserts applied: %s hits\n"
     queries par excl errs peak_par peak_excl hits
 
+(* ------------------------------------------------------------------ *)
+(* E16 — resource governance: tail latency of well-behaved queries    *)
+(* under a poison-query mix, with and without per-query budgets.      *)
+(* ------------------------------------------------------------------ *)
+
+(* --smoke: tiny workload + tight budget, for CI (seconds, not tens). *)
+let smoke = ref false
+
+let e16 () =
+  print_header
+    "E16: resource governance — tail latency under a poison-query mix";
+  let expect_ok = function
+    | Ok r -> r
+    | Error e -> failwith ("e16: " ^ Xqb_service.Service_error.to_string e)
+  in
+  (* Every [poison_every]-th submission is a poison query: an updating
+     (hence exclusive, write-side) nested loop whose where-clause never
+     matches, so it burns evaluation steps while holding the write gate
+     without growing the store. Good queries are tiny pure reads. *)
+  let n_good, poison_every, poison_n, deadline_ms =
+    if !smoke then (40, 10, 600, 10) else (160, 16, 1500, 50)
+  in
+  let poison =
+    Printf.sprintf
+      {|for $i in 1 to %d for $j in 1 to %d where $j lt 0
+        return insert {<z/>} into {doc("log")/log}|}
+      poison_n poison_n
+  in
+  let good = {|count(doc("d")//a) + count(doc("d")//b)|} in
+  let run governed =
+    let svc =
+      if governed then Svc.create ~domains:2 ~deadline_ms ()
+      else Svc.create ~domains:2 ()
+    in
+    let sid = Svc.open_session svc in
+    Svc.load_document svc sid ~uri:"d" "<r><a>1</a><a>2</a><b>x</b></r>";
+    Svc.load_document svc sid ~uri:"log" "<log/>";
+    ignore (expect_ok (Svc.query svc sid good));
+    (* warm: plan cache *)
+    let latencies = ref [] in
+    let poison_futs = ref [] in
+    for i = 1 to n_good do
+      if i mod poison_every = 1 then
+        poison_futs := Svc.submit svc sid poison :: !poison_futs;
+      let r, ms = wall_ms (fun () -> Svc.query svc sid good) in
+      ignore (expect_ok r);
+      latencies := ms :: !latencies
+    done;
+    let timeouts, finished =
+      List.fold_left
+        (fun (t, f) fut ->
+          match Svc.await fut with
+          | Ok _ -> (t, f + 1)
+          | Error { Xqb_service.Service_error.kind = Timeout; _ } ->
+            (t + 1, f)
+          | Error _ -> (t, f))
+        (0, 0) !poison_futs
+    in
+    Svc.shutdown svc;
+    let arr = Array.of_list !latencies in
+    Array.sort compare arr;
+    (arr, timeouts, finished, List.length !poison_futs)
+  in
+  let pct arr p =
+    let n = Array.length arr in
+    arr.(min (n - 1) (int_of_float (ceil (p /. 100. *. float_of_int n)) - 1))
+  in
+  let off, _, off_done, off_total = run false in
+  let on_, on_timeouts, on_done, on_total = run true in
+  List.iter
+    (fun (tag, arr) ->
+      List.iter
+        (fun p ->
+          record
+            ~name:(Printf.sprintf "e16-good-p%.0f-%s" p tag)
+            ~n:n_good
+            (pct arr p *. 1e6))
+        [ 50.; 95.; 99. ])
+    [ ("ungoverned", off); ("governed", on_) ];
+  print_table
+    [ "governance"; "good-query p50 ms"; "p95 ms"; "p99 ms"; "poison fate" ]
+    [
+      [ "off"; f2 (pct off 50.); f2 (pct off 95.); f2 (pct off 99.);
+        Printf.sprintf "%d/%d ran to completion" off_done off_total ];
+      [ Printf.sprintf "on (deadline %dms)" deadline_ms;
+        f2 (pct on_ 50.); f2 (pct on_ 95.); f2 (pct on_ 99.);
+        Printf.sprintf "%d/%d killed as timeouts" on_timeouts on_total ];
+    ];
+  Printf.printf
+    "good-query p99 %.2fms -> %.2fms: the deadline bounds how long a poison\n\
+     query can hold the write gate, so well-behaved reads stop inheriting\n\
+     its runtime; store growth from killed poisons: none (transactional)\n"
+    (pct off 99.) (pct on_ 99.);
+  if on_done > 0 then
+    Printf.printf
+      "NOTE: %d poison(s) finished under the %dms budget — deepen the poison\n\
+       loop if this host is fast enough to beat the deadline\n"
+      on_done deadline_ms
+
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
-    ("e13", e13); ("e15", e15) ]
+    ("e13", e13); ("e15", e15); ("e16", e16) ]
 
 let () =
   (* args: experiment names, plus `--json PATH` to dump every
@@ -787,6 +889,9 @@ let () =
     | [ "--json" ] ->
       prerr_endline "--json requires a path";
       exit 2
+    | "--smoke" :: rest ->
+      smoke := true;
+      parse names json rest
     | a :: rest -> parse (String.lowercase_ascii a :: names) json rest
   in
   let names, json = parse [] None (List.tl (Array.to_list Sys.argv)) in

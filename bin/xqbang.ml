@@ -87,6 +87,8 @@ let trace_arg =
 let report_errors f =
   try f () with
   | Core.Engine.Compile_error m -> `Error (false, m)
+  | Xqb_governor.Budget.Budget_exceeded r ->
+    `Error (false, Xqb_governor.Budget.reason_to_string r)
   | Xqb_xdm.Errors.Dynamic_error (code, m) ->
     `Error (false, Printf.sprintf "dynamic error [%s] %s" code m)
   | Core.Conflict.Conflict m -> `Error (false, "update conflict: " ^ m)
@@ -103,8 +105,28 @@ let enable_trace eng =
           (List.length delta)
           (Core.Update.delta_to_string delta))
 
+(* Budget from the shared CLI flags; None when ungoverned. *)
+let make_budget deadline_ms fuel =
+  match (deadline_ms, fuel) with
+  | None, None -> None
+  | _ ->
+    let deadline =
+      Option.map
+        (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.))
+        deadline_ms
+    in
+    Some (Xqb_governor.Budget.create ?deadline ?fuel ())
+
+let deadline_arg =
+  Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS"
+         ~doc:"Wall-clock budget per query; past it the query fails with a timeout error.")
+
+let fuel_arg =
+  Arg.(value & opt (some int) None & info [ "fuel" ] ~docv:"N"
+         ~doc:"Evaluation-step budget per query; past it the query fails with a timeout error.")
+
 let run_cmd =
-  let run query expr docs vars mode seed optimize trace quiet =
+  let run query expr docs vars mode seed optimize trace quiet deadline_ms fuel =
     report_errors (fun () ->
         let eng = setup_engine docs vars seed in
         if trace then enable_trace eng;
@@ -116,9 +138,10 @@ let run_cmd =
             (fun w -> Printf.eprintf "warning: %s\n%!" w)
             compiled.Core.Engine.type_warnings;
         let value =
-          if optimize then
-            (Xqb_algebra.Runner.run ~mode eng src).Xqb_algebra.Runner.value
-          else Core.Engine.run_compiled ~mode eng compiled
+          Core.Engine.with_budget eng (make_budget deadline_ms fuel) (fun () ->
+              if optimize then
+                (Xqb_algebra.Runner.run ~mode eng src).Xqb_algebra.Runner.value
+              else Core.Engine.run_compiled ~mode eng compiled)
         in
         print_endline (Core.Engine.serialize eng value);
         `Ok ())
@@ -129,7 +152,8 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Evaluate an XQuery! program")
     Term.(ret (const run $ query_arg $ expr_arg $ docs_arg $ vars_arg $ mode_arg
-               $ seed_arg $ optimize_arg $ trace_arg $ quiet_arg))
+               $ seed_arg $ optimize_arg $ trace_arg $ quiet_arg $ deadline_arg
+               $ fuel_arg))
 
 let explain_cmd =
   let explain query expr docs vars mode seed =
@@ -285,7 +309,10 @@ let serve_cmd =
       | P.Query (sid, q) -> (
         match Svc.query svc sid q with
         | Ok result -> P.ok result
-        | Error e -> P.err e)
+        | Error e -> P.err_of e)
+      | P.Cancel jid ->
+        if Svc.cancel svc jid then P.ok "cancelled"
+        else P.err (Printf.sprintf "no in-flight job %d" jid)
       | P.Stats -> P.ok (Svc.stats_json svc)
       | P.Quit ->
         stop ();
@@ -312,9 +339,12 @@ let serve_cmd =
     in
     loop ()
   in
-  let serve domains cache_capacity port =
+  let serve domains cache_capacity port deadline_ms fuel max_delta max_queue =
     report_errors (fun () ->
-        let svc = Svc.create ~domains ~cache_capacity () in
+        let svc =
+          Svc.create ~domains ~cache_capacity ?deadline_ms ?fuel ?max_delta
+            ?max_queue ()
+        in
         (match port with
         | None ->
           (* newline-delimited requests on stdin, replies on stdout *)
@@ -355,10 +385,19 @@ let serve_cmd =
     Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT"
            ~doc:"Listen on 127.0.0.1:PORT instead of serving stdin.")
   in
+  let max_delta_arg =
+    Arg.(value & opt (some int) None & info [ "max-delta" ] ~docv:"N"
+           ~doc:"Cap on one snap scope's pending-update list per query.")
+  in
+  let max_queue_arg =
+    Arg.(value & opt (some int) None & info [ "max-queue" ] ~docv:"N"
+           ~doc:"Admission control: reject submissions once this many jobs are queued.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the multi-client query service (newline-delimited protocol)")
-    Term.(ret (const serve $ domains_arg $ cache_arg $ port_arg))
+    Term.(ret (const serve $ domains_arg $ cache_arg $ port_arg $ deadline_arg
+               $ fuel_arg $ max_delta_arg $ max_queue_arg))
 
 let () =
   let info = Cmd.info "xqbang" ~version:"1.0.0"

@@ -37,6 +37,10 @@ type t = {
     (* observability hook: called with each ∆ right before a snap
        applies it (CLI --trace-updates) *)
   mutable steps_evaluated : int;  (* instrumentation for the benches *)
+  mutable budget : Xqb_governor.Budget.t option;
+    (* resource budget charged by the evaluator (and, via the
+       domain-local mirror, by store axis iteration); None = ungoverned.
+       Installed around a run by [Engine.with_budget]. *)
 }
 
 let create ?(seed = 0x5eed) ?store () =
@@ -52,6 +56,7 @@ let create ?(seed = 0x5eed) ?store () =
     globals = SMap.empty;
     on_apply = None;
     steps_evaluated = 0;
+    budget = None;
   }
 
 (* A read-only fork for concurrent evaluation (the service layer's
@@ -74,6 +79,7 @@ let fork_read ctx =
     globals = ctx.globals;
     on_apply = None;
     steps_evaluated = 0;
+    budget = ctx.budget;  (* a governed session's forks inherit its budget *)
   }
 
 let declare_function ctx name arity (f : func) =

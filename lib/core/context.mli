@@ -37,6 +37,11 @@ type t = {
       (** observability hook: called with each ∆ right before a snap
           applies it *)
   mutable steps_evaluated : int;  (** instrumentation *)
+  mutable budget : Xqb_governor.Budget.t option;
+      (** resource budget charged at evaluation checkpoints; [None] =
+          ungoverned. Install via {!Engine.with_budget}, which also
+          mirrors it into the domain-local slot the store layer
+          reads. Copied by {!fork_read}. *)
 }
 
 (** Fresh context; [seed] drives the nondeterministic application

@@ -196,6 +196,20 @@ let serialize_with store (v : Value.t) : string =
 
 let serialize t (v : Value.t) : string = serialize_with (store t) v
 
+(* Run [f] with [budget] governing the engine: installed both on the
+   context (evaluator checkpoints; inherited by read forks) and in
+   the domain-local slot the store's axis iterators consult. Restored
+   on exit, exceptional or not — a scheduler worker domain outlives
+   many governed jobs, so leaking either installation would charge a
+   later query against a dead budget. *)
+let with_budget t budget f =
+  let ctx = t.ctx in
+  let saved = ctx.Context.budget in
+  ctx.Context.budget <- budget;
+  Fun.protect
+    ~finally:(fun () -> ctx.Context.budget <- saved)
+    (fun () -> Xqb_governor.Budget.with_current budget f)
+
 (* Purity of a compiled body (E7's instrumentation). *)
 let body_purity (c : compiled) =
   match c.prog.Normalize.body with

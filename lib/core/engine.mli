@@ -76,6 +76,15 @@ val serialize : t -> Xqb_xdm.Value.t -> string
 
 val serialize_with : Xqb_store.Store.t -> Xqb_xdm.Value.t -> string
 
+(** [with_budget t b f] runs [f ()] with resource budget [b]
+    installed on the engine's context (evaluator checkpoints, and
+    inherited by {!fork_read} / {!run_readonly} forks) and in the
+    domain-local slot the store's axis iterators consult. Both are
+    restored on exit, including on exceptions. Evaluation past the
+    budget raises {!Xqb_governor.Budget.Budget_exceeded}; run updates
+    inside {!Xqb_store.Store.transactionally} to get rollback. *)
+val with_budget : t -> Xqb_governor.Budget.t option -> (unit -> 'a) -> 'a
+
 (** §5 classification of a compiled body (E7 instrumentation). *)
 val body_purity : compiled -> Static.purity
 

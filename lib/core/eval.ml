@@ -70,8 +70,33 @@ let value_to_qname store (v : Value.t) : Qname.t =
     q
   | a -> Errors.type_error "expected a QName, got %s" (Atomic.type_name a)
 
+(* Budget checkpoints. [tick] charges one unit per evaluated core
+   expression; [charge_nodes] additionally charges result fan-out on
+   the index-backed paths that bypass [Axes] (the generic axis walk
+   is charged inside the store); [emit_request] enforces the
+   pending-∆ cap as requests are recorded. All three are no-ops on an
+   ungoverned context. *)
+let tick ctx =
+  match ctx.Context.budget with
+  | None -> ()
+  | Some b -> Xqb_governor.Budget.charge b 1
+
+let charge_nodes ctx nodes =
+  (match ctx.Context.budget with
+  | None -> ()
+  | Some b -> Xqb_governor.Budget.charge b (List.length nodes));
+  nodes
+
+let emit_request ctx r =
+  Snap_stack.emit ctx.Context.snaps r;
+  match ctx.Context.budget with
+  | None -> ()
+  | Some b ->
+    Xqb_governor.Budget.charge_delta b (Snap_stack.pending ctx.Context.snaps)
+
 let rec eval (ctx : Context.t) (env : Context.env) (focus : Context.focus option)
     (e : C.expr) : Value.t =
+  tick ctx;
   match e with
   | C.Scalar a -> [ Item.Atomic a ]
   | C.Var v -> Context.lookup env v
@@ -135,7 +160,8 @@ let rec eval (ctx : Context.t) (env : Context.env) (focus : Context.focus option
     List.concat_map
       (fun item ->
         match item with
-        | Item.Node n -> List.map Item.node (Store.descendants_by_name store n q)
+        | Item.Node n ->
+          List.map Item.node (charge_nodes ctx (Store.descendants_by_name store n q))
         | Item.Atomic a ->
           Errors.type_error "path step applied to a %s" (Atomic.type_name a))
       v
@@ -324,12 +350,12 @@ let rec eval (ctx : Context.t) (env : Context.env) (focus : Context.focus option
       | C.T_before -> (parent_of anchor, Update.Before anchor)
       | C.T_after -> (parent_of anchor, Update.After anchor)
     in
-    Snap_stack.emit ctx.Context.snaps (Update.Insert { nodes; parent; position });
+    emit_request ctx (Update.Insert { nodes; parent; position });
     []
   | C.Delete e ->
     let v = eval ctx env focus e in
     let nodes = Value.nodes_of v in
-    List.iter (fun n -> Snap_stack.emit ctx.Context.snaps (Update.Delete n)) nodes;
+    List.iter (fun n -> emit_request ctx (Update.Delete n)) nodes;
     []
   | C.Replace (e1, e2) ->
     (* Fig. 2: Delta3 = (Delta1, Delta2, insert(...), delete(node)). *)
@@ -343,9 +369,9 @@ let rec eval (ctx : Context.t) (env : Context.env) (focus : Context.focus option
       | None -> Errors.raise_error "XUDY0009" "replace of a parentless node"
     in
     let nodes = content_to_nodes ctx v2 in
-    Snap_stack.emit ctx.Context.snaps
+    emit_request ctx
       (Update.Insert { nodes; parent; position = Update.After node });
-    Snap_stack.emit ctx.Context.snaps (Update.Delete node);
+    emit_request ctx (Update.Delete node);
     []
   | C.Replace_value (e1, e2) ->
     (* XQUF: the replacement atomizes to a string; emit a set-value
@@ -357,14 +383,14 @@ let rec eval (ctx : Context.t) (env : Context.env) (focus : Context.focus option
       String.concat " "
         (List.map Atomic.to_string (Value.atomize ctx.Context.store v2))
     in
-    Snap_stack.emit ctx.Context.snaps (Update.Set_value (node, s));
+    emit_request ctx (Update.Set_value (node, s));
     []
   | C.Rename (e1, e2) ->
     let v1 = eval ctx env focus e1 in
     let v2 = eval ctx env focus e2 in
     let node = Value.singleton_node v1 in
     let name = value_to_qname ctx.Context.store v2 in
-    Snap_stack.emit ctx.Context.snaps (Update.Rename (node, name));
+    emit_request ctx (Update.Rename (node, name));
     []
   | C.Snap (C.Snap_atomic, body) ->
     (* Extension (§5, failure control): run the whole scope — body

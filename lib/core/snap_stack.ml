@@ -10,7 +10,13 @@
    keeps its requests in evaluation order (the order the semantic
    rules of Figs. 2-3 specify), which is exactly ∆ order. *)
 
-type frame = { mutable requests_rev : Update.request list; mode : Apply.mode }
+type frame = {
+  mutable requests_rev : Update.request list;
+  (* |requests_rev|, kept explicitly so [pending] is O(1) — it is
+     consulted per emitted request (∆-size budgets) and from metrics. *)
+  mutable count : int;
+  mode : Apply.mode;
+}
 
 type t = { mutable frames : frame list }
 
@@ -20,7 +26,7 @@ let create () = { frames = [] }
 
 let depth t = List.length t.frames
 
-let push t mode = t.frames <- { requests_rev = []; mode } :: t.frames
+let push t mode = t.frames <- { requests_rev = []; count = 0; mode } :: t.frames
 
 (* Pop the top frame and return its ∆ in order. *)
 let pop t =
@@ -37,7 +43,9 @@ let pop t =
 let emit t (r : Update.request) =
   match t.frames with
   | [] -> raise No_snap_scope
-  | f :: _ -> f.requests_rev <- r :: f.requests_rev
+  | f :: _ ->
+    f.requests_rev <- r :: f.requests_rev;
+    f.count <- f.count + 1
 
-(* Number of requests pending in the innermost scope (diagnostics). *)
-let pending t = match t.frames with [] -> 0 | f :: _ -> List.length f.requests_rev
+(* Number of requests pending in the innermost scope. O(1). *)
+let pending t = match t.frames with [] -> 0 | f :: _ -> f.count

@@ -23,5 +23,6 @@ val pop : t -> Update.delta * Apply.mode
     top-level snap, §2.3). *)
 val emit : t -> Update.request -> unit
 
-(** Requests pending in the innermost scope (diagnostics). *)
+(** Requests pending in the innermost scope. O(1) — each frame keeps
+    an explicit count. *)
 val pending : t -> int

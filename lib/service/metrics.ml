@@ -10,6 +10,12 @@ type t = {
   mutable parallel : int;  (* executed on the read side *)
   mutable exclusive : int;  (* executed on the write side *)
   mutable errors : int;
+  (* failed queries by taxonomy kind (Service_error) *)
+  mutable err_timeout : int;
+  mutable err_cancelled : int;
+  mutable err_overloaded : int;
+  mutable err_conflict : int;
+  mutable err_dynamic : int;
   mutable pure : int;
   mutable updating : int;
   mutable effecting : int;
@@ -40,6 +46,11 @@ let create () =
     parallel = 0;
     exclusive = 0;
     errors = 0;
+    err_timeout = 0;
+    err_cancelled = 0;
+    err_overloaded = 0;
+    err_conflict = 0;
+    err_dynamic = 0;
     pure = 0;
     updating = 0;
     effecting = 0;
@@ -87,6 +98,28 @@ let record_compile_error t =
   locked t (fun () ->
       t.queries <- t.queries + 1;
       t.errors <- t.errors + 1)
+
+(* Count a failed query against its taxonomy kind. The [errors]
+   total is maintained by [record_query]/[record_compile_error]; this
+   only does the per-kind breakdown. *)
+let record_error t (kind : Service_error.kind) =
+  locked t (fun () ->
+      match kind with
+      | Service_error.Timeout -> t.err_timeout <- t.err_timeout + 1
+      | Service_error.Cancelled -> t.err_cancelled <- t.err_cancelled + 1
+      | Service_error.Overloaded -> t.err_overloaded <- t.err_overloaded + 1
+      | Service_error.Conflict -> t.err_conflict <- t.err_conflict + 1
+      | Service_error.Dynamic -> t.err_dynamic <- t.err_dynamic + 1)
+
+let errors_by_kind t =
+  locked t (fun () ->
+      [
+        (Service_error.Timeout, t.err_timeout);
+        (Service_error.Cancelled, t.err_cancelled);
+        (Service_error.Overloaded, t.err_overloaded);
+        (Service_error.Conflict, t.err_conflict);
+        (Service_error.Dynamic, t.err_dynamic);
+      ])
 
 let record_queue_depth t d =
   locked t (fun () ->
@@ -149,9 +182,11 @@ let json_escape s =
   Buffer.contents buf
 
 (* The full dump. [cache] carries the plan cache's counters; [docs]
-   the catalog listing. *)
+   the catalog listing; [extra] pre-rendered key/JSON pairs appended
+   verbatim (the service adds its in-flight job listing). *)
 let to_json ?(cache : Plan_cache.stats option)
-    ?(docs : (string * int * int) list = []) t =
+    ?(docs : (string * int * int) list = []) ?(extra : (string * string) list = [])
+    t =
   locked t (fun () ->
       let lat = Array.sub t.lat 0 t.lat_len in
       Array.sort compare lat;
@@ -168,7 +203,7 @@ let to_json ?(cache : Plan_cache.stats option)
       Buffer.add_string buf "{";
       Buffer.add_string buf
         (String.concat ","
-           [
+           ([
              Printf.sprintf "\"queries\":%s"
                (obj
                   [
@@ -179,6 +214,15 @@ let to_json ?(cache : Plan_cache.stats option)
                     fint "pure" t.pure;
                     fint "updating" t.updating;
                     fint "effecting" t.effecting;
+                  ]);
+             Printf.sprintf "\"errors_by_kind\":%s"
+               (obj
+                  [
+                    fint "timeout" t.err_timeout;
+                    fint "cancelled" t.err_cancelled;
+                    fint "overloaded" t.err_overloaded;
+                    fint "conflict" t.err_conflict;
+                    fint "dynamic" t.err_dynamic;
                   ]);
              Printf.sprintf "\"latency_ns\":%s"
                (obj
@@ -231,6 +275,9 @@ let to_json ?(cache : Plan_cache.stats option)
                            fint "bytes" bytes;
                          ])
                      docs));
-           ]);
+           ]
+           @ List.map
+               (fun (k, v) -> Printf.sprintf "\"%s\":%s" (json_escape k) v)
+               extra));
       Buffer.add_string buf "}";
       Buffer.contents buf)

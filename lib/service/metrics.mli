@@ -17,6 +17,14 @@ val record_query :
 (** A submission rejected at compile time (no purity class). *)
 val record_compile_error : t -> unit
 
+(** Count a failed query against its taxonomy kind (the [errors]
+    total is maintained by {!record_query} / {!record_compile_error};
+    this is only the breakdown). *)
+val record_error : t -> Service_error.kind -> unit
+
+(** Per-kind failed-query counts, in a fixed kind order. *)
+val errors_by_kind : t -> (Service_error.kind * int) list
+
 val record_queue_depth : t -> int -> unit
 
 (** Wire into a session engine's [Context.on_apply]. *)
@@ -37,5 +45,11 @@ val max_inflight : t -> int * int
 
 val json_escape : string -> string
 
+(** [extra] is appended to the object verbatim as pre-rendered
+    [key:json] members (the service adds its in-flight job listing). *)
 val to_json :
-  ?cache:Plan_cache.stats -> ?docs:(string * int * int) list -> t -> string
+  ?cache:Plan_cache.stats ->
+  ?docs:(string * int * int) list ->
+  ?extra:(string * string) list ->
+  t ->
+  string

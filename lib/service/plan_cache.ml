@@ -41,19 +41,75 @@ let create ?(capacity = 128) () =
   }
 
 (* Key normalization: collapse whitespace runs so trivial reformatting
-   of a repeated query still hits. *)
+   of a repeated query still hits — but only *outside* string/attribute
+   literals and comments. Whitespace inside a literal is significant
+   ('a b' and 'a  b' are different queries); collapsing it used to map
+   both to one key and serve one query the other's plan, a silent
+   wrong-answer bug. Literals and (: ... :) comments are copied
+   verbatim: literals because their spelling is the value, comments
+   conservatively (a comment-only difference now misses the cache,
+   which costs a compile, never a wrong answer). The scanner mirrors
+   the lexer's rules: quotes are escaped by doubling ("" / ''),
+   comments nest. *)
 let normalize_key src =
-  let buf = Buffer.create (String.length src) in
-  let in_ws = ref true (* leading whitespace dropped *) in
-  String.iter
-    (fun c ->
-      match c with
-      | ' ' | '\t' | '\n' | '\r' -> if not !in_ws then in_ws := true
-      | c ->
-        if !in_ws && Buffer.length buf > 0 then Buffer.add_char buf ' ';
-        in_ws := false;
-        Buffer.add_char buf c)
-    src;
+  let n = String.length src in
+  let buf = Buffer.create n in
+  let pending_ws = ref false in
+  let flush_ws () =
+    if !pending_ws then begin
+      if Buffer.length buf > 0 then Buffer.add_char buf ' ';
+      pending_ws := false
+    end
+  in
+  let i = ref 0 in
+  while !i < n do
+    match src.[!i] with
+    | ' ' | '\t' | '\n' | '\r' ->
+      pending_ws := true;
+      incr i
+    | ('"' | '\'') as quote ->
+      flush_ws ();
+      Buffer.add_char buf quote;
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        let c = src.[!i] in
+        Buffer.add_char buf c;
+        incr i;
+        if c = quote then
+          if !i < n && src.[!i] = quote then begin
+            (* doubled quote: escaped, still inside the literal *)
+            Buffer.add_char buf quote;
+            incr i
+          end
+          else closed := true
+      done
+    | '(' when !i + 1 < n && src.[!i + 1] = ':' ->
+      flush_ws ();
+      Buffer.add_string buf "(:";
+      i := !i + 2;
+      let depth = ref 1 in
+      while !depth > 0 && !i < n do
+        if !i + 1 < n && src.[!i] = '(' && src.[!i + 1] = ':' then begin
+          Buffer.add_string buf "(:";
+          incr depth;
+          i := !i + 2
+        end
+        else if !i + 1 < n && src.[!i] = ':' && src.[!i + 1] = ')' then begin
+          Buffer.add_string buf ":)";
+          decr depth;
+          i := !i + 2
+        end
+        else begin
+          Buffer.add_char buf src.[!i];
+          incr i
+        end
+      done
+    | c ->
+      flush_ws ();
+      Buffer.add_char buf c;
+      incr i
+  done;
   Buffer.contents buf
 
 let locked t f =

@@ -14,7 +14,11 @@ type stats = {
 val create : ?capacity:int -> unit -> 'a t
 
 (** Collapse whitespace runs so reformatted repeats of a query still
-    hit the cache. *)
+    hit the cache — except inside string/attribute literals (their
+    spelling is the value: ['a b'] and ['a  b'] must not share a
+    plan) and inside [(: ... :)] comments, which are both preserved
+    verbatim. Honors the lexer's quote-doubling escapes and nested
+    comments. *)
 val normalize_key : string -> string
 
 (** Lookup by (already normalized) key; counts a hit or miss and

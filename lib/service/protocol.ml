@@ -5,7 +5,8 @@
      OPEN                          open a session       -> OK <sid>
      CLOSE <sid>                   close a session      -> OK closed
      LOAD <sid> <uri> <path>       load + attach a doc  -> OK loaded <uri>
-     QUERY <sid> <query...>        run a query          -> OK <result> | ERR <msg>
+     QUERY <sid> <query...>        run a query          -> OK <result> | ERR [kind] <msg>
+     CANCEL <job id>               cancel a running job -> OK cancelled | ERR ...
      STATS                         metrics dump         -> OK <json>
      QUIT                          end the connection   -> OK bye
 
@@ -19,6 +20,7 @@ type request =
   | Close of int
   | Load of int * string * string  (* sid, uri, path *)
   | Query of int * string
+  | Cancel of int  (* job id, as reported asynchronously-submitted *)
   | Stats
   | Quit
 
@@ -61,6 +63,11 @@ let unescape s =
 let ok payload = "OK " ^ escape payload
 let err payload = "ERR " ^ escape payload
 
+(* Classified query errors carry their taxonomy kind on the wire:
+   "ERR [timeout] deadline exceeded". Protocol-level errors (bad
+   request syntax) keep the plain [err] form. *)
+let err_of (e : Service_error.t) = "ERR " ^ escape (Service_error.to_string e)
+
 (* -- parsing -------------------------------------------------------- *)
 
 (* Split off the first whitespace-delimited word. *)
@@ -96,6 +103,10 @@ let parse line : (request, string) result =
     | Ok sid ->
       if rest = "" then Error "QUERY expects: QUERY <sid> <query text>"
       else Ok (Query (sid, unescape rest)))
+  | "CANCEL" -> (
+    match int_of_string_opt rest with
+    | Some jid -> Ok (Cancel jid)
+    | None -> Error (Printf.sprintf "expected a job id, got %S" rest))
   | "STATS" -> Ok Stats
   | "QUIT" -> Ok Quit
   | "" -> Error "empty request"

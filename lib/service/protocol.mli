@@ -6,6 +6,7 @@ type request =
   | Close of int
   | Load of int * string * string  (** sid, uri, path *)
   | Query of int * string
+  | Cancel of int  (** job id *)
   | Stats
   | Quit
 
@@ -20,3 +21,6 @@ val unescape : string -> string
 val ok : string -> string
 
 val err : string -> string
+
+(** ["ERR [kind] message"] for classified query errors. *)
+val err_of : Service_error.t -> string

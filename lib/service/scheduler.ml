@@ -9,7 +9,22 @@
    paper's: a job never migrates between domains.
 
    [domains = 0] degenerates to synchronous in-caller execution
-   (still lock-gated) — the "scheduler off" baseline in bench E15. *)
+   (still lock-gated) — the "scheduler off" baseline in bench E15.
+
+   Admission control: the queue is bounded ([max_queue], default
+   unbounded); a submission over the high watermark raises
+   [Overloaded] in the caller instead of queuing — shedding load at
+   the door is the only thing that keeps queue wait bounded once the
+   pool saturates. Each job may also carry a queue-time [deadline]:
+   a worker that dequeues an already-expired job does not run it, it
+   completes the job's future with [Expired_in_queue] (running it
+   would only burn a worker on an answer nobody is waiting for).
+   Submission after [shutdown] raises [Shut_down] uniformly in both
+   the pooled and the synchronous configuration. *)
+
+exception Overloaded
+exception Shut_down
+exception Expired_in_queue
 
 type 'a state = Pending | Done of ('a, exn) result
 
@@ -19,7 +34,12 @@ type 'a future = {
   mutable state : 'a state;
 }
 
-type job = { exclusive : bool; run : unit -> unit }
+type job = {
+  exclusive : bool;
+  deadline : float;  (* absolute queue-time deadline; infinity = none *)
+  run : unit -> unit;
+  abort : exn -> unit;  (* complete the future without running *)
+}
 
 type t = {
   rw : Rwlock.t;
@@ -27,8 +47,10 @@ type t = {
   qmutex : Mutex.t;
   qcond : Condition.t;
   mutable stopping : bool;
+  mutable active : int;  (* pool jobs currently executing *)
   mutable workers : unit Domain.t array;
   domains : int;
+  max_queue : int;
 }
 
 let new_future () =
@@ -59,6 +81,11 @@ let ready v =
   fut.state <- Done (Ok v);
   fut
 
+let failed e =
+  let fut = new_future () in
+  fut.state <- Done (Error e);
+  fut
+
 (* Run [job.run] with the appropriate side of the lock held. *)
 let execute t job =
   if job.exclusive then Rwlock.with_write t.rw job.run
@@ -70,6 +97,7 @@ let worker_loop t () =
     let rec wait () =
       match Queue.take_opt t.queue with
       | Some job ->
+        t.active <- t.active + 1;
         Mutex.unlock t.qmutex;
         Some job
       | None ->
@@ -85,13 +113,19 @@ let worker_loop t () =
     match wait () with
     | None -> ()
     | Some job ->
-      execute t job;
+      (if job.deadline < Unix.gettimeofday () then
+         (try job.abort Expired_in_queue with _ -> ())
+       else execute t job);
+      Mutex.lock t.qmutex;
+      t.active <- t.active - 1;
+      Mutex.unlock t.qmutex;
       next ()
   in
   next ()
 
-let create ?(domains = 4) () =
+let create ?(domains = 4) ?(max_queue = max_int) () =
   if domains < 0 then invalid_arg "Scheduler.create: negative domain count";
+  if max_queue < 1 then invalid_arg "Scheduler.create: max_queue < 1";
   let t =
     {
       rw = Rwlock.create ();
@@ -99,8 +133,10 @@ let create ?(domains = 4) () =
       qmutex = Mutex.create ();
       qcond = Condition.create ();
       stopping = false;
+      active = 0;
       workers = [||];
       domains;
+      max_queue;
     }
   in
   t.workers <- Array.init domains (fun _ -> Domain.spawn (worker_loop t));
@@ -114,26 +150,47 @@ let queue_depth t =
   Mutex.unlock t.qmutex;
   d
 
-(* Submit [f]; the future completes with its result or exception. *)
-let submit t ~exclusive (f : unit -> 'a) : 'a future =
+(* Submit [f]; the future completes with its result or exception.
+   [deadline] (absolute) bounds time *in the queue* — an expired job
+   is aborted by the dequeuing worker, and [on_abort] (called before
+   the future is filled) lets the submitter observe abandonment
+   (queue expiry, shutdown drain) for metrics/cleanup.
+   @raise Shut_down after [shutdown] (both pooled and synchronous)
+   @raise Overloaded when the queue is at [max_queue]. *)
+let submit t ?(deadline = infinity) ?(on_abort = fun _ -> ()) ~exclusive
+    (f : unit -> 'a) : 'a future =
   let fut = new_future () in
   let run () =
     let result = try Ok (f ()) with e -> Error e in
     fill fut result
   in
-  let job = { exclusive; run } in
-  if t.domains = 0 then execute t job
+  let abort e =
+    (try on_abort e with _ -> ());
+    fill fut (Error e)
+  in
+  let job = { exclusive; deadline; run; abort } in
+  if t.domains = 0 then begin
+    (* Synchronous path: must agree with the pool on shutdown — work
+       submitted after [shutdown] returned must not execute. *)
+    Mutex.lock t.qmutex;
+    let stopping = t.stopping in
+    Mutex.unlock t.qmutex;
+    if stopping then raise Shut_down;
+    execute t job
+  end
   else begin
     Mutex.lock t.qmutex;
     if t.stopping then begin
       Mutex.unlock t.qmutex;
-      fill fut (Error (Failure "scheduler is shut down"))
-    end
-    else begin
-      Queue.add job t.queue;
-      Condition.signal t.qcond;
-      Mutex.unlock t.qmutex
-    end
+      raise Shut_down
+    end;
+    if Queue.length t.queue >= t.max_queue then begin
+      Mutex.unlock t.qmutex;
+      raise Overloaded
+    end;
+    Queue.add job t.queue;
+    Condition.signal t.qcond;
+    Mutex.unlock t.qmutex
   end;
   fut
 
@@ -142,10 +199,38 @@ let submit t ~exclusive (f : unit -> 'a) : 'a future =
 let with_write t f = Rwlock.with_write t.rw f
 let with_read t f = Rwlock.with_read t.rw f
 
-(* Drain and stop: running jobs finish, queued jobs still execute. *)
-let shutdown t =
+(* Stop accepting work and wind the pool down. Without [deadline]:
+   drain — queued jobs still execute, then workers exit. With
+   [deadline] (seconds): wait that long for queue + running jobs to
+   finish; past it, abandon still-queued jobs (their futures complete
+   with [Shut_down]) and call [on_deadline] — the service uses it to
+   cancel in-flight budgets so running jobs die at their next poll —
+   then join the workers. *)
+let shutdown ?deadline ?(on_deadline = fun () -> ()) t =
   Mutex.lock t.qmutex;
   t.stopping <- true;
   Condition.broadcast t.qcond;
   Mutex.unlock t.qmutex;
-  Array.iter Domain.join t.workers
+  (match deadline with
+  | None -> ()
+  | Some secs ->
+    let until = Unix.gettimeofday () +. secs in
+    let busy () =
+      Mutex.lock t.qmutex;
+      let b = (not (Queue.is_empty t.queue)) || t.active > 0 in
+      Mutex.unlock t.qmutex;
+      b
+    in
+    while busy () && Unix.gettimeofday () < until do
+      Unix.sleepf 0.005
+    done;
+    if busy () then begin
+      Mutex.lock t.qmutex;
+      let abandoned = List.of_seq (Queue.to_seq t.queue) in
+      Queue.clear t.queue;
+      Mutex.unlock t.qmutex;
+      List.iter (fun j -> try j.abort Shut_down with _ -> ()) abandoned;
+      on_deadline ()
+    end);
+  Array.iter Domain.join t.workers;
+  t.workers <- [||]

@@ -3,19 +3,49 @@
     queries) share the read side and run concurrently; exclusive jobs
     (updating/effecting queries, document loads) serialize on the
     write side. [domains = 0] executes synchronously in the caller
-    (still lock-gated) — the "scheduler off" baseline. *)
+    (still lock-gated) — the "scheduler off" baseline.
+
+    Admission control: the queue is bounded ([max_queue]); over the
+    watermark, {!submit} raises {!Overloaded} instead of queuing.
+    Jobs may carry a queue-time deadline — expired jobs are never
+    run, their future completes with {!Expired_in_queue}. Submission
+    after {!shutdown} raises {!Shut_down} uniformly for the pooled
+    and the synchronous configuration. *)
+
+(** Raised by {!submit} when the queue is at its high watermark. *)
+exception Overloaded
+
+(** Raised by {!submit} after {!shutdown}; also completes the futures
+    of jobs abandoned by a deadlined shutdown. *)
+exception Shut_down
+
+(** Completes the future of a job whose queue-time deadline passed
+    before a worker picked it up. *)
+exception Expired_in_queue
 
 type t
 
 type 'a future
 
-val create : ?domains:int -> unit -> t
+val create : ?domains:int -> ?max_queue:int -> unit -> t
 val domains : t -> int
 val queue_depth : t -> int
 
-val submit : t -> exclusive:bool -> (unit -> 'a) -> 'a future
+(** Submit a job. [deadline] (absolute, [Unix.gettimeofday] scale)
+    bounds its time in the queue; [on_abort] is called (before the
+    future completes) if the job is abandoned without running —
+    queue expiry or shutdown drain.
+    @raise Shut_down after {!shutdown}
+    @raise Overloaded when the queue is full. *)
+val submit :
+  t ->
+  ?deadline:float ->
+  ?on_abort:(exn -> unit) ->
+  exclusive:bool ->
+  (unit -> 'a) ->
+  'a future
 
-(** Blocks until the job has run. *)
+(** Blocks until the job has run (or was aborted). *)
 val await : 'a future -> ('a, exn) result
 
 val await_exn : 'a future -> 'a
@@ -23,11 +53,19 @@ val await_exn : 'a future -> 'a
 (** An already-completed future holding [v]. *)
 val ready : 'a -> 'a future
 
+(** An already-failed future holding [e]. *)
+val failed : exn -> 'a future
+
 (** Run [f] under the gate directly, bypassing the queue (used for
     synchronous shared-state operations such as catalog loads). *)
 val with_write : t -> (unit -> 'a) -> 'a
 
 val with_read : t -> (unit -> 'a) -> 'a
 
-(** Drain queued jobs, stop the workers, join the domains. *)
-val shutdown : t -> unit
+(** Stop accepting work and wind the pool down. Without [deadline],
+    drain: queued jobs still run. With [deadline] (seconds), wait at
+    most that long for queued + running jobs; then abandon still-
+    queued jobs (futures complete with {!Shut_down}) and call
+    [on_deadline] — the service cancels in-flight budgets there so
+    running jobs die at their next poll — before joining workers. *)
+val shutdown : ?deadline:float -> ?on_deadline:(unit -> unit) -> t -> unit

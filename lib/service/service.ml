@@ -6,15 +6,20 @@
      store, so [fn:doc]/bound documents are loaded once and visible
      to all sessions, while functions and globals stay per-session;
    - prepared plans are cached across sessions ({!Plan_cache}),
-     keyed on whitespace-normalized source — a hit skips
-     parse → normalize → static-check → rewrite entirely;
+     keyed on literal-aware whitespace-normalized source — a hit
+     skips parse → normalize → static-check → rewrite entirely;
    - execution goes through the purity-gated {!Scheduler}:
      statically parallel-safe programs ({!Core.Static.prog_parallel_safe}
      — Pure *and* allocation-free) run concurrently on the read side
      of a readers–writer lock, everything else takes the write side;
+   - every job runs under a {!Xqb_governor.Budget}: the service-wide
+     deadline / fuel / pending-∆ limits if configured, plus a cancel
+     token always, so [CANCEL] works even on an unlimited service.
+     Budget violations surface as structured {!Service_error}s
+     ([timeout] / [cancelled]), admission control as [overloaded];
    - {!Metrics} aggregates per-query latency, queue depth, purity
-     counts, plan-cache counters and applied-∆ counts (via each
-     session's [Context.on_apply] hook).
+     counts, plan-cache counters, applied-∆ counts and failed
+     queries by taxonomy kind.
 
    Concurrency protocol, in one place:
 
@@ -25,12 +30,19 @@
      write lock;
    - read-side jobs evaluate in a [Context.fork_read] taken at
      submit time under the session lock, so they observe a coherent
-     snapshot of the session and share nothing mutable with it;
+     snapshot of the session and share nothing mutable with it (the
+     fork carries the job's budget; [Engine.with_budget] installs it
+     on the worker domain for the store layer);
    - the store is only mutated by write-side jobs and catalog loads
      (also under the write lock); the one exception, the lazy index
-     caches filled during reads, is internally locked by the store. *)
+     caches filled during reads, is internally locked by the store;
+   - write-side execution is wrapped in [Store.transactionally]: a
+     query killed mid-update (deadline, fuel, CANCEL) — or failing
+     for any other reason — leaves the store exactly as it found it,
+     even if nested snaps had already applied. *)
 
 module Engine = Core.Engine
+module Budget = Xqb_governor.Budget
 
 type plan = {
   compiled : Engine.compiled;
@@ -45,6 +57,17 @@ type session = {
   mutable docs_held : string list;
 }
 
+(* One in-flight (queued or running) governed job, registered so the
+   wire [CANCEL], the deadline watchdog and [STATS] can reach it. *)
+type inflight = {
+  jid : int;
+  jsid : int;
+  cancel : Budget.cancel;
+  started : float;
+  job_deadline : float;  (* absolute; infinity when ungoverned *)
+  src : string;
+}
+
 type t = {
   catalog : Catalog.t;
   cache : plan Plan_cache.t;
@@ -54,27 +77,67 @@ type t = {
   smutex : Mutex.t;
   mutable next_sid : int;
   seed : int;
+  (* governance config (service-wide; applied to every query) *)
+  deadline_ms : int option;
+  fuel : int option;
+  max_delta : int option;
+  (* in-flight job registry *)
+  jobs : (int, inflight) Hashtbl.t;
+  jmutex : Mutex.t;
+  mutable next_jid : int;
+  (* deadline watchdog (spawned only when a deadline is configured) *)
+  mutable watchdog : Thread.t option;
+  mutable stopping : bool;
 }
-
-let create ?(domains = 4) ?(cache_capacity = 128) ?(seed = 0x5eed) () =
-  {
-    catalog = Catalog.create ();
-    cache = Plan_cache.create ~capacity:cache_capacity ();
-    sched = Scheduler.create ~domains ();
-    metrics = Metrics.create ();
-    sessions = Hashtbl.create 16;
-    smutex = Mutex.create ();
-    next_sid = 1;
-    seed;
-  }
-
-let catalog t = t.catalog
-let scheduler t = t.sched
-let metrics t = t.metrics
 
 let locked m f =
   Mutex.lock m;
   Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* The watchdog is belt-and-braces on top of the budget's own clock
+   polls: it marks the cancel token of any overdue job, catching
+   jobs that are stuck somewhere that never reaches a poll point
+   (e.g. blocked behind the write lock). First reason wins, so a
+   job that already died of its own deadline is unaffected. *)
+let watchdog_loop t () =
+  while not t.stopping do
+    Thread.delay 0.02;
+    let now = Unix.gettimeofday () in
+    locked t.jmutex (fun () ->
+        Hashtbl.iter
+          (fun _ j ->
+            if now > j.job_deadline then Budget.request j.cancel Budget.Deadline)
+          t.jobs)
+  done
+
+let create ?(domains = 4) ?(cache_capacity = 128) ?(seed = 0x5eed) ?deadline_ms
+    ?fuel ?max_delta ?max_queue () =
+  let t =
+    {
+      catalog = Catalog.create ();
+      cache = Plan_cache.create ~capacity:cache_capacity ();
+      sched = Scheduler.create ~domains ?max_queue ();
+      metrics = Metrics.create ();
+      sessions = Hashtbl.create 16;
+      smutex = Mutex.create ();
+      next_sid = 1;
+      seed;
+      deadline_ms;
+      fuel;
+      max_delta;
+      jobs = Hashtbl.create 16;
+      jmutex = Mutex.create ();
+      next_jid = 1;
+      watchdog = None;
+      stopping = false;
+    }
+  in
+  if deadline_ms <> None then t.watchdog <- Some (Thread.create (watchdog_loop t) ());
+  t
+
+let catalog t = t.catalog
+let scheduler t = t.sched
+let metrics t = t.metrics
 
 (* -- sessions ------------------------------------------------------- *)
 
@@ -139,14 +202,7 @@ let load_document t sid ~uri xml =
 
 (* -- query submission ----------------------------------------------- *)
 
-let error_message = function
-  | Engine.Compile_error m -> m
-  | Xqb_xdm.Errors.Dynamic_error (code, m) ->
-    Printf.sprintf "dynamic error [%s] %s" code m
-  | Core.Conflict.Conflict m -> "update conflict: " ^ m
-  | Xqb_store.Store.Update_error m -> "update error: " ^ m
-  | Invalid_argument m | Failure m -> m
-  | e -> Printexc.to_string e
+let error_message e = (Service_error.classify e).Service_error.message
 
 (* Prepared plan for [src]: cache hit or full compile. On a hit the
    program's function declarations are still installed into the
@@ -170,11 +226,64 @@ let prepare t s src =
     Plan_cache.add t.cache key plan;
     plan
 
-(* Submit a query for the session; the future completes with the
-   serialized result or an error message. Parallel-safe programs run
-   concurrently on the scheduler's read side against a fork of the
-   session taken now; everything else serializes on the write side. *)
-let submit t sid src : (string, string) result Scheduler.future =
+(* -- the in-flight registry ----------------------------------------- *)
+
+let register_job t sid ~deadline ~cancel ~started src =
+  locked t.jmutex (fun () ->
+      let jid = t.next_jid in
+      t.next_jid <- jid + 1;
+      let src =
+        if String.length src <= 120 then src else String.sub src 0 120 ^ "…"
+      in
+      Hashtbl.replace t.jobs jid
+        { jid; jsid = sid; cancel; started; job_deadline = deadline; src };
+      jid)
+
+let unregister_job t jid = locked t.jmutex (fun () -> Hashtbl.remove t.jobs jid)
+
+(* Request cancellation of an in-flight job. True if the job was
+   found (still queued or running); the job itself observes the
+   token at its next budget poll and fails with [cancelled]. *)
+let cancel t jid =
+  match locked t.jmutex (fun () -> Hashtbl.find_opt t.jobs jid) with
+  | None -> false
+  | Some j ->
+    Budget.request j.cancel Budget.Cancelled;
+    true
+
+let inflight_count t = locked t.jmutex (fun () -> Hashtbl.length t.jobs)
+
+let inflight_json t =
+  let now = Unix.gettimeofday () in
+  let entries =
+    locked t.jmutex (fun () ->
+        Hashtbl.fold
+          (fun _ j acc ->
+            Printf.sprintf "{\"jid\":%d,\"sid\":%d,\"running_ms\":%.0f,\"src\":\"%s\"}"
+              j.jid j.jsid
+              ((now -. j.started) *. 1e3)
+              (Metrics.json_escape j.src)
+            :: acc)
+          t.jobs [])
+  in
+  "[" ^ String.concat "," entries ^ "]"
+
+(* -- submission ----------------------------------------------------- *)
+
+(* Map a future's exception side into the structured taxonomy. *)
+let await fut =
+  match Scheduler.await fut with
+  | Ok r -> r
+  | Error e -> Error (Service_error.classify e)
+
+(* Submit a query; returns the job id (usable with [cancel]) and a
+   future resolving to the serialized result or a structured error.
+   Parallel-safe programs run concurrently on the scheduler's read
+   side against a fork of the session taken now; everything else
+   serializes on the write side under [Store.transactionally], so a
+   query killed by its budget leaves the store unchanged. *)
+let submit_job t sid src :
+    int * (string, Service_error.t) result Scheduler.future =
   let s = find_session t sid in
   let t0 = Unix.gettimeofday () in
   Metrics.record_queue_depth t.metrics (Scheduler.queue_depth t.sched);
@@ -186,14 +295,31 @@ let submit t sid src : (string, string) result Scheduler.future =
   with
   | exception e ->
     Metrics.record_compile_error t.metrics;
-    Scheduler.ready (Error (error_message e))
+    let err = Service_error.classify e in
+    Metrics.record_error t.metrics err.Service_error.kind;
+    (0, Scheduler.ready (Error err))
   | plan, fork ->
+    let deadline =
+      match t.deadline_ms with
+      | None -> infinity
+      | Some ms -> t0 +. (float_of_int ms /. 1000.)
+    in
+    let budget =
+      Budget.create
+        ?deadline:(if Float.is_finite deadline then Some deadline else None)
+        ?fuel:t.fuel ?max_delta:t.max_delta ()
+    in
+    let jid =
+      register_job t sid ~deadline ~cancel:(Budget.cancel_token budget)
+        ~started:t0 src
+    in
     let finish ok =
       let latency_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
       Metrics.record_query t.metrics ~purity:plan.purity ~parallel:plan.parallel
         ~ok ~latency_ns
     in
     let job () =
+      Fun.protect ~finally:(fun () -> unregister_job t jid) @@ fun () ->
       Metrics.job_begin t.metrics ~parallel:plan.parallel;
       Fun.protect
         ~finally:(fun () -> Metrics.job_end t.metrics ~parallel:plan.parallel)
@@ -201,35 +327,77 @@ let submit t sid src : (string, string) result Scheduler.future =
       match
         match fork with
         | Some feng ->
-          (* read side: forked context, snap-free evaluation *)
-          let v = Engine.run_readonly feng plan.compiled in
-          Engine.serialize_with (Catalog.store t.catalog) v
+          (* read side: forked context, snap-free evaluation.
+             [run_readonly] re-forks internally; the fork inherits
+             the session budget we install here. *)
+          Engine.with_budget feng (Some budget) (fun () ->
+              let v = Engine.run_readonly feng plan.compiled in
+              Engine.serialize_with (Catalog.store t.catalog) v)
         | None ->
-          (* write side: the session itself, full snap semantics *)
+          (* write side: the session itself, full snap semantics,
+             transactional so budget kills roll back cleanly *)
           locked s.slock (fun () ->
-              let v = Engine.run_compiled s.engine plan.compiled in
-              Engine.serialize s.engine v)
+              Engine.with_budget s.engine (Some budget) (fun () ->
+                  Xqb_store.Store.transactionally (Catalog.store t.catalog)
+                    (fun () ->
+                      let v = Engine.run_compiled s.engine plan.compiled in
+                      Engine.serialize s.engine v)))
       with
       | out ->
         finish true;
         Ok out
       | exception e ->
         finish false;
-        Error (error_message e)
+        let err = Service_error.classify e in
+        Metrics.record_error t.metrics err.Service_error.kind;
+        Error err
     in
-    Scheduler.submit t.sched ~exclusive:(not plan.parallel) job
+    (* Abandoned without running (queue-time expiry, shutdown drain):
+       still counts as a failed query of the appropriate kind. *)
+    let on_abort e =
+      unregister_job t jid;
+      finish false;
+      Metrics.record_error t.metrics (Service_error.classify e).Service_error.kind
+    in
+    (match
+       Scheduler.submit t.sched ~deadline ~on_abort
+         ~exclusive:(not plan.parallel) job
+     with
+    | fut -> (jid, fut)
+    | exception ((Scheduler.Overloaded | Scheduler.Shut_down) as e) ->
+      on_abort e;
+      (jid, Scheduler.ready (Error (Service_error.classify e))))
+
+let submit t sid src = snd (submit_job t sid src)
 
 (* Synchronous submit-and-await. *)
-let query t sid src =
-  match Scheduler.await (submit t sid src) with
-  | Ok r -> r
-  | Error e -> Error (error_message e)
+let query t sid src = await (submit t sid src)
 
 let cache_stats t = Plan_cache.stats t.cache
 
 let stats_json t =
   Metrics.to_json
     ~cache:(Plan_cache.stats t.cache)
-    ~docs:(Catalog.list t.catalog) t.metrics
+    ~docs:(Catalog.list t.catalog)
+    ~extra:[ ("inflight", inflight_json t) ]
+    t.metrics
 
-let shutdown t = Scheduler.shutdown t.sched
+(* Stop the service. Without [deadline], drain: queued jobs still
+   run to completion. With [deadline] (seconds), give queued +
+   running work that long, then abandon the queue ([overloaded]
+   futures) and cancel every in-flight budget so running jobs die at
+   their next poll. *)
+let shutdown ?deadline t =
+  t.stopping <- true;
+  (match t.watchdog with
+  | Some th ->
+    Thread.join th;
+    t.watchdog <- None
+  | None -> ());
+  let cancel_inflight () =
+    locked t.jmutex (fun () ->
+        Hashtbl.iter
+          (fun _ j -> Budget.request j.cancel Budget.Cancelled)
+          t.jobs)
+  in
+  Scheduler.shutdown ?deadline ~on_deadline:cancel_inflight t.sched

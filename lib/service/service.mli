@@ -1,11 +1,29 @@
 (** The query service: multi-client sessions over one shared store,
-    with a cross-session prepared-plan cache and a purity-gated
-    parallel scheduler. See docs/SERVICE.md for the architecture. *)
+    with a cross-session prepared-plan cache, a purity-gated parallel
+    scheduler and per-query resource governance (deadlines, fuel,
+    pending-∆ caps, cooperative cancellation, admission control).
+    See docs/SERVICE.md for the architecture. *)
 
 type t
 
-(** Session handles are plain ints (they cross the wire protocol). *)
-val create : ?domains:int -> ?cache_capacity:int -> ?seed:int -> unit -> t
+(** Session handles are plain ints (they cross the wire protocol).
+
+    Governance knobs (all optional; service-wide, applied per query):
+    [deadline_ms] wall-clock budget (also spawns the deadline
+    watchdog), [fuel] evaluation-step budget, [max_delta] cap on one
+    snap frame's pending updates, [max_queue] scheduler admission
+    watermark. With none set the service is ungoverned except that
+    {!cancel} always works. *)
+val create :
+  ?domains:int ->
+  ?cache_capacity:int ->
+  ?seed:int ->
+  ?deadline_ms:int ->
+  ?fuel:int ->
+  ?max_delta:int ->
+  ?max_queue:int ->
+  unit ->
+  t
 
 val catalog : t -> Catalog.t
 val scheduler : t -> Scheduler.t
@@ -26,21 +44,47 @@ val session_count : t -> int
     @raise Failure on an unknown session. *)
 val load_document : t -> int -> uri:string -> string -> unit
 
-(** Submit a query; the future resolves to the serialized result or
-    an error message. Parallel-safe programs (Pure and
-    allocation-free) run concurrently on the scheduler's read side
-    against a submission-time fork of the session; all others
-    serialize on the write side with full snap semantics.
+(** Submit a query; returns the job id (usable with {!cancel} while
+    the job is queued or running) and a future resolving to the
+    serialized result or a structured error. Parallel-safe programs
+    (Pure and allocation-free) run concurrently on the scheduler's
+    read side against a submission-time fork of the session; all
+    others serialize on the write side with full snap semantics,
+    wrapped in a store transaction — a query killed by its budget
+    (or failing for any reason) leaves the store unchanged.
     @raise Failure on an unknown session. *)
-val submit : t -> int -> string -> (string, string) result Scheduler.future
+val submit_job :
+  t -> int -> string -> int * (string, Service_error.t) result Scheduler.future
 
-(** Synchronous [submit] + await. *)
-val query : t -> int -> string -> (string, string) result
+(** {!submit_job} without the job id. *)
+val submit :
+  t -> int -> string -> (string, Service_error.t) result Scheduler.future
+
+(** Await a submission, folding scheduler-level failures (queue
+    expiry, shutdown) into the structured taxonomy. *)
+val await :
+  (string, Service_error.t) result Scheduler.future ->
+  (string, Service_error.t) result
+
+(** Synchronous [submit] + {!await}. *)
+val query : t -> int -> string -> (string, Service_error.t) result
+
+(** Request cancellation of an in-flight job (wire [CANCEL]). True
+    if the job was found; it fails with kind [Cancelled] at its next
+    budget poll. *)
+val cancel : t -> int -> bool
+
+val inflight_count : t -> int
+
+(** The message part of a classified exception (compat helper). *)
+val error_message : exn -> string
 
 val cache_stats : t -> Plan_cache.stats
 
-(** Metrics + plan-cache + catalog state as a JSON object. *)
+(** Metrics + plan-cache + catalog + in-flight jobs as JSON. *)
 val stats_json : t -> string
 
-(** Stop the scheduler's worker domains (queued jobs still run). *)
-val shutdown : t -> unit
+(** Stop the service. Without [deadline] drain queued jobs; with
+    [deadline] (seconds) give them that long, then abandon the queue
+    and cancel in-flight budgets. *)
+val shutdown : ?deadline:float -> t -> unit

@@ -1,0 +1,53 @@
+(* The service's structured error taxonomy. Every failed query is
+   classified into one of five kinds so clients (and Metrics) can
+   tell governance outcomes apart from plain query errors:
+
+   - [Timeout]    the query's own budget ran out (deadline, fuel,
+                  pending-∆ cap) or its queue-time deadline expired
+                  before a worker picked it up;
+   - [Cancelled]  somebody asked for it to stop (wire CANCEL, or
+                  shutdown cancelling in-flight work);
+   - [Overloaded] the service refused or abandoned the work for its
+                  own protection (admission control, submit after
+                  shutdown);
+   - [Conflict]   the ∆ failed the paper's conflict-detection rules;
+   - [Dynamic]    everything the query did to itself: compile
+                  errors, dynamic errors, update errors. *)
+
+type kind = Timeout | Cancelled | Overloaded | Conflict | Dynamic
+
+type t = { kind : kind; message : string }
+
+let kind_to_string = function
+  | Timeout -> "timeout"
+  | Cancelled -> "cancelled"
+  | Overloaded -> "overloaded"
+  | Conflict -> "conflict"
+  | Dynamic -> "dynamic"
+
+let make kind message = { kind; message }
+
+let to_string e = Printf.sprintf "[%s] %s" (kind_to_string e.kind) e.message
+
+let classify = function
+  | Xqb_governor.Budget.Budget_exceeded r ->
+    let kind =
+      match r with
+      | Xqb_governor.Budget.Cancelled -> Cancelled
+      | Deadline | Fuel | Delta_limit -> Timeout
+    in
+    { kind; message = Xqb_governor.Budget.reason_to_string r }
+  | Scheduler.Expired_in_queue ->
+    { kind = Timeout; message = "deadline expired while queued" }
+  | Scheduler.Overloaded ->
+    { kind = Overloaded; message = "queue full, submission rejected" }
+  | Scheduler.Shut_down ->
+    { kind = Overloaded; message = "service is shut down" }
+  | Core.Conflict.Conflict m -> { kind = Conflict; message = "update conflict: " ^ m }
+  | Core.Engine.Compile_error m -> { kind = Dynamic; message = m }
+  | Xqb_xdm.Errors.Dynamic_error (code, m) ->
+    { kind = Dynamic; message = Printf.sprintf "dynamic error [%s] %s" code m }
+  | Xqb_store.Store.Update_error m ->
+    { kind = Dynamic; message = "update error: " ^ m }
+  | Invalid_argument m | Failure m -> { kind = Dynamic; message = m }
+  | e -> { kind = Dynamic; message = Printexc.to_string e }

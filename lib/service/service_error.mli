@@ -1,0 +1,21 @@
+(** Structured error taxonomy for the service layer: every failed
+    query is one of five kinds, surfaced on the wire as
+    [ERR [kind] message] and counted per-kind in {!Metrics}. *)
+
+type kind =
+  | Timeout  (** own budget exhausted (deadline / fuel / ∆ cap) or queue-time deadline expired *)
+  | Cancelled  (** wire [CANCEL], or shutdown cancelling in-flight work *)
+  | Overloaded  (** admission control rejected it, or the service is shut down *)
+  | Conflict  (** ∆ failed the conflict-detection rules *)
+  | Dynamic  (** the query's own fault: compile / dynamic / update errors *)
+
+type t = { kind : kind; message : string }
+
+val kind_to_string : kind -> string
+val make : kind -> string -> t
+
+(** ["[kind] message"]. *)
+val to_string : t -> string
+
+(** Map an exception escaping a job (or a submission) to its kind. *)
+val classify : exn -> t

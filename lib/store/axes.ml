@@ -172,19 +172,28 @@ let preceding store id =
   up [] id
 
 let apply store axis id =
-  match axis with
-  | Child -> Store.children store id
-  | Attribute -> Store.attributes store id
-  | Self -> [ id ]
-  | Parent -> (match Store.parent store id with None -> [] | Some p -> [ p ])
-  | Descendant -> descendants store id
-  | Descendant_or_self -> id :: descendants store id
-  | Ancestor -> ancestors store id
-  | Ancestor_or_self -> id :: ancestors store id
-  | Following_sibling -> siblings_after store id
-  | Preceding_sibling -> siblings_before store id
-  | Following -> following store id
-  | Preceding -> preceding store id
+  let nodes =
+    match axis with
+    | Child -> Store.children store id
+    | Attribute -> Store.attributes store id
+    | Self -> [ id ]
+    | Parent -> (match Store.parent store id with None -> [] | Some p -> [ p ])
+    | Descendant -> descendants store id
+    | Descendant_or_self -> id :: descendants store id
+    | Ancestor -> ancestors store id
+    | Ancestor_or_self -> id :: ancestors store id
+    | Following_sibling -> siblings_after store id
+    | Preceding_sibling -> siblings_before store id
+    | Following -> following store id
+    | Preceding -> preceding store id
+  in
+  (* Charge the fan-out against the domain-local budget (if one is
+     installed): axis walks are where a governed query burns store
+     work that the evaluator's per-expression tick cannot see. *)
+  (match Xqb_governor.Budget.current () with
+  | None -> ()
+  | Some b -> Xqb_governor.Budget.charge b (List.length nodes));
+  nodes
 
 (* One full step: axis + node test from a single context node. *)
 let step store axis test id =

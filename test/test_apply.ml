@@ -287,9 +287,149 @@ let checker_permutation_insensitive =
       Conflict.is_conflict_free delta
       = Conflict.is_conflict_free (Array.to_list arr))
 
+(* -- R1–R6 matrix --------------------------------------------------
+   Each conflict rule gets a pair of deltas over the same fixture: a
+   conflicting one (must be rejected, leaving the store byte-identical)
+   and a conflict-free sibling (must yield the same store under the
+   ordered, reversed and several seeded permutations, and under the
+   conflict-detection mode itself). *)
+
+type matrix_ctx = {
+  store : Store.t;
+  doc : Store.node_id;
+  x : Store.node_id;
+  a : Store.node_id;
+  b : Store.node_id;
+  c : Store.node_id;
+  fresh : Store.node_id list;
+}
+
+(* Node ids are allocation-ordered, so rebuilding the fixture gives
+   the same ids every time — deltas built against one instance are
+   valid against any other. *)
+let matrix_fixture () =
+  let store = Store.create () in
+  let doc = Store.load_string store "<x><a>1</a><b>2</b><c>3</c></x>" in
+  let x = List.hd (Store.children store doc) in
+  let kids = Store.children store x in
+  {
+    store;
+    doc;
+    x;
+    a = List.nth kids 0;
+    b = List.nth kids 1;
+    c = List.nth kids 2;
+    fresh =
+      List.init 3 (fun i ->
+          Store.make_element store (qn (Printf.sprintf "f%d" i)));
+  }
+
+let shuffle seed l =
+  let arr = Array.of_list l in
+  let rand = Random.State.make [| seed |] in
+  for i = Array.length arr - 1 downto 1 do
+    let j = Random.State.int rand (i + 1) in
+    let t = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- t
+  done;
+  Array.to_list arr
+
+let matrix_cases =
+  let ins ?(pos = Update.Last) n parent =
+    Update.Insert { nodes = [ n ]; parent; position = pos }
+  in
+  let f i m = List.nth m.fresh i in
+  [
+    ( "R1 two inserts on one slot",
+      (fun m -> [ ins (f 0 m) m.x; ins (f 1 m) m.x ]),
+      fun m ->
+        [
+          ins ~pos:Update.First (f 0 m) m.x;
+          ins (f 1 m) m.x;
+          ins ~pos:(Update.After m.a) (f 2 m) m.x;
+        ] );
+    ( "R2 insert anchored on a deleted node",
+      (fun m -> [ ins ~pos:(Update.Before m.a) (f 0 m) m.x; Update.Delete m.a ]),
+      fun m -> [ ins ~pos:(Update.After m.a) (f 0 m) m.x; Update.Delete m.b ]
+    );
+    ( "R3 one node inserted twice",
+      (fun m -> [ ins (f 0 m) m.a; ins (f 0 m) m.b ]),
+      fun m -> [ ins (f 0 m) m.a; ins (f 1 m) m.b ] );
+    ( "R4 node both inserted and deleted",
+      (fun m -> [ ins (f 0 m) m.x; Update.Delete (f 0 m) ]),
+      fun m -> [ ins (f 0 m) m.x; Update.Delete m.c ] );
+    ( "R5 diverging renames",
+      (fun m -> [ Update.Rename (m.a, qn "m"); Update.Rename (m.a, qn "n") ]),
+      fun m ->
+        [
+          Update.Rename (m.a, qn "m");
+          Update.Rename (m.a, qn "m");
+          Update.Rename (m.b, qn "n");
+        ] );
+    ( "R6 diverging set-values",
+      (fun m -> [ Update.Set_value (m.a, "u"); Update.Set_value (m.a, "w") ]),
+      fun m ->
+        [
+          Update.Set_value (m.a, "u");
+          Update.Set_value (m.a, "u");
+          Update.Set_value (m.b, "w");
+        ] );
+    ( "R6 set-value vs insert into the same element",
+      (fun m -> [ Update.Set_value (m.a, "u"); ins (f 0 m) m.a ]),
+      fun m -> [ Update.Set_value (m.a, "u"); ins (f 0 m) m.b ] );
+    ( "R6 set-value vs delete of the same node",
+      (fun m -> [ Update.Set_value (m.a, "u"); Update.Delete m.a ]),
+      fun m -> [ Update.Set_value (m.a, "u"); Update.Delete m.b ] );
+  ]
+
+let matrix_tests =
+  List.concat_map
+    (fun (name, bad, good) ->
+      [
+        tc (name ^ ": rejected, store byte-identical") `Quick (fun () ->
+            let m = matrix_fixture () in
+            let before = Store.serialize m.store m.doc in
+            (match Apply.apply m.store Apply.Conflict_detection (bad m) with
+            | () -> Alcotest.fail "expected Conflict"
+            | exception Conflict.Conflict _ -> ());
+            check Alcotest.string "byte-identical" before
+              (Store.serialize m.store m.doc);
+            check
+              (Alcotest.list Alcotest.string)
+              "invariants hold" [] (Store.validate m.store));
+        tc (name ^ ": conflict-free sibling commutes") `Quick (fun () ->
+            let m0 = matrix_fixture () in
+            check Alcotest.bool "accepted" true
+              (Conflict.is_conflict_free (good m0));
+            let run permute =
+              let m = matrix_fixture () in
+              Apply.apply m.store Apply.Ordered (permute (good m));
+              Store.serialize m.store m.doc
+            in
+            let reference = run Fun.id in
+            List.iteri
+              (fun i result ->
+                check Alcotest.string
+                  (Printf.sprintf "permutation %d" i)
+                  reference result)
+              (run List.rev
+              :: List.map (fun seed -> run (shuffle seed)) [ 3; 17; 29; 41 ]);
+            (* and the mode under test itself, which permutes
+               internally after verification *)
+            let m = matrix_fixture () in
+            Apply.apply
+              ~rand_state:(Random.State.make [| 99 |])
+              m.store Apply.Conflict_detection (good m);
+            check Alcotest.string "conflict-detection mode agrees" reference
+              (Store.serialize m.store m.doc));
+      ])
+    matrix_cases
+
 let suite =
   [
     ("apply:ordered", ordered_tests);
+    ("apply:rule-matrix", matrix_tests);
     ("apply:checker-insensitive", [ checker_permutation_insensitive ]);
     ("apply:nondeterministic", nondet_tests);
     ("apply:conflict-rules", conflict_rules);

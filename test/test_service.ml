@@ -10,18 +10,38 @@ module Catalog = Xqb_service.Catalog
 module Metrics = Xqb_service.Metrics
 module Sched = Xqb_service.Scheduler
 module PC = Xqb_service.Plan_cache
+module SE = Xqb_service.Service_error
 
 let ok = function
   | Ok s -> s
-  | Error e -> Alcotest.failf "query failed: %s" e
+  | Error e -> Alcotest.failf "query failed: %s" (SE.to_string e)
 
 let err = function
   | Ok s -> Alcotest.failf "expected an error, got %S" s
-  | Error e -> e
+  | Error (e : SE.t) -> e
 
-let with_service ?(domains = 0) ?cache_capacity f =
-  let svc = Svc.create ~domains ?cache_capacity () in
+let kind_t =
+  Alcotest.testable
+    (fun fmt k -> Format.pp_print_string fmt (SE.kind_to_string k))
+    ( = )
+
+(* Expect a failure of the given taxonomy kind. *)
+let errk name expected r = check kind_t name expected (err r).SE.kind
+
+let with_service ?(domains = 0) ?cache_capacity ?deadline_ms ?fuel ?max_delta
+    ?max_queue f =
+  let svc =
+    Svc.create ~domains ?cache_capacity ?deadline_ms ?fuel ?max_delta
+      ?max_queue ()
+  in
   Fun.protect ~finally:(fun () -> Svc.shutdown svc) (fun () -> f svc)
+
+(* A few seconds of pure evaluation when ungoverned — long enough
+   that deadlines and cancellation deterministically beat it, and it
+   classifies parallel-safe (no construction), so it exercises the
+   read side. *)
+let slow_pure =
+  "sum(for $i in 1 to 2000 return count(for $j in 1 to 2000 return $j))"
 
 let doc_xml = "<r><a>1</a><a>2</a><b>x</b></r>"
 
@@ -91,6 +111,39 @@ let plan_cache =
             (* the hit installs sq into s2, so the cached body runs *)
             check Alcotest.string "cache hit" "9" (ok (Svc.query svc s2 src));
             check Alcotest.int "was a hit" 1 (Svc.cache_stats svc).PC.hits));
+    tc "distinct string literals get distinct plans" `Quick (fun () ->
+        (* Regression: normalize_key used to collapse whitespace
+           inside literals, so string-length("a b") and
+           string-length("a  b") shared a key and the second query
+           was answered with the first one's plan. *)
+        with_service (fun svc ->
+            let s = Svc.open_session svc in
+            check Alcotest.string "one space" "3"
+              (ok (Svc.query svc s {|string-length("a b")|}));
+            check Alcotest.string "two spaces" "4"
+              (ok (Svc.query svc s {|string-length("a  b")|}));
+            let st = Svc.cache_stats svc in
+            check Alcotest.int "no false hit" 0 st.PC.hits;
+            check Alcotest.int "two distinct entries" 2 st.PC.misses));
+    tc "normalize_key is literal- and comment-aware" `Quick (fun () ->
+        let n = PC.normalize_key in
+        check Alcotest.string "collapses code whitespace" "1 + 1"
+          (n "1   +\n\t 1");
+        check Alcotest.string "preserves single-quoted body" "'a  b'"
+          (n "'a  b'");
+        check Alcotest.string "code around a literal still collapses"
+          "concat( 'a  b' , 'c' )"
+          (n "concat( 'a  b' ,  'c' )");
+        check Alcotest.string "double quotes too" {|x eq "a  b"|}
+          (n {|x   eq  "a  b"|});
+        check Alcotest.string "doubled-quote escape stays in the literal"
+          {|"he said ""hi  there"""|}
+          (n {|"he said ""hi  there"""|});
+        check Alcotest.string "comments are preserved verbatim"
+          "1 (: two  spaces (: nested :) kept :) + 1"
+          (n "1  (: two  spaces (: nested :) kept :)  + 1");
+        check Alcotest.string "lone paren is still code" "( 1 )"
+          (n "(  1  )"));
     tc "bounded LRU evicts" `Quick (fun () ->
         with_service ~cache_capacity:2 (fun svc ->
             let s = Svc.open_session svc in
@@ -185,9 +238,199 @@ let scheduler =
               (ok (Svc.query svc s "1 + 1"))));
   ]
 
+(* Resource governance: budgets (fuel / wall-clock deadline /
+   pending-∆ cap) kill runaway queries with structured [Timeout]
+   errors, cancellation kills them with [Cancelled], and in every
+   case the store is left unchanged and the service stays usable. *)
+let governance =
+  [
+    tc "fuel exhaustion is a timeout; service stays usable" `Quick (fun () ->
+        with_service ~fuel:10_000 (fun svc ->
+            let s = Svc.open_session svc in
+            errk "fuel" SE.Timeout (Svc.query svc s slow_pure);
+            check Alcotest.string "next query fine" "2"
+              (ok (Svc.query svc s "1 + 1"));
+            let by_kind = Metrics.errors_by_kind (Svc.metrics svc) in
+            check Alcotest.int "counted as timeout" 1
+              (List.assoc SE.Timeout by_kind)));
+    tc "wall-clock deadline fires well before the query would finish"
+      `Quick (fun () ->
+        with_service ~deadline_ms:100 (fun svc ->
+            let s = Svc.open_session svc in
+            let t0 = Unix.gettimeofday () in
+            errk "deadline" SE.Timeout (Svc.query svc s slow_pure);
+            let elapsed = Unix.gettimeofday () -. t0 in
+            (* Ungoverned this runs for seconds; the 100ms budget plus
+               generous scheduling slack must beat that. *)
+            check Alcotest.bool "killed promptly" true (elapsed < 3.0);
+            check Alcotest.string "still alive" "4"
+              (ok (Svc.query svc s "2 + 2"))));
+    tc "pending-delta cap rejects oversized snap frames, store unchanged"
+      `Quick (fun () ->
+        with_service ~max_delta:10 (fun svc ->
+            let s = Svc.open_session svc in
+            Svc.load_document svc s ~uri:"d" doc_xml;
+            errk "delta cap" SE.Timeout
+              (Svc.query svc s
+                 {|snap { for $i in 1 to 100
+                          return insert {<z/>} into {doc("d")/r} }|});
+            check Alcotest.string "no partial insert" "0"
+              (ok (Svc.query svc s {|count(doc("d")//z)|}))));
+    tc "a timed-out update rolls back effects already applied" `Quick
+      (fun () ->
+        with_service ~deadline_ms:100 (fun svc ->
+            let s = Svc.open_session svc in
+            Svc.load_document svc s ~uri:"d" doc_xml;
+            (* The snap closes (and applies the insert) long before
+               the deadline kills the slow tail; the write side runs
+               inside a store transaction, so the probe is undone. *)
+            errk "killed after snap" SE.Timeout
+              (Svc.query svc s
+                 (Printf.sprintf
+                    {|(snap insert {<probe/>} into {doc("d")/r}, %s)|}
+                    slow_pure));
+            check Alcotest.string "probe rolled back" "0"
+              (ok (Svc.query svc s {|count(doc("d")//probe)|}))));
+    tc "cancel kills an in-flight job with [Cancelled]" `Quick (fun () ->
+        with_service ~domains:2 (fun svc ->
+            let s = Svc.open_session svc in
+            let jid, fut = Svc.submit_job svc s slow_pure in
+            check Alcotest.bool "job found" true (Svc.cancel svc jid);
+            errk "cancelled" SE.Cancelled (Svc.await fut);
+            check Alcotest.bool "idempotent miss after completion" false
+              (Svc.cancel svc jid);
+            check Alcotest.string "service survives" "2"
+              (ok (Svc.query svc s "1 + 1"));
+            let by_kind = Metrics.errors_by_kind (Svc.metrics svc) in
+            check Alcotest.int "counted as cancelled" 1
+              (List.assoc SE.Cancelled by_kind)));
+    tc "cli-style budget: Engine.with_budget kills a bare engine query"
+      `Quick (fun () ->
+        (* What bin/xqbang --fuel does, without the service layer. *)
+        let eng = Core.Engine.create () in
+        let budget = Xqb_governor.Budget.create ~fuel:5_000 () in
+        match
+          Core.Engine.with_budget eng (Some budget) (fun () ->
+              Core.Engine.run eng slow_pure)
+        with
+        | _ -> Alcotest.fail "expected Budget_exceeded"
+        | exception Xqb_governor.Budget.Budget_exceeded
+            Xqb_governor.Budget.Fuel ->
+            ());
+  ]
+
+let wait_for_drain sched =
+  (* Spin until the worker has picked up the queued job. *)
+  let rec go n =
+    if n = 0 then Alcotest.fail "queue never drained"
+    else if Sched.queue_depth sched > 0 then (
+      Thread.delay 0.005;
+      go (n - 1))
+  in
+  go 1000
+
+(* Admission control and shutdown semantics, at both the service and
+   the raw scheduler level. *)
+let admission =
+  [
+    tc "queue over the watermark is rejected as [Overloaded]" `Quick
+      (fun () ->
+        with_service ~domains:1 ~max_queue:1 (fun svc ->
+            let s = Svc.open_session svc in
+            let jid1, f1 = Svc.submit_job svc s slow_pure in
+            (* Wait until the worker holds job 1, so job 2 is the only
+               queued entry and job 3 trips the watermark. *)
+            wait_for_drain (Svc.scheduler svc);
+            let _, f2 = Svc.submit_job svc s "1 + 1" in
+            let _, f3 = Svc.submit_job svc s "2 + 2" in
+            errk "rejected" SE.Overloaded (Svc.await f3);
+            (* Don't sit through the slow job: cancel it. *)
+            check Alcotest.bool "cancelled the hog" true (Svc.cancel svc jid1);
+            errk "hog dies cancelled" SE.Cancelled (Svc.await f1);
+            check Alcotest.string "queued job still ran" "2"
+              (ok (Svc.await f2));
+            let by_kind = Metrics.errors_by_kind (Svc.metrics svc) in
+            check Alcotest.int "overload counted" 1
+              (List.assoc SE.Overloaded by_kind)));
+    tc "submit after shutdown fails uniformly (service, domains 0 and 4)"
+      `Quick (fun () ->
+        List.iter
+          (fun domains ->
+            let svc = Svc.create ~domains () in
+            let s = Svc.open_session svc in
+            Svc.shutdown svc;
+            errk
+              (Printf.sprintf "domains=%d" domains)
+              SE.Overloaded
+              (Svc.query svc s "1 + 1"))
+          [ 0; 4 ]);
+    tc "submit after shutdown raises uniformly (scheduler, domains 0 and 4)"
+      `Quick (fun () ->
+        (* The domains=0 synchronous path used to ignore [stopping]
+           and happily run jobs after shutdown; both configurations
+           must now agree. *)
+        List.iter
+          (fun domains ->
+            let sched = Sched.create ~domains () in
+            Sched.shutdown sched;
+            match Sched.submit sched ~exclusive:false (fun () -> 42) with
+            | _ ->
+                Alcotest.failf "domains=%d accepted work after shutdown"
+                  domains
+            | exception Sched.Shut_down -> ())
+          [ 0; 4 ]);
+    tc "queue-time deadline: expired jobs never run" `Quick (fun () ->
+        let sched = Sched.create ~domains:1 () in
+        Fun.protect
+          ~finally:(fun () -> Sched.shutdown sched)
+          (fun () ->
+            let f1 =
+              Sched.submit sched ~exclusive:false (fun () ->
+                  Unix.sleepf 0.25;
+                  "slow done")
+            in
+            wait_for_drain sched;
+            let aborted = ref false in
+            let f2 =
+              Sched.submit sched
+                ~deadline:(Unix.gettimeofday () +. 0.05)
+                ~on_abort:(fun _ -> aborted := true)
+                ~exclusive:false
+                (fun () -> "should never run")
+            in
+            (match Sched.await f2 with
+            | Error Sched.Expired_in_queue -> ()
+            | Ok s -> Alcotest.failf "expired job ran: %s" s
+            | Error e -> raise e);
+            check Alcotest.bool "on_abort fired" true !aborted;
+            check Alcotest.string "first job unaffected" "slow done"
+              (Sched.await_exn f1)));
+    tc "deadlined shutdown abandons still-queued jobs" `Quick (fun () ->
+        let sched = Sched.create ~domains:1 () in
+        let f1 =
+          Sched.submit sched ~exclusive:false (fun () ->
+              Unix.sleepf 0.3;
+              "ran")
+        in
+        wait_for_drain sched;
+        let f2 = Sched.submit sched ~exclusive:false (fun () -> "queued") in
+        let t0 = Unix.gettimeofday () in
+        Sched.shutdown ~deadline:0.05 sched;
+        check Alcotest.bool "did not drain-wait for the runner" true
+          (Unix.gettimeofday () -. t0 < 2.0);
+        (match Sched.await f2 with
+        | Error Sched.Shut_down -> ()
+        | Ok s -> Alcotest.failf "abandoned job ran: %s" s
+        | Error e -> raise e);
+        check Alcotest.string "running job completed" "ran"
+          (Sched.await_exn f1));
+  ]
+
 let suite =
   [
     ("service:sessions", sessions);
     ("service:plan-cache", plan_cache);
     ("service:scheduler", scheduler);
+    ("service:governance", governance);
+    ("service:admission", admission);
   ]

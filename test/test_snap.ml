@@ -148,6 +148,28 @@ let stack_unit =
         match Core.Snap_stack.emit s (Core.Update.Delete 0) with
         | _ -> Alcotest.fail "expected No_snap_scope"
         | exception Core.Snap_stack.No_snap_scope -> ());
+    tc "pending count tracks each frame exactly" `Quick (fun () ->
+        (* [pending] is an O(1) per-frame counter, not a list walk —
+           verify it matches the frame contents through pushes, emits
+           and pops. *)
+        let s = Core.Snap_stack.create () in
+        check Alcotest.int "empty stack" 0 (Core.Snap_stack.pending s);
+        Core.Snap_stack.push s Core.Apply.Ordered;
+        check Alcotest.int "fresh frame" 0 (Core.Snap_stack.pending s);
+        for i = 1 to 3 do
+          Core.Snap_stack.emit s (Core.Update.Delete i)
+        done;
+        check Alcotest.int "outer after 3 emits" 3 (Core.Snap_stack.pending s);
+        Core.Snap_stack.push s Core.Apply.Ordered;
+        Core.Snap_stack.emit s (Core.Update.Delete 9);
+        check Alcotest.int "inner counts only itself" 1
+          (Core.Snap_stack.pending s);
+        let inner, _ = Core.Snap_stack.pop s in
+        check Alcotest.int "inner delta matches count" 1 (List.length inner);
+        check Alcotest.int "outer count restored" 3 (Core.Snap_stack.pending s);
+        let outer, _ = Core.Snap_stack.pop s in
+        check Alcotest.int "outer delta matches count" 3 (List.length outer);
+        check Alcotest.int "empty again" 0 (Core.Snap_stack.pending s));
     tc "delta preserves emission order" `Quick (fun () ->
         let s = Core.Snap_stack.create () in
         Core.Snap_stack.push s Core.Apply.Ordered;
