@@ -875,10 +875,134 @@ let e16 () =
        loop if this host is fast enough to beat the deadline\n"
       on_done deadline_ms
 
+(* ------------------------------------------------------------------ *)
+(* E17 — observability: per-job tracing overhead on the E15 service   *)
+(* mix, and validation of the emitted Chrome trace JSON.              *)
+(* ------------------------------------------------------------------ *)
+
+(* --trace-out PATH: dump the validated trace for artifact upload. *)
+let trace_out = ref None
+
+(* Set nonzero when E17's trace fails validation; the harness exits
+   with it so CI catches a broken emitter. *)
+let exit_code = ref 0
+
+let e17 () =
+  print_header
+    "E17: observability — per-job tracing overhead and Chrome-trace validation";
+  let module J = Xqb_obs.Json in
+  let expect_ok = function
+    | Ok r -> r
+    | Error e -> failwith ("e17: " ^ Xqb_service.Service_error.to_string e)
+  in
+  let persons, n_mix = if !smoke then (40, 24) else (120, 96) in
+  let xml =
+    let store = Xqb_store.Store.create () in
+    let doc =
+      G.generate store
+        { G.default with G.persons; closed_auctions = 2 * persons }
+    in
+    Core.Engine.serialize_with store (Xqb_xdm.Value.of_nodes [ doc ])
+  in
+  let reads =
+    [|
+      {|count(for $p in $auction//person
+              for $t in $auction//closed_auction
+              where $t/buyer/@person = $p/@id return $t)|};
+      {|count($auction//person[contains(name, "a")])|};
+      {|count($auction//item) + count($auction//closed_auction)|};
+    |]
+  in
+  let update i =
+    Printf.sprintf {|insert {element hit {%d}} into {doc("log")/log}|} i
+  in
+  (* the E15 mix: mostly pure reads, every 6th an exclusive update, so
+     both scheduler sides and the snap pipeline are on the profile *)
+  let mix =
+    List.init n_mix (fun i ->
+        if i mod 6 = 0 then update i else reads.(i mod Array.length reads))
+  in
+  let run tracing =
+    let svc = Svc.create ~domains:2 ~tracing () in
+    let sid = Svc.open_session svc in
+    Svc.load_document svc sid ~uri:"auction" xml;
+    Svc.load_document svc sid ~uri:"log" "<log/>";
+    (* warm: plan cache + lazy store indexes *)
+    Array.iter (fun q -> ignore (expect_ok (Svc.query svc sid q))) reads;
+    let ms =
+      wall_ms_median3 (fun () ->
+          let futs = List.map (fun q -> Svc.submit svc sid q) mix in
+          List.iter (fun f -> ignore (expect_ok (Svc.await f))) futs)
+    in
+    (* one final updating query so the freshest trace covers the whole
+       pipeline, compile phases through snap application *)
+    ignore (expect_ok (Svc.query svc sid (update 999)));
+    let trace = Svc.trace_json svc None in
+    Svc.shutdown svc;
+    (ms, trace)
+  in
+  let off_ms, _ = run false in
+  let on_ms, trace = run true in
+  record ~name:"e17-mix-untraced" ~n:n_mix (off_ms *. 1e6);
+  record ~name:"e17-mix-traced" ~n:n_mix (on_ms *. 1e6);
+  let overhead = (on_ms /. off_ms -. 1.) *. 100. in
+  print_table
+    [ "tracing"; Printf.sprintf "ms / %d-query mix" n_mix; "overhead" ]
+    [
+      [ "off"; f2 off_ms; "-" ];
+      [ "on (span per phase, per job)"; f2 on_ms;
+        Printf.sprintf "%+.1f%%" overhead ];
+    ];
+  print_endline
+    "(spans cost one clock read + one record each; the target envelope is <3%)";
+  (* validate the recorded trace: strict JSON, and the span names must
+     cover the pipeline end to end *)
+  (match trace with
+  | None ->
+    print_endline "E17 FAIL: no trace recorded with tracing enabled";
+    exit_code := 1
+  | Some (jid, json) -> (
+    match J.parse json with
+    | Error msg ->
+      Printf.printf "E17 FAIL: trace for job %d is not valid JSON: %s\n" jid msg;
+      exit_code := 1
+    | Ok v ->
+      let events =
+        match J.member "traceEvents" v with Some a -> J.to_list a | None -> []
+      in
+      let names =
+        List.sort_uniq compare
+          (List.filter_map
+             (fun e -> Option.bind (J.member "name" e) J.to_string_opt)
+             events)
+      in
+      let required =
+        [ "queue.wait"; "lock.wait"; "compile"; "parse"; "eval"; "snap.apply" ]
+      in
+      let missing = List.filter (fun p -> not (List.mem p names)) required in
+      Printf.printf
+        "trace for job %d: %d events, strict-JSON valid; distinct phases: %s\n"
+        jid (List.length events)
+        (String.concat "," names);
+      if missing <> [] then begin
+        Printf.printf "E17 FAIL: trace is missing required phases: %s\n"
+          (String.concat "," missing);
+        exit_code := 1
+      end;
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () -> output_string oc json);
+          Printf.printf "trace artifact written to %s (%d bytes)\n" path
+            (String.length json))
+        !trace_out))
+
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
-    ("e13", e13); ("e15", e15); ("e16", e16) ]
+    ("e13", e13); ("e15", e15); ("e16", e16); ("e17", e17) ]
 
 let () =
   (* args: experiment names, plus `--json PATH` to dump every
@@ -888,6 +1012,12 @@ let () =
     | "--json" :: path :: rest -> parse names (Some path) rest
     | [ "--json" ] ->
       prerr_endline "--json requires a path";
+      exit 2
+    | "--trace-out" :: path :: rest ->
+      trace_out := Some path;
+      parse names json rest
+    | [ "--trace-out" ] ->
+      prerr_endline "--trace-out requires a path";
       exit 2
     | "--smoke" :: rest ->
       smoke := true;
@@ -903,4 +1033,5 @@ let () =
       | Some f -> f ()
       | None -> Printf.eprintf "unknown experiment %s\n" name)
     requested;
-  Option.iter write_json json
+  Option.iter write_json json;
+  if !exit_code <> 0 then exit !exit_code

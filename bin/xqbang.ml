@@ -125,35 +125,76 @@ let fuel_arg =
   Arg.(value & opt (some int) None & info [ "fuel" ] ~docv:"N"
          ~doc:"Evaluation-step budget per query; past it the query fails with a timeout error.")
 
+let write_file path content =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc content)
+
 let run_cmd =
-  let run query expr docs vars mode seed optimize trace quiet deadline_ms fuel =
+  let run query expr docs vars mode seed optimize trace quiet deadline_ms fuel
+      explain_analyze trace_out =
     report_errors (fun () ->
         let eng = setup_engine docs vars seed in
         if trace then enable_trace eng;
         let src = get_source query expr in
         let mode = mode_of_string mode in
-        let compiled = Core.Engine.compile eng src in
-        if not quiet then
-          List.iter
-            (fun w -> Printf.eprintf "warning: %s\n%!" w)
-            compiled.Core.Engine.type_warnings;
-        let value =
-          Core.Engine.with_budget eng (make_budget deadline_ms fuel) (fun () ->
-              if optimize then
-                (Xqb_algebra.Runner.run ~mode eng src).Xqb_algebra.Runner.value
-              else Core.Engine.run_compiled ~mode eng compiled)
+        (* --trace PATH: record the whole run (compile phases,
+           evaluation, snap application) and write Chrome trace JSON *)
+        let tracer =
+          match trace_out with
+          | Some _ -> Some (Xqb_obs.Trace.create ())
+          | None -> None
         in
-        print_endline (Core.Engine.serialize eng value);
+        Core.Engine.with_tracer eng tracer (fun () ->
+            let value =
+              Core.Engine.with_budget eng (make_budget deadline_ms fuel)
+                (fun () ->
+                  if explain_analyze then begin
+                    (* EXPLAIN ANALYZE: run through the algebraic
+                       compiler with per-operator profiling; the
+                       annotated tree precedes the result *)
+                    let r, rendered = Xqb_algebra.Runner.analyze ~mode eng src in
+                    print_endline rendered;
+                    r.Xqb_algebra.Runner.value
+                  end
+                  else begin
+                    let compiled = Core.Engine.compile eng src in
+                    if not quiet then
+                      List.iter
+                        (fun w -> Printf.eprintf "warning: %s\n%!" w)
+                        compiled.Core.Engine.type_warnings;
+                    if optimize then
+                      (Xqb_algebra.Runner.run ~mode eng src)
+                        .Xqb_algebra.Runner.value
+                    else Core.Engine.run_compiled ~mode eng compiled
+                  end)
+            in
+            print_endline (Core.Engine.serialize eng value));
+        (match (trace_out, tracer) with
+        | Some path, Some tr ->
+          write_file path (Xqb_obs.Trace.to_chrome_json tr);
+          Printf.eprintf "trace written to %s (%d spans)\n%!" path
+            (Xqb_obs.Trace.span_count tr)
+        | _ -> ());
         `Ok ())
   in
   let quiet_arg =
     Arg.(value & flag & info [ "q"; "quiet" ]
            ~doc:"Suppress static-typing warnings.")
   in
+  let explain_analyze_arg =
+    Arg.(value & flag & info [ "explain" ]
+           ~doc:"EXPLAIN ANALYZE: execute through the algebraic compiler and print the plan tree annotated with per-operator tuple counts and timings before the result.")
+  in
+  let trace_out_arg =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"PATH"
+           ~doc:"Record a span trace of the run (compile phases, evaluation, snap application) and write Chrome trace-event JSON to PATH (loadable in chrome://tracing or Perfetto).")
+  in
   Cmd.v (Cmd.info "run" ~doc:"Evaluate an XQuery! program")
     Term.(ret (const run $ query_arg $ expr_arg $ docs_arg $ vars_arg $ mode_arg
                $ seed_arg $ optimize_arg $ trace_arg $ quiet_arg $ deadline_arg
-               $ fuel_arg))
+               $ fuel_arg $ explain_analyze_arg $ trace_out_arg))
 
 let explain_cmd =
   let explain query expr docs vars mode seed =
@@ -310,6 +351,18 @@ let serve_cmd =
         match Svc.query svc sid q with
         | Ok result -> P.ok result
         | Error e -> P.err_of e)
+      | P.Explain (sid, q) -> (
+        match Svc.explain svc sid q with
+        | Ok rendered -> P.ok rendered
+        | Error e -> P.err_of e)
+      | P.Trace jid -> (
+        match Svc.trace_json svc jid with
+        | Some (_, json) -> P.ok json
+        | None ->
+          P.err
+            (match jid with
+            | Some jid -> Printf.sprintf "no trace for job %d" jid
+            | None -> "no traced jobs (is tracing enabled?)"))
       | P.Cancel jid ->
         if Svc.cancel svc jid then P.ok "cancelled"
         else P.err (Printf.sprintf "no in-flight job %d" jid)
@@ -339,11 +392,12 @@ let serve_cmd =
     in
     loop ()
   in
-  let serve domains cache_capacity port deadline_ms fuel max_delta max_queue =
+  let serve domains cache_capacity port deadline_ms fuel max_delta max_queue
+      tracing =
     report_errors (fun () ->
         let svc =
           Svc.create ~domains ~cache_capacity ?deadline_ms ?fuel ?max_delta
-            ?max_queue ()
+            ?max_queue ~tracing ()
         in
         (match port with
         | None ->
@@ -393,11 +447,15 @@ let serve_cmd =
     Arg.(value & opt (some int) None & info [ "max-queue" ] ~docv:"N"
            ~doc:"Admission control: reject submissions once this many jobs are queued.")
   in
+  let tracing_arg =
+    Arg.(value & opt bool true & info [ "tracing" ] ~docv:"BOOL"
+           ~doc:"Record a span trace per job (queue wait, lock wait, pipeline phases), retrievable as Chrome trace JSON via the TRACE request. Per-job overhead is a few microseconds; pass false to disable.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the multi-client query service (newline-delimited protocol)")
     Term.(ret (const serve $ domains_arg $ cache_arg $ port_arg $ deadline_arg
-               $ fuel_arg $ max_delta_arg $ max_queue_arg))
+               $ fuel_arg $ max_delta_arg $ max_queue_arg $ tracing_arg))
 
 let () =
   let info = Cmd.info "xqbang" ~version:"1.0.0"

@@ -2,7 +2,15 @@
    extending the engine's globals; expression leaves are evaluated by
    the core evaluator, so plan execution and direct evaluation share
    one semantics (the equivalence tests in test/test_optimizer.ml rely
-   on this split). *)
+   on this split).
+
+   Two levels of instrumentation, both optional:
+   - [stats]: three global counters (tuples/probes/matches), always
+     cheap, used by the benches;
+   - [prof]: a {!Profile.t} with per-operator counters and inclusive
+     wall times, addressed by the plan's pre-order node ids (see
+     plan.ml) — the EXPLAIN ANALYZE machinery. When [prof] is [None]
+     each node pays one option match and nothing else. *)
 
 module C = Core.Core_ast
 module Context = Core.Context
@@ -70,7 +78,7 @@ let eval_keys ctx env (e : C.expr) = Value.atomize ctx.Context.store (Eval.eval 
 
 (* Build an index from right tuples. Returns the tuple array and the
    key table mapping to tuple indexes. *)
-let build_index ctx stats (rkey : C.expr) (right : Context.env list) =
+let build_index ctx (rkey : C.expr) (right : Context.env list) =
   let arr = Array.of_list right in
   let tbl : (key, int list ref) Hashtbl.t = Hashtbl.create (2 * Array.length arr) in
   Array.iteri
@@ -85,18 +93,21 @@ let build_index ctx stats (rkey : C.expr) (right : Context.env list) =
             (build_keys a))
         (eval_keys ctx env rkey))
     arr;
-  ignore stats;
   (arr, tbl)
 
 (* Indexes of right tuples matching the left tuple's key value, in
-   right order, without duplicates. *)
-let matching_indexes ctx stats tbl env (lkey : C.expr) =
+   right order, without duplicates. [op] (when profiling) counts the
+   same hash lookups as [stats.probes], per operator. *)
+let matching_indexes ctx stats op tbl env (lkey : C.expr) =
   let hits = ref [] in
   List.iter
     (fun a ->
       List.iter
         (fun k ->
           stats.probes <- stats.probes + 1;
+          (match op with
+          | Some (o : Profile.op) -> o.Profile.probes <- o.Profile.probes + 1
+          | None -> ());
           match Hashtbl.find_opt tbl k with
           | Some l -> hits := List.rev_append !l !hits
           | None -> ())
@@ -109,20 +120,49 @@ let matching_indexes ctx stats tbl env (lkey : C.expr) =
 let merge_envs (left : Context.env) (right : Context.env) : Context.env =
   Context.SMap.union (fun _ _ r -> Some r) left right
 
-let rec exec_t ctx stats (env0 : Context.env) (p : Plan.tplan) : Context.env list =
+(* Profiling shims: [pop] fetches the node's counter record, [timed]
+   accumulates inclusive wall time around the node's execution. *)
+let pop prof id =
+  match prof with None -> None | Some p -> Some (Profile.op p id)
+
+let timed op f =
+  match op with
+  | None -> f ()
+  | Some (o : Profile.op) ->
+    o.Profile.invocations <- o.Profile.invocations + 1;
+    let t0 = Xqb_obs.Clock.now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        o.Profile.time_ns <- o.Profile.time_ns + (Xqb_obs.Clock.now_ns () - t0))
+      f
+
+let note_io op tin tout =
+  match op with
+  | None -> ()
+  | Some (o : Profile.op) ->
+    o.Profile.tuples_in <- o.Profile.tuples_in + tin;
+    o.Profile.tuples_out <- o.Profile.tuples_out + tout
+
+let rec exec_t ctx stats prof id (env0 : Context.env) (p : Plan.tplan) :
+    Context.env list =
+  let op = pop prof id in
+  timed op @@ fun () ->
   match p with
   | Plan.Unit ->
     stats.tuples <- stats.tuples + 1;
+    note_io op 0 1;
     [ env0 ]
   | Plan.For_tuple (input, v, pos, e) ->
-    let tuples = exec_t ctx stats env0 input in
+    let tuples = exec_t ctx stats prof (id + 1) env0 input in
     let out = ref [] in
+    let n_out = ref 0 in
     List.iter
       (fun env ->
         let items = Eval.eval ctx env None e in
         List.iteri
           (fun i item ->
             stats.tuples <- stats.tuples + 1;
+            incr n_out;
             let env = Context.bind env v [ item ] in
             let env =
               match pos with
@@ -132,31 +172,51 @@ let rec exec_t ctx stats (env0 : Context.env) (p : Plan.tplan) : Context.env lis
             out := env :: !out)
           items)
       tuples;
+    note_io op (List.length tuples) !n_out;
     List.rev !out
   | Plan.Let_tuple (input, v, e) ->
-    List.map
-      (fun env -> Context.bind env v (Eval.eval ctx env None e))
-      (exec_t ctx stats env0 input)
+    let tuples = exec_t ctx stats prof (id + 1) env0 input in
+    let n = List.length tuples in
+    note_io op n n;
+    List.map (fun env -> Context.bind env v (Eval.eval ctx env None e)) tuples
   | Plan.Select (input, e) ->
-    List.filter
-      (fun env -> Value.effective_boolean_value (Eval.eval ctx env None e))
-      (exec_t ctx stats env0 input)
+    let tuples = exec_t ctx stats prof (id + 1) env0 input in
+    let kept =
+      List.filter
+        (fun env -> Value.effective_boolean_value (Eval.eval ctx env None e))
+        tuples
+    in
+    note_io op (List.length tuples) (List.length kept);
+    kept
   | Plan.Join { left; right; lkey; rkey } ->
-    let ltuples = exec_t ctx stats env0 left in
-    let rtuples = exec_t ctx stats env0 right in
-    let arr, tbl = build_index ctx stats rkey rtuples in
+    let ltuples = exec_t ctx stats prof (id + 1) env0 left in
+    let rtuples = exec_t ctx stats prof (id + 1 + Plan.size_t left) env0 right in
+    let arr, tbl = build_index ctx rkey rtuples in
+    (match op with
+    | Some o ->
+      o.Profile.build <- o.Profile.build + Array.length arr;
+      o.Profile.probed <- o.Profile.probed + List.length ltuples
+    | None -> ());
     let out = ref [] in
+    let n_out = ref 0 in
     List.iter
       (fun lenv ->
         List.iter
           (fun i ->
             stats.matches <- stats.matches + 1;
+            (match op with
+            | Some o -> o.Profile.matches <- o.Profile.matches + 1
+            | None -> ());
+            incr n_out;
             out := merge_envs lenv arr.(i) :: !out)
-          (matching_indexes ctx stats tbl lenv lkey))
+          (matching_indexes ctx stats op tbl lenv lkey))
       ltuples;
+    note_io op (List.length ltuples + List.length rtuples) !n_out;
     List.rev !out
   | Plan.Sort (input, specs) ->
-    let tuples = exec_t ctx stats env0 input in
+    let tuples = exec_t ctx stats prof (id + 1) env0 input in
+    let n = List.length tuples in
+    note_io op n n;
     let keyed =
       List.map
         (fun env ->
@@ -167,40 +227,62 @@ let rec exec_t ctx stats (env0 : Context.env) (p : Plan.tplan) : Context.env lis
     List.map snd
       (List.stable_sort (fun (k1, _) (k2, _) -> Eval.compare_sort_keys k1 k2) keyed)
   | Plan.Outer_join_group { left; right; lkey; rkey; ret; out } ->
-    let ltuples = exec_t ctx stats env0 left in
-    let rtuples = exec_t ctx stats env0 right in
-    let arr, tbl = build_index ctx stats rkey rtuples in
-    List.map
-      (fun lenv ->
-        let group = ref [] in
-        List.iter
-          (fun i ->
-            stats.matches <- stats.matches + 1;
-            let env = merge_envs lenv arr.(i) in
-            group := List.rev_append (Eval.eval ctx env None ret) !group)
-          (matching_indexes ctx stats tbl lenv lkey);
-        Context.bind lenv out (List.rev !group))
-      ltuples
+    let ltuples = exec_t ctx stats prof (id + 1) env0 left in
+    let rtuples = exec_t ctx stats prof (id + 1 + Plan.size_t left) env0 right in
+    let arr, tbl = build_index ctx rkey rtuples in
+    (match op with
+    | Some o ->
+      o.Profile.build <- o.Profile.build + Array.length arr;
+      o.Profile.probed <- o.Profile.probed + List.length ltuples
+    | None -> ());
+    let result =
+      List.map
+        (fun lenv ->
+          let group = ref [] in
+          List.iter
+            (fun i ->
+              stats.matches <- stats.matches + 1;
+              (match op with
+              | Some o -> o.Profile.matches <- o.Profile.matches + 1
+              | None -> ());
+              let env = merge_envs lenv arr.(i) in
+              group := List.rev_append (Eval.eval ctx env None ret) !group)
+            (matching_indexes ctx stats op tbl lenv lkey);
+          Context.bind lenv out (List.rev !group))
+        ltuples
+    in
+    note_io op (List.length ltuples + List.length rtuples) (List.length ltuples);
+    result
 
-let rec exec_v ctx stats (env0 : Context.env) (p : Plan.vplan) : Value.t =
+let rec exec_v ctx stats prof id (env0 : Context.env) (p : Plan.vplan) : Value.t
+    =
+  let op = pop prof id in
+  timed op @@ fun () ->
   match p with
-  | Plan.Direct e -> Eval.eval ctx env0 None e
+  | Plan.Direct e ->
+    let v = Eval.eval ctx env0 None e in
+    note_io op 0 (List.length v);
+    v
   | Plan.Map_from_tuple (tplan, ret) ->
-    let tuples = exec_t ctx stats env0 tplan in
+    let tuples = exec_t ctx stats prof (id + 1) env0 tplan in
     let out = ref [] in
     List.iter
       (fun env -> out := List.rev_append (Eval.eval ctx env None ret) !out)
       tuples;
-    List.rev !out
+    let v = List.rev !out in
+    note_io op (List.length tuples) (List.length v);
+    v
   | Plan.Seq_v (a, b) ->
-    let va = exec_v ctx stats env0 a in
-    let vb = exec_v ctx stats env0 b in
-    va @ vb
+    let va = exec_v ctx stats prof (id + 1) env0 a in
+    let vb = exec_v ctx stats prof (id + 1 + Plan.size_v a) env0 b in
+    let v = va @ vb in
+    note_io op (List.length va + List.length vb) (List.length v);
+    v
   | Plan.Snap_v (mode, body) ->
     let snaps = ctx.Context.snaps in
     Core.Snap_stack.push snaps (Core.Apply.mode_of_snap mode);
     let v =
-      match exec_v ctx stats env0 body with
+      match exec_v ctx stats prof (id + 1) env0 body with
       | v -> v
       | exception ex ->
         ignore (Core.Snap_stack.pop snaps);
@@ -210,7 +292,22 @@ let rec exec_v ctx stats (env0 : Context.env) (p : Plan.vplan) : Value.t =
     (match ctx.Context.on_apply with
     | Some hook -> hook delta mode
     | None -> ());
-    Core.Apply.apply ~rand_state:ctx.Context.rand ctx.Context.store mode delta;
+    (match ctx.Context.tracer with
+    | None ->
+      Core.Apply.apply ~rand_state:ctx.Context.rand ctx.Context.store mode delta
+    | Some tr ->
+      Xqb_obs.Trace.with_span ~cat:"snap"
+        ~args:
+          [
+            ("requests", string_of_int (List.length delta));
+            ("mode", Core.Apply.mode_to_string mode);
+          ]
+        tr "snap.apply"
+        (fun () ->
+          Core.Apply.apply ~rand_state:ctx.Context.rand ~tracer:tr
+            ctx.Context.store mode delta));
+    note_io op 0 (List.length v);
     v
 
-let exec ?(stats = new_stats ()) ctx env0 plan = exec_v ctx stats env0 plan
+let exec ?(stats = new_stats ()) ?prof ctx env0 plan =
+  exec_v ctx stats prof 0 env0 plan

@@ -1,7 +1,12 @@
 (** Executor for the tuple algebra. Tuples are variable environments
     extending the engine's globals; expression leaves are evaluated by
     the core evaluator, so plan execution and direct evaluation share
-    one semantics. *)
+    one semantics.
+
+    Instrumentation is optional at two granularities: [stats] (three
+    global counters, cheap, for the benches) and [prof] (per-operator
+    counters and inclusive times — EXPLAIN ANALYZE). With [prof]
+    absent each node costs one option match. *)
 
 type stats = {
   mutable tuples : int;  (** tuples materialized *)
@@ -11,17 +16,13 @@ type stats = {
 
 val new_stats : unit -> stats
 
-(** Execute a tuple plan from an initial environment; returns the
-    tuple stream in order. *)
-val exec_t :
-  Core.Context.t -> stats -> Core.Context.env -> Plan.tplan -> Core.Context.env list
-
-(** Execute a value plan. *)
-val exec_v :
-  Core.Context.t -> stats -> Core.Context.env -> Plan.vplan -> Xqb_xdm.Value.t
-
+(** Execute a value plan from an initial environment. [prof] must be
+    sized to [plan] ({!Profile.create}). Snap application inside the
+    plan records "snap.apply" spans when the context carries a
+    tracer. *)
 val exec :
   ?stats:stats ->
+  ?prof:Profile.t ->
   Core.Context.t ->
   Core.Context.env ->
   Plan.vplan ->

@@ -52,58 +52,156 @@ type vplan =
   | Seq_v of vplan * vplan
   | Snap_v of C.snap_mode * vplan
 
-(* -- Explain -------------------------------------------------------- *)
+(* -- Node numbering --------------------------------------------------
 
-let rec pp_tplan ppf (p : tplan) =
+   Plans are identified per-node by their *pre-order index*: the root
+   is 0 and a node at index i has its first child at i+1, the next at
+   i+1+size(first child), and so on. A [Map_from_tuple]'s embedded
+   tuple plan continues the same numbering. The executor's profiler
+   and the annotated renderer both derive the numbering structurally,
+   so the ids agree without storing them in the tree. *)
+
+let rec size_t = function
+  | Unit -> 1
+  | For_tuple (p, _, _, _) | Let_tuple (p, _, _) | Select (p, _) | Sort (p, _) ->
+    1 + size_t p
+  | Join { left; right; _ } | Outer_join_group { left; right; _ } ->
+    1 + size_t left + size_t right
+
+let rec size_v = function
+  | Direct _ -> 1
+  | Map_from_tuple (t, _) -> 1 + size_t t
+  | Seq_v (a, b) -> 1 + size_v a + size_v b
+  | Snap_v (_, p) -> 1 + size_v p
+
+(* Child pre-order ids of each node, as an alist over the whole tree
+   (the profiler uses this to compute self times). *)
+let child_ids (p : vplan) : (int * int list) list =
+  let acc = ref [] in
+  let rec go_t id p =
+    (match p with
+    | Unit -> acc := (id, []) :: !acc
+    | For_tuple (i, _, _, _) | Let_tuple (i, _, _) | Select (i, _) | Sort (i, _)
+      ->
+      acc := (id, [ id + 1 ]) :: !acc;
+      go_t (id + 1) i
+    | Join { left; right; _ } | Outer_join_group { left; right; _ } ->
+      let rid = id + 1 + size_t left in
+      acc := (id, [ id + 1; rid ]) :: !acc;
+      go_t (id + 1) left;
+      go_t rid right);
+    ()
+  in
+  let rec go_v id p =
+    match p with
+    | Direct _ -> acc := (id, []) :: !acc
+    | Map_from_tuple (t, _) ->
+      acc := (id, [ id + 1 ]) :: !acc;
+      go_t (id + 1) t
+    | Seq_v (a, b) ->
+      let bid = id + 1 + size_v a in
+      acc := (id, [ id + 1; bid ]) :: !acc;
+      go_v (id + 1) a;
+      go_v bid b
+    | Snap_v (_, q) ->
+      acc := (id, [ id + 1 ]) :: !acc;
+      go_v (id + 1) q
+  in
+  go_v 0 p;
+  List.rev !acc
+
+(* -- Explain --------------------------------------------------------
+
+   The renderers take an [annot] callback from pre-order node id to a
+   suffix string; the plain [explain] passes the empty annotation,
+   EXPLAIN ANALYZE passes per-operator counters. *)
+
+let rec pp_tplan_a annot id ppf (p : tplan) =
   let open Format in
   match p with
-  | Unit -> fprintf ppf "Unit"
+  | Unit -> fprintf ppf "Unit%s" (annot id)
   | For_tuple (input, v, _, e) ->
-    fprintf ppf "@[<v 2>MapConcat [%s := %s]@,(%a)@]" v
+    fprintf ppf "@[<v 2>MapConcat [%s := %s]%s@,(%a)@]" v
       (abbrev (C.to_string e))
-      pp_tplan input
+      (annot id)
+      (pp_tplan_a annot (id + 1))
+      input
   | Let_tuple (input, v, e) ->
-    fprintf ppf "@[<v 2>MapLet [%s := %s]@,(%a)@]" v (abbrev (C.to_string e))
-      pp_tplan input
+    fprintf ppf "@[<v 2>MapLet [%s := %s]%s@,(%a)@]" v (abbrev (C.to_string e))
+      (annot id)
+      (pp_tplan_a annot (id + 1))
+      input
   | Select (input, e) ->
-    fprintf ppf "@[<v 2>Select {%s}@,(%a)@]" (abbrev (C.to_string e)) pp_tplan input
+    fprintf ppf "@[<v 2>Select {%s}%s@,(%a)@]" (abbrev (C.to_string e)) (annot id)
+      (pp_tplan_a annot (id + 1))
+      input
   | Join { left; right; lkey; rkey } ->
-    fprintf ppf "@[<v 2>HashJoin on {%s = %s}@,(%a,@, %a)@]"
+    fprintf ppf "@[<v 2>HashJoin on {%s = %s}%s@,(%a,@, %a)@]"
       (abbrev (C.to_string lkey))
       (abbrev (C.to_string rkey))
-      pp_tplan left pp_tplan right
+      (annot id)
+      (pp_tplan_a annot (id + 1))
+      left
+      (pp_tplan_a annot (id + 1 + size_t left))
+      right
   | Outer_join_group { left; right; lkey; rkey; ret; out } ->
     fprintf ppf
-      "@[<v 2>GroupBy [%s := {%s}]@,(@[<v 2>LeftOuterJoin on {%s = %s}@,(%a,@, %a)@])@]"
+      "@[<v 2>GroupBy [%s := {%s}]%s@,(@[<v 2>LeftOuterJoin on {%s = %s}@,(%a,@, %a)@])@]"
       out
       (abbrev (C.to_string ret))
+      (annot id)
       (abbrev (C.to_string lkey))
       (abbrev (C.to_string rkey))
-      pp_tplan left pp_tplan right
+      (pp_tplan_a annot (id + 1))
+      left
+      (pp_tplan_a annot (id + 1 + size_t left))
+      right
   | Sort (input, specs) ->
-    fprintf ppf "@[<v 2>OrderBy [%s]@,(%a)@]"
+    fprintf ppf "@[<v 2>OrderBy [%s]%s@,(%a)@]"
       (String.concat ", "
          (List.map
             (fun (k, d) ->
               abbrev (C.to_string k)
               ^ match d with Xqb_syntax.Ast.Ascending -> "" | Descending -> " desc")
             specs))
-      pp_tplan input
+      (annot id)
+      (pp_tplan_a annot (id + 1))
+      input
 
-and pp_vplan ppf (p : vplan) =
+and pp_vplan_a annot id ppf (p : vplan) =
   let open Format in
   match p with
-  | Direct e -> fprintf ppf "Eval {%s}" (abbrev (C.to_string e))
+  | Direct e -> fprintf ppf "Eval {%s}%s" (abbrev (C.to_string e)) (annot id)
   | Map_from_tuple (t, e) ->
-    fprintf ppf "@[<v 2>MapFromItem {%s}@,(%a)@]" (abbrev (C.to_string e)) pp_tplan t
-  | Seq_v (a, b) -> fprintf ppf "@[<v 2>Sequence@,(%a,@, %a)@]" pp_vplan a pp_vplan b
-  | Snap_v (m, p) ->
+    fprintf ppf "@[<v 2>MapFromItem {%s}%s@,(%a)@]" (abbrev (C.to_string e))
+      (annot id)
+      (pp_tplan_a annot (id + 1))
+      t
+  | Seq_v (a, b) ->
+    fprintf ppf "@[<v 2>Sequence%s@,(%a,@, %a)@]" (annot id)
+      (pp_vplan_a annot (id + 1))
+      a
+      (pp_vplan_a annot (id + 1 + size_v a))
+      b
+  | Snap_v (m, q) ->
     let ms = Xqb_syntax.Ast.snap_mode_to_string m in
-    fprintf ppf "@[<v 2>Snap %s{@,%a@,}@]" (if ms = "" then "" else ms ^ " ") pp_vplan p
+    fprintf ppf "@[<v 2>Snap %s{%s@,%a@,}@]"
+      (if ms = "" then "" else ms ^ " ")
+      (annot id)
+      (pp_vplan_a annot (id + 1))
+      q
 
 and abbrev s = if String.length s <= 60 then s else String.sub s 0 57 ^ "..."
 
+let no_annot _ = ""
+let pp_tplan ppf p = pp_tplan_a no_annot 0 ppf p
+let pp_vplan ppf p = pp_vplan_a no_annot 0 ppf p
+
 let explain (p : vplan) = Format.asprintf "%a" pp_vplan p
+
+(* The same tree with a per-node annotation (EXPLAIN ANALYZE). *)
+let explain_annotated ~annot (p : vplan) =
+  Format.asprintf "%a" (pp_vplan_a annot 0) p
 
 (* Is any part of the plan more than a Direct fallback? (E7 counts
    this as "rewrites fired".) *)

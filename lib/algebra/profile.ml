@@ -1,0 +1,96 @@
+(* Per-operator execution profile (EXPLAIN ANALYZE).
+
+   One [op] record per plan node, indexed by the node's pre-order id
+   ({!Plan.size_v} / the numbering described in plan.ml), filled in
+   by the executor when profiling is requested. Timing uses the
+   monotonic {!Xqb_obs.Clock}; the recorded time is *inclusive*
+   (operator plus everything beneath it), and [render] subtracts the
+   children's inclusive times to report self time — valid because
+   every child node executes exactly once per parent invocation in
+   this executor. *)
+
+type op = {
+  mutable invocations : int;
+  mutable tuples_in : int;  (* tuples consumed from input plan(s) *)
+  mutable tuples_out : int;  (* tuples (or items, for vplan nodes) produced *)
+  mutable build : int;  (* join build-side tuples indexed *)
+  mutable probed : int;  (* join probe-side tuples probed *)
+  mutable probes : int;  (* hash-table key lookups *)
+  mutable matches : int;  (* join pairs produced *)
+  mutable time_ns : int;  (* cumulative inclusive wall time *)
+}
+
+type t = { ops : op array }
+
+let new_op () =
+  {
+    invocations = 0;
+    tuples_in = 0;
+    tuples_out = 0;
+    build = 0;
+    probed = 0;
+    probes = 0;
+    matches = 0;
+    time_ns = 0;
+  }
+
+let create (plan : Plan.vplan) =
+  { ops = Array.init (Plan.size_v plan) (fun _ -> new_op ()) }
+
+let op t id = t.ops.(id)
+let n_ops t = Array.length t.ops
+
+(* -- rendering ------------------------------------------------------ *)
+
+let ms ns = float_of_int ns /. 1e6
+
+(* Self time per node: inclusive minus the children's inclusive. *)
+let self_times t (plan : Plan.vplan) =
+  let self = Array.map (fun o -> o.time_ns) t.ops in
+  List.iter
+    (fun (id, kids) ->
+      List.iter (fun k -> self.(id) <- self.(id) - t.ops.(k).time_ns) kids)
+    (Plan.child_ids plan);
+  self
+
+let annot_of t self id =
+  let o = t.ops.(id) in
+  let b = Buffer.create 64 in
+  Buffer.add_string b (Printf.sprintf "  [#%d" id);
+  Buffer.add_string b (Printf.sprintf " in=%d out=%d" o.tuples_in o.tuples_out);
+  if o.build > 0 || o.probed > 0 then
+    Buffer.add_string b
+      (Printf.sprintf " build=%d probed=%d probes=%d matches=%d" o.build
+         o.probed o.probes o.matches);
+  Buffer.add_string b
+    (Printf.sprintf " self=%.3fms total=%.3fms]" (ms self.(id)) (ms o.time_ns));
+  Buffer.contents b
+
+(* The plan tree with per-operator counters spliced in after each
+   operator header, plus a one-line footer of totals. *)
+let render (plan : Plan.vplan) t =
+  let self = self_times t plan in
+  let tree = Plan.explain_annotated ~annot:(annot_of t self) plan in
+  let total_tuples =
+    Array.fold_left (fun acc o -> acc + o.tuples_out) 0 t.ops
+  in
+  let root_ms = ms t.ops.(0).time_ns in
+  Printf.sprintf "%s\n-- %d operators, %.3f ms, %d tuples/items produced" tree
+    (n_ops t) root_ms total_tuples
+
+(* JSON array of per-operator counters (wire EXPLAIN). *)
+let to_json (plan : Plan.vplan) t =
+  let self = self_times t plan in
+  let buf = Buffer.create 256 in
+  Buffer.add_char buf '[';
+  Array.iteri
+    (fun i o ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"op\":%d,\"invocations\":%d,\"in\":%d,\"out\":%d,\"build\":%d,\"probed\":%d,\"probes\":%d,\"matches\":%d,\"self_ms\":%.6f,\"total_ms\":%.6f}"
+           i o.invocations o.tuples_in o.tuples_out o.build o.probed o.probes
+           o.matches (ms self.(i)) (ms o.time_ns)))
+    t.ops;
+  Buffer.add_char buf ']';
+  Buffer.contents buf

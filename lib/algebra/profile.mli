@@ -1,0 +1,33 @@
+(** Per-operator execution profile (EXPLAIN ANALYZE).
+
+    One counter record per plan node, indexed by pre-order node id;
+    the executor fills it in when {!Exec.exec} is passed [?prof].
+    Recorded times are inclusive; {!render} derives self times by
+    subtracting children (each child executes exactly once per parent
+    invocation in this executor). *)
+
+type op = {
+  mutable invocations : int;
+  mutable tuples_in : int;  (** tuples consumed from input plan(s) *)
+  mutable tuples_out : int;  (** tuples (items, for vplan nodes) produced *)
+  mutable build : int;  (** join build-side tuples indexed *)
+  mutable probed : int;  (** join probe-side tuples probed *)
+  mutable probes : int;  (** hash-table key lookups *)
+  mutable matches : int;  (** join pairs produced *)
+  mutable time_ns : int;  (** cumulative inclusive wall time *)
+}
+
+type t
+
+(** Fresh profile sized to the plan ({!Plan.size_v} operators). *)
+val create : Plan.vplan -> t
+
+val op : t -> int -> op
+val n_ops : t -> int
+
+(** The plan tree annotated with per-operator counters and self/total
+    times, plus a totals footer. *)
+val render : Plan.vplan -> t -> string
+
+(** JSON array of per-operator counters. *)
+val to_json : Plan.vplan -> t -> string

@@ -11,12 +11,15 @@ type run_result = {
   fired : string list;  (* rewrites that fired *)
   rejected : (string * string) list;  (* rewrites rejected by a guard *)
   stats : Exec.stats;
+  profile : Profile.t option;  (* per-operator counters (analyze only) *)
 }
 
 (* Compile [source] and return the optimized plan for its body (under
    the implicit top-level snap). *)
 let plan_of ?(mode = C.Snap_ordered) engine source =
   let compiled = Engine.compile engine source in
+  let ctx = Engine.context engine in
+  Core.Context.span ~cat:"compile" ctx "algebra.compile" @@ fun () ->
   let purity = Core.Static.purity_oracle compiled.Engine.prog in
   let body =
     match compiled.Engine.prog.Core.Normalize.body with
@@ -25,19 +28,39 @@ let plan_of ?(mode = C.Snap_ordered) engine source =
   in
   (compiled, Compile.compile ~purity body)
 
-let run ?(mode = C.Snap_ordered) engine source : run_result =
+let run_with ?(mode = C.Snap_ordered) ~profile engine source : run_result =
   let compiled, cres = plan_of ~mode engine source in
   Engine.eval_globals ~mode engine compiled;
   let stats = Exec.new_stats () in
+  let prof = if profile then Some (Profile.create cres.Compile.plan) else None in
   let ctx = Engine.context engine in
-  let value = Exec.exec ~stats ctx ctx.Core.Context.globals cres.Compile.plan in
+  let value =
+    Core.Context.span ~cat:"exec" ctx "exec.plan" (fun () ->
+        Exec.exec ~stats ?prof ctx ctx.Core.Context.globals cres.Compile.plan)
+  in
   {
     value;
     plan = cres.Compile.plan;
     fired = cres.Compile.fired;
     rejected = cres.Compile.rejected;
     stats;
+    profile = prof;
   }
+
+let run ?mode engine source = run_with ?mode ~profile:false engine source
+
+(* EXPLAIN ANALYZE: execute with per-operator profiling and render the
+   annotated plan. The query runs for real — side effects included —
+   which is the only honest way to report actual cardinalities for a
+   language with side effects. *)
+let analyze ?mode engine source : run_result * string =
+  let r = run_with ?mode ~profile:true engine source in
+  let rendered =
+    match r.profile with
+    | Some p -> Profile.render r.plan p
+    | None -> Plan.explain r.plan
+  in
+  (r, rendered)
 
 let explain ?mode engine source =
   let _, cres = plan_of ?mode engine source in

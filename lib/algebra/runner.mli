@@ -8,6 +8,8 @@ type run_result = {
   fired : string list;  (** rewrites that fired *)
   rejected : (string * string) list;  (** rewrites rejected by a guard, with reasons *)
   stats : Exec.stats;
+  profile : Profile.t option;
+      (** per-operator counters; [Some] only from {!analyze} *)
 }
 
 (** Compile a program and the optimized plan of its body (under the
@@ -22,5 +24,12 @@ val plan_of :
     [Core.Engine.run] (asserted by the equivalence tests). *)
 val run : ?mode:Core.Core_ast.snap_mode -> Core.Engine.t -> string -> run_result
 
-(** Pretty-printed optimized plan (the paper's §4.3 plan syntax). *)
+(** EXPLAIN ANALYZE: like {!run} but with per-operator profiling; the
+    string is the annotated plan tree ({!Profile.render}). The query
+    executes for real, side effects included. *)
+val analyze :
+  ?mode:Core.Core_ast.snap_mode -> Core.Engine.t -> string -> run_result * string
+
+(** Pretty-printed optimized plan (the paper's §4.3 plan syntax),
+    without executing. *)
 val explain : ?mode:Core.Core_ast.snap_mode -> Core.Engine.t -> string -> string

@@ -20,6 +20,12 @@ val mode_of_snap : Core_ast.snap_mode -> mode
 val mode_to_string : mode -> string
 
 (** @raise Conflict.Conflict or @raise Xqb_store.Store.Update_error;
-    the store is rolled back in both cases. *)
+    the store is rolled back in both cases. [tracer] records the
+    conflict-detection check as its own span. *)
 val apply :
-  ?rand_state:Random.State.t -> Xqb_store.Store.t -> mode -> Update.delta -> unit
+  ?rand_state:Random.State.t ->
+  ?tracer:Xqb_obs.Trace.t ->
+  Xqb_store.Store.t ->
+  mode ->
+  Update.delta ->
+  unit

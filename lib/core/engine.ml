@@ -98,6 +98,7 @@ let install_functions t (c : compiled) =
    declarations are installed into the engine so later [compile]d
    queries can call them too. *)
 let compile ?(simplify = true) t source : compiled =
+  Context.span ~cat:"compile" t.ctx "compile" @@ fun () ->
   let extra_fns =
     Hashtbl.fold
       (fun (name, arity) _ acc -> (Qname.of_string name, arity) :: acc)
@@ -105,8 +106,12 @@ let compile ?(simplify = true) t source : compiled =
   in
   let prog =
     try
-      let ast = Xqb_syntax.Parser.parse_prog source in
-      Normalize.normalize_prog ~extra_fns ~is_builtin:Functions.is_builtin ast
+      let ast =
+        Context.span ~cat:"compile" t.ctx "parse" (fun () ->
+            Xqb_syntax.Parser.parse_prog source)
+      in
+      Context.span ~cat:"compile" t.ctx "normalize" (fun () ->
+          Normalize.normalize_prog ~extra_fns ~is_builtin:Functions.is_builtin ast)
     with
     | (Xqb_syntax.Parser.Error _ | Xqb_syntax.Lexer.Error _ | Normalize.Static_error _)
       as e ->
@@ -115,13 +120,16 @@ let compile ?(simplify = true) t source : compiled =
   let host_bound =
     Context.SMap.fold (fun k _ acc -> k :: acc) t.ctx.Context.globals []
   in
-  (try Static.check_prog ~initial:host_bound prog
+  (try
+     Context.span ~cat:"compile" t.ctx "static.check" (fun () ->
+         Static.check_prog ~initial:host_bound prog)
    with Normalize.Static_error m -> raise (Compile_error ("static error: " ^ m)));
   (* §4.2 syntactic rewriting, guarded by the purity judgement. *)
   let rewrites = ref [] in
   let prog =
     if not simplify then prog
-    else begin
+    else
+      Context.span ~cat:"compile" t.ctx "simplify" @@ fun () ->
       let purity = Static.purity_oracle prog in
       let simp e =
         let e', stats = Rewrite.simplify ~purity e in
@@ -137,9 +145,10 @@ let compile ?(simplify = true) t source : compiled =
             prog.Normalize.functions;
         body = Option.map simp prog.Normalize.body;
       }
-    end
   in
-  let type_warnings = Typing.check_prog prog in
+  let type_warnings =
+    Context.span ~cat:"compile" t.ctx "typing" (fun () -> Typing.check_prog prog)
+  in
   let c = { prog; source; rewrites = !rewrites; type_warnings } in
   install_functions t c;
   c
@@ -163,6 +172,7 @@ let eval_globals ?(mode = Core_ast.Snap_ordered) t (c : compiled) =
 
 (* Run a compiled program's body under the implicit top-level snap. *)
 let run_compiled ?(mode = Core_ast.Snap_ordered) t (c : compiled) : Value.t =
+  Context.span ~cat:"exec" t.ctx "eval" @@ fun () ->
   eval_globals ~mode t c;
   match c.prog.Normalize.body with
   | None -> []
@@ -210,6 +220,15 @@ let with_budget t budget f =
     ~finally:(fun () -> ctx.Context.budget <- saved)
     (fun () -> Xqb_governor.Budget.with_current budget f)
 
+(* Run [f] with [tracer] installed on the engine's context (inherited
+   by read forks via [Context.fork_read]). Restored on exit for the
+   same reason as [with_budget]: worker domains outlive jobs. *)
+let with_tracer t tracer f =
+  let ctx = t.ctx in
+  let saved = ctx.Context.tracer in
+  ctx.Context.tracer <- tracer;
+  Fun.protect ~finally:(fun () -> ctx.Context.tracer <- saved) f
+
 (* Purity of a compiled body (E7's instrumentation). *)
 let body_purity (c : compiled) =
   match c.prog.Normalize.body with
@@ -232,6 +251,7 @@ let run_readonly t (c : compiled) : Value.t =
   if not (parallel_safe c) then
     invalid_arg "Engine.run_readonly: program is not parallel-safe";
   let ctx = Context.fork_read t.ctx in
+  Context.span ~cat:"exec" ctx "eval.readonly" @@ fun () ->
   let env =
     List.fold_left
       (fun env (v, ty, e) ->

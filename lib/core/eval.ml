@@ -422,7 +422,19 @@ and eval_snap ctx env focus mode body =
   (match ctx.Context.on_apply with
   | Some hook -> hook delta amode
   | None -> ());
-  Apply.apply ~rand_state:ctx.Context.rand ctx.Context.store amode delta;
+  (match ctx.Context.tracer with
+  | None -> Apply.apply ~rand_state:ctx.Context.rand ctx.Context.store amode delta
+  | Some tr ->
+    Xqb_obs.Trace.with_span ~cat:"snap"
+      ~args:
+        [
+          ("requests", string_of_int (List.length delta));
+          ("mode", Apply.mode_to_string amode);
+        ]
+      tr "snap.apply"
+      (fun () ->
+        Apply.apply ~rand_state:ctx.Context.rand ~tracer:tr ctx.Context.store
+          amode delta));
   v
 
 and eval_name ctx env focus (ns : C.name_spec) : Qname.t =

@@ -1,0 +1,3 @@
+(* CLOCK_MONOTONIC, in nanoseconds, as an unboxed OCaml int. *)
+
+external now_ns : unit -> int = "xqb_obs_now_ns" [@@noalloc]

@@ -1,0 +1,6 @@
+(** Monotonic clock. Nanoseconds since an arbitrary (boot-time)
+    epoch, as a tagged int — unboxed, allocation-free, safe against
+    wall-clock steps. All span timestamps in {!Trace} use this
+    scale. *)
+
+val now_ns : unit -> int

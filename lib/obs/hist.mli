@@ -1,0 +1,27 @@
+(** Fixed-footprint latency histogram.
+
+    Exact percentiles for the first [exact_cap] samples; log-scale
+    buckets (4 per power of two, ~19% relative error, range
+    2^-32..2^32) afterwards. Constant memory regardless of sample
+    count. Not thread-safe — callers synchronize. *)
+
+type t
+
+val create : ?exact_cap:int -> unit -> t
+val record : t -> float -> unit
+val count : t -> int
+val sum : t -> float
+val mean : t -> float
+val max_value : t -> float
+val min_value : t -> float
+
+(** [percentile t p] with [p] in [0,1]: nearest-rank (the
+    ceil(p*n)-th smallest sample) — exact while within [exact_cap],
+    bucket-midpoint estimate after. 0 when empty. *)
+val percentile : t -> float -> float
+
+val reset : t -> unit
+
+(** Comma-separated JSON fields (count/mean/p50/p90/p95/p99/max),
+    without surrounding braces. *)
+val to_json_fields : t -> string

@@ -1,0 +1,14 @@
+/* Monotonic clock for the span tracer. Returned as a tagged OCaml
+   int (nanoseconds since an arbitrary epoch): 62 bits of nanoseconds
+   cover ~146 years of uptime, and an unboxed return keeps a span
+   begin/end at zero allocations. */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value xqb_obs_now_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((long)ts.tv_sec * 1000000000L + (long)ts.tv_nsec);
+}

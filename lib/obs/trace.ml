@@ -1,0 +1,199 @@
+(* Per-query span tracer.
+
+   One [t] is created per job (or per CLI run), so recording touches
+   only a per-trace mutex — there is no global lock anywhere on the
+   hot path, and traces from concurrent jobs never contend. A
+   disabled tracer ([disabled], or any reference kept as [None] by
+   the instrumented layer) costs exactly one branch per
+   instrumentation point, which is the "compiled out" feel the
+   service needs to keep overhead at ~0 when tracing is off.
+
+   Spans form a tree via [parent] links: [begin_span]/[with_span]
+   maintain an explicit stack of open spans, so nesting is recorded
+   even when Chrome's duration-based nesting inference would be
+   ambiguous. Timestamps are monotonic ({!Clock}), relative to the
+   trace's creation. *)
+
+type span = {
+  id : int;
+  parent : int;  (* span id, -1 for roots *)
+  name : string;
+  cat : string;
+  tid : int;  (* recording domain, for the Chrome timeline lanes *)
+  start_ns : int;
+  mutable dur_ns : int;  (* -1 while still open *)
+  mutable args : (string * string) list;
+}
+
+type t = {
+  enabled : bool;
+  mutex : Mutex.t;
+  cap : int;
+  epoch_ns : int;
+  mutable spans : span list;  (* newest first *)
+  mutable n : int;
+  mutable dropped : int;
+  mutable next_id : int;
+  mutable stack : int list;  (* open span ids, innermost first *)
+}
+
+let create ?(cap = 4096) () =
+  {
+    enabled = true;
+    mutex = Mutex.create ();
+    cap;
+    epoch_ns = Clock.now_ns ();
+    spans = [];
+    n = 0;
+    dropped = 0;
+    next_id = 0;
+    stack = [];
+  }
+
+(* The shared do-nothing tracer: every operation returns after one
+   [enabled] test. *)
+let disabled =
+  {
+    enabled = false;
+    mutex = Mutex.create ();
+    cap = 0;
+    epoch_ns = 0;
+    spans = [];
+    n = 0;
+    dropped = 0;
+    next_id = 0;
+    stack = [];
+  }
+
+let enabled t = t.enabled
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let record t s =
+  if t.n < t.cap then begin
+    t.spans <- s :: t.spans;
+    t.n <- t.n + 1
+  end
+  else t.dropped <- t.dropped + 1
+
+let begin_span ?(cat = "phase") t name =
+  if not t.enabled then -1
+  else begin
+    let ts = Clock.now_ns () in
+    locked t (fun () ->
+        let id = t.next_id in
+        t.next_id <- id + 1;
+        let parent = match t.stack with [] -> -1 | p :: _ -> p in
+        record t
+          {
+            id;
+            parent;
+            name;
+            cat;
+            tid = (Domain.self () :> int);
+            start_ns = ts;
+            dur_ns = -1;
+            args = [];
+          };
+        t.stack <- id :: t.stack;
+        id)
+  end
+
+let end_span ?(args = []) t id =
+  if t.enabled && id >= 0 then begin
+    let now = Clock.now_ns () in
+    locked t (fun () ->
+        t.stack <- List.filter (fun i -> i <> id) t.stack;
+        match List.find_opt (fun s -> s.id = id) t.spans with
+        | None -> ()  (* dropped at the cap *)
+        | Some s ->
+          s.dur_ns <- now - s.start_ns;
+          if args <> [] then s.args <- s.args @ args)
+  end
+
+let with_span ?cat ?(args = []) t name f =
+  if not t.enabled then f ()
+  else begin
+    let id = begin_span ?cat t name in
+    Fun.protect ~finally:(fun () -> end_span ~args t id) f
+  end
+
+(* Record a span after the fact, with explicit timestamps — queue
+   wait is only known at dequeue time, from a different thread than
+   the one that submitted. *)
+let add_span ?(cat = "phase") ?(parent = -1) ?(args = []) t ~name ~start_ns
+    ~dur_ns () =
+  if t.enabled then
+    locked t (fun () ->
+        let id = t.next_id in
+        t.next_id <- id + 1;
+        record t
+          {
+            id;
+            parent;
+            name;
+            cat;
+            tid = (Domain.self () :> int);
+            start_ns;
+            dur_ns = max 0 dur_ns;
+            args;
+          })
+
+let instant ?(cat = "mark") ?(args = []) t name =
+  add_span ~cat ~args t ~name ~start_ns:(Clock.now_ns ()) ~dur_ns:0 ()
+
+let span_count t = locked t (fun () -> t.n)
+let dropped t = locked t (fun () -> t.dropped)
+
+let spans t = locked t (fun () -> List.rev t.spans)
+
+(* Total closed-span nanoseconds per span name, insertion-ordered by
+   first occurrence — the service folds this into the per-phase
+   latency histograms. *)
+let phase_totals t =
+  let sl = spans t in
+  let order = ref [] in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      if s.dur_ns >= 0 then begin
+        if not (Hashtbl.mem tbl s.name) then order := s.name :: !order;
+        Hashtbl.replace tbl s.name
+          (s.dur_ns + Option.value ~default:0 (Hashtbl.find_opt tbl s.name))
+      end)
+    sl;
+  List.rev_map (fun name -> (name, Hashtbl.find tbl name)) !order
+
+(* -- Chrome trace-event export -------------------------------------- *)
+
+let to_chrome_json ?(pid = 1) t =
+  let sl = spans t in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char buf ',';
+      let ts_us = float_of_int (s.start_ns - t.epoch_ns) /. 1e3 in
+      let dur_us = float_of_int (max 0 s.dur_ns) /. 1e3 in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d,\"args\":{"
+           (Json.escape s.name) (Json.escape s.cat) ts_us dur_us pid s.tid);
+      let args =
+        [ ("span", string_of_int s.id); ("parent", string_of_int s.parent) ]
+        @ s.args
+      in
+      List.iteri
+        (fun j (k, v) ->
+          if j > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (Printf.sprintf "\"%s\":\"%s\"" (Json.escape k) (Json.escape v)))
+        args;
+      Buffer.add_string buf "}}")
+    sl;
+  Buffer.add_string buf
+    (Printf.sprintf "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":%d}}"
+       (dropped t));
+  Buffer.contents buf

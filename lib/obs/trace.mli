@@ -1,0 +1,78 @@
+(** Per-query span tracer with Chrome trace-event export.
+
+    One tracer is created per job; recording is guarded by a
+    per-trace mutex only (no global lock on any hot path). A
+    disabled tracer costs a single branch per instrumentation point.
+
+    Spans form a tree via parent links maintained by the
+    begin/end stack; timestamps come from the monotonic {!Clock},
+    relative to trace creation. *)
+
+type t
+
+(** Fresh enabled tracer; at most [cap] spans are kept (further
+    spans are counted as dropped). *)
+val create : ?cap:int -> unit -> t
+
+(** The shared do-nothing tracer: every operation is one branch. *)
+val disabled : t
+
+val enabled : t -> bool
+
+(** Open a span (parent = innermost open span). Returns a span id;
+    [-1] on a disabled tracer. *)
+val begin_span : ?cat:string -> t -> string -> int
+
+(** Close a span by id, optionally attaching key/value args (e.g.
+    budget fuel consumed during the phase). Ids from a disabled
+    tracer are ignored. *)
+val end_span : ?args:(string * string) list -> t -> int -> unit
+
+(** [with_span t name f] = begin / [f ()] / end (exception-safe). *)
+val with_span :
+  ?cat:string -> ?args:(string * string) list -> t -> string -> (unit -> 'a) -> 'a
+
+(** Record a span retroactively with explicit timestamps (queue wait
+    is only known at dequeue time). [start_ns] is on the {!Clock}
+    scale. *)
+val add_span :
+  ?cat:string ->
+  ?parent:int ->
+  ?args:(string * string) list ->
+  t ->
+  name:string ->
+  start_ns:int ->
+  dur_ns:int ->
+  unit ->
+  unit
+
+(** Zero-duration marker (e.g. a plan-cache hit). *)
+val instant : ?cat:string -> ?args:(string * string) list -> t -> string -> unit
+
+val span_count : t -> int
+
+(** Spans dropped at the cap. *)
+val dropped : t -> int
+
+type span = {
+  id : int;
+  parent : int;
+  name : string;
+  cat : string;
+  tid : int;
+  start_ns : int;
+  mutable dur_ns : int;  (** [-1] while open *)
+  mutable args : (string * string) list;
+}
+
+(** All recorded spans, oldest first. *)
+val spans : t -> span list
+
+(** Total closed-span nanoseconds per span name (first-occurrence
+    order) — feeds the service's per-phase latency histograms. *)
+val phase_totals : t -> (string * int) list
+
+(** Serialize as Chrome trace-event JSON (ph:"X" complete events,
+    microsecond timestamps, parent links in [args]). Loadable in
+    chrome://tracing / Perfetto. *)
+val to_chrome_json : ?pid:int -> t -> string

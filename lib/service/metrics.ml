@@ -2,7 +2,16 @@
    purity-class counts and applied-∆ counts (fed by each session
    engine's [Context.on_apply] hook), dumped as JSON. All counters
    live behind one mutex — recording is a few stores, and queries are
-   milliseconds. *)
+   milliseconds.
+
+   Latencies go into fixed-footprint log-bucketed histograms
+   ([Xqb_obs.Hist]) rather than a growing reservoir: a long-lived
+   server no longer accumulates one float per query forever, and
+   percentiles are exact for the first 512 samples, ~19%-bucketed
+   after. The same histogram type backs the per-phase breakdowns fed
+   from each traced job's span totals. *)
+
+module Hist = Xqb_obs.Hist
 
 type t = {
   mutex : Mutex.t;
@@ -19,9 +28,12 @@ type t = {
   mutable pure : int;
   mutable updating : int;
   mutable effecting : int;
-  (* latency reservoir: every query's wall time, ns *)
-  mutable lat : float array;
-  mutable lat_len : int;
+  (* per-query wall time, ns *)
+  lat : Hist.t;
+  (* per-pipeline-phase wall time, ns, keyed by span name; fed from
+     traced jobs' [Trace.phase_totals] *)
+  phases : (string, Hist.t) Hashtbl.t;
+  mutable phase_order : string list;  (* first-recorded order, reversed *)
   (* scheduler queue depth sampled at each submit *)
   mutable depth_sum : int;
   mutable depth_samples : int;
@@ -54,8 +66,9 @@ let create () =
     pure = 0;
     updating = 0;
     effecting = 0;
-    lat = Array.make 1024 0.;
-    lat_len = 0;
+    lat = Hist.create ();
+    phases = Hashtbl.create 16;
+    phase_order = [];
     depth_sum = 0;
     depth_samples = 0;
     depth_max = 0;
@@ -71,15 +84,6 @@ let locked t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
-let push_latency t ns =
-  if t.lat_len = Array.length t.lat then begin
-    let bigger = Array.make (2 * Array.length t.lat) 0. in
-    Array.blit t.lat 0 bigger 0 t.lat_len;
-    t.lat <- bigger
-  end;
-  t.lat.(t.lat_len) <- ns;
-  t.lat_len <- t.lat_len + 1
-
 let record_query t ~purity ~parallel ~ok ~latency_ns =
   locked t (fun () ->
       t.queries <- t.queries + 1;
@@ -90,7 +94,26 @@ let record_query t ~purity ~parallel ~ok ~latency_ns =
       | Core.Static.Pure -> t.pure <- t.pure + 1
       | Core.Static.Updating -> t.updating <- t.updating + 1
       | Core.Static.Effecting -> t.effecting <- t.effecting + 1);
-      push_latency t latency_ns)
+      Hist.record t.lat latency_ns)
+
+(* One pipeline-phase observation (span name, summed ns within one
+   job). Histograms are created on first sight of a phase name. *)
+let record_phase t name ns =
+  locked t (fun () ->
+      let h =
+        match Hashtbl.find_opt t.phases name with
+        | Some h -> h
+        | None ->
+          let h = Hist.create () in
+          Hashtbl.add t.phases name h;
+          t.phase_order <- name :: t.phase_order;
+          h
+      in
+      Hist.record h ns)
+
+(* Fold a traced job's span totals ([Trace.phase_totals]) in. *)
+let record_phase_totals t totals =
+  List.iter (fun (name, ns) -> record_phase t name (float_of_int ns)) totals
 
 (* A submission that failed before reaching the scheduler (parse or
    static error): counts as a query and an error, no purity class. *)
@@ -158,28 +181,14 @@ let record_delta t delta =
       t.deltas_applied <- t.deltas_applied + 1;
       t.update_requests <- t.update_requests + List.length delta)
 
-(* -- JSON dump ------------------------------------------------------ *)
+(* -- JSON dump ------------------------------------------------------
 
-let percentile sorted p =
-  let n = Array.length sorted in
-  if n = 0 then 0.
-  else sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+   Percentiles come from [Hist], whose nearest-rank definition uses
+   ceil(p*n) — the previous reservoir truncated p*n, which
+   under-reports high percentiles (p95 of 10 samples picked the 9th,
+   not the 10th). *)
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+let json_escape = Xqb_obs.Json.escape
 
 (* The full dump. [cache] carries the plan cache's counters; [docs]
    the catalog listing; [extra] pre-rendered key/JSON pairs appended
@@ -188,12 +197,6 @@ let to_json ?(cache : Plan_cache.stats option)
     ?(docs : (string * int * int) list = []) ?(extra : (string * string) list = [])
     t =
   locked t (fun () ->
-      let lat = Array.sub t.lat 0 t.lat_len in
-      Array.sort compare lat;
-      let mean =
-        if t.lat_len = 0 then 0.
-        else Array.fold_left ( +. ) 0. lat /. float_of_int t.lat_len
-      in
       let buf = Buffer.create 512 in
       let obj fields =
         "{" ^ String.concat "," fields ^ "}"
@@ -224,14 +227,14 @@ let to_json ?(cache : Plan_cache.stats option)
                     fint "conflict" t.err_conflict;
                     fint "dynamic" t.err_dynamic;
                   ]);
-             Printf.sprintf "\"latency_ns\":%s"
+             Printf.sprintf "\"latency_ns\":{%s}" (Hist.to_json_fields t.lat);
+             Printf.sprintf "\"phases_ns\":%s"
                (obj
-                  [
-                    ffloat "mean" mean;
-                    ffloat "p50" (percentile lat 0.50);
-                    ffloat "p95" (percentile lat 0.95);
-                    ffloat "max" (percentile lat 1.0);
-                  ]);
+                  (List.rev_map
+                     (fun name ->
+                       Printf.sprintf "\"%s\":{%s}" (json_escape name)
+                         (Hist.to_json_fields (Hashtbl.find t.phases name)))
+                     t.phase_order));
              Printf.sprintf "\"queue_depth\":%s"
                (obj
                   [

@@ -1,6 +1,8 @@
 (** Service observability: query counts by purity class and
-    scheduling side, latency percentiles, scheduler queue depth,
-    applied-∆ accounting. Thread-safe; dumped as JSON. *)
+    scheduling side, latency percentiles (fixed-footprint log-bucketed
+    histograms, exact for the first 512 samples), per-phase latency
+    breakdowns, scheduler queue depth, applied-∆ accounting.
+    Thread-safe; dumped as JSON. *)
 
 type t
 
@@ -26,6 +28,13 @@ val record_error : t -> Service_error.kind -> unit
 val errors_by_kind : t -> (Service_error.kind * int) list
 
 val record_queue_depth : t -> int -> unit
+
+(** One pipeline-phase observation: span name, nanoseconds. *)
+val record_phase : t -> string -> float -> unit
+
+(** Fold a traced job's {!Xqb_obs.Trace.phase_totals} into the
+    per-phase histograms. *)
+val record_phase_totals : t -> (string * int) list -> unit
 
 (** Wire into a session engine's [Context.on_apply]. *)
 val record_delta : t -> Core.Update.delta -> unit

@@ -6,7 +6,9 @@
      CLOSE <sid>                   close a session      -> OK closed
      LOAD <sid> <uri> <path>       load + attach a doc  -> OK loaded <uri>
      QUERY <sid> <query...>        run a query          -> OK <result> | ERR [kind] <msg>
+     EXPLAIN <sid> <query...>      EXPLAIN ANALYZE      -> OK <annotated plan> | ERR ...
      CANCEL <job id>               cancel a running job -> OK cancelled | ERR ...
+     TRACE [<job id>|LAST]         Chrome trace JSON    -> OK <json> | ERR ...
      STATS                         metrics dump         -> OK <json>
      QUIT                          end the connection   -> OK bye
 
@@ -20,7 +22,9 @@ type request =
   | Close of int
   | Load of int * string * string  (* sid, uri, path *)
   | Query of int * string
+  | Explain of int * string  (* sid, query: EXPLAIN ANALYZE *)
   | Cancel of int  (* job id, as reported asynchronously-submitted *)
+  | Trace of int option  (* job id; None = most recent traced job *)
   | Stats
   | Quit
 
@@ -103,10 +107,24 @@ let parse line : (request, string) result =
     | Ok sid ->
       if rest = "" then Error "QUERY expects: QUERY <sid> <query text>"
       else Ok (Query (sid, unescape rest)))
+  | "EXPLAIN" -> (
+    let sid_w, rest = split_word rest in
+    match parse_sid sid_w with
+    | Error e -> Error e
+    | Ok sid ->
+      if rest = "" then Error "EXPLAIN expects: EXPLAIN <sid> <query text>"
+      else Ok (Explain (sid, unescape rest)))
   | "CANCEL" -> (
     match int_of_string_opt rest with
     | Some jid -> Ok (Cancel jid)
     | None -> Error (Printf.sprintf "expected a job id, got %S" rest))
+  | "TRACE" -> (
+    match String.uppercase_ascii rest with
+    | "" | "LAST" -> Ok (Trace None)
+    | _ -> (
+      match int_of_string_opt rest with
+      | Some jid -> Ok (Trace (Some jid))
+      | None -> Error (Printf.sprintf "expected a job id or LAST, got %S" rest)))
   | "STATS" -> Ok Stats
   | "QUIT" -> Ok Quit
   | "" -> Error "empty request"

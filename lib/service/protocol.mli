@@ -6,7 +6,9 @@ type request =
   | Close of int
   | Load of int * string * string  (** sid, uri, path *)
   | Query of int * string
+  | Explain of int * string  (** sid, query: EXPLAIN ANALYZE *)
   | Cancel of int  (** job id *)
+  | Trace of int option  (** job id; [None] = most recent traced job *)
   | Stats
   | Quit
 

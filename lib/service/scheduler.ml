@@ -39,6 +39,10 @@ type job = {
   deadline : float;  (* absolute queue-time deadline; infinity = none *)
   run : unit -> unit;
   abort : exn -> unit;  (* complete the future without running *)
+  trace : Xqb_obs.Trace.t option;
+    (* the job's tracer, for the two waits only this layer can see:
+       time in the queue and time blocked on the purity gate *)
+  submitted_ns : int;  (* Clock scale; 0 when untraced *)
 }
 
 type t = {
@@ -86,10 +90,27 @@ let failed e =
   fut.state <- Done (Error e);
   fut
 
-(* Run [job.run] with the appropriate side of the lock held. *)
+(* Run [job.run] with the appropriate side of the lock held. With a
+   tracer, the gap between requesting the lock and the body starting
+   is recorded as "lock.wait" — for an exclusive job behind long
+   readers this is exactly the purity-gate blocking the trace should
+   show. *)
 let execute t job =
-  if job.exclusive then Rwlock.with_write t.rw job.run
-  else Rwlock.with_read t.rw job.run
+  let body =
+    match job.trace with
+    | None -> job.run
+    | Some tr ->
+      let requested_ns = Xqb_obs.Clock.now_ns () in
+      fun () ->
+        Xqb_obs.Trace.add_span ~cat:"sched"
+          ~args:[ ("side", if job.exclusive then "write" else "read") ]
+          tr ~name:"lock.wait" ~start_ns:requested_ns
+          ~dur_ns:(Xqb_obs.Clock.now_ns () - requested_ns)
+          ();
+        job.run ()
+  in
+  if job.exclusive then Rwlock.with_write t.rw body
+  else Rwlock.with_read t.rw body
 
 let worker_loop t () =
   let rec next () =
@@ -113,6 +134,13 @@ let worker_loop t () =
     match wait () with
     | None -> ()
     | Some job ->
+      (match job.trace with
+      | Some tr ->
+        Xqb_obs.Trace.add_span ~cat:"sched" tr ~name:"queue.wait"
+          ~start_ns:job.submitted_ns
+          ~dur_ns:(Xqb_obs.Clock.now_ns () - job.submitted_ns)
+          ()
+      | None -> ());
       (if job.deadline < Unix.gettimeofday () then
          (try job.abort Expired_in_queue with _ -> ())
        else execute t job);
@@ -157,7 +185,7 @@ let queue_depth t =
    (queue expiry, shutdown drain) for metrics/cleanup.
    @raise Shut_down after [shutdown] (both pooled and synchronous)
    @raise Overloaded when the queue is at [max_queue]. *)
-let submit t ?(deadline = infinity) ?(on_abort = fun _ -> ()) ~exclusive
+let submit t ?(deadline = infinity) ?(on_abort = fun _ -> ()) ?trace ~exclusive
     (f : unit -> 'a) : 'a future =
   let fut = new_future () in
   let run () =
@@ -168,7 +196,10 @@ let submit t ?(deadline = infinity) ?(on_abort = fun _ -> ()) ~exclusive
     (try on_abort e with _ -> ());
     fill fut (Error e)
   in
-  let job = { exclusive; deadline; run; abort } in
+  let submitted_ns =
+    match trace with Some _ -> Xqb_obs.Clock.now_ns () | None -> 0
+  in
+  let job = { exclusive; deadline; run; abort; trace; submitted_ns } in
   if t.domains = 0 then begin
     (* Synchronous path: must agree with the pool on shutdown — work
        submitted after [shutdown] returned must not execute. *)

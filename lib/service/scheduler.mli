@@ -34,13 +34,16 @@ val queue_depth : t -> int
 (** Submit a job. [deadline] (absolute, [Unix.gettimeofday] scale)
     bounds its time in the queue; [on_abort] is called (before the
     future completes) if the job is abandoned without running —
-    queue expiry or shutdown drain.
+    queue expiry or shutdown drain. [trace] makes the scheduler
+    record the two waits only it can see: "queue.wait" (submit →
+    dequeue) and "lock.wait" (blocked on the purity gate).
     @raise Shut_down after {!shutdown}
     @raise Overloaded when the queue is full. *)
 val submit :
   t ->
   ?deadline:float ->
   ?on_abort:(exn -> unit) ->
+  ?trace:Xqb_obs.Trace.t ->
   exclusive:bool ->
   (unit -> 'a) ->
   'a future

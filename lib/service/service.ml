@@ -43,6 +43,7 @@
 
 module Engine = Core.Engine
 module Budget = Xqb_governor.Budget
+module Trace = Xqb_obs.Trace
 
 type plan = {
   compiled : Engine.compiled;
@@ -88,7 +89,16 @@ type t = {
   (* deadline watchdog (spawned only when a deadline is configured) *)
   mutable watchdog : Thread.t option;
   mutable stopping : bool;
+  (* tracing: when on, every job records a per-query span trace
+     (queue wait, lock wait, compile phases, execution, snap apply),
+     kept in a bounded ring for the wire [TRACE] command. Off = each
+     instrumentation point costs one branch. *)
+  tracing : bool;
+  tr_mutex : Mutex.t;
+  mutable recent_traces : (int * Trace.t) list;  (* newest first, bounded *)
 }
+
+let trace_ring_cap = 32
 
 let locked m f =
   Mutex.lock m;
@@ -111,7 +121,7 @@ let watchdog_loop t () =
   done
 
 let create ?(domains = 4) ?(cache_capacity = 128) ?(seed = 0x5eed) ?deadline_ms
-    ?fuel ?max_delta ?max_queue () =
+    ?fuel ?max_delta ?max_queue ?(tracing = false) () =
   let t =
     {
       catalog = Catalog.create ();
@@ -130,6 +140,9 @@ let create ?(domains = 4) ?(cache_capacity = 128) ?(seed = 0x5eed) ?deadline_ms
       next_jid = 1;
       watchdog = None;
       stopping = false;
+      tracing;
+      tr_mutex = Mutex.create ();
+      recent_traces = [];
     }
   in
   if deadline_ms <> None then t.watchdog <- Some (Thread.create (watchdog_loop t) ());
@@ -212,6 +225,9 @@ let prepare t s src =
   let key = Plan_cache.normalize_key src in
   match Plan_cache.find t.cache key with
   | Some plan ->
+    (match (Engine.context s.engine).Core.Context.tracer with
+    | Some tr -> Trace.instant tr "plan.cache.hit"
+    | None -> ());
     Engine.install_functions s.engine plan.compiled;
     plan
   | None ->
@@ -253,6 +269,31 @@ let cancel t jid =
 
 let inflight_count t = locked t.jmutex (fun () -> Hashtbl.length t.jobs)
 
+(* -- the recent-trace ring ------------------------------------------ *)
+
+let push_trace t jid tr =
+  locked t.tr_mutex (fun () ->
+      let keep =
+        List.filteri
+          (fun i _ -> i < trace_ring_cap - 1)
+          (List.filter (fun (j, _) -> j <> jid) t.recent_traces)
+      in
+      t.recent_traces <- (jid, tr) :: keep)
+
+(* Chrome trace-event JSON for job [jid], or the most recent traced
+   job when [jid] is [None]. *)
+let trace_json t jid =
+  locked t.tr_mutex (fun () ->
+      match jid with
+      | Some j ->
+        Option.map
+          (fun tr -> (j, Trace.to_chrome_json tr))
+          (List.assoc_opt j t.recent_traces)
+      | None -> (
+        match t.recent_traces with
+        | (j, tr) :: _ -> Some (j, Trace.to_chrome_json tr)
+        | [] -> None))
+
 let inflight_json t =
   let now = Unix.gettimeofday () in
   let entries =
@@ -287,11 +328,20 @@ let submit_job t sid src :
   let s = find_session t sid in
   let t0 = Unix.gettimeofday () in
   Metrics.record_queue_depth t.metrics (Scheduler.queue_depth t.sched);
+  (* One tracer per job. Installed on the session engine only while
+     the session lock is held (prepare + fork); a read-side fork
+     copies it, so spans recorded by the fork on a worker domain land
+     in this job's trace without the session ever sharing a tracer
+     between two jobs. *)
+  let tr = if t.tracing then Some (Trace.create ()) else None in
   match
     locked s.slock (fun () ->
-        let plan = prepare t s src in
-        let fork = if plan.parallel then Some (Engine.fork_read s.engine) else None in
-        (plan, fork))
+        Engine.with_tracer s.engine tr (fun () ->
+            let plan = prepare t s src in
+            let fork =
+              if plan.parallel then Some (Engine.fork_read s.engine) else None
+            in
+            (plan, fork)))
   with
   | exception e ->
     Metrics.record_compile_error t.metrics;
@@ -316,7 +366,14 @@ let submit_job t sid src :
     let finish ok =
       let latency_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
       Metrics.record_query t.metrics ~purity:plan.purity ~parallel:plan.parallel
-        ~ok ~latency_ns
+        ~ok ~latency_ns;
+      match tr with
+      | Some tr ->
+        (* fold the job's span totals into the per-phase latency
+           histograms and keep the trace for the wire [TRACE] *)
+        Metrics.record_phase_totals t.metrics (Trace.phase_totals tr);
+        push_trace t jid tr
+      | None -> ()
     in
     let job () =
       Fun.protect ~finally:(fun () -> unregister_job t jid) @@ fun () ->
@@ -337,11 +394,12 @@ let submit_job t sid src :
           (* write side: the session itself, full snap semantics,
              transactional so budget kills roll back cleanly *)
           locked s.slock (fun () ->
-              Engine.with_budget s.engine (Some budget) (fun () ->
-                  Xqb_store.Store.transactionally (Catalog.store t.catalog)
-                    (fun () ->
-                      let v = Engine.run_compiled s.engine plan.compiled in
-                      Engine.serialize s.engine v)))
+              Engine.with_tracer s.engine tr (fun () ->
+                  Engine.with_budget s.engine (Some budget) (fun () ->
+                      Xqb_store.Store.transactionally (Catalog.store t.catalog)
+                        (fun () ->
+                          let v = Engine.run_compiled s.engine plan.compiled in
+                          Engine.serialize s.engine v))))
       with
       | out ->
         finish true;
@@ -360,7 +418,7 @@ let submit_job t sid src :
       Metrics.record_error t.metrics (Service_error.classify e).Service_error.kind
     in
     (match
-       Scheduler.submit t.sched ~deadline ~on_abort
+       Scheduler.submit t.sched ~deadline ~on_abort ?trace:tr
          ~exclusive:(not plan.parallel) job
      with
     | fut -> (jid, fut)
@@ -372,6 +430,76 @@ let submit t sid src = snd (submit_job t sid src)
 
 (* Synchronous submit-and-await. *)
 let query t sid src = await (submit t sid src)
+
+(* EXPLAIN ANALYZE (wire [EXPLAIN]): compile through the algebraic
+   [Runner] and execute with per-operator profiling, returning the
+   annotated plan tree. Always on the write side — the query runs
+   for real, side effects included, which is the only honest way to
+   report actual cardinalities for a language with side effects —
+   under the same governance (budget, registry, CANCEL) as a normal
+   submission. Bypasses the plan cache: profiling wants the full
+   compile path and the algebraic plan. *)
+let explain_job t sid src :
+    int * (string, Service_error.t) result Scheduler.future =
+  let s = find_session t sid in
+  let t0 = Unix.gettimeofday () in
+  let deadline =
+    match t.deadline_ms with
+    | None -> infinity
+    | Some ms -> t0 +. (float_of_int ms /. 1000.)
+  in
+  let budget =
+    Budget.create
+      ?deadline:(if Float.is_finite deadline then Some deadline else None)
+      ?fuel:t.fuel ?max_delta:t.max_delta ()
+  in
+  let jid =
+    register_job t sid ~deadline ~cancel:(Budget.cancel_token budget)
+      ~started:t0
+      ("EXPLAIN " ^ src)
+  in
+  let tr = if t.tracing then Some (Trace.create ()) else None in
+  let flush_trace () =
+    match tr with
+    | Some tr ->
+      Metrics.record_phase_totals t.metrics (Trace.phase_totals tr);
+      push_trace t jid tr
+    | None -> ()
+  in
+  let job () =
+    Fun.protect ~finally:(fun () -> unregister_job t jid) @@ fun () ->
+    Metrics.job_begin t.metrics ~parallel:false;
+    Fun.protect ~finally:(fun () -> Metrics.job_end t.metrics ~parallel:false)
+    @@ fun () ->
+    match
+      locked s.slock (fun () ->
+          Engine.with_tracer s.engine tr (fun () ->
+              Engine.with_budget s.engine (Some budget) (fun () ->
+                  Xqb_store.Store.transactionally (Catalog.store t.catalog)
+                    (fun () ->
+                      let _, rendered = Xqb_algebra.Runner.analyze s.engine src in
+                      rendered))))
+    with
+    | rendered ->
+      flush_trace ();
+      Ok rendered
+    | exception e ->
+      flush_trace ();
+      let err = Service_error.classify e in
+      Metrics.record_error t.metrics err.Service_error.kind;
+      Error err
+  in
+  let on_abort e =
+    unregister_job t jid;
+    Metrics.record_error t.metrics (Service_error.classify e).Service_error.kind
+  in
+  match Scheduler.submit t.sched ~deadline ~on_abort ?trace:tr ~exclusive:true job with
+  | fut -> (jid, fut)
+  | exception ((Scheduler.Overloaded | Scheduler.Shut_down) as e) ->
+    on_abort e;
+    (jid, Scheduler.ready (Error (Service_error.classify e)))
+
+let explain t sid src = await (snd (explain_job t sid src))
 
 let cache_stats t = Plan_cache.stats t.cache
 

@@ -22,6 +22,7 @@ val create :
   ?fuel:int ->
   ?max_delta:int ->
   ?max_queue:int ->
+  ?tracing:bool ->
   unit ->
   t
 
@@ -68,6 +69,23 @@ val await :
 
 (** Synchronous [submit] + {!await}. *)
 val query : t -> int -> string -> (string, Service_error.t) result
+
+(** EXPLAIN ANALYZE (wire [EXPLAIN]): run the query through the
+    algebraic compiler with per-operator profiling and return the
+    annotated plan tree. Executes for real (side effects included) on
+    the write side under the usual governance; bypasses the plan
+    cache. *)
+val explain_job :
+  t -> int -> string -> int * (string, Service_error.t) result Scheduler.future
+
+(** Synchronous {!explain_job}. *)
+val explain : t -> int -> string -> (string, Service_error.t) result
+
+(** Chrome trace-event JSON of job [jid], or of the most recent
+    traced job when [None]. Returns the job id with the JSON; [None]
+    when tracing is off, the job was never traced, or it has fallen
+    out of the bounded ring. *)
+val trace_json : t -> int option -> (int * string) option
 
 (** Request cancellation of an in-flight job (wire [CANCEL]). True
     if the job was found; it fails with kind [Cancelled] at its next

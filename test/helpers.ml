@@ -74,3 +74,10 @@ let qn = Xqb_xml.Qname.of_string
 let qtest ?(count = 200) name gen prop =
   QCheck_alcotest.to_alcotest ~long:false
     (QCheck2.Test.make ~count ~name gen prop)
+
+(* Assert [s] is a strict RFC 8259 document (Xqb_obs.Json) and return
+   the parse — used to round-trip every JSON emitter in the tree. *)
+let check_json name s =
+  match Xqb_obs.Json.parse s with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: invalid JSON (%s) in:\n%s" name e s

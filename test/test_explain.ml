@@ -1,0 +1,148 @@
+(* EXPLAIN ANALYZE: per-operator counters on the paper's Q8-with-
+   inserts variant over a tiny hand-built auction document, where the
+   fused outer-join/group-by's build/probe/match counts can be checked
+   against hand-computed cardinalities — and the profiled run must
+   produce exactly what the tree interpreter produces, side effects
+   included. *)
+
+open Helpers
+module Runner = Xqb_algebra.Runner
+module Profile = Xqb_algebra.Profile
+module Svc = Xqb_service.Service
+
+(* 3 persons (probe side L), 4 closed auctions (build side R);
+   matches: p1 buys twice, p3 once, p2 never; one auction's buyer
+   matches nobody. *)
+let tiny_auction =
+  {|<site>
+      <people>
+        <person id="p1"><name>Alice</name></person>
+        <person id="p2"><name>Bob</name></person>
+        <person id="p3"><name>Cara</name></person>
+      </people>
+      <closed_auctions>
+        <closed_auction><buyer person="p1"/><itemref item="i1"/></closed_auction>
+        <closed_auction><buyer person="p1"/><itemref item="i2"/></closed_auction>
+        <closed_auction><buyer person="p3"/><itemref item="i3"/></closed_auction>
+        <closed_auction><buyer person="zz"/><itemref item="i4"/></closed_auction>
+      </closed_auctions>
+    </site>|}
+
+let q8 =
+  {|for $p in $auction//person
+    let $a :=
+      for $t in $auction//closed_auction
+      where $t/buyer/@person = $p/@id
+      return (insert { <buyer person="{$t/buyer/@person}"
+                       itemid="{$t/itemref/@item}" /> }
+              into { $purchasers }, $t)
+    return <item person="{ $p/name }">{ count($a) }</item>|}
+
+let engine () =
+  let eng = Core.Engine.create () in
+  let store = Core.Engine.store eng in
+  Core.Engine.bind_node eng "auction"
+    (Xqb_store.Store.load_string store tiny_auction);
+  Core.Engine.bind_node eng "purchasers"
+    (Xqb_store.Store.load_string store "<purchasers/>");
+  eng
+
+(* Serialized query result plus the observable side effect: the
+   buyers inserted under $purchasers. *)
+let observe eng value =
+  let result = Core.Engine.serialize eng value in
+  let effects =
+    Core.Engine.run eng
+      {|for $b in $purchasers//buyer
+        return concat($b/@person, ":", $b/@itemid)|}
+  in
+  (result, Core.Engine.serialize eng effects)
+
+let find_join_op prof =
+  let rec scan i =
+    if i >= Profile.n_ops prof then None
+    else
+      let op = Profile.op prof i in
+      if op.Profile.build > 0 || op.Profile.probed > 0 then Some op
+      else scan (i + 1)
+  in
+  scan 0
+
+let tests =
+  [
+    tc "Q8 fuses to outer-join/group-by and counts |L|,|R|,matches" `Quick
+      (fun () ->
+        let eng = engine () in
+        let r, rendered = Runner.analyze eng q8 in
+        check (Alcotest.list Alcotest.string) "fired" [ "outer-join-groupby" ]
+          r.Runner.fired;
+        let prof =
+          match r.Runner.profile with
+          | Some p -> p
+          | None -> Alcotest.fail "analyze returned no profile"
+        in
+        (match find_join_op prof with
+        | None -> Alcotest.failf "no join operator in profile:\n%s" rendered
+        | Some op ->
+          (* build side = the 4 closed auctions, probe side = the 3
+             persons, pairs = the 3 buyer matches *)
+          check Alcotest.int "build = |R| = 4" 4 op.Profile.build;
+          check Alcotest.int "probed = |L| = 3" 3 op.Profile.probed;
+          check Alcotest.int "matches = 3" 3 op.Profile.matches;
+          check Alcotest.bool "probes >= probed" true
+            (op.Profile.probes >= op.Profile.probed));
+        (* the annotated render carries the same counters in-line *)
+        List.iter
+          (fun needle ->
+            if not (Re.execp (Re.compile (Re.str needle)) rendered) then
+              Alcotest.failf "render misses %S:\n%s" needle rendered)
+          [ "build=4"; "probed=3"; "matches=3"; "operators" ]);
+    tc "profiled plan run equals the tree interpreter, effects included"
+      `Quick (fun () ->
+        let eng_i = engine () in
+        let interp = observe eng_i (Core.Engine.run eng_i q8) in
+        let eng_p = engine () in
+        let r, _ = Runner.analyze eng_p q8 in
+        let planned = observe eng_p r.Runner.value in
+        check (Alcotest.pair Alcotest.string Alcotest.string)
+          "result and inserted buyers" interp planned;
+        (* and the hand-computed values, so both paths are honest:
+           Alice bought i1+i2, Bob nothing, Cara i3 *)
+        check Alcotest.string "expected result"
+          {|<item person="Alice">2</item><item person="Bob">0</item><item person="Cara">1</item>|}
+          (fst interp);
+        check Alcotest.string "expected inserts" "p1:i1 p1:i2 p3:i3"
+          (snd interp));
+    tc "self times decompose: each operator's self <= its total" `Quick
+      (fun () ->
+        let eng = engine () in
+        let r, rendered = Runner.analyze eng q8 in
+        let prof = Option.get r.Runner.profile in
+        (* render computes self = total - sum(children); a negative
+           self would print as such and indicates broken attribution *)
+        if Re.execp (Re.compile (Re.str "self=-")) rendered then
+          Alcotest.failf "negative self time:\n%s" rendered;
+        check Alcotest.bool "all operators invoked" true
+          (Profile.n_ops prof > 0));
+    tc "service EXPLAIN executes for real under write-side governance"
+      `Quick (fun () ->
+        let svc = Svc.create ~domains:0 ~tracing:true () in
+        let sid = Svc.open_session svc in
+        Svc.load_document svc sid ~uri:"log" "<log/>";
+        (match
+           Svc.explain svc sid {|insert {<hit/>} into {doc("log")/log}|}
+         with
+        | Ok rendered ->
+          check Alcotest.bool "renders operators" true
+            (Re.execp (Re.compile (Re.str "operators")) rendered)
+        | Error e ->
+          Alcotest.failf "explain failed: %s"
+            (Xqb_service.Service_error.to_string e));
+        (* the side effect landed *)
+        (match Svc.query svc sid {|count(doc("log")/log/hit)|} with
+        | Ok n -> check Alcotest.string "insert applied" "1" n
+        | Error _ -> Alcotest.fail "count failed");
+        Svc.shutdown svc);
+  ]
+
+let suite = [ ("explain analyze", tests) ]

@@ -34,4 +34,6 @@ let () =
          Test_index.suite;
          Test_xmark_queries.suite;
          Test_service.suite;
+         Test_obs.suite;
+         Test_explain.suite;
        ])

@@ -1,0 +1,334 @@
+(* lib/obs: the strict JSON checker, the fixed-footprint histogram
+   (nearest-rank percentiles, exact-then-bucketed), and the per-query
+   span tracer with its Chrome trace-event export. Also round-trips
+   the service's Metrics JSON, including escaped document URIs. *)
+
+open Helpers
+module J = Xqb_obs.Json
+module Hist = Xqb_obs.Hist
+module Trace = Xqb_obs.Trace
+
+(* -- Json: strict parser ------------------------------------------- *)
+
+let parses name s =
+  tc name `Quick (fun () -> ignore (check_json name s))
+
+let rejects name s =
+  tc name `Quick (fun () ->
+      match J.parse s with
+      | Ok _ -> Alcotest.failf "%s: accepted %S" name s
+      | Error _ -> ())
+
+let json_tests =
+  [
+    parses "scalars and nesting"
+      {|{"a":[1,2.5,-3e2,true,false,null],"b":{"c":""}}|};
+    parses "bare literal" "true";
+    parses "escapes" {|"quote \" backslash \\ slash \/ tab \t nul \u0000 bell \u0007"|};
+    parses "surrogate pair" {|"😀"|};
+    tc "surrogate pair decodes to UTF-8" `Quick (fun () ->
+        match J.parse_exn {|"😀"|} with
+        | J.Str s -> check Alcotest.string "emoji" "\xf0\x9f\x98\x80" s
+        | _ -> Alcotest.fail "expected a string");
+    tc "\\u0041 decodes" `Quick (fun () ->
+        match J.parse_exn {|"A"|} with
+        | J.Str s -> check Alcotest.string "A" "A" s
+        | _ -> Alcotest.fail "expected a string");
+    rejects "trailing garbage" "{} x";
+    rejects "trailing comma in array" "[1,2,]";
+    rejects "trailing comma in object" {|{"a":1,}|};
+    rejects "unquoted key" "{a:1}";
+    rejects "single quotes" "{'a':1}";
+    rejects "unterminated string" {|"abc|};
+    rejects "invalid escape" {|"\x41"|};
+    rejects "lone surrogate" {|"\ud83d"|};
+    rejects "raw control char in string" "\"a\nb\"";
+    rejects "leading zero" "[01]";
+    rejects "bare NaN" "NaN";
+    rejects "empty input" "";
+    tc "member and path" `Quick (fun () ->
+        let v = J.parse_exn {|{"a":{"b":[10,20]}}|} in
+        (match J.path v [ "a"; "b" ] with
+        | Some (J.Arr [ J.Num x; J.Num y ]) ->
+          check (Alcotest.pair (Alcotest.float 0.) (Alcotest.float 0.))
+            "elements" (10., 20.) (x, y)
+        | _ -> Alcotest.fail "path a.b should be [10,20]");
+        check Alcotest.bool "missing member" true (J.member "z" v = None));
+    tc "escape emits what parse accepts" `Quick (fun () ->
+        let nasty = "q\"b\\s/n\nr\rt\tu\x01 \xf0\x9f\x98\x80 end" in
+        match J.parse_exn ("\"" ^ J.escape nasty ^ "\"") with
+        | J.Str s -> check Alcotest.string "round trip" nasty s
+        | _ -> Alcotest.fail "expected a string");
+  ]
+
+(* -- Hist: exact and bucketed percentiles --------------------------- *)
+
+let hist_tests =
+  [
+    tc "empty histogram reports zeros" `Quick (fun () ->
+        let h = Hist.create () in
+        check Alcotest.int "count" 0 (Hist.count h);
+        check (Alcotest.float 0.) "p99" 0. (Hist.percentile h 0.99);
+        check (Alcotest.float 0.) "mean" 0. (Hist.mean h));
+    tc "nearest-rank percentile uses ceil, not truncation" `Quick (fun () ->
+        (* 5 samples, p50: rank ceil(2.5)=3 -> 3.0; the old truncating
+           definition picked rank 2 and under-reported *)
+        let h = Hist.create () in
+        List.iter (fun v -> Hist.record h v) [ 1.; 2.; 3.; 4.; 5. ];
+        check (Alcotest.float 0.) "p50 of 5" 3. (Hist.percentile h 0.50);
+        (* p95 of 10 must be the 10th sample, not the 9th *)
+        let h = Hist.create () in
+        for i = 1 to 10 do
+          Hist.record h (float_of_int i)
+        done;
+        check (Alcotest.float 0.) "p95 of 10" 10. (Hist.percentile h 0.95));
+    tc "exact regime: percentiles on 1..100" `Quick (fun () ->
+        let h = Hist.create () in
+        for i = 1 to 100 do
+          Hist.record h (float_of_int i)
+        done;
+        check (Alcotest.float 0.) "p50" 50. (Hist.percentile h 0.50);
+        check (Alcotest.float 0.) "p90" 90. (Hist.percentile h 0.90);
+        check (Alcotest.float 0.) "p99" 99. (Hist.percentile h 0.99);
+        check (Alcotest.float 0.) "max" 100. (Hist.max_value h);
+        check (Alcotest.float 1e-9) "mean" 50.5 (Hist.mean h));
+    tc "insertion order does not matter in the exact regime" `Quick (fun () ->
+        let h = Hist.create () in
+        List.iter (fun v -> Hist.record h v) [ 9.; 1.; 7.; 3.; 5. ];
+        check (Alcotest.float 0.) "p50" 5. (Hist.percentile h 0.50));
+    tc "bucketed regime: ~19% relative error, fixed footprint" `Quick
+      (fun () ->
+        (* 10_000 samples exceed the 512-sample exact prefix; the
+           log-bucket estimate must land within one bucket ratio
+           (2^(1/4) ~ 1.19x) of the true percentile *)
+        let h = Hist.create () in
+        for i = 1 to 10_000 do
+          Hist.record h (float_of_int i)
+        done;
+        check Alcotest.int "count" 10_000 (Hist.count h);
+        let within p truth =
+          let v = Hist.percentile h p in
+          let ratio = v /. truth in
+          if ratio < 0.80 || ratio > 1.25 then
+            Alcotest.failf "p%.0f: estimate %.1f vs true %.1f" (100. *. p) v
+              truth
+        in
+        within 0.50 5000.;
+        within 0.90 9000.;
+        within 0.99 9900.;
+        check (Alcotest.float 0.) "max exact" 10_000. (Hist.max_value h);
+        check (Alcotest.float 0.) "min exact" 1. (Hist.min_value h));
+    tc "bucket estimate is clamped to the observed range" `Quick (fun () ->
+        (* constant samples: every percentile must equal the constant,
+           not a bucket midpoint *)
+        let h = Hist.create () in
+        for _ = 1 to 1000 do
+          Hist.record h 42.
+        done;
+        check (Alcotest.float 0.) "p99 of constant" 42.
+          (Hist.percentile h 0.99));
+    tc "reset empties the histogram" `Quick (fun () ->
+        let h = Hist.create () in
+        Hist.record h 5.;
+        Hist.reset h;
+        check Alcotest.int "count" 0 (Hist.count h);
+        check (Alcotest.float 0.) "p50" 0. (Hist.percentile h 0.50));
+    tc "to_json_fields is valid JSON with p99" `Quick (fun () ->
+        let h = Hist.create () in
+        List.iter (fun v -> Hist.record h v) [ 1.; 2.; 3. ];
+        let v = check_json "hist" ("{" ^ Hist.to_json_fields h ^ "}") in
+        match (J.member "p99" v, J.member "count" v) with
+        | Some (J.Num p99), Some (J.Num n) ->
+          check (Alcotest.float 1e-9) "p99" 3. p99;
+          check (Alcotest.float 0.) "count" 3. n
+        | _ -> Alcotest.fail "p99/count fields missing");
+  ]
+
+(* -- Trace: spans, nesting, export ---------------------------------- *)
+
+let span_names tr = List.map (fun s -> s.Trace.name) (Trace.spans tr)
+
+let trace_tests =
+  [
+    tc "with_span nests via parent links" `Quick (fun () ->
+        let tr = Trace.create () in
+        Trace.with_span tr "outer" (fun () ->
+            Trace.with_span tr "inner" (fun () -> ());
+            Trace.with_span tr "inner2" (fun () -> ()));
+        check (Alcotest.list Alcotest.string) "names"
+          [ "outer"; "inner"; "inner2" ] (span_names tr);
+        match Trace.spans tr with
+        | [ outer; inner; inner2 ] ->
+          check Alcotest.int "outer is a root" (-1) outer.Trace.parent;
+          check Alcotest.int "inner under outer" outer.Trace.id
+            inner.Trace.parent;
+          check Alcotest.int "inner2 under outer" outer.Trace.id
+            inner2.Trace.parent;
+          check Alcotest.bool "inner closed" true (inner.Trace.dur_ns >= 0)
+        | _ -> Alcotest.fail "expected 3 spans");
+    tc "disabled tracer records nothing and returns -1" `Quick (fun () ->
+        let tr = Trace.disabled in
+        let id = Trace.begin_span tr "x" in
+        Trace.end_span tr id;
+        check Alcotest.int "id" (-1) id;
+        check Alcotest.int "count" 0 (Trace.span_count tr);
+        check Alcotest.bool "enabled" false (Trace.enabled tr));
+    tc "with_span closes the span on exceptions" `Quick (fun () ->
+        let tr = Trace.create () in
+        (try Trace.with_span tr "boom" (fun () -> failwith "x")
+         with Failure _ -> ());
+        (* the stack must be unwound: a new span is again a root *)
+        Trace.with_span tr "after" (fun () -> ());
+        match Trace.spans tr with
+        | [ boom; after ] ->
+          check Alcotest.bool "boom closed" true (boom.Trace.dur_ns >= 0);
+          check Alcotest.int "after is a root" (-1) after.Trace.parent
+        | _ -> Alcotest.fail "expected 2 spans");
+    tc "add_span records retroactive cross-thread spans" `Quick (fun () ->
+        let tr = Trace.create () in
+        Trace.add_span ~cat:"sched" tr ~name:"queue.wait" ~start_ns:1000
+          ~dur_ns:5000 ();
+        match Trace.spans tr with
+        | [ s ] ->
+          check Alcotest.string "name" "queue.wait" s.Trace.name;
+          check Alcotest.int "dur" 5000 s.Trace.dur_ns
+        | _ -> Alcotest.fail "expected 1 span");
+    tc "cap drops excess spans and counts them" `Quick (fun () ->
+        let tr = Trace.create ~cap:4 () in
+        for i = 1 to 10 do
+          Trace.with_span tr (Printf.sprintf "s%d" i) (fun () -> ())
+        done;
+        check Alcotest.int "kept" 4 (Trace.span_count tr);
+        check Alcotest.int "dropped" 6 (Trace.dropped tr));
+    tc "phase_totals sums per name in first-occurrence order" `Quick
+      (fun () ->
+        let tr = Trace.create () in
+        Trace.add_span tr ~name:"parse" ~start_ns:0 ~dur_ns:10 ();
+        Trace.add_span tr ~name:"eval" ~start_ns:10 ~dur_ns:100 ();
+        Trace.add_span tr ~name:"parse" ~start_ns:110 ~dur_ns:5 ();
+        check
+          (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+          "totals"
+          [ ("parse", 15); ("eval", 100) ]
+          (Trace.phase_totals tr));
+    tc "chrome export is strict JSON with escaped args" `Quick (fun () ->
+        let tr = Trace.create () in
+        Trace.with_span tr
+          ~args:[ ("uri", "he\"llo\\wo\nrld"); ("k\te y", "v") ]
+          "load" (fun () -> ());
+        Trace.instant tr "mark";
+        let v = check_json "chrome trace" (Trace.to_chrome_json tr) in
+        let events =
+          match J.member "traceEvents" v with
+          | Some a -> J.to_list a
+          | None -> Alcotest.fail "no traceEvents"
+        in
+        check Alcotest.int "two events" 2 (List.length events);
+        let load = List.hd events in
+        (match Option.bind (J.member "name" load) J.to_string_opt with
+        | Some n -> check Alcotest.string "name" "load" n
+        | None -> Alcotest.fail "event has no name");
+        match
+          Option.bind (J.member "args" load) (fun a -> J.member "uri" a)
+        with
+        | Some (J.Str u) ->
+          check Alcotest.string "nasty uri round-trips" "he\"llo\\wo\nrld" u
+        | _ -> Alcotest.fail "args.uri missing");
+    tc "dropped count is reported in otherData" `Quick (fun () ->
+        let tr = Trace.create ~cap:1 () in
+        Trace.with_span tr "a" (fun () -> ());
+        Trace.with_span tr "b" (fun () -> ());
+        let v = check_json "trace" (Trace.to_chrome_json tr) in
+        match J.path v [ "otherData"; "dropped" ] with
+        | Some (J.Num d) -> check (Alcotest.float 0.) "dropped" 1. d
+        | _ -> Alcotest.fail "otherData.dropped missing");
+  ]
+
+(* -- Metrics / service JSON round-trips ----------------------------- *)
+
+module Svc = Xqb_service.Service
+
+let roundtrip_tests =
+  [
+    tc "stats_json round-trips, including escaped URIs" `Quick (fun () ->
+        let svc = Svc.create ~domains:0 ~tracing:true () in
+        let sid = Svc.open_session svc in
+        (* a URI the emitter must escape: quote, backslash, newline *)
+        let nasty = "doc\"with\\esc\napes" in
+        Svc.load_document svc sid ~uri:nasty "<r><a/></r>";
+        ignore (Svc.query svc sid "1+1");
+        let v = check_json "stats_json" (Svc.stats_json svc) in
+        (* the nasty URI must survive the parse intact *)
+        let docs =
+          match J.member "documents" v with Some a -> J.to_list a | None -> []
+        in
+        let uris =
+          List.filter_map
+            (fun d -> Option.bind (J.member "uri" d) J.to_string_opt)
+            docs
+        in
+        if not (List.mem nasty uris) then
+          Alcotest.failf "escaped URI lost; got: %s"
+            (String.concat ", " uris);
+        (* per-phase latency histograms appear once a query ran *)
+        (match J.member "phases_ns" v with
+        | Some (J.Obj fields) ->
+          check Alcotest.bool "has at least one phase" true (fields <> [])
+        | _ -> Alcotest.fail "phases_ns missing");
+        (match J.path v [ "latency_ns"; "p99" ] with
+        | Some (J.Num _) -> ()
+        | _ -> Alcotest.fail "latency_ns.p99 missing");
+        Svc.shutdown svc);
+    tc "recorded job trace round-trips through the strict parser" `Quick
+      (fun () ->
+        (* domains>0 so jobs go through the queue (queue.wait) *)
+        let svc = Svc.create ~domains:2 ~tracing:true () in
+        let sid = Svc.open_session svc in
+        Svc.load_document svc sid ~uri:"d" "<r><a/><a/></r>";
+        (* updating: write side, snap application on the profile *)
+        (match
+           Svc.query svc sid
+             {|(insert {<b/>} into {doc("d")/r}, snap { count(doc("d")//a) })|}
+         with
+        | Ok r -> check Alcotest.string "result" "2" r
+        | Error e ->
+          Alcotest.failf "query failed: %s"
+            (Xqb_service.Service_error.to_string e));
+        (match Svc.trace_json svc None with
+        | None -> Alcotest.fail "no trace recorded with tracing on"
+        | Some (_, json) ->
+          let v = check_json "job trace" json in
+          let names =
+            List.filter_map
+              (fun e -> Option.bind (J.member "name" e) J.to_string_opt)
+              (match J.member "traceEvents" v with
+              | Some a -> J.to_list a
+              | None -> [])
+          in
+          List.iter
+            (fun phase ->
+              if not (List.mem phase names) then
+                Alcotest.failf "trace misses %S; has: %s" phase
+                  (String.concat "," names))
+            [
+              "queue.wait"; "lock.wait"; "compile"; "parse"; "normalize";
+              "static.check"; "simplify"; "typing"; "eval"; "snap.apply";
+            ]);
+        Svc.shutdown svc);
+    tc "tracing off: TRACE has nothing, queries still work" `Quick (fun () ->
+        let svc = Svc.create ~domains:0 () in
+        let sid = Svc.open_session svc in
+        (match Svc.query svc sid "1+1" with
+        | Ok r -> check Alcotest.string "result" "2" r
+        | Error _ -> Alcotest.fail "query failed");
+        check Alcotest.bool "no trace" true (Svc.trace_json svc None = None);
+        Svc.shutdown svc);
+  ]
+
+let suite =
+  [
+    ("obs: json", json_tests);
+    ("obs: hist", hist_tests);
+    ("obs: trace", trace_tests);
+    ("obs: round-trips", roundtrip_tests);
+  ]
