@@ -999,10 +999,107 @@ let e17 () =
             (String.length json))
         !trace_out))
 
+(* ------------------------------------------------------------------ *)
+(* E18 — document order on deep trees: versioned pre/post order keys  *)
+(* + static ddo-elision vs the naive chain-walking comparator.         *)
+(* ------------------------------------------------------------------ *)
+
+let e18 () =
+  print_header
+    "E18: document order — pre/post order keys + ddo-elision vs naive chain walks";
+  (* a depth-D chain of <sec> elements, each with a few <p> children
+     and a single <mark/> at the bottom: every naive comparator call
+     pays O(depth) parent steps, the keyed one two array reads *)
+  let depth, kids = if !smoke then (120, 3) else (500, 4) in
+  let deep_xml =
+    let buf = Buffer.create (depth * 32) in
+    Buffer.add_string buf "<doc>";
+    for i = 1 to depth do
+      Buffer.add_string buf "<sec>";
+      for k = 1 to kids do
+        Buffer.add_string buf (Printf.sprintf "<p>%d.%d</p>" i k)
+      done
+    done;
+    Buffer.add_string buf "<mark/>";
+    for _ = 1 to depth do
+      Buffer.add_string buf "</sec>"
+    done;
+    Buffer.add_string buf "</doc>";
+    Buffer.contents buf
+  in
+  let queries =
+    [
+      ("descendant //p", "slash-slash-p", {|count(doc("deep")//p)|});
+      ("chain //sec/p", "sec-chain", {|count(doc("deep")//sec/p)|});
+      ( "preceding:: from the deepest node",
+        "preceding",
+        {|count((doc("deep")//mark)[1]/preceding::p)|} );
+      ( "positional predicate",
+        "positional",
+        {|count((doc("deep")//sec/p)[3])|} );
+    ]
+  in
+  let mk keyed =
+    let eng = Core.Engine.create () in
+    if not keyed then Xqb_store.Store.set_order_keys (Core.Engine.store eng) false;
+    ignore (Core.Engine.load_document eng ~uri:"deep" deep_xml);
+    eng
+  in
+  (* baseline = the pre-keys configuration: order keys off in the
+     store, elision off in the compiler; both sides share the engine,
+     plan and name-index caches, so the delta is document order only *)
+  let eng_naive = mk false in
+  let eng_keyed = mk true in
+  let rows =
+    List.map
+      (fun (label, tag, src) ->
+        let time eng c =
+          ignore (Core.Engine.run_compiled eng c);
+          (* warm: name indexes, order keys *)
+          wall_ms_median3 (fun () -> ignore (Core.Engine.run_compiled eng c))
+        in
+        let c_naive = Core.Engine.compile ~elide_ddo:false eng_naive src in
+        let naive_ms = time eng_naive c_naive in
+        let c_keyed = Core.Engine.compile eng_keyed src in
+        let keyed_ms = time eng_keyed c_keyed in
+        let same =
+          Core.Engine.serialize eng_naive (Core.Engine.run_compiled eng_naive c_naive)
+          = Core.Engine.serialize eng_keyed (Core.Engine.run_compiled eng_keyed c_keyed)
+        in
+        record ~name:(Printf.sprintf "e18-%s-naive" tag) ~n:1 (naive_ms *. 1e6);
+        record ~name:(Printf.sprintf "e18-%s-keyed" tag) ~n:1 (keyed_ms *. 1e6);
+        [
+          label;
+          f2 naive_ms;
+          f2 keyed_ms;
+          f1 (naive_ms /. keyed_ms) ^ "x";
+          (if same then "ok" else "MISMATCH");
+        ])
+      queries
+  in
+  print_table
+    [
+      Printf.sprintf "query (depth %d, %d nodes)" depth
+        (Xqb_store.Store.node_count (Core.Engine.store eng_keyed));
+      "naive ms"; "keyed ms"; "speedup"; "results";
+    ]
+    rows;
+  (* the elision must actually fire: EXPLAIN ANALYZE's counter *)
+  let r, rendered =
+    Xqb_algebra.Runner.analyze eng_keyed {|doc("deep")//p|}
+  in
+  Printf.printf "EXPLAIN ANALYZE elision counter: %d (key-table builds: %d)\n"
+    r.Xqb_algebra.Runner.ddo_elided
+    (Xqb_store.Store.order_key_builds (Core.Engine.store eng_keyed));
+  if r.Xqb_algebra.Runner.ddo_elided <= 0 then begin
+    Printf.printf "E18 FAIL: no ddo sorts elided on //p:\n%s\n" rendered;
+    exit_code := 1
+  end
+
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
-    ("e13", e13); ("e15", e15); ("e16", e16); ("e17", e17) ]
+    ("e13", e13); ("e15", e15); ("e16", e16); ("e17", e17); ("e18", e18) ]
 
 let () =
   (* args: experiment names, plus `--json PATH` to dump every

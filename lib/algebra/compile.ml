@@ -191,6 +191,14 @@ let rec compile_expr cctx (e : C.expr) : Plan.vplan =
       | _ ->
         let tplan = compile_clauses cctx Plan.Unit SSet.empty clauses in
         Plan.Map_from_tuple (tplan, ret))
+  (* distinct-doc-order as its own operator, so EXPLAIN shows the
+     sort (or its static elision) and the body still compiles to
+     algebra. The elided flag was decided by [Static.elide_ddo]
+     during [Engine.compile]. *)
+  | C.Call_builtin (("%ddo" | "%ddo-elided") as nm, [ inner ]) ->
+    Plan.Ddo_v
+      { elided = String.equal nm "%ddo-elided";
+        body = compile_expr cctx inner }
   | _ -> Plan.Direct e
 
 type result = {

@@ -308,6 +308,18 @@ let rec exec_v ctx stats prof id (env0 : Context.env) (p : Plan.vplan) : Value.t
             ctx.Context.store mode delta));
     note_io op 0 (List.length v);
     v
+  | Plan.Ddo_v { elided; body } ->
+    let vb = exec_v ctx stats prof (id + 1) env0 body in
+    let v =
+      if elided then begin
+        (* statically certified sorted/duplicate-free: identity *)
+        ctx.Context.ddo_elided <- ctx.Context.ddo_elided + 1;
+        vb
+      end
+      else Core.Functions.call ctx None "%ddo" [ vb ]
+    in
+    note_io op (List.length vb) (List.length v);
+    v
 
 let exec ?(stats = new_stats ()) ?prof ctx env0 plan =
   exec_v ctx stats prof 0 env0 plan

@@ -51,6 +51,10 @@ type vplan =
   | Map_from_tuple of tplan * C.expr  (* MapFromItem *)
   | Seq_v of vplan * vplan
   | Snap_v of C.snap_mode * vplan
+  | Ddo_v of { elided : bool; body : vplan }
+    (* distinct-document-order over the body's value; [elided] =
+       statically certified already sorted/duplicate-free (the
+       identity at runtime, counted by the executor) *)
 
 (* -- Node numbering --------------------------------------------------
 
@@ -73,6 +77,7 @@ let rec size_v = function
   | Map_from_tuple (t, _) -> 1 + size_t t
   | Seq_v (a, b) -> 1 + size_v a + size_v b
   | Snap_v (_, p) -> 1 + size_v p
+  | Ddo_v { body; _ } -> 1 + size_v body
 
 (* Child pre-order ids of each node, as an alist over the whole tree
    (the profiler uses this to compute self times). *)
@@ -106,6 +111,9 @@ let child_ids (p : vplan) : (int * int list) list =
     | Snap_v (_, q) ->
       acc := (id, [ id + 1 ]) :: !acc;
       go_v (id + 1) q
+    | Ddo_v { body; _ } ->
+      acc := (id, [ id + 1 ]) :: !acc;
+      go_v (id + 1) body
   in
   go_v 0 p;
   List.rev !acc
@@ -190,6 +198,12 @@ and pp_vplan_a annot id ppf (p : vplan) =
       (annot id)
       (pp_vplan_a annot (id + 1))
       q
+  | Ddo_v { elided; body } ->
+    fprintf ppf "@[<v 2>DDO%s%s@,(%a)@]"
+      (if elided then " (elided)" else "")
+      (annot id)
+      (pp_vplan_a annot (id + 1))
+      body
 
 and abbrev s = if String.length s <= 60 then s else String.sub s 0 57 ^ "..."
 
@@ -210,6 +224,7 @@ let rec uses_algebra = function
   | Map_from_tuple _ -> true
   | Seq_v (a, b) -> uses_algebra a || uses_algebra b
   | Snap_v (_, p) -> uses_algebra p
+  | Ddo_v { body; _ } -> uses_algebra body
 
 let rec has_join_t = function
   | Unit -> false
@@ -222,3 +237,4 @@ let rec has_join = function
   | Map_from_tuple (t, _) -> has_join_t t
   | Seq_v (a, b) -> has_join a || has_join b
   | Snap_v (_, p) -> has_join p
+  | Ddo_v { body; _ } -> has_join body

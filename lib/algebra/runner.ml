@@ -12,6 +12,7 @@ type run_result = {
   rejected : (string * string) list;  (* rewrites rejected by a guard *)
   stats : Exec.stats;
   profile : Profile.t option;  (* per-operator counters (analyze only) *)
+  ddo_elided : int;  (* statically elided ddo sorts hit during exec *)
 }
 
 (* Compile [source] and return the optimized plan for its body (under
@@ -34,6 +35,7 @@ let run_with ?(mode = C.Snap_ordered) ~profile engine source : run_result =
   let stats = Exec.new_stats () in
   let prof = if profile then Some (Profile.create cres.Compile.plan) else None in
   let ctx = Engine.context engine in
+  let elided_before = ctx.Core.Context.ddo_elided in
   let value =
     Core.Context.span ~cat:"exec" ctx "exec.plan" (fun () ->
         Exec.exec ~stats ?prof ctx ctx.Core.Context.globals cres.Compile.plan)
@@ -45,6 +47,7 @@ let run_with ?(mode = C.Snap_ordered) ~profile engine source : run_result =
     rejected = cres.Compile.rejected;
     stats;
     profile = prof;
+    ddo_elided = ctx.Core.Context.ddo_elided - elided_before;
   }
 
 let run ?mode engine source = run_with ?mode ~profile:false engine source
@@ -59,6 +62,11 @@ let analyze ?mode engine source : run_result * string =
     match r.profile with
     | Some p -> Profile.render r.plan p
     | None -> Plan.explain r.plan
+  in
+  let rendered =
+    if r.ddo_elided > 0 then
+      Printf.sprintf "%s\n-- ddo sorts elided: %d" rendered r.ddo_elided
+    else rendered
   in
   (r, rendered)
 

@@ -10,6 +10,9 @@ type run_result = {
   stats : Exec.stats;
   profile : Profile.t option;
       (** per-operator counters; [Some] only from {!analyze} *)
+  ddo_elided : int;
+      (** statically elided ddo sorts actually hit during execution
+          (the EXPLAIN ANALYZE elision counter) *)
 }
 
 (** Compile a program and the optimized plan of its body (under the

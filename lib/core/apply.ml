@@ -66,6 +66,6 @@ let apply ?rand_state ?tracer store mode (delta : Update.delta) =
           Xqb_obs.Trace.with_span ~cat:"snap"
             ~args:[ ("requests", string_of_int (List.length delta)) ]
             tr "conflict.check"
-            (fun () -> Conflict.check delta)
-        | _ -> Conflict.check delta);
+            (fun () -> Conflict.check ~store delta)
+        | _ -> Conflict.check ~store delta);
         apply_permuted store rand_state delta)

@@ -24,7 +24,16 @@
        the value, and a set-value conflicts with an insert into or a
        delete of a child of the same element (we approximate the child
        relation conservatively: set-value on node n conflicts with any
-       insert whose parent is n and any delete — of n itself). *)
+       insert whose parent is n and any delete — of n itself);
+   R7. (store-assisted, see [check]'s [?store]) a set-value targeting
+       an element/document node conflicts with any structural request
+       — insert parent, insert anchor, or delete — strictly inside
+       that node's subtree, tested with the store's O(1) pre/post
+       order keys. Conservative: set-value on an element detaches the
+       children it finds at application time, so proving commutativity
+       against interior structural work needs detach-idempotence
+       reasoning over every permutation; like R1-R6 we reject the pair
+       instead of attempting the proof. *)
 
 exception Conflict of string
 
@@ -36,8 +45,9 @@ type slot =
   | Slot_before of Xqb_store.Store.node_id
   | Slot_after of Xqb_store.Store.node_id
 
-(* Raises [Conflict] if the ∆ cannot be proven order-independent. *)
-let check (delta : Update.delta) =
+(* Raises [Conflict] if the ∆ cannot be proven order-independent.
+   [store] enables the R7 subtree tests (keyed, O(1) each). *)
+let check ?store (delta : Update.delta) =
   let slots : (slot, unit) Hashtbl.t = Hashtbl.create 64 in
   let inserted : (Xqb_store.Store.node_id, unit) Hashtbl.t = Hashtbl.create 64 in
   let anchors : (Xqb_store.Store.node_id, unit) Hashtbl.t = Hashtbl.create 64 in
@@ -105,7 +115,31 @@ let check (delta : Update.delta) =
           conflict "node %d set to two different values (R6)" n
         | Some _ -> ()
         | None -> Hashtbl.add set_valued n s))
-    delta
+    delta;
+  (* R7: set-value on an element/document vs structural work strictly
+     inside its subtree. One keyed interval test per (set-valued
+     element × structural node) pair; element-targeted set-values are
+     rare in practice, so this pass is almost always a no-op. *)
+  match store with
+  | None -> ()
+  | Some store ->
+    Hashtbl.iter
+      (fun n _ ->
+        match Xqb_store.Store.kind store n with
+        | Xqb_store.Store.Element | Xqb_store.Store.Document ->
+          let inside kind_s tbl =
+            Hashtbl.iter
+              (fun m () ->
+                if Xqb_store.Store.is_descendant store ~ancestor:n m then
+                  conflict "set-value of node %d vs %s %d inside its subtree (R7)"
+                    n kind_s m)
+              tbl
+          in
+          inside "insert under" insert_parents;
+          inside "insert anchored on" anchors;
+          inside "delete of" deleted
+        | _ -> ())
+      set_valued
 
 let is_conflict_free delta =
   match check delta with () -> true | exception Conflict _ -> false

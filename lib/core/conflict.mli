@@ -9,11 +9,19 @@
     - R2: an insert anchored on a deleted node conflicts;
     - R3: a node inserted by two requests conflicts;
     - R4: a node both inserted and deleted conflicts;
-    - R5: diverging renames of one node conflict. *)
+    - R5: diverging renames of one node conflict;
+    - R7 (only with [?store]): a set-value targeting an
+      element/document node conflicts with structural work strictly
+      inside its subtree — an O(1) interval test per pair on the
+      store's pre/post order keys. Conservative, like the rest:
+      element set-value detaches whatever children it finds at
+      application time, and rather than prove that interior inserts
+      and detaches commute with that, we reject the pair. *)
 
 exception Conflict of string
 
-(** @raise Conflict when order-independence cannot be proven. *)
-val check : Update.delta -> unit
+(** @raise Conflict when order-independence cannot be proven. [store]
+    enables the R7 subtree tests. *)
+val check : ?store:Xqb_store.Store.t -> Update.delta -> unit
 
 val is_conflict_free : Update.delta -> bool

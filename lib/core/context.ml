@@ -37,6 +37,9 @@ type t = {
     (* observability hook: called with each ∆ right before a snap
        applies it (CLI --trace-updates) *)
   mutable steps_evaluated : int;  (* instrumentation for the benches *)
+  mutable ddo_elided : int;
+    (* instrumentation: statically elided ddo sorts actually reached
+       at runtime (the "%ddo-elided" builtin / plan node) *)
   mutable budget : Xqb_governor.Budget.t option;
     (* resource budget charged by the evaluator (and, via the
        domain-local mirror, by store axis iteration); None = ungoverned.
@@ -60,6 +63,7 @@ let create ?(seed = 0x5eed) ?store () =
     globals = SMap.empty;
     on_apply = None;
     steps_evaluated = 0;
+    ddo_elided = 0;
     budget = None;
     tracer = None;
   }
@@ -84,6 +88,7 @@ let fork_read ctx =
     globals = ctx.globals;
     on_apply = None;
     steps_evaluated = 0;
+    ddo_elided = 0;
     budget = ctx.budget;  (* a governed session's forks inherit its budget *)
     tracer = ctx.tracer;  (* spans from the fork land in the same trace *)
   }

@@ -37,6 +37,9 @@ type t = {
       (** observability hook: called with each ∆ right before a snap
           applies it *)
   mutable steps_evaluated : int;  (** instrumentation *)
+  mutable ddo_elided : int;
+      (** instrumentation: statically elided ddo sorts reached at
+          runtime *)
   mutable budget : Xqb_governor.Budget.t option;
       (** resource budget charged at evaluation checkpoints; [None] =
           ungoverned. Install via {!Engine.with_budget}, which also

@@ -97,7 +97,7 @@ let install_functions t (c : compiled) =
    "phase of syntactic rewriting", with purity guards). Function
    declarations are installed into the engine so later [compile]d
    queries can call them too. *)
-let compile ?(simplify = true) t source : compiled =
+let compile ?(simplify = true) ?(elide_ddo = true) t source : compiled =
   Context.span ~cat:"compile" t.ctx "compile" @@ fun () ->
   let extra_fns =
     Hashtbl.fold
@@ -145,6 +145,35 @@ let compile ?(simplify = true) t source : compiled =
             prog.Normalize.functions;
         body = Option.map simp prog.Normalize.body;
       }
+  in
+  (* Document-order analysis: elide provably redundant ddo sorts.
+     After [simplify] (whose rules pattern-match "%ddo" literally),
+     before [Typing.check_prog] (which types "%ddo-elided"). *)
+  let prog =
+    if not elide_ddo then prog
+    else
+      Context.span ~cat:"compile" t.ctx "ddo-elide" @@ fun () ->
+      let purity = Static.purity_oracle prog in
+      let elided = ref 0 in
+      let el e =
+        let e', n = Static.elide_ddo ~purity e in
+        elided := !elided + n;
+        e'
+      in
+      let prog =
+        {
+          Normalize.global_vars =
+            List.map (fun (v, ty, e) -> (v, ty, el e)) prog.Normalize.global_vars;
+          functions =
+            List.map
+              (fun (f : Normalize.func) -> { f with Normalize.body = el f.Normalize.body })
+              prog.Normalize.functions;
+          body = Option.map el prog.Normalize.body;
+        }
+      in
+      if !elided > 0 then
+        rewrites := merge_counts !rewrites [ ("ddo-elide", !elided) ];
+      prog
   in
   let type_warnings =
     Context.span ~cat:"compile" t.ctx "typing" (fun () -> Typing.check_prog prog)

@@ -49,8 +49,12 @@ type compiled = {
 (** Parse, normalize, statically check and (unless [simplify:false])
     run the purity-guarded simplifier; installs the program's function
     declarations into the engine (later queries can call them).
+    [elide_ddo] (default true) additionally runs the document-order
+    analysis that rewrites provably redundant ddo sorts to the
+    counted identity ["%ddo-elided"] ({!Static.elide_ddo}); its site
+    count appears in [rewrites] under ["ddo-elide"].
     @raise Compile_error. *)
-val compile : ?simplify:bool -> t -> string -> compiled
+val compile : ?simplify:bool -> ?elide_ddo:bool -> t -> string -> compiled
 
 (** Install a compiled program's function declarations into the
     engine. [compile] does this itself; the service layer's plan

@@ -282,3 +282,266 @@ let check_prog ?(initial = []) (prog : Normalize.prog) =
       check_scopes bound f.Normalize.body)
     prog.Normalize.functions;
   Option.iter (check_scopes globals) prog.Normalize.body
+
+(* -- Document-order analysis and ddo elision --------------------------
+
+   Normalization wraps every path step in the "%ddo" builtin (sort
+   into document order, drop duplicates). For a large class of paths
+   the input is already provably sorted and duplicate-free — children
+   of a single node, a descendant walk from unrelated sorted roots —
+   and the sort is pure overhead. The judgement below computes, per
+   expression, what can be promised about its result's order; the
+   [elide_ddo] pass rewrites certified "%ddo" nodes to "%ddo-elided"
+   (the identity, plus an instrumentation counter).
+
+   Soundness leans on the paper's §3.3 purity observation: update
+   requests only apply at snap boundaries, so as long as the
+   expression under the ddo contains no snap (purity <> Effecting),
+   the tree is frozen for the whole evaluation of that expression and
+   structural facts ("the subtrees of unrelated nodes are disjoint
+   document-order intervals") compose across its iterations. *)
+
+type order_info = {
+  o_sorted : bool;  (* items are in document order *)
+  o_nodup : bool;  (* no duplicate nodes *)
+  o_unrelated : bool;  (* no item is an ancestor of another *)
+  o_single : bool;  (* at most one item *)
+  o_node_only : bool;  (* every item is a node (ddo would not raise) *)
+}
+
+let o_bottom =
+  { o_sorted = false; o_nodup = false; o_unrelated = false; o_single = false;
+    o_node_only = false }
+
+(* One item of unknown kind: trivially sorted/distinct/unrelated. *)
+let o_one =
+  { o_sorted = true; o_nodup = true; o_unrelated = true; o_single = true;
+    o_node_only = false }
+
+(* Exactly one node (constructors, doc()). *)
+let o_one_node = { o_one with o_node_only = true }
+
+let o_meet a b =
+  { o_sorted = a.o_sorted && b.o_sorted;
+    o_nodup = a.o_nodup && b.o_nodup;
+    o_unrelated = a.o_unrelated && b.o_unrelated;
+    o_single = a.o_single && b.o_single;
+    o_node_only = a.o_node_only && b.o_node_only }
+
+(* A sorted sequence of unrelated duplicate-free nodes distributes
+   through downward axes: their subtrees are disjoint intervals in
+   document order, so per-node results concatenate in order. A single
+   node qualifies trivially. *)
+let good_in i = i.o_single || (i.o_sorted && i.o_nodup && i.o_unrelated)
+
+(* Does every result of [e] lie inside the subtree of [v]'s binding?
+   (Conservative syntactic check: chains of self/child/attribute/
+   descendant steps and predicates from $v.) This is what lets a
+   [for] over unrelated sorted roots keep its blocks disjoint. *)
+let rec downward v (e : C.expr) =
+  match e with
+  | C.Var x -> String.equal x v
+  | C.Step
+      ( b,
+        ( C.Axes.Self | C.Axes.Child | C.Axes.Attribute | C.Axes.Descendant
+        | C.Axes.Descendant_or_self ),
+        _ ) ->
+    downward v b
+  | C.Predicate (b, _) -> downward v b
+  | C.Call_builtin (("%ddo" | "%ddo-elided"), [ b ]) -> downward v b
+  | C.For (w, _, b, body) -> downward v b && downward w body
+  | _ -> false
+
+(* [singles] holds variables known to be bound to at most one item:
+   for/some/every binders (one item at a time, by construction),
+   positional variables, and lets of provably-single expressions. *)
+let rec order_of (singles : SSet.t) (e : C.expr) : order_info =
+  let step_out = { o_bottom with o_node_only = true } in
+  match e with
+  | C.Empty -> { o_one with o_node_only = true }  (* vacuously *)
+  | C.Scalar _ | C.Context_item -> o_one
+  | C.Var x -> if SSet.mem x singles then o_one else o_bottom
+  | C.Elem _ | C.Attr _ | C.Text_node _ | C.Comment_node _ | C.Pi_node _
+  | C.Doc_node _ | C.Copy _ ->
+    o_one_node
+  (* updating expressions evaluate to the empty sequence *)
+  | C.Insert _ | C.Delete _ | C.Replace _ | C.Replace_value _ | C.Rename _ ->
+    { o_one with o_node_only = true }
+  | C.Call_builtin ("doc", _) -> o_one_node
+  | C.Call_builtin (("%ddo" | "%ddo-elided"), [ arg ]) ->
+    let i = order_of singles arg in
+    { o_sorted = true; o_nodup = true; o_unrelated = i.o_unrelated;
+      o_single = i.o_single; o_node_only = true }
+  | C.Step (b, axis, _) -> (
+    let i = order_of singles b in
+    match axis with
+    | C.Axes.Self -> { i with o_node_only = true }
+    | C.Axes.Child | C.Axes.Attribute ->
+      if good_in i then
+        { o_sorted = true; o_nodup = true; o_unrelated = true;
+          o_single = false; o_node_only = true }
+      else step_out
+    | C.Axes.Descendant | C.Axes.Descendant_or_self ->
+      (* subtrees of unrelated sorted roots are disjoint intervals;
+         the result contains ancestor/descendant pairs, so
+         [o_unrelated] is lost *)
+      if good_in i then
+        { o_sorted = true; o_nodup = true; o_unrelated = false;
+          o_single = false; o_node_only = true }
+      else step_out
+    | C.Axes.Following_sibling ->
+      if i.o_single then
+        { o_sorted = true; o_nodup = true; o_unrelated = true;
+          o_single = false; o_node_only = true }
+      else step_out
+    | C.Axes.Following ->
+      if i.o_single then
+        { o_sorted = true; o_nodup = true; o_unrelated = false;
+          o_single = false; o_node_only = true }
+      else step_out
+    | C.Axes.Parent -> if i.o_single then o_one_node else step_out
+    (* reverse axes emit reverse document order *)
+    | C.Axes.Ancestor | C.Axes.Ancestor_or_self | C.Axes.Preceding_sibling
+    | C.Axes.Preceding ->
+      step_out)
+  (* Key_step concatenates per-key bucket lookups: not sorted across
+     multiple keys *)
+  | C.Key_step _ -> step_out
+  | C.Predicate (b, _) -> order_of singles b  (* filtering preserves all *)
+  | C.For (v, posvar, e1, body) ->
+    let i1 = order_of singles e1 in
+    let singles_body =
+      SSet.add v
+        (match posvar with Some p -> SSet.add p singles | None -> singles)
+    in
+    let ib = order_of singles_body body in
+    if i1.o_single then ib
+    else if
+      i1.o_sorted && i1.o_nodup && i1.o_unrelated && ib.o_sorted && ib.o_nodup
+      && downward v body
+    then
+      { o_sorted = true; o_nodup = true; o_unrelated = ib.o_unrelated;
+        o_single = false; o_node_only = ib.o_node_only }
+    else o_bottom
+  | C.Let (v, e1, body) ->
+    let i1 = order_of singles e1 in
+    let singles' =
+      if i1.o_single then SSet.add v singles else SSet.remove v singles
+    in
+    order_of singles' body
+  | C.Some_sat _ | C.Every_sat _ -> o_one  (* a boolean *)
+  | C.If (_, t, e) -> o_meet (order_of singles t) (order_of singles e)
+  | C.Treat_as (e1, _) -> order_of singles e1
+  | C.Instance_of _ | C.Castable_as _ | C.Cast_as _ | C.Unary_minus _ -> o_one
+  | C.Binop (op, _, _) -> (
+    match op with
+    | Xqb_syntax.Ast.Union | Xqb_syntax.Ast.Intersect | Xqb_syntax.Ast.Except ->
+      (* the evaluator sorts set-operation results *)
+      { o_sorted = true; o_nodup = true; o_unrelated = false;
+        o_single = false; o_node_only = true }
+    | Xqb_syntax.Ast.To -> o_bottom  (* a range: many integers *)
+    | _ -> o_one (* comparisons, logic, arithmetic: one atomic *))
+  | C.Seq _ | C.Map _ | C.Sort_flwor _ | C.Call_builtin _ | C.Call_user _
+  | C.Snap _ ->
+    o_bottom
+
+(* Rewrite certified "%ddo" applications to "%ddo-elided" (identity +
+   counter). Gated per-site on the purity of the sorted expression:
+   a snap inside it would mutate the tree mid-evaluation and void the
+   structural reasoning above. Returns the rewritten expression and
+   the number of sites elided. *)
+let elide_ddo ~purity (e : C.expr) : C.expr * int =
+  let count = ref 0 in
+  let rec go singles e =
+    match e with
+    | C.Call_builtin ("%ddo", [ arg ]) ->
+      let arg' = go singles arg in
+      let i = order_of singles arg' in
+      if i.o_sorted && i.o_nodup && i.o_node_only && purity arg' <> Effecting
+      then begin
+        incr count;
+        C.Call_builtin ("%ddo-elided", [ arg' ])
+      end
+      else C.Call_builtin ("%ddo", [ arg' ])
+    | C.For (v, posvar, e1, body) ->
+      let e1' = go singles e1 in
+      let singles_body =
+        SSet.add v
+          (match posvar with Some p -> SSet.add p singles | None -> singles)
+      in
+      C.For (v, posvar, e1', go singles_body body)
+    | C.Let (v, e1, body) ->
+      let e1' = go singles e1 in
+      let singles' =
+        if (order_of singles e1').o_single then SSet.add v singles
+        else SSet.remove v singles
+      in
+      C.Let (v, e1', go singles' body)
+    | C.Some_sat (v, e1, body) ->
+      C.Some_sat (v, go singles e1, go (SSet.add v singles) body)
+    | C.Every_sat (v, e1, body) ->
+      C.Every_sat (v, go singles e1, go (SSet.add v singles) body)
+    | C.Sort_flwor (clauses, specs, ret) ->
+      let singles', rev_clauses =
+        List.fold_left
+          (fun (singles, acc) c ->
+            match c with
+            | C.S_for (v, posvar, e) ->
+              let e' = go singles e in
+              let singles =
+                SSet.add v
+                  (match posvar with
+                  | Some p -> SSet.add p singles
+                  | None -> singles)
+              in
+              (singles, C.S_for (v, posvar, e') :: acc)
+            | C.S_let (v, e) ->
+              let e' = go singles e in
+              let singles =
+                if (order_of singles e').o_single then SSet.add v singles
+                else SSet.remove v singles
+              in
+              (singles, C.S_let (v, e') :: acc)
+            | C.S_where e -> (singles, C.S_where (go singles e) :: acc))
+          (singles, []) clauses
+      in
+      C.Sort_flwor
+        ( List.rev rev_clauses,
+          List.map (fun (k, d) -> (go singles' k, d)) specs,
+          go singles' ret )
+    | C.Scalar _ | C.Var _ | C.Context_item | C.Empty -> e
+    | C.Seq (a, b) -> C.Seq (go singles a, go singles b)
+    | C.If (c, t, el) -> C.If (go singles c, go singles t, go singles el)
+    | C.Step (b, ax, t) -> C.Step (go singles b, ax, t)
+    | C.Key_step (b, elem, attr, rhs) ->
+      C.Key_step (go singles b, elem, attr, go singles rhs)
+    | C.Map (a, b) -> C.Map (go singles a, go singles b)
+    | C.Predicate (a, b) -> C.Predicate (go singles a, go singles b)
+    | C.Binop (op, a, b) -> C.Binop (op, go singles a, go singles b)
+    | C.Unary_minus a -> C.Unary_minus (go singles a)
+    | C.Call_builtin (f, args) -> C.Call_builtin (f, List.map (go singles) args)
+    | C.Call_user (f, args) -> C.Call_user (f, List.map (go singles) args)
+    | C.Instance_of (a, t) -> C.Instance_of (go singles a, t)
+    | C.Cast_as (a, t) -> C.Cast_as (go singles a, t)
+    | C.Castable_as (a, t) -> C.Castable_as (go singles a, t)
+    | C.Treat_as (a, t) -> C.Treat_as (go singles a, t)
+    | C.Elem (ns, c) -> C.Elem (go_ns singles ns, go singles c)
+    | C.Attr (ns, c) -> C.Attr (go_ns singles ns, go singles c)
+    | C.Text_node a -> C.Text_node (go singles a)
+    | C.Comment_node a -> C.Comment_node (go singles a)
+    | C.Pi_node (ns, a) -> C.Pi_node (go_ns singles ns, go singles a)
+    | C.Doc_node a -> C.Doc_node (go singles a)
+    | C.Insert (tgt, payload, dest) ->
+      C.Insert (tgt, go singles payload, go singles dest)
+    | C.Delete a -> C.Delete (go singles a)
+    | C.Replace (a, b) -> C.Replace (go singles a, go singles b)
+    | C.Replace_value (a, b) -> C.Replace_value (go singles a, go singles b)
+    | C.Rename (a, b) -> C.Rename (go singles a, go singles b)
+    | C.Copy a -> C.Copy (go singles a)
+    | C.Snap (m, a) -> C.Snap (m, go singles a)
+  and go_ns singles = function
+    | C.Static q -> C.Static q
+    | C.Dynamic e -> C.Dynamic (go singles e)
+  in
+  let e' = go SSet.empty e in
+  (e', !count)

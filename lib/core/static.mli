@@ -66,3 +66,29 @@ val check_scopes : SSet.t -> Core_ast.expr -> unit
     [initial] (host-bound names); functions see globals and their
     parameters. *)
 val check_prog : ?initial:string list -> Normalize.prog -> unit
+
+(** {1 Document-order analysis (ddo elision)} *)
+
+(** What can be promised about an expression's result order. *)
+type order_info = {
+  o_sorted : bool;  (** items are in document order *)
+  o_nodup : bool;  (** no duplicate nodes *)
+  o_unrelated : bool;  (** no item is an ancestor of another *)
+  o_single : bool;  (** at most one item *)
+  o_node_only : bool;  (** every item is a node *)
+}
+
+(** [order_of singles e] — the judgement, given the set of variables
+    known to be bound to at most one item (for/some/every binders,
+    positional variables, single lets). *)
+val order_of : SSet.t -> Core_ast.expr -> order_info
+
+(** Rewrite provably redundant ["%ddo"] applications (result already
+    sorted, duplicate-free, node-only) to ["%ddo-elided"] — the
+    identity plus an instrumentation counter. Each site is gated on
+    [purity arg <> Effecting]: a snap inside the sorted expression
+    would mutate the tree mid-evaluation and void the structural
+    reasoning (the §3.3 purity observation, used in reverse). Returns
+    the rewritten expression and the number of sites elided. *)
+val elide_ddo :
+  purity:(Core_ast.expr -> purity) -> Core_ast.expr -> Core_ast.expr * int

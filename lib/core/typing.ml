@@ -271,7 +271,7 @@ let builtin_ty name (_args : t list) : t =
   | "avg" | "abs" | "floor" | "ceiling" | "round" | "round-half-to-even" ->
     { item = T_atomic K_numeric; occ = O_opt }
   | "doc" | "root" -> one T_node
-  | "%ddo" -> { item = T_node; occ = O_star }
+  | "%ddo" | "%ddo-elided" -> { item = T_node; occ = O_star }
   | "data" | "distinct-values" -> { item = T_atomic K_any_atomic; occ = O_star }
   | "node-name" -> { item = T_atomic K_qname; occ = O_opt }
   | "tokenize" -> { item = T_atomic K_string; occ = O_star }

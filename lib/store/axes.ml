@@ -94,13 +94,24 @@ let test_matches store axis test id =
        | None -> false)
   | Kind_document -> k = Store.Document
 
+(* Charge [n] steps against an (optional) budget. The walkers below
+   charge one step per emitted node *during* the walk, so a fuel
+   budget bounds the work of a huge descendant/following scan instead
+   of being checked only after the full result is materialized. *)
+let charge b n =
+  match b with None -> () | Some b -> Xqb_governor.Budget.charge b n
+
 (* All descendants of [id] in document order (excluding attributes). *)
-let rec add_descendants store acc id =
+let rec add_descendants store b acc id =
   List.fold_left
-    (fun acc c -> add_descendants store (c :: acc) c)
+    (fun acc c ->
+      charge b 1;
+      add_descendants store b (c :: acc) c)
     acc (Store.children store id)
 
-let descendants store id = List.rev (add_descendants store [] id)
+let descendants_b store b id = List.rev (add_descendants store b [] id)
+
+let descendants store id = descendants_b store None id
 
 let ancestors store id =
   let rec up acc id =
@@ -141,27 +152,36 @@ let siblings_before store id =
 (* Nodes strictly after [id] in document order, excluding descendants
    and attributes (the XPath [following] axis): the following siblings
    of [id] with their subtrees, then those of its parent, and so on. *)
-let following store id =
+let following_b store b id =
   let rec up id =
     let here =
       List.concat_map
-        (fun s -> s :: descendants store s)
+        (fun s ->
+          charge b 1;
+          s :: descendants_b store b s)
         (siblings_after store id)
     in
     match Store.parent store id with None -> here | Some p -> here @ up p
   in
   up id
 
-let preceding store id =
+let preceding_b store b id =
   (* Nodes strictly before [id], excluding ancestors and attributes,
-     in reverse document order. *)
-  let ancs = ancestors store id in
-  let is_anc x = List.mem x ancs in
+     in reverse document order. Ancestors go into a hash set: the
+     membership test runs once per candidate sibling, and a List.mem
+     over the ancestor chain made deep-tree preceding quadratic. *)
+  let anc_set = Hashtbl.create 16 in
+  List.iter (fun a -> Hashtbl.replace anc_set a ()) (ancestors store id);
+  let is_anc x = Hashtbl.mem anc_set x in
   let rec up acc id =
     let acc =
       List.fold_left
         (fun acc s ->
-          if is_anc s then acc else List.rev_append (descendants store s) (s :: acc))
+          if is_anc s then acc
+          else begin
+            charge b 1;
+            List.rev_append (descendants_b store b s) (s :: acc)
+          end)
         acc
         (List.rev (siblings_before store id))
       (* siblings_before is nearest-first; List.rev gives doc order;
@@ -172,28 +192,36 @@ let preceding store id =
   up [] id
 
 let apply store axis id =
-  let nodes =
-    match axis with
-    | Child -> Store.children store id
-    | Attribute -> Store.attributes store id
-    | Self -> [ id ]
-    | Parent -> (match Store.parent store id with None -> [] | Some p -> [ p ])
-    | Descendant -> descendants store id
-    | Descendant_or_self -> id :: descendants store id
-    | Ancestor -> ancestors store id
-    | Ancestor_or_self -> id :: ancestors store id
-    | Following_sibling -> siblings_after store id
-    | Preceding_sibling -> siblings_before store id
-    | Following -> following store id
-    | Preceding -> preceding store id
-  in
-  (* Charge the fan-out against the domain-local budget (if one is
-     installed): axis walks are where a governed query burns store
-     work that the evaluator's per-expression tick cannot see. *)
-  (match Xqb_governor.Budget.current () with
-  | None -> ()
-  | Some b -> Xqb_governor.Budget.charge b (List.length nodes));
-  nodes
+  (* Axis walks are where a governed query burns store work that the
+     evaluator's per-expression tick cannot see. The unbounded-fanout
+     axes charge per node during the walk (see [charge]); the
+     remaining axes are bounded by local degree/depth and charge
+     their materialized length, as before. *)
+  let b = Xqb_governor.Budget.current () in
+  match axis with
+  | Descendant -> descendants_b store b id
+  | Descendant_or_self ->
+    charge b 1;
+    id :: descendants_b store b id
+  | Following -> following_b store b id
+  | Preceding -> preceding_b store b id
+  | Child | Attribute | Self | Parent | Ancestor | Ancestor_or_self
+  | Following_sibling | Preceding_sibling ->
+    let nodes =
+      match axis with
+      | Child -> Store.children store id
+      | Attribute -> Store.attributes store id
+      | Self -> [ id ]
+      | Parent -> (match Store.parent store id with None -> [] | Some p -> [ p ])
+      | Ancestor -> ancestors store id
+      | Ancestor_or_self -> id :: ancestors store id
+      | Following_sibling -> siblings_after store id
+      | Preceding_sibling -> siblings_before store id
+      | Descendant | Descendant_or_self | Following | Preceding ->
+        assert false
+    in
+    charge b (List.length nodes);
+    nodes
 
 (* One full step: axis + node test from a single context node. *)
 let step store axis test id =

@@ -63,6 +63,15 @@ type t = {
      -> nodes; same policy *)
   key_index :
     (node_id * int * string * string, (string, node_id list) Hashtbl.t) Hashtbl.t;
+  (* pre/post-order keys (see order_key.ml), one slot per node id,
+     built lazily per parentless root and invalidated by the same
+     per-root version bumps as the name index. [Order_key.none] means
+     "never built"; a stale generation is detected per-node by
+     comparing [ver] against the root's current version, so slots are
+     never eagerly cleared. *)
+  mutable okeys : Order_key.t array;
+  mutable order_keys_enabled : bool;
+  mutable okey_builds : int;  (* statistics: key-table (re)builds *)
   (* The index caches above are filled *lazily during reads*, so they
      are the one piece of store state that concurrent read-only
      queries (the service scheduler's parallel side) mutate. This
@@ -84,9 +93,13 @@ let create () =
   { tbl = Array.make 64 dummy_node; next_id = 0; journal = []; journal_on = false;
     mutations = 0; index_enabled = true; name_index = Hashtbl.create 64;
     indexed_roots = Hashtbl.create 8; root_versions = Hashtbl.create 8;
-    key_index = Hashtbl.create 16; index_lock = Mutex.create () }
+    key_index = Hashtbl.create 16;
+    okeys = Array.make 64 Order_key.none; order_keys_enabled = true;
+    okey_builds = 0; index_lock = Mutex.create () }
 
 let set_indexing store b = store.index_enabled <- b
+let set_order_keys store b = store.order_keys_enabled <- b
+let order_key_builds store = store.okey_builds
 
 let with_index_lock store f =
   Mutex.lock store.index_lock;
@@ -94,6 +107,16 @@ let with_index_lock store f =
 
 let root_version store root =
   Option.value ~default:0 (Hashtbl.find_opt store.root_versions root)
+
+(* Is this key's generation current? Two reads (key slot + version
+   hash) — no root walk. Sound because every structural mutation
+   bumps the version of the root whose tree it touches (including the
+   self-bump on freshly attached nodes and the child bump when an
+   undo re-attaches a detached subtree), so a key that still matches
+   its root's version proves the tree shape is unchanged since the
+   build. *)
+let okey_valid store (k : Order_key.t) =
+  k.Order_key.root >= 0 && root_version store k.Order_key.root = k.Order_key.ver
 
 let node_count store = store.next_id
 
@@ -107,7 +130,10 @@ let alloc store kind name content =
   if store.next_id >= Array.length store.tbl then begin
     let tbl = Array.make (2 * Array.length store.tbl) dummy_node in
     Array.blit store.tbl 0 tbl 0 store.next_id;
-    store.tbl <- tbl
+    store.tbl <- tbl;
+    let okeys = Array.make (2 * Array.length store.okeys) Order_key.none in
+    Array.blit store.okeys 0 okeys 0 store.next_id;
+    store.okeys <- okeys
   end;
   let n =
     { id = store.next_id; kind; name; content; parent = None; pos = 0;
@@ -162,12 +188,19 @@ and add_text_descendants store buf id =
   | Attribute | Comment | Pi -> ()
 
 let is_ancestor store ~ancestor id =
-  let rec up id =
-    match (get store id).parent with
-    | None -> false
-    | Some p -> p = ancestor || up p
-  in
-  up id
+  (* valid-key fast path only — never builds, because this also runs
+     on the mutation path (insert's cycle check), where keys are
+     typically stale anyway *)
+  let ka = store.okeys.(ancestor) and kd = store.okeys.(id) in
+  if okey_valid store ka && okey_valid store kd then
+    Order_key.contains ~anc:ka ~desc:kd
+  else
+    let rec up id =
+      match (get store id).parent with
+      | None -> false
+      | Some p -> p = ancestor || up p
+    in
+    up id
 
 let root store id =
   let rec up id =
@@ -184,6 +217,63 @@ let bump_index store id =
   Hashtbl.replace store.root_versions r
     (Option.value ~default:0 (Hashtbl.find_opt store.root_versions r) + 1)
 
+(* -- Order keys (see order_key.ml) --------------------------------- *)
+
+(* Build the key table for the tree rooted at parentless [r] under
+   its current version. One DFS with one shared counter: an element
+   takes [pre], each attribute takes an empty slot (pre = post), the
+   children recurse, then the element takes [post] — matching
+   [sibling_rank]'s attributes-before-children order. A node's slot
+   is written only once its post is known (an immutable record, so
+   the store is atomic): lock-free readers either see a complete key
+   of the current generation or fall back. *)
+let build_okeys store r =
+  let ver = root_version store r in
+  let ctr = ref 0 in
+  let rec walk id =
+    let pre = !ctr in
+    incr ctr;
+    let n = get store id in
+    Vec.iter
+      (fun aid ->
+        let s = !ctr in
+        incr ctr;
+        store.okeys.(aid) <- { Order_key.root = r; ver; pre = s; post = s })
+      n.attributes;
+    Vec.iter walk n.children;
+    let post = !ctr in
+    incr ctr;
+    store.okeys.(id) <- { Order_key.root = r; ver; pre; post }
+  in
+  walk r;
+  store.okey_builds <- store.okey_builds + 1
+
+(* A valid key for [id], building its root's table on a generation
+   miss. The fast path costs two reads; the O(depth) root walk and
+   O(tree) build are paid once per (root, version) generation — i.e.
+   once per evaluation phase of an innermost snap, during which no
+   structural mutation can run (the §3.3 purity observation). *)
+let ensure_key store id =
+  let k = store.okeys.(id) in
+  if okey_valid store k then Some k
+  else if not store.order_keys_enabled then None
+  else begin
+    let r = root store id in
+    with_index_lock store (fun () ->
+        (* double-checked: another reader may have built this root *)
+        if not (okey_valid store store.okeys.(id)) then build_okeys store r);
+    let k = store.okeys.(id) in
+    if okey_valid store k then Some k else None
+  end
+
+(* Strict: is [id] strictly inside [ancestor]'s subtree? An O(1)
+   interval test once keys are built (read path — builds). *)
+let is_descendant store ~ancestor id =
+  id <> ancestor
+  && (match ensure_key store ancestor, ensure_key store id with
+     | Some ka, Some kd -> Order_key.contains ~anc:ka ~desc:kd
+     | _ -> is_ancestor store ~ancestor id)
+
 (* -- Journal ------------------------------------------------------ *)
 
 let record store e = if store.journal_on then store.journal <- e :: store.journal
@@ -191,9 +281,14 @@ let record store e = if store.journal_on then store.journal <- e :: store.journa
 let undo store e =
   (match e with
   | J_child_inserted (parent, _)
-  | J_attr_inserted (parent, _)
-  | J_detached_child (_, parent, _)
-  | J_detached_attr (_, parent, _) ->
+  | J_attr_inserted (parent, _) ->
+    bump_index store parent
+  | J_detached_child (child, parent, _)
+  | J_detached_attr (child, parent, _) ->
+    (* the child is parentless right now, so it is its own root: bump
+       it too, killing order keys built on the detached subtree
+       between the detach and this rollback *)
+    bump_index store child;
     bump_index store parent
   | J_renamed (id, _) | J_content (id, _) -> bump_index store id);
   match e with
@@ -304,6 +399,11 @@ let detach store id =
        else J_detached_child (id, pid, idx));
     n.parent <- None;
     n.pos <- 0;
+    (* [id] just became its own root: bump it, so order keys built
+       when it was last a root (before an earlier re-attach, during
+       which its subtree may have changed under the *enclosing*
+       root's versions) can never resurface as valid *)
+    bump_index store id;
     store.mutations <- store.mutations + 1
 
 type insert_position = First | Last | After of node_id
@@ -361,6 +461,10 @@ let insert store ~parent:pid ~position nodes =
   List.iter
     (fun nid ->
       let n = get store nid in
+      (* [nid] is still parentless here, i.e. its own root: bump it so
+         order keys built on the detached subtree don't survive the
+         attach (its nodes now live under [pid]'s root) *)
+      bump_index store nid;
       if n.kind = Attribute then begin
         Vec.push p.attributes nid;
         n.parent <- Some pid;
@@ -415,8 +519,10 @@ let sibling_rank store id =
 
 (* Total order: within a tree, document order; across trees (including
    detached subtrees and freshly constructed nodes), by root id, which
-   is creation order — stable and deterministic. *)
-let compare_order store a b =
+   is creation order — stable and deterministic. The naive comparator
+   allocates two full ancestor chains per call; it is the fallback
+   (and the qcheck reference) for the keyed one below. *)
+let compare_order_naive store a b =
   if a = b then 0
   else begin
     let chain id =
@@ -441,11 +547,59 @@ let compare_order store a b =
       walk ca cb
   end
 
+(* Same total order, two array lookups when both keys are valid:
+   across trees the roots compare like the naive root-id compare;
+   within a tree pre-order is document order (ancestors first,
+   attributes before children). Valid-only — never builds, so pure
+   comparisons during a mutation phase just fall back. *)
+let compare_order store a b =
+  if a = b then 0
+  else
+    let ka = store.okeys.(a) and kb = store.okeys.(b) in
+    if okey_valid store ka && okey_valid store kb then
+      if ka.Order_key.root <> kb.Order_key.root then
+        compare ka.Order_key.root kb.Order_key.root
+      else compare ka.Order_key.pre kb.Order_key.pre
+    else compare_order_naive store a b
+
 (* Sort into document order and remove duplicates (the ddo applied to
-   every path-expression result). *)
+   every path-expression result). The keyed path decorates each id
+   with its (root, pre) key and sorts the triples with the polymorphic
+   comparator — O(n log n) integer compares instead of O(n log n)
+   chain walks. *)
 let sort_doc_order store ids =
-  let sorted = List.sort_uniq (compare_order store) ids in
-  sorted
+  match ids with
+  | [] | [ _ ] -> ids
+  | _ ->
+    let rec decorate acc = function
+      | [] -> Some (List.rev acc)
+      | id :: rest ->
+        (match ensure_key store id with
+        | Some k -> decorate ((k.Order_key.root, k.Order_key.pre, id) :: acc) rest
+        | None -> None)
+    in
+    (match decorate [] ids with
+    | Some dec -> List.map (fun (_, _, id) -> id) (List.sort_uniq compare dec)
+    | None -> List.sort_uniq (compare_order_naive store) ids)
+
+(* Is [ids] already strictly in document order (sorted and duplicate
+   free)? Builds keys, so the common already-sorted fast path through
+   the ddo builtin costs O(n) lookups rather than n-1 chain walks. *)
+let sorted_strict store ids =
+  let lt a b =
+    match ensure_key store a, ensure_key store b with
+    | Some ka, Some kb ->
+      (if ka.Order_key.root <> kb.Order_key.root then
+         compare ka.Order_key.root kb.Order_key.root
+       else compare ka.Order_key.pre kb.Order_key.pre)
+      < 0
+    | _ -> compare_order_naive store a b < 0
+  in
+  let rec go = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) -> lt a b && go rest
+  in
+  go ids
 
 (* -- Serialization ------------------------------------------------ *)
 

@@ -72,6 +72,13 @@ val string_value : t -> node_id -> string
 
 val is_ancestor : t -> ancestor:node_id -> node_id -> bool
 
+(** Strict: is the node inside [ancestor]'s subtree? An O(1) interval
+    test on the pre/post order keys once they are built (this is a
+    read path — it builds on a miss, unlike {!is_ancestor}, whose
+    keyed fast path is valid-only because it also runs while
+    mutating). *)
+val is_descendant : t -> ancestor:node_id -> node_id -> bool
+
 (** Topmost parentless node above [id]. *)
 val root : t -> node_id -> node_id
 
@@ -114,12 +121,25 @@ val deep_copy : t -> node_id -> node_id
 
 (** Total order: document order within a tree; across trees (incl.
     detached/fresh nodes) by root creation order. Attributes order
-    after their element and before its children. O(depth). *)
+    after their element and before its children. Two array lookups
+    when both nodes carry valid pre/post order keys, the naive
+    O(depth) chain walk otherwise (never builds keys — building
+    happens on the bulk read paths below). *)
 val compare_order : t -> node_id -> node_id -> int
 
+(** The chain-walking comparator, always. Exposed as the reference
+    implementation for the keyed-≡-naive qcheck property. *)
+val compare_order_naive : t -> node_id -> node_id -> int
+
 (** Sort into document order and drop duplicates (the ddo applied to
-    path-expression results). *)
+    path-expression results). Builds order keys, then sorts decorated
+    (root, pre) integer pairs. *)
 val sort_doc_order : t -> node_id list -> node_id list
+
+(** Is the list already strictly in document order (sorted and
+    duplicate-free)? Builds order keys — the ddo builtin's fast
+    path. *)
+val sorted_strict : t -> node_id list -> bool
 
 (** {1 Serialization and loading} *)
 
@@ -152,6 +172,15 @@ val lookup_by_key :
 (** Turn the caches off (the ablation knob for benches E12/E13;
     results are identical either way). *)
 val set_indexing : t -> bool -> unit
+
+(** Turn the pre/post order-key tables off (ablation knob for bench
+    E18: forces the naive comparator everywhere; results are
+    identical either way). *)
+val set_order_keys : t -> bool -> unit
+
+(** How many order-key tables were (re)built (instrumentation: one
+    per (root, version) generation actually touched by a read). *)
+val order_key_builds : t -> int
 
 (** {1 Introspection} *)
 

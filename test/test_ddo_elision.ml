@@ -1,0 +1,125 @@
+(* Static ddo-elision (Static.elide_ddo): the analysis may only
+   remove sorts it can prove redundant, so an elided run must be
+   indistinguishable from an unelided one — results and side effects
+   both — while the counters prove sorts actually were removed.
+   Reuses the tiny-auction harness from Test_explain. *)
+
+open Helpers
+module Runner = Xqb_algebra.Runner
+module Engine = Core.Engine
+
+let contains needle s = Re.execp (Re.compile (Re.str needle)) s
+
+(* The tiny-auction document as doc("auction"): the analysis proves
+   single-rootedness for doc() calls and FLWOR binders, but not for
+   global variables (a global can be rebound to an arbitrary
+   sequence), so the rooted-path tests query through doc(). *)
+let engine () =
+  let eng = Engine.create () in
+  ignore (Engine.load_document eng ~uri:"auction" Test_explain.tiny_auction);
+  eng
+
+(* Run [src] twice on fresh engines, with and without elision, and
+   insist on identical serialized results. Returns the elision site
+   count from the default compile. *)
+let same_both_ways name src =
+  let eng1 = engine () in
+  let c1 = Engine.compile eng1 src in
+  let v1 = Engine.serialize eng1 (Engine.run_compiled eng1 c1) in
+  let eng2 = engine () in
+  let c2 = Engine.compile ~elide_ddo:false eng2 src in
+  let v2 = Engine.serialize eng2 (Engine.run_compiled eng2 c2) in
+  check Alcotest.string name v1 v2;
+  check (Alcotest.option Alcotest.int) (name ^ ": no elision when off") None
+    (List.assoc_opt "ddo-elide" c2.Engine.rewrites);
+  List.assoc_opt "ddo-elide" c1.Engine.rewrites
+
+let elision_count name src =
+  tc name `Quick (fun () ->
+      match same_both_ways name src with
+      | Some n when n > 0 -> ()
+      | other ->
+        Alcotest.failf "%s: expected elision sites, got %s" name
+          (match other with None -> "none" | Some n -> string_of_int n))
+
+(* Queries where the analysis must stay conservative: same answers,
+   and the sort still runs (dup-producing or order-breaking shapes). *)
+let no_elision_needed name src =
+  tc name `Quick (fun () -> ignore (same_both_ways name src))
+
+let tests =
+  [
+    (* -- equivalence, effects included ---------------------------- *)
+    tc "elided Q8 = unelided Q8, inserts included" `Quick (fun () ->
+        let eng1 = Test_explain.engine () in
+        let c1 = Engine.compile eng1 Test_explain.q8 in
+        let obs1 = Test_explain.observe eng1 (Engine.run_compiled eng1 c1) in
+        let eng2 = Test_explain.engine () in
+        let c2 = Engine.compile ~elide_ddo:false eng2 Test_explain.q8 in
+        let obs2 = Test_explain.observe eng2 (Engine.run_compiled eng2 c2) in
+        check (Alcotest.pair Alcotest.string Alcotest.string)
+          "result and effects" obs1 obs2;
+        check Alcotest.string "pinned result"
+          {|<item person="Alice">2</item><item person="Bob">0</item><item person="Cara">1</item>|}
+          (fst obs1);
+        check Alcotest.string "pinned effects" "p1:i1 p1:i2 p3:i3" (snd obs1);
+        (* Q8's paths are all downward single-binder chains *)
+        check Alcotest.bool "elision fired on Q8" true
+          (List.assoc_opt "ddo-elide" c1.Engine.rewrites <> None));
+    tc "interpreter = plan on an elided updating query" `Quick (fun () ->
+        let src =
+          {|for $p in $auction//person
+            return (insert { <seen/> } into { $purchasers }, $p/name/text())|}
+        in
+        let eng_i = Test_explain.engine () in
+        let interp = Test_explain.observe eng_i (Engine.run eng_i src) in
+        let eng_p = Test_explain.engine () in
+        let r = Runner.run eng_p src in
+        let planned = Test_explain.observe eng_p r.Runner.value in
+        check (Alcotest.pair Alcotest.string Alcotest.string)
+          "result and effects" interp planned);
+    (* -- elision fires on the provable shapes --------------------- *)
+    elision_count "descendant chain" {|count(doc("auction")//person)|};
+    elision_count "child chain"
+      {|count(doc("auction")/site/people/person/name)|};
+    elision_count "per-binder paths"
+      {|for $p in doc("auction")//person return count($p/name)|};
+    elision_count "positional predicate"
+      {|(doc("auction")//person)[2]/name|};
+    elision_count "preceding rooted at a single node"
+      {|count((doc("auction")//itemref)[1]/preceding::person)|};
+    (* -- and stays conservative where it must --------------------- *)
+    no_elision_needed "dup-producing parent step"
+      {|count((doc("auction")//itemref, doc("auction")//buyer)/parent::closed_auction)|};
+    no_elision_needed "nested descendants"
+      {|count(doc("auction")//closed_auction//buyer)|};
+    no_elision_needed "union of paths"
+      {|count(doc("auction")//buyer | doc("auction")//itemref)|};
+    (* -- counters and EXPLAIN rendering --------------------------- *)
+    tc "runner counts elided sorts" `Quick (fun () ->
+        let eng = engine () in
+        let r = Runner.run eng {|doc("auction")//person/name|} in
+        check Alcotest.bool "ddo_elided > 0" true (r.Runner.ddo_elided > 0));
+    tc "EXPLAIN shows the elided DDO operator" `Quick (fun () ->
+        let eng = engine () in
+        let s = Runner.explain eng {|doc("auction")//person|} in
+        if not (contains "DDO (elided)" s) then
+          Alcotest.failf "no elided DDO in plan:\n%s" s);
+    tc "EXPLAIN keeps unelided DDO visible" `Quick (fun () ->
+        let eng = Test_explain.engine () in
+        let s =
+          Runner.explain eng
+            {|($auction//itemref, $auction//buyer)/parent::closed_auction|}
+        in
+        if not (contains "DDO" s) then Alcotest.failf "no DDO in plan:\n%s" s;
+        if contains "DDO (elided)" s then
+          Alcotest.failf "dup-producing path wrongly elided:\n%s" s);
+    tc "EXPLAIN ANALYZE renders the elision counter" `Quick (fun () ->
+        let eng = engine () in
+        let r, rendered = Runner.analyze eng {|doc("auction")//person/name|} in
+        check Alcotest.bool "counter positive" true (r.Runner.ddo_elided > 0);
+        if not (contains "ddo sorts elided" rendered) then
+          Alcotest.failf "no elision line in render:\n%s" rendered);
+  ]
+
+let suite = [ ("ddo elision", tests) ]

@@ -36,4 +36,6 @@ let () =
          Test_service.suite;
          Test_obs.suite;
          Test_explain.suite;
+         Test_order_keys.suite;
+         Test_ddo_elision.suite;
        ])
