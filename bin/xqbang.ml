@@ -91,10 +91,26 @@ let report_errors f =
     `Error (false, Xqb_governor.Budget.reason_to_string r)
   | Xqb_xdm.Errors.Dynamic_error (code, m) ->
     `Error (false, Printf.sprintf "dynamic error [%s] %s" code m)
-  | Core.Conflict.Conflict m -> `Error (false, "update conflict: " ^ m)
+  | Core.Conflict.Conflict_error c ->
+    `Error (false, "update conflict: " ^ Core.Conflict.to_string c)
   | Xqb_store.Store.Update_error m -> `Error (false, "update error: " ^ m)
   | Failure m -> `Error (false, m)
   | Sys_error m -> `Error (false, m)
+
+(* --show-delta: render each snap's ∆ before application with stable
+   node paths, source locations and snap depths (store-aware, unlike
+   the raw-id --trace-updates). *)
+let enable_show_delta eng =
+  (Core.Engine.context eng).Core.Context.on_apply <-
+    Some
+      (fun delta mode ->
+        let store = Core.Engine.store eng in
+        Printf.eprintf "snap(%s) Δ %d request(s):\n%s%!"
+          (Core.Apply.mode_to_string mode)
+          (List.length delta)
+          (match delta with
+          | [] -> ""
+          | _ -> Core.Update.render_delta store delta ^ "\n"))
 
 let enable_trace eng =
   (Core.Engine.context eng).Core.Context.on_apply <-
@@ -133,10 +149,11 @@ let write_file path content =
 
 let run_cmd =
   let run query expr docs vars mode seed optimize trace quiet deadline_ms fuel
-      explain_analyze trace_out =
+      explain_analyze trace_out show_delta explain_conflicts =
     report_errors (fun () ->
         let eng = setup_engine docs vars seed in
         if trace then enable_trace eng;
+        if show_delta then enable_show_delta eng;
         let src = get_source query expr in
         let mode = mode_of_string mode in
         (* --trace PATH: record the whole run (compile phases,
@@ -146,6 +163,19 @@ let run_cmd =
           | Some _ -> Some (Xqb_obs.Trace.create ())
           | None -> None
         in
+        (* Conflicts are reported with store-aware node paths; with
+           --explain-conflicts both offending requests are also shown
+           with their provenance. *)
+        let on_conflict (c : Core.Conflict.conflict) =
+          let store = Core.Engine.store eng in
+          if explain_conflicts then
+            Printf.eprintf "conflict %s:\n  first:  %s\n  second: %s\n%!"
+              (Core.Conflict.rule_id c.Core.Conflict.rule)
+              (Core.Update.render_request store c.Core.Conflict.first)
+              (Core.Update.render_request store c.Core.Conflict.second);
+          failwith ("update conflict: " ^ Core.Conflict.explain ~store c)
+        in
+        (try
         Core.Engine.with_tracer eng tracer (fun () ->
             let value =
               Core.Engine.with_budget eng (make_budget deadline_ms fuel)
@@ -170,7 +200,8 @@ let run_cmd =
                     else Core.Engine.run_compiled ~mode eng compiled
                   end)
             in
-            print_endline (Core.Engine.serialize eng value));
+            print_endline (Core.Engine.serialize eng value))
+        with Core.Conflict.Conflict_error c -> on_conflict c);
         (match (trace_out, tracer) with
         | Some path, Some tr ->
           write_file path (Xqb_obs.Trace.to_chrome_json tr);
@@ -191,10 +222,19 @@ let run_cmd =
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"PATH"
            ~doc:"Record a span trace of the run (compile phases, evaluation, snap application) and write Chrome trace-event JSON to PATH (loadable in chrome://tracing or Perfetto).")
   in
+  let show_delta_arg =
+    Arg.(value & flag & info [ "show-delta" ]
+           ~doc:"Render each pending-update list (Delta) to stderr before its snap applies it: one line per request with stable node paths, the source location of the effecting expression and its snap depth.")
+  in
+  let explain_conflicts_arg =
+    Arg.(value & flag & info [ "explain-conflicts" ]
+           ~doc:"On an update conflict, also print both offending requests with their provenance (rule id, node paths, source locations).")
+  in
   Cmd.v (Cmd.info "run" ~doc:"Evaluate an XQuery! program")
     Term.(ret (const run $ query_arg $ expr_arg $ docs_arg $ vars_arg $ mode_arg
                $ seed_arg $ optimize_arg $ trace_arg $ quiet_arg $ deadline_arg
-               $ fuel_arg $ explain_analyze_arg $ trace_out_arg))
+               $ fuel_arg $ explain_analyze_arg $ trace_out_arg $ show_delta_arg
+               $ explain_conflicts_arg))
 
 let explain_cmd =
   let explain query expr docs vars mode seed =
@@ -319,7 +359,9 @@ let repl_cmd =
             | Core.Engine.Compile_error m -> print_endline m
             | Xqb_xdm.Errors.Dynamic_error (code, m) ->
               Printf.printf "dynamic error [%s] %s\n" code m
-            | Core.Conflict.Conflict m -> Printf.printf "update conflict: %s\n" m
+            | Core.Conflict.Conflict_error c ->
+              Printf.printf "update conflict: %s\n"
+                (Core.Conflict.explain ~store:(Core.Engine.store eng) c)
             | Xqb_store.Store.Update_error m -> Printf.printf "update error: %s\n" m);
             loop ()
         in
@@ -367,6 +409,12 @@ let serve_cmd =
         if Svc.cancel svc jid then P.ok "cancelled"
         else P.err (Printf.sprintf "no in-flight job %d" jid)
       | P.Stats -> P.ok (Svc.stats_json svc)
+      | P.Delta -> (
+        match Svc.delta_json svc with
+        | Some json -> P.ok json
+        | None -> P.err "no write-side job has run yet")
+      | P.Slowlog -> P.ok (Svc.slowlog_json svc)
+      | P.Metrics_prom -> P.ok (Svc.metrics_prometheus svc)
       | P.Quit ->
         stop ();
         P.ok "bye"
@@ -393,11 +441,11 @@ let serve_cmd =
     loop ()
   in
   let serve domains cache_capacity port deadline_ms fuel max_delta max_queue
-      tracing =
+      tracing slow_apply_ms =
     report_errors (fun () ->
         let svc =
           Svc.create ~domains ~cache_capacity ?deadline_ms ?fuel ?max_delta
-            ?max_queue ~tracing ()
+            ?max_queue ~tracing ~slow_apply_ms ()
         in
         (match port with
         | None ->
@@ -451,11 +499,16 @@ let serve_cmd =
     Arg.(value & opt bool true & info [ "tracing" ] ~docv:"BOOL"
            ~doc:"Record a span trace per job (queue wait, lock wait, pipeline phases), retrievable as Chrome trace JSON via the TRACE request. Per-job overhead is a few microseconds; pass false to disable.")
   in
+  let slow_apply_arg =
+    Arg.(value & opt int 10 & info [ "slow-apply-ms" ] ~docv:"MS"
+           ~doc:"Slow-effect log threshold: write-side jobs whose Delta-apply phase exceeds MS are recorded with their Delta summary and trace id, retrievable via the SLOWLOG request.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the multi-client query service (newline-delimited protocol)")
     Term.(ret (const serve $ domains_arg $ cache_arg $ port_arg $ deadline_arg
-               $ fuel_arg $ max_delta_arg $ max_queue_arg $ tracing_arg))
+               $ fuel_arg $ max_delta_arg $ max_queue_arg $ tracing_arg
+               $ slow_apply_arg))
 
 let () =
   let info = Cmd.info "xqbang" ~version:"1.0.0"

@@ -51,8 +51,8 @@ let () =
          return snap conflict { insert {<a/>} into {$x}, insert {<b/>} into {$x} }|}
    with
   | _ -> print_endline "ERROR: conflicting snap was not rejected"
-  | exception Core.Conflict.Conflict msg ->
-    Printf.printf "conflicting snap rejected: %s\n" msg);
+  | exception Core.Conflict.Conflict_error c ->
+    Printf.printf "conflicting snap rejected: %s\n" (Core.Conflict.to_string c));
 
   (* Nondeterministic semantics: with independent updates, any
      application order yields the same store. *)

@@ -33,88 +33,210 @@
        children it finds at application time, so proving commutativity
        against interior structural work needs detach-idempotence
        reasoning over every permutation; like R1-R6 we reject the pair
-       instead of attempting the proof. *)
+       instead of attempting the proof.
 
-exception Conflict of string
+   A detected conflict is *structured* ([Conflict_error]): the rule
+   violated, both offending requests with their provenance, and the
+   node at issue, rendered by [explain] into sentences like
+   "R4: node /site/regions[1]/africa[1] inserted at 3:12 and deleted
+   at 7:5". The hash tables therefore store the claiming request, not
+   unit, so the first offender can be cited when the second arrives. *)
 
-let conflict fmt = Format.kasprintf (fun s -> raise (Conflict s)) fmt
+module S = Xqb_store.Store
+
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7
+
+let rule_id = function
+  | R1 -> "R1"
+  | R2 -> "R2"
+  | R3 -> "R3"
+  | R4 -> "R4"
+  | R5 -> "R5"
+  | R6 -> "R6"
+  | R7 -> "R7"
+
+type conflict = {
+  rule : rule;
+  first : Update.request;  (* the earlier request of the pair *)
+  second : Update.request;  (* the one that exposed the conflict *)
+  subject : S.node_id option;  (* the node at issue, if one *)
+  describe :
+    node:(S.node_id -> string) -> site1:string -> site2:string -> string;
+    (* the sentence body; [explain] supplies the node renderer and the
+       two provenance sites *)
+}
+
+exception Conflict_error of conflict
+
+let raise_conflict rule ~first ~second ?subject describe =
+  raise (Conflict_error { rule; first; second; subject; describe })
+
+let site_of (r : Update.request) =
+  if Update.has_location r.prov then
+    Printf.sprintf "%d:%d" r.prov.src_line r.prov.src_col
+  else "<unknown source>"
+
+let explain ?store (c : conflict) =
+  let node n =
+    match store with
+    | Some s -> S.node_path s n
+    | None -> Printf.sprintf "#%d" n
+  in
+  Printf.sprintf "%s: %s" (rule_id c.rule)
+    (c.describe ~node ~site1:(site_of c.first) ~site2:(site_of c.second))
+
+let to_string c = explain c
 
 type slot =
-  | Slot_first of Xqb_store.Store.node_id
-  | Slot_last of Xqb_store.Store.node_id
-  | Slot_before of Xqb_store.Store.node_id
-  | Slot_after of Xqb_store.Store.node_id
+  | Slot_first of S.node_id
+  | Slot_last of S.node_id
+  | Slot_before of S.node_id
+  | Slot_after of S.node_id
 
-(* Raises [Conflict] if the ∆ cannot be proven order-independent.
-   [store] enables the R7 subtree tests (keyed, O(1) each). *)
+let slot_describe node = function
+  | Slot_first p -> "as first into " ^ node p
+  | Slot_last p -> "as last into " ^ node p
+  | Slot_before a -> "before " ^ node a
+  | Slot_after a -> "after " ^ node a
+
+let slot_subject = function
+  | Slot_first p | Slot_last p -> p
+  | Slot_before a | Slot_after a -> a
+
+(* Raises [Conflict_error] if the ∆ cannot be proven
+   order-independent. [store] enables the R7 subtree tests (keyed,
+   O(1) each). *)
 let check ?store (delta : Update.delta) =
-  let slots : (slot, unit) Hashtbl.t = Hashtbl.create 64 in
-  let inserted : (Xqb_store.Store.node_id, unit) Hashtbl.t = Hashtbl.create 64 in
-  let anchors : (Xqb_store.Store.node_id, unit) Hashtbl.t = Hashtbl.create 64 in
-  let deleted : (Xqb_store.Store.node_id, unit) Hashtbl.t = Hashtbl.create 64 in
-  let renamed : (Xqb_store.Store.node_id, Xqb_xml.Qname.t) Hashtbl.t =
+  let slots : (slot, Update.request) Hashtbl.t = Hashtbl.create 64 in
+  let inserted : (S.node_id, Update.request) Hashtbl.t = Hashtbl.create 64 in
+  let anchors : (S.node_id, Update.request) Hashtbl.t = Hashtbl.create 64 in
+  let deleted : (S.node_id, Update.request) Hashtbl.t = Hashtbl.create 64 in
+  let renamed : (S.node_id, Xqb_xml.Qname.t * Update.request) Hashtbl.t =
     Hashtbl.create 16
   in
-  let set_valued : (Xqb_store.Store.node_id, string) Hashtbl.t = Hashtbl.create 16 in
-  let insert_parents : (Xqb_store.Store.node_id, unit) Hashtbl.t = Hashtbl.create 16 in
-  let claim_slot s =
-    if Hashtbl.mem slots s then
-      conflict "two inserts target the same position (R1)"
-    else Hashtbl.add slots s ()
+  let set_valued : (S.node_id, string * Update.request) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let insert_parents : (S.node_id, Update.request) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let claim_slot r s =
+    match Hashtbl.find_opt slots s with
+    | Some prior ->
+      raise_conflict R1 ~first:prior ~second:r ~subject:(slot_subject s)
+        (fun ~node ~site1 ~site2 ->
+          Printf.sprintf "two inserts (at %s and %s) target the same slot: %s"
+            site1 site2 (slot_describe node s))
+    | None -> Hashtbl.add slots s r
   in
   List.iter
     (fun (r : Update.request) ->
-      match r with
+      match r.Update.op with
       | Update.Insert { nodes; parent; position } ->
-        Hashtbl.replace insert_parents parent ();
-        if Hashtbl.mem set_valued parent then
-          conflict "insert into node %d whose value is also set (R6)" parent;
+        Hashtbl.replace insert_parents parent r;
+        (match Hashtbl.find_opt set_valued parent with
+        | Some (_, prior) ->
+          raise_conflict R6 ~first:prior ~second:r ~subject:parent
+            (fun ~node ~site1 ~site2 ->
+              Printf.sprintf
+                "node %s value-set at %s and inserted into at %s" (node parent)
+                site1 site2)
+        | None -> ());
         (match position with
-        | Update.First -> claim_slot (Slot_first parent)
-        | Update.Last -> claim_slot (Slot_last parent)
-        | Update.Before a ->
-          claim_slot (Slot_before a);
-          Hashtbl.replace anchors a ();
-          if Hashtbl.mem deleted a then
-            conflict "insert anchored on node %d which is also deleted (R2)" a
-        | Update.After a ->
-          claim_slot (Slot_after a);
-          Hashtbl.replace anchors a ();
-          if Hashtbl.mem deleted a then
-            conflict "insert anchored on node %d which is also deleted (R2)" a);
+        | Update.First -> claim_slot r (Slot_first parent)
+        | Update.Last -> claim_slot r (Slot_last parent)
+        | Update.Before a | Update.After a ->
+          claim_slot r
+            (match position with
+            | Update.Before _ -> Slot_before a
+            | _ -> Slot_after a);
+          Hashtbl.replace anchors a r;
+          (match Hashtbl.find_opt deleted a with
+          | Some prior ->
+            raise_conflict R2 ~first:prior ~second:r ~subject:a
+              (fun ~node ~site1 ~site2 ->
+                Printf.sprintf
+                  "node %s deleted at %s and used as an insert anchor at %s"
+                  (node a) site1 site2)
+          | None -> ()));
         List.iter
           (fun n ->
-            if Hashtbl.mem inserted n then
-              conflict "node %d inserted twice (R3)" n;
-            Hashtbl.add inserted n ();
-            if Hashtbl.mem deleted n then
-              conflict "node %d both inserted and deleted (R4)" n)
+            (match Hashtbl.find_opt inserted n with
+            | Some prior ->
+              raise_conflict R3 ~first:prior ~second:r ~subject:n
+                (fun ~node ~site1 ~site2 ->
+                  Printf.sprintf "node %s inserted twice, at %s and %s"
+                    (node n) site1 site2)
+            | None -> Hashtbl.add inserted n r);
+            match Hashtbl.find_opt deleted n with
+            | Some prior ->
+              raise_conflict R4 ~first:prior ~second:r ~subject:n
+                (fun ~node ~site1 ~site2 ->
+                  Printf.sprintf "node %s deleted at %s and inserted at %s"
+                    (node n) site1 site2)
+            | None -> ())
           nodes
-      | Update.Delete n ->
-        Hashtbl.replace deleted n ();
-        if Hashtbl.mem anchors n then
-          conflict "delete of node %d used as an insert anchor (R2)" n;
-        if Hashtbl.mem inserted n then
-          conflict "node %d both inserted and deleted (R4)" n;
-        if Hashtbl.mem set_valued n then
-          conflict "set-value of deleted node %d (R6)" n
+      | Update.Delete n -> (
+        Hashtbl.replace deleted n r;
+        (match Hashtbl.find_opt anchors n with
+        | Some prior ->
+          raise_conflict R2 ~first:prior ~second:r ~subject:n
+            (fun ~node ~site1 ~site2 ->
+              Printf.sprintf
+                "node %s used as an insert anchor at %s and deleted at %s"
+                (node n) site1 site2)
+        | None -> ());
+        (match Hashtbl.find_opt inserted n with
+        | Some prior ->
+          raise_conflict R4 ~first:prior ~second:r ~subject:n
+            (fun ~node ~site1 ~site2 ->
+              Printf.sprintf "node %s inserted at %s and deleted at %s"
+                (node n) site1 site2)
+        | None -> ());
+        match Hashtbl.find_opt set_valued n with
+        | Some (_, prior) ->
+          raise_conflict R6 ~first:prior ~second:r ~subject:n
+            (fun ~node ~site1 ~site2 ->
+              Printf.sprintf "node %s value-set at %s and deleted at %s"
+                (node n) site1 site2)
+        | None -> ())
       | Update.Rename (n, q) -> (
         match Hashtbl.find_opt renamed n with
-        | Some q' when not (Xqb_xml.Qname.equal q q') ->
-          conflict "node %d renamed to both %s and %s (R5)" n
-            (Xqb_xml.Qname.to_string q') (Xqb_xml.Qname.to_string q)
+        | Some (q', prior) when not (Xqb_xml.Qname.equal q q') ->
+          raise_conflict R5 ~first:prior ~second:r ~subject:n
+            (fun ~node ~site1 ~site2 ->
+              Printf.sprintf "node %s renamed to %s at %s and to %s at %s"
+                (node n)
+                (Xqb_xml.Qname.to_string q')
+                site1
+                (Xqb_xml.Qname.to_string q)
+                site2)
         | Some _ -> ()
-        | None -> Hashtbl.add renamed n q)
+        | None -> Hashtbl.add renamed n (q, r))
       | Update.Set_value (n, s) -> (
-        if Hashtbl.mem insert_parents n then
-          conflict "set-value of node %d which also receives inserts (R6)" n;
-        if Hashtbl.mem deleted n then
-          conflict "set-value of deleted node %d (R6)" n;
+        (match Hashtbl.find_opt insert_parents n with
+        | Some prior ->
+          raise_conflict R6 ~first:prior ~second:r ~subject:n
+            (fun ~node ~site1 ~site2 ->
+              Printf.sprintf "node %s inserted into at %s and value-set at %s"
+                (node n) site1 site2)
+        | None -> ());
+        (match Hashtbl.find_opt deleted n with
+        | Some prior ->
+          raise_conflict R6 ~first:prior ~second:r ~subject:n
+            (fun ~node ~site1 ~site2 ->
+              Printf.sprintf "node %s deleted at %s and value-set at %s"
+                (node n) site1 site2)
+        | None -> ());
         match Hashtbl.find_opt set_valued n with
-        | Some s' when not (String.equal s s') ->
-          conflict "node %d set to two different values (R6)" n
+        | Some (s', prior) when not (String.equal s s') ->
+          raise_conflict R6 ~first:prior ~second:r ~subject:n
+            (fun ~node ~site1 ~site2 ->
+              Printf.sprintf
+                "node %s set to %S at %s and to %S at %s" (node n) s' site1 s
+                site2)
         | Some _ -> ()
-        | None -> Hashtbl.add set_valued n s))
+        | None -> Hashtbl.add set_valued n (s, r)))
     delta;
   (* R7: set-value on an element/document vs structural work strictly
      inside its subtree. One keyed interval test per (set-valued
@@ -124,22 +246,26 @@ let check ?store (delta : Update.delta) =
   | None -> ()
   | Some store ->
     Hashtbl.iter
-      (fun n _ ->
-        match Xqb_store.Store.kind store n with
-        | Xqb_store.Store.Element | Xqb_store.Store.Document ->
-          let inside kind_s tbl =
+      (fun n (_, (sv_req : Update.request)) ->
+        match S.kind store n with
+        | S.Element | S.Document ->
+          let inside kind_s (tbl : (S.node_id, Update.request) Hashtbl.t) =
             Hashtbl.iter
-              (fun m () ->
-                if Xqb_store.Store.is_descendant store ~ancestor:n m then
-                  conflict "set-value of node %d vs %s %d inside its subtree (R7)"
-                    n kind_s m)
+              (fun m (req : Update.request) ->
+                if S.is_descendant store ~ancestor:n m then
+                  raise_conflict R7 ~first:sv_req ~second:req ~subject:m
+                    (fun ~node ~site1 ~site2 ->
+                      Printf.sprintf
+                        "node %s value-set at %s while %s %s inside its \
+                         subtree at %s"
+                        (node n) site1 kind_s (node m) site2))
               tbl
           in
-          inside "insert under" insert_parents;
-          inside "insert anchored on" anchors;
-          inside "delete of" deleted
+          inside "insert targets" insert_parents;
+          inside "insert anchors on" anchors;
+          inside "delete detaches" deleted
         | _ -> ())
       set_valued
 
 let is_conflict_free delta =
-  match check delta with () -> true | exception Conflict _ -> false
+  match check delta with () -> true | exception Conflict_error _ -> false

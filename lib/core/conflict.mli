@@ -10,18 +10,51 @@
     - R3: a node inserted by two requests conflicts;
     - R4: a node both inserted and deleted conflicts;
     - R5: diverging renames of one node conflict;
+    - R6: diverging set-values of one node conflict, and a set-value
+      conflicts with inserts into / a delete of its node;
     - R7 (only with [?store]): a set-value targeting an
       element/document node conflicts with structural work strictly
       inside its subtree — an O(1) interval test per pair on the
       store's pre/post order keys. Conservative, like the rest:
       element set-value detaches whatever children it finds at
       application time, and rather than prove that interior inserts
-      and detaches commute with that, we reject the pair. *)
+      and detaches commute with that, we reject the pair.
 
-exception Conflict of string
+    Detected conflicts are structured: {!Conflict_error} carries the
+    violated {!rule}, both offending requests with their provenance,
+    and the node at issue; {!explain} renders them into sentences like
+    ["R4: node /site/regions[1]/africa[1] inserted at 3:12 and deleted
+    at 7:5"]. *)
 
-(** @raise Conflict when order-independence cannot be proven. [store]
-    enables the R7 subtree tests. *)
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7
+
+val rule_id : rule -> string
+
+type conflict = {
+  rule : rule;
+  first : Update.request;  (** the earlier request of the pair *)
+  second : Update.request;  (** the one that exposed the conflict *)
+  subject : Xqb_store.Store.node_id option;  (** the node at issue *)
+  describe :
+    node:(Xqb_store.Store.node_id -> string) ->
+    site1:string ->
+    site2:string ->
+    string;
+      (** sentence body; {!explain} supplies the node renderer and the
+          two provenance sites *)
+}
+
+exception Conflict_error of conflict
+
+(** ["<rule>: <sentence>"]; with [store], node ids render as stable
+    {!Xqb_store.Store.node_path}s, otherwise as ["#<id>"]. *)
+val explain : ?store:Xqb_store.Store.t -> conflict -> string
+
+(** {!explain} without a store. *)
+val to_string : conflict -> string
+
+(** @raise Conflict_error when order-independence cannot be proven.
+    [store] enables the R7 subtree tests. *)
 val check : ?store:Xqb_store.Store.t -> Update.delta -> unit
 
 val is_conflict_free : Update.delta -> bool

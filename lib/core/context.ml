@@ -48,6 +48,14 @@ type t = {
     (* per-query span tracer; None = tracing off, so every
        instrumentation point costs one option match. Installed around
        a run by [Engine.with_tracer]. *)
+  delta_stats : Update.stats;
+    (* ∆ introspection: per-evaluation counters of applied snaps,
+       requests by kind, snap-depth histogram, conflict checks —
+       behind the DELTA wire command and --show-delta *)
+  mutable apply_ns : int;
+    (* cumulative wall time this evaluation spent applying ∆s (the
+       apply phase of every snap), feeding the service's slow-effect
+       log *)
 }
 
 let create ?(seed = 0x5eed) ?store () =
@@ -66,6 +74,8 @@ let create ?(seed = 0x5eed) ?store () =
     ddo_elided = 0;
     budget = None;
     tracer = None;
+    delta_stats = Update.stats_create ();
+    apply_ns = 0;
   }
 
 (* A read-only fork for concurrent evaluation (the service layer's
@@ -91,6 +101,8 @@ let fork_read ctx =
     ddo_elided = 0;
     budget = ctx.budget;  (* a governed session's forks inherit its budget *)
     tracer = ctx.tracer;  (* spans from the fork land in the same trace *)
+    delta_stats = Update.stats_create ();  (* forks are read-only anyway *)
+    apply_ns = 0;
   }
 
 let declare_function ctx name arity (f : func) =

@@ -50,6 +50,13 @@ type t = {
           instrumentation point). Install via {!Engine.with_tracer}.
           Copied by {!fork_read} so fork spans land in the same
           trace. *)
+  delta_stats : Update.stats;
+      (** ∆ introspection counters (applied snaps, requests by kind,
+          snap-depth histogram, conflict checks) — behind the DELTA
+          wire command and [--show-delta]. Fresh in {!fork_read}. *)
+  mutable apply_ns : int;
+      (** cumulative wall time spent applying ∆s (every snap's apply
+          phase), feeding the service's slow-effect log *)
 }
 
 (** Fresh context; [seed] drives the nondeterministic application

@@ -13,6 +13,12 @@
 module Qname = Xqb_xml.Qname
 module Axes = Xqb_store.Axes
 
+(* Source location of the effecting keyword, carried from the surface
+   syntax so emitted update requests can cite where they came from. *)
+type loc = Xqb_syntax.Ast.loc = { line : int; col : int }
+
+let no_loc = Xqb_syntax.Ast.no_loc
+
 type snap_mode = Xqb_syntax.Ast.snap_mode =
   | Snap_default
   | Snap_ordered
@@ -58,11 +64,12 @@ type expr =
   | Pi_node of name_spec * expr
   | Doc_node of expr
   (* XQuery! operations *)
-  | Insert of insert_target * expr * expr  (* payload (already Copy-wrapped), target *)
-  | Delete of expr
-  | Replace of expr * expr  (* 2nd already Copy-wrapped *)
-  | Replace_value of expr * expr  (* XQUF "replace value of node" *)
-  | Rename of expr * expr
+  | Insert of insert_target * expr * expr * loc
+    (* payload (already Copy-wrapped), target *)
+  | Delete of expr * loc
+  | Replace of expr * expr * loc  (* 2nd already Copy-wrapped *)
+  | Replace_value of expr * expr * loc  (* XQUF "replace value of node" *)
+  | Rename of expr * expr * loc
   | Copy of expr
   | Snap of snap_mode * expr
 
@@ -135,12 +142,12 @@ let rec pp ppf (e : expr) =
   | Pi_node (Dynamic t, e) ->
     fprintf ppf "processing-instruction {%a} {%a}" pp t pp e
   | Doc_node e -> fprintf ppf "document {%a}" pp e
-  | Insert (tgt, what, into) ->
+  | Insert (tgt, what, into, _) ->
     fprintf ppf "insert {%a} %s {%a}" pp what (insert_target_to_string tgt) pp into
-  | Delete e -> fprintf ppf "delete {%a}" pp e
-  | Replace (a, b) -> fprintf ppf "replace {%a} with {%a}" pp a pp b
-  | Replace_value (a, b) -> fprintf ppf "replace value of node %a with %a" pp a pp b
-  | Rename (a, b) -> fprintf ppf "rename {%a} to {%a}" pp a pp b
+  | Delete (e, _) -> fprintf ppf "delete {%a}" pp e
+  | Replace (a, b, _) -> fprintf ppf "replace {%a} with {%a}" pp a pp b
+  | Replace_value (a, b, _) -> fprintf ppf "replace value of node %a with %a" pp a pp b
+  | Rename (a, b, _) -> fprintf ppf "rename {%a} to {%a}" pp a pp b
   | Copy e -> fprintf ppf "copy {%a}" pp e
   | Snap (m, e) ->
     let ms = Xqb_syntax.Ast.snap_mode_to_string m in
@@ -159,11 +166,11 @@ let sub_exprs (e : expr) : expr list =
   | Let (_, a, b)
   | Some_sat (_, a, b)
   | Every_sat (_, a, b)
-  | Replace (a, b)
-  | Replace_value (a, b)
-  | Rename (a, b)
+  | Replace (a, b, _)
+  | Replace_value (a, b, _)
+  | Rename (a, b, _)
   | For (_, _, a, b)
-  | Insert (_, a, b)
+  | Insert (_, a, b, _)
   | Map (a, b)
   | Key_step (a, _, _, b) ->
     [ a; b ]
@@ -183,7 +190,7 @@ let sub_exprs (e : expr) : expr list =
   | Text_node e
   | Comment_node e
   | Doc_node e
-  | Delete e
+  | Delete (e, _)
   | Copy e
   | Snap (_, e) ->
     [ e ]

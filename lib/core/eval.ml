@@ -87,8 +87,22 @@ let charge_nodes ctx nodes =
   | Some b -> Xqb_governor.Budget.charge b (List.length nodes));
   nodes
 
-let emit_request ctx r =
-  Snap_stack.emit ctx.Context.snaps r;
+(* Record an update request on the innermost snap frame, stamping it
+   with provenance: the effecting expression's source location, the
+   snap depth it was emitted at, and the active trace id (if any). *)
+let emit_request ctx ?(loc = C.no_loc) op =
+  let prov =
+    {
+      Update.src_line = loc.C.line;
+      src_col = loc.C.col;
+      snap_depth = Snap_stack.depth ctx.Context.snaps;
+      trace_id =
+        (match ctx.Context.tracer with
+        | None -> None
+        | Some tr -> Some (Xqb_obs.Trace.id tr));
+    }
+  in
+  Snap_stack.emit ctx.Context.snaps (Update.make ~prov op);
   match ctx.Context.budget with
   | None -> ()
   | Some b ->
@@ -330,7 +344,7 @@ let rec eval (ctx : Context.t) (env : Context.env) (focus : Context.focus option
   | C.Copy e ->
     let v = eval ctx env focus e in
     List.map (copy_item ctx) v
-  | C.Insert (target, payload, dest) ->
+  | C.Insert (target, payload, dest, loc) ->
     (* Fig. 2: Expr1 first, then Expr2, then the location judgement. *)
     let v1 = eval ctx env focus payload in
     let v2 = eval ctx env focus dest in
@@ -350,14 +364,14 @@ let rec eval (ctx : Context.t) (env : Context.env) (focus : Context.focus option
       | C.T_before -> (parent_of anchor, Update.Before anchor)
       | C.T_after -> (parent_of anchor, Update.After anchor)
     in
-    emit_request ctx (Update.Insert { nodes; parent; position });
+    emit_request ctx ~loc (Update.Insert { nodes; parent; position });
     []
-  | C.Delete e ->
+  | C.Delete (e, loc) ->
     let v = eval ctx env focus e in
     let nodes = Value.nodes_of v in
-    List.iter (fun n -> emit_request ctx (Update.Delete n)) nodes;
+    List.iter (fun n -> emit_request ctx ~loc (Update.Delete n)) nodes;
     []
-  | C.Replace (e1, e2) ->
+  | C.Replace (e1, e2, loc) ->
     (* Fig. 2: Delta3 = (Delta1, Delta2, insert(...), delete(node)). *)
     let v1 = eval ctx env focus e1 in
     let v2 = eval ctx env focus e2 in
@@ -369,11 +383,11 @@ let rec eval (ctx : Context.t) (env : Context.env) (focus : Context.focus option
       | None -> Errors.raise_error "XUDY0009" "replace of a parentless node"
     in
     let nodes = content_to_nodes ctx v2 in
-    emit_request ctx
+    emit_request ctx ~loc
       (Update.Insert { nodes; parent; position = Update.After node });
-    emit_request ctx (Update.Delete node);
+    emit_request ctx ~loc (Update.Delete node);
     []
-  | C.Replace_value (e1, e2) ->
+  | C.Replace_value (e1, e2, loc) ->
     (* XQUF: the replacement atomizes to a string; emit a set-value
        request against the target node. *)
     let v1 = eval ctx env focus e1 in
@@ -383,14 +397,14 @@ let rec eval (ctx : Context.t) (env : Context.env) (focus : Context.focus option
       String.concat " "
         (List.map Atomic.to_string (Value.atomize ctx.Context.store v2))
     in
-    emit_request ctx (Update.Set_value (node, s));
+    emit_request ctx ~loc (Update.Set_value (node, s));
     []
-  | C.Rename (e1, e2) ->
+  | C.Rename (e1, e2, loc) ->
     let v1 = eval ctx env focus e1 in
     let v2 = eval ctx env focus e2 in
     let node = Value.singleton_node v1 in
     let name = value_to_qname ctx.Context.store v2 in
-    emit_request ctx (Update.Rename (node, name));
+    emit_request ctx ~loc (Update.Rename (node, name));
     []
   | C.Snap (C.Snap_atomic, body) ->
     (* Extension (§5, failure control): run the whole scope — body
@@ -422,6 +436,10 @@ and eval_snap ctx env focus mode body =
   (match ctx.Context.on_apply with
   | Some hook -> hook delta amode
   | None -> ());
+  Update.stats_record ctx.Context.delta_stats
+    ~conflict_checked:(amode = Apply.Conflict_detection)
+    delta;
+  let t0 = Xqb_obs.Clock.now_ns () in
   (match ctx.Context.tracer with
   | None -> Apply.apply ~rand_state:ctx.Context.rand ctx.Context.store amode delta
   | Some tr ->
@@ -435,6 +453,7 @@ and eval_snap ctx env focus mode body =
       (fun () ->
         Apply.apply ~rand_state:ctx.Context.rand ~tracer:tr ctx.Context.store
           amode delta));
+  ctx.Context.apply_ns <- ctx.Context.apply_ns + (Xqb_obs.Clock.now_ns () - t0);
   v
 
 and eval_name ctx env focus (ns : C.name_spec) : Qname.t =

@@ -141,7 +141,7 @@ let rec normalize env (e : A.expr) : C.expr =
   | A.Comp_doc e -> C.Doc_node (normalize env e)
   (* -- XQuery! operations; the paper's §3.3 rule inserts the deep
      copies here. -- *)
-  | A.Insert (what, loc) ->
+  | A.Insert (what, loc, kw_loc) ->
     let payload = C.Copy (normalize env what) in
     let target, dest =
       match loc with
@@ -151,13 +151,16 @@ let rec normalize env (e : A.expr) : C.expr =
       | A.Before e -> (C.T_before, e)
       | A.After e -> (C.T_after, e)
     in
-    C.Insert (target, payload, normalize env dest)
-  | A.Delete e -> C.Delete (normalize env e)
-  | A.Replace (e1, e2) -> C.Replace (normalize env e1, C.Copy (normalize env e2))
+    C.Insert (target, payload, normalize env dest, kw_loc)
+  | A.Delete (e, kw_loc) -> C.Delete (normalize env e, kw_loc)
+  | A.Replace (e1, e2, kw_loc) ->
+    C.Replace (normalize env e1, C.Copy (normalize env e2), kw_loc)
   (* replace value of node: the replacement is atomized, so no copy is
      needed — no node ends up with two parents. *)
-  | A.Replace_value (e1, e2) -> C.Replace_value (normalize env e1, normalize env e2)
-  | A.Rename (e1, e2) -> C.Rename (normalize env e1, normalize env e2)
+  | A.Replace_value (e1, e2, kw_loc) ->
+    C.Replace_value (normalize env e1, normalize env e2, kw_loc)
+  | A.Rename (e1, e2, kw_loc) ->
+    C.Rename (normalize env e1, normalize env e2, kw_loc)
   | A.Copy e -> C.Copy (normalize env e)
   (* XQUF transform is sugar the XQuery! core already expresses:
      copies bound by let, the modify clause under its own snap (its

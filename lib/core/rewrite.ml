@@ -116,11 +116,11 @@ and map_subs f (e : C.expr) : C.expr =
   | C.Comment_node a -> C.Comment_node (f a)
   | C.Pi_node (ns, a) -> C.Pi_node (map_name ns f, f a)
   | C.Doc_node a -> C.Doc_node (f a)
-  | C.Insert (tgt, a, b) -> C.Insert (tgt, f a, f b)
-  | C.Delete a -> C.Delete (f a)
-  | C.Replace (a, b) -> C.Replace (f a, f b)
-  | C.Replace_value (a, b) -> C.Replace_value (f a, f b)
-  | C.Rename (a, b) -> C.Rename (f a, f b)
+  | C.Insert (tgt, a, b, loc) -> C.Insert (tgt, f a, f b, loc)
+  | C.Delete (a, loc) -> C.Delete (f a, loc)
+  | C.Replace (a, b, loc) -> C.Replace (f a, f b, loc)
+  | C.Replace_value (a, b, loc) -> C.Replace_value (f a, f b, loc)
+  | C.Rename (a, b, loc) -> C.Rename (f a, f b, loc)
   | C.Copy a -> C.Copy (f a)
   | C.Snap (m, a) -> C.Snap (m, f a)
 

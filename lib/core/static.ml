@@ -531,12 +531,13 @@ let elide_ddo ~purity (e : C.expr) : C.expr * int =
     | C.Comment_node a -> C.Comment_node (go singles a)
     | C.Pi_node (ns, a) -> C.Pi_node (go_ns singles ns, go singles a)
     | C.Doc_node a -> C.Doc_node (go singles a)
-    | C.Insert (tgt, payload, dest) ->
-      C.Insert (tgt, go singles payload, go singles dest)
-    | C.Delete a -> C.Delete (go singles a)
-    | C.Replace (a, b) -> C.Replace (go singles a, go singles b)
-    | C.Replace_value (a, b) -> C.Replace_value (go singles a, go singles b)
-    | C.Rename (a, b) -> C.Rename (go singles a, go singles b)
+    | C.Insert (tgt, payload, dest, loc) ->
+      C.Insert (tgt, go singles payload, go singles dest, loc)
+    | C.Delete (a, loc) -> C.Delete (go singles a, loc)
+    | C.Replace (a, b, loc) -> C.Replace (go singles a, go singles b, loc)
+    | C.Replace_value (a, b, loc) ->
+      C.Replace_value (go singles a, go singles b, loc)
+    | C.Rename (a, b, loc) -> C.Rename (go singles a, go singles b, loc)
     | C.Copy a -> C.Copy (go singles a)
     | C.Snap (m, a) -> C.Snap (m, go singles a)
   and go_ns singles = function

@@ -419,18 +419,18 @@ let rec infer env (vars : t SMap.t) (e : C.expr) : t =
   | C.Copy a ->
     let t = infer env vars a in
     { t with item = t.item }
-  | C.Insert (_, payload, target) ->
+  | C.Insert (_, payload, target, _) ->
     ignore (infer env vars payload);
     let tt = infer env vars target in
     if definitely_atomic tt.item && tt.occ <> O_zero then
       warn env "insert target has type %s (a node is required)" (to_string tt);
     empty_ty
-  | C.Delete a ->
+  | C.Delete (a, _) ->
     let t = infer env vars a in
     if definitely_atomic t.item && must_be_nonempty t.occ then
       warn env "delete of a value of type %s (nodes required)" (to_string t);
     empty_ty
-  | C.Replace (a, b) | C.Replace_value (a, b) | C.Rename (a, b) ->
+  | C.Replace (a, b, _) | C.Replace_value (a, b, _) | C.Rename (a, b, _) ->
     let ta = infer env vars a in
     ignore (infer env vars b);
     if definitely_atomic ta.item && ta.occ <> O_zero then

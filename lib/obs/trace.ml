@@ -27,6 +27,7 @@ type span = {
 
 type t = {
   enabled : bool;
+  id : string;  (* process-unique label ("t17") for cross-referencing *)
   mutex : Mutex.t;
   cap : int;
   epoch_ns : int;
@@ -37,9 +38,14 @@ type t = {
   mutable stack : int list;  (* open span ids, innermost first *)
 }
 
+(* Trace ids are process-unique so update provenance, the slow-effect
+   log, and the TRACE wire command can all point at the same trace. *)
+let trace_counter = Atomic.make 0
+
 let create ?(cap = 4096) () =
   {
     enabled = true;
+    id = Printf.sprintf "t%d" (Atomic.fetch_and_add trace_counter 1);
     mutex = Mutex.create ();
     cap;
     epoch_ns = Clock.now_ns ();
@@ -55,6 +61,7 @@ let create ?(cap = 4096) () =
 let disabled =
   {
     enabled = false;
+    id = "t-off";
     mutex = Mutex.create ();
     cap = 0;
     epoch_ns = 0;
@@ -66,6 +73,8 @@ let disabled =
   }
 
 let enabled t = t.enabled
+
+let id t = t.id
 
 let locked t f =
   Mutex.lock t.mutex;
@@ -106,7 +115,7 @@ let end_span ?(args = []) t id =
     let now = Clock.now_ns () in
     locked t (fun () ->
         t.stack <- List.filter (fun i -> i <> id) t.stack;
-        match List.find_opt (fun s -> s.id = id) t.spans with
+        match List.find_opt (fun (s : span) -> s.id = id) t.spans with
         | None -> ()  (* dropped at the cap *)
         | Some s ->
           s.dur_ns <- now - s.start_ns;

@@ -19,6 +19,12 @@ val disabled : t
 
 val enabled : t -> bool
 
+(** Process-unique trace label (["t17"]) — stamped into update
+    provenance and the slow-effect log so they can be matched with
+    the TRACE wire command's output. The disabled tracer is
+    ["t-off"]. *)
+val id : t -> string
+
 (** Open a span (parent = innermost open span). Returns a span id;
     [-1] on a disabled tracer. *)
 val begin_span : ?cat:string -> t -> string -> int

@@ -284,3 +284,120 @@ let to_json ?(cache : Plan_cache.stats option)
                extra));
       Buffer.add_string buf "}";
       Buffer.contents buf)
+
+(* -- Prometheus text exposition -------------------------------------
+
+   The same counters as [to_json], rendered in the Prometheus
+   text-based format (version 0.0.4): counters as _total, latency
+   and per-phase distributions as summaries with quantile labels.
+   One METRICS PROM wire request returns the whole page; the serve
+   front end's escaping makes the multi-line payload line-safe. *)
+
+let prom_label_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let prom_summary buf name labels (h : Hist.t) =
+  let label extra =
+    match labels @ extra with
+    | [] -> ""
+    | l ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (prom_label_escape v))
+             l)
+      ^ "}"
+  in
+  List.iter
+    (fun q ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s %.0f\n" name
+           (label [ ("quantile", Printf.sprintf "%g" q) ])
+           (Hist.percentile h q)))
+    [ 0.5; 0.9; 0.99 ];
+  Buffer.add_string buf
+    (Printf.sprintf "%s_sum%s %.0f\n" name (label []) (Hist.sum h));
+  Buffer.add_string buf
+    (Printf.sprintf "%s_count%s %d\n" name (label []) (Hist.count h))
+
+let to_prometheus ?(cache : Plan_cache.stats option) t =
+  locked t @@ fun () ->
+  let buf = Buffer.create 2048 in
+  let counter name ?(labels = []) v =
+    let l =
+      match labels with
+      | [] -> ""
+      | l ->
+        "{"
+        ^ String.concat ","
+            (List.map
+               (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (prom_label_escape v))
+               l)
+        ^ "}"
+    in
+    Buffer.add_string buf (Printf.sprintf "%s%s %d\n" name l v)
+  in
+  let typ name kind = Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind) in
+  typ "xqbang_queries_total" "counter";
+  counter "xqbang_queries_total" t.queries;
+  typ "xqbang_queries_by_side_total" "counter";
+  counter "xqbang_queries_by_side_total" ~labels:[ ("side", "parallel") ] t.parallel;
+  counter "xqbang_queries_by_side_total" ~labels:[ ("side", "exclusive") ] t.exclusive;
+  typ "xqbang_queries_by_purity_total" "counter";
+  counter "xqbang_queries_by_purity_total" ~labels:[ ("purity", "pure") ] t.pure;
+  counter "xqbang_queries_by_purity_total" ~labels:[ ("purity", "updating") ] t.updating;
+  counter "xqbang_queries_by_purity_total" ~labels:[ ("purity", "effecting") ] t.effecting;
+  typ "xqbang_query_errors_total" "counter";
+  counter "xqbang_query_errors_total" t.errors;
+  typ "xqbang_query_errors_by_kind_total" "counter";
+  List.iter
+    (fun (kind, n) ->
+      counter "xqbang_query_errors_by_kind_total"
+        ~labels:[ ("kind", Service_error.kind_to_string kind) ]
+        n)
+    [
+      (Service_error.Timeout, t.err_timeout);
+      (Service_error.Cancelled, t.err_cancelled);
+      (Service_error.Overloaded, t.err_overloaded);
+      (Service_error.Conflict, t.err_conflict);
+      (Service_error.Dynamic, t.err_dynamic);
+    ];
+  typ "xqbang_deltas_applied_total" "counter";
+  counter "xqbang_deltas_applied_total" t.deltas_applied;
+  typ "xqbang_update_requests_total" "counter";
+  counter "xqbang_update_requests_total" t.update_requests;
+  typ "xqbang_queue_depth_max" "gauge";
+  counter "xqbang_queue_depth_max" t.depth_max;
+  typ "xqbang_inflight_peak" "gauge";
+  counter "xqbang_inflight_peak" ~labels:[ ("side", "parallel") ] t.max_inflight_par;
+  counter "xqbang_inflight_peak" ~labels:[ ("side", "exclusive") ] t.max_inflight_excl;
+  (match cache with
+  | None -> ()
+  | Some c ->
+    typ "xqbang_plan_cache_total" "counter";
+    counter "xqbang_plan_cache_total" ~labels:[ ("event", "hit") ] c.Plan_cache.hits;
+    counter "xqbang_plan_cache_total" ~labels:[ ("event", "miss") ] c.Plan_cache.misses;
+    counter "xqbang_plan_cache_total"
+      ~labels:[ ("event", "eviction") ]
+      c.Plan_cache.evictions;
+    typ "xqbang_plan_cache_size" "gauge";
+    counter "xqbang_plan_cache_size" c.Plan_cache.size);
+  typ "xqbang_query_latency_ns" "summary";
+  prom_summary buf "xqbang_query_latency_ns" [] t.lat;
+  typ "xqbang_phase_ns" "summary";
+  List.iter
+    (fun name ->
+      prom_summary buf "xqbang_phase_ns"
+        [ ("phase", name) ]
+        (Hashtbl.find t.phases name))
+    (List.rev t.phase_order);
+  Buffer.contents buf

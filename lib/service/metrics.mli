@@ -62,3 +62,9 @@ val to_json :
   ?extra:(string * string) list ->
   t ->
   string
+
+(** The same counters in the Prometheus text exposition format
+    (counters as [_total], latency / per-phase distributions as
+    summaries with quantile labels) — the wire [METRICS PROM]
+    payload. *)
+val to_prometheus : ?cache:Plan_cache.stats -> t -> string

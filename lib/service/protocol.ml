@@ -10,6 +10,9 @@
      CANCEL <job id>               cancel a running job -> OK cancelled | ERR ...
      TRACE [<job id>|LAST]         Chrome trace JSON    -> OK <json> | ERR ...
      STATS                         metrics dump         -> OK <json>
+     DELTA                         last job's Delta statistics -> OK <json> | ERR ...
+     SLOWLOG                       slow-effect log      -> OK <json array>
+     METRICS [PROM]                Prometheus text page -> OK <text>
      QUIT                          end the connection   -> OK bye
 
    Query text is the rest of the line with the two-character escapes
@@ -26,6 +29,9 @@ type request =
   | Cancel of int  (* job id, as reported asynchronously-submitted *)
   | Trace of int option  (* job id; None = most recent traced job *)
   | Stats
+  | Delta  (* last write-side job's ∆ statistics *)
+  | Slowlog  (* the slow-effect log *)
+  | Metrics_prom  (* Prometheus text exposition *)
   | Quit
 
 (* -- one-line escaping ---------------------------------------------- *)
@@ -126,6 +132,12 @@ let parse line : (request, string) result =
       | Some jid -> Ok (Trace (Some jid))
       | None -> Error (Printf.sprintf "expected a job id or LAST, got %S" rest)))
   | "STATS" -> Ok Stats
+  | "DELTA" -> Ok Delta
+  | "SLOWLOG" -> Ok Slowlog
+  | "METRICS" -> (
+    match String.uppercase_ascii rest with
+    | "" | "PROM" -> Ok Metrics_prom
+    | f -> Error (Printf.sprintf "unknown METRICS format %S (try PROM)" f))
   | "QUIT" -> Ok Quit
   | "" -> Error "empty request"
   | kw -> Error (Printf.sprintf "unknown request %S" kw)

@@ -10,6 +10,9 @@ type request =
   | Cancel of int  (** job id *)
   | Trace of int option  (** job id; [None] = most recent traced job *)
   | Stats
+  | Delta  (** last write-side job's ∆ statistics *)
+  | Slowlog  (** the slow-effect log *)
+  | Metrics_prom  (** Prometheus text exposition *)
   | Quit
 
 val parse : string -> (request, string) result

@@ -96,9 +96,28 @@ type t = {
   tracing : bool;
   tr_mutex : Mutex.t;
   mutable recent_traces : (int * Trace.t) list;  (* newest first, bounded *)
+  (* effect observability: per-job ∆ statistics (wire DELTA) and the
+     slow-effect log — write-side jobs whose apply phase exceeded
+     [slow_ns] leave a ∆ summary + trace id in a bounded ring (wire
+     SLOWLOG). *)
+  slow_ns : int;
+  sl_mutex : Mutex.t;
+  mutable slowlog : slow_entry list;  (* newest first, bounded *)
+  mutable last_delta : string option;  (* rendered ∆-stats JSON *)
+}
+
+and slow_entry = {
+  sl_jid : int;
+  sl_sid : int;
+  sl_src : string;
+  sl_apply_ns : int;
+  sl_snaps : int;
+  sl_requests : int;
+  sl_trace : string option;
 }
 
 let trace_ring_cap = 32
+let slowlog_cap = 64
 
 let locked m f =
   Mutex.lock m;
@@ -121,7 +140,7 @@ let watchdog_loop t () =
   done
 
 let create ?(domains = 4) ?(cache_capacity = 128) ?(seed = 0x5eed) ?deadline_ms
-    ?fuel ?max_delta ?max_queue ?(tracing = false) () =
+    ?fuel ?max_delta ?max_queue ?(tracing = false) ?(slow_apply_ms = 10) () =
   let t =
     {
       catalog = Catalog.create ();
@@ -143,6 +162,10 @@ let create ?(domains = 4) ?(cache_capacity = 128) ?(seed = 0x5eed) ?deadline_ms
       tracing;
       tr_mutex = Mutex.create ();
       recent_traces = [];
+      slow_ns = slow_apply_ms * 1_000_000;
+      sl_mutex = Mutex.create ();
+      slowlog = [];
+      last_delta = None;
     }
   in
   if deadline_ms <> None then t.watchdog <- Some (Thread.create (watchdog_loop t) ());
@@ -294,6 +317,74 @@ let trace_json t jid =
         | (j, tr) :: _ -> Some (j, Trace.to_chrome_json tr)
         | [] -> None))
 
+(* -- effect observability ------------------------------------------- *)
+
+(* Rendered ∆-statistics JSON for one write-side job: requests by
+   kind, snap-depth histogram, conflicts checked, apply-phase wall
+   time. This is the wire DELTA payload. *)
+let delta_stats_json ~jid ~apply_ns (st : Core.Update.stats) =
+  Printf.sprintf
+    "{\"jid\":%d,\"snaps\":%d,\"requests\":{\"insert\":%d,\"delete\":%d,\"rename\":%d,\"set_value\":%d},\"total_requests\":%d,\"conflicts_checked\":%d,\"max_snap_depth\":%d,\"snap_depth_hist\":[%s],\"apply_ns\":%d}"
+    jid st.Core.Update.snaps st.Core.Update.inserts st.Core.Update.deletes
+    st.Core.Update.renames st.Core.Update.set_values
+    (Core.Update.stats_requests st)
+    st.Core.Update.conflicts_checked st.Core.Update.max_snap_depth
+    (String.concat ","
+       (Array.to_list (Array.map string_of_int st.Core.Update.depth_hist)))
+    apply_ns
+
+(* Called right after a write-side job finishes (session lock held):
+   snapshot the job's ∆ statistics for the wire DELTA command, and
+   ring-buffer a slow-effect entry when the apply phase crossed the
+   threshold. *)
+let note_effects t ~jid ~sid ~src ~trace ctx =
+  let st = ctx.Core.Context.delta_stats in
+  let apply_ns = ctx.Core.Context.apply_ns in
+  let snaps = st.Core.Update.snaps in
+  let requests = Core.Update.stats_requests st in
+  let json = delta_stats_json ~jid ~apply_ns st in
+  locked t.sl_mutex (fun () ->
+      t.last_delta <- Some json;
+      if apply_ns >= t.slow_ns && snaps > 0 then begin
+        let entry =
+          {
+            sl_jid = jid;
+            sl_sid = sid;
+            sl_src =
+              (if String.length src <= 120 then src
+               else String.sub src 0 120 ^ "…");
+            sl_apply_ns = apply_ns;
+            sl_snaps = snaps;
+            sl_requests = requests;
+            sl_trace = trace;
+          }
+        in
+        t.slowlog <-
+          entry :: List.filteri (fun i _ -> i < slowlog_cap - 1) t.slowlog
+      end)
+
+(* Last write-side job's ∆ statistics; [None] before any updating
+   query ran. *)
+let delta_json t = locked t.sl_mutex (fun () -> t.last_delta)
+
+let slowlog_json t =
+  let entries = locked t.sl_mutex (fun () -> t.slowlog) in
+  "["
+  ^ String.concat ","
+      (List.map
+         (fun e ->
+           Printf.sprintf
+             "{\"jid\":%d,\"sid\":%d,\"apply_ns\":%d,\"snaps\":%d,\"requests\":%d,\"trace\":%s,\"src\":\"%s\"}"
+             e.sl_jid e.sl_sid e.sl_apply_ns e.sl_snaps e.sl_requests
+             (match e.sl_trace with
+             | Some id -> Printf.sprintf "\"%s\"" (Metrics.json_escape id)
+             | None -> "null")
+             (Metrics.json_escape e.sl_src))
+         entries)
+  ^ "]"
+
+let slowlog_length t = locked t.sl_mutex (fun () -> List.length t.slowlog)
+
 let inflight_json t =
   let now = Unix.gettimeofday () in
   let entries =
@@ -392,8 +483,20 @@ let submit_job t sid src :
               Engine.serialize_with (Catalog.store t.catalog) v)
         | None ->
           (* write side: the session itself, full snap semantics,
-             transactional so budget kills roll back cleanly *)
+             transactional so budget kills roll back cleanly. The
+             job's ∆ statistics and apply-phase wall time are
+             snapshotted for DELTA / the slow-effect log even when it
+             fails. *)
           locked s.slock (fun () ->
+              let ctx = Engine.context s.engine in
+              Core.Update.stats_reset ctx.Core.Context.delta_stats;
+              ctx.Core.Context.apply_ns <- 0;
+              Fun.protect
+                ~finally:(fun () ->
+                  note_effects t ~jid ~sid ~src
+                    ~trace:(Option.map Trace.id tr)
+                    ctx)
+              @@ fun () ->
               Engine.with_tracer s.engine tr (fun () ->
                   Engine.with_budget s.engine (Some budget) (fun () ->
                       Xqb_store.Store.transactionally (Catalog.store t.catalog)
@@ -473,6 +576,13 @@ let explain_job t sid src :
     @@ fun () ->
     match
       locked s.slock (fun () ->
+          let ctx = Engine.context s.engine in
+          Core.Update.stats_reset ctx.Core.Context.delta_stats;
+          ctx.Core.Context.apply_ns <- 0;
+          Fun.protect
+            ~finally:(fun () ->
+              note_effects t ~jid ~sid ~src ~trace:(Option.map Trace.id tr) ctx)
+          @@ fun () ->
           Engine.with_tracer s.engine tr (fun () ->
               Engine.with_budget s.engine (Some budget) (fun () ->
                   Xqb_store.Store.transactionally (Catalog.store t.catalog)
@@ -502,6 +612,10 @@ let explain_job t sid src :
 let explain t sid src = await (snd (explain_job t sid src))
 
 let cache_stats t = Plan_cache.stats t.cache
+
+(* Wire [METRICS PROM]: the counters as a Prometheus text page. *)
+let metrics_prometheus t =
+  Metrics.to_prometheus ~cache:(Plan_cache.stats t.cache) t.metrics
 
 let stats_json t =
   Metrics.to_json

@@ -23,6 +23,7 @@ val create :
   ?max_delta:int ->
   ?max_queue:int ->
   ?tracing:bool ->
+  ?slow_apply_ms:int ->
   unit ->
   t
 
@@ -101,6 +102,23 @@ val cache_stats : t -> Plan_cache.stats
 
 (** Metrics + plan-cache + catalog + in-flight jobs as JSON. *)
 val stats_json : t -> string
+
+(** Metrics + plan-cache counters in the Prometheus text exposition
+    format (wire [METRICS PROM]). *)
+val metrics_prometheus : t -> string
+
+(** The last write-side job's ∆ statistics as JSON (requests by
+    kind, snap-depth histogram, conflicts checked, apply-phase wall
+    time) — the wire [DELTA] payload. [None] before any write-side
+    job ran. *)
+val delta_json : t -> string option
+
+(** The slow-effect log as a JSON array, newest first: write-side
+    jobs whose ∆-apply phase exceeded [slow_apply_ms], each with its
+    ∆ summary and trace id (wire [SLOWLOG]). *)
+val slowlog_json : t -> string
+
+val slowlog_length : t -> int
 
 (** Stop the service. Without [deadline] drain queued jobs; with
     [deadline] (seconds) give them that long, then abandon the queue

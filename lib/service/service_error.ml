@@ -43,7 +43,8 @@ let classify = function
     { kind = Overloaded; message = "queue full, submission rejected" }
   | Scheduler.Shut_down ->
     { kind = Overloaded; message = "service is shut down" }
-  | Core.Conflict.Conflict m -> { kind = Conflict; message = "update conflict: " ^ m }
+  | Core.Conflict.Conflict_error c ->
+    { kind = Conflict; message = "update conflict: " ^ Core.Conflict.to_string c }
   | Core.Engine.Compile_error m -> { kind = Dynamic; message = m }
   | Xqb_xdm.Errors.Dynamic_error (code, m) ->
     { kind = Dynamic; message = Printf.sprintf "dynamic error [%s] %s" code m }

@@ -1,0 +1,35 @@
+(** Replay and rendering for the store's mutation journal — the
+    WAL-style effect audit trail of the observability layer.
+
+    {!Store} records every mutating operation as an ordered
+    {!Store.mj_entry} list (see the "Mutation journal" section there).
+    Node ids allocate sequentially, so replaying those entries against
+    a fresh store is deterministic and reproduces the original store
+    byte for byte; {!consistent} is that check, used by tests and
+    bench E19. *)
+
+type entry = Store.mj_entry = { seq : int; op : Store.mj_op }
+
+exception Replay_error of string
+
+(** Reconstruct a store by re-executing the journal against a fresh
+    one. Transaction spans run through {!Store.transactionally}; an
+    [M_txn_abort] marker drives the same rollback machinery the
+    original used. @raise Replay_error on a malformed journal
+    (terminator with no open span). *)
+val replay : entry list -> Store.t
+
+(** Canonical dump of the node table (kind, name, content, parent,
+    position, child and attribute lists for every id). Equal digests
+    ⟺ indistinguishable stores. *)
+val digest : Store.t -> string
+
+(** [replay (journal_entries store) ≡ store], byte for byte. *)
+val consistent : Store.t -> bool
+
+(** Human-readable rendering; [store] resolves node ids to stable
+    {!Store.node_path}s, otherwise ids render raw (["#12"]). *)
+val op_to_string : ?store:Store.t -> Store.mj_op -> string
+
+val entry_to_string : ?store:Store.t -> entry -> string
+val to_string : ?store:Store.t -> entry list -> string

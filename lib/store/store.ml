@@ -43,11 +43,53 @@ type journal_entry =
   | J_renamed of node_id * Xqb_xml.Qname.t option
   | J_content of node_id * string
 
+(* Mutation-journal ops (distinct from [journal_entry], which is the
+   transactional UNDO log above). The mutation journal is an
+   append-only, replayable record of everything that changed the
+   store: node allocation is sequential, so re-executing the ops in
+   order against a fresh store reproduces the same node ids and hence
+   the same store byte for byte ([Journal.replay]). Transaction spans
+   are bracketed with begin/commit/abort markers so replay can redo a
+   rollback with the same undo machinery. *)
+type insert_position = First | Last | After of node_id
+
+type mj_op =
+  | M_make of kind * Xqb_xml.Qname.t option * string
+    (* one [alloc]: kind, name, content *)
+  | M_insert of node_id * insert_position * node_id list
+  | M_detach of node_id
+  | M_rename of node_id * Xqb_xml.Qname.t
+  | M_set_content of node_id * string
+  | M_deep_copy of node_id
+    (* composite: the whole recursive copy, one entry (inner allocs
+       are suppressed — [deep_copy] wires structure directly, so
+       replay just calls it again) *)
+  | M_txn_begin
+  | M_txn_commit
+  | M_txn_abort
+  | M_request of {
+      line : int;
+      col : int;
+      snap_depth : int;
+      trace_id : string option;
+      desc : string;
+    }
+    (* provenance note preceding the ops of one update request *)
+
+type mj_entry = { seq : int; op : mj_op }
+
 type t = {
   mutable tbl : node array;
   mutable next_id : int;
   mutable journal : journal_entry list;
   mutable journal_on : bool;
+  (* mutation journal (observability): reversed entry list, entry
+     count (= next seq), recording flag, and a suspension flag for
+     composite ops ([deep_copy]) whose inner allocs must not appear *)
+  mutable mj : mj_entry list;
+  mutable mj_count : int;
+  mutable mj_on : bool;
+  mutable mj_suspend : bool;
   mutable mutations : int;  (* statistics: store-changing operations *)
   (* element-name index: (root, version, name) -> descendants in doc
      order, built lazily per parentless root. Invalidation is
@@ -91,11 +133,39 @@ let dummy_node =
 
 let create () =
   { tbl = Array.make 64 dummy_node; next_id = 0; journal = []; journal_on = false;
+    mj = []; mj_count = 0; mj_on = false; mj_suspend = false;
     mutations = 0; index_enabled = true; name_index = Hashtbl.create 64;
     indexed_roots = Hashtbl.create 8; root_versions = Hashtbl.create 8;
     key_index = Hashtbl.create 16;
     okeys = Array.make 64 Order_key.none; order_keys_enabled = true;
     okey_builds = 0; index_lock = Mutex.create () }
+
+(* -- Mutation journal (observability) ------------------------------ *)
+
+let mj_record store op =
+  if store.mj_on && not store.mj_suspend then begin
+    store.mj <- { seq = store.mj_count; op } :: store.mj;
+    store.mj_count <- store.mj_count + 1
+  end
+
+(* Start recording. The journal is replayable only when started on a
+   fresh (empty) store — replay depends on sequential id allocation —
+   and outside any transaction; callers own that discipline. *)
+let journal_start store =
+  store.mj <- [];
+  store.mj_count <- 0;
+  store.mj_on <- true
+
+let journal_stop store = store.mj_on <- false
+
+let journal_active store = store.mj_on && not store.mj_suspend
+
+let journal_entries store = List.rev store.mj
+
+let journal_length store = store.mj_count
+
+let journal_note store ~line ~col ~snap_depth ~trace_id ~desc =
+  mj_record store (M_request { line; col; snap_depth; trace_id; desc })
 
 let set_indexing store b = store.index_enabled <- b
 let set_order_keys store b = store.order_keys_enabled <- b
@@ -141,7 +211,13 @@ let alloc store kind name content =
   in
   store.tbl.(store.next_id) <- n;
   store.next_id <- store.next_id + 1;
+  mj_record store (M_make (kind, name, content));
   n.id
+
+(* Journal replay's constructor: re-execute an [M_make] verbatim.
+   Identical to the per-kind constructors below modulo the name/kind
+   packaging. *)
+let replay_make store kind name content = alloc store kind name content
 
 (* -- Constructors ------------------------------------------------- *)
 
@@ -338,18 +414,24 @@ let transactionally store f =
   let saved_journal = store.journal and saved_on = store.journal_on in
   store.journal <- [];
   store.journal_on <- true;
+  mj_record store M_txn_begin;
   match f () with
   | v ->
     (* Commit: fold our entries into the enclosing journal (if any) so
        an outer transaction can still undo them. *)
     store.journal_on <- saved_on;
     store.journal <- (if saved_on then store.journal @ saved_journal else saved_journal);
+    mj_record store M_txn_commit;
     v
   | exception e ->
     let mine = store.journal in
     List.iter (undo store) mine;
     store.journal <- saved_journal;
     store.journal_on <- saved_on;
+    (* the undo above bypassed the mutators, so nothing was journaled
+       during rollback; the abort marker lets replay redo the rollback
+       with the same machinery *)
+    mj_record store M_txn_abort;
     raise e
 
 (* -- Mutations ---------------------------------------------------- *)
@@ -361,6 +443,7 @@ let rename store id new_name =
   | Document | Text | Comment ->
     update_error "cannot rename a %s node" (kind_to_string n.kind));
   record store (J_renamed (id, n.name));
+  mj_record store (M_rename (id, new_name));
   bump_index store id;
   n.name <- Some new_name;
   store.mutations <- store.mutations + 1
@@ -372,6 +455,7 @@ let set_content store id s =
   | Document | Element ->
     update_error "cannot set content of a %s node" (kind_to_string n.kind));
   record store (J_content (id, n.content));
+  mj_record store (M_set_content (id, s));
   bump_index store id;
   n.content <- s;
   store.mutations <- store.mutations + 1
@@ -397,6 +481,7 @@ let detach store id =
     record store
       (if n.kind = Attribute then J_detached_attr (id, pid, idx)
        else J_detached_child (id, pid, idx));
+    mj_record store (M_detach id);
     n.parent <- None;
     n.pos <- 0;
     (* [id] just became its own root: bump it, so order keys built
@@ -405,8 +490,6 @@ let detach store id =
        root's versions) can never resurface as valid *)
     bump_index store id;
     store.mutations <- store.mutations + 1
-
-type insert_position = First | Last | After of node_id
 
 (* Insert [nodes] under [parent]. Attribute nodes go to the attribute
    list (appended); other nodes are spliced into the child list at
@@ -482,11 +565,14 @@ let insert store ~parent:pid ~position nodes =
         record store (J_child_inserted (pid, nid))
       end;
       store.mutations <- store.mutations + 1)
-    nodes
+    nodes;
+  (* recorded after the fact so a precondition failure above leaves
+     the journal clean (nothing was mutated, nothing is replayed) *)
+  mj_record store (M_insert (pid, position, nodes))
 
 (* -- Deep copy (the [copy { e }] operator's data-model half) ------- *)
 
-let rec deep_copy store id =
+let rec deep_copy_rec store id =
   let n = get store id in
   let fresh =
     alloc store n.kind n.name n.content
@@ -494,18 +580,33 @@ let rec deep_copy store id =
   let f = get store fresh in
   Vec.iter
     (fun aid ->
-      let c = deep_copy store aid in
+      let c = deep_copy_rec store aid in
       Vec.push f.attributes c;
       (get store c).parent <- Some fresh;
       (get store c).pos <- Vec.length f.attributes - 1)
     n.attributes;
   Vec.iter
     (fun cid ->
-      let c = deep_copy store cid in
+      let c = deep_copy_rec store cid in
       Vec.push f.children c;
       (get store c).parent <- Some fresh;
       (get store c).pos <- Vec.length f.children - 1)
     n.children;
+  fresh
+
+(* The copy allocates and wires structure directly (bypassing
+   [insert]), so it journals as one composite [M_deep_copy]: replay
+   calls [deep_copy] again, which is deterministic given the same
+   prior store. Inner allocs are suppressed for the duration. *)
+let deep_copy store id =
+  let saved = store.mj_suspend in
+  store.mj_suspend <- true;
+  let fresh =
+    Fun.protect
+      ~finally:(fun () -> store.mj_suspend <- saved)
+      (fun () -> deep_copy_rec store id)
+  in
+  mj_record store (M_deep_copy id);
   fresh
 
 (* -- Document order ----------------------------------------------- *)
@@ -842,3 +943,67 @@ let detached_count store =
     if node.parent = None && node.kind <> Document then incr n
   done;
   !n
+
+(* -- Stable node paths (observability) ----------------------------- *)
+
+(* One path step: the node's label with its 1-based index among
+   same-label siblings ("africa[1]", "text()[2]", "@id"). *)
+let path_segment store id =
+  let n = get store id in
+  match n.kind with
+  | Attribute ->
+    "@" ^ (match n.name with Some q -> Xqb_xml.Qname.to_string q | None -> "?")
+  | _ ->
+    let label =
+      match n.kind with
+      | Element -> (
+        match n.name with Some q -> Xqb_xml.Qname.to_string q | None -> "*")
+      | Text -> "text()"
+      | Comment -> "comment()"
+      | Pi -> "processing-instruction()"
+      | Document -> "document()"
+      | Attribute -> assert false
+    in
+    (match n.parent with
+    | None -> label
+    | Some pid ->
+      let p = get store pid in
+      let seen = ref 0 and mine = ref 0 in
+      Vec.iter
+        (fun cid ->
+          let c = get store cid in
+          let same =
+            match n.kind, c.kind with
+            | Element, Element -> (
+              match n.name, c.name with
+              | Some a, Some b -> Xqb_xml.Qname.equal a b
+              | _ -> false)
+            | ka, kb -> ka = kb
+          in
+          if same then begin
+            incr seen;
+            if cid = id then mine := !seen
+          end)
+        p.children;
+      Printf.sprintf "%s[%d]" label !mine)
+
+(* Stable, human-readable path from the node's root
+   ("/site[1]/regions[1]/africa[1]"; attributes end in "/@name").
+   Nodes under a detached (non-document) root are prefixed with the
+   root's id so operators can tell the trees apart; unknown ids render
+   as "#<id>". *)
+let node_path store id =
+  if id < 0 || id >= store.next_id then Printf.sprintf "#%d" id
+  else begin
+    let rec up id acc =
+      let n = get store id in
+      match n.parent with
+      | None ->
+        if n.kind = Document then "/" ^ String.concat "/" acc
+        else
+          String.concat "/"
+            (Printf.sprintf "%s#%d" (path_segment store id) id :: acc)
+      | Some pid -> up pid (path_segment store id :: acc)
+    in
+    up id []
+  end

@@ -191,3 +191,71 @@ val validate : t -> string list
 (** Parentless non-document nodes — the "persistent but unreachable
     nodes" of §4.1 the detach semantics produces. *)
 val detached_count : t -> int
+
+(** Stable, human-readable path from the node's root
+    (["/site[1]/regions[1]/africa[1]"]; attributes end in ["/@name"],
+    text nodes in ["/text()[k]"]). Indexes are 1-based among
+    same-label siblings. Nodes under a detached (non-document) root
+    get the root's id as a disambiguating prefix (["log#7/entry[2]"]);
+    ids the store does not know render as ["#<id>"]. *)
+val node_path : t -> node_id -> string
+
+(** {1 Mutation journal (effect observability)}
+
+    An append-only, replayable record of everything that changes the
+    store, distinct from the transactional undo log: node allocations,
+    inserts, detaches, renames, content writes, deep copies, and
+    transaction begin/commit/abort markers, each with a monotonic
+    sequence number. Because node ids are allocated sequentially,
+    re-executing the entries in order against a {e fresh} store
+    reproduces the same ids and hence the same store byte for byte —
+    see {!Journal.replay}. Provenance notes ({!mj_op.M_request}) tie
+    journal spans back to the update request (and source location)
+    that caused them. *)
+
+type mj_op =
+  | M_make of kind * Xqb_xml.Qname.t option * string
+      (** one node allocation: kind, name, content *)
+  | M_insert of node_id * insert_position * node_id list
+  | M_detach of node_id
+  | M_rename of node_id * Xqb_xml.Qname.t
+  | M_set_content of node_id * string
+  | M_deep_copy of node_id
+      (** composite: one whole recursive {!deep_copy} *)
+  | M_txn_begin
+  | M_txn_commit
+  | M_txn_abort
+  | M_request of {
+      line : int;
+      col : int;
+      snap_depth : int;
+      trace_id : string option;
+      desc : string;
+    }  (** provenance note preceding one update request's ops *)
+
+type mj_entry = { seq : int; op : mj_op }
+
+(** Start recording (clears any previous journal). Replay is exact
+    only when recording starts on a fresh, empty store and outside any
+    transaction. *)
+val journal_start : t -> unit
+
+val journal_stop : t -> unit
+
+(** Recording and not suspended by a composite op. *)
+val journal_active : t -> bool
+
+(** Entries in chronological order. *)
+val journal_entries : t -> mj_entry list
+
+(** Number of entries recorded (= the next sequence number). *)
+val journal_length : t -> int
+
+(** Append a provenance note ({!mj_op.M_request}); no-op when not
+    recording. *)
+val journal_note :
+  t -> line:int -> col:int -> snap_depth:int -> trace_id:string option ->
+  desc:string -> unit
+
+(** Re-execute an {!mj_op.M_make} (journal replay only). *)
+val replay_make : t -> kind -> Xqb_xml.Qname.t option -> string -> node_id

@@ -5,6 +5,15 @@
 
 module Qname = Xqb_xml.Qname
 
+(* Source location of an effecting expression's keyword, recorded by
+   the parser and threaded through normalization onto the update
+   requests the expression emits (provenance). *)
+type loc = { line : int; col : int }
+
+let no_loc = { line = 0; col = 0 }
+
+let loc_to_string { line; col } = Printf.sprintf "%d:%d" line col
+
 type snap_mode =
   | Snap_default  (* same as ordered; "snap { e }" *)
   | Snap_ordered
@@ -105,13 +114,13 @@ type expr =
   | Comp_pi of name_spec * expr
   | Comp_doc of expr
   (* XQuery! extensions (Fig. 1) *)
-  | Insert of expr * insert_loc
-  | Delete of expr
-  | Replace of expr * expr
-  | Replace_value of expr * expr
+  | Insert of expr * insert_loc * loc
+  | Delete of expr * loc
+  | Replace of expr * expr * loc
+  | Replace_value of expr * expr * loc
     (* XQUF compatibility: "replace value of node e1 with e2" — sets
        the target's content instead of replacing the node *)
-  | Rename of expr * expr
+  | Rename of expr * expr * loc
   | Copy of expr
   | Transform of (string * expr) list * expr * expr
     (* XQUF compatibility: copy $v := e (, ...)* modify u return r —

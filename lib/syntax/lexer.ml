@@ -66,13 +66,17 @@ type t = {
   mutable pos : int;
   mutable line : int;
   mutable bol : int;
+  mutable tok_line : int;
+  mutable tok_col : int;
 }
 
 exception Error of int * int * string  (* line, col, message *)
 
-let make src = { src; pos = 0; line = 1; bol = 0 }
+let make src = { src; pos = 0; line = 1; bol = 0; tok_line = 1; tok_col = 1 }
 
 let position lx = (lx.line, lx.pos - lx.bol + 1)
+
+let token_start lx = (lx.tok_line, lx.tok_col)
 
 let fail lx msg =
   let line, col = position lx in
@@ -189,6 +193,9 @@ let scan_string lx =
 
 let next lx =
   skip_trivia lx;
+  (let line, col = position lx in
+   lx.tok_line <- line;
+   lx.tok_col <- col);
   if eof lx then Eof
   else
     let c = peek_char lx in

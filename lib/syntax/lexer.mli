@@ -55,6 +55,11 @@ val make : string -> t
 (** Current (line, column). *)
 val position : t -> int * int
 
+(** (line, column) where the most recent token returned by {!next}
+    started, i.e. the position after skipping trivia and before
+    consuming the token's first character. *)
+val token_start : t -> int * int
+
 (** Next token; skips whitespace and nestable [(: ... :)] comments. *)
 val next : t -> token
 

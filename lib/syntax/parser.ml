@@ -13,7 +13,10 @@ module Qname = Xqb_xml.Qname
 
 exception Error of int * int * string
 
-type p = { lx : L.t; mutable buf : L.token list }
+(* The buffer pairs each lookahead token with its start position so
+   effecting expressions can record where their keyword began even
+   though the lexer has since moved on. *)
+type p = { lx : L.t; mutable buf : (L.token * (int * int)) list }
 
 let fail p msg =
   let line, col = L.position p.lx in
@@ -23,16 +26,23 @@ let make src = { lx = L.make src; buf = [] }
 
 let fill p n =
   while List.length p.buf < n do
-    p.buf <- p.buf @ [ L.next p.lx ]
+    let tok = L.next p.lx in
+    p.buf <- p.buf @ [ (tok, L.token_start p.lx) ]
   done
 
 let peek p =
   fill p 1;
-  List.nth p.buf 0
+  fst (List.nth p.buf 0)
 
 let peek2 p =
   fill p 2;
-  List.nth p.buf 1
+  fst (List.nth p.buf 1)
+
+(* Source location where the current token starts. *)
+let peek_loc p =
+  fill p 1;
+  let line, col = snd (List.nth p.buf 0) in
+  { A.line; col }
 
 let advance p =
   match p.buf with
@@ -168,18 +178,21 @@ and parse_expr_single p =
   | L.Name "snap" -> parse_snap p
   | L.Name "insert" when peek2 p = L.Lbrace -> parse_insert p
   | L.Name "delete" when peek2 p = L.Lbrace ->
+    let loc = peek_loc p in
     advance p;
-    A.Delete (braced p)
+    A.Delete (braced p, loc)
   | L.Name "replace" when peek2 p = L.Lbrace ->
+    let loc = peek_loc p in
     advance p;
     let e1 = braced p in
     eat_kw p "with";
-    A.Replace (e1, braced p)
+    A.Replace (e1, braced p, loc)
   | L.Name "rename" when peek2 p = L.Lbrace ->
+    let loc = peek_loc p in
     advance p;
     let e1 = braced p in
     eat_kw p "to";
-    A.Rename (e1, braced p)
+    A.Rename (e1, braced p, loc)
   | L.Name "copy" when peek2 p = L.Lbrace ->
     advance p;
     A.Copy (braced p)
@@ -212,21 +225,24 @@ and parse_expr_single p =
     parse_xquf_insert p
   | L.Name "delete" when (match peek2 p with L.Name ("node" | "nodes") -> true | _ -> false)
     ->
+    let loc = peek_loc p in
     advance p;
     advance p;
-    A.Delete (parse_expr_single p)
+    A.Delete (parse_expr_single p, loc)
   | L.Name "replace" when (match peek2 p with L.Name ("node" | "value") -> true | _ -> false)
     ->
     parse_xquf_replace p
   | L.Name "rename" when peek2 p = L.Name "node" ->
+    let loc = peek_loc p in
     advance p;
     advance p;
     let target = parse_expr_single p in
     eat_kw p "as";
-    A.Rename (target, parse_expr_single p)
+    A.Rename (target, parse_expr_single p, loc)
   | _ -> parse_or p
 
 and parse_xquf_insert p =
+  let kw_loc = peek_loc p in
   eat_kw p "insert";
   advance p (* node | nodes *);
   let payload = parse_expr_single p in
@@ -255,9 +271,10 @@ and parse_xquf_insert p =
       A.After (parse_expr_single p)
     | t -> fail p ("expected an insert location, found " ^ L.token_to_string t)
   in
-  A.Insert (payload, loc)
+  A.Insert (payload, loc, kw_loc)
 
 and parse_xquf_replace p =
+  let kw_loc = peek_loc p in
   eat_kw p "replace";
   let value_of =
     if at_kw p "value" then begin
@@ -271,8 +288,8 @@ and parse_xquf_replace p =
   let target = parse_expr_single p in
   eat_kw p "with";
   let replacement = parse_expr_single p in
-  if value_of then A.Replace_value (target, replacement)
-  else A.Replace (target, replacement)
+  if value_of then A.Replace_value (target, replacement, kw_loc)
+  else A.Replace (target, replacement, kw_loc)
 
 and braced p =
   eat p L.Lbrace;
@@ -307,6 +324,7 @@ and parse_snap p =
                  ^ L.token_to_string t)
 
 and parse_insert p =
+  let kw_loc = peek_loc p in
   eat_kw p "insert";
   let what = braced p in
   let loc =
@@ -334,7 +352,7 @@ and parse_insert p =
       A.After (braced p)
     | t -> fail p ("expected an insert location, found " ^ L.token_to_string t)
   in
-  A.Insert (what, loc)
+  A.Insert (what, loc, kw_loc)
 
 and parse_flwor p =
   let rec clauses acc =

@@ -252,7 +252,7 @@ let rec expr buf (e : A.expr) =
     add "document {";
     expr buf e;
     add "}"
-  | A.Insert (what, loc) ->
+  | A.Insert (what, loc, _) ->
     add "insert {";
     expr buf what;
     add "} ";
@@ -277,22 +277,22 @@ let rec expr buf (e : A.expr) =
       add "after {";
       expr buf e;
       add "}")
-  | A.Delete e ->
+  | A.Delete (e, _) ->
     add "delete {";
     expr buf e;
     add "}"
-  | A.Replace (e1, e2) ->
+  | A.Replace (e1, e2, _) ->
     add "replace {";
     expr buf e1;
     add "} with {";
     expr buf e2;
     add "}"
-  | A.Replace_value (e1, e2) ->
+  | A.Replace_value (e1, e2, _) ->
     add "replace value of node ";
     sub buf e1;
     add " with ";
     sub buf e2
-  | A.Rename (e1, e2) ->
+  | A.Rename (e1, e2, _) ->
     add "rename {";
     expr buf e1;
     add "} to {";

@@ -9,6 +9,10 @@ module Update = Core.Update
 module Apply = Core.Apply
 module Conflict = Core.Conflict
 
+(* Hand-built deltas: ops wrapped into requests (no provenance). *)
+let rq = Update.make
+let rqs = List.map Update.make
+
 (* Build a store with a root <x/> plus n fresh <e{i}/> roots to
    insert. *)
 let setup n =
@@ -26,7 +30,8 @@ let ordered_tests =
         let store, x, fresh = setup 3 in
         let delta =
           List.map
-            (fun n -> Update.Insert { nodes = [ n ]; parent = x; position = Update.Last })
+            (fun n ->
+              rq (Update.Insert { nodes = [ n ]; parent = x; position = Update.Last }))
             fresh
         in
         Apply.apply store Apply.Ordered delta;
@@ -38,10 +43,11 @@ let ordered_tests =
         let before = serialize store x in
         let bad =
           (* second request inserts a node that just got a parent *)
-          [
-            Update.Insert { nodes = [ List.nth fresh 0 ]; parent = x; position = Update.Last };
-            Update.Insert { nodes = [ List.nth fresh 0 ]; parent = x; position = Update.Last };
-          ]
+          rqs
+            [
+              Update.Insert { nodes = [ List.nth fresh 0 ]; parent = x; position = Update.Last };
+              Update.Insert { nodes = [ List.nth fresh 0 ]; parent = x; position = Update.Last };
+            ]
         in
         (match Apply.apply store Apply.Ordered bad with
         | _ -> Alcotest.fail "expected Update_error"
@@ -52,10 +58,11 @@ let ordered_tests =
         let store, x, fresh = setup 2 in
         let a = List.hd (Store.children store x) in
         let delta =
-          [
-            Update.Insert { nodes = [ List.nth fresh 0 ]; parent = x; position = Update.After a };
-            Update.Insert { nodes = [ List.nth fresh 1 ]; parent = x; position = Update.Before a };
-          ]
+          rqs
+            [
+              Update.Insert { nodes = [ List.nth fresh 0 ]; parent = x; position = Update.After a };
+              Update.Insert { nodes = [ List.nth fresh 1 ]; parent = x; position = Update.Before a };
+            ]
         in
         Apply.apply store Apply.Ordered delta;
         check Alcotest.string "xml"
@@ -74,7 +81,7 @@ let nondet_tests =
           let delta =
             List.map
               (fun n ->
-                Update.Insert { nodes = [ n ]; parent = x; position = Update.Last })
+                rq (Update.Insert { nodes = [ n ]; parent = x; position = Update.Last }))
               fresh
           in
           Apply.apply ~rand_state:(Random.State.make [| seed |]) store
@@ -88,7 +95,7 @@ let nondet_tests =
         let run seed =
           let store, x, _ = setup 0 in
           let kids = Store.children store x in
-          let delta = List.map (fun k -> Update.Delete k) kids in
+          let delta = List.map (fun k -> rq (Update.Delete k)) kids in
           Apply.apply ~rand_state:(Random.State.make [| seed |]) store
             Apply.Nondeterministic delta;
           serialize store x
@@ -97,7 +104,9 @@ let nondet_tests =
   ]
 
 let conflict_rules =
-  let insert_last nodes parent = Update.Insert { nodes; parent; position = Update.Last } in
+  let insert_last nodes parent =
+    rq (Update.Insert { nodes; parent; position = Update.Last })
+  in
   [
     tc "R1: two inserts on the same slot" `Quick (fun () ->
         check Alcotest.bool "conflict" false
@@ -109,51 +118,53 @@ let conflict_rules =
         check Alcotest.bool "free" true
           (Conflict.is_conflict_free
              [
-               Update.Insert { nodes = [ 10 ]; parent = 1; position = Update.First };
+               rq (Update.Insert { nodes = [ 10 ]; parent = 1; position = Update.First });
                insert_last [ 11 ] 1;
              ]));
     tc "R2: insert anchored on a deleted node" `Quick (fun () ->
         check Alcotest.bool "conflict" false
           (Conflict.is_conflict_free
-             [
-               Update.Insert { nodes = [ 10 ]; parent = 1; position = Update.After 5 };
-               Update.Delete 5;
-             ]);
+             (rqs
+                [
+                  Update.Insert { nodes = [ 10 ]; parent = 1; position = Update.After 5 };
+                  Update.Delete 5;
+                ]));
         (* in either order *)
         check Alcotest.bool "conflict" false
           (Conflict.is_conflict_free
-             [
-               Update.Delete 5;
-               Update.Insert { nodes = [ 10 ]; parent = 1; position = Update.Before 5 };
-             ]));
+             (rqs
+                [
+                  Update.Delete 5;
+                  Update.Insert { nodes = [ 10 ]; parent = 1; position = Update.Before 5 };
+                ])));
     tc "R3: same node inserted twice" `Quick (fun () ->
         check Alcotest.bool "conflict" false
           (Conflict.is_conflict_free [ insert_last [ 10 ] 1; insert_last [ 10 ] 2 ]));
     tc "R4: node both inserted and deleted" `Quick (fun () ->
         check Alcotest.bool "conflict" false
-          (Conflict.is_conflict_free [ insert_last [ 10 ] 1; Update.Delete 10 ]);
+          (Conflict.is_conflict_free [ insert_last [ 10 ] 1; rq (Update.Delete 10) ]);
         check Alcotest.bool "conflict" false
-          (Conflict.is_conflict_free [ Update.Delete 10; insert_last [ 10 ] 1 ]));
+          (Conflict.is_conflict_free [ rq (Update.Delete 10); insert_last [ 10 ] 1 ]));
     tc "R5: diverging renames" `Quick (fun () ->
         check Alcotest.bool "conflict" false
           (Conflict.is_conflict_free
-             [ Update.Rename (3, qn "a"); Update.Rename (3, qn "b") ]);
+             (rqs [ Update.Rename (3, qn "a"); Update.Rename (3, qn "b") ]));
         check Alcotest.bool "same name ok" true
           (Conflict.is_conflict_free
-             [ Update.Rename (3, qn "a"); Update.Rename (3, qn "a") ]));
+             (rqs [ Update.Rename (3, qn "a"); Update.Rename (3, qn "a") ])));
     tc "independent mix is conflict-free" `Quick (fun () ->
         check Alcotest.bool "free" true
           (Conflict.is_conflict_free
              [
                insert_last [ 10 ] 1;
-               Update.Insert { nodes = [ 11 ]; parent = 2; position = Update.First };
-               Update.Delete 7;
-               Update.Delete 7;
-               Update.Rename (8, qn "n");
+               rq (Update.Insert { nodes = [ 11 ]; parent = 2; position = Update.First });
+               rq (Update.Delete 7);
+               rq (Update.Delete 7);
+               rq (Update.Rename (8, qn "n"));
              ]));
     tc "deletes of the same node commute" `Quick (fun () ->
         check Alcotest.bool "free" true
-          (Conflict.is_conflict_free [ Update.Delete 7; Update.Delete 7 ]));
+          (Conflict.is_conflict_free (rqs [ Update.Delete 7; Update.Delete 7 ])));
   ]
 
 let conflict_engine =
@@ -161,7 +172,7 @@ let conflict_engine =
     expect_error "conflicting snap fails"
       {|let $x := <x/>
         return snap conflict { insert {<a/>} into {$x}, insert {<b/>} into {$x} }|}
-      (fun e -> match e with Core.Conflict.Conflict _ -> true | _ -> false);
+      (fun e -> match e with Core.Conflict.Conflict_error _ -> true | _ -> false);
     expect "store untouched after rejected conflict snap"
       {|let $x := <x><keep/></x>
         let $r := (
@@ -219,19 +230,20 @@ let conflict_free_is_order_independent =
         let parents = Store.children store r in
         let fresh = List.init 4 (fun i -> Store.make_element store (qn (Printf.sprintf "f%d" i))) in
         let delta =
-          List.map
-            (function
-              | `Ins (p, f) ->
-                Update.Insert
-                  {
-                    nodes = [ List.nth fresh f ];
-                    parent = List.nth parents p;
-                    position = Update.Last;
-                  }
-              | `Del t -> Update.Delete (List.nth parents t)
-              | `Ren (t, n) -> Update.Rename (List.nth parents t, qn n)
-              | `SetV (t, v) -> Update.Set_value (List.nth parents t, v))
-            spec
+          rqs
+            (List.map
+               (function
+                 | `Ins (p, f) ->
+                   Update.Insert
+                     {
+                       nodes = [ List.nth fresh f ];
+                       parent = List.nth parents p;
+                       position = Update.Last;
+                     }
+                 | `Del t -> Update.Delete (List.nth parents t)
+                 | `Ren (t, n) -> Update.Rename (List.nth parents t, qn n)
+                 | `SetV (t, v) -> Update.Set_value (List.nth parents t, v))
+               spec)
         in
         (store, doc, delta)
       in
@@ -267,13 +279,17 @@ let checker_permutation_insensitive =
     QCheck2.Gen.(
       pair gen_requests (int_bound 1000))
     (fun (spec, seed) ->
-      let mk =
-        List.map (function
-          | `Ins (p, f) ->
-            Update.Insert { nodes = [ 100 + f ]; parent = p; position = Update.Last }
-          | `Del t -> Update.Delete t
-          | `Ren (t, n) -> Update.Rename (t, qn n)
-          | `SetV (t, v) -> Update.Set_value (t, v))
+      let mk specs =
+        rqs
+          (List.map
+             (function
+               | `Ins (p, f) ->
+                 Update.Insert
+                   { nodes = [ 100 + f ]; parent = p; position = Update.Last }
+               | `Del t -> Update.Delete t
+               | `Ren (t, n) -> Update.Rename (t, qn n)
+               | `SetV (t, v) -> Update.Set_value (t, v))
+             specs)
       in
       let delta = mk spec in
       let rand = Random.State.make [| seed |] in
@@ -337,7 +353,7 @@ let shuffle seed l =
 
 let matrix_cases =
   let ins ?(pos = Update.Last) n parent =
-    Update.Insert { nodes = [ n ]; parent; position = pos }
+    rq (Update.Insert { nodes = [ n ]; parent; position = pos })
   in
   let f i m = List.nth m.fresh i in
   [
@@ -350,37 +366,39 @@ let matrix_cases =
           ins ~pos:(Update.After m.a) (f 2 m) m.x;
         ] );
     ( "R2 insert anchored on a deleted node",
-      (fun m -> [ ins ~pos:(Update.Before m.a) (f 0 m) m.x; Update.Delete m.a ]),
-      fun m -> [ ins ~pos:(Update.After m.a) (f 0 m) m.x; Update.Delete m.b ]
+      (fun m -> [ ins ~pos:(Update.Before m.a) (f 0 m) m.x; rq (Update.Delete m.a) ]),
+      fun m -> [ ins ~pos:(Update.After m.a) (f 0 m) m.x; rq (Update.Delete m.b) ]
     );
     ( "R3 one node inserted twice",
       (fun m -> [ ins (f 0 m) m.a; ins (f 0 m) m.b ]),
       fun m -> [ ins (f 0 m) m.a; ins (f 1 m) m.b ] );
     ( "R4 node both inserted and deleted",
-      (fun m -> [ ins (f 0 m) m.x; Update.Delete (f 0 m) ]),
-      fun m -> [ ins (f 0 m) m.x; Update.Delete m.c ] );
+      (fun m -> [ ins (f 0 m) m.x; rq (Update.Delete (f 0 m)) ]),
+      fun m -> [ ins (f 0 m) m.x; rq (Update.Delete m.c) ] );
     ( "R5 diverging renames",
-      (fun m -> [ Update.Rename (m.a, qn "m"); Update.Rename (m.a, qn "n") ]),
+      (fun m -> rqs [ Update.Rename (m.a, qn "m"); Update.Rename (m.a, qn "n") ]),
       fun m ->
-        [
-          Update.Rename (m.a, qn "m");
-          Update.Rename (m.a, qn "m");
-          Update.Rename (m.b, qn "n");
-        ] );
+        rqs
+          [
+            Update.Rename (m.a, qn "m");
+            Update.Rename (m.a, qn "m");
+            Update.Rename (m.b, qn "n");
+          ] );
     ( "R6 diverging set-values",
-      (fun m -> [ Update.Set_value (m.a, "u"); Update.Set_value (m.a, "w") ]),
+      (fun m -> rqs [ Update.Set_value (m.a, "u"); Update.Set_value (m.a, "w") ]),
       fun m ->
-        [
-          Update.Set_value (m.a, "u");
-          Update.Set_value (m.a, "u");
-          Update.Set_value (m.b, "w");
-        ] );
+        rqs
+          [
+            Update.Set_value (m.a, "u");
+            Update.Set_value (m.a, "u");
+            Update.Set_value (m.b, "w");
+          ] );
     ( "R6 set-value vs insert into the same element",
-      (fun m -> [ Update.Set_value (m.a, "u"); ins (f 0 m) m.a ]),
-      fun m -> [ Update.Set_value (m.a, "u"); ins (f 0 m) m.b ] );
+      (fun m -> [ rq (Update.Set_value (m.a, "u")); ins (f 0 m) m.a ]),
+      fun m -> [ rq (Update.Set_value (m.a, "u")); ins (f 0 m) m.b ] );
     ( "R6 set-value vs delete of the same node",
-      (fun m -> [ Update.Set_value (m.a, "u"); Update.Delete m.a ]),
-      fun m -> [ Update.Set_value (m.a, "u"); Update.Delete m.b ] );
+      (fun m -> rqs [ Update.Set_value (m.a, "u"); Update.Delete m.a ]),
+      fun m -> rqs [ Update.Set_value (m.a, "u"); Update.Delete m.b ] );
   ]
 
 let matrix_tests =
@@ -392,7 +410,7 @@ let matrix_tests =
             let before = Store.serialize m.store m.doc in
             (match Apply.apply m.store Apply.Conflict_detection (bad m) with
             | () -> Alcotest.fail "expected Conflict"
-            | exception Conflict.Conflict _ -> ());
+            | exception Conflict.Conflict_error _ -> ());
             check Alcotest.string "byte-identical" before
               (Store.serialize m.store m.doc);
             check

@@ -106,7 +106,7 @@ let engine_modes =
             "let $x := <x/> return (insert {<a/>} into {$x}, insert {<b/>} into {$x})"
         with
         | _ -> Alcotest.fail "expected conflict"
-        | exception Core.Conflict.Conflict _ -> ());
+        | exception Core.Conflict.Conflict_error _ -> ());
   ]
 
 let serializer_output =

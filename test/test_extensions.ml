@@ -86,7 +86,7 @@ let snap_atomic_tests =
                }|}
          with
         | _ -> Alcotest.fail "expected conflict"
-        | exception Core.Conflict.Conflict _ -> ());
+        | exception Core.Conflict.Conflict_error _ -> ());
         check Alcotest.string "all rolled back" "0"
           (Core.Engine.serialize eng (Core.Engine.run eng "count($x/*)"));
         check (Alcotest.list Alcotest.string) "invariants" []

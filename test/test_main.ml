@@ -38,4 +38,5 @@ let () =
          Test_explain.suite;
          Test_order_keys.suite;
          Test_ddo_elision.suite;
+         Test_journal.suite;
        ])

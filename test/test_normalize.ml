@@ -23,22 +23,22 @@ let copy_insertion =
     norm "insert wraps payload in copy (the Fig. 3.3 rule)"
       "insert { $a } into { $b }"
       (function
-        | C.Insert (C.T_last, C.Copy (C.Var "a"), C.Var "b") -> true
+        | C.Insert (C.T_last, C.Copy (C.Var "a"), C.Var "b", _) -> true
         | _ -> false);
     norm "into normalizes to as-last-into" "insert { $a } as last into { $b }"
-      (function C.Insert (C.T_last, _, _) -> true | _ -> false);
+      (function C.Insert (C.T_last, _, _, _) -> true | _ -> false);
     norm "as first survives" "insert { $a } as first into { $b }"
-      (function C.Insert (C.T_first, _, _) -> true | _ -> false);
+      (function C.Insert (C.T_first, _, _, _) -> true | _ -> false);
     norm "before/after survive" "(insert {$a} before {$b}, insert {$a} after {$b})"
       (function
-        | C.Seq (C.Insert (C.T_before, _, _), C.Insert (C.T_after, _, _)) -> true
+        | C.Seq (C.Insert (C.T_before, _, _, _), C.Insert (C.T_after, _, _, _)) -> true
         | _ -> false);
     norm "replace wraps second argument in copy" "replace { $a } with { $b }"
-      (function C.Replace (C.Var "a", C.Copy (C.Var "b")) -> true | _ -> false);
+      (function C.Replace (C.Var "a", C.Copy (C.Var "b"), _) -> true | _ -> false);
     norm "delete takes no copy" "delete { $a }"
-      (function C.Delete (C.Var "a") -> true | _ -> false);
+      (function C.Delete (C.Var "a", _) -> true | _ -> false);
     norm "rename takes no copy" "rename { $a } to { $b }"
-      (function C.Rename (C.Var "a", C.Var "b") -> true | _ -> false);
+      (function C.Rename (C.Var "a", C.Var "b", _) -> true | _ -> false);
     norm "explicit copy is kept" "copy { $a }"
       (function C.Copy (C.Var "a") -> true | _ -> false);
   ]

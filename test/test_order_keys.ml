@@ -5,6 +5,9 @@
 
 open Helpers
 module Update = Core.Update
+
+(* Hand-built deltas: ops wrapped into requests (no provenance). *)
+let rqs = List.map Update.make
 module Conflict = Core.Conflict
 module Apply = Core.Apply
 
@@ -104,7 +107,7 @@ let mutate store muts =
         | 2 -> [ Update.Rename (v, qn "z") ]
         | _ -> [ Update.Set_value (v, "w") ]
       in
-      match Apply.apply store Apply.Ordered delta with
+      match Apply.apply store Apply.Ordered (rqs delta) with
       | () -> ()
       | exception _ -> ())
     muts
@@ -225,12 +228,12 @@ let test_keys_disabled () =
 
 let expect_conflict name store delta =
   tc name `Quick (fun () ->
-      match Conflict.check ~store delta with
+      match Conflict.check ~store (rqs delta) with
       | () -> Alcotest.failf "%s: expected an R7 conflict" name
-      | exception Conflict.Conflict _ -> ())
+      | exception Conflict.Conflict_error _ -> ())
 
 let expect_ok name store delta =
-  tc name `Quick (fun () -> Conflict.check ~store delta)
+  tc name `Quick (fun () -> Conflict.check ~store (rqs delta))
 
 let r7_tests =
   let f = fixture () in
@@ -259,7 +262,7 @@ let r7_tests =
     tc "R7 needs the store" `Quick (fun () ->
         check Alcotest.bool "storeless check passes" true
           (Conflict.is_conflict_free
-             [ Update.Set_value (f.b2, "v"); Update.Delete f.d1 ]))
+             (rqs [ Update.Set_value (f.b2, "v"); Update.Delete f.d1 ])))
   ]
 
 let suite =

@@ -25,25 +25,25 @@ let parse_fails name src =
 
 let fig1_tests =
   [
-    parses "DeleteExpr" "delete { $x }" (function A.Delete (A.Var "x") -> true | _ -> false);
+    parses "DeleteExpr" "delete { $x }" (function A.Delete (A.Var "x", _) -> true | _ -> false);
     parses "snap DeleteExpr abbreviation" "snap delete { $x }"
       (function A.Snap (A.Snap_default, A.Delete _) -> true | _ -> false);
     parses "InsertExpr into" "insert { $a } into { $b }"
-      (function A.Insert (A.Var "a", A.Into (A.Var "b")) -> true | _ -> false);
+      (function A.Insert (A.Var "a", A.Into (A.Var "b"), _) -> true | _ -> false);
     parses "InsertExpr as first" "insert { $a } as first into { $b }"
-      (function A.Insert (_, A.Into_as_first _) -> true | _ -> false);
+      (function A.Insert (_, A.Into_as_first _, _) -> true | _ -> false);
     parses "InsertExpr as last" "insert { $a } as last into { $b }"
-      (function A.Insert (_, A.Into_as_last _) -> true | _ -> false);
+      (function A.Insert (_, A.Into_as_last _, _) -> true | _ -> false);
     parses "InsertExpr before" "insert { $a } before { $b }"
-      (function A.Insert (_, A.Before _) -> true | _ -> false);
+      (function A.Insert (_, A.Before _, _) -> true | _ -> false);
     parses "InsertExpr after" "insert { $a } after { $b }"
-      (function A.Insert (_, A.After _) -> true | _ -> false);
+      (function A.Insert (_, A.After _, _) -> true | _ -> false);
     parses "snap insert abbreviation" "snap insert { $a } into { $b }"
       (function A.Snap (A.Snap_default, A.Insert _) -> true | _ -> false);
     parses "ReplaceExpr" "replace { $a } with { $b }"
-      (function A.Replace (A.Var "a", A.Var "b") -> true | _ -> false);
+      (function A.Replace (A.Var "a", A.Var "b", _) -> true | _ -> false);
     parses "RenameExpr" "rename { $a } to { \"n\" }"
-      (function A.Rename (A.Var "a", A.Literal (A.Lit_string "n")) -> true | _ -> false);
+      (function A.Rename (A.Var "a", A.Literal (A.Lit_string "n"), _) -> true | _ -> false);
     parses "CopyExpr" "copy { $x }" (function A.Copy (A.Var "x") -> true | _ -> false);
     parses "SnapExpr default" "snap { $x }"
       (function A.Snap (A.Snap_default, A.Var "x") -> true | _ -> false);

@@ -65,12 +65,12 @@ let gen_expr : A.expr QCheck2.Gen.t =
           map2 (fun n c -> A.Comp_attr (A.Static_name (qn n), c)) name e;
           map (fun c -> A.Comp_text c) e;
           (* Fig. 1 operations *)
-          map2 (fun a b -> A.Insert (a, A.Into b)) e e;
-          map2 (fun a b -> A.Insert (a, A.Into_as_first b)) e e;
-          map2 (fun a b -> A.Insert (a, A.After b)) e e;
-          map (fun a -> A.Delete a) e;
-          map2 (fun a b -> A.Replace (a, b)) e e;
-          map2 (fun a b -> A.Rename (a, b)) e e;
+          map2 (fun a b -> A.Insert (a, A.Into b, A.no_loc)) e e;
+          map2 (fun a b -> A.Insert (a, A.Into_as_first b, A.no_loc)) e e;
+          map2 (fun a b -> A.Insert (a, A.After b, A.no_loc)) e e;
+          map (fun a -> A.Delete (a, A.no_loc)) e;
+          map2 (fun a b -> A.Replace (a, b, A.no_loc)) e e;
+          map2 (fun a b -> A.Rename (a, b, A.no_loc)) e e;
           map (fun a -> A.Copy a) e;
           map2
             (fun m a -> A.Snap (m, a))
@@ -101,7 +101,10 @@ let roundtrip =
       let s = Pretty.expr_to_string e in
       match P.parse_expr_string s with
       | e' ->
-        if e = e' then true
+        (* the parser stamps source locations onto effecting
+           expressions (the generator uses [no_loc]); the printer
+           ignores them, so compare modulo locations via a reprint *)
+        if e = e' || Pretty.expr_to_string e' = s then true
         else QCheck2.Test.fail_reportf "not equal after round-trip:@.%s" s
       | exception ex ->
         QCheck2.Test.fail_reportf "re-parse failed: %s@.%s" (Printexc.to_string ex) s)

@@ -29,10 +29,10 @@ let kind_t =
 let errk name expected r = check kind_t name expected (err r).SE.kind
 
 let with_service ?(domains = 0) ?cache_capacity ?deadline_ms ?fuel ?max_delta
-    ?max_queue f =
+    ?max_queue ?slow_apply_ms f =
   let svc =
     Svc.create ~domains ?cache_capacity ?deadline_ms ?fuel ?max_delta
-      ?max_queue ()
+      ?max_queue ?slow_apply_ms ()
   in
   Fun.protect ~finally:(fun () -> Svc.shutdown svc) (fun () -> f svc)
 
@@ -426,6 +426,133 @@ let admission =
           (Sched.await_exn f1));
   ]
 
+(* -- effect observability: DELTA, SLOWLOG, METRICS PROM ------------- *)
+
+module J = Xqb_obs.Json
+module Proto = Xqb_service.Protocol
+
+let num_at v path =
+  match Option.bind (J.path v path) J.to_float_opt with
+  | Some f -> int_of_float f
+  | None -> Alcotest.failf "missing %s" (String.concat "." path)
+
+let updating_query =
+  {|let $x := <x><a/></x>
+    return (snap { insert {<b/>} into {$x},
+                   insert {<c/>} into {$x},
+                   delete {$x/a} },
+            count($x/*))|}
+
+let observability =
+  [
+    tc "DELTA: last write-side job's ∆ statistics" `Quick (fun () ->
+        with_service (fun svc ->
+            let s = Svc.open_session svc in
+            check Alcotest.bool "none before any write-side job" true
+              (Svc.delta_json svc = None);
+            check Alcotest.string "query result" "2"
+              (ok (Svc.query svc s updating_query));
+            match Svc.delta_json svc with
+            | None -> Alcotest.fail "expected ∆ statistics"
+            | Some j ->
+              let v = check_json "delta" j in
+              check Alcotest.int "inserts" 2 (num_at v [ "requests"; "insert" ]);
+              check Alcotest.int "deletes" 1 (num_at v [ "requests"; "delete" ]);
+              check Alcotest.int "total" 3 (num_at v [ "total_requests" ]);
+              check Alcotest.bool "snaps counted" true (num_at v [ "snaps" ] >= 1);
+              check Alcotest.bool "depth recorded" true
+                (num_at v [ "max_snap_depth" ] >= 1)));
+    tc "DELTA tracks the most recent write-side job" `Quick (fun () ->
+        with_service (fun svc ->
+            let s = Svc.open_session svc in
+            ignore (ok (Svc.query svc s updating_query));
+            let jid1 =
+              num_at (check_json "d1" (Option.get (Svc.delta_json svc))) [ "jid" ]
+            in
+            ignore
+              (ok (Svc.query svc s "snap { for $i in 1 to 3 return () }"));
+            let v = check_json "d2" (Option.get (Svc.delta_json svc)) in
+            check Alcotest.bool "newer jid" true (num_at v [ "jid" ] > jid1);
+            check Alcotest.int "no requests this time" 0
+              (num_at v [ "total_requests" ])));
+    tc "SLOWLOG: threshold 0 catches every effecting job" `Quick (fun () ->
+        with_service ~slow_apply_ms:0 (fun svc ->
+            let s = Svc.open_session svc in
+            check Alcotest.int "empty at start" 0 (Svc.slowlog_length svc);
+            (* pure queries never enter the slowlog *)
+            ignore (ok (Svc.query svc s "1 + 1"));
+            check Alcotest.int "pure query skipped" 0 (Svc.slowlog_length svc);
+            ignore (ok (Svc.query svc s updating_query));
+            check Alcotest.int "one entry" 1 (Svc.slowlog_length svc);
+            let v = check_json "slowlog" (Svc.slowlog_json svc) in
+            match J.to_list v with
+            | [ e ] ->
+              check Alcotest.int "requests" 3 (num_at e [ "requests" ]);
+              check Alcotest.int "session" s (num_at e [ "sid" ]);
+              (match Option.bind (J.member "src" e) J.to_string_opt with
+              | Some src ->
+                check Alcotest.bool "src captured" true
+                  (String.length src > 0)
+              | None -> Alcotest.fail "src missing")
+            | l -> Alcotest.failf "expected one entry, got %d" (List.length l)));
+    tc "SLOWLOG: default threshold keeps fast jobs out" `Quick (fun () ->
+        with_service (fun svc ->
+            let s = Svc.open_session svc in
+            ignore (ok (Svc.query svc s updating_query));
+            check Alcotest.int "no entries" 0 (Svc.slowlog_length svc)));
+    tc "METRICS PROM: exposition covers counters and summaries" `Quick
+      (fun () ->
+        with_service ~slow_apply_ms:0 (fun svc ->
+            let s = Svc.open_session svc in
+            ignore (ok (Svc.query svc s "1 + 1"));
+            ignore (ok (Svc.query svc s updating_query));
+            ignore (err (Svc.query svc s "1 +"));
+            let body = Svc.metrics_prometheus svc in
+            let has sub = Re.execp (Re.compile (Re.str sub)) body in
+            List.iter
+              (fun sub ->
+                if not (has sub) then
+                  Alcotest.failf "exposition lacks %S:\n%s" sub body)
+              [
+                "# TYPE xqbang_queries_total counter";
+                "xqbang_queries_total 3";
+                "xqbang_queries_by_purity_total{purity=\"pure\"}";
+                "xqbang_query_errors_total 1";
+                "xqbang_update_requests_total 3";
+                "xqbang_deltas_applied_total";
+                "xqbang_query_latency_ns{quantile=\"0.99\"}";
+                (* failed queries record no latency sample *)
+                "xqbang_query_latency_ns_count 2";
+                "# TYPE xqbang_phase_ns summary";
+              ];
+            (* every line is a comment or "name[{labels}] value" *)
+            let line_re =
+              Re.compile
+                (Re.Perl.re
+                   {|^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [-+0-9.eE]+)$|})
+            in
+            List.iter
+              (fun line ->
+                if line <> "" && not (Re.execp line_re line) then
+                  Alcotest.failf "malformed exposition line %S" line)
+              (String.split_on_char '\n' body)));
+    tc "wire protocol parses the observability verbs" `Quick (fun () ->
+        let is_ok r = function
+          | Ok x -> x = r
+          | Error _ -> false
+        in
+        check Alcotest.bool "DELTA" true
+          (is_ok Proto.Delta (Proto.parse "DELTA"));
+        check Alcotest.bool "SLOWLOG" true
+          (is_ok Proto.Slowlog (Proto.parse "SLOWLOG"));
+        check Alcotest.bool "METRICS" true
+          (is_ok Proto.Metrics_prom (Proto.parse "METRICS"));
+        check Alcotest.bool "METRICS PROM" true
+          (is_ok Proto.Metrics_prom (Proto.parse "METRICS PROM"));
+        check Alcotest.bool "METRICS bogus rejected" true
+          (match Proto.parse "METRICS JSONX" with Error _ -> true | _ -> false));
+  ]
+
 let suite =
   [
     ("service:sessions", sessions);
@@ -433,4 +560,5 @@ let suite =
     ("service:scheduler", scheduler);
     ("service:governance", governance);
     ("service:admission", admission);
+    ("service:observability", observability);
   ]

@@ -129,23 +129,23 @@ let stack_unit =
         let s = Core.Snap_stack.create () in
         check Alcotest.int "depth 0" 0 (Core.Snap_stack.depth s);
         Core.Snap_stack.push s Core.Apply.Ordered;
-        Core.Snap_stack.emit s (Core.Update.Delete 1);
+        Core.Snap_stack.emit s (Core.Update.make (Core.Update.Delete 1));
         Core.Snap_stack.push s Core.Apply.Ordered;
-        Core.Snap_stack.emit s (Core.Update.Delete 2);
+        Core.Snap_stack.emit s (Core.Update.make (Core.Update.Delete 2));
         check Alcotest.int "pending inner" 1 (Core.Snap_stack.pending s);
         let inner, _ = Core.Snap_stack.pop s in
         check Alcotest.int "inner delta" 1 (List.length inner);
         (match inner with
-        | [ Core.Update.Delete 2 ] -> ()
+        | [ { Core.Update.op = Core.Update.Delete 2; _ } ] -> ()
         | _ -> Alcotest.fail "wrong inner delta");
         let outer, _ = Core.Snap_stack.pop s in
         (match outer with
-        | [ Core.Update.Delete 1 ] -> ()
+        | [ { Core.Update.op = Core.Update.Delete 1; _ } ] -> ()
         | _ -> Alcotest.fail "wrong outer delta");
         check Alcotest.int "depth 0 again" 0 (Core.Snap_stack.depth s));
     tc "emit without scope raises" `Quick (fun () ->
         let s = Core.Snap_stack.create () in
-        match Core.Snap_stack.emit s (Core.Update.Delete 0) with
+        match Core.Snap_stack.emit s (Core.Update.make (Core.Update.Delete 0)) with
         | _ -> Alcotest.fail "expected No_snap_scope"
         | exception Core.Snap_stack.No_snap_scope -> ());
     tc "pending count tracks each frame exactly" `Quick (fun () ->
@@ -157,11 +157,11 @@ let stack_unit =
         Core.Snap_stack.push s Core.Apply.Ordered;
         check Alcotest.int "fresh frame" 0 (Core.Snap_stack.pending s);
         for i = 1 to 3 do
-          Core.Snap_stack.emit s (Core.Update.Delete i)
+          Core.Snap_stack.emit s (Core.Update.make (Core.Update.Delete i))
         done;
         check Alcotest.int "outer after 3 emits" 3 (Core.Snap_stack.pending s);
         Core.Snap_stack.push s Core.Apply.Ordered;
-        Core.Snap_stack.emit s (Core.Update.Delete 9);
+        Core.Snap_stack.emit s (Core.Update.make (Core.Update.Delete 9));
         check Alcotest.int "inner counts only itself" 1
           (Core.Snap_stack.pending s);
         let inner, _ = Core.Snap_stack.pop s in
@@ -174,14 +174,15 @@ let stack_unit =
         let s = Core.Snap_stack.create () in
         Core.Snap_stack.push s Core.Apply.Ordered;
         for i = 1 to 5 do
-          Core.Snap_stack.emit s (Core.Update.Delete i)
+          Core.Snap_stack.emit s (Core.Update.make (Core.Update.Delete i))
         done;
         let delta, _ = Core.Snap_stack.pop s in
         check
           (Alcotest.list Alcotest.int)
           "order" [ 1; 2; 3; 4; 5 ]
           (List.map
-             (function Core.Update.Delete n -> n | _ -> -1)
+             (fun r ->
+               match r.Core.Update.op with Core.Update.Delete n -> n | _ -> -1)
              delta));
   ]
 

@@ -146,6 +146,145 @@ let visibility =
       "2";
   ]
 
+(* -- conflict explanations: one case per rule R1..R7 ---------------- *)
+
+(* Each rule is triggered with two hand-built requests carrying
+   distinct provenance (3:12 and 7:5); the structured Conflict_error
+   must name the rule and its explanation must cite both sites. *)
+module U = Core.Update
+module Conflict = Core.Conflict
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let site1 = "3:12"
+let site2 = "7:5"
+
+let at line col op =
+  U.make
+    ~prov:{ U.src_line = line; src_col = col; snap_depth = 0; trace_id = None }
+    op
+
+let first_req op = at 3 12 op
+let second_req op = at 7 5 op
+
+let expect_rule name ?store rule_str delta =
+  tc name `Quick (fun () ->
+      match Conflict.check ?store delta with
+      | () -> Alcotest.failf "%s: expected a conflict" name
+      | exception Conflict.Conflict_error c ->
+        check Alcotest.string "rule id" rule_str
+          (Conflict.rule_id c.Conflict.rule);
+        let msg = Conflict.explain ?store c in
+        check Alcotest.string "rule id leads the explanation" rule_str
+          (String.sub msg 0 (String.length rule_str));
+        if not (contains msg site1) then
+          Alcotest.failf "%s: %S lacks the first site %s" name msg site1;
+        if not (contains msg site2) then
+          Alcotest.failf "%s: %S lacks the second site %s" name msg site2)
+
+let ins ?(nodes = [ 10 ]) ?(parent = 1) position =
+  U.Insert { nodes; parent; position }
+
+let explanation_matrix =
+  let r7 =
+    (* Needs a real store: set-value on element b2 vs a delete strictly
+       inside its subtree (d1). Node ids must come from the fixture. *)
+    let f = fixture () in
+    [
+      expect_rule "R7: set-value vs structural work in its subtree"
+        ~store:f.store "R7"
+        [ first_req (U.Set_value (f.b2, "v")); second_req (U.Delete f.d1) ];
+      tc "R7 explanation renders stable node paths" `Quick (fun () ->
+          match
+            Conflict.check ~store:f.store
+              [
+                first_req (U.Set_value (f.b2, "v"));
+                second_req (U.Delete f.d1);
+              ]
+          with
+          | () -> Alcotest.fail "expected a conflict"
+          | exception Conflict.Conflict_error c ->
+            let msg = Conflict.explain ~store:f.store c in
+            if not (contains msg "/a[1]/b[2]") then
+              Alcotest.failf "no stable path in %S" msg);
+    ]
+  in
+  [
+    expect_rule "R1: two inserts into the same slot" "R1"
+      [
+        first_req (ins U.First ~nodes:[ 10 ]);
+        second_req (ins U.First ~nodes:[ 11 ]);
+      ];
+    expect_rule "R2: insert anchored on a deleted node" "R2"
+      [ first_req (U.Delete 5); second_req (ins (U.Before 5)) ];
+    expect_rule "R2: delete of an already-used anchor" "R2"
+      [ first_req (ins (U.After 5)); second_req (U.Delete 5) ];
+    expect_rule "R3: one node inserted by two requests" "R3"
+      [
+        first_req (ins U.Last ~parent:1);
+        second_req (ins U.Last ~parent:2);
+      ];
+    expect_rule "R4: node both inserted and deleted" "R4"
+      [ first_req (U.Delete 10); second_req (ins U.Last) ];
+    expect_rule "R4: insert then delete, either order" "R4"
+      [ first_req (ins U.Last); second_req (U.Delete 10) ];
+    expect_rule "R5: diverging renames" "R5"
+      [
+        first_req (U.Rename (5, qn "a"));
+        second_req (U.Rename (5, qn "b"));
+      ];
+    expect_rule "R6: diverging set-values" "R6"
+      [
+        first_req (U.Set_value (5, "a"));
+        second_req (U.Set_value (5, "b"));
+      ];
+    expect_rule "R6: set-value vs delete" "R6"
+      [ first_req (U.Set_value (5, "a")); second_req (U.Delete 5) ];
+    tc "unknown provenance renders as such" `Quick (fun () ->
+        match
+          Conflict.check [ U.make (U.Delete 5); second_req (ins (U.Before 5)) ]
+        with
+        | () -> Alcotest.fail "expected a conflict"
+        | exception Conflict.Conflict_error c ->
+          let msg = Conflict.to_string c in
+          if not (contains msg "<unknown source>" && contains msg site2) then
+            Alcotest.failf "bad sites in %S" msg);
+    tc "end to end: conflict mode surfaces the structured error" `Quick
+      (fun () ->
+        let eng = Core.Engine.create () in
+        match
+          Core.Engine.run eng
+            {|let $x := <x><a/></x>
+              return snap conflict {
+                rename {$x/a} to {'p'},
+                rename {$x/a} to {'q'}
+              }|}
+        with
+        | _ -> Alcotest.fail "expected a conflict"
+        | exception Conflict.Conflict_error c ->
+          check Alcotest.string "rule id" "R5" (Conflict.rule_id c.Conflict.rule);
+          let msg =
+            Conflict.explain ~store:(Core.Engine.store eng) c
+          in
+          (* both effecting expressions carry real source positions *)
+          if not (contains msg "3:" && contains msg "4:") then
+            Alcotest.failf "expected two source sites in %S" msg);
+    tc "dynamic update errors carry the source location" `Quick (fun () ->
+        let eng = Core.Engine.create () in
+        match
+          Core.Engine.run eng
+            {|let $x := <x a="1"/> return snap insert {attribute a {'2'}} into {$x}|}
+        with
+        | _ -> Alcotest.fail "expected Update_error"
+        | exception Store.Update_error msg ->
+          if not (contains msg "at 1:" && contains msg "duplicate attribute")
+          then Alcotest.failf "no location prefix in %S" msg);
+  ]
+  @ r7
+
 (* -- deterministic engine behaviour --------------------------------- *)
 
 let determinism =
@@ -184,5 +323,6 @@ let suite =
     ("update-matrix:interleavings", interleavings);
     ("update-matrix:mode-agreement", mode_agreement);
     ("update-matrix:visibility", visibility);
+    ("update-matrix:conflict-explanations", explanation_matrix);
     ("update-matrix:determinism", determinism);
   ]

@@ -16,32 +16,32 @@ let syntax_mapping =
   in
   [
     parses "insert node ... into" "insert node <a/> into $x"
-      (function A.Insert (A.Dir_elem _, A.Into (A.Var "x")) -> true | _ -> false);
+      (function A.Insert (A.Dir_elem _, A.Into (A.Var "x"), _) -> true | _ -> false);
     parses "insert nodes plural" "insert nodes ($a, $b) into $x"
-      (function A.Insert (A.Seq [ _; _ ], A.Into _) -> true | _ -> false);
+      (function A.Insert (A.Seq [ _; _ ], A.Into _, _) -> true | _ -> false);
     parses "insert node as first into" "insert node <a/> as first into $x"
-      (function A.Insert (_, A.Into_as_first _) -> true | _ -> false);
+      (function A.Insert (_, A.Into_as_first _, _) -> true | _ -> false);
     parses "insert node as last into" "insert node <a/> as last into $x"
-      (function A.Insert (_, A.Into_as_last _) -> true | _ -> false);
+      (function A.Insert (_, A.Into_as_last _, _) -> true | _ -> false);
     parses "insert node before" "insert node <a/> before $x/b"
-      (function A.Insert (_, A.Before _) -> true | _ -> false);
+      (function A.Insert (_, A.Before _, _) -> true | _ -> false);
     parses "insert node after" "insert node <a/> after $x/b"
-      (function A.Insert (_, A.After _) -> true | _ -> false);
+      (function A.Insert (_, A.After _, _) -> true | _ -> false);
     parses "delete node" "delete node $x/a"
-      (function A.Delete (A.Path _) -> true | _ -> false);
+      (function A.Delete (A.Path _, _) -> true | _ -> false);
     parses "delete nodes" "delete nodes $x/a"
       (function A.Delete _ -> true | _ -> false);
     parses "replace node with" "replace node $x/a with <b/>"
-      (function A.Replace (_, A.Dir_elem _) -> true | _ -> false);
+      (function A.Replace (_, A.Dir_elem _, _) -> true | _ -> false);
     parses "replace value of node" "replace value of node $x/a with 'v'"
-      (function A.Replace_value (_, A.Literal _) -> true | _ -> false);
+      (function A.Replace_value (_, A.Literal _, _) -> true | _ -> false);
     parses "rename node as" "rename node $x/a as 'b'"
-      (function A.Rename (_, A.Literal _) -> true | _ -> false);
+      (function A.Rename (_, A.Literal _, _) -> true | _ -> false);
     parses "both syntaxes coexist"
       "(insert {<a/>} into {$x}, insert node <a/> into $x)"
       (function A.Seq [ A.Insert _; A.Insert _ ] -> true | _ -> false);
     parses "delete with braces still works" "delete { $x }"
-      (function A.Delete (A.Var "x") -> true | _ -> false);
+      (function A.Delete (A.Var "x", _) -> true | _ -> false);
   ]
 
 let semantics =
@@ -105,7 +105,7 @@ let replace_value =
   ]
 
 let conflict_r6 =
-  let sv n s = Core.Update.Set_value (n, s) in
+  let sv n s = Core.Update.make (Core.Update.Set_value (n, s)) in
   [
     tc "R6: diverging set-values conflict" `Quick (fun () ->
         check Alcotest.bool "conflict" false
@@ -114,7 +114,9 @@ let conflict_r6 =
           (Core.Conflict.is_conflict_free [ sv 3 "a"; sv 3 "a" ]));
     tc "R6: set-value vs insert into same node" `Quick (fun () ->
         let ins =
-          Core.Update.Insert { nodes = [ 9 ]; parent = 3; position = Core.Update.Last }
+          Core.Update.make
+            (Core.Update.Insert
+               { nodes = [ 9 ]; parent = 3; position = Core.Update.Last })
         in
         check Alcotest.bool "conflict either order" false
           (Core.Conflict.is_conflict_free [ sv 3 "a"; ins ]);
@@ -122,9 +124,11 @@ let conflict_r6 =
           (Core.Conflict.is_conflict_free [ ins; sv 3 "a" ]));
     tc "R6: set-value vs delete of the node" `Quick (fun () ->
         check Alcotest.bool "conflict" false
-          (Core.Conflict.is_conflict_free [ sv 3 "a"; Core.Update.Delete 3 ]);
+          (Core.Conflict.is_conflict_free
+             [ sv 3 "a"; Core.Update.make (Core.Update.Delete 3) ]);
         check Alcotest.bool "conflict 2" false
-          (Core.Conflict.is_conflict_free [ Core.Update.Delete 3; sv 3 "a" ]));
+          (Core.Conflict.is_conflict_free
+             [ Core.Update.make (Core.Update.Delete 3); sv 3 "a" ]));
     tc "R6: independent set-values are fine" `Quick (fun () ->
         check Alcotest.bool "free" true
           (Core.Conflict.is_conflict_free [ sv 3 "a"; sv 4 "b" ]));
@@ -191,8 +195,11 @@ let transform_tests =
         let e = Xqb_syntax.Parser.parse_expr_string src in
         (match e with A.Transform ([ _ ], _, _) -> () | _ -> Alcotest.fail "not a transform");
         let printed = Xqb_syntax.Pretty.expr_to_string e in
-        check Alcotest.bool "reparses equal" true
-          (Xqb_syntax.Parser.parse_expr_string printed = e));
+        (* source locations differ between the two parses, so compare
+           modulo locations via a reprint *)
+        check Alcotest.string "reparses equal" printed
+          (Xqb_syntax.Pretty.expr_to_string
+             (Xqb_syntax.Parser.parse_expr_string printed)));
   ]
 
 let suite = suite @ [ ("xquf:transform", transform_tests) ]
