@@ -1196,11 +1196,179 @@ let e19 () =
     exit_code := 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* E20 — durability: update-mix throughput and p99 latency under the  *)
+(* three WAL fsync policies, recovery-digest verification (the bench  *)
+(* fails if a recovered store diverges from the one it persisted),    *)
+(* and replica apply lag over the ship/ingest path.                   *)
+(* ------------------------------------------------------------------ *)
+
+let e20 () =
+  print_header
+    "E20: durability — WAL fsync policies, crash recovery, replica shipping";
+  let module Svc = Xqb_service.Service in
+  let module Catalog = Xqb_service.Catalog in
+  let module Wal = Xqb_wal.Wal in
+  let module Durable = Xqb_wal.Durable in
+  let module Codec = Xqb_wal.Codec in
+  let rounds = if !smoke then 40 else 300 in
+  let tmp_tag = ref 0 in
+  let fresh_dir () =
+    incr tmp_tag;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "xqbang-e20-%d-%d" (Unix.getpid ()) !tmp_tag)
+  in
+  let rm_rf dir =
+    if Sys.file_exists dir then begin
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Sys.rmdir dir
+    end
+  in
+  let update i =
+    Printf.sprintf
+      {|snap ordered { insert {element hit {%d}} into {doc("log")/log},
+                       rename {(doc("log")/log/*)[1]} to {'seen'},
+                       delete {(doc("log")/log/*)[last()]} }|}
+      i
+  in
+  let digest_of svc = Codec.store_digest_hex (Catalog.store (Svc.catalog svc)) in
+  let run_mix svc s =
+    (* per-query wall latencies, for throughput and p99 *)
+    let lat = Array.make rounds 0. in
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to rounds - 1 do
+      let q0 = Unix.gettimeofday () in
+      (match Svc.query svc s (update i) with
+      | Ok _ -> ()
+      | Error e ->
+        Printf.printf "E20 FAIL: update rejected: %s\n"
+          (Xqb_service.Service_error.to_string e);
+        exit_code := 1);
+      lat.(i) <- Unix.gettimeofday () -. q0
+    done;
+    let total_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+    Array.sort compare lat;
+    let p99 = lat.(min (rounds - 1) (rounds * 99 / 100)) *. 1e9 in
+    (total_ms, p99)
+  in
+  let policies =
+    [ ("off", None); ("never", Some Wal.Never);
+      ("interval-5ms", Some (Wal.Interval_ms 5)); ("always", Some Wal.Always) ]
+  in
+  let results =
+    List.map
+      (fun (tag, policy) ->
+        let dir = fresh_dir () in
+        let durability =
+          Option.map
+            (fun fsync -> { (Durable.default_config ~dir) with Durable.fsync })
+            policy
+        in
+        let svc = Svc.create ~domains:0 ?durability () in
+        let s = Svc.open_session svc in
+        Svc.load_document svc s ~uri:"log" "<log><hit>0</hit></log>";
+        ignore (Svc.query svc s (update 0)) (* warm the plan path *);
+        let total_ms, p99 = run_mix svc s in
+        let digest = digest_of svc in
+        Svc.shutdown svc;
+        let recovered =
+          match durability with
+          | None -> "-"
+          | Some cfg ->
+            let svc' = Svc.create ~domains:0 ~durability:cfg () in
+            let d = digest_of svc' in
+            Svc.shutdown svc';
+            rm_rf dir;
+            if d = digest then "ok"
+            else begin
+              Printf.printf
+                "E20 FAIL: %s: recovered digest %s <> committed %s\n" tag d
+                digest;
+              exit_code := 1;
+              "DIVERGED"
+            end
+        in
+        record ~name:(Printf.sprintf "e20-mix-fsync-%s" tag) ~n:rounds
+          (total_ms *. 1e6);
+        record ~name:(Printf.sprintf "e20-p99-fsync-%s" tag) ~n:1 p99;
+        (tag, total_ms, p99, recovered))
+      policies
+  in
+  (* replica shipping: a durable leader runs the same mix while every
+     committed frame is pumped through ship/ingest into an in-process
+     replica; lag is how long the replica needs to drain after the
+     leader's last commit *)
+  let dir = fresh_dir () in
+  let leader =
+    Svc.create ~domains:0
+      ~durability:{ (Durable.default_config ~dir) with Durable.fsync = Wal.Never }
+      ()
+  in
+  let replica = Svc.create ~domains:0 ~replica:true () in
+  let s = Svc.open_session leader in
+  Svc.load_document leader s ~uri:"log" "<log><hit>0</hit></log>";
+  let lsn0, blob =
+    match Svc.snapshot_blob leader with
+    | Ok r -> r
+    | Error e -> failwith ("E20: snapshot failed: " ^ e)
+  in
+  (match Svc.replica_bootstrap replica blob with
+  | Ok _ -> ()
+  | Error e -> failwith ("E20: bootstrap failed: " ^ e));
+  for i = 0 to rounds - 1 do
+    ignore (Svc.query leader s (update i))
+  done;
+  let frames = ref 0 in
+  let drain_ms =
+    let t0 = Unix.gettimeofday () in
+    let from = ref (lsn0 + 1) in
+    let continue = ref true in
+    while !continue do
+      match Svc.ship_frames leader ~from_lsn:!from ~max:512 with
+      | Ok (_, "") -> continue := false
+      | Ok (leader_lsn, batch) ->
+        (match Svc.replica_ingest replica ~leader_lsn batch with
+        | Ok _ -> ()
+        | Error e -> failwith ("E20: ingest failed: " ^ e));
+        let decoded, _ = Codec.scan batch in
+        frames := !frames + List.length decoded;
+        List.iter (fun (l, _, _) -> if l >= !from then from := l + 1) decoded
+      | Error e -> failwith ("E20: ship failed: " ^ e)
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e3
+  in
+  let converged = digest_of leader = digest_of replica in
+  if not converged then begin
+    print_endline "E20 FAIL: replica diverged from the leader after shipping";
+    exit_code := 1
+  end;
+  record ~name:"e20-replica-drain" ~n:!frames (drain_ms *. 1e6);
+  Svc.shutdown replica;
+  Svc.shutdown leader;
+  rm_rf dir;
+  print_table
+    [ "fsync"; Printf.sprintf "ms / %d-update mix" rounds; "updates/s";
+      "p99 µs"; "recovery" ]
+    (List.map
+       (fun (tag, total_ms, p99, recovered) ->
+         [ tag; f2 total_ms;
+           Printf.sprintf "%.0f" (float_of_int rounds /. (total_ms /. 1e3));
+           f2 (p99 /. 1e3); recovered ])
+       results);
+  Printf.printf
+    "replica drained %d frames in %.2fms (%.1fµs/frame), digests %s\n" !frames
+    drain_ms
+    (drain_ms *. 1e3 /. float_of_int (max 1 !frames))
+    (if converged then "converged" else "DIVERGED")
+
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
     ("e13", e13); ("e15", e15); ("e16", e16); ("e17", e17); ("e18", e18);
-    ("e19", e19) ]
+    ("e19", e19); ("e20", e20) ]
 
 let () =
   (* args: experiment names, plus `--json PATH` to dump every

@@ -415,6 +415,22 @@ let serve_cmd =
         | None -> P.err "no write-side job has run yet")
       | P.Slowlog -> P.ok (Svc.slowlog_json svc)
       | P.Metrics_prom -> P.ok (Svc.metrics_prometheus svc)
+      | P.Journal_stat -> P.ok (Svc.journal_stat_json svc)
+      | P.Replica_stat -> P.ok (Svc.replica_stat_json svc)
+      | P.Checkpoint -> (
+        match Svc.checkpoint_now svc with
+        | Ok lsn -> P.ok (string_of_int lsn)
+        | Error e -> P.err e)
+      | P.Ship (from_lsn, max) -> (
+        (* blobs travel base64 so frames fit the one-line protocol *)
+        match Svc.ship_frames svc ~from_lsn ~max with
+        | Ok (last, frames) ->
+          P.ok (Printf.sprintf "%d %s" last (Xqb_wal.B64.encode frames))
+        | Error e -> P.err e)
+      | P.Snapshot -> (
+        match Svc.snapshot_blob svc with
+        | Ok (_, blob) -> P.ok (Xqb_wal.B64.encode blob)
+        | Error e -> P.err e)
       | P.Quit ->
         stop ();
         P.ok "bye"
@@ -441,12 +457,40 @@ let serve_cmd =
     loop ()
   in
   let serve domains cache_capacity port deadline_ms fuel max_delta max_queue
-      tracing slow_apply_ms =
+      tracing slow_apply_ms data_dir fsync checkpoint_bytes checkpoint_secs
+      replica_of =
     report_errors (fun () ->
-        let svc =
-          Svc.create ~domains ~cache_capacity ?deadline_ms ?fuel ?max_delta
-            ?max_queue ~tracing ~slow_apply_ms ()
+        (* a bad --data-dir or a failed bind must exit non-zero with
+           one clear line, not an uncaught exception: Durable raises
+           Failure (caught by report_errors) and socket errors are
+           folded to Failure here *)
+        let fsync =
+          (* validated even without --data-dir so a typo never goes
+             silently ignored *)
+          match Xqb_wal.Wal.fsync_policy_of_string fsync with
+          | Ok p -> p
+          | Error e -> failwith e
         in
+        let durability =
+          match data_dir with
+          | None -> None
+          | Some dir ->
+            Some
+              {
+                (Xqb_wal.Durable.default_config ~dir) with
+                Xqb_wal.Durable.fsync;
+                checkpoint_bytes;
+                checkpoint_secs;
+              }
+        in
+        let svc =
+          try
+            Svc.create ~domains ~cache_capacity ?deadline_ms ?fuel ?max_delta
+              ?max_queue ~tracing ~slow_apply_ms ?durability ?replica_of ()
+          with Xqb_wal.Codec.Corrupt m ->
+            failwith ("refusing to start: " ^ m)
+        in
+        Svc.start_replication svc;
         (match port with
         | None ->
           (* newline-delimited requests on stdin, replies on stdout *)
@@ -454,7 +498,11 @@ let serve_cmd =
         | Some port ->
           let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
           Unix.setsockopt sock Unix.SO_REUSEADDR true;
-          Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+          (try Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+           with Unix.Unix_error (e, _, _) ->
+             failwith
+               (Printf.sprintf "cannot bind 127.0.0.1:%d: %s" port
+                  (Unix.error_message e)));
           Unix.listen sock 64;
           Printf.eprintf "xqbang serve: listening on 127.0.0.1:%d\n%!" port;
           (* one thread per connection; they all share the service,
@@ -503,12 +551,33 @@ let serve_cmd =
     Arg.(value & opt int 10 & info [ "slow-apply-ms" ] ~docv:"MS"
            ~doc:"Slow-effect log threshold: write-side jobs whose Delta-apply phase exceeds MS are recorded with their Delta summary and trace id, retrievable via the SLOWLOG request.")
   in
+  let data_dir_arg =
+    Arg.(value & opt (some string) None & info [ "data-dir" ] ~docv:"DIR"
+           ~doc:"Durable mode: recover the store from DIR on boot (latest snapshot + WAL replay) and append every committed write to DIR/wal.log before acknowledging it.")
+  in
+  let fsync_arg =
+    Arg.(value & opt string "always" & info [ "fsync" ] ~docv:"POLICY"
+           ~doc:"WAL fsync policy: 'always' (group commit, fsync before every acknowledgment), 'interval-ms:N' (background fsync every N ms; a crash may lose the last interval) or 'never' (page cache only).")
+  in
+  let checkpoint_bytes_arg =
+    Arg.(value & opt int (4 * 1024 * 1024) & info [ "checkpoint-bytes" ] ~docv:"N"
+           ~doc:"Write a snapshot and truncate the WAL once it grows past N bytes (0 disables size-triggered checkpoints).")
+  in
+  let checkpoint_secs_arg =
+    Arg.(value & opt float 0. & info [ "checkpoint-secs" ] ~docv:"S"
+           ~doc:"Also checkpoint every S seconds (0 disables time-triggered checkpoints).")
+  in
+  let replica_of_arg =
+    Arg.(value & opt (some string) None & info [ "replica-of" ] ~docv:"HOST:PORT"
+           ~doc:"Run as a read-only replica of the leader at HOST:PORT: bootstrap from its SNAPSHOT, stream committed WAL frames via SHIP, serve read-only queries. Excludes --data-dir.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the multi-client query service (newline-delimited protocol)")
     Term.(ret (const serve $ domains_arg $ cache_arg $ port_arg $ deadline_arg
                $ fuel_arg $ max_delta_arg $ max_queue_arg $ tracing_arg
-               $ slow_apply_arg))
+               $ slow_apply_arg $ data_dir_arg $ fsync_arg $ checkpoint_bytes_arg
+               $ checkpoint_secs_arg $ replica_of_arg))
 
 let () =
   let info = Cmd.info "xqbang" ~version:"1.0.0"

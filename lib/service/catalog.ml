@@ -53,6 +53,11 @@ let load t ~uri xml =
             { root; refcount = 0; bytes = String.length xml };
           root)
 
+(* Recovery / replication: the tree is already in the store (snapshot
+   restore or journal replay); just record the registration. *)
+let register t ~uri ~root ~bytes =
+  locked t (fun () -> Hashtbl.replace t.docs uri { root; refcount = 0; bytes })
+
 let find t uri = locked t (fun () -> Option.map (fun e -> e.root) (Hashtbl.find_opt t.docs uri))
 
 (* Take a reference; returns the root if resident. *)
@@ -81,3 +86,8 @@ let refcount t uri =
 let list t =
   locked t (fun () ->
       Hashtbl.fold (fun uri e acc -> (uri, e.refcount, e.bytes) :: acc) t.docs [])
+
+(* (uri, root, bytes) — the registrations a snapshot persists. *)
+let roots t =
+  locked t (fun () ->
+      Hashtbl.fold (fun uri e acc -> (uri, e.root, e.bytes) :: acc) t.docs [])

@@ -13,6 +13,12 @@ val store : t -> Xqb_store.Store.t
     hold the scheduler's write lock when this can actually load. *)
 val load : t -> uri:string -> string -> Xqb_store.Store.node_id
 
+(** Register an already-resident tree under [uri] (refcount 0) — the
+    durable layer's recovery and replica doc-shipping path, where the
+    nodes were rebuilt by snapshot restore / journal replay rather
+    than parsed here. Replaces any existing entry for [uri]. *)
+val register : t -> uri:string -> root:Xqb_store.Store.node_id -> bytes:int -> unit
+
 val find : t -> string -> Xqb_store.Store.node_id option
 
 (** Take a reference; [None] when the URI is not resident. *)
@@ -25,3 +31,7 @@ val refcount : t -> string -> int
 
 (** [(uri, refcount, bytes)] for each resident document. *)
 val list : t -> (string * int * int) list
+
+(** [(uri, root, bytes)] for each resident document — what a durable
+    snapshot persists (and {!register} restores). *)
+val roots : t -> (string * int * int) list

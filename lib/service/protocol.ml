@@ -13,6 +13,11 @@
      DELTA                         last job's Delta statistics -> OK <json> | ERR ...
      SLOWLOG                       slow-effect log      -> OK <json array>
      METRICS [PROM]                Prometheus text page -> OK <text>
+     JOURNAL STAT                  journal length + store digest -> OK <json>
+     REPLICA STAT                  replica LSNs and lag -> OK <json>
+     CHECKPOINT                    force a snapshot     -> OK <lsn> | ERR ...
+     SHIP <from_lsn> [<max>]       committed WAL frames -> OK <last_lsn> <b64> | ERR ...
+     SNAPSHOT                      bootstrap snapshot   -> OK <b64> | ERR ...
      QUIT                          end the connection   -> OK bye
 
    Query text is the rest of the line with the two-character escapes
@@ -32,6 +37,11 @@ type request =
   | Delta  (* last write-side job's ∆ statistics *)
   | Slowlog  (* the slow-effect log *)
   | Metrics_prom  (* Prometheus text exposition *)
+  | Journal_stat  (* in-memory journal length + store digest *)
+  | Replica_stat  (* replica LSNs / lag *)
+  | Checkpoint  (* force a snapshot now *)
+  | Ship of int * int  (* from_lsn, max frames: replica pull *)
+  | Snapshot  (* full-state blob for replica bootstrap *)
   | Quit
 
 (* -- one-line escaping ---------------------------------------------- *)
@@ -138,6 +148,28 @@ let parse line : (request, string) result =
     match String.uppercase_ascii rest with
     | "" | "PROM" -> Ok Metrics_prom
     | f -> Error (Printf.sprintf "unknown METRICS format %S (try PROM)" f))
+  | "JOURNAL" -> (
+    match String.uppercase_ascii rest with
+    | "" | "STAT" -> Ok Journal_stat
+    | f -> Error (Printf.sprintf "unknown JOURNAL subcommand %S (try STAT)" f))
+  | "REPLICA" -> (
+    match String.uppercase_ascii rest with
+    | "" | "STAT" -> Ok Replica_stat
+    | f -> Error (Printf.sprintf "unknown REPLICA subcommand %S (try STAT)" f))
+  | "CHECKPOINT" ->
+    if rest = "" then Ok Checkpoint
+    else Error "CHECKPOINT takes no arguments"
+  | "SHIP" -> (
+    let from_w, max_w = split_word rest in
+    match (int_of_string_opt from_w, max_w) with
+    | Some from, "" -> Ok (Ship (from, 512))
+    | Some from, m -> (
+      match int_of_string_opt m with
+      | Some max when max > 0 -> Ok (Ship (from, max))
+      | _ -> Error (Printf.sprintf "expected a frame count, got %S" m))
+    | None, _ -> Error "SHIP expects: SHIP <from_lsn> [<max>]")
+  | "SNAPSHOT" ->
+    if rest = "" then Ok Snapshot else Error "SNAPSHOT takes no arguments"
   | "QUIT" -> Ok Quit
   | "" -> Error "empty request"
   | kw -> Error (Printf.sprintf "unknown request %S" kw)

@@ -13,6 +13,11 @@ type request =
   | Delta  (** last write-side job's ∆ statistics *)
   | Slowlog  (** the slow-effect log *)
   | Metrics_prom  (** Prometheus text exposition *)
+  | Journal_stat  (** in-memory journal length + store digest *)
+  | Replica_stat  (** replica LSNs / lag *)
+  | Checkpoint  (** force a snapshot now *)
+  | Ship of int * int  (** from_lsn, max frames: replica pull *)
+  | Snapshot  (** full-state blob for replica bootstrap *)
   | Quit
 
 val parse : string -> (request, string) result

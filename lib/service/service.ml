@@ -44,6 +44,8 @@
 module Engine = Core.Engine
 module Budget = Xqb_governor.Budget
 module Trace = Xqb_obs.Trace
+module Durable = Xqb_wal.Durable
+module Wcodec = Xqb_wal.Codec
 
 type plan = {
   compiled : Engine.compiled;
@@ -104,6 +106,16 @@ type t = {
   sl_mutex : Mutex.t;
   mutable slowlog : slow_entry list;  (* newest first, bounded *)
   mutable last_delta : string option;  (* rendered ∆-stats JSON *)
+  (* durability (leader side): the WAL/checkpoint manager, plus the
+     journal seq of the first in-memory entry not yet appended to
+     disk. [wal_seq] is only touched with the scheduler's write lock
+     held (write-side jobs, catalog loads, checkpoints), so it needs
+     no mutex of its own. *)
+  durable : Durable.t option;
+  mutable wal_seq : int;
+  (* replica side: reject write traffic, apply shipped frames *)
+  read_only : bool;
+  repl : repl option;
 }
 
 and slow_entry = {
@@ -114,6 +126,27 @@ and slow_entry = {
   sl_snaps : int;
   sl_requests : int;
   sl_trace : string option;
+}
+
+(* Replica state. [rm] guards every field; the polling thread and
+   the wire STAT/ingest paths are the only writers. The entry buffer
+   holds the tail of a transaction span whose remainder has not
+   shipped yet (the leader's poll window can cut a span in half) —
+   entries apply to the store only in complete spans, so a replica
+   never serves a half-applied update. *)
+and repl = {
+  r_leader : string;  (* "host:port", or "" when pumped manually *)
+  rm : Mutex.t;
+  mutable r_received_lsn : int;  (* highest LSN accepted from the leader *)
+  mutable r_applied_lsn : int;  (* highest LSN applied / registered *)
+  mutable r_leader_lsn : int;  (* leader's last LSN as of the last SHIP *)
+  mutable r_pending : (int * Xqb_store.Store.mj_entry) list;  (* oldest first *)
+  mutable r_frames : int;  (* frames applied since boot *)
+  mutable r_status : string;
+  mutable r_last_apply : float;
+  mutable r_thread : Thread.t option;
+  mutable r_sock : Unix.file_descr option;
+  mutable r_stop : bool;
 }
 
 let trace_ring_cap = 32
@@ -140,10 +173,49 @@ let watchdog_loop t () =
   done
 
 let create ?(domains = 4) ?(cache_capacity = 128) ?(seed = 0x5eed) ?deadline_ms
-    ?fuel ?max_delta ?max_queue ?(tracing = false) ?(slow_apply_ms = 10) () =
+    ?fuel ?max_delta ?max_queue ?(tracing = false) ?(slow_apply_ms = 10)
+    ?durability ?(replica = false) ?replica_of () =
+  let replica = replica || replica_of <> None in
+  if replica && durability <> None then
+    failwith "a replica has no WAL of its own: --replica-of excludes --data-dir";
+  (* Durable boot: recover the store (snapshot + WAL tail replay),
+     hang the catalog off it, and (re)start the in-memory mutation
+     journal — everything replayed is already on disk, so the WAL
+     appender's cursor starts at seq 0 of a fresh journal. *)
+  let durable, catalog =
+    match durability with
+    | None -> (None, Catalog.create ())
+    | Some cfg ->
+      let d, (rec_ : Durable.recovered) = Durable.recover cfg in
+      let catalog = Catalog.create ~store:rec_.store () in
+      List.iter
+        (fun (uri, root, bytes) -> Catalog.register catalog ~uri ~root ~bytes)
+        rec_.docs;
+      Xqb_store.Store.journal_start rec_.store;
+      (Some d, catalog)
+  in
+  let repl =
+    if not replica then None
+    else
+      Some
+        {
+          r_leader = Option.value replica_of ~default:"";
+          rm = Mutex.create ();
+          r_received_lsn = 0;
+          r_applied_lsn = 0;
+          r_leader_lsn = 0;
+          r_pending = [];
+          r_frames = 0;
+          r_status = "idle";
+          r_last_apply = 0.;
+          r_thread = None;
+          r_sock = None;
+          r_stop = false;
+        }
+  in
   let t =
     {
-      catalog = Catalog.create ();
+      catalog;
       cache = Plan_cache.create ~capacity:cache_capacity ();
       sched = Scheduler.create ~domains ?max_queue ();
       metrics = Metrics.create ();
@@ -166,6 +238,10 @@ let create ?(domains = 4) ?(cache_capacity = 128) ?(seed = 0x5eed) ?deadline_ms
       sl_mutex = Mutex.create ();
       slowlog = [];
       last_delta = None;
+      durable;
+      wal_seq = 0;
+      read_only = replica;
+      repl;
     }
   in
   if deadline_ms <> None then t.watchdog <- Some (Thread.create (watchdog_loop t) ());
@@ -174,6 +250,351 @@ let create ?(domains = 4) ?(cache_capacity = 128) ?(seed = 0x5eed) ?deadline_ms
 let catalog t = t.catalog
 let scheduler t = t.sched
 let metrics t = t.metrics
+let read_only t = t.read_only
+let durability_json t = Option.map Durable.stats_json t.durable
+
+(* -- durability (leader side) --------------------------------------- *)
+
+(* Append the in-memory journal tail to the WAL and, under the Always
+   policy, block until durable — this is the acknowledgment barrier:
+   it runs after the snap applied but before the client sees OK, so
+   recovery reproduces every acknowledged commit. Write lock held. *)
+let durable_commit t =
+  match t.durable with
+  | None -> ()
+  | Some d ->
+    let store = Catalog.store t.catalog in
+    let entries = Xqb_store.Store.journal_entries_from store t.wal_seq in
+    if entries <> [] then begin
+      t.wal_seq <- t.wal_seq + List.length entries;
+      ignore (Durable.commit_entries d entries)
+    end
+
+(* After a checkpoint the snapshot covers the whole journal: restart
+   it so the in-memory list (and the seq counter feeding [wal_seq])
+   doesn't grow without bound. Write lock held. *)
+let after_checkpoint t =
+  Xqb_store.Store.journal_start (Catalog.store t.catalog);
+  t.wal_seq <- 0
+
+let durable_maybe_checkpoint t =
+  match t.durable with
+  | None -> ()
+  | Some d -> (
+    match
+      Durable.maybe_checkpoint d ~docs:(Catalog.roots t.catalog)
+        (Catalog.store t.catalog)
+    with
+    | Some _ -> after_checkpoint t
+    | None -> ())
+
+(* The per-write-job durability hook: flush the journal tail (even on
+   failure — an aborted span is a no-op on replay but keeps the audit
+   trail complete), then maybe checkpoint. A disk error here surfaces
+   as the job's error: the in-memory state has committed, but the
+   client is never acknowledged a write the disk didn't take. *)
+let durable_publish t =
+  durable_commit t;
+  durable_maybe_checkpoint t
+
+let checkpoint_now t =
+  match t.durable with
+  | None -> Error "service is not durable (started without --data-dir)"
+  | Some d ->
+    Scheduler.with_write t.sched (fun () ->
+        durable_commit t;
+        let lsn =
+          Durable.checkpoint d ~docs:(Catalog.roots t.catalog)
+            (Catalog.store t.catalog)
+        in
+        after_checkpoint t;
+        Ok lsn)
+
+(* Committed WAL frames for a replica, as one concatenated blob. *)
+let ship_frames t ~from_lsn ~max =
+  match t.durable with
+  | None -> Error "service is not durable (started without --data-dir)"
+  | Some d -> (
+    match Durable.ship d ~from_lsn ~max with
+    | Ok (last, frames) -> Ok (last, String.concat "" frames)
+    | Error `Too_old ->
+      Error "too-old: frames before the last checkpoint are gone; re-bootstrap from SNAPSHOT")
+
+let snapshot_blob t =
+  match t.durable with
+  | None -> Error "service is not durable (started without --data-dir)"
+  | Some d ->
+    Ok
+      (Scheduler.with_write t.sched (fun () ->
+           durable_commit t;
+           Durable.snapshot_blob d ~docs:(Catalog.roots t.catalog)
+             (Catalog.store t.catalog)))
+
+(* -- replication (replica side) ------------------------------------- *)
+
+let replica_bootstrap t blob =
+  match t.repl with
+  | None -> Error "not a replica"
+  | Some r -> (
+    let store = Catalog.store t.catalog in
+    if Xqb_store.Store.node_count store > 0 then
+      Error "replica already holds data; bootstrap needs a fresh store"
+    else
+      match
+        Scheduler.with_write t.sched (fun () -> Wcodec.restore store blob)
+      with
+      | lsn, docs ->
+        List.iter
+          (fun (uri, root, bytes) ->
+            Catalog.register t.catalog ~uri ~root ~bytes)
+          docs;
+        locked r.rm (fun () ->
+            r.r_received_lsn <- lsn;
+            r.r_applied_lsn <- lsn;
+            r.r_leader_lsn <- max r.r_leader_lsn lsn;
+            r.r_last_apply <- Unix.gettimeofday ();
+            r.r_status <- "bootstrapped");
+        Ok lsn
+      | exception Wcodec.Corrupt msg -> Error ("corrupt snapshot: " ^ msg))
+
+(* Apply a batch of shipped frames. Already-seen LSNs are skipped
+   (idempotent re-delivery); entries buffer until their transaction
+   span completes, then apply behind the write lock so concurrent
+   read queries never observe a half-applied update. Returns the
+   number of frames applied (entries + doc registrations). *)
+let replica_ingest t ~leader_lsn blob =
+  match t.repl with
+  | None -> Error "not a replica"
+  | Some r ->
+    let frames, valid = Wcodec.scan blob in
+    if valid <> String.length blob then Error "corrupt frame batch"
+    else
+      locked r.rm (fun () ->
+          r.r_leader_lsn <- max r.r_leader_lsn leader_lsn;
+          let fresh =
+            List.filter (fun (lsn, _, _) -> lsn > r.r_received_lsn) frames
+          in
+          let applied = ref 0 in
+          let pending_rev = ref (List.rev r.r_pending) in
+          let flush () =
+            let pairs = List.rev !pending_rev in
+            let complete, _ =
+              Xqb_store.Journal.split_complete (List.map snd pairs)
+            in
+            let n = List.length complete in
+            if n > 0 then begin
+              Scheduler.with_write t.sched (fun () ->
+                  Xqb_store.Journal.apply (Catalog.store t.catalog) complete);
+              List.iteri
+                (fun i (lsn, _) ->
+                  if i < n then r.r_applied_lsn <- max r.r_applied_lsn lsn)
+                pairs;
+              r.r_frames <- r.r_frames + n;
+              r.r_last_apply <- Unix.gettimeofday ();
+              applied := !applied + n;
+              pending_rev := List.rev (List.filteri (fun i _ -> i >= n) pairs)
+            end
+          in
+          List.iter
+            (fun (lsn, record, _) ->
+              r.r_received_lsn <- lsn;
+              match record with
+              | Wcodec.R_entry e -> pending_rev := (lsn, e) :: !pending_rev
+              | Wcodec.R_doc { uri; root; bytes } ->
+                (* the leader appends the registration only after the
+                   load's span committed, so the buffer is complete *)
+                flush ();
+                Catalog.register t.catalog ~uri ~root ~bytes;
+                r.r_applied_lsn <- max r.r_applied_lsn lsn;
+                r.r_frames <- r.r_frames + 1;
+                r.r_last_apply <- Unix.gettimeofday ();
+                incr applied)
+            fresh;
+          flush ();
+          r.r_pending <- List.rev !pending_rev;
+          r.r_status <- "streaming";
+          Ok !applied)
+
+let replica_stat_json t =
+  match t.repl with
+  | None -> "{\"replica\":false}"
+  | Some r ->
+    locked r.rm (fun () ->
+        Printf.sprintf
+          "{\"replica\":true,\"leader\":\"%s\",\"status\":\"%s\",\"applied_lsn\":%d,\"received_lsn\":%d,\"leader_lsn\":%d,\"lag\":%d,\"frames_applied\":%d,\"pending_entries\":%d,\"last_apply_age_s\":%s}"
+          (Metrics.json_escape r.r_leader)
+          (Metrics.json_escape r.r_status)
+          r.r_applied_lsn r.r_received_lsn r.r_leader_lsn
+          (max 0 (r.r_leader_lsn - r.r_applied_lsn))
+          r.r_frames
+          (List.length r.r_pending)
+          (if r.r_last_apply = 0. then "null"
+           else Printf.sprintf "%.3f" (Unix.gettimeofday () -. r.r_last_apply)))
+
+(* [JOURNAL STAT]: in-memory journal length + the canonical store
+   digest — the cross-node consistency check (leader, replicas and a
+   recovered store all agree on it). Takes the read lock so the
+   digest never observes a half-applied update. *)
+let journal_stat_json t =
+  (* the replica mutex is taken before the scheduler lock elsewhere
+     (ingest holds [rm] across its write-side apply), so read it
+     outside the read lock to keep the order consistent *)
+  let lsn =
+    match t.durable with
+    | Some d -> Durable.last_lsn d
+    | None -> (
+      match t.repl with
+      | Some r -> locked r.rm (fun () -> r.r_applied_lsn)
+      | None -> 0)
+  in
+  Scheduler.with_read t.sched (fun () ->
+      let store = Catalog.store t.catalog in
+      Printf.sprintf
+        "{\"recording\":%b,\"length\":%d,\"nodes\":%d,\"digest\":\"%s\",\"lsn\":%d}"
+        (Xqb_store.Store.journal_active store)
+        (Xqb_store.Store.journal_length store)
+        (Xqb_store.Store.node_count store)
+        (Wcodec.store_digest_hex store)
+        lsn)
+
+(* -- the replication client ----------------------------------------- *)
+
+(* Poll loop behind `serve --replica-of HOST:PORT`: connect to the
+   leader over the ordinary line protocol, bootstrap from a SNAPSHOT
+   blob when the local store is empty, then SHIP committed frames
+   forever (blobs travel base64 on the wire). Connection failures
+   back off and reconnect; a `too-old` reply (the leader checkpointed
+   past this replica's position) is terminal — an already-populated
+   store cannot re-bootstrap, the operator restarts the replica. *)
+
+let repl_poll_s = 0.02
+let repl_batch = 512
+
+exception Repl_stale
+
+let parse_reply line =
+  if String.length line >= 3 && String.sub line 0 3 = "OK " then
+    Ok (Protocol.unescape (String.sub line 3 (String.length line - 3)))
+  else if line = "OK" then Ok ""
+  else Error line
+
+let replication_loop t r host port () =
+  let resolve () =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (
+      try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      with Not_found -> failwith ("cannot resolve host " ^ host))
+  in
+  let session () =
+    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () ->
+        locked r.rm (fun () -> r.r_sock <- None);
+        try Unix.close sock with Unix.Unix_error _ -> ())
+      (fun () ->
+        Unix.connect sock (Unix.ADDR_INET (resolve (), port));
+        locked r.rm (fun () ->
+            r.r_sock <- Some sock;
+            r.r_status <- "connected");
+        let ic = Unix.in_channel_of_descr sock in
+        let oc = Unix.out_channel_of_descr sock in
+        let rpc line =
+          output_string oc line;
+          output_char oc '\n';
+          flush oc;
+          parse_reply (input_line ic)
+        in
+        (if
+           locked r.rm (fun () -> r.r_received_lsn) = 0
+           && Xqb_store.Store.node_count (Catalog.store t.catalog) = 0
+         then
+           match rpc "SNAPSHOT" with
+           | Ok payload -> (
+             match replica_bootstrap t (Xqb_wal.B64.decode payload) with
+             | Ok _ -> ()
+             | Error e -> failwith e)
+           | Error e -> failwith ("SNAPSHOT: " ^ e));
+        while not r.r_stop do
+          let from = locked r.rm (fun () -> r.r_received_lsn + 1) in
+          match rpc (Printf.sprintf "SHIP %d %d" from repl_batch) with
+          | Ok payload ->
+            let leader_w, b64 =
+              match String.index_opt payload ' ' with
+              | None -> (payload, "")
+              | Some i ->
+                ( String.sub payload 0 i,
+                  String.trim
+                    (String.sub payload (i + 1) (String.length payload - i - 1))
+                )
+            in
+            let leader_lsn =
+              match int_of_string_opt leader_w with
+              | Some l -> l
+              | None -> failwith ("bad SHIP reply: " ^ payload)
+            in
+            if b64 = "" then begin
+              locked r.rm (fun () ->
+                  r.r_leader_lsn <- max r.r_leader_lsn leader_lsn;
+                  if r.r_leader_lsn <= r.r_applied_lsn then
+                    r.r_status <- "caught-up");
+              Thread.delay repl_poll_s
+            end
+            else begin
+              match replica_ingest t ~leader_lsn (Xqb_wal.B64.decode b64) with
+              | Ok _ -> ()
+              | Error e -> failwith e
+            end
+          | Error e ->
+            let stale =
+              (* "ERR too-old: ..." — substring match keeps the wire
+                 format free to evolve *)
+              let n = String.length e in
+              let rec find i =
+                i + 7 <= n && (String.sub e i 7 = "too-old" || find (i + 1))
+              in
+              find 0
+            in
+            if stale then raise Repl_stale else failwith ("SHIP: " ^ e)
+        done)
+  in
+  let stale = ref false in
+  while (not r.r_stop) && not !stale do
+    try session () with
+    | Repl_stale ->
+      stale := true;
+      locked r.rm (fun () ->
+          r.r_status <-
+            "stale: leader checkpointed past this replica; restart it with an empty store")
+    | e ->
+      if not r.r_stop then begin
+        locked r.rm (fun () ->
+            r.r_status <- "disconnected: " ^ Printexc.to_string e);
+        Thread.delay 0.3
+      end
+  done
+
+(* Start the polling thread (serve does this right after [create]
+   when --replica-of was given). No-op for manually-pumped replicas
+   (tests drive {!replica_ingest} directly). *)
+let start_replication t =
+  match t.repl with
+  | Some r when r.r_leader <> "" && r.r_thread = None ->
+    let host, port =
+      match String.rindex_opt r.r_leader ':' with
+      | Some i -> (
+        let h = String.sub r.r_leader 0 i in
+        let p = String.sub r.r_leader (i + 1) (String.length r.r_leader - i - 1) in
+        match int_of_string_opt p with
+        | Some p when h <> "" -> (h, p)
+        | _ ->
+          failwith
+            (Printf.sprintf "bad --replica-of %S (expected HOST:PORT)" r.r_leader))
+      | None ->
+        failwith
+          (Printf.sprintf "bad --replica-of %S (expected HOST:PORT)" r.r_leader)
+    in
+    r.r_thread <- Some (Thread.create (replication_loop t r host port) ())
+  | _ -> ()
 
 (* -- sessions ------------------------------------------------------- *)
 
@@ -225,10 +646,28 @@ let load_document t sid ~uri xml =
   let root =
     match Catalog.acquire t.catalog uri with
     | Some root -> root
+    | None when t.read_only ->
+      failwith
+        (Printf.sprintf
+           "read-only replica: %S is not resident (documents replicate from the leader)"
+           uri)
     | None ->
       Scheduler.with_write t.sched (fun () ->
-          let root = Catalog.load t.catalog ~uri xml in
+          (* transactional so the load's journal entries form one
+             span: recovery and replicas either get the whole
+             document or none of it (and a parse failure rolls the
+             partially-built tree back) *)
+          let root =
+            Xqb_store.Store.transactionally (Catalog.store t.catalog)
+              (fun () -> Catalog.load t.catalog ~uri xml)
+          in
           ignore (Catalog.acquire t.catalog uri);
+          (match t.durable with
+          | Some d ->
+            durable_commit t;
+            Durable.commit_doc d ~uri ~root ~bytes:(String.length xml);
+            durable_maybe_checkpoint t
+          | None -> ());
           root)
   in
   locked s.slock (fun () ->
@@ -439,6 +878,16 @@ let submit_job t sid src :
     let err = Service_error.classify e in
     Metrics.record_error t.metrics err.Service_error.kind;
     (0, Scheduler.ready (Error err))
+  | _plan, None when t.read_only ->
+    (* purity gate doubles as the replica's write fence: anything not
+       statically parallel-safe could mutate the store *)
+    let err =
+      Service_error.classify
+        (Failure
+           "read-only replica: updating/effecting queries must run on the leader")
+    in
+    Metrics.record_error t.metrics err.Service_error.kind;
+    (0, Scheduler.ready (Error err))
   | plan, fork ->
     let deadline =
       match t.deadline_ms with
@@ -481,13 +930,17 @@ let submit_job t sid src :
           Engine.with_budget feng (Some budget) (fun () ->
               let v = Engine.run_readonly feng plan.compiled in
               Engine.serialize_with (Catalog.store t.catalog) v)
-        | None ->
+        | None -> (
           (* write side: the session itself, full snap semantics,
              transactional so budget kills roll back cleanly. The
              job's ∆ statistics and apply-phase wall time are
              snapshotted for DELTA / the slow-effect log even when it
-             fails. *)
-          locked s.slock (fun () ->
+             fails. The durable flush runs after the snap applied and
+             before the future resolves — the commit acknowledgment
+             barrier (on failure it still flushes the aborted span,
+             but its own errors must not mask the job's). *)
+          match
+            locked s.slock (fun () ->
               let ctx = Engine.context s.engine in
               Core.Update.stats_reset ctx.Core.Context.delta_stats;
               ctx.Core.Context.apply_ns <- 0;
@@ -503,6 +956,13 @@ let submit_job t sid src :
                         (fun () ->
                           let v = Engine.run_compiled s.engine plan.compiled in
                           Engine.serialize s.engine v))))
+          with
+          | out ->
+            durable_publish t;
+            out
+          | exception e ->
+            (try durable_publish t with _ -> ());
+            raise e)
       with
       | out ->
         finish true;
@@ -545,6 +1005,17 @@ let query t sid src = await (submit t sid src)
 let explain_job t sid src :
     int * (string, Service_error.t) result Scheduler.future =
   let s = find_session t sid in
+  if t.read_only then begin
+    (* EXPLAIN executes for real, side effects included — never on a
+       replica *)
+    let err =
+      Service_error.classify
+        (Failure "read-only replica: EXPLAIN executes the query; run it on the leader")
+    in
+    Metrics.record_error t.metrics err.Service_error.kind;
+    (0, Scheduler.ready (Error err))
+  end
+  else begin
   let t0 = Unix.gettimeofday () in
   let deadline =
     match t.deadline_ms with
@@ -574,7 +1045,7 @@ let explain_job t sid src :
     Metrics.job_begin t.metrics ~parallel:false;
     Fun.protect ~finally:(fun () -> Metrics.job_end t.metrics ~parallel:false)
     @@ fun () ->
-    match
+    let run () =
       locked s.slock (fun () ->
           let ctx = Engine.context s.engine in
           Core.Update.stats_reset ctx.Core.Context.delta_stats;
@@ -589,6 +1060,15 @@ let explain_job t sid src :
                     (fun () ->
                       let _, rendered = Xqb_algebra.Runner.analyze s.engine src in
                       rendered))))
+    in
+    match
+      match run () with
+      | out ->
+        durable_publish t;
+        out
+      | exception e ->
+        (try durable_publish t with _ -> ());
+        raise e
     with
     | rendered ->
       flush_trace ();
@@ -608,21 +1088,57 @@ let explain_job t sid src :
   | exception ((Scheduler.Overloaded | Scheduler.Shut_down) as e) ->
     on_abort e;
     (jid, Scheduler.ready (Error (Service_error.classify e)))
+  end
 
 let explain t sid src = await (snd (explain_job t sid src))
 
 let cache_stats t = Plan_cache.stats t.cache
 
-(* Wire [METRICS PROM]: the counters as a Prometheus text page. *)
+(* Wire [METRICS PROM]: the counters as a Prometheus text page, with
+   the durability gauges (WAL bytes, fsyncs, checkpoint age, LSNs)
+   and replica lag appended when the corresponding mode is on. *)
 let metrics_prometheus t =
-  Metrics.to_prometheus ~cache:(Plan_cache.stats t.cache) t.metrics
+  let base = Metrics.to_prometheus ~cache:(Plan_cache.stats t.cache) t.metrics in
+  let dur =
+    match t.durable with Some d -> Durable.stats_prometheus d | None -> ""
+  in
+  let rep =
+    match t.repl with
+    | None -> ""
+    | Some r ->
+      locked r.rm (fun () ->
+          String.concat ""
+            [
+              "# TYPE xqbang_replica_applied_lsn gauge\n";
+              Printf.sprintf "xqbang_replica_applied_lsn %d\n" r.r_applied_lsn;
+              "# TYPE xqbang_replica_leader_lsn gauge\n";
+              Printf.sprintf "xqbang_replica_leader_lsn %d\n" r.r_leader_lsn;
+              "# TYPE xqbang_replica_lag_frames gauge\n";
+              Printf.sprintf "xqbang_replica_lag_frames %d\n"
+                (max 0 (r.r_leader_lsn - r.r_applied_lsn));
+              "# TYPE xqbang_replica_frames_applied_total counter\n";
+              Printf.sprintf "xqbang_replica_frames_applied_total %d\n"
+                r.r_frames;
+            ])
+  in
+  base ^ dur ^ rep
 
 let stats_json t =
+  let extra = [ ("inflight", inflight_json t) ] in
+  let extra =
+    match durability_json t with
+    | Some j -> ("durability", j) :: extra
+    | None -> extra
+  in
+  let extra =
+    match t.repl with
+    | None -> extra
+    | Some _ -> ("replica", replica_stat_json t) :: extra
+  in
   Metrics.to_json
     ~cache:(Plan_cache.stats t.cache)
     ~docs:(Catalog.list t.catalog)
-    ~extra:[ ("inflight", inflight_json t) ]
-    t.metrics
+    ~extra t.metrics
 
 (* Stop the service. Without [deadline], drain: queued jobs still
    run to completion. With [deadline] (seconds), give queued +
@@ -631,6 +1147,21 @@ let stats_json t =
    their next poll. *)
 let shutdown ?deadline t =
   t.stopping <- true;
+  (* stop the replication client first: close its socket to unblock a
+     read in flight, then join *)
+  (match t.repl with
+  | Some r ->
+    r.r_stop <- true;
+    (match locked r.rm (fun () -> r.r_sock) with
+    | Some fd -> (
+      try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    | None -> ());
+    (match r.r_thread with
+    | Some th ->
+      Thread.join th;
+      r.r_thread <- None
+    | None -> ())
+  | None -> ());
   (match t.watchdog with
   | Some th ->
     Thread.join th;
@@ -642,4 +1173,6 @@ let shutdown ?deadline t =
           (fun _ j -> Budget.request j.cancel Budget.Cancelled)
           t.jobs)
   in
-  Scheduler.shutdown ?deadline ~on_deadline:cancel_inflight t.sched
+  Scheduler.shutdown ?deadline ~on_deadline:cancel_inflight t.sched;
+  (* the pool is drained: one final fsync and the WAL closes *)
+  match t.durable with Some d -> Durable.close d | None -> ()

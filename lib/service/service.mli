@@ -13,7 +13,17 @@ type t
     watchdog), [fuel] evaluation-step budget, [max_delta] cap on one
     snap frame's pending updates, [max_queue] scheduler admission
     watermark. With none set the service is ungoverned except that
-    {!cancel} always works. *)
+    {!cancel} always works.
+
+    Durability ([durability]): recover the store from [cfg.dir]
+    (latest valid snapshot + WAL tail replay) and append every
+    committed write to the WAL before acknowledging it — see
+    docs/DURABILITY.md. Replication: [replica] makes the service a
+    read-only replica whose store is fed by {!replica_ingest};
+    [replica_of] ("HOST:PORT") additionally names the leader for
+    {!start_replication}'s polling thread. A replica keeps no WAL of
+    its own: [durability] and replica mode are mutually exclusive
+    (@raise Failure). *)
 val create :
   ?domains:int ->
   ?cache_capacity:int ->
@@ -24,6 +34,9 @@ val create :
   ?max_queue:int ->
   ?tracing:bool ->
   ?slow_apply_ms:int ->
+  ?durability:Xqb_wal.Durable.config ->
+  ?replica:bool ->
+  ?replica_of:string ->
   unit ->
   t
 
@@ -120,7 +133,55 @@ val slowlog_json : t -> string
 
 val slowlog_length : t -> int
 
+(** {1 Durability and replication} *)
+
+(** True in replica mode: updating/effecting queries, EXPLAIN and
+    fresh document loads are rejected with a one-line error; reads
+    (and LOAD of an already-replicated URI) serve normally. *)
+val read_only : t -> bool
+
+(** Durability gauges as JSON; [None] without [durability]. *)
+val durability_json : t -> string option
+
+(** Wire [JOURNAL STAT]: in-memory journal length, node count, the
+    canonical store digest (equal across leader, replicas and a
+    recovered store iff their states agree) and the durable/applied
+    LSN. *)
+val journal_stat_json : t -> string
+
+(** Wire [REPLICA STAT]: applied/received/leader LSNs, lag, status.
+    [{"replica":false}] on a non-replica. *)
+val replica_stat_json : t -> string
+
+(** Wire [CHECKPOINT]: force a snapshot now (write lock; flushes the
+    journal tail first). Returns the checkpoint LSN. *)
+val checkpoint_now : t -> (int, string) result
+
+(** Wire [SHIP]: committed WAL frames from [from_lsn] (at most [max])
+    as [(leader last LSN, concatenated raw frames)]. [Error] when the
+    service is not durable or [from_lsn] predates the last checkpoint
+    (the replica must re-bootstrap). *)
+val ship_frames : t -> from_lsn:int -> max:int -> (int * string, string) result
+
+(** Wire [SNAPSHOT]: a serialized snapshot of the current state for
+    replica bootstrap, [(lsn, blob)]. *)
+val snapshot_blob : t -> (int * string, string) result
+
+(** Replica side: restore a {!snapshot_blob} into the (empty) store
+    and register its documents. Returns the snapshot LSN. *)
+val replica_bootstrap : t -> string -> (int, string) result
+
+(** Replica side: apply a batch of shipped frames (idempotent —
+    already-seen LSNs are skipped; a cut transaction span buffers
+    until its remainder arrives). Returns frames applied. *)
+val replica_ingest : t -> leader_lsn:int -> string -> (int, string) result
+
+(** Start the leader-polling thread when [replica_of] was given
+    (bootstrap via SNAPSHOT, then SHIP forever). No-op otherwise. *)
+val start_replication : t -> unit
+
 (** Stop the service. Without [deadline] drain queued jobs; with
     [deadline] (seconds) give them that long, then abandon the queue
-    and cancel in-flight budgets. *)
+    and cancel in-flight budgets. Closes the WAL (final fsync) and
+    stops the replication thread. *)
 val shutdown : ?deadline:float -> t -> unit

@@ -67,15 +67,51 @@ let rec exec_seq store (entries : entry list) : entry list =
       exec_seq store rest
     | S.M_request _ -> exec_seq store rest)
 
-let replay (entries : entry list) : S.t =
-  let store = S.create () in
-  (match exec_seq store entries with
+(* Execute entries against an *existing* store — the WAL-tail replay
+   and replica-apply primitive. Entries allocate node ids sequentially
+   from the store's current next id, so applying a leader's journal
+   tail to a store restored from the leader's snapshot (or applying
+   shipped frames to a converged replica) reproduces the leader's ids
+   exactly. *)
+let apply store (entries : entry list) : unit =
+  match exec_seq store entries with
   | [] -> ()
   | { seq; _ } :: _ ->
     raise
       (Replay_error
-         (Printf.sprintf "unmatched transaction terminator at seq %d" seq)));
+         (Printf.sprintf "unmatched transaction terminator at seq %d" seq))
+
+let replay (entries : entry list) : S.t =
+  let store = S.create () in
+  apply store entries;
   store
+
+(* Longest prefix that contains no dangling [M_txn_begin]: everything
+   up to (and including) the last point where the top-level
+   transaction depth returns to zero. Recovery truncates the WAL at
+   the split point (a trailing half-written span was never
+   acknowledged); a replica buffers the incomplete tail until the rest
+   of the span ships. *)
+let split_complete (entries : entry list) : entry list * entry list =
+  let rec scan depth taken best = function
+    | [] -> best
+    | { op; _ } :: rest ->
+      let depth =
+        match op with
+        | S.M_txn_begin -> depth + 1
+        | S.M_txn_commit | S.M_txn_abort -> max 0 (depth - 1)
+        | _ -> depth
+      in
+      let taken = taken + 1 in
+      scan depth taken (if depth = 0 then taken else best) rest
+  in
+  let keep = scan 0 0 0 entries in
+  let rec split i acc = function
+    | rest when i = keep -> (List.rev acc, rest)
+    | e :: rest -> split (i + 1) (e :: acc) rest
+    | [] -> (List.rev acc, [])
+  in
+  split 0 [] entries
 
 (* Canonical dump of the full node table — every field that defines
    the store's logical state, id by id. Two stores with equal digests

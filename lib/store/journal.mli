@@ -19,6 +19,20 @@ exception Replay_error of string
     (terminator with no open span). *)
 val replay : entry list -> Store.t
 
+(** Execute entries against an {e existing} store — the WAL-tail
+    replay and replica-apply primitive. Ids allocate from the store's
+    current next id, so applying a journal tail to a store restored
+    from the matching snapshot reproduces the original ids exactly.
+    @raise Replay_error as {!replay}. *)
+val apply : Store.t -> entry list -> unit
+
+(** Split into the longest prefix containing no dangling
+    [M_txn_begin] and the incomplete tail. Recovery truncates the WAL
+    at the split point (a half-written trailing span was never
+    acknowledged); a replica buffers the tail until the rest of the
+    span ships. *)
+val split_complete : entry list -> entry list * entry list
+
 (** Canonical dump of the node table (kind, name, content, parent,
     position, child and attribute lists for every id). Equal digests
     ⟺ indistinguishable stores. *)

@@ -162,6 +162,16 @@ let journal_active store = store.mj_on && not store.mj_suspend
 
 let journal_entries store = List.rev store.mj
 
+(* Entries with [seq >= n], oldest first. The internal list is newest
+   first, so walk until the seq drops below [n] — O(tail), which is
+   what the WAL appender consumes after each committed job. *)
+let journal_entries_from store n =
+  let rec take acc = function
+    | { seq; _ } as e :: rest when seq >= n -> take (e :: acc) rest
+    | _ -> acc
+  in
+  take [] store.mj
+
 let journal_length store = store.mj_count
 
 let journal_note store ~line ~col ~snap_depth ~trace_id ~desc =

@@ -248,6 +248,11 @@ val journal_active : t -> bool
 (** Entries in chronological order. *)
 val journal_entries : t -> mj_entry list
 
+(** Entries with [seq >= n] in chronological order — the tail the
+    durable layer has not yet appended to the on-disk WAL. O(tail)
+    thanks to the reversed internal list. *)
+val journal_entries_from : t -> int -> mj_entry list
+
 (** Number of entries recorded (= the next sequence number). *)
 val journal_length : t -> int
 

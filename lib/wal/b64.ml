@@ -1,0 +1,64 @@
+(* RFC 4648 base64 with padding. The wire protocol is line-oriented
+   text, so binary frames and snapshots cross it base64-encoded. *)
+
+let alphabet =
+  "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+let encode s =
+  let n = String.length s in
+  let buf = Buffer.create ((n + 2) / 3 * 4) in
+  let i = ref 0 in
+  while !i + 2 < n do
+    let b0 = Char.code s.[!i]
+    and b1 = Char.code s.[!i + 1]
+    and b2 = Char.code s.[!i + 2] in
+    Buffer.add_char buf alphabet.[b0 lsr 2];
+    Buffer.add_char buf alphabet.[((b0 land 0x3) lsl 4) lor (b1 lsr 4)];
+    Buffer.add_char buf alphabet.[((b1 land 0xF) lsl 2) lor (b2 lsr 6)];
+    Buffer.add_char buf alphabet.[b2 land 0x3F];
+    i := !i + 3
+  done;
+  (match n - !i with
+  | 1 ->
+    let b0 = Char.code s.[!i] in
+    Buffer.add_char buf alphabet.[b0 lsr 2];
+    Buffer.add_char buf alphabet.[(b0 land 0x3) lsl 4];
+    Buffer.add_string buf "=="
+  | 2 ->
+    let b0 = Char.code s.[!i] and b1 = Char.code s.[!i + 1] in
+    Buffer.add_char buf alphabet.[b0 lsr 2];
+    Buffer.add_char buf alphabet.[((b0 land 0x3) lsl 4) lor (b1 lsr 4)];
+    Buffer.add_char buf alphabet.[(b1 land 0xF) lsl 2];
+    Buffer.add_char buf '='
+  | _ -> ());
+  Buffer.contents buf
+
+let value c =
+  match c with
+  | 'A' .. 'Z' -> Char.code c - 65
+  | 'a' .. 'z' -> Char.code c - 97 + 26
+  | '0' .. '9' -> Char.code c - 48 + 52
+  | '+' -> 62
+  | '/' -> 63
+  | _ -> failwith (Printf.sprintf "base64: invalid character %C" c)
+
+let decode s =
+  let n = String.length s in
+  if n mod 4 <> 0 then failwith "base64: length not a multiple of 4";
+  let buf = Buffer.create (n / 4 * 3) in
+  let i = ref 0 in
+  while !i < n do
+    let c0 = s.[!i] and c1 = s.[!i + 1] and c2 = s.[!i + 2] and c3 = s.[!i + 3] in
+    let v0 = value c0 and v1 = value c1 in
+    Buffer.add_char buf (Char.chr ((v0 lsl 2) lor (v1 lsr 4)));
+    if c2 <> '=' then begin
+      let v2 = value c2 in
+      Buffer.add_char buf (Char.chr (((v1 land 0xF) lsl 4) lor (v2 lsr 2)));
+      if c3 <> '=' then
+        Buffer.add_char buf (Char.chr (((v2 land 0x3) lsl 6) lor value c3))
+      else if !i + 4 <> n then failwith "base64: padding before end"
+    end
+    else if c3 <> '=' || !i + 4 <> n then failwith "base64: padding before end";
+    i := !i + 4
+  done;
+  Buffer.contents buf

@@ -1,0 +1,8 @@
+(** Standard base64 (RFC 4648, with padding, no line breaks) — used
+    to put binary WAL frames and snapshots on the one-line wire
+    protocol. *)
+
+val encode : string -> string
+
+(** @raise Failure on malformed input. *)
+val decode : string -> string

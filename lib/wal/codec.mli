@@ -1,0 +1,61 @@
+(** Stable binary codec for the durable store: WAL frames encoding
+    {!Xqb_store.Store.mj_entry} journal records (plus catalog
+    doc-registration records), and whole-store snapshots.
+
+    Frame wire format (little-endian):
+
+    {v [u32 payload-len][u32 crc32(payload)][payload] v}
+
+    with [payload = varint lsn, u8 tag, body]. Frames are
+    self-delimiting, so a WAL file (or a shipped blob) is just a
+    concatenation; {!scan} walks it and stops cleanly at a torn or
+    corrupt tail. All integers are unsigned LEB128 varints; strings
+    are length-prefixed. *)
+
+exception Corrupt of string
+
+(** One durable record. [R_doc] persists a catalog registration
+    ([uri -> root node]); the document's node allocations travel as
+    ordinary journal entries in the preceding transaction span. *)
+type record =
+  | R_entry of Xqb_store.Store.mj_entry
+  | R_doc of { uri : string; root : int; bytes : int }
+
+(** [frame ~lsn record] — one complete frame, header included. *)
+val frame : lsn:int -> record -> string
+
+(** Decode one frame's payload (header already stripped and
+    CRC-verified). @raise Corrupt on a malformed payload. *)
+val decode_payload : string -> int * record
+
+(** Walk a concatenation of frames starting at [pos]. Returns the
+    decoded [(lsn, record, frame bytes incl. header)] list and the
+    offset one past the last {e valid} frame — on a torn or corrupt
+    tail that offset points at the first bad byte, where the caller
+    truncates. Never raises on bad input; decoding stops there
+    instead. *)
+val scan : ?pos:int -> string -> (int * record * int) list * int
+
+(** {1 Snapshots}
+
+    A snapshot is the full logical store state — every node with its
+    kind, name, content, parent, position and child/attribute lists —
+    plus the catalog's document registrations, the LSN it covers, and
+    an MD5 of the store's canonical {!Xqb_store.Journal.digest}. The
+    whole blob is CRC-protected. *)
+
+(** [snapshot ~lsn ~docs store] serializes the current state.
+    [docs = (uri, root, bytes)] as in [Catalog.list]. *)
+val snapshot :
+  lsn:int -> docs:(string * int * int) list -> Xqb_store.Store.t -> string
+
+(** Rebuild the snapshotted state into [store], which must be fresh
+    (zero nodes). Returns [(lsn, docs)]. Verifies the CRC and the
+    store digest; @raise Corrupt on any mismatch — a damaged snapshot
+    must never boot. *)
+val restore :
+  Xqb_store.Store.t -> string -> int * (string * int * int) list
+
+(** The MD5 hex of a store's canonical digest — the cross-check value
+    served by [JOURNAL STAT] and verified on recovery. *)
+val store_digest_hex : Xqb_store.Store.t -> string

@@ -1,0 +1,33 @@
+(* CRC-32 (IEEE 802.3 reflected polynomial 0xEDB88320), the checksum
+   under every WAL frame. Table-driven, one table computed at module
+   init; OCaml's 63-bit ints hold the 32-bit value directly. *)
+
+let table =
+  lazy
+    (let t = Array.make 256 0 in
+     for n = 0 to 255 do
+       let c = ref n in
+       for _ = 0 to 7 do
+         c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+       done;
+       t.(n) <- !c
+     done;
+     t)
+
+let init = 0xFFFFFFFF
+
+let update crc s pos len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Crc32.update";
+  let t = Lazy.force table in
+  let crc = ref crc in
+  for i = pos to pos + len - 1 do
+    crc := t.((!crc lxor Char.code (String.unsafe_get s i)) land 0xFF)
+           lxor (!crc lsr 8)
+  done;
+  !crc
+
+let finalize crc = crc lxor 0xFFFFFFFF
+
+let digest_sub s pos len = finalize (update init s pos len)
+let digest s = digest_sub s 0 (String.length s)

@@ -1,0 +1,15 @@
+(** CRC-32 (IEEE 802.3, the zlib/gzip polynomial), table-driven.
+    Values are masked to 32 bits and fit a native [int]. *)
+
+(** [digest s] = CRC-32 of the whole string. *)
+val digest : string -> int
+
+(** [digest_sub s pos len] over a substring; bounds-checked. *)
+val digest_sub : string -> int -> int -> int
+
+(** Incremental form: [update crc s pos len] extends a running
+    checksum (start from {!init}, finish with {!finalize}). *)
+val init : int
+
+val update : int -> string -> int -> int -> int
+val finalize : int -> int

@@ -1,0 +1,251 @@
+(* The on-disk write-ahead log.
+
+   One append-only file (dir/wal.log) of Codec frames. Writers
+   serialize on [m]; an [Always] commit then waits until its last LSN
+   is durable, with classic group commit — the first waiter becomes
+   the sync leader, fsyncs everything written so far, and wakes the
+   group; committers that arrived while the leader was in fsync(2)
+   are covered by the next leader's pass.
+
+   The in-memory [tail] mirrors the file (frame bytes keyed by LSN)
+   so journal shipping never reads the file concurrently with the
+   writer; it is cleared when a checkpoint truncates the log, after
+   which replicas older than the checkpoint re-bootstrap from a
+   snapshot. *)
+
+module Hist = Xqb_obs.Hist
+module Clock = Xqb_obs.Clock
+
+type fsync_policy = Always | Interval_ms of int | Never
+
+let fsync_policy_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "always" -> Ok Always
+  | "never" -> Ok Never
+  | s -> (
+    match String.index_opt s ':' with
+    | Some i
+      when String.sub s 0 i = "interval-ms" || String.sub s 0 i = "interval" -> (
+      let v = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt v with
+      | Some ms when ms > 0 -> Ok (Interval_ms ms)
+      | _ -> Error (Printf.sprintf "bad fsync interval %S" v))
+    | _ ->
+      Error
+        (Printf.sprintf
+           "unknown fsync policy %S (expected always, never or interval-ms:N)" s))
+
+let fsync_policy_to_string = function
+  | Always -> "always"
+  | Never -> "never"
+  | Interval_ms ms -> Printf.sprintf "interval-ms:%d" ms
+
+type t = {
+  fd : Unix.file_descr;
+  path : string;
+  policy : fsync_policy;
+  m : Mutex.t;
+  cond : Condition.t;
+  mutable next_lsn : int;  (* LSN the next appended frame receives *)
+  mutable written_lsn : int;  (* highest LSN written to the fd *)
+  mutable synced_lsn : int;  (* highest LSN known durable *)
+  mutable syncing : bool;  (* a group-commit leader is in fsync(2) *)
+  mutable tail : (int * string) list;  (* newest first *)
+  mutable tail_start : int;  (* lowest LSN the tail covers *)
+  mutable bytes_appended : int;
+  mutable frames_appended : int;
+  mutable fsyncs : int;
+  fsync_hist : Hist.t;
+  mutable interval_thread : Thread.t option;
+  mutable closed : bool;
+}
+
+let wal_file dir = Filename.concat dir "wal.log"
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let write_all fd s =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write_substring fd s !off (n - !off)
+  done
+
+(* fsync under the stats it feeds; called OUTSIDE [t.m] (fsync can
+   take milliseconds — holding the mutex would stall appenders). *)
+let do_fsync t =
+  let t0 = Clock.now_ns () in
+  Unix.fsync t.fd;
+  let dt = float_of_int (Clock.now_ns () - t0) in
+  locked t (fun () ->
+      t.fsyncs <- t.fsyncs + 1;
+      Hist.record t.fsync_hist dt)
+
+let interval_loop t ms () =
+  let delay = float_of_int ms /. 1000. in
+  let stop = ref false in
+  while not !stop do
+    Thread.delay delay;
+    let need =
+      locked t (fun () ->
+          if t.closed then stop := true;
+          (not t.closed) && t.written_lsn > t.synced_lsn)
+    in
+    if need then begin
+      let target = locked t (fun () -> t.written_lsn) in
+      do_fsync t;
+      locked t (fun () -> t.synced_lsn <- max t.synced_lsn target)
+    end
+  done
+
+let openw ~dir ~policy ~next_lsn ~tail () =
+  let fd =
+    Unix.openfile (wal_file dir) [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
+      0o644
+  in
+  let last = next_lsn - 1 in
+  let t =
+    {
+      fd;
+      path = wal_file dir;
+      policy;
+      m = Mutex.create ();
+      cond = Condition.create ();
+      next_lsn;
+      written_lsn = last;
+      synced_lsn = last;
+      syncing = false;
+      tail = List.rev tail;
+      tail_start = (match tail with (l, _) :: _ -> l | [] -> next_lsn);
+      bytes_appended = 0;
+      frames_appended = 0;
+      fsyncs = 0;
+      fsync_hist = Hist.create ();
+      interval_thread = None;
+      closed = false;
+    }
+  in
+  (match policy with
+  | Interval_ms ms -> t.interval_thread <- Some (Thread.create (interval_loop t ms) ())
+  | Always | Never -> ());
+  t
+
+(* Block until [lsn] is durable: group commit. The first waiter to
+   find no leader becomes one, fsyncs everything written so far and
+   publishes the new high-water mark. *)
+let rec sync_upto t lsn =
+  let role =
+    locked t (fun () ->
+        if t.synced_lsn >= lsn then `Done
+        else if t.syncing then `Wait
+        else begin
+          t.syncing <- true;
+          `Lead t.written_lsn
+        end)
+  in
+  match role with
+  | `Done -> ()
+  | `Wait ->
+    locked t (fun () ->
+        while t.synced_lsn < lsn && t.syncing do
+          Condition.wait t.cond t.m
+        done);
+    sync_upto t lsn
+  | `Lead target ->
+    (match do_fsync t with
+    | () ->
+      locked t (fun () ->
+          t.synced_lsn <- max t.synced_lsn target;
+          t.syncing <- false;
+          Condition.broadcast t.cond)
+    | exception e ->
+      locked t (fun () ->
+          t.syncing <- false;
+          Condition.broadcast t.cond);
+      raise e);
+    sync_upto t lsn
+
+let commit t records =
+  if records = [] then locked t (fun () -> t.next_lsn - 1)
+  else begin
+    let last =
+      locked t (fun () ->
+          if t.closed then failwith "Wal.commit: log is closed";
+          let buf = Buffer.create 256 in
+          let last = ref (t.next_lsn - 1) in
+          List.iter
+            (fun r ->
+              let lsn = t.next_lsn in
+              t.next_lsn <- lsn + 1;
+              let fr = Codec.frame ~lsn r in
+              Buffer.add_string buf fr;
+              t.tail <- (lsn, fr) :: t.tail;
+              t.frames_appended <- t.frames_appended + 1;
+              last := lsn)
+            records;
+          let bytes = Buffer.contents buf in
+          (* write while holding [m]: appends must hit the file in
+             LSN order. Page-cache writes are cheap; the expensive
+             fsync happens outside the lock. *)
+          write_all t.fd bytes;
+          t.bytes_appended <- t.bytes_appended + String.length bytes;
+          t.written_lsn <- !last;
+          !last)
+    in
+    (match t.policy with
+    | Always -> sync_upto t last
+    | Interval_ms _ | Never -> ());
+    last
+  end
+
+let sync t =
+  let target = locked t (fun () -> t.written_lsn) in
+  if locked t (fun () -> t.synced_lsn < target) then begin
+    do_fsync t;
+    locked t (fun () -> t.synced_lsn <- max t.synced_lsn target)
+  end
+
+let last_lsn t = locked t (fun () -> t.next_lsn - 1)
+let tail_start t = locked t (fun () -> t.tail_start)
+
+let ship t ~from_lsn ~max =
+  locked t (fun () ->
+      if from_lsn < t.tail_start then Error `Too_old
+      else begin
+        let frames =
+          t.tail
+          |> List.filter (fun (l, _) -> l >= from_lsn)
+          |> List.rev
+          |> List.filteri (fun i _ -> i < max)
+          |> List.map snd
+        in
+        Ok (t.next_lsn - 1, frames)
+      end)
+
+(* Called after a snapshot covering every LSN so far is durably on
+   disk: empty the file (O_APPEND writes restart at offset 0) and
+   drop the tail mirror. *)
+let truncate_after_checkpoint t =
+  locked t (fun () ->
+      Unix.ftruncate t.fd 0;
+      t.tail <- [];
+      t.tail_start <- t.next_lsn;
+      t.synced_lsn <- t.next_lsn - 1;
+      t.written_lsn <- t.next_lsn - 1);
+  match t.policy with Never -> () | _ -> do_fsync t
+
+let bytes_appended t = locked t (fun () -> t.bytes_appended)
+let frames_appended t = locked t (fun () -> t.frames_appended)
+let fsync_count t = locked t (fun () -> t.fsyncs)
+let fsync_hist t = t.fsync_hist
+let with_stats_lock t f = locked t f
+
+let close t =
+  let th = locked t (fun () -> t.closed <- true; t.interval_thread) in
+  (match th with Some th -> Thread.join th | None -> ());
+  (match t.policy with
+  | Never -> ()
+  | Always | Interval_ms _ -> ( try sync t with Unix.Unix_error _ -> ()));
+  try Unix.close t.fd with Unix.Unix_error _ -> ()

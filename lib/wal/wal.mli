@@ -1,0 +1,70 @@
+(** The on-disk write-ahead log: an append-only file of {!Codec}
+    frames with a group-commit writer and a configurable fsync
+    policy, plus an in-memory mirror of the tail (everything since
+    the last checkpoint) for journal shipping.
+
+    Thread-safe. LSNs are assigned at append, strictly increasing,
+    and survive checkpoint truncation and restarts. *)
+
+type fsync_policy =
+  | Always  (** fsync before every commit acknowledgment (group commit) *)
+  | Interval_ms of int  (** background fsync every N ms *)
+  | Never
+
+val fsync_policy_of_string : string -> (fsync_policy, string) result
+val fsync_policy_to_string : fsync_policy -> string
+
+type t
+
+(** Open (creating if needed) [dir/wal.log]. [next_lsn] is the first
+    LSN to assign — recovery passes [last recovered LSN + 1].
+    [tail] seeds the in-memory shipping mirror with the recovered
+    frames ([lsn, frame bytes], oldest first). *)
+val openw :
+  dir:string ->
+  policy:fsync_policy ->
+  next_lsn:int ->
+  tail:(int * string) list ->
+  unit ->
+  t
+
+(** Append one frame per record and, under [Always], block until the
+    batch is durable (group commit: concurrent committers share one
+    fsync). Returns the last assigned LSN. *)
+val commit : t -> Codec.record list -> int
+
+(** Force an fsync of everything appended so far (any policy). *)
+val sync : t -> unit
+
+(** Highest assigned LSN (0 before the first append). *)
+val last_lsn : t -> int
+
+(** First LSN present in the in-memory tail; ship requests below it
+    need a snapshot bootstrap. *)
+val tail_start : t -> int
+
+(** Frames with [lsn >= from_lsn], at most [max], as raw frame bytes
+    plus the current last LSN. [Error `Too_old] when [from_lsn] falls
+    before the tail (truncated by a checkpoint). *)
+val ship :
+  t -> from_lsn:int -> max:int -> (int * string list, [ `Too_old ]) result
+
+(** Truncate the log to empty after a durable checkpoint covering
+    everything up to the current last LSN; clears the tail mirror.
+    LSNs keep increasing. *)
+val truncate_after_checkpoint : t -> unit
+
+(** {1 Durability counters (for METRICS)} *)
+
+val bytes_appended : t -> int
+val frames_appended : t -> int
+val fsync_count : t -> int
+
+(** Nanosecond fsync latencies. Synchronize via {!with_stats_lock}
+    when reading percentiles concurrently with commits. *)
+val fsync_hist : t -> Xqb_obs.Hist.t
+
+val with_stats_lock : t -> (unit -> 'a) -> 'a
+
+(** Final fsync (unless [Never]), stop the interval thread, close. *)
+val close : t -> unit

@@ -1,0 +1,266 @@
+(* Crash-injection harness for the durable store.
+
+   Spawns a real [xqbang serve --data-dir DIR --fsync always] child on
+   a pipe, feeds it update queries over the wire protocol, and
+   SIGKILLs it at randomized points — after an acknowledgment, or
+   mid-query with the acknowledgment never read. After each kill the
+   server is restarted on the same data dir and its recovered state
+   (the canonical store digest from JOURNAL STAT) is compared against
+   an in-process mirror service that replayed exactly the
+   acknowledged queries: recovery must reproduce either the last
+   acknowledged state or, when the kill raced the acknowledgment,
+   that state plus the single in-flight query — never anything else.
+   A final round shuts down cleanly (QUIT) and requires an exact
+   match. Some rounds force a CHECKPOINT first so recovery exercises
+   the snapshot + WAL-tail path, not just plain replay.
+
+   The seed is printed and overridable via XQBANG_CRASH_SEED. *)
+
+module Svc = Xqb_service.Service
+module Catalog = Xqb_service.Catalog
+module Codec = Xqb_wal.Codec
+module Json = Xqb_obs.Json
+
+let doc_xml = "<r><a/></r>"
+let rounds = 6
+let queries_per_round = 8
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("crash harness: " ^ m); exit 1) fmt
+
+(* ---------- child process plumbing ---------- *)
+
+type child = {
+  pid : int;
+  to_child : out_channel;
+  from_child : in_channel;
+  devnull : Unix.file_descr;
+}
+
+let spawn exe data_dir =
+  let stdin_r, stdin_w = Unix.pipe ~cloexec:false () in
+  let stdout_r, stdout_w = Unix.pipe ~cloexec:false () in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let pid =
+    Unix.create_process exe
+      [| exe; "serve"; "--data-dir"; data_dir; "--fsync"; "always" |]
+      stdin_r stdout_w devnull
+  in
+  Unix.close stdin_r;
+  Unix.close stdout_w;
+  {
+    pid;
+    to_child = Unix.out_channel_of_descr stdin_w;
+    from_child = Unix.in_channel_of_descr stdout_r;
+    devnull;
+  }
+
+let send c line =
+  output_string c.to_child line;
+  output_char c.to_child '\n';
+  flush c.to_child
+
+let recv c what =
+  match input_line c.from_child with
+  | line -> line
+  | exception End_of_file -> fail "child died while waiting for %s" what
+
+let recv_ok c what =
+  let line = recv c what in
+  if String.length line >= 3 && String.sub line 0 3 = "OK " then
+    String.sub line 3 (String.length line - 3)
+  else if line = "OK" then ""
+  else fail "%s: expected OK, got %S" what line
+
+let sigkill c =
+  Unix.kill c.pid Sys.sigkill;
+  ignore (Unix.waitpid [] c.pid);
+  close_out_noerr c.to_child;
+  close_in_noerr c.from_child;
+  Unix.close c.devnull
+
+let quit c =
+  send c "QUIT";
+  (* drain until EOF so the child can flush and exit cleanly *)
+  (try
+     while true do
+       ignore (input_line c.from_child)
+     done
+   with End_of_file -> ());
+  ignore (Unix.waitpid [] c.pid);
+  close_out_noerr c.to_child;
+  close_in_noerr c.from_child;
+  Unix.close c.devnull
+
+(* OPEN a session and (re)attach the document; recovery already has
+   the tree resident, so the LOAD is a cheap re-register then. *)
+let session c doc_path =
+  let sid = recv_ok c "OPEN" in
+  let sid = match int_of_string_opt (String.trim sid) with
+    | Some n -> n
+    | None -> fail "OPEN returned %S" sid
+  in
+  send c (Printf.sprintf "LOAD %d d %s" sid doc_path);
+  ignore (recv_ok c "LOAD");
+  sid
+
+let open_session c doc_path =
+  send c "OPEN";
+  session c doc_path
+
+let journal_digest c =
+  send c "JOURNAL STAT";
+  let payload = recv_ok c "JOURNAL STAT" in
+  match Json.parse payload with
+  | Error e -> fail "JOURNAL STAT payload is not JSON (%s): %S" e payload
+  | Ok v -> (
+    match Option.bind (Json.path v [ "digest" ]) Json.to_string_opt with
+    | Some d -> d
+    | None -> fail "JOURNAL STAT payload has no digest: %S" payload)
+
+(* ---------- the in-process mirror ---------- *)
+
+let mirror = Svc.create ~domains:0 ()
+let mirror_sid = Svc.open_session mirror
+let mirror_digest () = Codec.store_digest_hex (Catalog.store (Svc.catalog mirror))
+
+let mirror_apply q =
+  match Svc.query mirror mirror_sid q with
+  | Ok _ -> ()
+  | Error e ->
+    fail "mirror rejected %S: %s" q (Xqb_service.Service_error.to_string e)
+
+(* ---------- workload ---------- *)
+
+let qcount = ref 0
+
+(* A deterministic cycle of committing updates against doc("d"):
+   mostly inserts (monotonic growth), with renames mixed in so
+   recovery replays more than one op kind. *)
+let next_query () =
+  incr qcount;
+  let i = !qcount in
+  if i mod 4 = 0 then
+    Printf.sprintf {|snap rename {(doc("d")/r/*)[1]} to {'m%d'}|} i
+  else Printf.sprintf {|snap insert {<n%d/>} into {doc("d")/r}|} i
+
+(* ---------- driver ---------- *)
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let () =
+  let exe =
+    if Array.length Sys.argv > 1 then Sys.argv.(1)
+    else fail "usage: crash_runner <path to xqbang binary>"
+  in
+  let seed =
+    match Sys.getenv_opt "XQBANG_CRASH_SEED" with
+    | Some s -> int_of_string s
+    | None -> 0x5EED
+  in
+  Random.init seed;
+  let tmp = Filename.get_temp_dir_name () in
+  let data_dir =
+    Filename.concat tmp (Printf.sprintf "xqbang-crash-%d" (Unix.getpid ()))
+  in
+  let doc_path =
+    Filename.concat tmp (Printf.sprintf "xqbang-crash-doc-%d.xml" (Unix.getpid ()))
+  in
+  rm_rf data_dir;
+  let oc = open_out doc_path in
+  output_string oc doc_xml;
+  close_out oc;
+  Svc.load_document mirror mirror_sid ~uri:"d" doc_xml;
+  Printf.printf "crash harness: seed %d, data dir %s\n%!" seed data_dir;
+
+  (* verify the recovered child against the mirror; [inflight] is the
+     query whose acknowledgment the kill raced, if any *)
+  let verify ~round ~inflight =
+    let probe = spawn exe data_dir in
+    let recovered = journal_digest probe in
+    let acked = mirror_digest () in
+    (if recovered = acked then ()
+     else
+       match inflight with
+       | None ->
+         quit probe;
+         fail "round %d: recovered %s but the acknowledged state is %s"
+           round recovered acked
+       | Some q ->
+         (* the kill landed after the commit barrier but before the
+            acknowledgment was read: the in-flight query is durable *)
+         mirror_apply q;
+         let with_inflight = mirror_digest () in
+         if recovered <> with_inflight then begin
+           quit probe;
+           fail
+             "round %d: recovered %s matches neither the acknowledged state \
+              %s nor it plus the in-flight query (%s)"
+             round recovered acked with_inflight
+         end);
+    quit probe
+  in
+
+  for round = 1 to rounds do
+    let c = spawn exe data_dir in
+    let sid = open_session c doc_path in
+    let kill_at = Random.int queries_per_round in
+    (* 0: kill right after an acknowledgment (no in-flight query);
+       1: kill with the last acknowledgment unread;
+       2: like 1, but force a CHECKPOINT mid-round first *)
+    let mode = Random.int 3 in
+    let inflight = ref None in
+    (try
+       for i = 0 to queries_per_round - 1 do
+         if mode = 2 && i = kill_at / 2 then begin
+           send c "CHECKPOINT";
+           ignore (recv_ok c "CHECKPOINT")
+         end;
+         let q = next_query () in
+         send c (Printf.sprintf "QUERY %d %s" sid q);
+         if i < kill_at || mode = 0 then begin
+           ignore (recv_ok c "QUERY");
+           mirror_apply q;
+           if i = kill_at then raise Exit
+         end
+         else begin
+           (* let the child get a random way into commit, then kill
+              without ever reading the acknowledgment *)
+           if Random.bool () then Unix.sleepf (Random.float 0.004);
+           inflight := Some q;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    sigkill c;
+    verify ~round ~inflight:!inflight;
+    Printf.printf
+      "crash harness: round %d ok (mode %d, killed at query %d%s)\n%!" round
+      mode kill_at
+      (if !inflight = None then ", no in-flight" else ", in-flight raced")
+  done;
+
+  (* clean shutdown must preserve everything exactly *)
+  let c = spawn exe data_dir in
+  let sid = open_session c doc_path in
+  for _ = 1 to 4 do
+    let q = next_query () in
+    send c (Printf.sprintf "QUERY %d %s" sid q);
+    ignore (recv_ok c "QUERY");
+    mirror_apply q
+  done;
+  quit c;
+  let probe = spawn exe data_dir in
+  let recovered = journal_digest probe in
+  quit probe;
+  if recovered <> mirror_digest () then
+    fail "clean shutdown: recovered %s but expected %s" recovered
+      (mirror_digest ());
+  Printf.printf "crash harness: clean shutdown round ok\n%!";
+  Svc.shutdown mirror;
+  rm_rf data_dir;
+  Sys.remove doc_path;
+  print_endline "crash harness: all rounds passed"

@@ -39,4 +39,5 @@ let () =
          Test_order_keys.suite;
          Test_ddo_elision.suite;
          Test_journal.suite;
+         Test_wal.suite;
        ])
