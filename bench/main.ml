@@ -1364,11 +1364,166 @@ let e20 () =
     (drain_ms *. 1e3 /. float_of_int (max 1 !frames))
     (if converged then "converged" else "DIVERGED")
 
+(* ------------------------------------------------------------------ *)
+(* E21 — footprint scheduling: concurrent writers over disjoint       *)
+(* documents vs the single-writer purity gate, same durable store.    *)
+(* ------------------------------------------------------------------ *)
+
+let e21 () =
+  print_header
+    "E21: footprint scheduler — concurrent writers over disjoint documents";
+  let module Svc = Xqb_service.Service in
+  let module Catalog = Xqb_service.Catalog in
+  let module Wal = Xqb_wal.Wal in
+  let module Durable = Xqb_wal.Durable in
+  let module Codec = Xqb_wal.Codec in
+  let clients, rounds, scale =
+    if !smoke then (4, 12, 0.02) else (10, 80, 0.05)
+  in
+  let tmp_tag = ref 0 in
+  let fresh_dir () =
+    incr tmp_tag;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "xqbang-e21-%d-%d" (Unix.getpid ()) !tmp_tag)
+  in
+  let rm_rf dir =
+    if Sys.file_exists dir then begin
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Sys.rmdir dir
+    end
+  in
+  let uri k = Printf.sprintf "x%d" k in
+  let xml =
+    (* one small XMark document per client, distinct seeds *)
+    Array.init clients (fun k ->
+        G.to_xml { (G.scaled scale) with G.seed = 1000 + k })
+  in
+  let write_q k i =
+    Printf.sprintf
+      {|insert {element hit {%d}} into {doc("%s")/site/regions}|} i (uri k)
+  in
+  let read_q k =
+    Printf.sprintf {|count(doc("%s")/site/regions//item)|} (uri k)
+  in
+  (* Each client is a thread bound to its own document, alternating
+     one update and one read per round, synchronously — so per-document
+     apply order (and therefore the final state) is identical whichever
+     way the scheduler interleaves clients. *)
+  let run_mode footprints =
+    let dir = fresh_dir () in
+    let cfg = { (Durable.default_config ~dir) with Durable.fsync = Wal.Always } in
+    let svc =
+      Svc.create ~domains:clients ~durability:cfg
+        ~footprint_scheduling:footprints ()
+    in
+    let sessions =
+      Array.init clients (fun k ->
+          let s = Svc.open_session svc in
+          Svc.load_document svc s ~uri:(uri k) xml.(k);
+          s)
+    in
+    let fail = ref None in
+    let check = function
+      | Ok _ -> ()
+      | Error e -> fail := Some (Xqb_service.Service_error.to_string e)
+    in
+    let client k () =
+      (* a write-heavy OLTP-ish mix: four updates, then one scan *)
+      for i = 0 to rounds - 1 do
+        for j = 0 to 3 do
+          check (Svc.query svc sessions.(k) (write_q k ((4 * i) + j)))
+        done;
+        check (Svc.query svc sessions.(k) (read_q k))
+      done
+    in
+    let t0 = Unix.gettimeofday () in
+    let ts = Array.init clients (fun k -> Thread.create (client k) ()) in
+    Array.iter Thread.join ts;
+    let wall_s = Unix.gettimeofday () -. t0 in
+    (match !fail with
+    | Some e ->
+      Printf.printf "E21 FAIL (%s): query rejected: %s\n"
+        (if footprints then "footprint" else "baseline")
+        e;
+      exit_code := 1
+    | None -> ());
+    let docs =
+      Array.to_list
+        (Array.init clients (fun k ->
+             match Svc.query svc sessions.(0) (Printf.sprintf {|doc("%s")|} (uri k)) with
+             | Ok s -> s
+             | Error e -> "ERR:" ^ Xqb_service.Service_error.to_string e))
+    in
+    let digest = Codec.store_digest_hex (Catalog.store (Svc.catalog svc)) in
+    let concurrency = Svc.concurrency_json svc in
+    Svc.shutdown svc;
+    (* crash-recovery check: reopen the WAL dir, digests must agree *)
+    let svc' = Svc.create ~domains:0 ~durability:cfg () in
+    let recovered = Codec.store_digest_hex (Catalog.store (Svc.catalog svc')) in
+    Svc.shutdown svc';
+    rm_rf dir;
+    if recovered <> digest then begin
+      Printf.printf "E21 FAIL (%s): recovered digest diverged\n"
+        (if footprints then "footprint" else "baseline");
+      exit_code := 1
+    end;
+    let jobs = clients * rounds * 5 in
+    (float_of_int jobs /. wall_s, docs, concurrency)
+  in
+  (* disk-latency noise dominates single runs: take the median of
+     three full passes per mode (the workload is deterministic, so
+     every pass must also produce identical documents) *)
+  let median3 runs =
+    let ts = List.sort compare (List.map (fun (t, _, _) -> t) runs) in
+    List.nth ts 1
+  in
+  let base_runs = List.init 3 (fun _ -> run_mode false) in
+  let fp_runs = List.init 3 (fun _ -> run_mode true) in
+  let base_tput = median3 base_runs in
+  let fp_tput = median3 fp_runs in
+  let _, base_docs, _ = List.hd base_runs in
+  let _, _, fp_conc = List.hd fp_runs in
+  let fp_docs =
+    match
+      List.find_opt (fun (_, docs, _) -> docs <> base_docs) (base_runs @ fp_runs)
+    with
+    | Some (_, docs, _) -> docs
+    | None -> base_docs
+  in
+  let ratio = fp_tput /. base_tput in
+  if base_docs <> fp_docs then begin
+    print_endline
+      "E21 FAIL: footprint-scheduled store diverged from the single-writer store";
+    exit_code := 1
+  end;
+  if ratio < 1.0 then begin
+    Printf.printf
+      "E21 FAIL: footprint scheduling slower than the single-writer gate (%.2fx)\n"
+      ratio;
+    exit_code := 1
+  end;
+  record ~name:"e21-tput-single-writer" ~n:(clients * rounds * 5)
+    (base_tput *. 1e3);
+  record ~name:"e21-tput-footprint" ~n:(clients * rounds * 5) (fp_tput *. 1e3);
+  record ~name:"e21-speedup-x1000" ~n:1 (ratio *. 1e3);
+  print_table
+    [ "mode"; "jobs/s"; "speedup"; "digests" ]
+    [ [ "single-writer gate"; f1 base_tput; "1.0x"; "converged" ];
+      [ "footprint scheduler"; f1 fp_tput; f2 ratio ^ "x";
+        (if base_docs = fp_docs then "converged" else "DIVERGED") ] ];
+  Printf.printf
+    "%d clients x %d rounds (4 inserts + 1 scan) over %d disjoint XMark \
+     documents, fsync=always\nfootprint-mode gate gauges: %s\n"
+    clients rounds clients fp_conc
+
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
     ("e13", e13); ("e15", e15); ("e16", e16); ("e17", e17); ("e18", e18);
-    ("e19", e19); ("e20", e20) ]
+    ("e19", e19); ("e20", e20); ("e21", e21) ]
 
 let () =
   (* args: experiment names, plus `--json PATH` to dump every

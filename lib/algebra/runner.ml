@@ -13,6 +13,9 @@ type run_result = {
   stats : Exec.stats;
   profile : Profile.t option;  (* per-operator counters (analyze only) *)
   ddo_elided : int;  (* statically elided ddo sorts hit during exec *)
+  footprint : Core.Static.Footprint.t;
+    (* static effects footprint of the whole program — what the
+       service's disjointness scheduler gates on *)
 }
 
 (* Compile [source] and return the optimized plan for its body (under
@@ -48,6 +51,7 @@ let run_with ?(mode = C.Snap_ordered) ~profile engine source : run_result =
     stats;
     profile = prof;
     ddo_elided = ctx.Core.Context.ddo_elided - elided_before;
+    footprint = Core.Static.Footprint.of_prog compiled.Engine.prog;
   }
 
 let run ?mode engine source = run_with ?mode ~profile:false engine source
@@ -68,8 +72,15 @@ let analyze ?mode engine source : run_result * string =
       Printf.sprintf "%s\n-- ddo sorts elided: %d" rendered r.ddo_elided
     else rendered
   in
+  let rendered =
+    Printf.sprintf "%s\n-- footprint: %s" rendered
+      (Core.Static.Footprint.to_string r.footprint)
+  in
   (r, rendered)
 
 let explain ?mode engine source =
-  let _, cres = plan_of ?mode engine source in
-  Plan.explain cres.Compile.plan
+  let compiled, cres = plan_of ?mode engine source in
+  Printf.sprintf "%s\n-- footprint: %s"
+    (Plan.explain cres.Compile.plan)
+    (Core.Static.Footprint.to_string
+       (Core.Static.Footprint.of_prog compiled.Engine.prog))

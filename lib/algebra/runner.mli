@@ -13,6 +13,10 @@ type run_result = {
   ddo_elided : int;
       (** statically elided ddo sorts actually hit during execution
           (the EXPLAIN ANALYZE elision counter) *)
+  footprint : Core.Static.Footprint.t;
+      (** static effects footprint of the program (the regions the
+          service's disjointness scheduler gates on); rendered as a
+          [-- footprint:] line by {!analyze} and {!explain} *)
 }
 
 (** Compile a program and the optimized plan of its body (under the

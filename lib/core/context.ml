@@ -36,6 +36,13 @@ type t = {
   mutable on_apply : (Update.delta -> Apply.mode -> unit) option;
     (* observability hook: called with each ∆ right before a snap
        applies it (CLI --trace-updates) *)
+  mutable apply_wrap : ((unit -> unit) -> unit) option;
+    (* concurrency hook: when set, the top-level snap's apply phase
+       (Apply.apply plus its timing) runs inside this wrapper. The
+       service's footprint scheduler points it at a global apply
+       mutex + WAL group commit so footprint-disjoint writers can
+       *evaluate* concurrently while ∆ application stays serial.
+       None = apply inline (CLI, exclusive jobs). *)
   mutable steps_evaluated : int;  (* instrumentation for the benches *)
   mutable ddo_elided : int;
     (* instrumentation: statically elided ddo sorts actually reached
@@ -70,6 +77,7 @@ let create ?(seed = 0x5eed) ?store () =
     doc_resolver = None;
     globals = SMap.empty;
     on_apply = None;
+    apply_wrap = None;
     steps_evaluated = 0;
     ddo_elided = 0;
     budget = None;
@@ -97,6 +105,7 @@ let fork_read ctx =
     doc_resolver = None;
     globals = ctx.globals;
     on_apply = None;
+    apply_wrap = None;
     steps_evaluated = 0;
     ddo_elided = 0;
     budget = ctx.budget;  (* a governed session's forks inherit its budget *)

@@ -36,6 +36,13 @@ type t = {
   mutable on_apply : (Update.delta -> Apply.mode -> unit) option;
       (** observability hook: called with each ∆ right before a snap
           applies it *)
+  mutable apply_wrap : ((unit -> unit) -> unit) option;
+      (** concurrency hook: when set, each snap's apply phase runs
+          inside this wrapper. The service's footprint scheduler
+          points it at the global apply mutex (plus WAL group commit)
+          so footprint-disjoint writers evaluate concurrently while ∆
+          application stays serial. [None] = apply inline. Cleared by
+          {!fork_read}. *)
   mutable steps_evaluated : int;  (** instrumentation *)
   mutable ddo_elided : int;
       (** instrumentation: statically elided ddo sorts reached at

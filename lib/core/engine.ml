@@ -268,6 +268,14 @@ let body_purity (c : compiled) =
    against the shared store? See {!Static.prog_parallel_safe}. *)
 let parallel_safe (c : compiled) = Static.prog_parallel_safe c.prog
 
+(* Static effects footprint of a compiled program — the (document,
+   path-prefix) regions it may read or write. The service's footprint
+   scheduler admits jobs with provably disjoint footprints
+   concurrently; [var_docs] lets the caller name host-bound variables
+   that hold catalog document roots (the service binds each loaded
+   document to [$uri]). *)
+let footprint ?var_docs (c : compiled) = Static.Footprint.of_prog ?var_docs c.prog
+
 (* Run a parallel-safe compiled program without touching any of the
    session's mutable state: evaluation happens in a [Context.fork_read]
    of the session context, and — because the program is Pure — the

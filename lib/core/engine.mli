@@ -103,6 +103,14 @@ val body_purity : compiled -> Static.purity
     Pure and allocation-free)? *)
 val parallel_safe : compiled -> bool
 
+(** Static effects footprint ({!Static.Footprint.of_prog}) of a
+    compiled program: the (document, path-prefix) regions it may read
+    or write. [var_docs] maps host-bound free variables to the URI of
+    the catalog document they name (the service binds each loaded
+    document to [$uri]); unknown bindings widen to "any document". *)
+val footprint :
+  ?var_docs:(string -> string option) -> compiled -> Static.Footprint.t
+
 (** Run a {!parallel_safe} program without touching any session
     state: evaluation happens in a {!Context.fork_read} of the
     session context and the implicit top-level snap is skipped (a

@@ -439,21 +439,27 @@ and eval_snap ctx env focus mode body =
   Update.stats_record ctx.Context.delta_stats
     ~conflict_checked:(amode = Apply.Conflict_detection)
     delta;
-  let t0 = Xqb_obs.Clock.now_ns () in
-  (match ctx.Context.tracer with
-  | None -> Apply.apply ~rand_state:ctx.Context.rand ctx.Context.store amode delta
-  | Some tr ->
-    Xqb_obs.Trace.with_span ~cat:"snap"
-      ~args:
-        [
-          ("requests", string_of_int (List.length delta));
-          ("mode", Apply.mode_to_string amode);
-        ]
-      tr "snap.apply"
-      (fun () ->
-        Apply.apply ~rand_state:ctx.Context.rand ~tracer:tr ctx.Context.store
-          amode delta));
-  ctx.Context.apply_ns <- ctx.Context.apply_ns + (Xqb_obs.Clock.now_ns () - t0);
+  let apply_inline () =
+    let t0 = Xqb_obs.Clock.now_ns () in
+    (match ctx.Context.tracer with
+    | None ->
+      Apply.apply ~rand_state:ctx.Context.rand ctx.Context.store amode delta
+    | Some tr ->
+      Xqb_obs.Trace.with_span ~cat:"snap"
+        ~args:
+          [
+            ("requests", string_of_int (List.length delta));
+            ("mode", Apply.mode_to_string amode);
+          ]
+        tr "snap.apply"
+        (fun () ->
+          Apply.apply ~rand_state:ctx.Context.rand ~tracer:tr ctx.Context.store
+            amode delta));
+    ctx.Context.apply_ns <- ctx.Context.apply_ns + (Xqb_obs.Clock.now_ns () - t0)
+  in
+  (match ctx.Context.apply_wrap with
+  | Some wrap when delta <> [] -> wrap apply_inline
+  | _ -> apply_inline ());
   v
 
 and eval_name ctx env focus (ns : C.name_spec) : Qname.t =

@@ -546,3 +546,394 @@ let elide_ddo ~purity (e : C.expr) : C.expr * int =
   in
   let e' = go SSet.empty e in
   (e', !count)
+
+(* -- Effects footprints ------------------------------------------------
+
+   A conservative static over-approximation of the store regions a
+   program may read and may write, in the spirit of type-based
+   query-update independence (Bidoit/Colazzo/Ulliana) and FLUX's
+   static update analysis (Cheney). A region is a subtree of one
+   document, addressed by a root-to-node chain of name labels; the
+   scheduler runs two jobs concurrently when neither's writes may
+   overlap the other's reads or writes. Precision falls back to
+   "whole document" on upward axes and to "any document" on dynamic
+   fn:doc URIs, unknown host bindings and user function calls — the
+   runtime R1-R7 conflict check (§4.1) remains the safety net for
+   anything the lattice widens. *)
+
+module Footprint = struct
+  type doc = Named of string | Any_doc
+
+  (* [rpath] is a chain of child labels from the document root ("*"
+     for a step whose name is statically unknown, "@n" for attributes,
+     "#text" etc. for non-element kinds); the region denotes the whole
+     subtree below any node matching the chain — [] is the document
+     itself. [ranchored] records whether the region's nodes sit
+     exactly at [rpath] (so a child step may append a label) or merely
+     somewhere inside that subtree (descendant results, unknown
+     bindings); overlap semantics are identical either way. *)
+  type region = { rdoc : doc; rpath : string list; ranchored : bool }
+
+  type t = { reads : region list; writes : region list }
+
+  let any_region = { rdoc = Any_doc; rpath = []; ranchored = false }
+  let empty = { reads = []; writes = [] }
+  let top = { reads = [ any_region ]; writes = [ any_region ] }
+  let read_all = { reads = [ any_region ]; writes = [] }
+
+  let docs_may_equal a b =
+    match a, b with
+    | Any_doc, _ | _, Any_doc -> true
+    | Named u, Named v -> String.equal u v
+
+  (* Subtree regions overlap iff one path is a prefix of the other,
+     up to "*" wildcards. *)
+  let rec paths_may_overlap p q =
+    match p, q with
+    | [], _ | _, [] -> true
+    | x :: p', y :: q' ->
+      (String.equal x "*" || String.equal y "*" || String.equal x y)
+      && paths_may_overlap p' q'
+
+  let regions_overlap a b =
+    docs_may_equal a.rdoc b.rdoc && paths_may_overlap a.rpath b.rpath
+
+  let sets_overlap rs qs =
+    List.exists (fun r -> List.exists (regions_overlap r) qs) rs
+
+  (* May [a] and [b] run concurrently? Read/read always; any write
+     must be disjoint from the other side entirely. *)
+  let independent a b =
+    (not (sets_overlap a.writes b.writes))
+    && (not (sets_overlap a.writes b.reads))
+    && not (sets_overlap b.writes a.reads)
+
+  let writes_nothing fp = fp.writes = []
+
+  (* Did the analysis stay conclusive, or did some part widen to
+     "any document"? (The scheduler doesn't need this — ⊤ regions
+     conflict with everything on their own — but EXPLAIN shows it.) *)
+  let conclusive fp =
+    not (List.exists (fun r -> r.rdoc = Any_doc) (fp.reads @ fp.writes))
+
+  let region_to_string r =
+    let d = match r.rdoc with Named u -> u | Any_doc -> "*" in
+    match r.rpath with
+    | [] -> d
+    | p ->
+      d ^ "/" ^ String.concat "/" p ^ (if r.ranchored then "" else "//")
+
+  let set_to_string = function
+    | [] -> "{}"
+    | rs -> "{" ^ String.concat ", " (List.map region_to_string rs) ^ "}"
+
+  let to_string fp =
+    Printf.sprintf "reads %s writes %s" (set_to_string fp.reads)
+      (set_to_string fp.writes)
+
+  (* Normalization: clip over-deep paths (a prefix denotes a superset,
+     so clipping is sound), drop regions covered by another, and cap
+     the region count by widening. *)
+  let max_depth = 8
+  let max_regions = 12
+
+  let rec take n = function
+    | [] -> []
+    | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
+
+  let clip r =
+    if List.length r.rpath <= max_depth then r
+    else { r with rpath = take max_depth r.rpath; ranchored = false }
+
+  (* Does subtree [w] definitely contain subtree [r]? *)
+  let covers w r =
+    (match w.rdoc, r.rdoc with
+    | Any_doc, _ -> true
+    | Named u, Named v -> String.equal u v
+    | Named _, Any_doc -> false)
+    &&
+    let rec pref p q =
+      match p, q with
+      | [], _ -> true
+      | _, [] -> false
+      | x :: p', y :: q' ->
+        (String.equal x "*" || String.equal x y) && pref p' q'
+    in
+    pref w.rpath r.rpath
+
+  let norm rs =
+    let rs = List.sort_uniq compare (List.map clip rs) in
+    let rs =
+      List.filter
+        (fun r -> not (List.exists (fun w -> w <> r && covers w r) rs))
+        rs
+    in
+    if List.length rs <= max_regions then rs
+    else
+      let docs =
+        List.sort_uniq compare
+          (List.map (fun r -> { r with rpath = []; ranchored = false }) rs)
+      in
+      if List.length docs <= max_regions then docs else [ any_region ]
+
+  let normalize fp = { reads = norm fp.reads; writes = norm fp.writes }
+
+  module SMap = Map.Make (String)
+
+  (* Footprint inference over a normalized program. [var_docs] lets
+     the host declare that a free variable is bound to the root of a
+     named catalog document (the service binds each loaded document
+     under its URI). *)
+  let of_prog ?(var_docs = fun _ -> None) (prog : Normalize.prog) : t =
+    let purity = purity_oracle prog in
+    let rd = ref [] and wr = ref [] in
+    let add_rd rs = rd := rs @ !rd in
+    let add_wr rs = wr := rs @ !wr in
+    let widen_doc r = { r with rpath = []; ranchored = false } in
+    let parent_region r =
+      match r.rpath with
+      | [] -> r
+      | p -> { r with rpath = take (List.length p - 1) p }
+    in
+    let label_of_test (t : C.Axes.node_test) =
+      match t with
+      | C.Axes.Name q -> Qname.to_string q
+      | C.Axes.Kind_element (Some q) -> Qname.to_string q
+      | C.Axes.Kind_attribute (Some q) -> "@" ^ Qname.to_string q
+      | C.Axes.Kind_text -> "#text"
+      | C.Axes.Kind_comment -> "#comment"
+      | C.Axes.Kind_pi _ -> "#pi"
+      | C.Axes.Wildcard | C.Axes.Kind_node | C.Axes.Kind_element None
+      | C.Axes.Kind_attribute None | C.Axes.Kind_document ->
+        "*"
+    in
+    let child_region lbl r =
+      if r.ranchored then { r with rpath = r.rpath @ [ lbl ] } else r
+    in
+    (* [infer env focus e] returns the regions the *result nodes* of
+       [e] may inhabit. Reads are recorded where results are
+       *observed*, not where navigation happens: value contexts
+       (comparisons, most builtins, conditions, sort keys) consume
+       the regions of node arguments they atomize, and
+       cardinality-observing sites (FLWOR input sequences,
+       quantifiers, cardinality-checked coercions) consume their
+       input regions. Navigation steps only *compute* their result
+       region without recording it — an intermediate step's reads
+       (child lists, sibling names) are already protected because
+       every mutation that can disturb them carries a parent-widened
+       write region, and that region is a path prefix of whatever
+       final region the consumer records. This is what makes sibling
+       subtrees of one document independent: doc(u)/r/x and
+       doc(u)/r/y read only their own subtrees, not /r. *)
+    let rec infer env focus (e : C.expr) : region list =
+      (* a value context: whatever nodes flow in get read *)
+      let consume e =
+        let rs = infer env focus e in
+        add_rd rs
+      in
+      match e with
+      | C.Scalar _ | C.Empty -> []
+      | C.Context_item -> focus
+      | C.Var v -> (
+        match SMap.find_opt v env with
+        | Some rs -> rs
+        | None -> (
+          match var_docs v with
+          | Some uri -> [ { rdoc = Named uri; rpath = []; ranchored = true } ]
+          | None -> [ any_region ]))
+      | C.Seq (a, b) -> infer env focus a @ infer env focus b
+      | C.For (v, posvar, e1, body) ->
+        let r1 = infer env focus e1 in
+        (* iteration count (and positions) observe e1's cardinality *)
+        add_rd r1;
+        let env = SMap.add v r1 env in
+        let env =
+          match posvar with Some p -> SMap.add p [] env | None -> env
+        in
+        infer env focus body
+      | C.Let (v, e1, body) ->
+        infer (SMap.add v (infer env focus e1) env) focus body
+      | C.Some_sat (v, e1, body) | C.Every_sat (v, e1, body) ->
+        let r1 = infer env focus e1 in
+        (* the truth value observes e1's cardinality *)
+        add_rd r1;
+        let rs = infer (SMap.add v r1 env) focus body in
+        add_rd rs;
+        []
+      | C.If (c, t, el) ->
+        consume c;
+        infer env focus t @ infer env focus el
+      | C.Sort_flwor (clauses, specs, ret) ->
+        let env =
+          List.fold_left
+            (fun env cl ->
+              match cl with
+              | C.S_for (v, posvar, e) ->
+                let r1 = infer env focus e in
+                add_rd r1;
+                let env = SMap.add v r1 env in
+                (match posvar with
+                | Some p -> SMap.add p [] env
+                | None -> env)
+              | C.S_let (v, e) -> SMap.add v (infer env focus e) env
+              | C.S_where e ->
+                add_rd (infer env focus e);
+                env)
+            env clauses
+        in
+        List.iter (fun (k, _) -> add_rd (infer env focus k)) specs;
+        infer env focus ret
+      | C.Step (b, axis, test) -> (
+        let rb = infer env focus b in
+        match axis with
+        | C.Axes.Self -> rb
+        | C.Axes.Child | C.Axes.Attribute ->
+          List.map (child_region (label_of_test test)) rb
+        | C.Axes.Descendant | C.Axes.Descendant_or_self ->
+          List.map (fun r -> { r with ranchored = false }) rb
+        | C.Axes.Parent | C.Axes.Ancestor | C.Axes.Ancestor_or_self
+        | C.Axes.Following_sibling | C.Axes.Preceding_sibling
+        | C.Axes.Following | C.Axes.Preceding ->
+          (* upward / sideways: widen to the whole document *)
+          List.sort_uniq compare (List.map widen_doc rb))
+      | C.Key_step (b, _, _, rhs) ->
+        let rb = infer env focus b in
+        add_rd (infer env focus rhs);
+        List.map (fun r -> { r with ranchored = false }) rb
+      | C.Map (a, b) ->
+        let ra = infer env focus a in
+        (* result cardinality observes a's cardinality *)
+        add_rd ra;
+        infer env ra b
+      | C.Predicate (b, p) ->
+        let rb = infer env focus b in
+        add_rd (infer env rb p);
+        rb
+      | C.Binop (op, a, b) -> (
+        match op with
+        | Xqb_syntax.Ast.Union | Xqb_syntax.Ast.Intersect
+        | Xqb_syntax.Ast.Except ->
+          infer env focus a @ infer env focus b
+        | _ ->
+          consume a;
+          consume b;
+          [])
+      | C.Unary_minus a ->
+        consume a;
+        []
+      | C.Instance_of (a, _) | C.Castable_as (a, _) | C.Cast_as (a, _) ->
+        consume a;
+        []
+      | C.Treat_as (a, _) ->
+        (* the cardinality check observes the sequence even when the
+           result is discarded *)
+        let ra = infer env focus a in
+        add_rd ra;
+        ra
+      | C.Call_builtin ("doc", args) -> (
+        List.iter consume args;
+        match args with
+        | [ C.Scalar (Xqb_xdm.Atomic.String u) ]
+        | [ C.Scalar (Xqb_xdm.Atomic.Untyped u) ] ->
+          [ { rdoc = Named u; rpath = []; ranchored = true } ]
+        | _ ->
+          (* dynamic URI: any document, and reading it *)
+          add_rd [ any_region ];
+          [ any_region ])
+      | C.Call_builtin (("%ddo" | "%ddo-elided" | "trace"), [ a ]) ->
+        infer env focus a
+      | C.Call_builtin
+          (("exactly-one" | "zero-or-one" | "one-or-more"), args) ->
+        (* cardinality-checked: may raise on the input's cardinality
+           even when the result is discarded *)
+        let rs = List.concat_map (infer env focus) args in
+        add_rd rs;
+        rs
+      | C.Call_builtin
+          (("reverse" | "subsequence" | "remove" | "insert-before"), args) ->
+        (* node-preserving sequence combinators: result nodes come
+           from the arguments, nothing is atomized *)
+        List.concat_map (infer env focus) args
+      | C.Call_builtin (("root" | "id"), args) ->
+        (* escapes to the whole document of the argument nodes *)
+        let rs =
+          List.sort_uniq compare
+            (List.concat_map
+               (fun a -> List.map widen_doc (infer env focus a))
+               args)
+        in
+        add_rd rs;
+        rs
+      | C.Call_builtin (_, args) ->
+        (* value builtins: atomize their node arguments *)
+        List.iter consume args;
+        []
+      | C.Call_user (_, args) ->
+        List.iter consume args;
+        (* unknown function body: reads anywhere; writes too unless
+           provably pure *)
+        add_rd [ any_region ];
+        if purity e <> Pure then add_wr [ any_region ];
+        [ any_region ]
+      | C.Elem (ns, c) | C.Attr (ns, c) | C.Pi_node (ns, c) ->
+        (match ns with C.Dynamic n -> consume n | C.Static _ -> ());
+        (* construction deep-copies its content *)
+        consume c;
+        []
+      | C.Text_node a | C.Comment_node a | C.Doc_node a ->
+        consume a;
+        []
+      | C.Copy a ->
+        consume a;
+        []
+      | C.Insert (tgt, payload, dest, _) ->
+        consume payload;
+        let rdst = infer env focus dest in
+        add_rd rdst;
+        (match tgt with
+        | C.T_first | C.T_last -> add_wr rdst
+        | C.T_before | C.T_after -> add_wr (List.map parent_region rdst));
+        []
+      | C.Delete (a, _) ->
+        let ra = infer env focus a in
+        add_rd ra;
+        add_wr (List.map parent_region ra);
+        []
+      | C.Replace (a, b, _) ->
+        consume b;
+        let ra = infer env focus a in
+        add_rd ra;
+        add_wr (List.map parent_region ra);
+        []
+      | C.Replace_value (a, b, _) ->
+        consume b;
+        let ra = infer env focus a in
+        add_rd ra;
+        add_wr ra;
+        []
+      | C.Rename (a, b, _) ->
+        consume b;
+        let ra = infer env focus a in
+        add_rd ra;
+        add_wr (List.map parent_region ra);
+        []
+      | C.Snap (_, a) ->
+        (* shouldn't reach a footprint-scheduled plan (Snap is
+           Effecting) — be safe anyway *)
+        add_rd [ any_region ];
+        add_wr [ any_region ];
+        ignore (infer env focus a);
+        []
+    in
+    let env =
+      List.fold_left
+        (fun env (v, _, e) -> SMap.add v (infer env [] e) env)
+        SMap.empty prog.Normalize.global_vars
+    in
+    (match prog.Normalize.body with
+    | None -> ()
+    | Some b ->
+      (* the final result is serialized: its subtrees are read *)
+      add_rd (infer env [] b));
+    normalize { reads = !rd; writes = !wr }
+end

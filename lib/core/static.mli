@@ -92,3 +92,57 @@ val order_of : SSet.t -> Core_ast.expr -> order_info
     the rewritten expression and the number of sites elided. *)
 val elide_ddo :
   purity:(Core_ast.expr -> purity) -> Core_ast.expr -> Core_ast.expr * int
+
+(** {1 Effects footprints (query-update independence)} *)
+
+(** A conservative static over-approximation of the store regions a
+    program may read and may write. Two jobs whose footprints are
+    {!Footprint.independent} can run concurrently against the shared
+    store; anything the analysis can't pin down widens to a whole
+    document or to "any document", which conflicts with everything
+    and degrades to the old exclusive behaviour. *)
+module Footprint : sig
+  type doc = Named of string | Any_doc
+
+  (** A subtree region: the nodes at (or, when [ranchored] is false,
+      somewhere below) the root-to-node label chain [rpath] of
+      document [rdoc], together with everything beneath them.
+      [rpath = []] is the whole document. *)
+  type region = { rdoc : doc; rpath : string list; ranchored : bool }
+
+  type t = { reads : region list; writes : region list }
+
+  val any_region : region
+  val empty : t
+  val top : t
+
+  (** Reads everything, writes nothing (the footprint of an opaque
+      read-only job). *)
+  val read_all : t
+
+  val regions_overlap : region -> region -> bool
+  val sets_overlap : region list -> region list -> bool
+
+  (** May the two jobs run concurrently? Read/read overlap is fine;
+      any write must be disjoint from the other side's reads and
+      writes. *)
+  val independent : t -> t -> bool
+
+  val writes_nothing : t -> bool
+
+  (** False iff some region widened to "any document". *)
+  val conclusive : t -> bool
+
+  val region_to_string : region -> string
+  val to_string : t -> string
+
+  (** Dedupe, drop covered regions, cap size by widening. *)
+  val normalize : t -> t
+
+  (** Infer the footprint of a normalized program. [var_docs] maps a
+      host-bound free variable to the URI of the catalog document
+      whose root it names, if any (unknown bindings widen to
+      [any_region]). *)
+  val of_prog :
+    ?var_docs:(string -> string option) -> Normalize.prog -> t
+end

@@ -1,16 +1,39 @@
-(** Readers–writer lock with writer preference. The scheduler's
-    purity gate: Pure queries share the read side, Updating/Effecting
-    queries take the write side exclusively. *)
+(** The scheduler's admission gate: a FIFO-ticketed *footprint gate*.
+    Jobs enter with a static effects footprint
+    ({!Core.Static.Footprint}) and run concurrently with every job
+    they are provably independent of; conflicting jobs are admitted in
+    submission order (no barging — the old writer preference,
+    generalized). The legacy binary readers-writer interface is the
+    pair of extreme footprints: {!with_read} = reads-everything, and
+    {!with_write} = conflicts-with-everything. *)
 
 type t
 
-val create : unit -> t
-val read_lock : t -> unit
-val read_unlock : t -> unit
-val write_lock : t -> unit
-val write_unlock : t -> unit
+type ticket
 
-(** Exception-safe scoped forms. *)
+val create : unit -> t
+
+(** Block until the footprint is independent of every running job and
+    every earlier conflicting waiter, then hold it. *)
+val acquire : t -> Core.Static.Footprint.t -> ticket
+
+val release : t -> ticket -> unit
+
+(** Exception-safe scoped admission. *)
+val with_footprint : t -> Core.Static.Footprint.t -> (unit -> 'a) -> 'a
+
+(** [with_footprint] with {!Core.Static.Footprint.read_all}. *)
 val with_read : t -> (unit -> 'a) -> 'a
 
+(** [with_footprint] with {!Core.Static.Footprint.top}. *)
 val with_write : t -> (unit -> 'a) -> 'a
+
+(** Currently admitted jobs / currently admitted writing jobs. *)
+val running : t -> int
+
+val running_writers : t -> int
+
+(** High-water marks since creation (all jobs / writing jobs). *)
+val peak : t -> int
+
+val writer_peak : t -> int

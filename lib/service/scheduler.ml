@@ -1,26 +1,38 @@
-(* The purity-gated scheduler: a fixed pool of OCaml 5 domains
-   draining one job queue, with a readers–writer lock as the purity
-   gate. Jobs submitted with [exclusive:false] (statically Pure and
-   allocation-free programs — {!Core.Static.prog_parallel_safe}) run
-   under the read side, so any number execute concurrently against
-   the shared store; [exclusive:true] jobs (Updating/Effecting, and
-   anything else that mutates shared state, e.g. document loads) take
-   the write side. Within one query, evaluation order is exactly the
-   paper's: a job never migrates between domains.
+(* The footprint-gated scheduler: a fixed pool of OCaml 5 domains
+   draining one job queue, with a FIFO footprint gate (Rwlock) as the
+   admission control. Every job carries a static effects footprint:
+   read-only jobs (statically Pure and allocation-free programs —
+   {!Core.Static.prog_parallel_safe}) enter with a read-everything
+   footprint and run concurrently; updating jobs enter with the
+   footprint inferred from their plan and run concurrently with
+   everything provably disjoint from it (other documents, other
+   subtrees); jobs the analysis can't pin down (and document loads,
+   EXPLAIN, maintenance) enter with ⊤ and serialize exactly like the
+   old exclusive writer. Within one query, evaluation order is
+   exactly the paper's: a job never migrates between domains.
+
+   ∆ application, WAL appends and wal_seq advancement are *not*
+   covered by the gate — concurrent writers evaluate in parallel but
+   apply serially under {!with_apply}, the global apply mutex, which
+   keeps the mutation journal's transaction spans contiguous and the
+   WAL byte order deterministic.
 
    [domains = 0] degenerates to synchronous in-caller execution
-   (still lock-gated) — the "scheduler off" baseline in bench E15.
+   (still gate-admitted) — the "scheduler off" baseline in bench E15.
 
    Admission control: the queue is bounded ([max_queue], default
    unbounded); a submission over the high watermark raises
-   [Overloaded] in the caller instead of queuing — shedding load at
-   the door is the only thing that keeps queue wait bounded once the
-   pool saturates. Each job may also carry a queue-time [deadline]:
-   a worker that dequeues an already-expired job does not run it, it
-   completes the job's future with [Expired_in_queue] (running it
-   would only burn a worker on an answer nobody is waiting for).
-   Submission after [shutdown] raises [Shut_down] uniformly in both
-   the pooled and the synchronous configuration. *)
+   [Overloaded] in the caller instead of queuing. Each job may carry
+   a queue-time [deadline] in *monotonic* Clock nanoseconds — wall
+   clock steps (NTP, VM suspend) must not expire queued jobs, and
+   must not keep expired ones alive. A worker that dequeues an
+   already-expired job completes its future with [Expired_in_queue]
+   without running it; the synchronous path performs the same check
+   before executing. Submission after [shutdown] raises [Shut_down]
+   uniformly in both configurations. *)
+
+module FP = Core.Static.Footprint
+module Clock = Xqb_obs.Clock
 
 exception Overloaded
 exception Shut_down
@@ -35,18 +47,19 @@ type 'a future = {
 }
 
 type job = {
-  exclusive : bool;
-  deadline : float;  (* absolute queue-time deadline; infinity = none *)
+  footprint : FP.t;
+  deadline : int;  (* absolute queue-time deadline, Clock ns; max_int = none *)
   run : unit -> unit;
   abort : exn -> unit;  (* complete the future without running *)
   trace : Xqb_obs.Trace.t option;
     (* the job's tracer, for the two waits only this layer can see:
-       time in the queue and time blocked on the purity gate *)
+       time in the queue and time blocked on the footprint gate *)
   submitted_ns : int;  (* Clock scale; 0 when untraced *)
 }
 
 type t = {
   rw : Rwlock.t;
+  apply_mu : Mutex.t;  (* serializes snap-apply + WAL append *)
   queue : job Queue.t;
   qmutex : Mutex.t;
   qcond : Condition.t;
@@ -90,27 +103,48 @@ let failed e =
   fut.state <- Done (Error e);
   fut
 
-(* Run [job.run] with the appropriate side of the lock held. With a
-   tracer, the gap between requesting the lock and the body starting
-   is recorded as "lock.wait" — for an exclusive job behind long
-   readers this is exactly the purity-gate blocking the trace should
-   show. *)
+let expired job = job.deadline <> max_int && Clock.now_ns () > job.deadline
+
+(* Run [job.run] with its footprint admitted. With a tracer, the gap
+   between requesting admission and the body starting is recorded as
+   "lock.wait" — for a conflicting job behind long independent work
+   this is exactly the gate blocking the trace should show. *)
 let execute t job =
   let body =
     match job.trace with
     | None -> job.run
     | Some tr ->
-      let requested_ns = Xqb_obs.Clock.now_ns () in
+      let requested_ns = Clock.now_ns () in
       fun () ->
         Xqb_obs.Trace.add_span ~cat:"sched"
-          ~args:[ ("side", if job.exclusive then "write" else "read") ]
+          ~args:
+            [
+              ( "side",
+                if FP.writes_nothing job.footprint then "read" else "write" );
+            ]
           tr ~name:"lock.wait" ~start_ns:requested_ns
-          ~dur_ns:(Xqb_obs.Clock.now_ns () - requested_ns)
+          ~dur_ns:(Clock.now_ns () - requested_ns)
           ();
         job.run ()
   in
-  if job.exclusive then Rwlock.with_write t.rw body
-  else Rwlock.with_read t.rw body
+  Rwlock.with_footprint t.rw job.footprint body
+
+(* The dequeue-side deadline check and its trace span. An expired job
+   is aborted without running; its queue.wait span (the only span the
+   job will ever have) is tagged ["expired" = "true"] so traces can't
+   be read as phantom execution of work that never ran. *)
+let run_or_expire t job =
+  let was_expired = expired job in
+  (match job.trace with
+  | Some tr ->
+    Xqb_obs.Trace.add_span ~cat:"sched"
+      ~args:(if was_expired then [ ("expired", "true") ] else [])
+      tr ~name:"queue.wait" ~start_ns:job.submitted_ns
+      ~dur_ns:(Clock.now_ns () - job.submitted_ns)
+      ()
+  | None -> ());
+  if was_expired then (try job.abort Expired_in_queue with _ -> ())
+  else execute t job
 
 let worker_loop t () =
   let rec next () =
@@ -134,16 +168,7 @@ let worker_loop t () =
     match wait () with
     | None -> ()
     | Some job ->
-      (match job.trace with
-      | Some tr ->
-        Xqb_obs.Trace.add_span ~cat:"sched" tr ~name:"queue.wait"
-          ~start_ns:job.submitted_ns
-          ~dur_ns:(Xqb_obs.Clock.now_ns () - job.submitted_ns)
-          ()
-      | None -> ());
-      (if job.deadline < Unix.gettimeofday () then
-         (try job.abort Expired_in_queue with _ -> ())
-       else execute t job);
+      run_or_expire t job;
       Mutex.lock t.qmutex;
       t.active <- t.active - 1;
       Mutex.unlock t.qmutex;
@@ -157,6 +182,7 @@ let create ?(domains = 4) ?(max_queue = max_int) () =
   let t =
     {
       rw = Rwlock.create ();
+      apply_mu = Mutex.create ();
       queue = Queue.create ();
       qmutex = Mutex.create ();
       qcond = Condition.create ();
@@ -179,14 +205,21 @@ let queue_depth t =
   d
 
 (* Submit [f]; the future completes with its result or exception.
-   [deadline] (absolute) bounds time *in the queue* — an expired job
-   is aborted by the dequeuing worker, and [on_abort] (called before
-   the future is filled) lets the submitter observe abandonment
-   (queue expiry, shutdown drain) for metrics/cleanup.
+   [deadline] (absolute, monotonic Clock ns) bounds time *in the
+   queue* — an expired job is aborted at dequeue, and [on_abort]
+   (called before the future is filled) lets the submitter observe
+   abandonment (queue expiry, shutdown drain) for metrics/cleanup.
+   [footprint] defaults to the binary extremes: [exclusive:true] = ⊤,
+   [exclusive:false] = read-everything.
    @raise Shut_down after [shutdown] (both pooled and synchronous)
    @raise Overloaded when the queue is at [max_queue]. *)
-let submit t ?(deadline = infinity) ?(on_abort = fun _ -> ()) ?trace ~exclusive
-    (f : unit -> 'a) : 'a future =
+let submit t ?(deadline = max_int) ?(on_abort = fun _ -> ()) ?trace ?footprint
+    ~exclusive (f : unit -> 'a) : 'a future =
+  let footprint =
+    match footprint with
+    | Some fp -> fp
+    | None -> if exclusive then FP.top else FP.read_all
+  in
   let fut = new_future () in
   let run () =
     let result = try Ok (f ()) with e -> Error e in
@@ -197,17 +230,19 @@ let submit t ?(deadline = infinity) ?(on_abort = fun _ -> ()) ?trace ~exclusive
     fill fut (Error e)
   in
   let submitted_ns =
-    match trace with Some _ -> Xqb_obs.Clock.now_ns () | None -> 0
+    match trace with Some _ -> Clock.now_ns () | None -> 0
   in
-  let job = { exclusive; deadline; run; abort; trace; submitted_ns } in
+  let job = { footprint; deadline; run; abort; trace; submitted_ns } in
   if t.domains = 0 then begin
-    (* Synchronous path: must agree with the pool on shutdown — work
-       submitted after [shutdown] returned must not execute. *)
+    (* Synchronous path: must agree with the pool on shutdown and on
+       deadlines — work submitted after [shutdown] returned must not
+       execute, and neither must a job whose deadline already passed
+       (the pool would abort it at dequeue). *)
     Mutex.lock t.qmutex;
     let stopping = t.stopping in
     Mutex.unlock t.qmutex;
     if stopping then raise Shut_down;
-    execute t job
+    run_or_expire t job
   end
   else begin
     Mutex.lock t.qmutex;
@@ -226,17 +261,30 @@ let submit t ?(deadline = infinity) ?(on_abort = fun _ -> ()) ?trace ~exclusive
   fut
 
 (* Direct access to the gate, for operations that bypass the queue
-   (the service loads documents under the write side synchronously). *)
+   (the service loads documents under ⊤ synchronously). *)
 let with_write t f = Rwlock.with_write t.rw f
 let with_read t f = Rwlock.with_read t.rw f
+let with_footprint t fp f = Rwlock.with_footprint t.rw fp f
+
+(* The global apply mutex: concurrent writers evaluate in parallel
+   under the footprint gate but serialize their snap-apply (and the
+   WAL append the service performs inside the same critical section)
+   here. *)
+let with_apply t f =
+  Mutex.lock t.apply_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.apply_mu) f
+
+let gate t = t.rw
 
 (* Stop accepting work and wind the pool down. Without [deadline]:
    drain — queued jobs still execute, then workers exit. With
-   [deadline] (seconds): wait that long for queue + running jobs to
-   finish; past it, abandon still-queued jobs (their futures complete
-   with [Shut_down]) and call [on_deadline] — the service uses it to
-   cancel in-flight budgets so running jobs die at their next poll —
-   then join the workers. *)
+   [deadline] (seconds, converted to the monotonic scale here so a
+   wall-clock step can't cut the drain short or stretch it): wait
+   that long for queue + running jobs to finish; past it, abandon
+   still-queued jobs (their futures complete with [Shut_down]) and
+   call [on_deadline] — the service uses it to cancel in-flight
+   budgets so running jobs die at their next poll — then join the
+   workers. *)
 let shutdown ?deadline ?(on_deadline = fun () -> ()) t =
   Mutex.lock t.qmutex;
   t.stopping <- true;
@@ -245,14 +293,14 @@ let shutdown ?deadline ?(on_deadline = fun () -> ()) t =
   (match deadline with
   | None -> ()
   | Some secs ->
-    let until = Unix.gettimeofday () +. secs in
+    let until_ns = Clock.now_ns () + int_of_float (secs *. 1e9) in
     let busy () =
       Mutex.lock t.qmutex;
       let b = (not (Queue.is_empty t.queue)) || t.active > 0 in
       Mutex.unlock t.qmutex;
       b
     in
-    while busy () && Unix.gettimeofday () < until do
+    while busy () && Clock.now_ns () < until_ns do
       Unix.sleepf 0.005
     done;
     if busy () then begin

@@ -1,16 +1,22 @@
-(** Purity-gated scheduler: a fixed pool of OCaml 5 domains plus a
-    readers–writer lock. Non-exclusive jobs (statically parallel-safe
-    queries) share the read side and run concurrently; exclusive jobs
-    (updating/effecting queries, document loads) serialize on the
-    write side. [domains = 0] executes synchronously in the caller
-    (still lock-gated) — the "scheduler off" baseline.
+(** Footprint-gated scheduler: a fixed pool of OCaml 5 domains plus a
+    FIFO footprint gate ({!Rwlock}). Read-only jobs (statically
+    parallel-safe queries) share the gate freely; updating jobs run
+    concurrently with everything provably disjoint from their static
+    footprint; ⊤-footprint jobs (inconclusive analysis, document
+    loads) serialize like the old exclusive writer. ∆ application is
+    *not* covered by the gate — concurrent writers serialize their
+    apply phase on {!with_apply}. [domains = 0] executes synchronously
+    in the caller (still gate-admitted) — the "scheduler off"
+    baseline.
 
     Admission control: the queue is bounded ([max_queue]); over the
     watermark, {!submit} raises {!Overloaded} instead of queuing.
-    Jobs may carry a queue-time deadline — expired jobs are never
-    run, their future completes with {!Expired_in_queue}. Submission
-    after {!shutdown} raises {!Shut_down} uniformly for the pooled
-    and the synchronous configuration. *)
+    Jobs may carry a queue-time deadline on the monotonic
+    {!Xqb_obs.Clock} scale — expired jobs are never run, their future
+    completes with {!Expired_in_queue}; the synchronous configuration
+    performs the same check before executing. Submission after
+    {!shutdown} raises {!Shut_down} uniformly for the pooled and the
+    synchronous configuration. *)
 
 (** Raised by {!submit} when the queue is at its high watermark. *)
 exception Overloaded
@@ -20,7 +26,8 @@ exception Overloaded
 exception Shut_down
 
 (** Completes the future of a job whose queue-time deadline passed
-    before a worker picked it up. *)
+    before a worker picked it up (or, with [domains = 0], before the
+    synchronous execution started). *)
 exception Expired_in_queue
 
 type t
@@ -31,19 +38,23 @@ val create : ?domains:int -> ?max_queue:int -> unit -> t
 val domains : t -> int
 val queue_depth : t -> int
 
-(** Submit a job. [deadline] (absolute, [Unix.gettimeofday] scale)
-    bounds its time in the queue; [on_abort] is called (before the
-    future completes) if the job is abandoned without running —
-    queue expiry or shutdown drain. [trace] makes the scheduler
-    record the two waits only it can see: "queue.wait" (submit →
-    dequeue) and "lock.wait" (blocked on the purity gate).
+(** Submit a job. [deadline] (absolute, monotonic {!Xqb_obs.Clock}
+    nanoseconds — immune to wall-clock steps) bounds its time in the
+    queue; [on_abort] is called (before the future completes) if the
+    job is abandoned without running — queue expiry or shutdown
+    drain. [footprint] admits the job against the gate (default: ⊤
+    when [exclusive], read-everything otherwise). [trace] makes the
+    scheduler record the two waits only it can see: "queue.wait"
+    (submit → dequeue; tagged ["expired" = "true"] when the job was
+    aborted at dequeue) and "lock.wait" (blocked on the gate).
     @raise Shut_down after {!shutdown}
     @raise Overloaded when the queue is full. *)
 val submit :
   t ->
-  ?deadline:float ->
+  ?deadline:int ->
   ?on_abort:(exn -> unit) ->
   ?trace:Xqb_obs.Trace.t ->
+  ?footprint:Core.Static.Footprint.t ->
   exclusive:bool ->
   (unit -> 'a) ->
   'a future
@@ -65,10 +76,21 @@ val with_write : t -> (unit -> 'a) -> 'a
 
 val with_read : t -> (unit -> 'a) -> 'a
 
+(** Gate admission with an explicit footprint, bypassing the queue. *)
+val with_footprint : t -> Core.Static.Footprint.t -> (unit -> 'a) -> 'a
+
+(** The global apply mutex: concurrent writers evaluate in parallel
+    but run their snap-apply + WAL append inside [with_apply]. *)
+val with_apply : t -> (unit -> 'a) -> 'a
+
+(** The underlying footprint gate (metrics: running/peak counts). *)
+val gate : t -> Rwlock.t
+
 (** Stop accepting work and wind the pool down. Without [deadline],
-    drain: queued jobs still run. With [deadline] (seconds), wait at
-    most that long for queued + running jobs; then abandon still-
-    queued jobs (futures complete with {!Shut_down}) and call
-    [on_deadline] — the service cancels in-flight budgets there so
-    running jobs die at their next poll — before joining workers. *)
+    drain: queued jobs still run. With [deadline] (seconds, measured
+    on the monotonic clock), wait at most that long for queued +
+    running jobs; then abandon still-queued jobs (futures complete
+    with {!Shut_down}) and call [on_deadline] — the service cancels
+    in-flight budgets there so running jobs die at their next poll —
+    before joining workers. *)
 val shutdown : ?deadline:float -> ?on_deadline:(unit -> unit) -> t -> unit

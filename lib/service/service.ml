@@ -8,10 +8,16 @@
    - prepared plans are cached across sessions ({!Plan_cache}),
      keyed on literal-aware whitespace-normalized source — a hit
      skips parse → normalize → static-check → rewrite entirely;
-   - execution goes through the purity-gated {!Scheduler}:
-     statically parallel-safe programs ({!Core.Static.prog_parallel_safe}
-     — Pure *and* allocation-free) run concurrently on the read side
-     of a readers–writer lock, everything else takes the write side;
+   - execution goes through the footprint-gated {!Scheduler}: every
+     plan carries a static effects footprint
+     ({!Core.Static.Footprint}) and jobs with provably disjoint
+     footprints run concurrently — statically parallel-safe programs
+     ({!Core.Static.prog_parallel_safe} — Pure *and* allocation-free)
+     as before, but now also updating jobs over disjoint documents or
+     subtrees. Inconclusive footprints (dynamic [fn:doc] URIs, upward
+     axes, user functions) widen to ⊤ and serialize exactly like the
+     old exclusive writer, with the paper's §4.1 runtime conflict
+     check still validating every ∆ at apply time;
    - every job runs under a {!Xqb_governor.Budget}: the service-wide
      deadline / fuel / pending-∆ limits if configured, plus a cancel
      token always, so [CANCEL] works even on an unlimited service.
@@ -33,24 +39,46 @@
      snapshot of the session and share nothing mutable with it (the
      fork carries the job's budget; [Engine.with_budget] installs it
      on the worker domain for the store layer);
-   - the store is only mutated by write-side jobs and catalog loads
-     (also under the write lock); the one exception, the lazy index
-     caches filled during reads, is internally locked by the store;
-   - write-side execution is wrapped in [Store.transactionally]: a
-     query killed mid-update (deadline, fuel, CANCEL) — or failing
-     for any other reason — leaves the store exactly as it found it,
-     even if nested snaps had already applied. *)
+   - the store is only mutated at snap-apply time (evaluation never
+     touches it — §3.3, the basis of the whole scheme): concurrent
+     writers *evaluate* in parallel under the footprint gate, while
+     every ∆ application — and the WAL append recording it —
+     serializes on the scheduler's global apply mutex
+     ({!Scheduler.with_apply}, installed per-job as the context's
+     [apply_wrap]), keeping journal transaction spans contiguous and
+     WAL order equal to apply order. The [Always]-policy fsync wait
+     happens *outside* the mutex, so concurrent writers share one
+     group-commit fsync instead of queueing full syncs;
+   - Effecting programs (nested snap semantics), EXPLAIN, document
+     loads and checkpoints take a ⊤ footprint — fully exclusive —
+     and keep the old path: whole-job [Store.transactionally] plus
+     an inline durable flush, so a query killed mid-update leaves
+     the store exactly as it found it even if nested snaps had
+     already applied. On the concurrent-writer path the rollback
+     unit shrinks to one top-level snap: the apply itself is
+     transactional (a failure during apply rolls back before the WAL
+     sees it), but a job that fails *after* its snap applied — e.g.
+     a budget kill during result serialization — reports an error
+     for an update that committed, the same guarantee class as a
+     connection dropped between commit and acknowledgment. *)
 
 module Engine = Core.Engine
 module Budget = Xqb_governor.Budget
 module Trace = Xqb_obs.Trace
 module Durable = Xqb_wal.Durable
 module Wcodec = Xqb_wal.Codec
+module FP = Core.Static.Footprint
+module Clock = Xqb_obs.Clock
 
 type plan = {
   compiled : Engine.compiled;
   purity : Core.Static.purity;  (* of the body, for metrics *)
   parallel : bool;  (* Static.prog_parallel_safe: read-side eligible *)
+  footprint : FP.t;
+    (* static effects footprint: what the scheduler gates on.
+       Computed against the catalog's documents at first compile;
+       cached plans keep it (the var_docs question "is $v a document
+       root?" is stable for a given URI — documents are load-once) *)
 }
 
 type session = {
@@ -66,8 +94,11 @@ type inflight = {
   jid : int;
   jsid : int;
   cancel : Budget.cancel;
-  started : float;
-  job_deadline : float;  (* absolute; infinity when ungoverned *)
+  started : float;  (* wall clock, for display only *)
+  job_deadline : int;
+    (* absolute, monotonic Clock ns ([max_int] when ungoverned) — the
+       watchdog and the scheduler queue check share one scale that
+       wall-clock steps (NTP, VM suspend) cannot move *)
   src : string;
 }
 
@@ -84,6 +115,10 @@ type t = {
   deadline_ms : int option;
   fuel : int option;
   max_delta : int option;
+  (* footprint scheduling: when off (bench E21's baseline), every
+     non-parallel job takes a ⊤ footprint — the old single-writer
+     exclusive gate — and commits through the inline durable path *)
+  footprints : bool;
   (* in-flight job registry *)
   jobs : (int, inflight) Hashtbl.t;
   jmutex : Mutex.t;
@@ -108,9 +143,10 @@ type t = {
   mutable last_delta : string option;  (* rendered ∆-stats JSON *)
   (* durability (leader side): the WAL/checkpoint manager, plus the
      journal seq of the first in-memory entry not yet appended to
-     disk. [wal_seq] is only touched with the scheduler's write lock
-     held (write-side jobs, catalog loads, checkpoints), so it needs
-     no mutex of its own. *)
+     disk. [wal_seq] is only touched under the scheduler's apply
+     mutex or a ⊤ footprint (catalog loads, checkpoints, Effecting
+     jobs — which exclude every concurrent apply), so it needs no
+     mutex of its own. *)
   durable : Durable.t option;
   mutable wal_seq : int;
   (* replica side: reject write traffic, apply shipped frames *)
@@ -164,17 +200,18 @@ let locked m f =
 let watchdog_loop t () =
   while not t.stopping do
     Thread.delay 0.02;
-    let now = Unix.gettimeofday () in
+    let now = Clock.now_ns () in
     locked t.jmutex (fun () ->
         Hashtbl.iter
           (fun _ j ->
-            if now > j.job_deadline then Budget.request j.cancel Budget.Deadline)
+            if j.job_deadline <> max_int && now > j.job_deadline then
+              Budget.request j.cancel Budget.Deadline)
           t.jobs)
   done
 
 let create ?(domains = 4) ?(cache_capacity = 128) ?(seed = 0x5eed) ?deadline_ms
     ?fuel ?max_delta ?max_queue ?(tracing = false) ?(slow_apply_ms = 10)
-    ?durability ?(replica = false) ?replica_of () =
+    ?durability ?(replica = false) ?replica_of ?(footprint_scheduling = true) () =
   let replica = replica || replica_of <> None in
   if replica && durability <> None then
     failwith "a replica has no WAL of its own: --replica-of excludes --data-dir";
@@ -226,6 +263,7 @@ let create ?(domains = 4) ?(cache_capacity = 128) ?(seed = 0x5eed) ?deadline_ms
       deadline_ms;
       fuel;
       max_delta;
+      footprints = footprint_scheduling;
       jobs = Hashtbl.create 16;
       jmutex = Mutex.create ();
       next_jid = 1;
@@ -258,7 +296,10 @@ let durability_json t = Option.map Durable.stats_json t.durable
 (* Append the in-memory journal tail to the WAL and, under the Always
    policy, block until durable — this is the acknowledgment barrier:
    it runs after the snap applied but before the client sees OK, so
-   recovery reproduces every acknowledged commit. Write lock held. *)
+   recovery reproduces every acknowledged commit. Caller holds a ⊤
+   footprint (exclusive jobs, loads, checkpoints), which excludes
+   every concurrent apply — so [wal_seq] is stable. The concurrent-
+   writer path commits through [writer_apply_wrap] instead. *)
 let durable_commit t =
   match t.durable with
   | None -> ()
@@ -296,6 +337,42 @@ let durable_maybe_checkpoint t =
 let durable_publish t =
   durable_commit t;
   durable_maybe_checkpoint t
+
+(* The concurrent-writer commit path, installed per-job as the
+   context's [apply_wrap]: each top-level snap's ∆ applies under the
+   scheduler's global apply mutex — journal transaction spans stay
+   contiguous and WAL byte order equals apply order — with the WAL
+   append in the same critical section, and the [Always]-policy
+   durability wait *outside* it, so writers blocked on fsync(2) share
+   one group-commit leader pass instead of serializing full syncs.
+   The apply runs under [Store.transactionally]: a conflict (§4.1
+   R1–R7) or any other apply-time failure rolls the span back before
+   its entries reach the WAL. Evaluation needs no rollback — it
+   never mutates the store (§3.3); its only traces are fresh node
+   allocations, unreachable from any document.
+
+   No checkpoint here: a checkpoint resets the in-memory journal,
+   which would orphan the allocation entries of writers still
+   mid-evaluation. Checkpoints run only under a ⊤ footprint (loads,
+   Effecting jobs, CHECKPOINT), where nothing else is in flight. *)
+let writer_apply_wrap t apply =
+  let pending =
+    Scheduler.with_apply t.sched (fun () ->
+        let store = Catalog.store t.catalog in
+        Xqb_store.Store.transactionally store apply;
+        match t.durable with
+        | None -> None
+        | Some d ->
+          let entries = Xqb_store.Store.journal_entries_from store t.wal_seq in
+          if entries = [] then None
+          else begin
+            t.wal_seq <- t.wal_seq + List.length entries;
+            Some (d, Durable.append_entries d entries)
+          end)
+  in
+  match pending with
+  | Some (d, lsn) -> Durable.wait_durable d lsn
+  | None -> ()
 
 let checkpoint_now t =
   match t.durable with
@@ -694,11 +771,17 @@ let prepare t s src =
     plan
   | None ->
     let compiled = Engine.compile s.engine src in
+    (* host-bound free variables that name catalog documents: the
+       service binds every loaded document to [$uri], so a variable
+       that is a catalog URI *is* that document's root. Anything else
+       widens to "any document" inside the analysis. *)
+    let var_docs v = if Catalog.find t.catalog v <> None then Some v else None in
     let plan =
       {
         compiled;
         purity = Engine.body_purity compiled;
         parallel = Engine.parallel_safe compiled;
+        footprint = Engine.footprint ~var_docs compiled;
       }
     in
     Plan_cache.add t.cache key plan;
@@ -889,10 +972,20 @@ let submit_job t sid src :
     Metrics.record_error t.metrics err.Service_error.kind;
     (0, Scheduler.ready (Error err))
   | plan, fork ->
+    (* two deadline scales, one boundary: the budget's own clock polls
+       use the wall-clock seconds it was built around, while the
+       scheduler queue check and the watchdog use monotonic Clock ns
+       (immune to wall-clock steps). Both derive from --deadline-ms
+       right here. *)
     let deadline =
       match t.deadline_ms with
       | None -> infinity
       | Some ms -> t0 +. (float_of_int ms /. 1000.)
+    in
+    let deadline_ns =
+      match t.deadline_ms with
+      | None -> max_int
+      | Some ms -> Clock.now_ns () + (ms * 1_000_000)
     in
     let budget =
       Budget.create
@@ -900,8 +993,8 @@ let submit_job t sid src :
         ?fuel:t.fuel ?max_delta:t.max_delta ()
     in
     let jid =
-      register_job t sid ~deadline ~cancel:(Budget.cancel_token budget)
-        ~started:t0 src
+      register_job t sid ~deadline:deadline_ns
+        ~cancel:(Budget.cancel_token budget) ~started:t0 src
     in
     let finish ok =
       let latency_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
@@ -931,14 +1024,27 @@ let submit_job t sid src :
               let v = Engine.run_readonly feng plan.compiled in
               Engine.serialize_with (Catalog.store t.catalog) v)
         | None -> (
-          (* write side: the session itself, full snap semantics,
-             transactional so budget kills roll back cleanly. The
-             job's ∆ statistics and apply-phase wall time are
+          (* write side: the session itself, full snap semantics.
+             The job's ∆ statistics and apply-phase wall time are
              snapshotted for DELTA / the slow-effect log even when it
-             fails. The durable flush runs after the snap applied and
-             before the future resolves — the commit acknowledgment
-             barrier (on failure it still flushes the aborted span,
-             but its own errors must not mask the job's). *)
+             fails.
+
+             Two commit disciplines. Non-Effecting jobs (at most one
+             top-level apply per snap-wrapped global/body) take the
+             concurrent path: evaluation runs in parallel with every
+             footprint-disjoint job, and each snap's apply + WAL
+             append serializes under [writer_apply_wrap] — the
+             durable acknowledgment barrier moves inside the wrap,
+             before this future resolves. Effecting jobs (nested
+             snaps) hold a ⊤ footprint, so they keep the old
+             exclusive discipline: whole-job [transactionally] (a
+             budget kill rolls back even mid-way through nested
+             applies) and the inline durable flush + checkpoint after
+             (on failure it still flushes the aborted span, but its
+             own errors must not mask the job's). *)
+          let concurrent =
+            t.footprints && plan.purity <> Core.Static.Effecting
+          in
           match
             locked s.slock (fun () ->
               let ctx = Engine.context s.engine in
@@ -952,16 +1058,32 @@ let submit_job t sid src :
               @@ fun () ->
               Engine.with_tracer s.engine tr (fun () ->
                   Engine.with_budget s.engine (Some budget) (fun () ->
-                      Xqb_store.Store.transactionally (Catalog.store t.catalog)
-                        (fun () ->
-                          let v = Engine.run_compiled s.engine plan.compiled in
-                          Engine.serialize s.engine v))))
+                      if concurrent then begin
+                        ctx.Core.Context.apply_wrap <-
+                          Some (writer_apply_wrap t);
+                        Fun.protect
+                          ~finally:(fun () ->
+                            ctx.Core.Context.apply_wrap <- None)
+                          (fun () ->
+                            let v =
+                              Engine.run_compiled s.engine plan.compiled
+                            in
+                            Engine.serialize s.engine v)
+                      end
+                      else
+                        Xqb_store.Store.transactionally
+                          (Catalog.store t.catalog)
+                          (fun () ->
+                            let v =
+                              Engine.run_compiled s.engine plan.compiled
+                            in
+                            Engine.serialize s.engine v))))
           with
           | out ->
-            durable_publish t;
+            if not concurrent then durable_publish t;
             out
           | exception e ->
-            (try durable_publish t with _ -> ());
+            if not concurrent then (try durable_publish t with _ -> ());
             raise e)
       with
       | out ->
@@ -980,9 +1102,23 @@ let submit_job t sid src :
       finish false;
       Metrics.record_error t.metrics (Service_error.classify e).Service_error.kind
     in
+    (* Both sides gate on the *inferred* footprint when footprint
+       scheduling is on: a parallel-safe reader's footprint has no
+       write regions (read/read never conflicts, so readers behave
+       exactly as under the old read lock), but its read regions are
+       now precise enough to overlap with writers on *other*
+       documents. Effecting jobs and the baseline toggle degrade to
+       the binary extremes — read-everything / ⊤ — which is the old
+       purity gate verbatim. *)
+    let footprint =
+      if t.footprints && plan.purity <> Core.Static.Effecting then
+        plan.footprint
+      else if plan.parallel then FP.read_all
+      else FP.top
+    in
     (match
-       Scheduler.submit t.sched ~deadline ~on_abort ?trace:tr
-         ~exclusive:(not plan.parallel) job
+       Scheduler.submit t.sched ~deadline:deadline_ns ~on_abort ?trace:tr
+         ~footprint ~exclusive:(not plan.parallel) job
      with
     | fut -> (jid, fut)
     | exception ((Scheduler.Overloaded | Scheduler.Shut_down) as e) ->
@@ -1022,14 +1158,19 @@ let explain_job t sid src :
     | None -> infinity
     | Some ms -> t0 +. (float_of_int ms /. 1000.)
   in
+  let deadline_ns =
+    match t.deadline_ms with
+    | None -> max_int
+    | Some ms -> Clock.now_ns () + (ms * 1_000_000)
+  in
   let budget =
     Budget.create
       ?deadline:(if Float.is_finite deadline then Some deadline else None)
       ?fuel:t.fuel ?max_delta:t.max_delta ()
   in
   let jid =
-    register_job t sid ~deadline ~cancel:(Budget.cancel_token budget)
-      ~started:t0
+    register_job t sid ~deadline:deadline_ns
+      ~cancel:(Budget.cancel_token budget) ~started:t0
       ("EXPLAIN " ^ src)
   in
   let tr = if t.tracing then Some (Trace.create ()) else None in
@@ -1083,7 +1224,10 @@ let explain_job t sid src :
     unregister_job t jid;
     Metrics.record_error t.metrics (Service_error.classify e).Service_error.kind
   in
-  match Scheduler.submit t.sched ~deadline ~on_abort ?trace:tr ~exclusive:true job with
+  match
+    Scheduler.submit t.sched ~deadline:deadline_ns ~on_abort ?trace:tr
+      ~exclusive:true job
+  with
   | fut -> (jid, fut)
   | exception ((Scheduler.Overloaded | Scheduler.Shut_down) as e) ->
     on_abort e;
@@ -1094,11 +1238,41 @@ let explain t sid src = await (snd (explain_job t sid src))
 
 let cache_stats t = Plan_cache.stats t.cache
 
+(* Concurrent-writer gauges off the footprint gate: how many jobs are
+   admitted right now (and how many of those hold write regions), plus
+   the high-water marks since boot — the observable proof that
+   disjoint writers actually overlap. *)
+let concurrency_json t =
+  let g = Scheduler.gate t.sched in
+  Printf.sprintf
+    "{\"footprint_scheduling\":%b,\"running\":%d,\"running_writers\":%d,\"peak\":%d,\"writer_peak\":%d}"
+    t.footprints (Rwlock.running g)
+    (Rwlock.running_writers g)
+    (Rwlock.peak g) (Rwlock.writer_peak g)
+
 (* Wire [METRICS PROM]: the counters as a Prometheus text page, with
-   the durability gauges (WAL bytes, fsyncs, checkpoint age, LSNs)
-   and replica lag appended when the corresponding mode is on. *)
+   the footprint-gate gauges, the durability gauges (WAL bytes,
+   fsyncs, checkpoint age, LSNs) and replica lag appended when the
+   corresponding mode is on. *)
 let metrics_prometheus t =
   let base = Metrics.to_prometheus ~cache:(Plan_cache.stats t.cache) t.metrics in
+  let conc =
+    let g = Scheduler.gate t.sched in
+    String.concat ""
+      [
+        "# TYPE xqbang_gate_inflight gauge\n";
+        Printf.sprintf "xqbang_gate_inflight{side=\"all\"} %d\n"
+          (Rwlock.running g);
+        Printf.sprintf "xqbang_gate_inflight{side=\"writer\"} %d\n"
+          (Rwlock.running_writers g);
+        "# TYPE xqbang_gate_inflight_peak gauge\n";
+        Printf.sprintf "xqbang_gate_inflight_peak{side=\"all\"} %d\n"
+          (Rwlock.peak g);
+        Printf.sprintf "xqbang_gate_inflight_peak{side=\"writer\"} %d\n"
+          (Rwlock.writer_peak g);
+      ]
+  in
+  let base = base ^ conc in
   let dur =
     match t.durable with Some d -> Durable.stats_prometheus d | None -> ""
   in
@@ -1124,7 +1298,9 @@ let metrics_prometheus t =
   base ^ dur ^ rep
 
 let stats_json t =
-  let extra = [ ("inflight", inflight_json t) ] in
+  let extra =
+    [ ("concurrency", concurrency_json t); ("inflight", inflight_json t) ]
+  in
   let extra =
     match durability_json t with
     | Some j -> ("durability", j) :: extra

@@ -1,8 +1,10 @@
 (** The query service: multi-client sessions over one shared store,
-    with a cross-session prepared-plan cache, a purity-gated parallel
-    scheduler and per-query resource governance (deadlines, fuel,
-    pending-∆ caps, cooperative cancellation, admission control).
-    See docs/SERVICE.md for the architecture. *)
+    with a cross-session prepared-plan cache, a footprint-gated
+    parallel scheduler (jobs with provably disjoint static effects
+    footprints run concurrently — including updating jobs over
+    disjoint documents) and per-query resource governance (deadlines,
+    fuel, pending-∆ caps, cooperative cancellation, admission
+    control). See docs/SERVICE.md for the architecture. *)
 
 type t
 
@@ -23,7 +25,12 @@ type t
     [replica_of] ("HOST:PORT") additionally names the leader for
     {!start_replication}'s polling thread. A replica keeps no WAL of
     its own: [durability] and replica mode are mutually exclusive
-    (@raise Failure). *)
+    (@raise Failure).
+
+    [footprint_scheduling] (default true) gates jobs on their static
+    effects footprints; [false] restores the binary purity gate
+    (read-everything / exclusive ⊤) — the single-writer baseline of
+    bench E21. *)
 val create :
   ?domains:int ->
   ?cache_capacity:int ->
@@ -37,6 +44,7 @@ val create :
   ?durability:Xqb_wal.Durable.config ->
   ?replica:bool ->
   ?replica_of:string ->
+  ?footprint_scheduling:bool ->
   unit ->
   t
 
@@ -62,11 +70,15 @@ val load_document : t -> int -> uri:string -> string -> unit
 (** Submit a query; returns the job id (usable with {!cancel} while
     the job is queued or running) and a future resolving to the
     serialized result or a structured error. Parallel-safe programs
-    (Pure and allocation-free) run concurrently on the scheduler's
-    read side against a submission-time fork of the session; all
-    others serialize on the write side with full snap semantics,
-    wrapped in a store transaction — a query killed by its budget
-    (or failing for any reason) leaves the store unchanged.
+    (Pure and allocation-free) run concurrently against a
+    submission-time fork of the session; updating programs run on the
+    session itself, concurrently with every job whose static
+    footprint is provably disjoint, their ∆ applications serialized
+    on the global apply mutex (each top-level snap is transactional:
+    an apply-time failure rolls back before the WAL sees it).
+    Effecting programs and inconclusive footprints serialize
+    exclusively under whole-job rollback, exactly the old writer
+    path.
     @raise Failure on an unknown session. *)
 val submit_job :
   t -> int -> string -> int * (string, Service_error.t) result Scheduler.future
@@ -112,6 +124,12 @@ val inflight_count : t -> int
 val error_message : exn -> string
 
 val cache_stats : t -> Plan_cache.stats
+
+(** Footprint-gate gauges as JSON: whether footprint scheduling is
+    on, currently admitted jobs (all / holding write regions) and
+    their high-water marks since boot. Also embedded in
+    {!stats_json} under ["concurrency"]. *)
+val concurrency_json : t -> string
 
 (** Metrics + plan-cache + catalog + in-flight jobs as JSON. *)
 val stats_json : t -> string

@@ -100,7 +100,16 @@ type t = {
   mutable index_enabled : bool;
   name_index : (node_id * int * string, node_id list) Hashtbl.t;
   indexed_roots : (node_id * int, unit) Hashtbl.t;
-  root_versions : (node_id, int) Hashtbl.t;
+  (* per-root index generation, one slot per node id (only parentless
+     roots are ever bumped). An array rather than a hashtable so the
+     hot validity check ([okey_valid]) is a lock-free load that can
+     run while a *disjoint* region of the same store is being
+     mutated; all writes (and resizes) happen under [mu]. A stale
+     read is sound: it can only under-report a bump by a concurrent
+     writer whose footprint is disjoint, and relative order /
+     containment of the reader's own nodes is unaffected by disjoint
+     structural edits. *)
+  mutable root_vers : int array;
   (* attribute-value key index: (root, version, elem, attr) -> value
      -> nodes; same policy *)
   key_index :
@@ -114,13 +123,19 @@ type t = {
   mutable okeys : Order_key.t array;
   mutable order_keys_enabled : bool;
   mutable okey_builds : int;  (* statistics: key-table (re)builds *)
-  (* The index caches above are filled *lazily during reads*, so they
-     are the one piece of store state that concurrent read-only
-     queries (the service scheduler's parallel side) mutate. This
-     lock serializes cache fill/lookup; everything else in the store
-     is only mutated by updates, which the scheduler runs under an
-     exclusive write lock. Uncontended cost is a few ns. *)
+  (* The index caches above are filled *lazily during reads*, and
+     their builds walk a whole tree — potentially crossing into a
+     subtree some footprint-disjoint writer is mutating right now.
+     This lock therefore serializes cache fill/lookup *and* every
+     structural mutator body, so a build never observes a half-done
+     splice. Uncontended cost is a few ns. *)
   index_lock : Mutex.t;
+  (* Allocation/journal lock: node-id assignment, table/okeys/version
+     resizes, mutation-journal appends and version bumps. Keeps ids
+     sequential and the journal totally ordered when several
+     footprint-disjoint jobs evaluate concurrently. Lock order:
+     [index_lock] before [mu]; never the reverse. *)
+  mu : Mutex.t;
 }
 
 exception Update_error of string
@@ -135,47 +150,60 @@ let create () =
   { tbl = Array.make 64 dummy_node; next_id = 0; journal = []; journal_on = false;
     mj = []; mj_count = 0; mj_on = false; mj_suspend = false;
     mutations = 0; index_enabled = true; name_index = Hashtbl.create 64;
-    indexed_roots = Hashtbl.create 8; root_versions = Hashtbl.create 8;
+    indexed_roots = Hashtbl.create 8; root_vers = Array.make 64 0;
     key_index = Hashtbl.create 16;
     okeys = Array.make 64 Order_key.none; order_keys_enabled = true;
-    okey_builds = 0; index_lock = Mutex.create () }
+    okey_builds = 0; index_lock = Mutex.create (); mu = Mutex.create () }
 
 (* -- Mutation journal (observability) ------------------------------ *)
 
+let with_mu store f =
+  Mutex.lock store.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock store.mu) f
+
+(* Caller holds [mu] (allocation, deep copy). *)
 let mj_record store op =
   if store.mj_on && not store.mj_suspend then begin
     store.mj <- { seq = store.mj_count; op } :: store.mj;
     store.mj_count <- store.mj_count + 1
   end
 
+(* Locking append, for callers that don't hold [mu] (the structural
+   mutators, transaction markers, provenance notes). *)
+let mj_append store op = with_mu store (fun () -> mj_record store op)
+
 (* Start recording. The journal is replayable only when started on a
    fresh (empty) store — replay depends on sequential id allocation —
    and outside any transaction; callers own that discipline. *)
 let journal_start store =
-  store.mj <- [];
-  store.mj_count <- 0;
-  store.mj_on <- true
+  with_mu store (fun () ->
+      store.mj <- [];
+      store.mj_count <- 0;
+      store.mj_on <- true)
 
 let journal_stop store = store.mj_on <- false
 
 let journal_active store = store.mj_on && not store.mj_suspend
 
-let journal_entries store = List.rev store.mj
+let journal_entries store = with_mu store (fun () -> List.rev store.mj)
 
 (* Entries with [seq >= n], oldest first. The internal list is newest
    first, so walk until the seq drops below [n] — O(tail), which is
-   what the WAL appender consumes after each committed job. *)
+   what the WAL appender consumes after each committed job. Under
+   [mu] so a concurrent evaluator's allocation can't tear the list
+   head out from under the walk. *)
 let journal_entries_from store n =
-  let rec take acc = function
-    | { seq; _ } as e :: rest when seq >= n -> take (e :: acc) rest
-    | _ -> acc
-  in
-  take [] store.mj
+  with_mu store (fun () ->
+      let rec take acc = function
+        | { seq; _ } as e :: rest when seq >= n -> take (e :: acc) rest
+        | _ -> acc
+      in
+      take [] store.mj)
 
 let journal_length store = store.mj_count
 
 let journal_note store ~line ~col ~snap_depth ~trace_id ~desc =
-  mj_record store (M_request { line; col; snap_depth; trace_id; desc })
+  mj_append store (M_request { line; col; snap_depth; trace_id; desc })
 
 let set_indexing store b = store.index_enabled <- b
 let set_order_keys store b = store.order_keys_enabled <- b
@@ -186,7 +214,8 @@ let with_index_lock store f =
   Fun.protect ~finally:(fun () -> Mutex.unlock store.index_lock) f
 
 let root_version store root =
-  Option.value ~default:0 (Hashtbl.find_opt store.root_versions root)
+  let vers = store.root_vers in
+  if root >= 0 && root < Array.length vers then vers.(root) else 0
 
 (* Is this key's generation current? Two reads (key slot + version
    hash) — no root walk. Sound because every structural mutation
@@ -206,14 +235,21 @@ let get store id =
   if id < 0 || id >= store.next_id then invalid_arg "Store.get: bad node id";
   store.tbl.(id)
 
-let alloc store kind name content =
+(* Caller holds [mu]. Resizes swap in freshly copied arrays, so a
+   lock-free reader holding the old pointer still sees every node
+   that existed when it loaded it — node records are shared, only
+   the spine is replaced. *)
+let alloc_unlocked store kind name content =
   if store.next_id >= Array.length store.tbl then begin
     let tbl = Array.make (2 * Array.length store.tbl) dummy_node in
     Array.blit store.tbl 0 tbl 0 store.next_id;
     store.tbl <- tbl;
     let okeys = Array.make (2 * Array.length store.okeys) Order_key.none in
     Array.blit store.okeys 0 okeys 0 store.next_id;
-    store.okeys <- okeys
+    store.okeys <- okeys;
+    let vers = Array.make (2 * Array.length store.root_vers) 0 in
+    Array.blit store.root_vers 0 vers 0 (Array.length store.root_vers);
+    store.root_vers <- vers
   end;
   let n =
     { id = store.next_id; kind; name; content; parent = None; pos = 0;
@@ -223,6 +259,9 @@ let alloc store kind name content =
   store.next_id <- store.next_id + 1;
   mj_record store (M_make (kind, name, content));
   n.id
+
+let alloc store kind name content =
+  with_mu store (fun () -> alloc_unlocked store kind name content)
 
 (* Journal replay's constructor: re-execute an [M_make] verbatim.
    Identical to the per-kind constructors below modulo the name/kind
@@ -300,8 +339,9 @@ let root store id =
    never be served stale. *)
 let bump_index store id =
   let r = root store id in
-  Hashtbl.replace store.root_versions r
-    (Option.value ~default:0 (Hashtbl.find_opt store.root_versions r) + 1)
+  with_mu store (fun () ->
+      if r >= 0 && r < Array.length store.root_vers then
+        store.root_vers.(r) <- store.root_vers.(r) + 1)
 
 (* -- Order keys (see order_key.ml) --------------------------------- *)
 
@@ -424,48 +464,58 @@ let transactionally store f =
   let saved_journal = store.journal and saved_on = store.journal_on in
   store.journal <- [];
   store.journal_on <- true;
-  mj_record store M_txn_begin;
+  mj_append store M_txn_begin;
   match f () with
   | v ->
     (* Commit: fold our entries into the enclosing journal (if any) so
        an outer transaction can still undo them. *)
     store.journal_on <- saved_on;
     store.journal <- (if saved_on then store.journal @ saved_journal else saved_journal);
-    mj_record store M_txn_commit;
+    mj_append store M_txn_commit;
     v
   | exception e ->
     let mine = store.journal in
-    List.iter (undo store) mine;
+    (* under the index lock: the undo splices bypass the mutators,
+       and a concurrent reader's lazy index build must not watch *)
+    with_index_lock store (fun () -> List.iter (undo store) mine);
     store.journal <- saved_journal;
     store.journal_on <- saved_on;
     (* the undo above bypassed the mutators, so nothing was journaled
        during rollback; the abort marker lets replay redo the rollback
        with the same machinery *)
-    mj_record store M_txn_abort;
+    mj_append store M_txn_abort;
     raise e
 
 (* -- Mutations ---------------------------------------------------- *)
 
+(* Every structural mutator body runs under [index_lock], so a lazy
+   index/order-key build (which walks the whole tree, possibly into a
+   region some footprint-disjoint job is writing) never observes a
+   half-done splice. Mutators are further serialized among themselves
+   by the scheduler's apply mutex; the lock here is only against the
+   read-side cache fills. *)
 let rename store id new_name =
+  with_index_lock store @@ fun () ->
   let n = get store id in
   (match n.kind with
   | Element | Attribute | Pi -> ()
   | Document | Text | Comment ->
     update_error "cannot rename a %s node" (kind_to_string n.kind));
   record store (J_renamed (id, n.name));
-  mj_record store (M_rename (id, new_name));
+  mj_append store (M_rename (id, new_name));
   bump_index store id;
   n.name <- Some new_name;
   store.mutations <- store.mutations + 1
 
 let set_content store id s =
+  with_index_lock store @@ fun () ->
   let n = get store id in
   (match n.kind with
   | Text | Comment | Pi | Attribute -> ()
   | Document | Element ->
     update_error "cannot set content of a %s node" (kind_to_string n.kind));
   record store (J_content (id, n.content));
-  mj_record store (M_set_content (id, s));
+  mj_append store (M_set_content (id, s));
   bump_index store id;
   n.content <- s;
   store.mutations <- store.mutations + 1
@@ -474,6 +524,7 @@ let set_content store id s =
    already parentless node is a no-op, matching the partial-function
    reading: the request "delete n" asks that n have no parent. *)
 let detach store id =
+  with_index_lock store @@ fun () ->
   let n = get store id in
   match n.parent with
   | None -> ()
@@ -491,7 +542,7 @@ let detach store id =
     record store
       (if n.kind = Attribute then J_detached_attr (id, pid, idx)
        else J_detached_child (id, pid, idx));
-    mj_record store (M_detach id);
+    mj_append store (M_detach id);
     n.parent <- None;
     n.pos <- 0;
     (* [id] just became its own root: bump it, so order keys built
@@ -507,6 +558,7 @@ let detach store id =
    parentless; an [After n] position must denote a child of [parent];
    the parent must accept the node kind; no cycles. *)
 let insert store ~parent:pid ~position nodes =
+  with_index_lock store @@ fun () ->
   let p = get store pid in
   (match p.kind with
   | Element | Document -> ()
@@ -578,14 +630,15 @@ let insert store ~parent:pid ~position nodes =
     nodes;
   (* recorded after the fact so a precondition failure above leaves
      the journal clean (nothing was mutated, nothing is replayed) *)
-  mj_record store (M_insert (pid, position, nodes))
+  mj_append store (M_insert (pid, position, nodes))
 
 (* -- Deep copy (the [copy { e }] operator's data-model half) ------- *)
 
+(* Caller holds [mu] (via [deep_copy]). *)
 let rec deep_copy_rec store id =
   let n = get store id in
   let fresh =
-    alloc store n.kind n.name n.content
+    alloc_unlocked store n.kind n.name n.content
   in
   let f = get store fresh in
   Vec.iter
@@ -607,8 +660,13 @@ let rec deep_copy_rec store id =
 (* The copy allocates and wires structure directly (bypassing
    [insert]), so it journals as one composite [M_deep_copy]: replay
    calls [deep_copy] again, which is deterministic given the same
-   prior store. Inner allocs are suppressed for the duration. *)
+   prior store. Inner allocs are suppressed for the duration. [mu]
+   is held across the whole copy so the fresh id range is contiguous
+   — replay re-executes the copy as one block, so an interleaved
+   foreign allocation inside the range would shift every id after
+   it. *)
 let deep_copy store id =
+  with_mu store @@ fun () ->
   let saved = store.mj_suspend in
   store.mj_suspend <- true;
   let fresh =

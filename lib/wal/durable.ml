@@ -264,6 +264,14 @@ let recover cfg =
 let commit_entries t entries =
   Wal.commit t.wal (List.map (fun e -> Codec.R_entry e) entries)
 
+(* Group-commit split (the footprint scheduler's commit path):
+   append under the caller's apply mutex, wait for the fsync outside
+   it so concurrent writers overlap their durability latency. *)
+let append_entries t entries =
+  Wal.append t.wal (List.map (fun e -> Codec.R_entry e) entries)
+
+let wait_durable t lsn = Wal.wait_durable t.wal lsn
+
 let commit_doc t ~uri ~root ~bytes =
   ignore (Wal.commit t.wal [ Codec.R_doc { uri; root; bytes } ])
 

@@ -49,6 +49,16 @@ val recover : config -> t * recovered
     Returns the last LSN. *)
 val commit_entries : t -> Xqb_store.Store.mj_entry list -> int
 
+(** The two halves of {!commit_entries}, for the footprint
+    scheduler's serialized-apply path: [append_entries] appends the
+    frames (call it inside the apply mutex, so WAL order matches
+    apply order) without waiting; [wait_durable] blocks until the
+    returned LSN is durable under [Always] — call it outside the
+    mutex so concurrent writers share one group-commit fsync. *)
+val append_entries : t -> Xqb_store.Store.mj_entry list -> int
+
+val wait_durable : t -> int -> unit
+
 (** Persist a catalog registration (after the document's node
     allocations committed via {!commit_entries}). *)
 val commit_doc : t -> uri:string -> root:int -> bytes:int -> unit

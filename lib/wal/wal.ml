@@ -167,38 +167,50 @@ let rec sync_upto t lsn =
       raise e);
     sync_upto t lsn
 
-let commit t records =
+(* Append frames without waiting for durability (any policy); the
+   caller pairs it with [wait_durable]. This is the scheduler's
+   group-commit split: appends happen under its serial apply mutex
+   (so WAL byte order matches apply order), the durability wait
+   happens outside it, so concurrent committers overlap their fsync
+   latency in one leader pass instead of queueing full syncs. *)
+let append t records =
   if records = [] then locked t (fun () -> t.next_lsn - 1)
-  else begin
-    let last =
-      locked t (fun () ->
-          if t.closed then failwith "Wal.commit: log is closed";
-          let buf = Buffer.create 256 in
-          let last = ref (t.next_lsn - 1) in
-          List.iter
-            (fun r ->
-              let lsn = t.next_lsn in
-              t.next_lsn <- lsn + 1;
-              let fr = Codec.frame ~lsn r in
-              Buffer.add_string buf fr;
-              t.tail <- (lsn, fr) :: t.tail;
-              t.frames_appended <- t.frames_appended + 1;
-              last := lsn)
-            records;
-          let bytes = Buffer.contents buf in
-          (* write while holding [m]: appends must hit the file in
-             LSN order. Page-cache writes are cheap; the expensive
-             fsync happens outside the lock. *)
-          write_all t.fd bytes;
-          t.bytes_appended <- t.bytes_appended + String.length bytes;
-          t.written_lsn <- !last;
-          !last)
-    in
-    (match t.policy with
-    | Always -> sync_upto t last
-    | Interval_ms _ | Never -> ());
-    last
-  end
+  else
+    locked t (fun () ->
+        if t.closed then failwith "Wal.append: log is closed";
+        let buf = Buffer.create 256 in
+        let last = ref (t.next_lsn - 1) in
+        List.iter
+          (fun r ->
+            let lsn = t.next_lsn in
+            t.next_lsn <- lsn + 1;
+            let fr = Codec.frame ~lsn r in
+            Buffer.add_string buf fr;
+            t.tail <- (lsn, fr) :: t.tail;
+            t.frames_appended <- t.frames_appended + 1;
+            last := lsn)
+          records;
+        let bytes = Buffer.contents buf in
+        (* write while holding [m]: appends must hit the file in
+           LSN order. Page-cache writes are cheap; the expensive
+           fsync happens outside the lock. *)
+        write_all t.fd bytes;
+        t.bytes_appended <- t.bytes_appended + String.length bytes;
+        t.written_lsn <- !last;
+        !last)
+
+(* Block until [lsn] is durable under the policy's terms: a no-op
+   unless the policy is [Always] (interval/never callers accept the
+   window by configuration). *)
+let wait_durable t lsn =
+  match t.policy with
+  | Always -> sync_upto t lsn
+  | Interval_ms _ | Never -> ()
+
+let commit t records =
+  let last = append t records in
+  if records <> [] then wait_durable t last;
+  last
 
 let sync t =
   let target = locked t (fun () -> t.written_lsn) in

@@ -33,6 +33,16 @@ val openw :
     fsync). Returns the last assigned LSN. *)
 val commit : t -> Codec.record list -> int
 
+(** The two halves of {!commit}, for callers that must append inside
+    a critical section but wait for durability outside it (the
+    service's serialized apply + group-commit fsync): [append] writes
+    the frames and returns the last LSN without syncing; [wait_durable]
+    blocks until that LSN is durable under [Always] (no-op for the
+    other policies, which accept a loss window by configuration). *)
+val append : t -> Codec.record list -> int
+
+val wait_durable : t -> int -> unit
+
 (** Force an fsync of everything appended so far (any policy). *)
 val sync : t -> unit
 

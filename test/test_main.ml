@@ -40,4 +40,5 @@ let () =
          Test_ddo_elision.suite;
          Test_journal.suite;
          Test_wal.suite;
+         Test_footprint.suite;
        ])

@@ -393,7 +393,7 @@ let admission =
             let aborted = ref false in
             let f2 =
               Sched.submit sched
-                ~deadline:(Unix.gettimeofday () +. 0.05)
+                ~deadline:(Xqb_obs.Clock.now_ns () + 50_000_000)
                 ~on_abort:(fun _ -> aborted := true)
                 ~exclusive:false
                 (fun () -> "should never run")
@@ -405,6 +405,64 @@ let admission =
             check Alcotest.bool "on_abort fired" true !aborted;
             check Alcotest.string "first job unaffected" "slow done"
               (Sched.await_exn f1)));
+    tc "queue-time deadline: domains=0 agrees with the pool" `Quick (fun () ->
+        (* regression: the synchronous path used to ignore [deadline]
+           entirely — an already-expired job still executed, diverging
+           from the pool's [Expired_in_queue] abort *)
+        let sched = Sched.create ~domains:0 () in
+        Fun.protect
+          ~finally:(fun () -> Sched.shutdown sched)
+          (fun () ->
+            let ran = ref false and aborted = ref false in
+            let f =
+              Sched.submit sched
+                ~deadline:(Xqb_obs.Clock.now_ns () - 1)
+                ~on_abort:(fun _ -> aborted := true)
+                ~exclusive:false
+                (fun () -> ran := true)
+            in
+            (match Sched.await f with
+            | Error Sched.Expired_in_queue -> ()
+            | Ok () -> Alcotest.fail "expired job executed on the sync path"
+            | Error e -> raise e);
+            check Alcotest.bool "job body never ran" false !ran;
+            check Alcotest.bool "on_abort fired" true !aborted));
+    tc "expired jobs get a tagged queue.wait span, not phantom execution"
+      `Quick (fun () ->
+        (* regression: worker_loop used to emit the plain queue.wait
+           span for jobs it then aborted as expired, so traces showed
+           execution of work that never ran *)
+        let contains s sub =
+          let n = String.length s and m = String.length sub in
+          let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+          go 0
+        in
+        let sched = Sched.create ~domains:1 () in
+        Fun.protect
+          ~finally:(fun () -> Sched.shutdown sched)
+          (fun () ->
+            let tr_hog = Xqb_obs.Trace.create () in
+            let f0 =
+              Sched.submit sched ~trace:tr_hog ~exclusive:false (fun () ->
+                  Unix.sleepf 0.15)
+            in
+            wait_for_drain sched;
+            let tr = Xqb_obs.Trace.create () in
+            let f =
+              Sched.submit sched ~trace:tr
+                ~deadline:(Xqb_obs.Clock.now_ns () + 20_000_000)
+                ~exclusive:false
+                (fun () -> ())
+            in
+            (match Sched.await f with
+            | Error Sched.Expired_in_queue -> ()
+            | Ok () -> Alcotest.fail "job should have expired behind the hog"
+            | Error e -> raise e);
+            ignore (Sched.await_exn f0);
+            check Alcotest.bool "expired span is tagged" true
+              (contains (Xqb_obs.Trace.to_chrome_json tr) "expired");
+            check Alcotest.bool "a run job's span is untagged" false
+              (contains (Xqb_obs.Trace.to_chrome_json tr_hog) "expired")));
     tc "deadlined shutdown abandons still-queued jobs" `Quick (fun () ->
         let sched = Sched.create ~domains:1 () in
         let f1 =
