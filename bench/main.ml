@@ -1519,11 +1519,136 @@ let e21 () =
      documents, fsync=always\nfootprint-mode gate gauges: %s\n"
     clients rounds clients fp_conc
 
+(* ------------------------------------------------------------------ *)
+(* E22 — health telemetry overhead: the E21 mixed load with the event  *)
+(* log, rolling windows and monitor thread on vs off.                  *)
+(* ------------------------------------------------------------------ *)
+
+let e22 () =
+  print_header
+    "E22: health telemetry overhead — event log + windows + watchdog on the \
+     E21 mixed load";
+  let module Svc = Xqb_service.Service in
+  let module Wal = Xqb_wal.Wal in
+  let module Durable = Xqb_wal.Durable in
+  let clients, rounds, scale =
+    (* enough rounds that the measured section dwarfs scheduling noise *)
+    if !smoke then (4, 12, 0.02) else (8, 240, 0.05)
+  in
+  let tmp_tag = ref 0 in
+  let fresh_dir () =
+    incr tmp_tag;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "xqbang-e22-%d-%d" (Unix.getpid ()) !tmp_tag)
+  in
+  let rm_rf dir =
+    if Sys.file_exists dir then begin
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Sys.rmdir dir
+    end
+  in
+  let uri k = Printf.sprintf "x%d" k in
+  let xml =
+    Array.init clients (fun k ->
+        G.to_xml { (G.scaled scale) with G.seed = 2200 + k })
+  in
+  let write_q k i =
+    Printf.sprintf
+      {|insert {element hit {%d}} into {doc("%s")/site/regions}|} i (uri k)
+  in
+  let read_q k =
+    Printf.sprintf {|count(doc("%s")/site/regions//item)|} (uri k)
+  in
+  (* fsync=never so the measurement exercises the telemetry hot path
+     (per-query window samples, per-commit events), not the disk *)
+  let run_mode telemetry =
+    let dir = fresh_dir () in
+    let cfg =
+      { (Durable.default_config ~dir) with Durable.fsync = Wal.Never }
+    in
+    let svc = Svc.create ~domains:clients ~durability:cfg ~telemetry () in
+    let sessions =
+      Array.init clients (fun k ->
+          let s = Svc.open_session svc in
+          Svc.load_document svc s ~uri:(uri k) xml.(k);
+          s)
+    in
+    let fail = ref None in
+    let check = function
+      | Ok _ -> ()
+      | Error e -> fail := Some (Xqb_service.Service_error.to_string e)
+    in
+    let client k () =
+      for i = 0 to rounds - 1 do
+        for j = 0 to 3 do
+          check (Svc.query svc sessions.(k) (write_q k ((4 * i) + j)))
+        done;
+        check (Svc.query svc sessions.(k) (read_q k))
+      done
+    in
+    let t0 = Unix.gettimeofday () in
+    let ts = Array.init clients (fun k -> Thread.create (client k) ()) in
+    Array.iter Thread.join ts;
+    let wall_s = Unix.gettimeofday () -. t0 in
+    (match !fail with
+    | Some e ->
+      Printf.printf "E22 FAIL (telemetry %b): query rejected: %s\n" telemetry e;
+      exit_code := 1
+    | None -> ());
+    (* sanity: the instrumented run actually measured something *)
+    if telemetry then begin
+      let health = Svc.health_status svc in
+      if health <> "ok" then
+        Printf.printf "E22 note: health %s during the run\n" health;
+      if Xqb_obs.Events.total (Svc.events svc) = 0 then begin
+        print_endline "E22 FAIL: telemetry on but no events were logged";
+        exit_code := 1
+      end
+    end;
+    Svc.shutdown svc;
+    rm_rf dir;
+    float_of_int (clients * rounds * 5) /. wall_s
+  in
+  (* one discarded run warms the page cache and the allocator, then
+     interleave the modes and take medians so drift (cpu frequency,
+     background load) hits both sides alike *)
+  ignore (run_mode true);
+  let median3 ts = List.nth (List.sort compare ts) 1 in
+  let pairs = List.init 3 (fun _ -> (run_mode false, run_mode true)) in
+  let off_tput = median3 (List.map fst pairs) in
+  let on_tput = median3 (List.map snd pairs) in
+  let overhead_pct = (1. -. (on_tput /. off_tput)) *. 100. in
+  (* the 3% budget holds only when the measured section dwarfs the
+     fixed boot costs (sink open, monitor spawn, flight check) —
+     smoke runs are sanity-only: queries succeed, events logged *)
+  if (not !smoke) && overhead_pct > 3. then begin
+    Printf.printf "E22 FAIL: telemetry costs %.1f%% throughput (budget 3%%)\n"
+      overhead_pct;
+    exit_code := 1
+  end;
+  record ~name:"e22-tput-telemetry-off" ~n:(clients * rounds * 5)
+    (off_tput *. 1e3);
+  record ~name:"e22-tput-telemetry-on" ~n:(clients * rounds * 5)
+    (on_tput *. 1e3);
+  record ~name:"e22-overhead-pct-x1000" ~n:1 (overhead_pct *. 1e3);
+  print_table
+    [ "telemetry"; "jobs/s"; "overhead" ]
+    [ [ "off"; f1 off_tput; "-" ];
+      [ "on (events+windows+watchdog)"; f1 on_tput;
+        Printf.sprintf "%.1f%%" overhead_pct ] ];
+  Printf.printf
+    "%d clients x %d rounds (4 inserts + 1 scan), fsync=never; telemetry = \
+     event log + rolling windows + SLO burn + monitor thread\n"
+    clients rounds
+
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
     ("e13", e13); ("e15", e15); ("e16", e16); ("e17", e17); ("e18", e18);
-    ("e19", e19); ("e20", e20); ("e21", e21) ]
+    ("e19", e19); ("e20", e20); ("e21", e21); ("e22", e22) ]
 
 let () =
   (* args: experiment names, plus `--json PATH` to dump every

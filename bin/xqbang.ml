@@ -415,15 +415,26 @@ let serve_cmd =
         | None -> P.err "no write-side job has run yet")
       | P.Slowlog -> P.ok (Svc.slowlog_json svc)
       | P.Metrics_prom -> P.ok (Svc.metrics_prometheus svc)
+      | P.Health -> P.ok (Svc.health_json svc)
+      | P.Events (n, level) ->
+        let level =
+          Option.map
+            (fun l ->
+              match Xqb_obs.Events.severity_of_string l with
+              | Some s -> s
+              | None -> assert false (* parse validated it *))
+            level
+        in
+        P.ok (Svc.events_json ?level svc n)
       | P.Journal_stat -> P.ok (Svc.journal_stat_json svc)
       | P.Replica_stat -> P.ok (Svc.replica_stat_json svc)
       | P.Checkpoint -> (
         match Svc.checkpoint_now svc with
         | Ok lsn -> P.ok (string_of_int lsn)
         | Error e -> P.err e)
-      | P.Ship (from_lsn, max) -> (
+      | P.Ship (from_lsn, max, replica_id) -> (
         (* blobs travel base64 so frames fit the one-line protocol *)
-        match Svc.ship_frames svc ~from_lsn ~max with
+        match Svc.ship_frames ?replica_id svc ~from_lsn ~max with
         | Ok (last, frames) ->
           P.ok (Printf.sprintf "%d %s" last (Xqb_wal.B64.encode frames))
         | Error e -> P.err e)
@@ -458,7 +469,7 @@ let serve_cmd =
   in
   let serve domains cache_capacity port deadline_ms fuel max_delta max_queue
       tracing slow_apply_ms data_dir fsync checkpoint_bytes checkpoint_secs
-      replica_of =
+      replica_of slo_p99_ms slo_err_pct trace_ring telemetry =
     report_errors (fun () ->
         (* a bad --data-dir or a failed bind must exit non-zero with
            one clear line, not an uncaught exception: Durable raises
@@ -470,6 +481,33 @@ let serve_cmd =
           match Xqb_wal.Wal.fsync_policy_of_string fsync with
           | Ok p -> p
           | Error e -> failwith e
+        in
+        (* string flags validated by hand so a malformed value gets
+           one clear line, same convention as --fsync *)
+        let slo_p99_ms =
+          match float_of_string_opt slo_p99_ms with
+          | Some ms when ms > 0. -> ms
+          | _ ->
+            failwith
+              (Printf.sprintf "--slo-p99-ms expects a positive number of \
+                               milliseconds, got %S" slo_p99_ms)
+        in
+        let slo_err_pct =
+          match float_of_string_opt slo_err_pct with
+          | Some pct when pct > 0. && pct <= 100. -> pct
+          | _ ->
+            failwith
+              (Printf.sprintf
+                 "--slo-err-pct expects a percentage in (0,100], got %S"
+                 slo_err_pct)
+        in
+        let trace_ring =
+          match int_of_string_opt trace_ring with
+          | Some n when n > 0 -> n
+          | _ ->
+            failwith
+              (Printf.sprintf "--trace-ring expects a positive integer, got %S"
+                 trace_ring)
         in
         let durability =
           match data_dir with
@@ -486,10 +524,12 @@ let serve_cmd =
         let svc =
           try
             Svc.create ~domains ~cache_capacity ?deadline_ms ?fuel ?max_delta
-              ?max_queue ~tracing ~slow_apply_ms ?durability ?replica_of ()
+              ?max_queue ~tracing ~slow_apply_ms ?durability ?replica_of
+              ~slo_p99_ms ~slo_err_pct ~trace_ring ~telemetry ()
           with Xqb_wal.Codec.Corrupt m ->
             failwith ("refusing to start: " ^ m)
         in
+        Svc.install_crash_hooks svc;
         Svc.start_replication svc;
         (match port with
         | None ->
@@ -571,13 +611,30 @@ let serve_cmd =
     Arg.(value & opt (some string) None & info [ "replica-of" ] ~docv:"HOST:PORT"
            ~doc:"Run as a read-only replica of the leader at HOST:PORT: bootstrap from its SNAPSHOT, stream committed WAL frames via SHIP, serve read-only queries. Excludes --data-dir.")
   in
+  let slo_p99_arg =
+    Arg.(value & opt string "250" & info [ "slo-p99-ms" ] ~docv:"MS"
+           ~doc:"Latency SLO target: queries slower than MS count against the latency burn rate reported by HEALTH and the xqbang_slo_burn_rate metric.")
+  in
+  let slo_err_arg =
+    Arg.(value & opt string "1" & info [ "slo-err-pct" ] ~docv:"PCT"
+           ~doc:"Availability SLO target: the error budget as a percentage of queries. A 10s-window error rate of PCT is a burn rate of 1.")
+  in
+  let trace_ring_arg =
+    Arg.(value & opt string "32" & info [ "trace-ring" ] ~docv:"N"
+           ~doc:"Capacity of the per-job trace ring behind the TRACE request; older traces are evicted (counted by xqbang_trace_ring_evictions_total).")
+  in
+  let telemetry_arg =
+    Arg.(value & opt bool true & info [ "telemetry" ] ~docv:"BOOL"
+           ~doc:"Health telemetry: the structured event log (EVENTS), rolling-window SLO metrics, stall watchdog and flight recorder. Pass false to run bare (bench E22's baseline).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the multi-client query service (newline-delimited protocol)")
     Term.(ret (const serve $ domains_arg $ cache_arg $ port_arg $ deadline_arg
                $ fuel_arg $ max_delta_arg $ max_queue_arg $ tracing_arg
                $ slow_apply_arg $ data_dir_arg $ fsync_arg $ checkpoint_bytes_arg
-               $ checkpoint_secs_arg $ replica_of_arg))
+               $ checkpoint_secs_arg $ replica_of_arg $ slo_p99_arg $ slo_err_arg
+               $ trace_ring_arg $ telemetry_arg))
 
 let () =
   let info = Cmd.info "xqbang" ~version:"1.0.0"

@@ -22,6 +22,7 @@
 type t = {
   exact_cap : int;
   mutable exact : float array;  (* first [exact_cap] samples *)
+  mutable exact_ok : bool;  (* exact holds ALL samples so far *)
   mutable count : int;
   mutable sum : float;
   mutable max_v : float;
@@ -37,6 +38,7 @@ let create ?(exact_cap = 512) () =
   {
     exact_cap;
     exact = [||];
+    exact_ok = true;
     count = 0;
     sum = 0.;
     max_v = neg_infinity;
@@ -83,7 +85,7 @@ let percentile t p =
       let r = int_of_float (ceil (p *. float_of_int t.count)) in
       max 1 (min t.count r)
     in
-    if t.count <= t.exact_cap then begin
+    if t.count <= t.exact_cap && t.exact_ok then begin
       let a = Array.sub t.exact 0 t.count in
       Array.sort compare a;
       a.(r - 1)
@@ -110,7 +112,32 @@ let reset t =
   t.sum <- 0.;
   t.max_v <- neg_infinity;
   t.min_v <- infinity;
+  t.exact_ok <- true;
   Array.fill t.counts 0 buckets 0
+
+(* Fold [src] into [into]. Bucket counters always add exactly; the
+   exact-sample prefix survives only when [src] is still fully exact
+   AND the union fits [into]'s capacity — otherwise [into] degrades
+   to bucket-estimate percentiles (exact_ok = false guards the case
+   where the union is numerically under [into]'s cap but [src] had
+   already overflowed its own, so its verbatim samples are gone). *)
+let merge ~into src =
+  if into == src then invalid_arg "Hist.merge: src and destination alias";
+  for i = 0 to buckets - 1 do
+    into.counts.(i) <- into.counts.(i) + src.counts.(i)
+  done;
+  (if src.count <= src.exact_cap && src.exact_ok
+      && into.count + src.count <= into.exact_cap && into.exact_ok
+   then begin
+     if Array.length into.exact = 0 && src.count > 0 then
+       into.exact <- Array.make into.exact_cap 0.;
+     Array.blit src.exact 0 into.exact into.count src.count
+   end
+   else if src.count > 0 then into.exact_ok <- false);
+  into.count <- into.count + src.count;
+  into.sum <- into.sum +. src.sum;
+  if src.max_v > into.max_v then into.max_v <- src.max_v;
+  if src.min_v < into.min_v then into.min_v <- src.min_v
 
 (* Standard JSON fragment: comma-separated fields without braces, so
    callers can splice extra fields alongside. *)

@@ -22,6 +22,15 @@ val percentile : t -> float -> float
 
 val reset : t -> unit
 
+(** [merge ~into src] folds [src]'s population into [into] (counts,
+    sum, min/max and log buckets add exactly; [src] is unchanged).
+    Percentiles of the union stay sample-exact while both sides'
+    verbatim prefixes cover their populations and the union fits
+    [into]'s capacity; otherwise [into] switches permanently (until
+    {!reset}) to bucket-midpoint estimates. Merging a histogram into
+    itself raises [Invalid_argument]. *)
+val merge : into:t -> t -> unit
+
 (** Comma-separated JSON fields (count/mean/p50/p90/p95/p99/max),
     without surrounding braces. *)
 val to_json_fields : t -> string

@@ -21,7 +21,21 @@ exception Parse_error of string
 
 (* -- escaping (shared by the emitters) ------------------------------ *)
 
+let needs_escape s =
+  let n = String.length s in
+  let rec go i =
+    i < n
+    &&
+    match String.unsafe_get s i with
+    | '"' | '\\' -> true
+    | c when Char.code c < 0x20 -> true
+    | _ -> go (i + 1)
+  in
+  go 0
+
 let escape s =
+  if not (needs_escape s) then s
+  else
   let buf = Buffer.create (String.length s + 8) in
   String.iter
     (fun c ->

@@ -12,3 +12,13 @@ CAMLprim value xqb_obs_now_ns(value unit)
   clock_gettime(CLOCK_MONOTONIC, &ts);
   return Val_long((long)ts.tv_sec * 1000000000L + (long)ts.tv_nsec);
 }
+
+/* Wall clock (CLOCK_REALTIME) for event-log records: monotonic
+   timestamps order events, the wall stamp anchors them to real time
+   for post-mortem reading. Same tagged-int representation. */
+CAMLprim value xqb_obs_wall_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_REALTIME, &ts);
+  return Val_long((long)ts.tv_sec * 1000000000L + (long)ts.tv_nsec);
+}

@@ -1,0 +1,117 @@
+(* Prometheus text-exposition (version 0.0.4) emitter, shared by
+   every layer that contributes to METRICS PROM (service metrics,
+   WAL/checkpoint gauges, replica lag, window gauges).
+
+   Before this, each layer hand-rolled its own "# TYPE name kind\n
+   name value" strings — which is how the exposition ended up with
+   no # HELP lines at all and nothing preventing an unlabeled
+   counter without the _total suffix. Centralizing the emitter makes
+   the conventions load-bearing:
+
+   - a counter name must end in "_total" (Invalid_argument otherwise);
+   - every family gets exactly one # HELP and one # TYPE line, the
+     first time it is touched (deduped by name across layers);
+   - label values are escaped per the format spec (backslash, quote,
+     newline);
+   - metric and label names are validated against the spec grammar.
+
+   test_service.ml parses the whole page back and fails on any
+   violation, so the discipline is checked end to end. *)
+
+type t = {
+  buf : Buffer.t;
+  seen : (string, string) Hashtbl.t;  (* family name -> declared type *)
+}
+
+let create () = { buf = Buffer.create 4096; seen = Hashtbl.create 32 }
+let contents t = Buffer.contents t.buf
+
+let valid_name n =
+  String.length n > 0
+  && (match n.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+       n
+
+let label_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* HELP text escaping: only backslash and newline, per the spec. *)
+let help_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let declare t ~name ~typ ~help =
+  if not (valid_name name) then invalid_arg ("Prom: bad metric name " ^ name);
+  match Hashtbl.find_opt t.seen name with
+  | Some typ' ->
+      if typ' <> typ then
+        invalid_arg (Printf.sprintf "Prom: %s declared both %s and %s" name typ' typ)
+  | None ->
+      Hashtbl.add t.seen name typ;
+      Buffer.add_string t.buf
+        (Printf.sprintf "# HELP %s %s\n# TYPE %s %s\n" name (help_escape help) name typ)
+
+let labels_str = function
+  | [] -> ""
+  | l ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) ->
+               if not (valid_name k) then invalid_arg ("Prom: bad label name " ^ k);
+               Printf.sprintf "%s=\"%s\"" k (label_escape v))
+             l)
+      ^ "}"
+
+let sample t ?(labels = []) name value =
+  Buffer.add_string t.buf (Printf.sprintf "%s%s %s\n" name (labels_str labels) value)
+
+let counter t ~help ?(labels = []) name v =
+  if not (String.length name > 6 && Filename.check_suffix name "_total") then
+    invalid_arg ("Prom: counter " ^ name ^ " must end in _total");
+  declare t ~name ~typ:"counter" ~help;
+  sample t ~labels name (string_of_int v)
+
+let gauge_i t ~help ?(labels = []) name v =
+  declare t ~name ~typ:"gauge" ~help;
+  sample t ~labels name (string_of_int v)
+
+let fmt_float v =
+  if Float.is_nan v then "NaN"
+  else if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else Printf.sprintf "%g" v
+
+let gauge t ~help ?(labels = []) name v =
+  declare t ~name ~typ:"gauge" ~help;
+  sample t ~labels name (fmt_float v)
+
+(* One summary family member: quantile samples plus _sum/_count.
+   Values are pre-scaled by the caller (ns vs seconds); [fmt] renders
+   them (default %.0f — the ns convention). *)
+let summary t ~help ?(labels = []) ?(fmt = fun v -> Printf.sprintf "%.0f" v) name
+    ~quantiles ~sum ~count =
+  declare t ~name ~typ:"summary" ~help;
+  List.iter
+    (fun (q, v) ->
+      sample t ~labels:(labels @ [ ("quantile", Printf.sprintf "%g" q) ]) name (fmt v))
+    quantiles;
+  sample t ~labels (name ^ "_sum") (fmt sum);
+  sample t ~labels (name ^ "_count") (string_of_int count)

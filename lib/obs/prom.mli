@@ -1,0 +1,41 @@
+(** Shared Prometheus text-exposition (0.0.4) emitter. All layers
+    contributing to METRICS PROM append through one [t] so the
+    format conventions hold page-wide: counters must end in
+    [_total] (checked, [Invalid_argument]), every family gets
+    [# HELP]/[# TYPE] exactly once (deduped across layers; a
+    same-name re-declaration with a different type raises), label
+    values are escaped, metric/label names validated. *)
+
+type t
+
+val create : unit -> t
+val contents : t -> string
+val label_escape : string -> string
+
+val counter : t -> help:string -> ?labels:(string * string) list -> string -> int -> unit
+val gauge_i : t -> help:string -> ?labels:(string * string) list -> string -> int -> unit
+val gauge : t -> help:string -> ?labels:(string * string) list -> string -> float -> unit
+
+(** Quantile samples plus [_sum]/[_count]. Values pre-scaled by the
+    caller; [fmt] renders them (default ["%.0f"], the ns
+    convention). *)
+val summary :
+  t ->
+  help:string ->
+  ?labels:(string * string) list ->
+  ?fmt:(float -> string) ->
+  string ->
+  quantiles:(float * float) list ->
+  sum:float ->
+  count:int ->
+  unit
+
+(** Append one raw sample line; the family must have been declared
+    by a prior call for the page to lint. *)
+val sample : t -> ?labels:(string * string) list -> string -> string -> unit
+
+(** Emit a family's [# HELP]/[# TYPE] header without a sample — for
+    families that exist but are empty right now (no phases recorded
+    yet, no peers connected). Idempotent per family; a re-declaration
+    with a different [typ] raises. *)
+val declare : t -> name:string -> typ:string -> help:string -> unit

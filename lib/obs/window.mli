@@ -1,0 +1,49 @@
+(** Fixed-footprint sliding-window metrics: a ring of [slots] slots
+    of [slot_ms] each over {!Hist}, recycled in place as monotonic
+    time advances. Constant memory at any request rate; snapshots
+    merge the live slots ({!Hist.merge}) so window percentiles are
+    log-bucket estimates (~19% relative error). Thread-safe, and
+    sharded by recording domain: concurrent recorders lock only
+    their own shard, so worker domains never serialize on a global
+    mutex; a snapshot merges every shard.
+
+    [now_ns] is injectable (deterministic tests); it must come from
+    the same non-decreasing scale as {!Clock.now_ns} (the default). *)
+
+type t
+
+val create : slot_ms:int -> slots:int -> unit -> t
+
+(** Total window span in seconds ([slot_ms * slots / 1000]). *)
+val span_s : t -> float
+
+(** Record one sample: [ok] = the request succeeded, [slow] = its
+    latency violated the SLO target (counted toward latency burn). *)
+val record : ?now_ns:int -> t -> ok:bool -> slow:bool -> int -> unit
+
+type snap = {
+  count : int;
+  errors : int;
+  slow : int;
+  span_s : float;
+  rate : float;  (** samples/s over the full window span *)
+  mean_ns : float;
+  p50_ns : float;
+  p99_ns : float;
+  max_ns : float;
+  err_frac : float;  (** errors/count; 0 when empty *)
+  slow_frac : float;
+}
+
+(** Merge every slot still inside the window into one view. The
+    newest (partial) slot is included, so [rate] slightly
+    under-reports while it fills. *)
+val snapshot : ?now_ns:int -> t -> snap
+
+(** SLO burn rate: observed failure fraction over the allowed
+    fraction (e.g. err_frac/0.01 for a 99% availability target).
+    1.0 = consuming error budget exactly at the sustainable rate;
+    0 on an empty window. *)
+val burn : frac:float -> budget_frac:float -> float
+
+val snap_json : snap -> string

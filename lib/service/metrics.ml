@@ -12,6 +12,12 @@
    from each traced job's span totals. *)
 
 module Hist = Xqb_obs.Hist
+module Window = Xqb_obs.Window
+module Prom = Xqb_obs.Prom
+
+(* The three health windows: 1s (10×100ms) answers "is it on fire",
+   10s and 60s (1s slots) smooth burn-rate alerting. *)
+let window_specs = [ ("1s", 100, 10); ("10s", 1000, 10); ("60s", 1000, 60) ]
 
 type t = {
   mutex : Mutex.t;
@@ -49,9 +55,15 @@ type t = {
   mutable max_inflight_par : int;
   mutable inflight_excl : int;
   mutable max_inflight_excl : int;
+  (* rolling 1s/10s/60s views of the same query stream ([] when
+     telemetry is off — bench E22's baseline). Windows carry their
+     own locks; recording happens outside [mutex]. *)
+  windows : (string * Window.t) list;
+  slo_p99_ms : float;  (* latency SLO target: p99 under this *)
+  slo_err_pct : float;  (* availability SLO: error % under this *)
 }
 
-let create () =
+let create ?(windows = true) ?(slo_p99_ms = 250.) ?(slo_err_pct = 1.0) () =
   {
     mutex = Mutex.create ();
     queries = 0;
@@ -78,7 +90,27 @@ let create () =
     max_inflight_par = 0;
     inflight_excl = 0;
     max_inflight_excl = 0;
+    windows =
+      (if windows then
+         List.map
+           (fun (name, slot_ms, slots) -> (name, Window.create ~slot_ms ~slots ()))
+           window_specs
+       else []);
+    slo_p99_ms;
+    slo_err_pct;
   }
+
+let slo t = (t.slo_p99_ms, t.slo_err_pct)
+
+let record_windows t ~ok latency_ns =
+  match t.windows with
+  | [] -> ()
+  | ws ->
+      let slow = latency_ns > t.slo_p99_ms *. 1e6 in
+      let now_ns = Xqb_obs.Clock.now_ns () in
+      List.iter
+        (fun (_, w) -> Window.record ~now_ns w ~ok ~slow (int_of_float latency_ns))
+        ws
 
 let locked t f =
   Mutex.lock t.mutex;
@@ -94,7 +126,8 @@ let record_query t ~purity ~parallel ~ok ~latency_ns =
       | Core.Static.Pure -> t.pure <- t.pure + 1
       | Core.Static.Updating -> t.updating <- t.updating + 1
       | Core.Static.Effecting -> t.effecting <- t.effecting + 1);
-      Hist.record t.lat latency_ns)
+      Hist.record t.lat latency_ns);
+  record_windows t ~ok latency_ns
 
 (* One pipeline-phase observation (span name, summed ns within one
    job). Histograms are created on first sight of a phase name. *)
@@ -120,7 +153,8 @@ let record_phase_totals t totals =
 let record_compile_error t =
   locked t (fun () ->
       t.queries <- t.queries + 1;
-      t.errors <- t.errors + 1)
+      t.errors <- t.errors + 1);
+  record_windows t ~ok:false 0.
 
 (* Count a failed query against its taxonomy kind. The [errors]
    total is maintained by [record_query]/[record_compile_error]; this
@@ -287,117 +321,130 @@ let to_json ?(cache : Plan_cache.stats option)
 
 (* -- Prometheus text exposition -------------------------------------
 
-   The same counters as [to_json], rendered in the Prometheus
-   text-based format (version 0.0.4): counters as _total, latency
-   and per-phase distributions as summaries with quantile labels.
-   One METRICS PROM wire request returns the whole page; the serve
-   front end's escaping makes the multi-line payload line-safe. *)
+   The same counters as [to_json], rendered through the shared
+   [Xqb_obs.Prom] emitter (format 0.0.4): counters as _total with
+   # HELP/# TYPE lines, latency and per-phase distributions as
+   summaries with quantile labels, and the rolling windows as
+   gauges. The service composes this page with the WAL, gate,
+   trace-ring and replica contributions on one emitter, so family
+   headers dedupe across layers. *)
 
-let prom_label_escape s =
-  let buf = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      match c with
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+let prom_summary p ~help ?labels name (h : Hist.t) =
+  Prom.summary p ~help ?labels name
+    ~quantiles:(List.map (fun q -> (q, Hist.percentile h q)) [ 0.5; 0.9; 0.99 ])
+    ~sum:(Hist.sum h) ~count:(Hist.count h)
 
-let prom_summary buf name labels (h : Hist.t) =
-  let label extra =
-    match labels @ extra with
-    | [] -> ""
-    | l ->
-      "{"
-      ^ String.concat ","
-          (List.map
-             (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (prom_label_escape v))
-             l)
-      ^ "}"
+let windows_to_prom t p =
+  List.iter
+    (fun (name, w) ->
+      let s = Window.snapshot w in
+      let labels = [ ("window", name) ] in
+      Prom.gauge p ~labels "xqbang_window_rate"
+        ~help:"Requests per second over the rolling window." s.Window.rate;
+      Prom.gauge p ~labels "xqbang_window_p50_ns"
+        ~help:"Rolling-window median latency (bucket estimate, ns)." s.Window.p50_ns;
+      Prom.gauge p ~labels "xqbang_window_p99_ns"
+        ~help:"Rolling-window p99 latency (bucket estimate, ns)." s.Window.p99_ns;
+      Prom.gauge p ~labels "xqbang_window_error_ratio"
+        ~help:"Failed fraction of requests in the rolling window." s.Window.err_frac;
+      Prom.gauge p ~labels "xqbang_window_slow_ratio"
+        ~help:"Fraction of rolling-window requests over the p99 SLO target."
+        s.Window.slow_frac;
+      Prom.gauge p
+        ~labels:(labels @ [ ("slo", "availability") ])
+        "xqbang_slo_burn_rate"
+        ~help:
+          "Error-budget consumption rate: 1 = exactly on SLO target, >1 = burning ahead."
+        (Window.burn ~frac:s.Window.err_frac ~budget_frac:(t.slo_err_pct /. 100.));
+      Prom.gauge p
+        ~labels:(labels @ [ ("slo", "latency") ])
+        "xqbang_slo_burn_rate"
+        ~help:
+          "Error-budget consumption rate: 1 = exactly on SLO target, >1 = burning ahead."
+        (Window.burn ~frac:s.Window.slow_frac ~budget_frac:0.01))
+    t.windows
+
+let to_prom ?(cache : Plan_cache.stats option) t p =
+  locked t (fun () ->
+      let counter name ~help ?labels v = Prom.counter p ~help ?labels name v in
+      counter "xqbang_queries_total" ~help:"Queries submitted since boot." t.queries;
+      let by_side = "Queries by scheduling side." in
+      counter "xqbang_queries_by_side_total" ~help:by_side
+        ~labels:[ ("side", "parallel") ] t.parallel;
+      counter "xqbang_queries_by_side_total" ~help:by_side
+        ~labels:[ ("side", "exclusive") ] t.exclusive;
+      let by_purity = "Queries by static purity class." in
+      counter "xqbang_queries_by_purity_total" ~help:by_purity
+        ~labels:[ ("purity", "pure") ] t.pure;
+      counter "xqbang_queries_by_purity_total" ~help:by_purity
+        ~labels:[ ("purity", "updating") ] t.updating;
+      counter "xqbang_queries_by_purity_total" ~help:by_purity
+        ~labels:[ ("purity", "effecting") ] t.effecting;
+      counter "xqbang_query_errors_total" ~help:"Failed queries since boot." t.errors;
+      List.iter
+        (fun (kind, n) ->
+          counter "xqbang_query_errors_by_kind_total"
+            ~help:"Failed queries by taxonomy kind."
+            ~labels:[ ("kind", Service_error.kind_to_string kind) ]
+            n)
+        [
+          (Service_error.Timeout, t.err_timeout);
+          (Service_error.Cancelled, t.err_cancelled);
+          (Service_error.Overloaded, t.err_overloaded);
+          (Service_error.Conflict, t.err_conflict);
+          (Service_error.Dynamic, t.err_dynamic);
+        ];
+      counter "xqbang_deltas_applied_total" ~help:"Snap (delta) applications."
+        t.deltas_applied;
+      counter "xqbang_update_requests_total"
+        ~help:"Update requests across all applied deltas." t.update_requests;
+      Prom.gauge_i p "xqbang_queue_depth_max"
+        ~help:"Peak scheduler queue depth sampled at submits." t.depth_max;
+      let peak = "Peak concurrent jobs per scheduling side." in
+      Prom.gauge_i p "xqbang_inflight_peak" ~help:peak
+        ~labels:[ ("side", "parallel") ] t.max_inflight_par;
+      Prom.gauge_i p "xqbang_inflight_peak" ~help:peak
+        ~labels:[ ("side", "exclusive") ] t.max_inflight_excl;
+      (match cache with
+      | None -> ()
+      | Some c ->
+        let cache_help = "Plan-cache events." in
+        counter "xqbang_plan_cache_total" ~help:cache_help
+          ~labels:[ ("event", "hit") ] c.Plan_cache.hits;
+        counter "xqbang_plan_cache_total" ~help:cache_help
+          ~labels:[ ("event", "miss") ] c.Plan_cache.misses;
+        counter "xqbang_plan_cache_total" ~help:cache_help
+          ~labels:[ ("event", "eviction") ]
+          c.Plan_cache.evictions;
+        Prom.gauge_i p "xqbang_plan_cache_size" ~help:"Plans resident in the cache."
+          c.Plan_cache.size);
+      prom_summary p "xqbang_query_latency_ns"
+        ~help:"Per-query wall time (ns)." t.lat;
+      (* declared even with no phases yet (tracing off, or before the
+         first job) so the family is always present on the page *)
+      Prom.declare p ~name:"xqbang_phase_ns" ~typ:"summary"
+        ~help:"Per-pipeline-phase wall time (ns).";
+      List.iter
+        (fun name ->
+          prom_summary p "xqbang_phase_ns" ~help:"Per-pipeline-phase wall time (ns)."
+            ~labels:[ ("phase", name) ]
+            (Hashtbl.find t.phases name))
+        (List.rev t.phase_order));
+  (* windows carry their own locks; snapshot outside [t.mutex] *)
+  windows_to_prom t p
+
+(* -- Rolling-window JSON (the STATS "windows" member) -------------- *)
+
+let windows_json t =
+  let ws =
+    List.map
+      (fun (name, w) ->
+        Printf.sprintf "\"%s\":%s" name (Window.snap_json (Window.snapshot w)))
+      t.windows
   in
-  List.iter
-    (fun q ->
-      Buffer.add_string buf
-        (Printf.sprintf "%s%s %.0f\n" name
-           (label [ ("quantile", Printf.sprintf "%g" q) ])
-           (Hist.percentile h q)))
-    [ 0.5; 0.9; 0.99 ];
-  Buffer.add_string buf
-    (Printf.sprintf "%s_sum%s %.0f\n" name (label []) (Hist.sum h));
-  Buffer.add_string buf
-    (Printf.sprintf "%s_count%s %d\n" name (label []) (Hist.count h))
-
-let to_prometheus ?(cache : Plan_cache.stats option) t =
-  locked t @@ fun () ->
-  let buf = Buffer.create 2048 in
-  let counter name ?(labels = []) v =
-    let l =
-      match labels with
-      | [] -> ""
-      | l ->
-        "{"
-        ^ String.concat ","
-            (List.map
-               (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (prom_label_escape v))
-               l)
-        ^ "}"
-    in
-    Buffer.add_string buf (Printf.sprintf "%s%s %d\n" name l v)
+  let slo =
+    Printf.sprintf "\"slo\":{\"p99_ms\":%g,\"err_pct\":%g}" t.slo_p99_ms t.slo_err_pct
   in
-  let typ name kind = Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind) in
-  typ "xqbang_queries_total" "counter";
-  counter "xqbang_queries_total" t.queries;
-  typ "xqbang_queries_by_side_total" "counter";
-  counter "xqbang_queries_by_side_total" ~labels:[ ("side", "parallel") ] t.parallel;
-  counter "xqbang_queries_by_side_total" ~labels:[ ("side", "exclusive") ] t.exclusive;
-  typ "xqbang_queries_by_purity_total" "counter";
-  counter "xqbang_queries_by_purity_total" ~labels:[ ("purity", "pure") ] t.pure;
-  counter "xqbang_queries_by_purity_total" ~labels:[ ("purity", "updating") ] t.updating;
-  counter "xqbang_queries_by_purity_total" ~labels:[ ("purity", "effecting") ] t.effecting;
-  typ "xqbang_query_errors_total" "counter";
-  counter "xqbang_query_errors_total" t.errors;
-  typ "xqbang_query_errors_by_kind_total" "counter";
-  List.iter
-    (fun (kind, n) ->
-      counter "xqbang_query_errors_by_kind_total"
-        ~labels:[ ("kind", Service_error.kind_to_string kind) ]
-        n)
-    [
-      (Service_error.Timeout, t.err_timeout);
-      (Service_error.Cancelled, t.err_cancelled);
-      (Service_error.Overloaded, t.err_overloaded);
-      (Service_error.Conflict, t.err_conflict);
-      (Service_error.Dynamic, t.err_dynamic);
-    ];
-  typ "xqbang_deltas_applied_total" "counter";
-  counter "xqbang_deltas_applied_total" t.deltas_applied;
-  typ "xqbang_update_requests_total" "counter";
-  counter "xqbang_update_requests_total" t.update_requests;
-  typ "xqbang_queue_depth_max" "gauge";
-  counter "xqbang_queue_depth_max" t.depth_max;
-  typ "xqbang_inflight_peak" "gauge";
-  counter "xqbang_inflight_peak" ~labels:[ ("side", "parallel") ] t.max_inflight_par;
-  counter "xqbang_inflight_peak" ~labels:[ ("side", "exclusive") ] t.max_inflight_excl;
-  (match cache with
-  | None -> ()
-  | Some c ->
-    typ "xqbang_plan_cache_total" "counter";
-    counter "xqbang_plan_cache_total" ~labels:[ ("event", "hit") ] c.Plan_cache.hits;
-    counter "xqbang_plan_cache_total" ~labels:[ ("event", "miss") ] c.Plan_cache.misses;
-    counter "xqbang_plan_cache_total"
-      ~labels:[ ("event", "eviction") ]
-      c.Plan_cache.evictions;
-    typ "xqbang_plan_cache_size" "gauge";
-    counter "xqbang_plan_cache_size" c.Plan_cache.size);
-  typ "xqbang_query_latency_ns" "summary";
-  prom_summary buf "xqbang_query_latency_ns" [] t.lat;
-  typ "xqbang_phase_ns" "summary";
-  List.iter
-    (fun name ->
-      prom_summary buf "xqbang_phase_ns"
-        [ ("phase", name) ]
-        (Hashtbl.find t.phases name))
-    (List.rev t.phase_order);
-  Buffer.contents buf
+  "{" ^ String.concat "," (ws @ [ slo ]) ^ "}"
+
+let window_snaps t = List.map (fun (name, w) -> (name, Window.snapshot w)) t.windows

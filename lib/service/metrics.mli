@@ -6,7 +6,18 @@
 
 type t
 
-val create : unit -> t
+(** [windows] (default true) maintains rolling 1s/10s/60s views of
+    the query stream (rate, windowed percentiles, error and
+    SLO-violation fractions) alongside the since-boot counters;
+    [false] is the telemetry-off baseline of bench E22. The SLO
+    targets drive the [slow] classification and burn-rate gauges:
+    [slo_p99_ms] (default 250) is the latency target, [slo_err_pct]
+    (default 1) the allowed error percentage. *)
+val create :
+  ?windows:bool -> ?slo_p99_ms:float -> ?slo_err_pct:float -> unit -> t
+
+(** [(slo_p99_ms, slo_err_pct)]. *)
+val slo : t -> float * float
 
 val record_query :
   t ->
@@ -63,8 +74,18 @@ val to_json :
   t ->
   string
 
-(** The same counters in the Prometheus text exposition format
-    (counters as [_total], latency / per-phase distributions as
-    summaries with quantile labels) — the wire [METRICS PROM]
-    payload. *)
-val to_prometheus : ?cache:Plan_cache.stats -> t -> string
+(** Append the same counters to a shared {!Xqb_obs.Prom} page
+    (counters as [_total] with [# HELP]/[# TYPE], latency /
+    per-phase distributions as summaries, rolling windows and SLO
+    burn rates as gauges). The service composes the full METRICS
+    PROM payload from this plus the WAL / gate / replica
+    contributions on the same emitter. *)
+val to_prom : ?cache:Plan_cache.stats -> t -> Xqb_obs.Prom.t -> unit
+
+(** Rolling-window snapshots + SLO targets as one JSON object (the
+    STATS ["windows"] member). *)
+val windows_json : t -> string
+
+(** [(window name, snapshot)] for each rolling window ([[]] when
+    windows are off). *)
+val window_snaps : t -> (string * Xqb_obs.Window.snap) list

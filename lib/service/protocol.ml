@@ -13,10 +13,13 @@
      DELTA                         last job's Delta statistics -> OK <json> | ERR ...
      SLOWLOG                       slow-effect log      -> OK <json array>
      METRICS [PROM]                Prometheus text page -> OK <text>
+     HEALTH                        ok|degraded|critical + reasons -> OK <json>
+     EVENTS [TAIL n] [LEVEL l]     recent event-log records -> OK <json array>
      JOURNAL STAT                  journal length + store digest -> OK <json>
      REPLICA STAT                  replica LSNs and lag -> OK <json>
      CHECKPOINT                    force a snapshot     -> OK <lsn> | ERR ...
-     SHIP <from_lsn> [<max>]       committed WAL frames -> OK <last_lsn> <b64> | ERR ...
+     SHIP <from_lsn> [<max>] [<replica id>]
+                                   committed WAL frames -> OK <last_lsn> <b64> | ERR ...
      SNAPSHOT                      bootstrap snapshot   -> OK <b64> | ERR ...
      QUIT                          end the connection   -> OK bye
 
@@ -37,10 +40,15 @@ type request =
   | Delta  (* last write-side job's ∆ statistics *)
   | Slowlog  (* the slow-effect log *)
   | Metrics_prom  (* Prometheus text exposition *)
+  | Health  (* ok|degraded|critical + machine-readable reasons *)
+  | Events of int * string option
+    (* tail length, minimum severity name (validated at parse) *)
   | Journal_stat  (* in-memory journal length + store digest *)
   | Replica_stat  (* replica LSNs / lag *)
   | Checkpoint  (* force a snapshot now *)
-  | Ship of int * int  (* from_lsn, max frames: replica pull *)
+  | Ship of int * int * string option
+    (* from_lsn, max frames, replica id: replica pull. The id lets
+       the leader track per-replica shipped/acked positions. *)
   | Snapshot  (* full-state blob for replica bootstrap *)
   | Quit
 
@@ -148,6 +156,32 @@ let parse line : (request, string) result =
     match String.uppercase_ascii rest with
     | "" | "PROM" -> Ok Metrics_prom
     | f -> Error (Printf.sprintf "unknown METRICS format %S (try PROM)" f))
+  | "HEALTH" ->
+    if rest = "" then Ok Health else Error "HEALTH takes no arguments"
+  | "EVENTS" ->
+    (* EVENTS [TAIL n] [LEVEL l], clauses in either order *)
+    let rec clauses acc_tail acc_level rest =
+      if rest = "" then Ok (Events (acc_tail, acc_level))
+      else
+        let kw, rest = split_word rest in
+        let arg, rest = split_word rest in
+        match (String.uppercase_ascii kw, arg) with
+        | "TAIL", n -> (
+          match int_of_string_opt n with
+          | Some n when n > 0 -> clauses n acc_level rest
+          | _ -> Error (Printf.sprintf "expected a positive tail length, got %S" n))
+        | "LEVEL", l -> (
+          let l = String.lowercase_ascii l in
+          match Xqb_obs.Events.severity_of_string l with
+          | Some _ -> clauses acc_tail (Some l) rest
+          | None ->
+            Error
+              (Printf.sprintf
+                 "unknown level %S (expected debug, info, warn, error or critical)"
+                 l))
+        | _ -> Error "EVENTS expects: EVENTS [TAIL n] [LEVEL l]"
+    in
+    clauses 50 None rest
   | "JOURNAL" -> (
     match String.uppercase_ascii rest with
     | "" | "STAT" -> Ok Journal_stat
@@ -160,14 +194,16 @@ let parse line : (request, string) result =
     if rest = "" then Ok Checkpoint
     else Error "CHECKPOINT takes no arguments"
   | "SHIP" -> (
-    let from_w, max_w = split_word rest in
+    let from_w, rest = split_word rest in
+    let max_w, id_w = split_word rest in
+    let id = if id_w = "" then None else Some id_w in
     match (int_of_string_opt from_w, max_w) with
-    | Some from, "" -> Ok (Ship (from, 512))
+    | Some from, "" -> Ok (Ship (from, 512, id))
     | Some from, m -> (
       match int_of_string_opt m with
-      | Some max when max > 0 -> Ok (Ship (from, max))
+      | Some max when max > 0 -> Ok (Ship (from, max, id))
       | _ -> Error (Printf.sprintf "expected a frame count, got %S" m))
-    | None, _ -> Error "SHIP expects: SHIP <from_lsn> [<max>]")
+    | None, _ -> Error "SHIP expects: SHIP <from_lsn> [<max>] [<replica id>]")
   | "SNAPSHOT" ->
     if rest = "" then Ok Snapshot else Error "SNAPSHOT takes no arguments"
   | "QUIT" -> Ok Quit

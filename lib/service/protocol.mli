@@ -13,10 +13,13 @@ type request =
   | Delta  (** last write-side job's ∆ statistics *)
   | Slowlog  (** the slow-effect log *)
   | Metrics_prom  (** Prometheus text exposition *)
+  | Health  (** health status + machine-readable reasons *)
+  | Events of int * string option  (** tail length, min severity name *)
   | Journal_stat  (** in-memory journal length + store digest *)
   | Replica_stat  (** replica LSNs / lag *)
   | Checkpoint  (** force a snapshot now *)
-  | Ship of int * int  (** from_lsn, max frames: replica pull *)
+  | Ship of int * int * string option
+      (** from_lsn, max frames, replica id: replica pull *)
   | Snapshot  (** full-state blob for replica bootstrap *)
   | Quit
 

@@ -54,12 +54,19 @@ type job = {
   trace : Xqb_obs.Trace.t option;
     (* the job's tracer, for the two waits only this layer can see:
        time in the queue and time blocked on the footprint gate *)
-  submitted_ns : int;  (* Clock scale; 0 when untraced *)
+  submitted_ns : int;
+    (* Clock scale; always set — the stall watchdog reads the queue
+       head's age through {!oldest_queued_age_ns} *)
 }
 
 type t = {
   rw : Rwlock.t;
   apply_mu : Mutex.t;  (* serializes snap-apply + WAL append *)
+  mutable apply_since_ns : int;
+    (* Clock ns when the current apply-mutex holder entered; 0 = free.
+       Written only by the holder; read unlocked by the stall
+       watchdog — a torn read is impossible (tagged int) and a stale
+       one only shifts a detection by a poll period. *)
   queue : job Queue.t;
   qmutex : Mutex.t;
   qcond : Condition.t;
@@ -183,6 +190,7 @@ let create ?(domains = 4) ?(max_queue = max_int) () =
     {
       rw = Rwlock.create ();
       apply_mu = Mutex.create ();
+      apply_since_ns = 0;
       queue = Queue.create ();
       qmutex = Mutex.create ();
       qcond = Condition.create ();
@@ -203,6 +211,20 @@ let queue_depth t =
   let d = Queue.length t.queue in
   Mutex.unlock t.qmutex;
   d
+
+let max_queue t = if t.max_queue = max_int then None else Some t.max_queue
+
+(* Age of the oldest job admitted to the queue but not yet started —
+   the watchdog's "admitted-but-not-started" signal. 0 when empty. *)
+let oldest_queued_age_ns t =
+  Mutex.lock t.qmutex;
+  let age =
+    match Queue.peek_opt t.queue with
+    | Some j -> Clock.now_ns () - j.submitted_ns
+    | None -> 0
+  in
+  Mutex.unlock t.qmutex;
+  age
 
 (* Submit [f]; the future completes with its result or exception.
    [deadline] (absolute, monotonic Clock ns) bounds time *in the
@@ -229,10 +251,9 @@ let submit t ?(deadline = max_int) ?(on_abort = fun _ -> ()) ?trace ?footprint
     (try on_abort e with _ -> ());
     fill fut (Error e)
   in
-  let submitted_ns =
-    match trace with Some _ -> Clock.now_ns () | None -> 0
+  let job =
+    { footprint; deadline; run; abort; trace; submitted_ns = Clock.now_ns () }
   in
-  let job = { footprint; deadline; run; abort; trace; submitted_ns } in
   if t.domains = 0 then begin
     (* Synchronous path: must agree with the pool on shutdown and on
        deadlines — work submitted after [shutdown] returned must not
@@ -272,7 +293,17 @@ let with_footprint t fp f = Rwlock.with_footprint t.rw fp f
    here. *)
 let with_apply t f =
   Mutex.lock t.apply_mu;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.apply_mu) f
+  t.apply_since_ns <- Clock.now_ns ();
+  Fun.protect
+    ~finally:(fun () ->
+      t.apply_since_ns <- 0;
+      Mutex.unlock t.apply_mu)
+    f
+
+(* How long the apply mutex has been held by its current owner; 0
+   when free. Unlocked read — see [apply_since_ns]. *)
+let apply_held_ns t =
+  match t.apply_since_ns with 0 -> 0 | since -> Clock.now_ns () - since
 
 let gate t = t.rw
 

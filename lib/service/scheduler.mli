@@ -38,6 +38,19 @@ val create : ?domains:int -> ?max_queue:int -> unit -> t
 val domains : t -> int
 val queue_depth : t -> int
 
+(** The admission watermark, [None] when unbounded. *)
+val max_queue : t -> int option
+
+(** Age (monotonic ns) of the oldest job admitted to the queue but
+    not yet started — the stall watchdog's "admitted-but-not-started"
+    signal. 0 when the queue is empty. *)
+val oldest_queued_age_ns : t -> int
+
+(** How long the global apply mutex has been held by its current
+    owner (monotonic ns); 0 when free. Read without locking — stale
+    by at most the caller's poll period. *)
+val apply_held_ns : t -> int
+
 (** Submit a job. [deadline] (absolute, monotonic {!Xqb_obs.Clock}
     nanoseconds — immune to wall-clock steps) bounds its time in the
     queue; [on_abort] is called (before the future completes) if the

@@ -69,6 +69,9 @@ module Durable = Xqb_wal.Durable
 module Wcodec = Xqb_wal.Codec
 module FP = Core.Static.Footprint
 module Clock = Xqb_obs.Clock
+module Events = Xqb_obs.Events
+module Window = Xqb_obs.Window
+module Prom = Xqb_obs.Prom
 
 type plan = {
   compiled : Engine.compiled;
@@ -133,6 +136,24 @@ type t = {
   tracing : bool;
   tr_mutex : Mutex.t;
   mutable recent_traces : (int * Trace.t) list;  (* newest first, bounded *)
+  trace_cap : int;  (* ring capacity (serve --trace-ring) *)
+  mutable trace_evictions : int;  (* traces dropped off the ring *)
+  (* service health telemetry: the structured event log (ring +
+     per-event-flushed JSONL sink when durable — the sink's tail is
+     what the crash flight recorder reconstructs from), the stall
+     thresholds the monitor thread and HEALTH check against, and the
+     monitor thread itself (stall rising edges + health transitions;
+     spawned only when telemetry is on). *)
+  events : Events.t;
+  data_dir : string option;
+  stall_ns : int;  (* no-progress bound: apply held / fsync / queue age *)
+  fsync_warn_ns : int;  (* fsync p99 above this degrades health *)
+  lag_warn_frames : int;  (* replica lag above this degrades health *)
+  mutable monitor : Thread.t option;
+  (* leader-side per-replica tracking, keyed on the id the replica
+     sends with SHIP *)
+  peers : (string, peer) Hashtbl.t;
+  pmutex : Mutex.t;
   (* effect observability: per-job ∆ statistics (wire DELTA) and the
      slow-effect log — write-side jobs whose apply phase exceeded
      [slow_ns] leave a ∆ summary + trace id in a bounded ring (wire
@@ -149,6 +170,7 @@ type t = {
      mutex of its own. *)
   durable : Durable.t option;
   mutable wal_seq : int;
+  mutable commit_seq : int;  (* commits since boot — wal.commit event sampling *)
   (* replica side: reject write traffic, apply shipped frames *)
   read_only : bool;
   repl : repl option;
@@ -176,7 +198,9 @@ and repl = {
   mutable r_received_lsn : int;  (* highest LSN accepted from the leader *)
   mutable r_applied_lsn : int;  (* highest LSN applied / registered *)
   mutable r_leader_lsn : int;  (* leader's last LSN as of the last SHIP *)
-  mutable r_pending : (int * Xqb_store.Store.mj_entry) list;  (* oldest first *)
+  mutable r_pending : (int * Xqb_store.Store.mj_entry * int) list;
+    (* oldest first: lsn, entry, frame bytes — the byte size feeds the
+       received-but-not-applied lag gauge *)
   mutable r_frames : int;  (* frames applied since boot *)
   mutable r_status : string;
   mutable r_last_apply : float;
@@ -185,7 +209,15 @@ and repl = {
   mutable r_stop : bool;
 }
 
-let trace_ring_cap = 32
+(* One replica as the leader sees it: [p_acked] is the LSN the
+   replica's last SHIP request acknowledged (from_lsn - 1 — it asks
+   for what it does not have), [p_shipped] the last LSN we handed it. *)
+and peer = {
+  mutable p_acked : int;
+  mutable p_shipped : int;
+  mutable p_last_seen : float;  (* wall clock, for staleness display *)
+}
+
 let slowlog_cap = 64
 
 let locked m f =
@@ -209,19 +241,329 @@ let watchdog_loop t () =
           t.jobs)
   done
 
+(* -- service health -------------------------------------------------
+
+   [health_reasons] is the single source of truth behind the wire
+   HEALTH verb, the monitor thread's transition events and the
+   xqbang_health_status gauge: every check yields a machine-readable
+   reason (code + level + data fields), and the overall status is the
+   worst level present. *)
+
+let field_json = function
+  | Events.S s -> Printf.sprintf "\"%s\"" (Xqb_obs.Json.escape s)
+  | Events.I i -> string_of_int i
+  | Events.F f ->
+    if Float.is_finite f then Printf.sprintf "%g" f
+    else Printf.sprintf "\"%g\"" f
+  | Events.B b -> string_of_bool b
+
+(* Minimum samples before a window's burn rate is trusted: a single
+   failed request on an idle service must not flap health. *)
+let burn_min_count = 5
+
+(* Burn-rate factor separating "degraded" (>= 1: consuming budget
+   faster than sustainable) from "critical" (>= 4: the classic
+   fast-burn page threshold). *)
+let burn_critical = 4.
+
+let health_reasons t =
+  let reasons = ref [] in
+  let add code level data = reasons := (code, level, data) :: !reasons in
+  (* queue depth against the admission watermark *)
+  let depth = Scheduler.queue_depth t.sched in
+  let deg_q, crit_q =
+    match Scheduler.max_queue t.sched with
+    | Some m -> ((m + 1) / 2, Stdlib.max 1 (m * 9 / 10))
+    | None -> (128, 1024)
+  in
+  if depth >= crit_q then
+    add "queue-depth" `Critical
+      [ ("depth", Events.I depth); ("critical_at", Events.I crit_q) ]
+  else if depth >= deg_q then
+    add "queue-depth" `Degraded
+      [ ("depth", Events.I depth); ("degraded_at", Events.I deg_q) ];
+  (* SLO burn over the 10s window (1s is too twitchy for alerting,
+     60s too slow to notice an incident starting) *)
+  let _, slo_err_pct = Metrics.slo t.metrics in
+  List.iter
+    (fun (name, (s : Window.snap)) ->
+      if name = "10s" && s.Window.count >= burn_min_count then begin
+        let avail =
+          Window.burn ~frac:s.Window.err_frac ~budget_frac:(slo_err_pct /. 100.)
+        in
+        let lat = Window.burn ~frac:s.Window.slow_frac ~budget_frac:0.01 in
+        let burn code frac burn_rate =
+          if burn_rate >= burn_critical then
+            add code `Critical
+              [ ("burn_rate", Events.F burn_rate); ("frac", Events.F frac) ]
+          else if burn_rate >= 1. then
+            add code `Degraded
+              [ ("burn_rate", Events.F burn_rate); ("frac", Events.F frac) ]
+        in
+        burn "error-burn" s.Window.err_frac avail;
+        burn "latency-burn" s.Window.slow_frac lat
+      end)
+    (Metrics.window_snaps t.metrics);
+  (* durability: a stuck fsync is critical, a merely slow one degrades *)
+  (match t.durable with
+  | None -> ()
+  | Some d ->
+    let inflight = Durable.fsync_in_progress_ns d in
+    if inflight > t.stall_ns then
+      add "fsync-stall" `Critical
+        [ ("in_progress_ms", Events.F (float_of_int inflight /. 1e6)) ]
+    else begin
+      let p99 = Durable.fsync_p99_ns d in
+      if p99 > float_of_int t.fsync_warn_ns then
+        add "fsync-latency" `Degraded
+          [ ("p99_ms", Events.F (p99 /. 1e6)) ]
+    end);
+  (* no-progress: apply mutex held too long / queue head not started *)
+  let held = Scheduler.apply_held_ns t.sched in
+  if held > t.stall_ns then
+    add "apply-stall" `Critical
+      [ ("held_ms", Events.F (float_of_int held /. 1e6)) ];
+  let age = Scheduler.oldest_queued_age_ns t.sched in
+  if age > t.stall_ns then
+    add "queue-stall" `Critical
+      [ ("oldest_queued_ms", Events.F (float_of_int age /. 1e6)) ];
+  (* replica side: apply lag behind the leader, or a dead link *)
+  (match t.repl with
+  | None -> ()
+  | Some r ->
+    locked r.rm (fun () ->
+        let lag = Stdlib.max 0 (r.r_leader_lsn - r.r_applied_lsn) in
+        if t.lag_warn_frames > 0 && lag >= 4 * t.lag_warn_frames then
+          add "replica-lag" `Critical
+            [ ("lag_frames", Events.I lag) ]
+        else if t.lag_warn_frames > 0 && lag >= t.lag_warn_frames then
+          add "replica-lag" `Degraded
+            [ ("lag_frames", Events.I lag) ];
+        let pre p = String.length r.r_status >= String.length p
+                    && String.sub r.r_status 0 (String.length p) = p in
+        if pre "stale" then
+          add "replica-stale" `Critical [ ("status", Events.S r.r_status) ]
+        else if pre "disconnected" then
+          add "replica-disconnected" `Degraded
+            [ ("status", Events.S r.r_status) ]));
+  (* leader side: replicas falling behind the WAL head *)
+  (match t.durable with
+  | Some d when t.lag_warn_frames > 0 ->
+    let last = Durable.last_lsn d in
+    locked t.pmutex (fun () ->
+        Hashtbl.iter
+          (fun id p ->
+            let lag = Stdlib.max 0 (last - p.p_acked) in
+            if lag >= 4 * t.lag_warn_frames then
+              add "peer-lag" `Critical
+                [ ("replica", Events.S id); ("lag_frames", Events.I lag) ]
+            else if lag >= t.lag_warn_frames then
+              add "peer-lag" `Degraded
+                [ ("replica", Events.S id); ("lag_frames", Events.I lag) ])
+          t.peers)
+  | _ -> ());
+  List.rev !reasons
+
+let health_level reasons =
+  if List.exists (fun (_, l, _) -> l = `Critical) reasons then `Critical
+  else if reasons <> [] then `Degraded
+  else `Ok
+
+let health_level_string = function
+  | `Ok -> "ok"
+  | `Degraded -> "degraded"
+  | `Critical -> "critical"
+
+let health_status t = health_level_string (health_level (health_reasons t))
+
+let health_json t =
+  let reasons = health_reasons t in
+  let reason_json (code, level, data) =
+    "{"
+    ^ String.concat ","
+        (Printf.sprintf "\"code\":\"%s\"" code
+         :: Printf.sprintf "\"level\":\"%s\""
+              (health_level_string (level :> [ `Ok | `Degraded | `Critical ]))
+         :: List.map
+              (fun (k, v) ->
+                Printf.sprintf "\"%s\":%s" (Xqb_obs.Json.escape k) (field_json v))
+              data)
+    ^ "}"
+  in
+  Printf.sprintf "{\"status\":\"%s\",\"reasons\":[%s]}"
+    (health_level_string (health_level reasons))
+    (String.concat "," (List.map reason_json reasons))
+
+(* The monitor thread: poll the stall signals and the health status,
+   emitting an event on each rising edge / transition (the continuous
+   values are already visible as gauges; events capture the changes).
+   Spawned only when telemetry is on. *)
+let monitor_loop t () =
+  let prev_health = ref "ok" in
+  let prev_apply = ref false and prev_fsync = ref false and prev_queue = ref false in
+  let edge prev now kind data =
+    if now && not !prev then Events.critical t.events ~kind (data ());
+    prev := now
+  in
+  while not t.stopping do
+    (* 250ms tick: 4x finer than the 1s stall bound it polices, and
+       coarse enough that polling (3 window snapshots + WAL probes)
+       stays invisible in the request path even on one core *)
+    Thread.delay 0.25;
+    if not t.stopping then begin
+      (* drain the queued Debug sink backlog off the commit hot path *)
+      Events.pump t.events;
+      edge prev_apply
+        (Scheduler.apply_held_ns t.sched > t.stall_ns)
+        "stall.apply"
+        (fun () ->
+          [ ( "held_ms",
+              Events.F (float_of_int (Scheduler.apply_held_ns t.sched) /. 1e6) )
+          ]);
+      edge prev_fsync
+        (match t.durable with
+        | Some d -> Durable.fsync_in_progress_ns d > t.stall_ns
+        | None -> false)
+        "stall.fsync"
+        (fun () ->
+          [ ( "in_progress_ms",
+              Events.F
+                (match t.durable with
+                | Some d -> float_of_int (Durable.fsync_in_progress_ns d) /. 1e6
+                | None -> 0.) )
+          ]);
+      edge prev_queue
+        (Scheduler.oldest_queued_age_ns t.sched > t.stall_ns)
+        "stall.queue"
+        (fun () ->
+          [ ( "oldest_queued_ms",
+              Events.F
+                (float_of_int (Scheduler.oldest_queued_age_ns t.sched) /. 1e6) )
+          ]);
+      let reasons = health_reasons t in
+      let status = health_level_string (health_level reasons) in
+      if status <> !prev_health then begin
+        let log =
+          match health_level reasons with
+          | `Ok -> Events.info
+          | `Degraded -> Events.warn
+          | `Critical -> Events.error
+        in
+        log t.events ~kind:"health.state"
+          ([ ("from", Events.S !prev_health); ("to", Events.S status) ]
+          @ List.map (fun (code, _, _) -> ("reason", Events.S code)) reasons);
+        prev_health := status
+      end
+    end
+  done
+
+(* -- the crash flight recorder --------------------------------------
+
+   The events sink is flushed per event, so its tail survives any
+   crash the page cache survives (SIGKILL included — no handler gets
+   to run, but the already-flushed lines are in the file). On the
+   next durable boot, an events.jsonl whose last record is not
+   lifecycle.shutdown means the previous process died unclean: its
+   events are spliced verbatim into flight-<ts>.json next to what
+   recovery just reconstructed, giving the post-mortem both "what the
+   service was doing" and "what the disk still had". The sink is
+   consumed either way so each run's log starts fresh. *)
+
+let flight_splice_cap = 512
+
+let events_sink_name = "events.jsonl"
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (if String.trim line = "" then acc else line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+(* Debug sink lines are buffered (see Events), so a SIGKILL can tear
+   the file mid-line; splicing a torn line into flight-<ts>.json would
+   make the whole dump unparseable. An intact line is one full event
+   object: starts with '{', ends with '}'. *)
+let intact_line l =
+  let n = String.length l in
+  n >= 2 && l.[0] = '{' && l.[n - 1] = '}'
+
+let detect_unclean_shutdown ~dir (recovered : Durable.recovered option) =
+  let path = Filename.concat dir events_sink_name in
+  if not (Sys.file_exists path) then None
+  else begin
+    let lines =
+      List.filter intact_line (try read_lines path with Sys_error _ -> [])
+    in
+    let clean =
+      match List.rev lines with
+      | [] -> true
+      | last :: _ -> contains_substring last "\"kind\":\"lifecycle.shutdown\""
+    in
+    (try Sys.remove path with Sys_error _ -> ());
+    if clean then None
+    else begin
+      let wall = Unix.gettimeofday () in
+      let flight =
+        Filename.concat dir
+          (* ms + pid so rapid restarts never overwrite a prior dump *)
+          (Printf.sprintf "flight-%d-%d.json"
+             (int_of_float (wall *. 1000.))
+             (Unix.getpid ()))
+      in
+      let dropped = Stdlib.max 0 (List.length lines - flight_splice_cap) in
+      let kept = List.filteri (fun i _ -> i >= dropped) lines in
+      let recovery_json =
+        match recovered with
+        | None -> "null"
+        | Some r ->
+          Printf.sprintf
+            "{\"lsn\":%d,\"snapshot_lsn\":%d,\"wal_frames\":%d,\"truncated_bytes\":%d}"
+            r.Durable.lsn r.Durable.snapshot_lsn r.Durable.wal_frames
+            r.Durable.truncated_bytes
+      in
+      let content =
+        Printf.sprintf
+          "{\"reason\":\"unclean-shutdown\",\"detected_wall_s\":%.3f,\"events_dropped\":%d,\"recovery\":%s,\"events\":[%s]}"
+          wall dropped recovery_json (String.concat "," kept)
+      in
+      match open_out flight with
+      | oc ->
+        output_string oc content;
+        output_char oc '\n';
+        close_out_noerr oc;
+        Some flight
+      | exception Sys_error _ -> None
+    end
+  end
+
 let create ?(domains = 4) ?(cache_capacity = 128) ?(seed = 0x5eed) ?deadline_ms
     ?fuel ?max_delta ?max_queue ?(tracing = false) ?(slow_apply_ms = 10)
-    ?durability ?(replica = false) ?replica_of ?(footprint_scheduling = true) () =
+    ?durability ?(replica = false) ?replica_of ?(footprint_scheduling = true)
+    ?slo_p99_ms ?slo_err_pct ?(trace_ring = 32) ?(stall_ms = 1000)
+    ?(fsync_warn_ms = 100) ?(lag_warn_frames = 256) ?(telemetry = true)
+    ?events_cap () =
   let replica = replica || replica_of <> None in
   if replica && durability <> None then
     failwith "a replica has no WAL of its own: --replica-of excludes --data-dir";
+  if trace_ring < 1 then invalid_arg "Service.create: trace_ring < 1";
   (* Durable boot: recover the store (snapshot + WAL tail replay),
      hang the catalog off it, and (re)start the in-memory mutation
      journal — everything replayed is already on disk, so the WAL
      appender's cursor starts at seq 0 of a fresh journal. *)
-  let durable, catalog =
+  let durable, catalog, recovered =
     match durability with
-    | None -> (None, Catalog.create ())
+    | None -> (None, Catalog.create (), None)
     | Some cfg ->
       let d, (rec_ : Durable.recovered) = Durable.recover cfg in
       let catalog = Catalog.create ~store:rec_.store () in
@@ -229,7 +571,24 @@ let create ?(domains = 4) ?(cache_capacity = 128) ?(seed = 0x5eed) ?deadline_ms
         (fun (uri, root, bytes) -> Catalog.register catalog ~uri ~root ~bytes)
         rec_.docs;
       Xqb_store.Store.journal_start rec_.store;
-      (Some d, catalog)
+      (Some d, catalog, Some rec_)
+  in
+  let data_dir =
+    Option.map (fun (cfg : Durable.config) -> cfg.Durable.dir) durability
+  in
+  (* Flight recorder, boot half: inspect (and consume) the previous
+     run's event sink before this run opens its own. *)
+  let flight =
+    match data_dir with
+    | Some dir when telemetry -> detect_unclean_shutdown ~dir recovered
+    | _ -> None
+  in
+  let events =
+    if telemetry then
+      Events.create ?cap:events_cap
+        ?sink_path:(Option.map (fun d -> Filename.concat d events_sink_name) data_dir)
+        ()
+    else Events.disabled ()
   in
   let repl =
     if not replica then None
@@ -255,7 +614,7 @@ let create ?(domains = 4) ?(cache_capacity = 128) ?(seed = 0x5eed) ?deadline_ms
       catalog;
       cache = Plan_cache.create ~capacity:cache_capacity ();
       sched = Scheduler.create ~domains ?max_queue ();
-      metrics = Metrics.create ();
+      metrics = Metrics.create ~windows:telemetry ?slo_p99_ms ?slo_err_pct ();
       sessions = Hashtbl.create 16;
       smutex = Mutex.create ();
       next_sid = 1;
@@ -272,24 +631,83 @@ let create ?(domains = 4) ?(cache_capacity = 128) ?(seed = 0x5eed) ?deadline_ms
       tracing;
       tr_mutex = Mutex.create ();
       recent_traces = [];
+      trace_cap = trace_ring;
+      trace_evictions = 0;
+      events;
+      data_dir;
+      stall_ns = stall_ms * 1_000_000;
+      fsync_warn_ns = fsync_warn_ms * 1_000_000;
+      lag_warn_frames;
+      monitor = None;
+      peers = Hashtbl.create 4;
+      pmutex = Mutex.create ();
       slow_ns = slow_apply_ms * 1_000_000;
       sl_mutex = Mutex.create ();
       slowlog = [];
       last_delta = None;
       durable;
       wal_seq = 0;
+      commit_seq = 0;
       read_only = replica;
       repl;
     }
   in
   if deadline_ms <> None then t.watchdog <- Some (Thread.create (watchdog_loop t) ());
+  Events.info events ~kind:"lifecycle.boot"
+    [
+      ("read_only", Events.B replica);
+      ("domains", Events.I domains);
+      ("footprint_scheduling", Events.B footprint_scheduling);
+      ("durable", Events.B (durable <> None));
+    ];
+  (match recovered with
+  | Some r ->
+    Events.info events ~kind:"lifecycle.recovery"
+      [
+        ("lsn", Events.I r.Durable.lsn);
+        ("snapshot_lsn", Events.I r.Durable.snapshot_lsn);
+        ("wal_frames", Events.I r.Durable.wal_frames);
+        ("truncated_bytes", Events.I r.Durable.truncated_bytes);
+      ]
+  | None -> ());
+  (match flight with
+  | Some path ->
+    Events.warn events ~kind:"lifecycle.unclean-shutdown"
+      [ ("flight", Events.S path) ]
+  | None -> ());
+  if Events.enabled events then
+    t.monitor <- Some (Thread.create (monitor_loop t) ());
   t
+
+(* Path of the flight-recorder dump the boot wrote after detecting an
+   unclean shutdown, surfaced from the unclean-shutdown event. *)
+let boot_flight t =
+  match Events.tail ~level:Events.Warn t.events 64 with
+  | events ->
+    List.find_map
+      (fun (e : Events.event) ->
+        if e.Events.kind = "lifecycle.unclean-shutdown" then
+          List.find_map
+            (function "flight", Events.S p -> Some p | _ -> None)
+            e.Events.data
+        else None)
+      events
 
 let catalog t = t.catalog
 let scheduler t = t.sched
 let metrics t = t.metrics
 let read_only t = t.read_only
+let events t = t.events
 let durability_json t = Option.map Durable.stats_json t.durable
+
+let events_json ?level t n =
+  Events.events_json (Events.tail ?level t.events n)
+
+(* Fault injection for tests (no-op without --data-dir). *)
+let inject_fsync_delay t secs =
+  match t.durable with
+  | Some d -> Durable.inject_fsync_delay d secs
+  | None -> ()
 
 (* -- durability (leader side) --------------------------------------- *)
 
@@ -300,6 +718,23 @@ let durability_json t = Option.map Durable.stats_json t.durable
    footprint (exclusive jobs, loads, checkpoints), which excludes
    every concurrent apply — so [wal_seq] is stable. The concurrent-
    writer path commits through [writer_apply_wrap] instead. *)
+(* wal.commit events are emitted only after the durability barrier:
+   the flight recorder's consistency check relies on every logged
+   lsn being recoverable under fsync=always. At full load that is
+   one Debug record per committed write — tens of thousands a second
+   — so sample 1-in-32 (always the first after boot): the sampled
+   lsns carry the same invariant, and the commits in between are
+   visible as xqbang_wal_frames counters rather than events. The
+   counter read/increment may race between concurrent writers; the
+   worst case is an extra or a skipped sample. *)
+let commit_event_mask = 31
+
+let log_commit t lsn data =
+  let n = t.commit_seq in
+  t.commit_seq <- n + 1;
+  if n land commit_event_mask = 0 then
+    Events.debug t.events ~kind:"wal.commit" (("lsn", Events.I lsn) :: data)
+
 let durable_commit t =
   match t.durable with
   | None -> ()
@@ -308,7 +743,8 @@ let durable_commit t =
     let entries = Xqb_store.Store.journal_entries_from store t.wal_seq in
     if entries <> [] then begin
       t.wal_seq <- t.wal_seq + List.length entries;
-      ignore (Durable.commit_entries d entries)
+      let lsn = Durable.commit_entries d entries in
+      log_commit t lsn [ ("entries", Events.I (List.length entries)) ]
     end
 
 (* After a checkpoint the snapshot covers the whole journal: restart
@@ -326,7 +762,9 @@ let durable_maybe_checkpoint t =
       Durable.maybe_checkpoint d ~docs:(Catalog.roots t.catalog)
         (Catalog.store t.catalog)
     with
-    | Some _ -> after_checkpoint t
+    | Some lsn ->
+      after_checkpoint t;
+      Events.info t.events ~kind:"wal.checkpoint" [ ("lsn", Events.I lsn) ]
     | None -> ())
 
 (* The per-write-job durability hook: flush the journal tail (even on
@@ -371,7 +809,9 @@ let writer_apply_wrap t apply =
           end)
   in
   match pending with
-  | Some (d, lsn) -> Durable.wait_durable d lsn
+  | Some (d, lsn) ->
+    Durable.wait_durable d lsn;
+    log_commit t lsn []
   | None -> ()
 
 let checkpoint_now t =
@@ -385,17 +825,59 @@ let checkpoint_now t =
             (Catalog.store t.catalog)
         in
         after_checkpoint t;
+        Events.info t.events ~kind:"wal.checkpoint"
+          [ ("lsn", Events.I lsn); ("forced", Events.B true) ];
         Ok lsn)
 
-(* Committed WAL frames for a replica, as one concatenated blob. *)
-let ship_frames t ~from_lsn ~max =
+(* Committed WAL frames for a replica, as one concatenated blob. A
+   [replica_id] (the optional third SHIP argument) updates the
+   leader's per-peer lag table: asking from [from_lsn] acknowledges
+   everything below it. *)
+let note_peer t id ~acked ~shipped =
+  locked t.pmutex (fun () ->
+      let p =
+        match Hashtbl.find_opt t.peers id with
+        | Some p -> p
+        | None ->
+          let p = { p_acked = 0; p_shipped = 0; p_last_seen = 0. } in
+          Hashtbl.replace t.peers id p;
+          Events.info t.events ~kind:"replica.peer"
+            [ ("id", Events.S id); ("from_lsn", Events.I (acked + 1)) ];
+          p
+      in
+      p.p_acked <- Stdlib.max p.p_acked acked;
+      p.p_shipped <- Stdlib.max p.p_shipped shipped;
+      p.p_last_seen <- Unix.gettimeofday ())
+
+let ship_frames ?replica_id t ~from_lsn ~max =
   match t.durable with
   | None -> Error "service is not durable (started without --data-dir)"
   | Some d -> (
     match Durable.ship d ~from_lsn ~max with
-    | Ok (last, frames) -> Ok (last, String.concat "" frames)
+    | Ok (last, frames) ->
+      (match replica_id with
+      | Some id -> note_peer t id ~acked:(Stdlib.max 0 (from_lsn - 1)) ~shipped:last
+      | None -> ());
+      Ok (last, String.concat "" frames)
     | Error `Too_old ->
       Error "too-old: frames before the last checkpoint are gone; re-bootstrap from SNAPSHOT")
+
+let peers_json t =
+  let last = match t.durable with Some d -> Durable.last_lsn d | None -> 0 in
+  let now = Unix.gettimeofday () in
+  let entries =
+    locked t.pmutex (fun () ->
+        Hashtbl.fold
+          (fun id p acc ->
+            Printf.sprintf
+              "{\"id\":\"%s\",\"acked_lsn\":%d,\"shipped_lsn\":%d,\"lag_frames\":%d,\"last_seen_age_s\":%.3f}"
+              (Metrics.json_escape id) p.p_acked p.p_shipped
+              (Stdlib.max 0 (last - p.p_acked))
+              (now -. p.p_last_seen)
+            :: acc)
+          t.peers [])
+  in
+  "[" ^ String.concat "," entries ^ "]"
 
 let snapshot_blob t =
   match t.durable with
@@ -456,14 +938,15 @@ let replica_ingest t ~leader_lsn blob =
           let flush () =
             let pairs = List.rev !pending_rev in
             let complete, _ =
-              Xqb_store.Journal.split_complete (List.map snd pairs)
+              Xqb_store.Journal.split_complete
+                (List.map (fun (_, e, _) -> e) pairs)
             in
             let n = List.length complete in
             if n > 0 then begin
               Scheduler.with_write t.sched (fun () ->
                   Xqb_store.Journal.apply (Catalog.store t.catalog) complete);
               List.iteri
-                (fun i (lsn, _) ->
+                (fun i (lsn, _, _) ->
                   if i < n then r.r_applied_lsn <- max r.r_applied_lsn lsn)
                 pairs;
               r.r_frames <- r.r_frames + n;
@@ -473,10 +956,10 @@ let replica_ingest t ~leader_lsn blob =
             end
           in
           List.iter
-            (fun (lsn, record, _) ->
+            (fun (lsn, record, size) ->
               r.r_received_lsn <- lsn;
               match record with
-              | Wcodec.R_entry e -> pending_rev := (lsn, e) :: !pending_rev
+              | Wcodec.R_entry e -> pending_rev := (lsn, e, size) :: !pending_rev
               | Wcodec.R_doc { uri; root; bytes } ->
                 (* the leader appends the registration only after the
                    load's span committed, so the buffer is complete *)
@@ -492,17 +975,36 @@ let replica_ingest t ~leader_lsn blob =
           r.r_status <- "streaming";
           Ok !applied)
 
+(* Replica-side lag, three units: frames behind the leader's head,
+   bytes received-but-not-applied (a buffered half span), and
+   milliseconds since the last apply while behind. *)
+let replica_lag r =
+  let lag = max 0 (r.r_leader_lsn - r.r_applied_lsn) in
+  let lag_bytes =
+    List.fold_left (fun acc (_, _, size) -> acc + size) 0 r.r_pending
+  in
+  let lag_ms =
+    if lag > 0 && r.r_last_apply > 0. then
+      (Unix.gettimeofday () -. r.r_last_apply) *. 1e3
+    else 0.
+  in
+  (lag, lag_bytes, lag_ms)
+
 let replica_stat_json t =
   match t.repl with
-  | None -> "{\"replica\":false}"
+  | None ->
+    (* leader side: the per-peer table SHIP ids populate *)
+    Printf.sprintf "{\"replica\":false,\"last_lsn\":%d,\"peers\":%s}"
+      (match t.durable with Some d -> Durable.last_lsn d | None -> 0)
+      (peers_json t)
   | Some r ->
     locked r.rm (fun () ->
+        let lag, lag_bytes, lag_ms = replica_lag r in
         Printf.sprintf
-          "{\"replica\":true,\"leader\":\"%s\",\"status\":\"%s\",\"applied_lsn\":%d,\"received_lsn\":%d,\"leader_lsn\":%d,\"lag\":%d,\"frames_applied\":%d,\"pending_entries\":%d,\"last_apply_age_s\":%s}"
+          "{\"replica\":true,\"leader\":\"%s\",\"status\":\"%s\",\"applied_lsn\":%d,\"received_lsn\":%d,\"leader_lsn\":%d,\"lag\":%d,\"lag_bytes\":%d,\"lag_ms\":%.0f,\"frames_applied\":%d,\"pending_entries\":%d,\"last_apply_age_s\":%s}"
           (Metrics.json_escape r.r_leader)
           (Metrics.json_escape r.r_status)
-          r.r_applied_lsn r.r_received_lsn r.r_leader_lsn
-          (max 0 (r.r_leader_lsn - r.r_applied_lsn))
+          r.r_applied_lsn r.r_received_lsn r.r_leader_lsn lag lag_bytes lag_ms
           r.r_frames
           (List.length r.r_pending)
           (if r.r_last_apply = 0. then "null"
@@ -588,12 +1090,17 @@ let replication_loop t r host port () =
            match rpc "SNAPSHOT" with
            | Ok payload -> (
              match replica_bootstrap t (Xqb_wal.B64.decode payload) with
-             | Ok _ -> ()
+             | Ok lsn ->
+               Events.info t.events ~kind:"replica.bootstrap"
+                 [ ("lsn", Events.I lsn) ]
              | Error e -> failwith e)
            | Error e -> failwith ("SNAPSHOT: " ^ e));
+        (* the id lets the leader track this replica's shipped/acked
+           position; host+pid is unique enough per poll loop *)
+        let my_id = Printf.sprintf "r-%d" (Unix.getpid ()) in
         while not r.r_stop do
           let from = locked r.rm (fun () -> r.r_received_lsn + 1) in
-          match rpc (Printf.sprintf "SHIP %d %d" from repl_batch) with
+          match rpc (Printf.sprintf "SHIP %d %d %s" from repl_batch my_id) with
           | Ok payload ->
             let leader_w, b64 =
               match String.index_opt payload ' ' with
@@ -639,11 +1146,18 @@ let replication_loop t r host port () =
     try session () with
     | Repl_stale ->
       stale := true;
+      Events.error t.events ~kind:"replica.stale"
+        [ ("leader", Events.S r.r_leader) ];
       locked r.rm (fun () ->
           r.r_status <-
             "stale: leader checkpointed past this replica; restart it with an empty store")
     | e ->
       if not r.r_stop then begin
+        Events.warn t.events ~kind:"replica.disconnect"
+          [
+            ("leader", Events.S r.r_leader);
+            ("error", Events.S (Printexc.to_string e));
+          ];
         locked r.rm (fun () ->
             r.r_status <- "disconnected: " ^ Printexc.to_string e);
         Thread.delay 0.3
@@ -818,12 +1332,16 @@ let inflight_count t = locked t.jmutex (fun () -> Hashtbl.length t.jobs)
 
 let push_trace t jid tr =
   locked t.tr_mutex (fun () ->
-      let keep =
-        List.filteri
-          (fun i _ -> i < trace_ring_cap - 1)
-          (List.filter (fun (j, _) -> j <> jid) t.recent_traces)
-      in
+      let others = List.filter (fun (j, _) -> j <> jid) t.recent_traces in
+      let keep = List.filteri (fun i _ -> i < t.trace_cap - 1) others in
+      t.trace_evictions <-
+        t.trace_evictions + (List.length others - List.length keep);
       t.recent_traces <- (jid, tr) :: keep)
+
+(* (occupancy, capacity, evictions since boot) — the ring gauges. *)
+let trace_ring_stats t =
+  locked t.tr_mutex (fun () ->
+      (List.length t.recent_traces, t.trace_cap, t.trace_evictions))
 
 (* Chrome trace-event JSON for job [jid], or the most recent traced
    job when [jid] is [None]. *)
@@ -865,9 +1383,10 @@ let note_effects t ~jid ~sid ~src ~trace ctx =
   let snaps = st.Core.Update.snaps in
   let requests = Core.Update.stats_requests st in
   let json = delta_stats_json ~jid ~apply_ns st in
+  let slow = apply_ns >= t.slow_ns && snaps > 0 in
   locked t.sl_mutex (fun () ->
       t.last_delta <- Some json;
-      if apply_ns >= t.slow_ns && snaps > 0 then begin
+      if slow then begin
         let entry =
           {
             sl_jid = jid;
@@ -883,7 +1402,14 @@ let note_effects t ~jid ~sid ~src ~trace ctx =
         in
         t.slowlog <-
           entry :: List.filteri (fun i _ -> i < slowlog_cap - 1) t.slowlog
-      end)
+      end);
+  if slow then
+    Events.warn t.events ~kind:"query.slow"
+      [
+        ("jid", Events.I jid);
+        ("apply_ms", Events.F (float_of_int apply_ns /. 1e6));
+        ("snaps", Events.I snaps);
+      ]
 
 (* Last write-side job's ∆ statistics; [None] before any updating
    query ran. *)
@@ -1093,6 +1619,11 @@ let submit_job t sid src :
         finish false;
         let err = Service_error.classify e in
         Metrics.record_error t.metrics err.Service_error.kind;
+        Events.warn t.events ~kind:"query.error"
+          [
+            ("jid", Events.I jid);
+            ("kind", Events.S (Service_error.kind_to_string err.Service_error.kind));
+          ];
         Error err
     in
     (* Abandoned without running (queue-time expiry, shutdown drain):
@@ -1122,6 +1653,14 @@ let submit_job t sid src :
      with
     | fut -> (jid, fut)
     | exception ((Scheduler.Overloaded | Scheduler.Shut_down) as e) ->
+      (match e with
+      | Scheduler.Overloaded ->
+        Events.warn t.events ~kind:"sched.overload"
+          [
+            ("jid", Events.I jid);
+            ("queue_depth", Events.I (Scheduler.queue_depth t.sched));
+          ]
+      | _ -> ());
       on_abort e;
       (jid, Scheduler.ready (Error (Service_error.classify e))))
 
@@ -1250,56 +1789,117 @@ let concurrency_json t =
     (Rwlock.running_writers g)
     (Rwlock.peak g) (Rwlock.writer_peak g)
 
-(* Wire [METRICS PROM]: the counters as a Prometheus text page, with
-   the footprint-gate gauges, the durability gauges (WAL bytes,
-   fsyncs, checkpoint age, LSNs) and replica lag appended when the
-   corresponding mode is on. *)
+(* Wire [METRICS PROM]: every layer's contribution on one shared
+   {!Prom} emitter — service counters and windows, footprint-gate
+   gauges, trace-ring and event-log gauges, durability (WAL /
+   checkpoint / fsync), replica lag (both sides) and the health
+   status — so # HELP/# TYPE discipline and counter naming hold for
+   the whole page (test_service.ml lints it end to end). *)
 let metrics_prometheus t =
-  let base = Metrics.to_prometheus ~cache:(Plan_cache.stats t.cache) t.metrics in
-  let conc =
-    let g = Scheduler.gate t.sched in
-    String.concat ""
+  let p = Prom.create () in
+  Metrics.to_prom ~cache:(Plan_cache.stats t.cache) t.metrics p;
+  let g = Scheduler.gate t.sched in
+  let inflight = "Jobs currently admitted by the footprint gate." in
+  Prom.gauge_i p ~help:inflight ~labels:[ ("side", "all") ]
+    "xqbang_gate_inflight" (Rwlock.running g);
+  Prom.gauge_i p ~help:inflight ~labels:[ ("side", "writer") ]
+    "xqbang_gate_inflight" (Rwlock.running_writers g);
+  let peak = "Peak concurrently admitted jobs since boot." in
+  Prom.gauge_i p ~help:peak ~labels:[ ("side", "all") ]
+    "xqbang_gate_inflight_peak" (Rwlock.peak g);
+  Prom.gauge_i p ~help:peak ~labels:[ ("side", "writer") ]
+    "xqbang_gate_inflight_peak" (Rwlock.writer_peak g);
+  let size, cap, evicted = trace_ring_stats t in
+  Prom.gauge_i p ~help:"Traces resident in the TRACE ring."
+    "xqbang_trace_ring_size" size;
+  Prom.gauge_i p ~help:"TRACE ring capacity (serve --trace-ring)."
+    "xqbang_trace_ring_capacity" cap;
+  Prom.counter p ~help:"Traces evicted from the TRACE ring."
+    "xqbang_trace_ring_evictions_total" evicted;
+  if Events.enabled t.events then begin
+    Prom.counter p ~help:"Events logged since boot." "xqbang_events_total"
+      (Events.total t.events);
+    let at_least l = Events.count_at_least t.events l in
+    List.iter
+      (fun (name, exact) ->
+        Prom.counter p ~help:"Events logged since boot, by severity."
+          ~labels:[ ("level", name) ]
+          "xqbang_events_by_level_total" exact)
       [
-        "# TYPE xqbang_gate_inflight gauge\n";
-        Printf.sprintf "xqbang_gate_inflight{side=\"all\"} %d\n"
-          (Rwlock.running g);
-        Printf.sprintf "xqbang_gate_inflight{side=\"writer\"} %d\n"
-          (Rwlock.running_writers g);
-        "# TYPE xqbang_gate_inflight_peak gauge\n";
-        Printf.sprintf "xqbang_gate_inflight_peak{side=\"all\"} %d\n"
-          (Rwlock.peak g);
-        Printf.sprintf "xqbang_gate_inflight_peak{side=\"writer\"} %d\n"
-          (Rwlock.writer_peak g);
+        ("debug", at_least Events.Debug - at_least Events.Info);
+        ("info", at_least Events.Info - at_least Events.Warn);
+        ("warn", at_least Events.Warn - at_least Events.Error);
+        ("error", at_least Events.Error - at_least Events.Critical);
+        ("critical", at_least Events.Critical);
       ]
-  in
-  let base = base ^ conc in
-  let dur =
-    match t.durable with Some d -> Durable.stats_prometheus d | None -> ""
-  in
-  let rep =
-    match t.repl with
-    | None -> ""
-    | Some r ->
+  end;
+  (match t.durable with Some d -> Durable.stats_prom d p | None -> ());
+  (match t.repl with
+  | None -> ()
+  | Some r ->
+    let applied, leader, lag, lag_bytes, lag_ms, frames =
       locked r.rm (fun () ->
-          String.concat ""
-            [
-              "# TYPE xqbang_replica_applied_lsn gauge\n";
-              Printf.sprintf "xqbang_replica_applied_lsn %d\n" r.r_applied_lsn;
-              "# TYPE xqbang_replica_leader_lsn gauge\n";
-              Printf.sprintf "xqbang_replica_leader_lsn %d\n" r.r_leader_lsn;
-              "# TYPE xqbang_replica_lag_frames gauge\n";
-              Printf.sprintf "xqbang_replica_lag_frames %d\n"
-                (max 0 (r.r_leader_lsn - r.r_applied_lsn));
-              "# TYPE xqbang_replica_frames_applied_total counter\n";
-              Printf.sprintf "xqbang_replica_frames_applied_total %d\n"
-                r.r_frames;
-            ])
-  in
-  base ^ dur ^ rep
+          let lag, lag_bytes, lag_ms = replica_lag r in
+          (r.r_applied_lsn, r.r_leader_lsn, lag, lag_bytes, lag_ms, r.r_frames))
+    in
+    Prom.gauge_i p ~help:"Highest LSN applied by this replica."
+      "xqbang_replica_applied_lsn" applied;
+    Prom.gauge_i p ~help:"Leader's last LSN as of the last SHIP."
+      "xqbang_replica_leader_lsn" leader;
+    Prom.gauge_i p ~help:"Frames this replica is behind the leader."
+      "xqbang_replica_lag_frames" lag;
+    Prom.gauge_i p ~help:"Bytes received but not yet applied (buffered half span)."
+      "xqbang_replica_lag_bytes" lag_bytes;
+    Prom.gauge p ~help:"Milliseconds since the last apply while behind the leader."
+      "xqbang_replica_lag_ms" lag_ms;
+    Prom.counter p ~help:"Frames applied by this replica since boot."
+      "xqbang_replica_frames_applied_total" frames);
+  (* leader side: one lag gauge per known replica *)
+  (match t.durable with
+  | Some d when locked t.pmutex (fun () -> Hashtbl.length t.peers) > 0 ->
+    let last = Durable.last_lsn d in
+    let peers =
+      locked t.pmutex (fun () ->
+          Hashtbl.fold (fun id pr acc -> (id, pr.p_acked) :: acc) t.peers [])
+    in
+    List.iter
+      (fun (id, acked) ->
+        Prom.gauge_i p ~help:"Last LSN each replica acknowledged."
+          ~labels:[ ("replica", id) ]
+          "xqbang_peer_acked_lsn" acked;
+        Prom.gauge_i p ~help:"Frames each replica is behind the WAL head."
+          ~labels:[ ("replica", id) ]
+          "xqbang_peer_lag_frames"
+          (Stdlib.max 0 (last - acked)))
+      peers
+  | _ -> ());
+  Prom.gauge_i p
+    ~help:"Service health: 0 = ok, 1 = degraded, 2 = critical (see HEALTH)."
+    "xqbang_health_status"
+    (match health_level (health_reasons t) with
+    | `Ok -> 0
+    | `Degraded -> 1
+    | `Critical -> 2);
+  Prom.contents p
+
+let telemetry_json t =
+  let size, cap, evicted = trace_ring_stats t in
+  Printf.sprintf
+    "{\"events\":{\"enabled\":%b,\"total\":%d,\"warn_or_above\":%d},\"trace_ring\":{\"size\":%d,\"capacity\":%d,\"evictions\":%d}}"
+    (Events.enabled t.events)
+    (Events.total t.events)
+    (Events.count_at_least t.events Events.Warn)
+    size cap evicted
 
 let stats_json t =
   let extra =
-    [ ("concurrency", concurrency_json t); ("inflight", inflight_json t) ]
+    [
+      ("windows", Metrics.windows_json t.metrics);
+      ("health", health_json t);
+      ("telemetry", telemetry_json t);
+      ("concurrency", concurrency_json t);
+      ("inflight", inflight_json t);
+    ]
   in
   let extra =
     match durability_json t with
@@ -1315,6 +1915,69 @@ let stats_json t =
     ~cache:(Plan_cache.stats t.cache)
     ~docs:(Catalog.list t.catalog)
     ~extra t.metrics
+
+(* -- the crash flight recorder (live half) --------------------------
+
+   A dump of "what the service is doing right now": the event tail,
+   the in-flight job table, gate + queue state. Written on SIGTERM
+   and from the [at_exit] guard when the process exits without a
+   clean {!shutdown} — the SIGKILL case is covered by the boot half
+   ({!detect_unclean_shutdown}) instead, which reconstructs from the
+   per-event-flushed sink. *)
+
+let flight_json t ~reason =
+  let size, cap, evicted = trace_ring_stats t in
+  let g = Scheduler.gate t.sched in
+  Printf.sprintf
+    "{\"reason\":\"%s\",\"wall_s\":%.3f,\"queue_depth\":%d,\"gate\":{\"running\":%d,\"running_writers\":%d},\"trace_ring\":{\"size\":%d,\"capacity\":%d,\"evictions\":%d},\"last_lsn\":%s,\"health\":%s,\"inflight\":%s,\"events\":%s}"
+    (Metrics.json_escape reason)
+    (Unix.gettimeofday ())
+    (Scheduler.queue_depth t.sched)
+    (Rwlock.running g) (Rwlock.running_writers g) size cap evicted
+    (match t.durable with
+    | Some d -> string_of_int (Durable.last_lsn d)
+    | None -> "null")
+    (health_json t) (inflight_json t)
+    (Events.events_json (Events.tail t.events flight_splice_cap))
+
+let write_flight t ~reason =
+  match t.data_dir with
+  | None -> None
+  | Some dir -> (
+    let path =
+      Filename.concat dir
+        (Printf.sprintf "flight-%d-%d.json"
+           (int_of_float (Unix.gettimeofday () *. 1000.))
+           (Unix.getpid ()))
+    in
+    match open_out path with
+    | oc ->
+      output_string oc (flight_json t ~reason);
+      output_char oc '\n';
+      close_out_noerr oc;
+      Some path
+    | exception Sys_error _ -> None)
+
+(* Called by `serve` (and only serve: a library embedder owns its own
+   signals). The [at_exit] guard fires on any exit path that skipped
+   {!shutdown} — including an uncaught exception unwinding main. *)
+let install_crash_hooks t =
+  let dumped = ref false in
+  let dump reason =
+    if (not !dumped) && not t.stopping then begin
+      dumped := true;
+      ignore (write_flight t ~reason)
+    end
+  in
+  at_exit (fun () -> dump "exit-without-shutdown");
+  try
+    ignore
+      (Sys.signal Sys.sigterm
+         (Sys.Signal_handle
+            (fun _ ->
+              dump "sigterm";
+              exit 143)))
+  with Invalid_argument _ | Sys_error _ -> ()
 
 (* Stop the service. Without [deadline], drain: queued jobs still
    run to completion. With [deadline] (seconds), give queued +
@@ -1343,6 +2006,11 @@ let shutdown ?deadline t =
     Thread.join th;
     t.watchdog <- None
   | None -> ());
+  (match t.monitor with
+  | Some th ->
+    Thread.join th;
+    t.monitor <- None
+  | None -> ());
   let cancel_inflight () =
     locked t.jmutex (fun () ->
         Hashtbl.iter
@@ -1351,4 +2019,8 @@ let shutdown ?deadline t =
   in
   Scheduler.shutdown ?deadline ~on_deadline:cancel_inflight t.sched;
   (* the pool is drained: one final fsync and the WAL closes *)
-  match t.durable with Some d -> Durable.close d | None -> ()
+  (match t.durable with Some d -> Durable.close d | None -> ());
+  (* last event in the sink: its presence is how the next boot knows
+     this run ended clean (no flight dump) *)
+  Events.info t.events ~kind:"lifecycle.shutdown" [];
+  Events.close t.events

@@ -30,7 +30,19 @@ type t
     [footprint_scheduling] (default true) gates jobs on their static
     effects footprints; [false] restores the binary purity gate
     (read-everything / exclusive ⊤) — the single-writer baseline of
-    bench E21. *)
+    bench E21.
+
+    Health telemetry: [slo_p99_ms] (default 250) / [slo_err_pct]
+    (default 1) set the SLO targets behind the rolling-window burn
+    rates; [trace_ring] (default 32) the TRACE ring capacity;
+    [stall_ms] (default 1000) the no-progress bound the stall
+    watchdog and HEALTH check against; [fsync_warn_ms] (default 100)
+    degrades health when the fsync p99 exceeds it; [lag_warn_frames]
+    (default 256) degrades health when a replica falls that far
+    behind (4× = critical; 0 disables). [telemetry] (default true)
+    switches the event log, rolling windows and monitor thread on;
+    [false] is bench E22's baseline. [events_cap] bounds the
+    in-memory event ring (default 512). *)
 val create :
   ?domains:int ->
   ?cache_capacity:int ->
@@ -45,6 +57,14 @@ val create :
   ?replica:bool ->
   ?replica_of:string ->
   ?footprint_scheduling:bool ->
+  ?slo_p99_ms:float ->
+  ?slo_err_pct:float ->
+  ?trace_ring:int ->
+  ?stall_ms:int ->
+  ?fsync_warn_ms:int ->
+  ?lag_warn_frames:int ->
+  ?telemetry:bool ->
+  ?events_cap:int ->
   unit ->
   t
 
@@ -131,12 +151,64 @@ val cache_stats : t -> Plan_cache.stats
     {!stats_json} under ["concurrency"]. *)
 val concurrency_json : t -> string
 
-(** Metrics + plan-cache + catalog + in-flight jobs as JSON. *)
+(** Metrics + plan-cache + catalog + in-flight jobs + rolling windows
+    + health + telemetry gauges as JSON. *)
 val stats_json : t -> string
 
-(** Metrics + plan-cache counters in the Prometheus text exposition
-    format (wire [METRICS PROM]). *)
+(** Wire [METRICS PROM]: every layer's contribution (service
+    counters, windows and SLO burn rates, gate / trace-ring / event
+    gauges, WAL and checkpoint gauges, replica lag, health status) on
+    one shared {!Xqb_obs.Prom} emitter, so [# HELP]/[# TYPE]
+    discipline and counter naming hold page-wide. *)
 val metrics_prometheus : t -> string
+
+(** {1 Service health telemetry} *)
+
+(** The structured event log (lifecycle, WAL commits/checkpoints,
+    overload, slow queries, replica and stall events). *)
+val events : t -> Xqb_obs.Events.t
+
+(** Wire [EVENTS]: the last [n] retained events at [level] (default
+    all) or above as a JSON array, oldest first. *)
+val events_json : ?level:Xqb_obs.Events.severity -> t -> int -> string
+
+(** Wire [HEALTH]: overall status + machine-readable reasons, e.g.
+    [{"status":"degraded","reasons":[{"code":"queue-depth",...}]}].
+    Checks: queue depth against the admission watermark, 10s-window
+    SLO burn rates, fsync p99 / in-flight fsync age, apply-mutex
+    hold time, queue-head age, replica lag and link state (both
+    sides). *)
+val health_json : t -> string
+
+(** Just the status: ["ok"] | ["degraded"] | ["critical"]. *)
+val health_status : t -> string
+
+(** (occupancy, capacity, evictions since boot) of the TRACE ring. *)
+val trace_ring_stats : t -> int * int * int
+
+(** Write a flight-recorder dump (event tail, in-flight jobs, gate +
+    queue + health state) to [flight-<ts>.json] under the data
+    directory; [None] without one (or when the write fails). *)
+val write_flight : t -> reason:string -> string option
+
+(** The dump {!write_flight} would write, as JSON. *)
+val flight_json : t -> reason:string -> string
+
+(** Path of the flight dump the boot wrote after detecting an unclean
+    prior shutdown (the events sink did not end in
+    [lifecycle.shutdown]); [None] on a clean boot. *)
+val boot_flight : t -> string option
+
+(** Install the serve-process crash hooks: a SIGTERM handler and an
+    [at_exit] guard, each writing one flight dump if the service is
+    not shutting down cleanly. Library embedders should not call
+    this — it takes over process signals. *)
+val install_crash_hooks : t -> unit
+
+(** Fault injection for tests: stall every WAL fsync by [secs]
+    (see {!Xqb_wal.Wal.inject_fsync_delay}); no-op without
+    durability. *)
+val inject_fsync_delay : t -> float -> unit
 
 (** The last write-side job's ∆ statistics as JSON (requests by
     kind, snap-depth histogram, conflicts checked, apply-phase wall
@@ -167,8 +239,10 @@ val durability_json : t -> string option
     LSN. *)
 val journal_stat_json : t -> string
 
-(** Wire [REPLICA STAT]: applied/received/leader LSNs, lag, status.
-    [{"replica":false}] on a non-replica. *)
+(** Wire [REPLICA STAT]. On a replica: applied/received/leader LSNs,
+    lag in frames, bytes (received-but-unapplied) and ms, status. On
+    the leader: [{"replica":false,...}] with the per-peer lag table
+    fed by SHIP replica ids. *)
 val replica_stat_json : t -> string
 
 (** Wire [CHECKPOINT]: force a snapshot now (write lock; flushes the
@@ -176,10 +250,13 @@ val replica_stat_json : t -> string
 val checkpoint_now : t -> (int, string) result
 
 (** Wire [SHIP]: committed WAL frames from [from_lsn] (at most [max])
-    as [(leader last LSN, concatenated raw frames)]. [Error] when the
-    service is not durable or [from_lsn] predates the last checkpoint
-    (the replica must re-bootstrap). *)
-val ship_frames : t -> from_lsn:int -> max:int -> (int * string, string) result
+    as [(leader last LSN, concatenated raw frames)]. [replica_id]
+    (SHIP's optional third argument) updates the leader's per-peer
+    lag table — requesting from [from_lsn] acknowledges everything
+    below it. [Error] when the service is not durable or [from_lsn]
+    predates the last checkpoint (the replica must re-bootstrap). *)
+val ship_frames :
+  ?replica_id:string -> t -> from_lsn:int -> max:int -> (int * string, string) result
 
 (** Wire [SNAPSHOT]: a serialized snapshot of the current state for
     replica bootstrap, [(lsn, blob)]. *)

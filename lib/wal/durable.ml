@@ -340,38 +340,47 @@ let stats_json t =
     (Wal.fsync_count t.wal)
     hist_fields checkpoints ckpt_lsn ckpt_age
 
-let stats_prometheus t =
+(* Durability gauges onto the service's shared Prometheus page (the
+   service composes METRICS PROM from every layer on one emitter). *)
+let stats_prom t (p : Xqb_obs.Prom.t) =
   let ckpt_lsn, ckpt_age, checkpoints =
     locked t (fun () ->
         (t.ckpt_lsn, Unix.gettimeofday () -. t.ckpt_time, t.checkpoints))
   in
-  let p q =
+  let q v =
     Wal.with_stats_lock t.wal (fun () ->
-        Hist.percentile (Wal.fsync_hist t.wal) q)
+        Hist.percentile (Wal.fsync_hist t.wal) v)
   in
-  String.concat ""
-    [
-      "# TYPE xqbang_wal_bytes_appended_total counter\n";
-      Printf.sprintf "xqbang_wal_bytes_appended_total %d\n"
-        (Wal.bytes_appended t.wal);
-      "# TYPE xqbang_wal_frames_appended_total counter\n";
-      Printf.sprintf "xqbang_wal_frames_appended_total %d\n"
-        (Wal.frames_appended t.wal);
-      "# TYPE xqbang_wal_fsync_total counter\n";
-      Printf.sprintf "xqbang_wal_fsync_total %d\n" (Wal.fsync_count t.wal);
-      "# TYPE xqbang_wal_fsync_seconds summary\n";
-      Printf.sprintf "xqbang_wal_fsync_seconds{quantile=\"0.5\"} %.9f\n"
-        (p 0.5 /. 1e9);
-      Printf.sprintf "xqbang_wal_fsync_seconds{quantile=\"0.99\"} %.9f\n"
-        (p 0.99 /. 1e9);
-      "# TYPE xqbang_wal_last_lsn gauge\n";
-      Printf.sprintf "xqbang_wal_last_lsn %d\n" (Wal.last_lsn t.wal);
-      "# TYPE xqbang_checkpoints_total counter\n";
-      Printf.sprintf "xqbang_checkpoints_total %d\n" checkpoints;
-      "# TYPE xqbang_checkpoint_lsn gauge\n";
-      Printf.sprintf "xqbang_checkpoint_lsn %d\n" ckpt_lsn;
-      "# TYPE xqbang_checkpoint_age_seconds gauge\n";
-      Printf.sprintf "xqbang_checkpoint_age_seconds %.3f\n" ckpt_age;
-    ]
+  let module P = Xqb_obs.Prom in
+  P.counter p ~help:"Bytes appended to the WAL." "xqbang_wal_bytes_appended_total"
+    (Wal.bytes_appended t.wal);
+  P.counter p ~help:"Frames appended to the WAL."
+    "xqbang_wal_frames_appended_total"
+    (Wal.frames_appended t.wal);
+  P.counter p ~help:"WAL fsync(2) calls." "xqbang_wal_fsync_total"
+    (Wal.fsync_count t.wal);
+  P.summary p ~help:"WAL fsync(2) latency."
+    ~fmt:(fun v -> Printf.sprintf "%.9f" v)
+    "xqbang_wal_fsync_seconds"
+    ~quantiles:[ (0.5, q 0.5 /. 1e9); (0.99, q 0.99 /. 1e9) ]
+    ~sum:
+      (Wal.with_stats_lock t.wal (fun () -> Hist.sum (Wal.fsync_hist t.wal))
+      /. 1e9)
+    ~count:(Wal.fsync_count t.wal);
+  P.gauge p
+    ~help:"Seconds the current in-flight fsync(2) has been running; 0 when idle."
+    "xqbang_wal_fsync_in_progress_seconds"
+    (float_of_int (Wal.fsync_in_progress_ns t.wal) /. 1e9);
+  P.gauge_i p ~help:"Highest assigned WAL LSN." "xqbang_wal_last_lsn"
+    (Wal.last_lsn t.wal);
+  P.counter p ~help:"Checkpoint snapshots written this run."
+    "xqbang_checkpoints_total" checkpoints;
+  P.gauge_i p ~help:"LSN covered by the newest checkpoint snapshot."
+    "xqbang_checkpoint_lsn" ckpt_lsn;
+  P.gauge p ~help:"Seconds since the newest checkpoint snapshot."
+    "xqbang_checkpoint_age_seconds" ckpt_age
 
+let fsync_in_progress_ns t = Wal.fsync_in_progress_ns t.wal
+let fsync_p99_ns t = Wal.fsync_p99_ns t.wal
+let inject_fsync_delay t secs = Wal.inject_fsync_delay t.wal secs
 let close t = Wal.close t.wal

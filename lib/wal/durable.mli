@@ -89,10 +89,22 @@ val snapshot_blob :
 val last_lsn : t -> int
 val config : t -> config
 
-(** Durability gauges as JSON object / Prometheus text ([METRICS]). *)
+(** Durability gauges as a JSON object (the STATS ["durable"]
+    member). *)
 val stats_json : t -> string
 
-val stats_prometheus : t -> string
+(** Append the durability gauges to the service's shared
+    {!Xqb_obs.Prom} page (WAL counters, fsync latency summary and
+    in-progress gauge, checkpoint gauges). *)
+val stats_prom : t -> Xqb_obs.Prom.t -> unit
+
+(** {!Wal.fsync_in_progress_ns} / {!Wal.fsync_p99_ns} /
+    {!Wal.inject_fsync_delay} on the underlying log (stall watchdog
+    + health checks + fault injection for tests). *)
+val fsync_in_progress_ns : t -> int
+
+val fsync_p99_ns : t -> float
+val inject_fsync_delay : t -> float -> unit
 
 (** Final fsync and close. *)
 val close : t -> unit

@@ -50,6 +50,13 @@ type t = {
   mutable written_lsn : int;  (* highest LSN written to the fd *)
   mutable synced_lsn : int;  (* highest LSN known durable *)
   mutable syncing : bool;  (* a group-commit leader is in fsync(2) *)
+  mutable sync_started_ns : int;
+    (* Clock ns when the current fsync(2) call entered; 0 = none in
+       flight. Written by the syncing thread, read unlocked by the
+       stall watchdog — a torn read is impossible (tagged int). *)
+  mutable fsync_delay : float;
+    (* fault injection (tests only): seconds slept inside [do_fsync]
+       before the real fsync, to simulate a stalled device *)
   mutable tail : (int * string) list;  (* newest first *)
   mutable tail_start : int;  (* lowest LSN the tail covers *)
   mutable bytes_appended : int;
@@ -77,7 +84,12 @@ let write_all fd s =
    take milliseconds — holding the mutex would stall appenders). *)
 let do_fsync t =
   let t0 = Clock.now_ns () in
-  Unix.fsync t.fd;
+  t.sync_started_ns <- t0;
+  Fun.protect
+    ~finally:(fun () -> t.sync_started_ns <- 0)
+    (fun () ->
+      (match t.fsync_delay with d when d > 0. -> Unix.sleepf d | _ -> ());
+      Unix.fsync t.fd);
   let dt = float_of_int (Clock.now_ns () - t0) in
   locked t (fun () ->
       t.fsyncs <- t.fsyncs + 1;
@@ -117,6 +129,8 @@ let openw ~dir ~policy ~next_lsn ~tail () =
       written_lsn = last;
       synced_lsn = last;
       syncing = false;
+      sync_started_ns = 0;
+      fsync_delay = 0.;
       tail = List.rev tail;
       tail_start = (match tail with (l, _) :: _ -> l | [] -> next_lsn);
       bytes_appended = 0;
@@ -253,6 +267,14 @@ let frames_appended t = locked t (fun () -> t.frames_appended)
 let fsync_count t = locked t (fun () -> t.fsyncs)
 let fsync_hist t = t.fsync_hist
 let with_stats_lock t f = locked t f
+
+(* How long the in-flight fsync(2) has been running; 0 when none.
+   Unlocked read — see [sync_started_ns]. *)
+let fsync_in_progress_ns t =
+  match t.sync_started_ns with 0 -> 0 | since -> Clock.now_ns () - since
+
+let fsync_p99_ns t = locked t (fun () -> Hist.percentile t.fsync_hist 0.99)
+let inject_fsync_delay t secs = t.fsync_delay <- secs
 
 let close t =
   let th = locked t (fun () -> t.closed <- true; t.interval_thread) in

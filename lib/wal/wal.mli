@@ -76,5 +76,17 @@ val fsync_hist : t -> Xqb_obs.Hist.t
 
 val with_stats_lock : t -> (unit -> 'a) -> 'a
 
+(** How long the in-flight fsync(2) has been running (monotonic ns);
+    0 when none — the stall watchdog's "group commit stuck" signal.
+    Read without locking; stale by at most a poll period. *)
+val fsync_in_progress_ns : t -> int
+
+(** 99th-percentile fsync latency in ns (0 before the first fsync). *)
+val fsync_p99_ns : t -> float
+
+(** Fault injection for tests: sleep [secs] inside every subsequent
+    fsync, simulating a stalled device. 0 restores normal service. *)
+val inject_fsync_delay : t -> float -> unit
+
 (** Final fsync (unless [Never]), stop the interval thread, close. *)
 val close : t -> unit

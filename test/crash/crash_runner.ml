@@ -14,6 +14,16 @@
    match. Some rounds force a CHECKPOINT first so recovery exercises
    the snapshot + WAL-tail path, not just plain replay.
 
+   Each SIGKILL round also verifies the crash flight recorder: the
+   restarted server must write a flight-<ts>.json (the killed child's
+   events.jsonl does not end in lifecycle.shutdown), the dump must be
+   strict JSON, and no wal.commit event spliced into it may carry an
+   LSN above what recovery reports — commit events are emitted after
+   the durability barrier, so the event log can never claim more than
+   the disk has. The clean-shutdown round must leave no dump. With
+   XQBANG_CRASH_ARTIFACT_DIR set, the last dump is copied there (CI
+   uploads it).
+
    The seed is printed and overridable via XQBANG_CRASH_SEED. *)
 
 module Svc = Xqb_service.Service
@@ -107,15 +117,80 @@ let open_session c doc_path =
   send c "OPEN";
   session c doc_path
 
-let journal_digest c =
+let journal_stat c =
   send c "JOURNAL STAT";
   let payload = recv_ok c "JOURNAL STAT" in
   match Json.parse payload with
   | Error e -> fail "JOURNAL STAT payload is not JSON (%s): %S" e payload
   | Ok v -> (
-    match Option.bind (Json.path v [ "digest" ]) Json.to_string_opt with
-    | Some d -> d
-    | None -> fail "JOURNAL STAT payload has no digest: %S" payload)
+    match
+      ( Option.bind (Json.path v [ "digest" ]) Json.to_string_opt,
+        Option.bind (Json.path v [ "lsn" ]) Json.to_float_opt )
+    with
+    | Some d, Some lsn -> (d, int_of_float lsn)
+    | _ -> fail "JOURNAL STAT payload lacks digest/lsn: %S" payload)
+
+let journal_digest c = fst (journal_stat c)
+
+(* ---------- flight-recorder checks ---------- *)
+
+let flight_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun n ->
+         String.length n > 7
+         && String.sub n 0 7 = "flight-"
+         && Filename.check_suffix n ".json")
+  |> List.sort compare
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* The dump must parse, name its reason, and respect the commit
+   barrier: no spliced wal.commit event may exceed the recovered
+   LSN — the event is only logged once the frames are durable. *)
+let check_flight ~round ~recovered_lsn path =
+  let v =
+    match Json.parse (read_file path) with
+    | Ok v -> v
+    | Error e -> fail "round %d: flight dump %s is not JSON: %s" round path e
+  in
+  (match Option.bind (Json.member "reason" v) Json.to_string_opt with
+  | Some "unclean-shutdown" -> ()
+  | Some r -> fail "round %d: flight reason %S" round r
+  | None -> fail "round %d: flight dump has no reason" round);
+  let events =
+    match Json.member "events" v with
+    | Some a -> Json.to_list a
+    | None -> fail "round %d: flight dump splices no events" round
+  in
+  if events = [] then fail "round %d: flight dump has an empty event tail" round;
+  List.iter
+    (fun e ->
+      match Option.bind (Json.member "kind" e) Json.to_string_opt with
+      | Some "wal.commit" -> (
+        match Option.bind (Json.path e [ "data"; "lsn" ]) Json.to_float_opt with
+        | Some lsn ->
+          if int_of_float lsn > recovered_lsn then
+            fail
+              "round %d: flight records wal.commit lsn %d but recovery only \
+               reached %d"
+              round (int_of_float lsn) recovered_lsn
+        | None -> fail "round %d: wal.commit event without an lsn" round)
+      | _ -> ())
+    events
+
+let copy_artifact path =
+  match Sys.getenv_opt "XQBANG_CRASH_ARTIFACT_DIR" with
+  | None | Some "" -> ()
+  | Some dir ->
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let dst = Filename.concat dir (Filename.basename path) in
+    let oc = open_out_bin dst in
+    output_string oc (read_file path);
+    close_out_noerr oc
 
 (* ---------- the in-process mirror ---------- *)
 
@@ -179,8 +254,22 @@ let () =
   (* verify the recovered child against the mirror; [inflight] is the
      query whose acknowledgment the kill raced, if any *)
   let verify ~round ~inflight =
+    let flights_before = flight_files data_dir in
     let probe = spawn exe data_dir in
-    let recovered = journal_digest probe in
+    let recovered, recovered_lsn = journal_stat probe in
+    (* the killed child left its events.jsonl without a shutdown
+       marker: this boot must have written a flight dump *)
+    let fresh =
+      List.filter
+        (fun f -> not (List.mem f flights_before))
+        (flight_files data_dir)
+    in
+    (match List.rev fresh with
+    | [] -> fail "round %d: no flight dump after a SIGKILL recovery" round
+    | newest :: _ ->
+      let path = Filename.concat data_dir newest in
+      check_flight ~round ~recovered_lsn path;
+      copy_artifact path);
     let acked = mirror_digest () in
     (if recovered = acked then ()
      else
@@ -253,12 +342,16 @@ let () =
     mirror_apply q
   done;
   quit c;
+  let flights_before = flight_files data_dir in
   let probe = spawn exe data_dir in
   let recovered = journal_digest probe in
   quit probe;
   if recovered <> mirror_digest () then
     fail "clean shutdown: recovered %s but expected %s" recovered
       (mirror_digest ());
+  (* QUIT wrote lifecycle.shutdown: no flight dump on this boot *)
+  if flight_files data_dir <> flights_before then
+    fail "clean shutdown still produced a flight dump";
   Printf.printf "crash harness: clean shutdown round ok\n%!";
   Svc.shutdown mirror;
   rm_rf data_dir;

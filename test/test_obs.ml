@@ -1,12 +1,16 @@
 (* lib/obs: the strict JSON checker, the fixed-footprint histogram
-   (nearest-rank percentiles, exact-then-bucketed), and the per-query
-   span tracer with its Chrome trace-event export. Also round-trips
-   the service's Metrics JSON, including escaped document URIs. *)
+   (nearest-rank percentiles, exact-then-bucketed, window merge), the
+   per-query span tracer with its Chrome trace-event export, the
+   rolling-window metrics ring and the structured event log. Also
+   round-trips the service's Metrics JSON, including escaped document
+   URIs. *)
 
 open Helpers
 module J = Xqb_obs.Json
 module Hist = Xqb_obs.Hist
 module Trace = Xqb_obs.Trace
+module Window = Xqb_obs.Window
+module Events = Xqb_obs.Events
 
 (* -- Json: strict parser ------------------------------------------- *)
 
@@ -142,6 +146,319 @@ let hist_tests =
           check (Alcotest.float 1e-9) "p99" 3. p99;
           check (Alcotest.float 0.) "count" 3. n
         | _ -> Alcotest.fail "p99/count fields missing");
+  ]
+
+(* -- Hist.merge: the window-snapshot primitive ---------------------- *)
+
+let record_all h vs = List.iter (fun v -> Hist.record h v) vs
+
+let merge_tests =
+  [
+    tc "merging empties stays empty with zero percentiles" `Quick (fun () ->
+        let a = Hist.create () and b = Hist.create () in
+        Hist.merge ~into:a b;
+        check Alcotest.int "count" 0 (Hist.count a);
+        check (Alcotest.float 0.) "p50" 0. (Hist.percentile a 0.50);
+        check (Alcotest.float 0.) "p99" 0. (Hist.percentile a 0.99);
+        check (Alcotest.float 0.) "mean" 0. (Hist.mean a));
+    tc "merging an empty window changes nothing" `Quick (fun () ->
+        let a = Hist.create () in
+        record_all a [ 3.; 1.; 2. ];
+        Hist.merge ~into:a (Hist.create ());
+        check Alcotest.int "count" 3 (Hist.count a);
+        check (Alcotest.float 0.) "p50 still exact" 2.
+          (Hist.percentile a 0.50));
+    tc "single-sample windows merge to exact percentiles" `Quick (fun () ->
+        (* every slot holding one sample is the worst case for a
+           bucketed merge; small unions must stay sample-exact *)
+        let into = Hist.create () in
+        List.iter
+          (fun v ->
+            let s = Hist.create () in
+            Hist.record s v;
+            check (Alcotest.float 0.) "slot p99 = its sample" v
+              (Hist.percentile s 0.99);
+            Hist.merge ~into s)
+          [ 5.; 1.; 4.; 2.; 3. ];
+        check Alcotest.int "count" 5 (Hist.count into);
+        check (Alcotest.float 0.) "p50" 3. (Hist.percentile into 0.50);
+        check (Alcotest.float 0.) "max" 5. (Hist.max_value into);
+        check (Alcotest.float 0.) "min" 1. (Hist.min_value into));
+    tc "merge into self raises" `Quick (fun () ->
+        let h = Hist.create () in
+        Hist.record h 1.;
+        match Hist.merge ~into:h h with
+        | () -> Alcotest.fail "self-merge accepted"
+        | exception Invalid_argument _ -> ());
+    tc "overflowing merge degrades to estimates, counts stay exact" `Quick
+      (fun () ->
+        let into = Hist.create ~exact_cap:8 () in
+        let src = Hist.create () in
+        record_all into [ 1.; 2.; 3.; 4.; 5. ];
+        record_all src [ 6.; 7.; 8.; 9.; 10. ];
+        Hist.merge ~into src;
+        check Alcotest.int "count" 10 (Hist.count into);
+        check (Alcotest.float 1e-9) "sum" 55. (Hist.sum into);
+        check (Alcotest.float 0.) "max" 10. (Hist.max_value into);
+        let p99 = Hist.percentile into 0.99 in
+        if p99 < 8. || p99 > 12.5 then
+          Alcotest.failf "p99 estimate %.2f outside one bucket of 10" p99);
+    qtest ~count:100 "merge of sub-windows equals the whole window"
+      QCheck2.Gen.(
+        pair
+          (list_size (int_range 0 40)
+             (list_size (int_range 0 30) (float_range 1. 1e6)))
+          unit)
+      (fun (slots, ()) ->
+        (* split a population across N slot histograms and merge them
+           back — exactly what Window.snapshot does — then compare to
+           one histogram fed the whole population directly *)
+        let whole = Hist.create () in
+        let merged = Hist.create () in
+        List.iter
+          (fun slot ->
+            let h = Hist.create () in
+            List.iter
+              (fun v ->
+                Hist.record h v;
+                Hist.record whole v)
+              slot;
+            Hist.merge ~into:merged h)
+          slots;
+        Hist.count merged = Hist.count whole
+        && abs_float (Hist.sum merged -. Hist.sum whole) < 1e-6
+        && Hist.max_value merged = Hist.max_value whole
+        && Hist.min_value merged = Hist.min_value whole
+        &&
+        (* percentiles sample-exact while the union fits the exact
+           prefix; both sides agree regardless of the split *)
+        List.for_all
+          (fun p ->
+            let a = Hist.percentile merged p
+            and b = Hist.percentile whole p in
+            if Hist.count whole <= 512 then a = b
+            else a = 0. = (b = 0.) && (b = 0. || a /. b < 1.5 && a /. b > 0.6))
+          [ 0.5; 0.9; 0.99 ]);
+  ]
+
+(* -- Window: deterministic rolling-window behaviour ------------------ *)
+
+(* 10 slots x 100ms = a 1s window, driven by a synthetic clock. *)
+let mk_window () = Window.create ~slot_ms:100 ~slots:10 ()
+
+let ms n = n * 1_000_000
+
+let window_tests =
+  [
+    tc "empty window: zero rate, zero percentiles, zero fracs" `Quick
+      (fun () ->
+        let w = mk_window () in
+        let s = Window.snapshot ~now_ns:(ms 50) w in
+        check Alcotest.int "count" 0 s.Window.count;
+        check (Alcotest.float 0.) "rate" 0. s.Window.rate;
+        check (Alcotest.float 0.) "p99" 0. s.Window.p99_ns;
+        check (Alcotest.float 0.) "err_frac" 0. s.Window.err_frac;
+        check (Alcotest.float 0.) "slow_frac" 0. s.Window.slow_frac);
+    tc "single-sample window reports that sample" `Quick (fun () ->
+        let w = mk_window () in
+        Window.record ~now_ns:(ms 10) w ~ok:true ~slow:false 5000;
+        let s = Window.snapshot ~now_ns:(ms 20) w in
+        check Alcotest.int "count" 1 s.Window.count;
+        check (Alcotest.float 0.) "p50" 5000. s.Window.p50_ns;
+        check (Alcotest.float 0.) "p99" 5000. s.Window.p99_ns;
+        check (Alcotest.float 0.) "max" 5000. s.Window.max_ns;
+        check (Alcotest.float 1e-9) "mean" 5000. s.Window.mean_ns);
+    tc "errors and slow samples produce fracs" `Quick (fun () ->
+        let w = mk_window () in
+        Window.record ~now_ns:(ms 10) w ~ok:true ~slow:false 100;
+        Window.record ~now_ns:(ms 20) w ~ok:false ~slow:false 100;
+        Window.record ~now_ns:(ms 30) w ~ok:true ~slow:true 100;
+        Window.record ~now_ns:(ms 40) w ~ok:true ~slow:false 100;
+        let s = Window.snapshot ~now_ns:(ms 50) w in
+        check Alcotest.int "count" 4 s.Window.count;
+        check Alcotest.int "errors" 1 s.Window.errors;
+        check Alcotest.int "slow" 1 s.Window.slow;
+        check (Alcotest.float 1e-9) "err_frac" 0.25 s.Window.err_frac;
+        check (Alcotest.float 1e-9) "slow_frac" 0.25 s.Window.slow_frac);
+    tc "ring rollover: samples expire after the span" `Quick (fun () ->
+        let w = mk_window () in
+        Window.record ~now_ns:(ms 10) w ~ok:false ~slow:false 100;
+        (* still visible within the 1s span *)
+        check Alcotest.int "inside span" 1
+          (Window.snapshot ~now_ns:(ms 900) w).Window.count;
+        (* one full span later the slot has been recycled *)
+        check Alcotest.int "expired" 0
+          (Window.snapshot ~now_ns:(ms 1500) w).Window.count;
+        (* and the recycled slot accepts new samples cleanly *)
+        Window.record ~now_ns:(ms 1510) w ~ok:true ~slow:false 200;
+        let s = Window.snapshot ~now_ns:(ms 1520) w in
+        check Alcotest.int "fresh sample" 1 s.Window.count;
+        check Alcotest.int "old error gone" 0 s.Window.errors);
+    tc "rollover across many spans keeps the footprint fixed" `Quick
+      (fun () ->
+        let w = mk_window () in
+        (* 10k samples spread over 100 spans: any leak of expired
+           slots would show up as count > one window's worth *)
+        for i = 1 to 10_000 do
+          Window.record ~now_ns:(ms (i * 10)) w ~ok:true ~slow:false 100
+        done;
+        let s = Window.snapshot ~now_ns:(ms 100_000) w in
+        check Alcotest.bool "at most one window retained" true
+          (s.Window.count <= 100);
+        check Alcotest.bool "rate ~ 100/s" true
+          (s.Window.rate > 50. && s.Window.rate < 150.));
+    qtest ~count:100 "windowed count never exceeds the cumulative count"
+      QCheck2.Gen.(list_size (int_range 0 200) (int_range 0 3000))
+      (fun deltas_ms ->
+        (* a random monotone sample schedule: whatever the window
+           retains is a subset of everything recorded *)
+        let w = mk_window () in
+        let now = ref 0 in
+        let total = ref 0 in
+        List.iter
+          (fun d ->
+            now := !now + ms d;
+            Window.record ~now_ns:!now w ~ok:true ~slow:false 100;
+            incr total;
+            let s = Window.snapshot ~now_ns:!now w in
+            if s.Window.count > !total then
+              QCheck2.Test.fail_reportf "window %d > cumulative %d"
+                s.Window.count !total)
+          deltas_ms;
+        true);
+    tc "burn rate: observed over budget" `Quick (fun () ->
+        check (Alcotest.float 1e-9) "at budget" 1.
+          (Window.burn ~frac:0.01 ~budget_frac:0.01);
+        check (Alcotest.float 1e-9) "4x burn" 4.
+          (Window.burn ~frac:0.04 ~budget_frac:0.01);
+        check (Alcotest.float 0.) "no failures" 0.
+          (Window.burn ~frac:0. ~budget_frac:0.01));
+    tc "snap_json round-trips the strict parser" `Quick (fun () ->
+        let w = mk_window () in
+        Window.record ~now_ns:(ms 10) w ~ok:true ~slow:false 100;
+        let v =
+          check_json "window snap"
+            (Window.snap_json (Window.snapshot ~now_ns:(ms 20) w))
+        in
+        match J.member "count" v with
+        | Some (J.Num n) -> check (Alcotest.float 0.) "count" 1. n
+        | _ -> Alcotest.fail "count missing");
+  ]
+
+(* -- Events: bounded ring, severity filter, JSONL sink --------------- *)
+
+let event_tests =
+  [
+    tc "severity names round-trip, unknown rejected" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            match Events.severity_of_string (Events.severity_to_string s) with
+            | Some s' ->
+              check Alcotest.int "rank" (Events.severity_rank s)
+                (Events.severity_rank s')
+            | None -> Alcotest.fail "round trip failed")
+          [ Events.Debug; Info; Warn; Error; Critical ];
+        check Alcotest.bool "unknown" true
+          (Events.severity_of_string "loud" = None));
+    tc "ring keeps the last cap events, total keeps counting" `Quick
+      (fun () ->
+        let t = Events.create ~cap:4 () in
+        for i = 1 to 10 do
+          Events.info t ~kind:"k" [ ("i", Events.I i) ]
+        done;
+        check Alcotest.int "total" 10 (Events.total t);
+        let tl = Events.tail t 100 in
+        check Alcotest.int "retained" 4 (List.length tl);
+        check
+          (Alcotest.list Alcotest.int)
+          "oldest first, newest retained" [ 7; 8; 9; 10 ]
+          (List.map
+             (fun e ->
+               match List.assoc "i" e.Events.data with
+               | Events.I i -> i
+               | _ -> -1)
+             tl));
+    tc "tail level filter and count_at_least agree" `Quick (fun () ->
+        let t = Events.create () in
+        Events.debug t ~kind:"d" [];
+        Events.info t ~kind:"i" [];
+        Events.warn t ~kind:"w" [];
+        Events.error t ~kind:"e" [];
+        Events.critical t ~kind:"c" [];
+        check Alcotest.int "all" 5 (Events.count_at_least t Events.Debug);
+        check Alcotest.int "warn+" 3 (Events.count_at_least t Events.Warn);
+        check Alcotest.int "critical" 1
+          (Events.count_at_least t Events.Critical);
+        check
+          (Alcotest.list Alcotest.string)
+          "filtered tail" [ "w"; "e"; "c" ]
+          (List.map
+             (fun e -> e.Events.kind)
+             (Events.tail ~level:Events.Warn t 100)));
+    tc "events_json round-trips with escaped data" `Quick (fun () ->
+        let t = Events.create () in
+        Events.warn t ~kind:"q.slow"
+          [
+            ("uri", Events.S "doc\"with\\esc\napes");
+            ("ms", Events.F 1.5);
+            ("jid", Events.I 7);
+            ("forced", Events.B true);
+          ];
+        let v = check_json "events" (Events.events_json (Events.tail t 10)) in
+        match J.to_list v with
+        | [ e ] -> (
+          (match Option.bind (J.member "kind" e) J.to_string_opt with
+          | Some k -> check Alcotest.string "kind" "q.slow" k
+          | None -> Alcotest.fail "kind missing");
+          match J.path e [ "data"; "uri" ] with
+          | Some (J.Str u) ->
+            check Alcotest.string "nasty value" "doc\"with\\esc\napes" u
+          | _ -> Alcotest.fail "data.uri missing")
+        | l -> Alcotest.failf "expected 1 event, got %d" (List.length l));
+    tc "subscribers see each event and may log reentrantly" `Quick (fun () ->
+        let t = Events.create () in
+        let seen = ref [] in
+        Events.subscribe t (fun e ->
+            seen := e.Events.kind :: !seen;
+            (* a subscriber that logs must not deadlock; its event
+               reaches the ring but not the (already-running) hook *)
+            if e.Events.kind = "outer" then Events.info t ~kind:"nested" []);
+        Events.info t ~kind:"outer" [];
+        check Alcotest.bool "outer seen" true (List.mem "outer" !seen);
+        check Alcotest.int "both in ring" 2 (Events.total t));
+    tc "disabled log is a no-op" `Quick (fun () ->
+        let t = Events.disabled () in
+        Events.critical t ~kind:"x" [];
+        check Alcotest.bool "enabled" false (Events.enabled t);
+        check Alcotest.int "total" 0 (Events.total t);
+        check Alcotest.int "tail" 0 (List.length (Events.tail t 10)));
+    tc "sink mirrors events as JSONL, Info+ flushed immediately" `Quick
+      (fun () ->
+        let dir = Filename.temp_file "xqb_events" "" in
+        Sys.remove dir;
+        Unix.mkdir dir 0o755;
+        let path = Filename.concat dir "events.jsonl" in
+        let t = Events.create ~sink_path:path () in
+        Events.info t ~kind:"lifecycle.boot" [ ("domains", Events.I 2) ];
+        Events.warn t ~kind:"sched.overload" [];
+        (* Info and above flush per event: readable before close *)
+        let ic = open_in path in
+        let lines = ref [] in
+        (try
+           while true do
+             lines := input_line ic :: !lines
+           done
+         with End_of_file -> ());
+        close_in ic;
+        Events.close t;
+        let lines = List.rev !lines in
+        check Alcotest.int "two lines" 2 (List.length lines);
+        List.iter (fun l -> ignore (check_json "sink line" l)) lines;
+        (match J.member "kind" (J.parse_exn (List.hd lines)) with
+        | Some (J.Str k) -> check Alcotest.string "first kind" "lifecycle.boot" k
+        | _ -> Alcotest.fail "kind missing in sink");
+        Sys.remove path;
+        Unix.rmdir dir);
   ]
 
 (* -- Trace: spans, nesting, export ---------------------------------- *)
@@ -329,6 +646,9 @@ let suite =
   [
     ("obs: json", json_tests);
     ("obs: hist", hist_tests);
+    ("obs: hist-merge", merge_tests);
+    ("obs: window", window_tests);
+    ("obs: events", event_tests);
     ("obs: trace", trace_tests);
     ("obs: round-trips", roundtrip_tests);
   ]

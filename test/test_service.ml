@@ -583,17 +583,92 @@ let observability =
                 "xqbang_query_latency_ns_count 2";
                 "# TYPE xqbang_phase_ns summary";
               ];
-            (* every line is a comment or "name[{labels}] value" *)
+            (* every line is a comment or "name[{labels}] value";
+               summaries may legitimately emit +Inf/-Inf/NaN *)
             let line_re =
               Re.compile
                 (Re.Perl.re
-                   {|^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [-+0-9.eE]+)$|})
+                   {|^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? ([-+0-9.eE]+|\+Inf|-Inf|NaN))$|})
             in
             List.iter
               (fun line ->
                 if line <> "" && not (Re.execp line_re line) then
                   Alcotest.failf "malformed exposition line %S" line)
               (String.split_on_char '\n' body)));
+    tc "METRICS PROM: page-wide exposition lint" `Quick (fun () ->
+        (* parse the whole page back: every sample's family must have
+           exactly one # HELP and one # TYPE line (before its first
+           sample), and counter families must end in _total *)
+        with_service (fun svc ->
+            let s = Svc.open_session svc in
+            ignore (ok (Svc.query svc s "1 + 1"));
+            ignore (ok (Svc.query svc s updating_query));
+            let body = Svc.metrics_prometheus svc in
+            let helps = Hashtbl.create 32 and types = Hashtbl.create 32 in
+            let bump tbl name =
+              Hashtbl.replace tbl name
+                (1 + Option.value ~default:0 (Hashtbl.find_opt tbl name))
+            in
+            let sample_re =
+              Re.compile
+                (Re.Perl.re {|^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? |})
+            in
+            let family name =
+              (* _sum/_count belong to their summary family *)
+              let strip suf =
+                if Filename.check_suffix name suf then
+                  Some (Filename.chop_suffix name suf)
+                else None
+              in
+              match (strip "_sum", strip "_count") with
+              | Some f, _ when Hashtbl.mem types f -> f
+              | _, Some f when Hashtbl.mem types f -> f
+              | _ -> name
+            in
+            List.iter
+              (fun line ->
+                match String.split_on_char ' ' line with
+                | "#" :: "HELP" :: name :: _ -> bump helps name
+                | "#" :: "TYPE" :: name :: kind :: _ ->
+                  bump types name;
+                  if
+                    kind = "counter"
+                    && not (Filename.check_suffix name "_total")
+                  then
+                    Alcotest.failf "counter %s does not end in _total" name
+                | _ when line = "" -> ()
+                | _ -> (
+                  match Re.exec_opt sample_re line with
+                  | None -> Alcotest.failf "unparseable line %S" line
+                  | Some g ->
+                    let f = family (Re.Group.get g 1) in
+                    if not (Hashtbl.mem types f) then
+                      Alcotest.failf "sample %S before any # TYPE for %s"
+                        line f;
+                    if not (Hashtbl.mem helps f) then
+                      Alcotest.failf "family %s has no # HELP" f))
+              (String.split_on_char '\n' body);
+            Hashtbl.iter
+              (fun name n ->
+                if n <> 1 then
+                  Alcotest.failf "family %s declared # TYPE %d times" name n)
+              types;
+            Hashtbl.iter
+              (fun name n ->
+                if n <> 1 then
+                  Alcotest.failf "family %s declared # HELP %d times" name n)
+              helps;
+            (* the new telemetry families are on the page *)
+            List.iter
+              (fun f ->
+                if not (Hashtbl.mem types f) then
+                  Alcotest.failf "missing family %s" f)
+              [
+                "xqbang_window_rate"; "xqbang_window_p99_ns";
+                "xqbang_slo_burn_rate"; "xqbang_trace_ring_size";
+                "xqbang_trace_ring_evictions_total"; "xqbang_events_total";
+                "xqbang_events_by_level_total"; "xqbang_health_status";
+              ]));
     tc "wire protocol parses the observability verbs" `Quick (fun () ->
         let is_ok r = function
           | Ok x -> x = r
@@ -608,7 +683,323 @@ let observability =
         check Alcotest.bool "METRICS PROM" true
           (is_ok Proto.Metrics_prom (Proto.parse "METRICS PROM"));
         check Alcotest.bool "METRICS bogus rejected" true
-          (match Proto.parse "METRICS JSONX" with Error _ -> true | _ -> false));
+          (match Proto.parse "METRICS JSONX" with Error _ -> true | _ -> false);
+        check Alcotest.bool "HEALTH" true
+          (is_ok Proto.Health (Proto.parse "HEALTH"));
+        check Alcotest.bool "HEALTH takes no args" true
+          (match Proto.parse "HEALTH NOW" with Error _ -> true | _ -> false);
+        check Alcotest.bool "EVENTS default" true
+          (is_ok (Proto.Events (50, None)) (Proto.parse "EVENTS"));
+        check Alcotest.bool "EVENTS TAIL" true
+          (is_ok (Proto.Events (10, None)) (Proto.parse "EVENTS TAIL 10"));
+        check Alcotest.bool "EVENTS LEVEL" true
+          (is_ok (Proto.Events (50, Some "warn")) (Proto.parse "EVENTS LEVEL warn"));
+        check Alcotest.bool "EVENTS TAIL + LEVEL" true
+          (is_ok
+             (Proto.Events (5, Some "error"))
+             (Proto.parse "EVENTS TAIL 5 LEVEL ERROR"));
+        check Alcotest.bool "EVENTS bad level rejected" true
+          (match Proto.parse "EVENTS LEVEL loud" with
+          | Error _ -> true
+          | _ -> false);
+        check Alcotest.bool "EVENTS bad tail rejected" true
+          (match Proto.parse "EVENTS TAIL 0" with Error _ -> true | _ -> false));
+  ]
+
+(* -- Health telemetry: HEALTH, EVENTS, the trace ring ---------------- *)
+
+let tmp_counter = ref 0
+
+let fresh_dir () =
+  incr tmp_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "xqbang-svc-health-%d-%d" (Unix.getpid ()) !tmp_counter)
+
+let durable_cfg dir =
+  { (Xqb_wal.Durable.default_config ~dir) with Xqb_wal.Durable.fsync = Always }
+
+let status_of svc =
+  let v = check_json "health" (Svc.health_json svc) in
+  match Option.bind (J.member "status" v) J.to_string_opt with
+  | Some s -> s
+  | None -> Alcotest.fail "health_json has no status"
+
+let reason_codes svc =
+  let v = check_json "health" (Svc.health_json svc) in
+  match J.member "reasons" v with
+  | Some a ->
+    List.filter_map
+      (fun r -> Option.bind (J.member "code" r) J.to_string_opt)
+      (J.to_list a)
+  | None -> []
+
+let health =
+  [
+    tc "HEALTH: a quiet service is ok with no reasons" `Quick (fun () ->
+        with_service (fun svc ->
+            let s = Svc.open_session svc in
+            ignore (ok (Svc.query svc s "1 + 1"));
+            check Alcotest.string "status" "ok" (status_of svc);
+            check Alcotest.int "no reasons" 0 (List.length (reason_codes svc));
+            check Alcotest.string "accessor agrees" "ok"
+              (Svc.health_status svc)));
+    tc "HEALTH: sustained errors burn the availability SLO" `Quick (fun () ->
+        with_service (fun svc ->
+            let s = Svc.open_session svc in
+            (* all-error traffic: err_frac 1.0 against a 1% budget is
+               a 100x burn, far past the 4x fast-burn threshold *)
+            for _ = 1 to 8 do
+              ignore (err (Svc.query svc s "1 +"))
+            done;
+            check Alcotest.string "status" "critical" (status_of svc);
+            check Alcotest.bool "error-burn reason" true
+              (List.mem "error-burn" (reason_codes svc))));
+    tc "HEALTH: latency SLO violations burn the latency budget" `Quick
+      (fun () ->
+        (* a 0ms p99 target makes every query "slow": slow_frac 1.0
+           over the 1% latency budget *)
+        let svc = Svc.create ~domains:0 ~slo_p99_ms:0.000001 () in
+        Fun.protect
+          ~finally:(fun () -> Svc.shutdown svc)
+          (fun () ->
+            let s = Svc.open_session svc in
+            for _ = 1 to 8 do
+              ignore (ok (Svc.query svc s "1 + 1"))
+            done;
+            check Alcotest.string "status" "critical" (status_of svc);
+            check Alcotest.bool "latency-burn reason" true
+              (List.mem "latency-burn" (reason_codes svc))));
+    tc "HEALTH: induced overload trips the queue-depth check" `Quick
+      (fun () ->
+        (* one worker, watermark 2: a long job plus two queued ones
+           puts the depth at the critical line (2*9/10 -> 1) *)
+        let svc = Svc.create ~domains:1 ~max_queue:2 () in
+        Fun.protect
+          ~finally:(fun () -> Svc.shutdown svc)
+          (fun () ->
+            let s = Svc.open_session svc in
+            let futs =
+              List.init 3 (fun _ -> snd (Svc.submit_job svc s slow_pure))
+            in
+            (* the first job occupies the worker; the rest are queued *)
+            let rec wait_depth n =
+              if n = 0 then Alcotest.fail "queue never filled"
+              else if Sched.queue_depth (Svc.scheduler svc) < 1 then begin
+                Thread.delay 0.005;
+                wait_depth (n - 1)
+              end
+            in
+            wait_depth 400;
+            check Alcotest.bool "queue-depth reason" true
+              (List.mem "queue-depth" (reason_codes svc));
+            check Alcotest.bool "not ok under overload" true
+              (status_of svc <> "ok");
+            List.iter (fun f -> ignore (Svc.await f)) futs;
+            (* drained: health recovers *)
+            check Alcotest.bool "queue-depth clears" true
+              (not (List.mem "queue-depth" (reason_codes svc)))));
+    tc "HEALTH: a stalled fsync degrades then recovers" `Quick (fun () ->
+        let dir = fresh_dir () in
+        let svc =
+          Svc.create ~domains:0 ~durability:(durable_cfg dir)
+            ~fsync_warn_ms:50 ()
+        in
+        Fun.protect
+          ~finally:(fun () -> Svc.shutdown svc)
+          (fun () ->
+            let s = Svc.open_session svc in
+            Svc.load_document svc s ~uri:"d" "<r/>";
+            (* boot fsyncs are real disk syncs: on a loaded box one can
+               take a few ms, so the pre-check pins only the fsync
+               reason, and the budget leaves a wide margin below the
+               injected delay *)
+            check Alcotest.bool "no fsync-latency before" true
+              (not (List.mem "fsync-latency" (reason_codes svc)));
+            (* every fsync now takes ~120ms against a 50ms p99 budget *)
+            Svc.inject_fsync_delay svc 0.12;
+            ignore (ok (Svc.query svc s {|snap { insert {<a/>} into {doc("d")/r} }|}));
+            check Alcotest.string "degraded" "degraded" (status_of svc);
+            check Alcotest.bool "fsync-latency reason" true
+              (List.mem "fsync-latency" (reason_codes svc))));
+    tc "HEALTH: a replica falling behind trips the leader's peer check"
+      `Quick (fun () ->
+        let dir = fresh_dir () in
+        let svc =
+          Svc.create ~domains:0 ~durability:(durable_cfg dir)
+            ~lag_warn_frames:1 ()
+        in
+        Fun.protect
+          ~finally:(fun () -> Svc.shutdown svc)
+          (fun () ->
+            let s = Svc.open_session svc in
+            Svc.load_document svc s ~uri:"d" "<r/>";
+            for _ = 1 to 6 do
+              ignore
+                (ok (Svc.query svc s {|snap { insert {<a/>} into {doc("d")/r} }|}))
+            done;
+            (* a replica announces itself from LSN 1 and never acks
+               further: stuck >= 4 frames behind the WAL head *)
+            (match
+               Svc.ship_frames ~replica_id:"r-test" svc ~from_lsn:1 ~max:1
+             with
+            | Ok _ -> ()
+            | Error e -> Alcotest.failf "ship failed: %s" e);
+            check Alcotest.string "critical" "critical" (status_of svc);
+            check Alcotest.bool "peer-lag reason" true
+              (List.mem "peer-lag" (reason_codes svc));
+            (* REPLICA STAT on the leader lists the peer *)
+            let v = check_json "replica stat" (Svc.replica_stat_json svc) in
+            (match J.member "peers" v with
+            | Some a ->
+              check Alcotest.bool "peer listed" true (J.to_list a <> [])
+            | None -> Alcotest.fail "leader stat has no peers")));
+    tc "EVENTS: boot and commit events, level filter, wire shape" `Quick
+      (fun () ->
+        let dir = fresh_dir () in
+        let svc = Svc.create ~domains:0 ~durability:(durable_cfg dir) () in
+        Fun.protect
+          ~finally:(fun () -> Svc.shutdown svc)
+          (fun () ->
+            let s = Svc.open_session svc in
+            Svc.load_document svc s ~uri:"d" "<r/>";
+            ignore (ok (Svc.query svc s {|snap { insert {<a/>} into {doc("d")/r} }|}));
+            let kinds level =
+              List.filter_map
+                (fun e -> Option.bind (J.member "kind" e) J.to_string_opt)
+                (J.to_list
+                   (check_json "events" (Svc.events_json ?level svc 100)))
+            in
+            let all = kinds None in
+            List.iter
+              (fun k ->
+                if not (List.mem k all) then
+                  Alcotest.failf "events miss %S; have: %s" k
+                    (String.concat "," all))
+              [ "lifecycle.boot"; "lifecycle.recovery"; "wal.commit" ];
+            (* wal.commit is Debug: filtered out at Info and above *)
+            check Alcotest.bool "info filter drops wal.commit" true
+              (not
+                 (List.mem "wal.commit" (kinds (Some Xqb_obs.Events.Info))))));
+    tc "EVENTS: telemetry off disables the log and monitor" `Quick (fun () ->
+        let svc = Svc.create ~domains:0 ~telemetry:false () in
+        Fun.protect
+          ~finally:(fun () -> Svc.shutdown svc)
+          (fun () ->
+            let s = Svc.open_session svc in
+            ignore (ok (Svc.query svc s "1 + 1"));
+            check Alcotest.string "no events" "[]" (Svc.events_json svc 100);
+            (* health still answers (windows empty, no burn checks) *)
+            check Alcotest.string "health still ok" "ok" (status_of svc)));
+    tc "trace ring: --trace-ring caps retention and counts evictions"
+      `Quick (fun () ->
+        let svc = Svc.create ~domains:0 ~tracing:true ~trace_ring:2 () in
+        Fun.protect
+          ~finally:(fun () -> Svc.shutdown svc)
+          (fun () ->
+            let s = Svc.open_session svc in
+            let jids =
+              List.init 3 (fun _ ->
+                  let jid, fut = Svc.submit_job svc s "1 + 1" in
+                  ignore (Svc.await fut);
+                  jid)
+            in
+            let size, cap, ev = Svc.trace_ring_stats svc in
+            check Alcotest.int "size" 2 size;
+            check Alcotest.int "cap" 2 cap;
+            check Alcotest.int "evictions" 1 ev;
+            (* the oldest trace is gone, the newest two retrievable *)
+            (match jids with
+            | [ j1; j2; j3 ] ->
+              check Alcotest.bool "oldest evicted" true
+                (Svc.trace_json svc (Some j1) = None);
+              check Alcotest.bool "second kept" true
+                (Svc.trace_json svc (Some j2) <> None);
+              check Alcotest.bool "newest kept" true
+                (Svc.trace_json svc (Some j3) <> None)
+            | _ -> assert false)));
+    tc "trace_ring < 1 is rejected at create" `Quick (fun () ->
+        match Svc.create ~domains:0 ~trace_ring:0 () with
+        | svc ->
+          Svc.shutdown svc;
+          Alcotest.fail "trace_ring 0 accepted"
+        | exception Invalid_argument _ -> ());
+    tc "STATS embeds windows, health and telemetry gauges" `Quick (fun () ->
+        with_service (fun svc ->
+            let s = Svc.open_session svc in
+            ignore (ok (Svc.query svc s "1 + 1"));
+            let v = check_json "stats" (Svc.stats_json svc) in
+            (match J.path v [ "health"; "status" ] with
+            | Some (J.Str _) -> ()
+            | _ -> Alcotest.fail "stats.health.status missing");
+            (match J.path v [ "windows"; "10s" ] with
+            | Some (J.Obj _) -> ()
+            | _ -> Alcotest.fail "stats.windows.10s missing");
+            match J.path v [ "telemetry"; "trace_ring" ] with
+            | Some (J.Obj _) -> ()
+            | _ -> Alcotest.fail "stats.telemetry.trace_ring missing"));
+    tc "flight recorder: an unclean shutdown leaves a parseable dump"
+      `Quick (fun () ->
+        let dir = fresh_dir () in
+        let svc = Svc.create ~domains:0 ~durability:(durable_cfg dir) () in
+        let s = Svc.open_session svc in
+        Svc.load_document svc s ~uri:"d" "<r/>";
+        ignore (ok (Svc.query svc s {|snap { insert {<a/>} into {doc("d")/r} }|}));
+        (* abandon svc without shutdown: the events sink never gets
+           its lifecycle.shutdown line, exactly like a SIGKILL (the
+           WAL fd stays open; recovery tolerates that) *)
+        let svc2 = Svc.create ~domains:0 ~durability:(durable_cfg dir) () in
+        Fun.protect
+          ~finally:(fun () -> Svc.shutdown svc2)
+          (fun () ->
+            match Svc.boot_flight svc2 with
+            | None -> Alcotest.fail "no flight dump after unclean shutdown"
+            | Some path ->
+              let ic = open_in_bin path in
+              let body =
+                Fun.protect
+                  ~finally:(fun () -> close_in ic)
+                  (fun () -> really_input_string ic (in_channel_length ic))
+              in
+              let v = check_json "flight dump" body in
+              (match Option.bind (J.member "reason" v) J.to_string_opt with
+              | Some r ->
+                check Alcotest.string "reason" "unclean-shutdown" r
+              | None -> Alcotest.fail "flight has no reason");
+              (match J.member "events" v with
+              | Some (J.Arr (_ :: _)) -> ()
+              | _ -> Alcotest.fail "flight splices no prior events");
+              match J.path v [ "recovery"; "lsn" ] with
+              | Some (J.Num lsn) ->
+                check Alcotest.bool "recovered lsn recorded" true (lsn > 0.)
+              | _ -> Alcotest.fail "flight.recovery.lsn missing");
+        (* a clean shutdown leaves no dump on the next boot *)
+        let svc3 = Svc.create ~domains:0 ~durability:(durable_cfg dir) () in
+        Fun.protect
+          ~finally:(fun () -> Svc.shutdown svc3)
+          (fun () ->
+            check Alcotest.bool "clean boot has no flight" true
+              (Svc.boot_flight svc3 = None)));
+    tc "write_flight produces a dump on demand" `Quick (fun () ->
+        let dir = fresh_dir () in
+        let svc = Svc.create ~domains:0 ~durability:(durable_cfg dir) () in
+        Fun.protect
+          ~finally:(fun () -> Svc.shutdown svc)
+          (fun () ->
+            match Svc.write_flight svc ~reason:"test" with
+            | None -> Alcotest.fail "durable service refused a flight dump"
+            | Some path ->
+              check Alcotest.bool "file exists" true (Sys.file_exists path);
+              let ic = open_in_bin path in
+              let body =
+                Fun.protect
+                  ~finally:(fun () -> close_in ic)
+                  (fun () -> really_input_string ic (in_channel_length ic))
+              in
+              let v = check_json "flight" body in
+              (match J.path v [ "health"; "status" ] with
+              | Some (J.Str _) -> ()
+              | _ -> Alcotest.fail "flight.health.status missing")));
   ]
 
 let suite =
@@ -619,4 +1010,5 @@ let suite =
     ("service:governance", governance);
     ("service:admission", admission);
     ("service:observability", observability);
+    ("service:health", health);
   ]

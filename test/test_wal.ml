@@ -681,9 +681,11 @@ let protocol =
           (p "CHECKPOINT" = Ok P.Checkpoint);
         check Alcotest.bool "SNAPSHOT" true (p "SNAPSHOT" = Ok P.Snapshot);
         check Alcotest.bool "SHIP from max" true
-          (p "SHIP 5 10" = Ok (P.Ship (5, 10)));
+          (p "SHIP 5 10" = Ok (P.Ship (5, 10, None)));
         check Alcotest.bool "SHIP default max" true
-          (p "SHIP 7" = Ok (P.Ship (7, 512)));
+          (p "SHIP 7" = Ok (P.Ship (7, 512, None)));
+        check Alcotest.bool "SHIP with replica id" true
+          (p "SHIP 5 10 r-42" = Ok (P.Ship (5, 10, Some "r-42")));
         check Alcotest.bool "SHIP needs a number" true
           (Result.is_error (p "SHIP x"));
         check Alcotest.bool "SHIP max must be positive" true
