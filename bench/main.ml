@@ -1644,11 +1644,144 @@ let e22 () =
      event log + rolling windows + SLO burn + monitor thread\n"
     clients rounds
 
+(* E23 — the service edge at scale: the effects-based fiber event    *)
+(* loop vs the legacy thread-per-connection loop, N concurrent       *)
+(* pipelined connections (connect storm + steady state).             *)
+(* ------------------------------------------------------------------ *)
+
+let e23 () =
+  print_header
+    "E23: service edge at scale — fiber event loop vs thread-per-connection";
+  let module Svc = Xqb_service.Service in
+  let module Edge = Xqb_service.Edge in
+  let nconns, rounds, pipeline = if !smoke then (200, 3, 8) else (1000, 10, 8) in
+  let nthreads = 8 in
+  let per = nconns / nthreads in
+  let nconns = per * nthreads in
+  let percentile sorted p =
+    let n = Array.length sorted in
+    if n = 0 then 0.
+    else sorted.(min (n - 1) (int_of_float (ceil (p /. 100. *. float n)) - 1))
+  in
+  let run_mode mode =
+    let svc = Svc.create ~domains:2 () in
+    let edge =
+      Edge.start svc
+        { Edge.default_config with Edge.mode; backlog = 512 }
+    in
+    let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, Edge.port edge) in
+    let fail = ref None in
+    let failing e = if !fail = None then fail := Some e in
+    (* fd for writes (controls segmentation), channel for line reads *)
+    let conns = Array.make nconns None in
+    (* connect storm: every client thread opens its slice as fast as
+       it can and completes the OPEN handshake *)
+    let storm k () =
+      try
+        for i = k * per to ((k + 1) * per) - 1 do
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          Unix.connect fd addr;
+          Unix.setsockopt fd Unix.TCP_NODELAY true;
+          ignore (Unix.write_substring fd "OPEN\n" 0 5);
+          let ic = Unix.in_channel_of_descr fd in
+          let sid = Scanf.sscanf (input_line ic) "OK %d" (fun n -> n) in
+          conns.(i) <- Some (fd, ic, sid)
+        done
+      with e -> failing (Printexc.to_string e)
+    in
+    let t0 = Unix.gettimeofday () in
+    Array.iter Thread.join
+      (Array.init nthreads (fun k -> Thread.create (storm k) ()));
+    let storm_s = Unix.gettimeofday () -. t0 in
+    (* steady state: each connection repeatedly sends [pipeline]
+       requests in one segment and reads the replies in order; all
+       [nconns] connections stay open throughout, so the edge
+       multiplexes the full set while only a few are active *)
+    let lats = Array.make nthreads [] in
+    let client k () =
+      try
+        for _ = 1 to rounds do
+          for i = k * per to ((k + 1) * per) - 1 do
+            match conns.(i) with
+            | None -> ()
+            | Some (fd, ic, sid) ->
+              let b = Buffer.create 256 in
+              for _ = 1 to pipeline do
+                Buffer.add_string b (Printf.sprintf "QUERY %d 1+1\n" sid)
+              done;
+              let s = Buffer.contents b in
+              let bt0 = Unix.gettimeofday () in
+              ignore (Unix.write_substring fd s 0 (String.length s));
+              for _ = 1 to pipeline do
+                let l = input_line ic in
+                if l <> "OK 2" then failing (Printf.sprintf "bad reply %S" l)
+              done;
+              lats.(k) <-
+                ((Unix.gettimeofday () -. bt0) *. 1e6) :: lats.(k)
+          done
+        done
+      with e -> failing (Printexc.to_string e)
+    in
+    let t0 = Unix.gettimeofday () in
+    Array.iter Thread.join
+      (Array.init nthreads (fun k -> Thread.create (client k) ()));
+    let steady_s = Unix.gettimeofday () -. t0 in
+    let peak = (Edge.gauges edge).Svc.eg_peak in
+    Array.iter
+      (function
+        | Some (fd, _, _) -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+        | None -> ())
+      conns;
+    Edge.stop edge;
+    Svc.shutdown svc;
+    (match !fail with
+    | Some e ->
+      Printf.printf "E23 FAIL (%s edge): %s\n" (Edge.mode_to_string mode) e;
+      exit_code := 1
+    | None -> ());
+    let all = Array.of_list (List.concat (Array.to_list lats)) in
+    Array.sort compare all;
+    let tput = float_of_int (nconns * rounds * pipeline) /. steady_s in
+    (storm_s, tput, percentile all 50., percentile all 99., peak)
+  in
+  let fs, ft, fp50, fp99, fpeak = run_mode Edge.Fiber in
+  let ts, tt, tp50, tp99, tpeak = run_mode Edge.Threads in
+  if (not !smoke) && fpeak < nconns then begin
+    Printf.printf "E23 FAIL: fiber edge held %d concurrent connections (< %d)\n"
+      fpeak nconns;
+    exit_code := 1
+  end;
+  if ft < tt then begin
+    Printf.printf
+      "E23 FAIL: fiber edge slower than thread edge (%.0f vs %.0f req/s)\n" ft
+      tt;
+    exit_code := 1
+  end;
+  record ~name:"e23-fiber-tput" ~n:(nconns * rounds * pipeline) (ft *. 1e3);
+  record ~name:"e23-threads-tput" ~n:(nconns * rounds * pipeline) (tt *. 1e3);
+  record ~name:"e23-fiber-p50-us" ~n:1 (fp50 *. 1e3);
+  record ~name:"e23-fiber-p99-us" ~n:1 (fp99 *. 1e3);
+  record ~name:"e23-threads-p50-us" ~n:1 (tp50 *. 1e3);
+  record ~name:"e23-threads-p99-us" ~n:1 (tp99 *. 1e3);
+  record ~name:"e23-fiber-storm-ms" ~n:nconns (fs *. 1e6);
+  record ~name:"e23-threads-storm-ms" ~n:nconns (ts *. 1e6);
+  print_table
+    [ "edge"; "conns"; "storm ms"; "req/s"; "batch p50 us"; "batch p99 us";
+      "peak open" ]
+    [ [ "fiber"; string_of_int nconns; f1 (fs *. 1e3); f1 ft; f1 fp50;
+        f1 fp99; string_of_int fpeak ];
+      [ "threads"; string_of_int nconns; f1 (ts *. 1e3); f1 tt; f1 tp50;
+        f1 tp99; string_of_int tpeak ] ];
+  Printf.printf
+    "%d connections x %d rounds x %d pipelined QUERYs, %d client threads, \
+     backlog 512; latency = per-batch round trip\n"
+    nconns rounds pipeline nthreads
+
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
     ("e13", e13); ("e15", e15); ("e16", e16); ("e17", e17); ("e18", e18);
-    ("e19", e19); ("e20", e20); ("e21", e21); ("e22", e22) ]
+    ("e19", e19); ("e20", e20); ("e21", e21); ("e22", e22); ("e23", e23) ]
 
 let () =
   (* args: experiment names, plus `--json PATH` to dump every

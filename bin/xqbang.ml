@@ -121,17 +121,19 @@ let enable_trace eng =
           (List.length delta)
           (Core.Update.delta_to_string delta))
 
-(* Budget from the shared CLI flags; None when ungoverned. *)
+(* Budget from the shared CLI flags; None when ungoverned. The
+   deadline is anchored to the monotonic clock, same as the service
+   path — a wall-clock step must not expire (or resurrect) a query. *)
 let make_budget deadline_ms fuel =
   match (deadline_ms, fuel) with
   | None, None -> None
   | _ ->
-    let deadline =
+    let deadline_ns =
       Option.map
-        (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.))
+        (fun ms -> Xqb_obs.Clock.now_ns () + (ms * 1_000_000))
         deadline_ms
     in
-    Some (Xqb_governor.Budget.create ?deadline ?fuel ())
+    Some (Xqb_governor.Budget.create ?deadline_ns ?fuel ())
 
 let deadline_arg =
   Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS"
@@ -378,98 +380,11 @@ let repl_cmd =
    [Xqb_service.Protocol] on stdin or a TCP socket. *)
 let serve_cmd =
   let module Svc = Xqb_service.Service in
-  let module P = Xqb_service.Protocol in
-  let handle_request svc stop req =
-    try
-      match (req : P.request) with
-      | P.Open -> P.ok (string_of_int (Svc.open_session svc))
-      | P.Close sid ->
-        Svc.close_session svc sid;
-        P.ok "closed"
-      | P.Load (sid, uri, path) ->
-        Svc.load_document svc sid ~uri (read_file path);
-        P.ok ("loaded " ^ uri)
-      | P.Query (sid, q) -> (
-        match Svc.query svc sid q with
-        | Ok result -> P.ok result
-        | Error e -> P.err_of e)
-      | P.Explain (sid, q) -> (
-        match Svc.explain svc sid q with
-        | Ok rendered -> P.ok rendered
-        | Error e -> P.err_of e)
-      | P.Trace jid -> (
-        match Svc.trace_json svc jid with
-        | Some (_, json) -> P.ok json
-        | None ->
-          P.err
-            (match jid with
-            | Some jid -> Printf.sprintf "no trace for job %d" jid
-            | None -> "no traced jobs (is tracing enabled?)"))
-      | P.Cancel jid ->
-        if Svc.cancel svc jid then P.ok "cancelled"
-        else P.err (Printf.sprintf "no in-flight job %d" jid)
-      | P.Stats -> P.ok (Svc.stats_json svc)
-      | P.Delta -> (
-        match Svc.delta_json svc with
-        | Some json -> P.ok json
-        | None -> P.err "no write-side job has run yet")
-      | P.Slowlog -> P.ok (Svc.slowlog_json svc)
-      | P.Metrics_prom -> P.ok (Svc.metrics_prometheus svc)
-      | P.Health -> P.ok (Svc.health_json svc)
-      | P.Events (n, level) ->
-        let level =
-          Option.map
-            (fun l ->
-              match Xqb_obs.Events.severity_of_string l with
-              | Some s -> s
-              | None -> assert false (* parse validated it *))
-            level
-        in
-        P.ok (Svc.events_json ?level svc n)
-      | P.Journal_stat -> P.ok (Svc.journal_stat_json svc)
-      | P.Replica_stat -> P.ok (Svc.replica_stat_json svc)
-      | P.Checkpoint -> (
-        match Svc.checkpoint_now svc with
-        | Ok lsn -> P.ok (string_of_int lsn)
-        | Error e -> P.err e)
-      | P.Ship (from_lsn, max, replica_id) -> (
-        (* blobs travel base64 so frames fit the one-line protocol *)
-        match Svc.ship_frames ?replica_id svc ~from_lsn ~max with
-        | Ok (last, frames) ->
-          P.ok (Printf.sprintf "%d %s" last (Xqb_wal.B64.encode frames))
-        | Error e -> P.err e)
-      | P.Snapshot -> (
-        match Svc.snapshot_blob svc with
-        | Ok (_, blob) -> P.ok (Xqb_wal.B64.encode blob)
-        | Error e -> P.err e)
-      | P.Quit ->
-        stop ();
-        P.ok "bye"
-    with
-    | Failure m | Sys_error m -> P.err m
-    | e -> P.err (Printexc.to_string e)
-  in
-  let session_loop svc ic oc =
-    let stopped = ref false in
-    let stop () = stopped := true in
-    let rec loop () =
-      match input_line ic with
-      | line ->
-        let reply =
-          match P.parse line with
-          | Ok req -> handle_request svc stop req
-          | Error e -> P.err e
-        in
-        output_string oc (reply ^ "\n");
-        flush oc;
-        if not !stopped then loop ()
-      | exception End_of_file -> ()
-    in
-    loop ()
-  in
+  let module Edge = Xqb_service.Edge in
   let serve domains cache_capacity port deadline_ms fuel max_delta max_queue
       tracing slow_apply_ms data_dir fsync checkpoint_bytes checkpoint_secs
-      replica_of slo_p99_ms slo_err_pct trace_ring telemetry =
+      replica_of slo_p99_ms slo_err_pct trace_ring telemetry edge_mode backlog
+      max_conns idle_timeout_ms =
     report_errors (fun () ->
         (* a bad --data-dir or a failed bind must exit non-zero with
            one clear line, not an uncaught exception: Durable raises
@@ -509,6 +424,37 @@ let serve_cmd =
               (Printf.sprintf "--trace-ring expects a positive integer, got %S"
                  trace_ring)
         in
+        let edge_mode =
+          match Edge.mode_of_string edge_mode with
+          | Ok m -> m
+          | Error e -> failwith ("--edge: " ^ e)
+        in
+        let backlog =
+          match int_of_string_opt backlog with
+          | Some n when n > 0 -> n
+          | _ ->
+            failwith
+              (Printf.sprintf "--backlog expects a positive integer, got %S"
+                 backlog)
+        in
+        let max_conns =
+          match int_of_string_opt max_conns with
+          | Some n when n >= 0 -> n
+          | _ ->
+            failwith
+              (Printf.sprintf
+                 "--max-conns expects a non-negative integer (0 = unlimited), \
+                  got %S" max_conns)
+        in
+        let idle_timeout_ms =
+          match int_of_string_opt idle_timeout_ms with
+          | Some n when n >= 0 -> n
+          | _ ->
+            failwith
+              (Printf.sprintf
+                 "--idle-timeout-ms expects a non-negative integer (0 = \
+                  never), got %S" idle_timeout_ms)
+        in
         let durability =
           match data_dir with
           | None -> None
@@ -534,32 +480,17 @@ let serve_cmd =
         (match port with
         | None ->
           (* newline-delimited requests on stdin, replies on stdout *)
-          session_loop svc stdin stdout
+          Edge.session_loop svc stdin stdout
         | Some port ->
-          let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-          Unix.setsockopt sock Unix.SO_REUSEADDR true;
-          (try Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
-           with Unix.Unix_error (e, _, _) ->
-             failwith
-               (Printf.sprintf "cannot bind 127.0.0.1:%d: %s" port
-                  (Unix.error_message e)));
-          Unix.listen sock 64;
-          Printf.eprintf "xqbang serve: listening on 127.0.0.1:%d\n%!" port;
-          (* one thread per connection; they all share the service,
-             whose scheduler interleaves their queries *)
-          let rec accept_loop () =
-            let fd, _ = Unix.accept sock in
-            ignore
-              (Thread.create
-                 (fun fd ->
-                   let ic = Unix.in_channel_of_descr fd in
-                   let oc = Unix.out_channel_of_descr fd in
-                   (try session_loop svc ic oc with _ -> ());
-                   (try Unix.close fd with _ -> ()))
-                 fd);
-            accept_loop ()
+          let edge =
+            Edge.start svc
+              { Edge.port; backlog; max_conns; idle_timeout_ms;
+                mode = edge_mode }
           in
-          accept_loop ());
+          Printf.eprintf "xqbang serve: listening on 127.0.0.1:%d (%s edge)\n%!"
+            (Edge.port edge)
+            (Edge.mode_to_string edge_mode);
+          Edge.join edge);
         Svc.shutdown svc;
         `Ok ())
   in
@@ -627,6 +558,22 @@ let serve_cmd =
     Arg.(value & opt bool true & info [ "telemetry" ] ~docv:"BOOL"
            ~doc:"Health telemetry: the structured event log (EVENTS), rolling-window SLO metrics, stall watchdog and flight recorder. Pass false to run bare (bench E22's baseline).")
   in
+  let edge_arg =
+    Arg.(value & opt string "fiber" & info [ "edge" ] ~docv:"MODE"
+           ~doc:"TCP edge implementation: 'fiber' (one event-loop thread multiplexes all connections as fibers over non-blocking sockets, with request pipelining and read-side backpressure) or 'threads' (legacy thread-per-connection, kept for A/B comparison).")
+  in
+  let backlog_arg =
+    Arg.(value & opt string "64" & info [ "backlog" ] ~docv:"N"
+           ~doc:"listen(2) backlog for the TCP edge: pending connections the kernel queues before refusing, absorbed during connect storms.")
+  in
+  let max_conns_arg =
+    Arg.(value & opt string "10000" & info [ "max-conns" ] ~docv:"N"
+           ~doc:"Refuse new connections (one-line ERR [overloaded] reply, then close) once N are open; 0 = unlimited.")
+  in
+  let idle_timeout_arg =
+    Arg.(value & opt string "0" & info [ "idle-timeout-ms" ] ~docv:"MS"
+           ~doc:"Disconnect a connection with no traffic and no in-flight requests after MS milliseconds; 0 = never (fiber edge only).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the multi-client query service (newline-delimited protocol)")
@@ -634,7 +581,8 @@ let serve_cmd =
                $ fuel_arg $ max_delta_arg $ max_queue_arg $ tracing_arg
                $ slow_apply_arg $ data_dir_arg $ fsync_arg $ checkpoint_bytes_arg
                $ checkpoint_secs_arg $ replica_of_arg $ slo_p99_arg $ slo_err_arg
-               $ trace_ring_arg $ telemetry_arg))
+               $ trace_ring_arg $ telemetry_arg $ edge_arg $ backlog_arg
+               $ max_conns_arg $ idle_timeout_arg))
 
 let () =
   let info = Cmd.info "xqbang" ~version:"1.0.0"

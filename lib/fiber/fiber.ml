@@ -1,0 +1,486 @@
+(* Single-thread fiber event loop on OCaml 5 effects.
+
+   Layout: a ready queue of thunks (start-a-fiber or resume-a-
+   continuation), an fd -> waiter table feeding the poll(2) stub, a
+   hashed timer wheel for deadlines, and an external queue + wakeup
+   pipe so scheduler worker domains and other sys-threads can inject
+   work without touching loop state. All loop structures are owned by
+   the loop thread; the only cross-thread paths are the atomic waker
+   latch, the live-fiber counter, and the mutex-guarded external
+   queue. *)
+
+exception Stopped
+
+type wait_result = [ `Readable | `Writable | `Woken | `Timeout ]
+
+(* Event bits shared with fiber_stubs.c. *)
+let bit_rd = 1
+
+let bit_wr = 2
+
+let bit_err = 4
+
+external poll_fds :
+  Unix.file_descr array -> int array -> int array -> int -> int -> int
+  = "xqb_fiber_poll"
+
+(* Timer wheel: 512 slots of ~8.4 ms ticks (2^23 ns), one rotation
+   ~= 4.3 s. Deadlines land in slot (deadline >> gran) mod slots;
+   cancellation is lazy (dead entries drop out when their slot is
+   swept). [soonest] is a lower bound on the next live deadline used
+   to size the poll timeout; it may be stale after cancellations,
+   which only causes an early wake and a rescan. *)
+let gran_bits = 23
+
+let wheel_slots = 512
+
+let wheel_mask = wheel_slots - 1
+
+type timer = {
+  t_deadline : int;
+  mutable t_live : bool;
+  t_fire : unit -> unit;
+}
+
+type t = {
+  mutable tid : int; (* Thread.id of the loop thread, -1 before run *)
+  ready : (unit -> unit) Queue.t;
+  mutable stopping : bool;
+  mutable cancelled : bool; (* stop epilogue already ran *)
+  live : int Atomic.t;
+  suspensions : (int, suspension) Hashtbl.t;
+  mutable next_id : int;
+  io : (Unix.file_descr, io_entry) Hashtbl.t;
+  wheel : timer list array;
+  mutable timer_count : int;
+  mutable soonest : int;
+  mutable last_tick : int;
+  ext_mutex : Mutex.t;
+  mutable ext : (unit -> unit) list;
+  wake_rd : Unix.file_descr;
+  wake_wr : Unix.file_descr;
+  on_error : exn -> unit;
+  (* Reusable poll arrays, grown on demand. *)
+  mutable pfds : Unix.file_descr array;
+  mutable pevents : int array;
+  mutable prevents : int array;
+}
+
+and io_entry = {
+  mutable e_rd : suspension option;
+  mutable e_wr : suspension option;
+}
+
+and suspension = {
+  s_id : int;
+  s_k : (wait_result, unit) Effect.Deep.continuation;
+  mutable s_fired : bool;
+  mutable s_rd : Unix.file_descr option;
+  mutable s_wr : Unix.file_descr option;
+  mutable s_timer : timer option;
+  mutable s_waker : waker option;
+}
+
+and waker = {
+  w_loop : t;
+  w_state : int Atomic.t; (* 0 = idle, 1 = signalled *)
+  mutable w_susp : suspension option; (* loop thread only *)
+}
+
+type wait_spec = {
+  sp_rd : Unix.file_descr option;
+  sp_wr : Unix.file_descr option;
+  sp_deadline : int option;
+  sp_waker : waker option;
+}
+
+type _ Effect.t +=
+  | Wait : wait_spec -> wait_result Effect.t
+  | Yield : unit Effect.t
+
+let default_on_error e =
+  Printf.eprintf "fiber: uncaught exception: %s\n%!" (Printexc.to_string e)
+
+let create ?(on_error = default_on_error) () =
+  let wake_rd, wake_wr = Unix.pipe () in
+  Unix.set_nonblock wake_rd;
+  Unix.set_nonblock wake_wr;
+  {
+    tid = -1;
+    ready = Queue.create ();
+    stopping = false;
+    cancelled = false;
+    live = Atomic.make 0;
+    suspensions = Hashtbl.create 1024;
+    next_id = 0;
+    io = Hashtbl.create 1024;
+    wheel = Array.make wheel_slots [];
+    timer_count = 0;
+    soonest = max_int;
+    last_tick = Xqb_obs.Clock.now_ns () lsr gran_bits;
+    ext_mutex = Mutex.create ();
+    ext = [];
+    wake_rd;
+    wake_wr;
+    on_error;
+    pfds = Array.make 64 wake_rd;
+    pevents = Array.make 64 0;
+    prevents = Array.make 64 0;
+  }
+
+let post_ext t thunk =
+  Mutex.lock t.ext_mutex;
+  t.ext <- thunk :: t.ext;
+  Mutex.unlock t.ext_mutex;
+  (* A full pipe means a wakeup is already pending; a closed pipe
+     means the loop is gone and the thunk will simply never run. *)
+  try ignore (Unix.write t.wake_wr (Bytes.make 1 '!') 0 1)
+  with Unix.Unix_error _ -> ()
+
+(* Timers ----------------------------------------------------------- *)
+
+let add_timer t ~deadline_ns fire =
+  let tm = { t_deadline = deadline_ns; t_live = true; t_fire = fire } in
+  let slot = (deadline_ns lsr gran_bits) land wheel_mask in
+  t.wheel.(slot) <- tm :: t.wheel.(slot);
+  t.timer_count <- t.timer_count + 1;
+  if deadline_ns < t.soonest then t.soonest <- deadline_ns;
+  tm
+
+let cancel_timer t tm =
+  if tm.t_live then begin
+    tm.t_live <- false;
+    t.timer_count <- t.timer_count - 1
+  end
+
+let rescan_soonest t =
+  let s = ref max_int in
+  Array.iter
+    (List.iter (fun tm ->
+         if tm.t_live && tm.t_deadline < !s then s := tm.t_deadline))
+    t.wheel;
+  t.soonest <- !s
+
+let expire_timers t now =
+  if now >= t.soonest then begin
+    let now_tick = now lsr gran_bits in
+    (* Sweep from the last processed tick up to now; if the loop was
+       idle for over a rotation, one pass over every slot suffices. *)
+    let steps = min (now_tick - t.last_tick + 1) wheel_slots in
+    for i = 0 to steps - 1 do
+      let slot = (t.last_tick + i) land wheel_mask in
+      match t.wheel.(slot) with
+      | [] -> ()
+      | entries ->
+          t.wheel.(slot) <-
+            List.filter
+              (fun tm ->
+                if not tm.t_live then false
+                else if tm.t_deadline <= now then begin
+                  tm.t_live <- false;
+                  t.timer_count <- t.timer_count - 1;
+                  (try tm.t_fire () with e -> t.on_error e);
+                  false
+                end
+                else true)
+              entries
+    done;
+    t.last_tick <- now_tick;
+    rescan_soonest t
+  end
+
+(* Suspension lifecycle --------------------------------------------- *)
+
+let clear_io_slot t fd ~rd =
+  match Hashtbl.find_opt t.io fd with
+  | None -> ()
+  | Some e ->
+      if rd then e.e_rd <- None else e.e_wr <- None;
+      if e.e_rd = None && e.e_wr = None then Hashtbl.remove t.io fd
+
+let detach t s =
+  s.s_fired <- true;
+  Hashtbl.remove t.suspensions s.s_id;
+  (match s.s_rd with Some fd -> clear_io_slot t fd ~rd:true | None -> ());
+  (match s.s_wr with Some fd -> clear_io_slot t fd ~rd:false | None -> ());
+  (match s.s_timer with Some tm -> cancel_timer t tm | None -> ());
+  match s.s_waker with
+  | Some w -> (
+      match w.w_susp with
+      | Some s' when s' == s -> w.w_susp <- None
+      | _ -> ())
+  | None -> ()
+
+let fire t s (result : wait_result) =
+  if not s.s_fired then begin
+    detach t s;
+    Queue.push (fun () -> Effect.Deep.continue s.s_k result) t.ready
+  end
+
+let cancel_susp t s exn_ =
+  if not s.s_fired then begin
+    detach t s;
+    Queue.push (fun () -> Effect.Deep.discontinue s.s_k exn_) t.ready
+  end
+
+(* Wakers ----------------------------------------------------------- *)
+
+let waker t = { w_loop = t; w_state = Atomic.make 0; w_susp = None }
+
+let try_fire_waker w =
+  match w.w_susp with
+  | Some s when not s.s_fired ->
+      if Atomic.compare_and_set w.w_state 1 0 then fire w.w_loop s `Woken
+  | _ -> ()
+(* No suspension attached: the latch stays set and the next wait
+   consumes it immediately. *)
+
+let wake w =
+  if Atomic.compare_and_set w.w_state 0 1 then
+    post_ext w.w_loop (fun () -> try_fire_waker w)
+
+(* Effect handling --------------------------------------------------- *)
+
+let io_entry t fd =
+  match Hashtbl.find_opt t.io fd with
+  | Some e -> e
+  | None ->
+      let e = { e_rd = None; e_wr = None } in
+      Hashtbl.add t.io fd e;
+      e
+
+let handle_wait t spec (k : (wait_result, unit) Effect.Deep.continuation) =
+  if t.stopping then Effect.Deep.discontinue k Stopped
+  else begin
+    let woken =
+      match spec.sp_waker with
+      | Some w -> Atomic.compare_and_set w.w_state 1 0
+      | None -> false
+    in
+    if woken then Effect.Deep.continue k `Woken
+    else begin
+      let invalid msg = Effect.Deep.discontinue k (Invalid_argument msg) in
+      let slot_taken fd ~rd =
+        match Hashtbl.find_opt t.io fd with
+        | None -> false
+        | Some e -> if rd then e.e_rd <> None else e.e_wr <> None
+      in
+      if
+        spec.sp_rd = None && spec.sp_wr = None && spec.sp_deadline = None
+        && spec.sp_waker = None
+      then invalid "Fiber.wait: nothing to wait for"
+      else if
+        match spec.sp_rd with Some fd -> slot_taken fd ~rd:true | None -> false
+      then invalid "Fiber.wait: fd already has a read waiter"
+      else if
+        match spec.sp_wr with
+        | Some fd -> slot_taken fd ~rd:false
+        | None -> false
+      then invalid "Fiber.wait: fd already has a write waiter"
+      else begin
+        let id = t.next_id in
+        t.next_id <- id + 1;
+        let s =
+          {
+            s_id = id;
+            s_k = k;
+            s_fired = false;
+            s_rd = None;
+            s_wr = None;
+            s_timer = None;
+            s_waker = None;
+          }
+        in
+        Hashtbl.add t.suspensions id s;
+        (match spec.sp_rd with
+        | Some fd ->
+            (io_entry t fd).e_rd <- Some s;
+            s.s_rd <- Some fd
+        | None -> ());
+        (match spec.sp_wr with
+        | Some fd ->
+            (io_entry t fd).e_wr <- Some s;
+            s.s_wr <- Some fd
+        | None -> ());
+        (match spec.sp_deadline with
+        | Some d ->
+            s.s_timer <- Some (add_timer t ~deadline_ns:d (fun () -> fire t s `Timeout))
+        | None -> ());
+        match spec.sp_waker with
+        | Some w ->
+            w.w_susp <- Some s;
+            s.s_waker <- Some w;
+            (* A wake may have latched between the fast-path check and
+               the attach; the posted try_fire_waker will find us. *)
+            if Atomic.get w.w_state = 1 then try_fire_waker w
+        | None -> ()
+      end
+    end
+  end
+
+let handler t : (unit, unit) Effect.Deep.handler =
+  {
+    retc = (fun () -> Atomic.decr t.live);
+    exnc =
+      (fun e ->
+        Atomic.decr t.live;
+        match e with Stopped -> () | e -> t.on_error e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Yield ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                Queue.push (fun () -> Effect.Deep.continue k ()) t.ready)
+        | Wait spec ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                handle_wait t spec k)
+        | _ -> None);
+  }
+
+let start_fiber t f () = Effect.Deep.match_with f () (handler t)
+
+let spawn t f =
+  Atomic.incr t.live;
+  if t.tid = Thread.id (Thread.self ()) then Queue.push (start_fiber t f) t.ready
+  else post_ext t (fun () -> Queue.push (start_fiber t f) t.ready)
+
+let yield () = Effect.perform Yield
+
+let wait ?readable ?writable ?deadline_ns ?waker () =
+  Effect.perform
+    (Wait
+       {
+         sp_rd = readable;
+         sp_wr = writable;
+         sp_deadline = deadline_ns;
+         sp_waker = waker;
+       })
+
+let sleep_ns n =
+  let deadline_ns = Xqb_obs.Clock.now_ns () + n in
+  ignore (wait ~deadline_ns () : wait_result)
+
+let stop t = post_ext t (fun () -> t.stopping <- true)
+
+let live t = Atomic.get t.live
+
+(* Promises ---------------------------------------------------------- *)
+
+type 'a promise = { p_cell : 'a option Atomic.t; p_waker : waker }
+
+let promise t = { p_cell = Atomic.make None; p_waker = waker t }
+
+let resolve p v =
+  if Atomic.compare_and_set p.p_cell None (Some v) then wake p.p_waker
+  else invalid_arg "Fiber.resolve: already resolved"
+
+let rec await p =
+  match Atomic.get p.p_cell with
+  | Some v -> v
+  | None ->
+      ignore (wait ~waker:p.p_waker () : wait_result);
+      await p
+
+(* The loop ---------------------------------------------------------- *)
+
+let drain_batch t =
+  (* Run only the thunks present now; a fiber that yields in a loop
+     lands behind the next poll instead of starving it. *)
+  let n = Queue.length t.ready in
+  for _ = 1 to n do
+    match Queue.pop t.ready with
+    | thunk -> ( try thunk () with e -> t.on_error e)
+    | exception Queue.Empty -> ()
+  done
+
+let drain_ext t =
+  Mutex.lock t.ext_mutex;
+  let thunks = List.rev t.ext in
+  t.ext <- [];
+  Mutex.unlock t.ext_mutex;
+  List.iter (fun f -> try f () with e -> t.on_error e) thunks
+
+let drain_pipe t =
+  let buf = Bytes.create 256 in
+  let rec go () =
+    match Unix.read t.wake_rd buf 0 256 with
+    | 256 -> go ()
+    | _ -> ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  in
+  go ()
+
+let cancel_all t =
+  t.cancelled <- true;
+  let ss = Hashtbl.fold (fun _ s acc -> s :: acc) t.suspensions [] in
+  List.iter (fun s -> cancel_susp t s Stopped) ss
+
+let ensure_poll_cap t n =
+  if Array.length t.pfds < n then begin
+    let cap = max n (2 * Array.length t.pfds) in
+    t.pfds <- Array.make cap t.wake_rd;
+    t.pevents <- Array.make cap 0;
+    t.prevents <- Array.make cap 0
+  end
+
+let poll_timeout_ms t now =
+  if not (Queue.is_empty t.ready) then 0
+  else if t.stopping then 0
+  else if t.timer_count = 0 then -1
+  else
+    let delta = t.soonest - now in
+    if delta <= 0 then 0
+    else min ((delta + 999_999) / 1_000_000) 1_000
+
+let do_poll t timeout =
+  ensure_poll_cap t (Hashtbl.length t.io + 1);
+  t.pfds.(0) <- t.wake_rd;
+  t.pevents.(0) <- bit_rd;
+  let n = ref 1 in
+  Hashtbl.iter
+    (fun fd e ->
+      let ev =
+        (if e.e_rd <> None then bit_rd else 0)
+        lor if e.e_wr <> None then bit_wr else 0
+      in
+      if ev <> 0 then begin
+        t.pfds.(!n) <- fd;
+        t.pevents.(!n) <- ev;
+        incr n
+      end)
+    t.io;
+  let nready = poll_fds t.pfds t.pevents t.prevents !n timeout in
+  if nready > 0 then begin
+    if t.prevents.(0) land bit_rd <> 0 then drain_pipe t;
+    (* Error/hangup reports as readiness in both directions so the
+       fiber's next syscall observes the failure (EOF, EPIPE, ...). *)
+    for i = 1 to !n - 1 do
+      let re = t.prevents.(i) in
+      if re <> 0 then
+        match Hashtbl.find_opt t.io t.pfds.(i) with
+        | None -> ()
+        | Some e ->
+            (if re land (bit_rd lor bit_err) <> 0 then
+               match e.e_rd with
+               | Some s -> fire t s `Readable
+               | None -> ());
+            if re land (bit_wr lor bit_err) <> 0 then (
+              match e.e_wr with Some s -> fire t s `Writable | None -> ())
+    done
+  end
+
+let run t main =
+  t.tid <- Thread.id (Thread.self ());
+  spawn t main;
+  let running = ref true in
+  while !running do
+    drain_batch t;
+    drain_ext t;
+    if t.stopping && not t.cancelled then cancel_all t;
+    let now = Xqb_obs.Clock.now_ns () in
+    expire_timers t now;
+    if Queue.is_empty t.ready && Atomic.get t.live = 0 then running := false
+    else do_poll t (poll_timeout_ms t now)
+  done

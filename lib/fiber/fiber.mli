@@ -1,0 +1,85 @@
+(** A dependency-free effects-based fiber runtime for the service edge.
+
+    One OS thread runs an event loop ({!run}) that multiplexes many
+    lightweight fibers over a poll(2) readiness engine, a hashed timer
+    wheel for deadlines, and a wakeup pipe for cross-thread signalling.
+    Fibers are plain [unit -> unit] thunks suspended with OCaml 5
+    one-shot continuations; there is no work stealing and no implicit
+    parallelism — everything a fiber touches runs on the loop thread,
+    so fibers need no locking among themselves.
+
+    Cross-thread entry points (safe from any thread): {!spawn},
+    {!stop}, {!wake}, {!resolve}. Everything else must be called from
+    a fiber running on the loop. *)
+
+type t
+(** An event loop. Create with {!create}, drive with {!run}. *)
+
+exception Stopped
+(** Raised inside suspended fibers when the loop is stopped, so
+    [Fun.protect] finalizers run and file descriptors get closed. *)
+
+type wait_result = [ `Readable | `Writable | `Woken | `Timeout ]
+
+type waker
+(** A one-shot, latching, thread-safe signal bound to a loop. If
+    {!wake} fires before the target fiber waits, the next
+    [wait ~waker] returns [`Woken] immediately — wakeups are never
+    lost. Consuming the wakeup re-arms the latch. *)
+
+type 'a promise
+(** A write-once cell a single fiber can {!await}; resolvable from any
+    thread (e.g. a scheduler worker domain). *)
+
+val create : ?on_error:(exn -> unit) -> unit -> t
+(** [create ()] makes a fresh loop. [on_error] receives exceptions
+    that escape a fiber body (default: print to stderr); {!Stopped}
+    is swallowed silently. *)
+
+val run : t -> (unit -> unit) -> unit
+(** [run t main] runs [main] as the first fiber and drives the loop on
+    the calling thread until either every fiber has finished or
+    {!stop} was called and all cancelled fibers have unwound. *)
+
+val stop : t -> unit
+(** Request shutdown from any thread: every suspended fiber is resumed
+    with {!Stopped}, new waits raise {!Stopped}, and {!run} returns
+    once the fibers have unwound. Idempotent. *)
+
+val spawn : t -> (unit -> unit) -> unit
+(** Start a new fiber. Callable from any thread; from a foreign thread
+    the fiber is handed to the loop via the wakeup pipe. *)
+
+val yield : unit -> unit
+(** Reschedule the calling fiber behind the current ready batch. *)
+
+val wait :
+  ?readable:Unix.file_descr ->
+  ?writable:Unix.file_descr ->
+  ?deadline_ns:int ->
+  ?waker:waker ->
+  unit ->
+  wait_result
+(** Suspend the calling fiber until one of the given events occurs:
+    [readable]/[writable] readiness on a non-blocking fd (error and
+    hangup conditions report as readiness so the next syscall observes
+    the failure), an absolute monotonic [deadline_ns]
+    ({!Xqb_obs.Clock.now_ns} timebase), or the [waker] firing. At
+    least one event source must be supplied. At most one fiber may
+    wait on each direction of an fd at a time. *)
+
+val sleep_ns : int -> unit
+(** Suspend the calling fiber for a relative duration. *)
+
+val waker : t -> waker
+val wake : waker -> unit
+
+val promise : t -> 'a promise
+val resolve : 'a promise -> 'a -> unit
+(** Fulfil the promise; raises [Invalid_argument] if already resolved. *)
+
+val await : 'a promise -> 'a
+(** Block the calling fiber until resolved. Single-consumer. *)
+
+val live : t -> int
+(** Number of fibers spawned and not yet finished. *)

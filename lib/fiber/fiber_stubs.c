@@ -1,0 +1,76 @@
+/* poll(2) for the fiber event loop.
+
+   Unix.select caps at FD_SETSIZE (1024) file descriptors, which is
+   exactly the wall a C10K edge must not hit; poll carries plain
+   arrays and scales to the open-file limit. The binding copies the
+   interest set into a C array, releases the OCaml runtime lock for
+   the blocking wait (the serve process runs sys-threads — the
+   monitor, the watchdog, thread-edge connections — on the same
+   domain as the event loop), and writes readiness back into a
+   caller-provided int array.
+
+   Event bits (shared with fiber.ml — keep in sync):
+     1 = readable (POLLIN), 2 = writable (POLLOUT),
+     4 = error/hangup (POLLERR | POLLHUP | POLLNVAL).  */
+
+#include <caml/mlvalues.h>
+#include <caml/fail.h>
+#include <caml/memory.h>
+#include <caml/threads.h>
+#include <errno.h>
+#include <poll.h>
+#include <stdlib.h>
+
+#define XQB_POLL_RD 1
+#define XQB_POLL_WR 2
+#define XQB_POLL_ERR 4
+
+/* xqb_fiber_poll fds events revents n timeout_ms
+
+   [fds], [events] and [revents] are int arrays of length >= n; the
+   first n slots of [revents] are overwritten. Returns the number of
+   ready descriptors; EINTR counts as zero ready (the loop just
+   re-runs). */
+CAMLprim value xqb_fiber_poll(value v_fds, value v_events, value v_revents,
+                              value v_n, value v_timeout_ms)
+{
+  CAMLparam5(v_fds, v_events, v_revents, v_n, v_timeout_ms);
+  int n = Int_val(v_n);
+  int timeout = Int_val(v_timeout_ms);
+  struct pollfd *pfd = NULL;
+  int ready, i;
+
+  if (n < 0) caml_invalid_argument("xqb_fiber_poll: negative count");
+  if (n > 0) {
+    pfd = malloc(sizeof(struct pollfd) * (size_t)n);
+    if (pfd == NULL) caml_failwith("xqb_fiber_poll: out of memory");
+    for (i = 0; i < n; i++) {
+      int ev = Int_val(Field(v_events, i));
+      pfd[i].fd = Int_val(Field(v_fds, i));
+      pfd[i].events = (short)(((ev & XQB_POLL_RD) ? POLLIN : 0)
+                              | ((ev & XQB_POLL_WR) ? POLLOUT : 0));
+      pfd[i].revents = 0;
+    }
+  }
+
+  caml_enter_blocking_section();
+  ready = poll(pfd, (nfds_t)n, timeout);
+  caml_leave_blocking_section();
+
+  if (ready < 0) {
+    int err = errno;
+    free(pfd);
+    if (err == EINTR) CAMLreturn(Val_int(0));
+    caml_failwith("poll(2) failed");
+  }
+
+  for (i = 0; i < n; i++) {
+    short re = pfd[i].revents;
+    int out = ((re & POLLIN) ? XQB_POLL_RD : 0)
+              | ((re & POLLOUT) ? XQB_POLL_WR : 0)
+              | ((re & (POLLERR | POLLHUP | POLLNVAL)) ? XQB_POLL_ERR : 0);
+    Field(v_revents, i) = Val_int(out);
+  }
+  free(pfd);
+  CAMLreturn(Val_int(ready));
+}

@@ -34,6 +34,10 @@ let requested tok = Atomic.get tok
 
 type t = {
   deadline : float;  (* absolute (Unix.gettimeofday scale); infinity = none *)
+  deadline_ns : int;
+    (* absolute monotonic ({!Xqb_obs.Clock} scale); max_int = none.
+       Preferred over [deadline]: a wall-clock step (NTP, VM suspend)
+       can neither expire a running job early nor keep one alive. *)
   fuel : int;  (* max evaluation steps; max_int = none *)
   max_delta : int;  (* max pending requests in one snap frame *)
   cancel : cancel;
@@ -47,9 +51,10 @@ type t = {
    path. *)
 let poll_every = 256
 
-let create ?deadline ?fuel ?max_delta ?cancel () =
+let create ?deadline ?deadline_ns ?fuel ?max_delta ?cancel () =
   {
     deadline = Option.value deadline ~default:infinity;
+    deadline_ns = Option.value deadline_ns ~default:max_int;
     fuel = Option.value fuel ~default:max_int;
     max_delta = Option.value max_delta ~default:max_int;
     cancel = (match cancel with Some c -> c | None -> token ());
@@ -67,6 +72,10 @@ let poll t =
   (match Atomic.get t.cancel with
   | Some r -> raise (Budget_exceeded r)
   | None -> ());
+  if t.deadline_ns <> max_int && Xqb_obs.Clock.now_ns () > t.deadline_ns then begin
+    request t.cancel Deadline;
+    raise (Budget_exceeded Deadline)
+  end;
   if Float.is_finite t.deadline && Unix.gettimeofday () > t.deadline then begin
     request t.cancel Deadline;
     raise (Budget_exceeded Deadline)

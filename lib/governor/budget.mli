@@ -1,6 +1,7 @@
 (** Per-query resource budgets and cooperative cancellation.
 
-    Bottom-of-the-stack module (depends only on [Unix]) so both the
+    Bottom-of-the-stack module (depends only on [Unix] and the
+    monotonic clock in [Xqb_obs]) so both the
     store's axis iterators and the core evaluator can charge work
     against the same budget without a dependency cycle. The service
     layer decides the limits; this module only enforces them. *)
@@ -27,14 +28,24 @@ val requested : cancel -> reason option
 
 type t
 
-(** [create ?deadline ?fuel ?max_delta ?cancel ()] — [deadline] is
-    absolute ([Unix.gettimeofday] scale), [fuel] a cap on charged
-    evaluation steps, [max_delta] a cap on the innermost snap
-    frame's pending-update count. Omitted limits are unlimited; an
-    omitted [cancel] gets a fresh token (so cancellation works even
-    on an otherwise unlimited budget). *)
+(** [create ?deadline ?deadline_ns ?fuel ?max_delta ?cancel ()] —
+    [deadline_ns] is an absolute *monotonic* deadline
+    ({!Xqb_obs.Clock} nanoseconds) and the preferred form: wall-clock
+    steps (NTP, VM suspend) can neither expire a running job early
+    nor keep one alive. [deadline] is the legacy absolute wall-clock
+    form ([Unix.gettimeofday] scale); both are checked when given.
+    [fuel] caps charged evaluation steps, [max_delta] the innermost
+    snap frame's pending-update count. Omitted limits are unlimited;
+    an omitted [cancel] gets a fresh token (so cancellation works
+    even on an otherwise unlimited budget). *)
 val create :
-  ?deadline:float -> ?fuel:int -> ?max_delta:int -> ?cancel:cancel -> unit -> t
+  ?deadline:float ->
+  ?deadline_ns:int ->
+  ?fuel:int ->
+  ?max_delta:int ->
+  ?cancel:cancel ->
+  unit ->
+  t
 
 val cancel_token : t -> cancel
 val steps_used : t -> int

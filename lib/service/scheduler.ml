@@ -44,6 +44,10 @@ type 'a future = {
   fmutex : Mutex.t;
   fcond : Condition.t;
   mutable state : 'a state;
+  mutable callbacks : (('a, exn) result -> unit) list;
+    (* run once, outside the lock, on the thread that fills the
+       future (a worker domain) — or immediately in the caller when
+       registered on an already-completed future *)
 }
 
 type job = {
@@ -78,13 +82,35 @@ type t = {
 }
 
 let new_future () =
-  { fmutex = Mutex.create (); fcond = Condition.create (); state = Pending }
+  {
+    fmutex = Mutex.create ();
+    fcond = Condition.create ();
+    state = Pending;
+    callbacks = [];
+  }
 
 let fill fut result =
   Mutex.lock fut.fmutex;
   fut.state <- Done result;
+  let cbs = List.rev fut.callbacks in
+  fut.callbacks <- [];
   Condition.broadcast fut.fcond;
-  Mutex.unlock fut.fmutex
+  Mutex.unlock fut.fmutex;
+  List.iter (fun cb -> try cb result with _ -> ()) cbs
+
+(* Register a completion callback. A pending future runs it (outside
+   the lock) on the thread that fills it; a completed future runs it
+   immediately in the caller. The fiber edge hangs connection wakeups
+   here instead of parking an OS thread in [await]. *)
+let on_complete fut cb =
+  Mutex.lock fut.fmutex;
+  match fut.state with
+  | Done r ->
+    Mutex.unlock fut.fmutex;
+    (try cb r with _ -> ())
+  | Pending ->
+    fut.callbacks <- cb :: fut.callbacks;
+    Mutex.unlock fut.fmutex
 
 let await fut =
   Mutex.lock fut.fmutex;
@@ -109,6 +135,12 @@ let failed e =
   let fut = new_future () in
   fut.state <- Done (Error e);
   fut
+
+let peek fut =
+  Mutex.lock fut.fmutex;
+  let r = match fut.state with Done r -> Some r | Pending -> None in
+  Mutex.unlock fut.fmutex;
+  r
 
 let expired job = job.deadline <> max_int && Clock.now_ns () > job.deadline
 

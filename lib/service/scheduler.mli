@@ -77,6 +77,20 @@ val await : 'a future -> ('a, exn) result
 
 val await_exn : 'a future -> 'a
 
+(** [on_complete fut cb] registers a completion callback instead of
+    blocking: a pending future runs [cb result] (outside the future's
+    lock) on the thread that completes it — a worker domain — and an
+    already-completed future runs it immediately in the caller. The
+    fiber edge uses this to wake a connection's event loop when a
+    pipelined job finishes; callbacks must therefore be cheap and
+    must not submit work recursively. Exceptions from [cb] are
+    swallowed. *)
+val on_complete : 'a future -> (('a, exn) result -> unit) -> unit
+
+(** [peek fut] is the result if the future has completed, without
+    blocking. *)
+val peek : 'a future -> ('a, exn) result option
+
 (** An already-completed future holding [v]. *)
 val ready : 'a -> 'a future
 

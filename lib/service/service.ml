@@ -105,6 +105,24 @@ type inflight = {
   src : string;
 }
 
+(* Wire-edge gauges, pulled (not pushed) from whichever edge is
+   serving TCP — see [Edge]. The service only holds a snapshot
+   closure so STATS/HEALTH/metrics can surface connection counts and
+   backpressure state without depending on the edge module. *)
+type edge_gauges = {
+  eg_mode : string;  (* "fiber" | "threads" *)
+  eg_open : int;  (* connections open now *)
+  eg_peak : int;  (* peak concurrently open since boot *)
+  eg_accepted : int;  (* connections accepted since boot *)
+  eg_conn_rejects : int;  (* connections refused at --max-conns *)
+  eg_suspended : int;  (* connections currently read-suspended *)
+  eg_suspensions : int;  (* read-suspension episodes since boot *)
+  eg_overload_rejects : int;  (* requests rejected at the hard watermark *)
+  eg_requests : int;  (* requests parsed off the wire *)
+  eg_batches : int;  (* readiness-cycle admission batches *)
+  eg_max_conns : int;  (* configured cap; 0 = unlimited *)
+}
+
 type t = {
   catalog : Catalog.t;
   cache : plan Plan_cache.t;
@@ -174,6 +192,8 @@ type t = {
   (* replica side: reject write traffic, apply shipped frames *)
   read_only : bool;
   repl : repl option;
+  (* wire edge, when one is attached (serve --port) *)
+  mutable edge_src : (unit -> edge_gauges) option;
 }
 
 and slow_entry = {
@@ -282,6 +302,23 @@ let health_reasons t =
   else if depth >= deg_q then
     add "queue-depth" `Degraded
       [ ("depth", Events.I depth); ("degraded_at", Events.I deg_q) ];
+  (* wire edge: connection saturation and read-suspension backpressure *)
+  (match t.edge_src with
+  | None -> ()
+  | Some src ->
+    let e = src () in
+    if e.eg_max_conns > 0 && e.eg_open >= e.eg_max_conns then
+      add "edge-saturated" `Critical
+        [ ("open", Events.I e.eg_open); ("max_conns", Events.I e.eg_max_conns) ]
+    else if e.eg_max_conns > 0 && e.eg_open * 10 >= e.eg_max_conns * 9 then
+      add "edge-saturated" `Degraded
+        [ ("open", Events.I e.eg_open); ("max_conns", Events.I e.eg_max_conns) ];
+    if e.eg_suspended > 0 then
+      add "edge-backpressure" `Degraded
+        [
+          ("read_suspended", Events.I e.eg_suspended);
+          ("queue_depth", Events.I depth);
+        ]);
   (* SLO burn over the 10s window (1s is too twitchy for alerting,
      60s too slow to notice an incident starting) *)
   let _, slo_err_pct = Metrics.slo t.metrics in
@@ -650,6 +687,7 @@ let create ?(domains = 4) ?(cache_capacity = 128) ?(seed = 0x5eed) ?deadline_ms
       commit_seq = 0;
       read_only = replica;
       repl;
+      edge_src = None;
     }
   in
   if deadline_ms <> None then t.watchdog <- Some (Thread.create (watchdog_loop t) ());
@@ -1498,16 +1536,11 @@ let submit_job t sid src :
     Metrics.record_error t.metrics err.Service_error.kind;
     (0, Scheduler.ready (Error err))
   | plan, fork ->
-    (* two deadline scales, one boundary: the budget's own clock polls
-       use the wall-clock seconds it was built around, while the
-       scheduler queue check and the watchdog use monotonic Clock ns
-       (immune to wall-clock steps). Both derive from --deadline-ms
-       right here. *)
-    let deadline =
-      match t.deadline_ms with
-      | None -> infinity
-      | Some ms -> t0 +. (float_of_int ms /. 1000.)
-    in
+    (* one deadline scale, one boundary: the budget's polls, the
+       scheduler queue check and the watchdog all use the same
+       absolute monotonic Clock ns derived from --deadline-ms right
+       here — wall-clock steps (NTP, VM suspend) can neither expire a
+       job early nor keep one alive. *)
     let deadline_ns =
       match t.deadline_ms with
       | None -> max_int
@@ -1515,7 +1548,7 @@ let submit_job t sid src :
     in
     let budget =
       Budget.create
-        ?deadline:(if Float.is_finite deadline then Some deadline else None)
+        ?deadline_ns:(if deadline_ns = max_int then None else Some deadline_ns)
         ?fuel:t.fuel ?max_delta:t.max_delta ()
     in
     let jid =
@@ -1692,11 +1725,6 @@ let explain_job t sid src :
   end
   else begin
   let t0 = Unix.gettimeofday () in
-  let deadline =
-    match t.deadline_ms with
-    | None -> infinity
-    | Some ms -> t0 +. (float_of_int ms /. 1000.)
-  in
   let deadline_ns =
     match t.deadline_ms with
     | None -> max_int
@@ -1704,7 +1732,7 @@ let explain_job t sid src :
   in
   let budget =
     Budget.create
-      ?deadline:(if Float.is_finite deadline then Some deadline else None)
+      ?deadline_ns:(if deadline_ns = max_int then None else Some deadline_ns)
       ?fuel:t.fuel ?max_delta:t.max_delta ()
   in
   let jid =
@@ -1795,6 +1823,18 @@ let concurrency_json t =
    checkpoint / fsync), replica lag (both sides) and the health
    status — so # HELP/# TYPE discipline and counter naming hold for
    the whole page (test_service.ml lints it end to end). *)
+(* -- wire-edge gauges ----------------------------------------------- *)
+
+let set_edge_source t src = t.edge_src <- src
+let edge_gauges t = Option.map (fun src -> src ()) t.edge_src
+
+let edge_json (e : edge_gauges) =
+  Printf.sprintf
+    "{\"mode\":\"%s\",\"open\":%d,\"peak\":%d,\"accepted\":%d,\"conn_rejects\":%d,\"read_suspended\":%d,\"suspensions\":%d,\"overload_rejects\":%d,\"requests\":%d,\"batches\":%d,\"max_conns\":%d}"
+    e.eg_mode e.eg_open e.eg_peak e.eg_accepted e.eg_conn_rejects e.eg_suspended
+    e.eg_suspensions e.eg_overload_rejects e.eg_requests e.eg_batches
+    e.eg_max_conns
+
 let metrics_prometheus t =
   let p = Prom.create () in
   Metrics.to_prom ~cache:(Plan_cache.stats t.cache) t.metrics p;
@@ -1873,6 +1913,30 @@ let metrics_prometheus t =
           (Stdlib.max 0 (last - acked)))
       peers
   | _ -> ());
+  (match edge_gauges t with
+  | None -> ()
+  | Some e ->
+    let lbl = [ ("mode", e.eg_mode) ] in
+    Prom.gauge_i p ~help:"Connections open on the wire edge." ~labels:lbl
+      "xqbang_edge_open_connections" e.eg_open;
+    Prom.gauge_i p ~help:"Peak concurrently open connections since boot."
+      ~labels:lbl "xqbang_edge_open_connections_peak" e.eg_peak;
+    Prom.counter p ~help:"Connections accepted since boot." ~labels:lbl
+      "xqbang_edge_accepted_total" e.eg_accepted;
+    Prom.counter p ~help:"Connections refused at --max-conns." ~labels:lbl
+      "xqbang_edge_conn_rejects_total" e.eg_conn_rejects;
+    Prom.gauge_i p
+      ~help:"Connections read-suspended by scheduler backpressure right now."
+      ~labels:lbl "xqbang_edge_read_suspended" e.eg_suspended;
+    Prom.counter p ~help:"Read-suspension episodes since boot." ~labels:lbl
+      "xqbang_edge_suspensions_total" e.eg_suspensions;
+    Prom.counter p
+      ~help:"Requests rejected with [overloaded] at the hard watermark."
+      ~labels:lbl "xqbang_edge_overload_rejects_total" e.eg_overload_rejects;
+    Prom.counter p ~help:"Requests parsed off the wire." ~labels:lbl
+      "xqbang_edge_requests_total" e.eg_requests;
+    Prom.counter p ~help:"Readiness-cycle admission batches." ~labels:lbl
+      "xqbang_edge_batches_total" e.eg_batches);
   Prom.gauge_i p
     ~help:"Service health: 0 = ok, 1 = degraded, 2 = critical (see HEALTH)."
     "xqbang_health_status"
@@ -1900,6 +1964,11 @@ let stats_json t =
       ("concurrency", concurrency_json t);
       ("inflight", inflight_json t);
     ]
+  in
+  let extra =
+    match edge_gauges t with
+    | Some e -> ("edge", edge_json e) :: extra
+    | None -> extra
   in
   let extra =
     match durability_json t with

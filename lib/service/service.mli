@@ -162,6 +162,29 @@ val stats_json : t -> string
     discipline and counter naming hold page-wide. *)
 val metrics_prometheus : t -> string
 
+(** {1 Wire-edge gauges}
+
+    The TCP edge ({!Edge}) registers a snapshot source here so
+    STATS/HEALTH/metrics surface connection counts and backpressure
+    state; the service itself never depends on the edge module. *)
+
+type edge_gauges = {
+  eg_mode : string;  (** ["fiber"] | ["threads"] *)
+  eg_open : int;  (** connections open now *)
+  eg_peak : int;  (** peak concurrently open since boot *)
+  eg_accepted : int;  (** connections accepted since boot *)
+  eg_conn_rejects : int;  (** connections refused at [--max-conns] *)
+  eg_suspended : int;  (** connections currently read-suspended *)
+  eg_suspensions : int;  (** read-suspension episodes since boot *)
+  eg_overload_rejects : int;  (** requests rejected at the hard watermark *)
+  eg_requests : int;  (** requests parsed off the wire *)
+  eg_batches : int;  (** readiness-cycle admission batches *)
+  eg_max_conns : int;  (** configured cap; 0 = unlimited *)
+}
+
+val set_edge_source : t -> (unit -> edge_gauges) option -> unit
+val edge_gauges : t -> edge_gauges option
+
 (** {1 Service health telemetry} *)
 
 (** The structured event log (lifecycle, WAL commits/checkpoints,
@@ -174,10 +197,11 @@ val events_json : ?level:Xqb_obs.Events.severity -> t -> int -> string
 
 (** Wire [HEALTH]: overall status + machine-readable reasons, e.g.
     [{"status":"degraded","reasons":[{"code":"queue-depth",...}]}].
-    Checks: queue depth against the admission watermark, 10s-window
-    SLO burn rates, fsync p99 / in-flight fsync age, apply-mutex
-    hold time, queue-head age, replica lag and link state (both
-    sides). *)
+    Checks: queue depth against the admission watermark, edge
+    connection saturation and read-suspension backpressure,
+    10s-window SLO burn rates, fsync p99 / in-flight fsync age,
+    apply-mutex hold time, queue-head age, replica lag and link
+    state (both sides). *)
 val health_json : t -> string
 
 (** Just the status: ["ok"] | ["degraded"] | ["critical"]. *)

@@ -41,4 +41,5 @@ let () =
          Test_journal.suite;
          Test_wal.suite;
          Test_footprint.suite;
+         Test_edge.suite;
        ])
