@@ -1777,11 +1777,143 @@ let e23 () =
      backlog 512; latency = per-batch round trip\n"
     nconns rounds pipeline nthreads
 
+(* E24 — continuous profiling: the 97 Hz SIGPROF sampler + GC        *)
+(* telemetry on the E21 mixed load, off vs on. The profiler is       *)
+(* "always available", so its cost IS the product: the 3% budget is  *)
+(* enforced, and the run must actually attribute samples (run phase) *)
+(* and observe GC pauses, or low overhead would be vacuous.          *)
+(* ------------------------------------------------------------------ *)
+
+(* --profile-folded PATH: dump the aggregated folded stacks of the
+   profiled runs for artifact upload (flamegraph.pl / speedscope). *)
+let profile_folded_out = ref None
+
+let e24 () =
+  print_header
+    "E24: continuous profiling — 97 Hz sampler + GC telemetry on the E21 \
+     mixed load";
+  let module Svc = Xqb_service.Service in
+  let module Profile = Xqb_obs.Profile in
+  let module Gc_tel = Xqb_obs.Gc_tel in
+  let clients, rounds, scale =
+    (* even smoke needs enough CPU time per run that a 97 Hz
+       CPU-time sampler lands a statistically safe number of ticks —
+       a 10ms run would see one tick or none *)
+    if !smoke then (4, 150, 0.02) else (8, 240, 0.05)
+  in
+  let uri k = Printf.sprintf "x%d" k in
+  let xml =
+    Array.init clients (fun k ->
+        G.to_xml { (G.scaled scale) with G.seed = 2400 + k })
+  in
+  let write_q k i =
+    Printf.sprintf
+      {|insert {element hit {%d}} into {doc("%s")/site/regions}|} i (uri k)
+  in
+  let read_q k =
+    Printf.sprintf {|count(doc("%s")/site/regions//item)|} (uri k)
+  in
+  (* in-memory service (no WAL): the measured section is pure
+     query CPU, the worst case for a CPU-time sampler *)
+  let run_mode profiled =
+    let svc = Svc.create ~domains:clients () in
+    let sessions =
+      Array.init clients (fun k ->
+          let s = Svc.open_session svc in
+          Svc.load_document svc s ~uri:(uri k) xml.(k);
+          s)
+    in
+    let fail = ref None in
+    let check = function
+      | Ok _ -> ()
+      | Error e -> fail := Some (Xqb_service.Service_error.to_string e)
+    in
+    let client k () =
+      for i = 0 to rounds - 1 do
+        for j = 0 to 3 do
+          check (Svc.query svc sessions.(k) (write_q k ((4 * i) + j)))
+        done;
+        check (Svc.query svc sessions.(k) (read_q k))
+      done
+    in
+    if profiled then ignore (Profile.start ~hz:97 ());
+    let t0 = Unix.gettimeofday () in
+    let ts = Array.init clients (fun k -> Thread.create (client k) ()) in
+    Array.iter Thread.join ts;
+    let wall_s = Unix.gettimeofday () -. t0 in
+    if profiled then ignore (Profile.stop ());
+    (match !fail with
+    | Some e ->
+      Printf.printf "E24 FAIL (profiler %b): query rejected: %s\n" profiled e;
+      exit_code := 1
+    | None -> ());
+    Svc.shutdown svc;
+    float_of_int (clients * rounds * 5) /. wall_s
+  in
+  Profile.reset ();
+  (* warm both sides once, interleave off/on pairs, take medians so
+     drift (cpu frequency, background load) hits both alike — the
+     e22 protocol *)
+  ignore (run_mode true);
+  let median3 ts = List.nth (List.sort compare ts) 1 in
+  let pairs = List.init 3 (fun _ -> (run_mode false, run_mode true)) in
+  let off_tput = median3 (List.map fst pairs) in
+  let on_tput = median3 (List.map snd pairs) in
+  let overhead_pct = (1. -. (on_tput /. off_tput)) *. 100. in
+  (* low overhead is only meaningful if the profiler measured the
+     work: samples must land in the query phases and the GC
+     telemetry must have seen real pauses *)
+  let run_samples =
+    Option.value ~default:0 (List.assoc_opt "run" (Profile.phase_counts ()))
+  in
+  let total_samples = Profile.samples () in
+  let gc_pauses = Gc_tel.pauses_total () in
+  if total_samples = 0 || run_samples = 0 then begin
+    Printf.printf
+      "E24 FAIL: profiler on but no run-phase samples (%d total, %d run)\n"
+      total_samples run_samples;
+    exit_code := 1
+  end;
+  if gc_pauses = 0 then begin
+    print_endline
+      "E24 FAIL: GC pause histogram is empty after an allocation-heavy run";
+    exit_code := 1
+  end;
+  (match !profile_folded_out with
+  | Some path ->
+    Profile.write_folded path;
+    Printf.printf "folded-stack artifact written to %s (%d samples)\n" path
+      total_samples
+  | None -> ());
+  Profile.reset ();
+  if (not !smoke) && overhead_pct > 3. then begin
+    Printf.printf "E24 FAIL: profiling costs %.1f%% throughput (budget 3%%)\n"
+      overhead_pct;
+    exit_code := 1
+  end;
+  record ~name:"e24-tput-profiler-off" ~n:(clients * rounds * 5)
+    (off_tput *. 1e3);
+  record ~name:"e24-tput-profiler-on" ~n:(clients * rounds * 5)
+    (on_tput *. 1e3);
+  record ~name:"e24-overhead-pct-x1000" ~n:1 (overhead_pct *. 1e3);
+  record ~name:"e24-run-phase-samples" ~n:1 (float_of_int run_samples);
+  record ~name:"e24-gc-pauses" ~n:1 (float_of_int gc_pauses);
+  print_table
+    [ "profiler"; "jobs/s"; "overhead" ]
+    [ [ "off"; f1 off_tput; "-" ];
+      [ "on (97 Hz + gc telemetry)"; f1 on_tput;
+        Printf.sprintf "%.1f%%" overhead_pct ] ];
+  Printf.printf
+    "%d clients x %d rounds (4 inserts + 1 scan), in-memory; %d samples \
+     (%d in run phase), %d gc pauses observed\n"
+    clients rounds total_samples run_samples gc_pauses
+
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
     ("e13", e13); ("e15", e15); ("e16", e16); ("e17", e17); ("e18", e18);
-    ("e19", e19); ("e20", e20); ("e21", e21); ("e22", e22); ("e23", e23) ]
+    ("e19", e19); ("e20", e20); ("e21", e21); ("e22", e22); ("e23", e23);
+    ("e24", e24) ]
 
 let () =
   (* args: experiment names, plus `--json PATH` to dump every
@@ -1797,6 +1929,12 @@ let () =
       parse names json rest
     | [ "--trace-out" ] ->
       prerr_endline "--trace-out requires a path";
+      exit 2
+    | "--profile-folded" :: path :: rest ->
+      profile_folded_out := Some path;
+      parse names json rest
+    | [ "--profile-folded" ] ->
+      prerr_endline "--profile-folded requires a path";
       exit 2
     | "--smoke" :: rest ->
       smoke := true;

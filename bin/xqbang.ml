@@ -151,13 +151,17 @@ let write_file path content =
 
 let run_cmd =
   let run query expr docs vars mode seed optimize trace quiet deadline_ms fuel
-      explain_analyze trace_out show_delta explain_conflicts =
+      explain_analyze trace_out show_delta explain_conflicts profile_out =
     report_errors (fun () ->
         let eng = setup_engine docs vars seed in
         if trace then enable_trace eng;
         if show_delta then enable_show_delta eng;
         let src = get_source query expr in
         let mode = mode_of_string mode in
+        (* --profile PATH: sample the whole run with the continuous
+           profiler and write the folded-stack aggregate (flamegraph
+           collapsed format) on exit *)
+        if profile_out <> None then ignore (Xqb_obs.Profile.start ());
         (* --trace PATH: record the whole run (compile phases,
            evaluation, snap application) and write Chrome trace JSON *)
         let tracer =
@@ -210,6 +214,13 @@ let run_cmd =
           Printf.eprintf "trace written to %s (%d spans)\n%!" path
             (Xqb_obs.Trace.span_count tr)
         | _ -> ());
+        (match profile_out with
+        | Some path ->
+          ignore (Xqb_obs.Profile.stop ());
+          Xqb_obs.Profile.write_folded path;
+          Printf.eprintf "profile written to %s (%d samples)\n%!" path
+            (Xqb_obs.Profile.samples ())
+        | None -> ());
         `Ok ())
   in
   let quiet_arg =
@@ -232,11 +243,15 @@ let run_cmd =
     Arg.(value & flag & info [ "explain-conflicts" ]
            ~doc:"On an update conflict, also print both offending requests with their provenance (rule id, node paths, source locations).")
   in
+  let profile_out_arg =
+    Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"PATH"
+           ~doc:"Sample the run with the continuous CPU profiler (SIGPROF, 97 Hz) and write the aggregated folded stacks to PATH — feed it to flamegraph.pl or speedscope.")
+  in
   Cmd.v (Cmd.info "run" ~doc:"Evaluate an XQuery! program")
     Term.(ret (const run $ query_arg $ expr_arg $ docs_arg $ vars_arg $ mode_arg
                $ seed_arg $ optimize_arg $ trace_arg $ quiet_arg $ deadline_arg
                $ fuel_arg $ explain_analyze_arg $ trace_out_arg $ show_delta_arg
-               $ explain_conflicts_arg))
+               $ explain_conflicts_arg $ profile_out_arg))
 
 let explain_cmd =
   let explain query expr docs vars mode seed =
@@ -384,7 +399,7 @@ let serve_cmd =
   let serve domains cache_capacity port deadline_ms fuel max_delta max_queue
       tracing slow_apply_ms data_dir fsync checkpoint_bytes checkpoint_secs
       replica_of slo_p99_ms slo_err_pct trace_ring telemetry edge_mode backlog
-      max_conns idle_timeout_ms =
+      max_conns idle_timeout_ms profile_hz gc_pause_warn_ms =
     report_errors (fun () ->
         (* a bad --data-dir or a failed bind must exit non-zero with
            one clear line, not an uncaught exception: Durable raises
@@ -455,6 +470,25 @@ let serve_cmd =
                  "--idle-timeout-ms expects a non-negative integer (0 = \
                   never), got %S" idle_timeout_ms)
         in
+        let profile_hz =
+          match int_of_string_opt profile_hz with
+          | Some 0 -> None
+          | Some n when n > 0 -> Some n
+          | _ ->
+            failwith
+              (Printf.sprintf
+                 "--profile-hz expects a positive sampling rate in Hz (0 = \
+                  don't start the profiler at boot), got %S" profile_hz)
+        in
+        let gc_pause_warn_ms =
+          match int_of_string_opt gc_pause_warn_ms with
+          | Some n when n > 0 -> n
+          | _ ->
+            failwith
+              (Printf.sprintf
+                 "--gc-pause-warn-ms expects a positive integer, got %S"
+                 gc_pause_warn_ms)
+        in
         let durability =
           match data_dir with
           | None -> None
@@ -471,7 +505,8 @@ let serve_cmd =
           try
             Svc.create ~domains ~cache_capacity ?deadline_ms ?fuel ?max_delta
               ?max_queue ~tracing ~slow_apply_ms ?durability ?replica_of
-              ~slo_p99_ms ~slo_err_pct ~trace_ring ~telemetry ()
+              ~slo_p99_ms ~slo_err_pct ~trace_ring ~telemetry ?profile_hz
+              ~gc_pause_warn_ms ()
           with Xqb_wal.Codec.Corrupt m ->
             failwith ("refusing to start: " ^ m)
         in
@@ -574,6 +609,14 @@ let serve_cmd =
     Arg.(value & opt string "0" & info [ "idle-timeout-ms" ] ~docv:"MS"
            ~doc:"Disconnect a connection with no traffic and no in-flight requests after MS milliseconds; 0 = never (fiber edge only).")
   in
+  let profile_hz_arg =
+    Arg.(value & opt string "97" & info [ "profile-hz" ] ~docv:"HZ"
+           ~doc:"Sampling rate of the continuous CPU profiler, armed at boot and driven by SIGPROF against CPU time (an idle server takes no samples). Folded stacks via the PROFILE DUMP request; 0 = leave the profiler disarmed until a PROFILE START request.")
+  in
+  let gc_pause_warn_arg =
+    Arg.(value & opt string "50" & info [ "gc-pause-warn-ms" ] ~docv:"MS"
+           ~doc:"GC-pause health threshold: HEALTH degrades (reason gc-pause) when the 10s-window p99 GC pause exceeds MS, and goes critical past 4xMS. Requires --telemetry true.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the multi-client query service (newline-delimited protocol)")
@@ -582,7 +625,8 @@ let serve_cmd =
                $ slow_apply_arg $ data_dir_arg $ fsync_arg $ checkpoint_bytes_arg
                $ checkpoint_secs_arg $ replica_of_arg $ slo_p99_arg $ slo_err_arg
                $ trace_ring_arg $ telemetry_arg $ edge_arg $ backlog_arg
-               $ max_conns_arg $ idle_timeout_arg))
+               $ max_conns_arg $ idle_timeout_arg $ profile_hz_arg
+               $ gc_pause_warn_arg))
 
 let () =
   let info = Cmd.info "xqbang" ~version:"1.0.0"

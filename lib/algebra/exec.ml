@@ -136,6 +136,13 @@ let timed op f =
         o.Profile.time_ns <- o.Profile.time_ns + (Xqb_obs.Clock.now_ns () - t0))
       f
 
+(* Continuous-profiler operator labels: while the sampling profiler
+   runs, samples taken inside this node carry an ["op<id>"] frame
+   under the phase label. One atomic read when the profiler is off —
+   cheap enough for the per-tuple path. *)
+let sampled id f =
+  if Xqb_obs.Profile.running () then Xqb_obs.Profile.with_op id f else f ()
+
 let note_io op tin tout =
   match op with
   | None -> ()
@@ -146,6 +153,7 @@ let note_io op tin tout =
 let rec exec_t ctx stats prof id (env0 : Context.env) (p : Plan.tplan) :
     Context.env list =
   let op = pop prof id in
+  sampled id @@ fun () ->
   timed op @@ fun () ->
   match p with
   | Plan.Unit ->
@@ -257,6 +265,7 @@ let rec exec_t ctx stats prof id (env0 : Context.env) (p : Plan.tplan) :
 let rec exec_v ctx stats prof id (env0 : Context.env) (p : Plan.vplan) : Value.t
     =
   let op = pop prof id in
+  sampled id @@ fun () ->
   timed op @@ fun () ->
   match p with
   | Plan.Direct e ->

@@ -98,6 +98,7 @@ let install_functions t (c : compiled) =
    declarations are installed into the engine so later [compile]d
    queries can call them too. *)
 let compile ?(simplify = true) ?(elide_ddo = true) t source : compiled =
+  Xqb_obs.Profile.with_phase "compile" @@ fun () ->
   Context.span ~cat:"compile" t.ctx "compile" @@ fun () ->
   let extra_fns =
     Hashtbl.fold
@@ -201,6 +202,7 @@ let eval_globals ?(mode = Core_ast.Snap_ordered) t (c : compiled) =
 
 (* Run a compiled program's body under the implicit top-level snap. *)
 let run_compiled ?(mode = Core_ast.Snap_ordered) t (c : compiled) : Value.t =
+  Xqb_obs.Profile.with_phase "run" @@ fun () ->
   Context.span ~cat:"exec" t.ctx "eval" @@ fun () ->
   eval_globals ~mode t c;
   match c.prog.Normalize.body with
@@ -288,6 +290,7 @@ let run_readonly t (c : compiled) : Value.t =
   if not (parallel_safe c) then
     invalid_arg "Engine.run_readonly: program is not parallel-safe";
   let ctx = Context.fork_read t.ctx in
+  Xqb_obs.Profile.with_phase "run" @@ fun () ->
   Context.span ~cat:"exec" ctx "eval.readonly" @@ fun () ->
   let env =
     List.fold_left

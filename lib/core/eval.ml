@@ -440,6 +440,7 @@ and eval_snap ctx env focus mode body =
     ~conflict_checked:(amode = Apply.Conflict_detection)
     delta;
   let apply_inline () =
+    Xqb_obs.Profile.with_phase "snap-apply" @@ fun () ->
     let t0 = Xqb_obs.Clock.now_ns () in
     (match ctx.Context.tracer with
     | None ->

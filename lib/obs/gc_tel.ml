@@ -1,0 +1,273 @@
+(* See gc_tel.mli. One process-wide consumer of the OCaml 5
+   [Runtime_events] ring: GC is a property of the process, not of any
+   one service instance, so every embedder shares a refcounted
+   singleton — [start]/[stop] nest, the polling thread exists while
+   the count is positive.
+
+   The ring carries begin/end span events per domain (the int every
+   callback receives is the emitting domain's ring index). We match
+   EV_MINOR / EV_MAJOR begin→end pairs into pause durations: a minor
+   collection is a genuine stop-the-world pause for that domain, a
+   major "pause" is one incremental slice executed on the mutator —
+   both are time the domain was not running user code, which is what
+   a latency investigation wants. Durations land in per-domain
+   {!Hist}s (cumulative since boot) and one shared 10s {!Window}
+   whose p99 drives the HEALTH gc-pause reason. Counters accumulate
+   allocation/promotion words; EV_EXPLICIT_GC_COMPACT spans count
+   compactions (5.1 has no separate compaction phase). *)
+
+module RE = Runtime_events
+
+type dstat = { minor : Hist.t; major : Hist.t }
+
+type state = {
+  mu : Mutex.t;
+  domains : (int, dstat) Hashtbl.t;
+  starts : (int * int, int64) Hashtbl.t;  (* (ring, phase tag) -> begin ts *)
+  window : Window.t;  (* 10 x 1s ring; p99 feeds HEALTH *)
+  minor_n : int Atomic.t;
+  major_n : int Atomic.t;
+  compactions : int Atomic.t;
+  pause_ns : int Atomic.t;
+  alloc_words : int Atomic.t;
+  promoted_words : int Atomic.t;
+  lost : int Atomic.t;
+}
+
+let state = {
+  mu = Mutex.create ();
+  domains = Hashtbl.create 8;
+  starts = Hashtbl.create 8;
+  window = Window.create ~slot_ms:1000 ~slots:10 ();
+  minor_n = Atomic.make 0;
+  major_n = Atomic.make 0;
+  compactions = Atomic.make 0;
+  pause_ns = Atomic.make 0;
+  alloc_words = Atomic.make 0;
+  promoted_words = Atomic.make 0;
+  lost = Atomic.make 0;
+}
+
+let locked f =
+  Mutex.lock state.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock state.mu) f
+
+let dstat_of ring =
+  match Hashtbl.find_opt state.domains ring with
+  | Some d -> d
+  | None ->
+    let d = { minor = Hist.create (); major = Hist.create () } in
+    Hashtbl.replace state.domains ring d;
+    d
+
+(* Only the three phases we track get a tag; everything else is
+   ignored before touching any table. *)
+let tag_of_phase = function
+  | RE.EV_MINOR -> Some 0
+  | RE.EV_MAJOR -> Some 1
+  | RE.EV_EXPLICIT_GC_COMPACT -> Some 2
+  | _ -> None
+
+let record_pause ring tag dur_ns =
+  let dur = Int64.to_int dur_ns in
+  if dur >= 0 then begin
+    Atomic.set state.pause_ns (Atomic.get state.pause_ns + dur);
+    locked (fun () ->
+        let d = dstat_of ring in
+        (match tag with
+        | 0 ->
+          Atomic.incr state.minor_n;
+          Hist.record d.minor (float_of_int dur)
+        | 1 ->
+          Atomic.incr state.major_n;
+          Hist.record d.major (float_of_int dur)
+        | _ -> Atomic.incr state.compactions);
+        Window.record state.window ~ok:true ~slow:false dur)
+  end
+
+let on_begin ring ts phase =
+  match tag_of_phase phase with
+  | None -> ()
+  | Some tag ->
+    locked (fun () ->
+        Hashtbl.replace state.starts (ring, tag) (RE.Timestamp.to_int64 ts))
+
+let on_end ring ts phase =
+  match tag_of_phase phase with
+  | None -> ()
+  | Some tag -> (
+    match locked (fun () ->
+        match Hashtbl.find_opt state.starts (ring, tag) with
+        | Some t0 ->
+          Hashtbl.remove state.starts (ring, tag);
+          Some t0
+        | None -> None)
+    with
+    | Some t0 -> record_pause ring tag (Int64.sub (RE.Timestamp.to_int64 ts) t0)
+    | None -> ())
+
+let on_counter ring _ts kind v =
+  ignore ring;
+  match kind with
+  | RE.EV_C_MINOR_ALLOCATED ->
+    Atomic.set state.alloc_words (Atomic.get state.alloc_words + v)
+  | RE.EV_C_MINOR_PROMOTED ->
+    Atomic.set state.promoted_words (Atomic.get state.promoted_words + v)
+  | _ -> ()
+
+let on_lost ring n =
+  ignore ring;
+  Atomic.set state.lost (Atomic.get state.lost + n)
+
+let callbacks =
+  RE.Callbacks.create ~runtime_begin:on_begin ~runtime_end:on_end
+    ~runtime_counter:on_counter ~lost_events:on_lost ()
+
+(* -- the consumer thread (refcounted singleton) ---------------------- *)
+
+let life = Mutex.create ()
+let refs = ref 0
+let stop_flag = ref false
+let thread : Thread.t option ref = ref None
+let enabled_a = Atomic.make false
+let cursor : RE.cursor option ref = ref None
+
+let poll_interval_s = 0.05
+
+let poll () =
+  match !cursor with
+  | Some c -> ( try ignore (RE.read_poll c callbacks None) with _ -> ())
+  | None -> ()
+
+let consumer () =
+  while not !stop_flag do
+    poll ();
+    Thread.delay poll_interval_s
+  done;
+  (* one last drain so nothing recorded before [stop] is lost *)
+  poll ()
+
+let start () =
+  Mutex.lock life;
+  incr refs;
+  if !refs = 1 then begin
+    (try
+       RE.start ();
+       if !cursor = None then cursor := Some (RE.create_cursor None);
+       stop_flag := false;
+       thread := Some (Thread.create consumer ());
+       Atomic.set enabled_a true
+     with _ ->
+       (* a runtime without events support degrades to "disabled" *)
+       Atomic.set enabled_a false);
+  end;
+  Mutex.unlock life
+
+let stop () =
+  Mutex.lock life;
+  if !refs > 0 then begin
+    decr refs;
+    if !refs = 0 then begin
+      stop_flag := true;
+      (match !thread with
+      | Some t ->
+        Thread.join t;
+        thread := None
+      | None -> ());
+      Atomic.set enabled_a false
+    end
+  end;
+  Mutex.unlock life
+
+let enabled () = Atomic.get enabled_a
+
+(* -- queries --------------------------------------------------------- *)
+
+let total_pause_ns () = Atomic.get state.pause_ns
+let pauses_total () = Atomic.get state.minor_n + Atomic.get state.major_n
+
+(* Deterministic-health test hook (same pattern as
+   [inject_fsync_delay]): an injected pause is a floor on the
+   reported 10s p99, and [clear_injected] reverts it — unlike
+   recording into the real window, the injection cannot leak into a
+   later test's health check. *)
+let injected_ns = Atomic.make 0
+
+let inject_pause ~ns = Atomic.set injected_ns ns
+let clear_injected () = Atomic.set injected_ns 0
+
+let pause_p99_10s_ns () =
+  let s = Window.snapshot state.window in
+  Float.max s.Window.p99_ns (float_of_int (Atomic.get injected_ns))
+
+let stats_json () =
+  let w = Window.snapshot state.window in
+  let dom_json (ring, d) =
+    Printf.sprintf
+      "{\"domain\":%d,\"minor\":{\"pauses\":%d,%s},\"major\":{\"slices\":%d,%s}}"
+      ring (Hist.count d.minor)
+      (Hist.to_json_fields d.minor)
+      (Hist.count d.major)
+      (Hist.to_json_fields d.major)
+  in
+  let doms =
+    locked (fun () ->
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) state.domains []
+        |> List.sort compare)
+  in
+  Printf.sprintf
+    "{\"enabled\":%b,\"minor_collections\":%d,\"major_slices\":%d,\"compactions\":%d,\"pause_ns_total\":%d,\"allocated_words\":%d,\"promoted_words\":%d,\"events_lost\":%d,\"pause_p99_10s_ns\":%.0f,\"pause_rate_10s\":%.2f,\"domains\":[%s]}"
+    (enabled ()) (Atomic.get state.minor_n) (Atomic.get state.major_n)
+    (Atomic.get state.compactions)
+    (Atomic.get state.pause_ns)
+    (Atomic.get state.alloc_words)
+    (Atomic.get state.promoted_words)
+    (Atomic.get state.lost)
+    w.Window.p99_ns w.Window.rate
+    (String.concat "," (List.map dom_json doms))
+
+let to_prom p =
+  Prom.counter p ~help:"Minor collections observed since boot."
+    "xqbang_gc_minor_collections_total"
+    (Atomic.get state.minor_n);
+  Prom.counter p ~help:"Major slices executed since boot."
+    "xqbang_gc_major_slices_total"
+    (Atomic.get state.major_n);
+  Prom.counter p ~help:"Heap compactions since boot."
+    "xqbang_gc_compactions_total"
+    (Atomic.get state.compactions);
+  Prom.counter p ~help:"Nanoseconds spent in GC pauses since boot."
+    "xqbang_gc_pause_ns_total"
+    (Atomic.get state.pause_ns);
+  Prom.counter p ~help:"Words allocated on minor heaps since boot."
+    "xqbang_gc_allocated_words_total"
+    (Atomic.get state.alloc_words);
+  Prom.counter p ~help:"Words promoted to the major heap since boot."
+    "xqbang_gc_promoted_words_total"
+    (Atomic.get state.promoted_words);
+  Prom.counter p ~help:"Runtime events dropped by the consumer."
+    "xqbang_gc_events_lost_total" (Atomic.get state.lost);
+  Prom.gauge p ~help:"p99 GC pause over the sliding 10s window (ns)."
+    "xqbang_gc_pause_p99_10s_ns"
+    (pause_p99_10s_ns ());
+  let doms =
+    locked (fun () ->
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) state.domains []
+        |> List.sort compare)
+  in
+  List.iter
+    (fun (ring, d) ->
+      let dom = string_of_int ring in
+      List.iter
+        (fun (gen, h) ->
+          Prom.summary p
+            ~help:"Per-domain GC pause durations since boot (ns)."
+            ~labels:[ ("domain", dom); ("gen", gen) ]
+            ~quantiles:
+              [
+                (0.5, Hist.percentile h 0.5);
+                (0.99, Hist.percentile h 0.99);
+              ]
+            ~sum:(Hist.sum h) ~count:(Hist.count h) "xqbang_gc_pause_ns")
+        [ ("minor", d.minor); ("major", d.major) ])
+    doms

@@ -1,0 +1,47 @@
+(** GC/runtime telemetry off the OCaml 5 [Runtime_events] ring.
+
+    A refcounted process-wide singleton (GC is per-process, so every
+    embedder shares one consumer): {!start} spawns the polling
+    thread on the first call, {!stop} joins it on the last. The
+    consumer matches EV_MINOR / EV_MAJOR begin→end spans into
+    per-domain pause histograms ({!Hist}) plus one shared sliding
+    10s {!Window} whose p99 backs the HEALTH [gc-pause] reason, and
+    accumulates allocation/promotion word counters and compaction
+    counts.
+
+    Pause attribution is polled (50 ms), so totals lag reality by at
+    most one poll interval — per-job deltas under that horizon read
+    as zero. *)
+
+val start : unit -> unit
+val stop : unit -> unit
+
+(** True while the consumer is running (and the runtime supports
+    events — a failed [Runtime_events.start] degrades to disabled). *)
+val enabled : unit -> bool
+
+(** Force a ring drain now (tests; the thread polls anyway). *)
+val poll : unit -> unit
+
+(** Cumulative ns spent in observed GC pauses (all domains). *)
+val total_pause_ns : unit -> int
+
+(** Minor collections + major slices observed. *)
+val pauses_total : unit -> int
+
+(** p99 pause over the sliding 10s window, in ns; includes any
+    injected floor. *)
+val pause_p99_10s_ns : unit -> float
+
+(** Deterministic-health test hook: floor the reported 10s p99 at
+    [ns] until {!clear_injected}. *)
+val inject_pause : ns:int -> unit
+
+val clear_injected : unit -> unit
+
+(** The STATS ["gc"] document: totals, window p99/rate, per-domain
+    minor/major histograms. *)
+val stats_json : unit -> string
+
+(** Contribute the [xqbang_gc_*] families to a shared page. *)
+val to_prom : Prom.t -> unit

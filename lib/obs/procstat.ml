@@ -1,0 +1,27 @@
+(* Process-level gauges for STATS / METRICS PROM. Linux-first
+   (/proc), degrading to zero elsewhere — a missing gauge must never
+   break the exposition. *)
+
+external page_size_stub : unit -> int = "xqb_prof_page_size"
+
+let page_size = lazy (page_size_stub ())
+
+(* Resident set size in bytes: field 2 of /proc/self/statm, in
+   pages. *)
+let rss_bytes () =
+  match open_in "/proc/self/statm" with
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        try Scanf.bscanf (Scanf.Scanning.from_channel ic) " %d %d"
+              (fun _size resident -> resident * Lazy.force page_size)
+        with _ -> 0)
+  | exception Sys_error _ -> 0
+
+(* Open descriptors: directory entries of /proc/self/fd (one of them
+   is the readdir fd itself; close enough for a gauge). *)
+let fd_count () =
+  match Sys.readdir "/proc/self/fd" with
+  | entries -> Array.length entries
+  | exception Sys_error _ -> 0

@@ -1,0 +1,7 @@
+(** Process-level gauges (Linux /proc; 0 where unavailable). *)
+
+(** Resident set size in bytes. *)
+val rss_bytes : unit -> int
+
+(** Open file descriptors. *)
+val fd_count : unit -> int

@@ -1,0 +1,37 @@
+/* SIGPROF sampling support for the continuous profiler.
+
+   The interval timer is the whole trick: ITIMER_PROF counts CPU time
+   (user + system) consumed by the process and delivers SIGPROF when
+   the interval expires, so a blocked process generates no samples and
+   an idle profiler costs exactly nothing. The OCaml side owns the
+   signal handler; this stub only arms/disarms the timer. */
+
+#include <caml/mlvalues.h>
+#include <string.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+/* Arm ITIMER_PROF at [hz] samples per CPU-second; hz <= 0 disarms.
+   Returns true on success (setitimer can only fail on a bogus
+   interval, which the OCaml side already rejects). */
+CAMLprim value xqb_prof_set_itimer(value hz)
+{
+  struct itimerval it;
+  long h = Long_val(hz);
+  memset(&it, 0, sizeof it);
+  if (h > 0) {
+    long us = 1000000L / h;
+    if (us < 1) us = 1;
+    it.it_interval.tv_sec = us / 1000000L;
+    it.it_interval.tv_usec = us % 1000000L;
+    it.it_value = it.it_interval;
+  }
+  return Val_bool(setitimer(ITIMER_PROF, &it, NULL) == 0);
+}
+
+/* Page size for the RSS gauge (/proc/self/statm reports pages). */
+CAMLprim value xqb_prof_page_size(value unit)
+{
+  long sz = sysconf(_SC_PAGESIZE);
+  return Val_long(sz > 0 ? sz : 4096);
+}

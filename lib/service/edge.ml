@@ -197,6 +197,7 @@ let dispatch svc ~quit (req : P.request) :
       match Service.snapshot_blob svc with
       | Ok (_, blob) -> `Reply (P.ok (Xqb_wal.B64.encode blob))
       | Error e -> `Reply (P.err e))
+    | P.Profile cmd -> `Reply (P.ok (Service.profile_command svc cmd))
     | P.Quit ->
       quit ();
       `Reply (P.ok "bye")

@@ -21,6 +21,9 @@
      SHIP <from_lsn> [<max>] [<replica id>]
                                    committed WAL frames -> OK <last_lsn> <b64> | ERR ...
      SNAPSHOT                      bootstrap snapshot   -> OK <b64> | ERR ...
+     PROFILE START|STOP|DUMP [JSON]|STAT
+                                   continuous profiler: arm/disarm the
+                                   sampler, folded-stack dump, status -> OK ...
      QUIT                          end the connection   -> OK bye
 
    Query text is the rest of the line with the two-character escapes
@@ -50,6 +53,8 @@ type request =
     (* from_lsn, max frames, replica id: replica pull. The id lets
        the leader track per-replica shipped/acked positions. *)
   | Snapshot  (* full-state blob for replica bootstrap *)
+  | Profile of [ `Start | `Stop | `Dump | `Dump_json | `Stat ]
+    (* the continuous sampling profiler (process-global) *)
   | Quit
 
 (* -- one-line escaping ---------------------------------------------- *)
@@ -206,6 +211,18 @@ let parse line : (request, string) result =
     | None, _ -> Error "SHIP expects: SHIP <from_lsn> [<max>] [<replica id>]")
   | "SNAPSHOT" ->
     if rest = "" then Ok Snapshot else Error "SNAPSHOT takes no arguments"
+  | "PROFILE" -> (
+    match String.uppercase_ascii rest with
+    | "START" -> Ok (Profile `Start)
+    | "STOP" -> Ok (Profile `Stop)
+    | "DUMP" -> Ok (Profile `Dump)
+    | "DUMP JSON" -> Ok (Profile `Dump_json)
+    | "" | "STAT" -> Ok (Profile `Stat)
+    | f ->
+      Error
+        (Printf.sprintf
+           "unknown PROFILE subcommand %S (try START, STOP, DUMP, DUMP JSON or STAT)"
+           f))
   | "QUIT" -> Ok Quit
   | "" -> Error "empty request"
   | kw -> Error (Printf.sprintf "unknown request %S" kw)

@@ -21,6 +21,8 @@ type request =
   | Ship of int * int * string option
       (** from_lsn, max frames, replica id: replica pull *)
   | Snapshot  (** full-state blob for replica bootstrap *)
+  | Profile of [ `Start | `Stop | `Dump | `Dump_json | `Stat ]
+      (** the continuous sampling profiler (process-global) *)
   | Quit
 
 val parse : string -> (request, string) result

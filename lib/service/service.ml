@@ -194,6 +194,16 @@ type t = {
   repl : repl option;
   (* wire edge, when one is attached (serve --port) *)
   mutable edge_src : (unit -> edge_gauges) option;
+  (* continuous profiling + GC telemetry: the profiler itself is
+     process-global (lib/obs Profile); the service carries its
+     configured rate (PROFILE START / serve --profile-hz), whether
+     boot armed it (so shutdown disarms it), whether this instance
+     holds a Gc_tel refcount, and the gc-pause health threshold. *)
+  profile_hz : int;
+  profile_owned : bool;
+  gc_tel : bool;
+  gc_pause_warn_ns : int;
+  boot_wall : float;  (* process-identity gauges: uptime *)
 }
 
 and slow_entry = {
@@ -204,6 +214,8 @@ and slow_entry = {
   sl_snaps : int;
   sl_requests : int;
   sl_trace : string option;
+  sl_gc_ns : int;  (* GC pause observed during the job (poll-lagged) *)
+  sl_samples : (string * int) list;  (* profiler samples by phase *)
 }
 
 (* Replica state. [rm] guards every field; the polling thread and
@@ -355,6 +367,21 @@ let health_reasons t =
         add "fsync-latency" `Degraded
           [ ("p99_ms", Events.F (p99 /. 1e6)) ]
     end);
+  (* GC: a p99 pause over the 10s window past --gc-pause-warn-ms
+     degrades (the latency SLO is being eaten by the collector);
+     4x past it is the classic fast-burn page threshold. *)
+  (if t.gc_tel && Xqb_obs.Gc_tel.enabled () then begin
+     let p99 = Xqb_obs.Gc_tel.pause_p99_10s_ns () in
+     let warn = float_of_int t.gc_pause_warn_ns in
+     let data () =
+       [
+         ("p99_ms", Events.F (p99 /. 1e6));
+         ("warn_ms", Events.F (warn /. 1e6));
+       ]
+     in
+     if p99 >= 4. *. warn then add "gc-pause" `Critical (data ())
+     else if p99 >= warn then add "gc-pause" `Degraded (data ())
+   end);
   (* no-progress: apply mutex held too long / queue head not started *)
   let held = Scheduler.apply_held_ns t.sched in
   if held > t.stall_ns then
@@ -589,7 +616,12 @@ let create ?(domains = 4) ?(cache_capacity = 128) ?(seed = 0x5eed) ?deadline_ms
     ?durability ?(replica = false) ?replica_of ?(footprint_scheduling = true)
     ?slo_p99_ms ?slo_err_pct ?(trace_ring = 32) ?(stall_ms = 1000)
     ?(fsync_warn_ms = 100) ?(lag_warn_frames = 256) ?(telemetry = true)
-    ?events_cap () =
+    ?events_cap ?profile_hz ?(gc_pause_warn_ms = 50) () =
+  (match profile_hz with
+  | Some hz when hz <= 0 -> invalid_arg "Service.create: profile_hz <= 0"
+  | _ -> ());
+  if gc_pause_warn_ms <= 0 then
+    invalid_arg "Service.create: gc_pause_warn_ms <= 0";
   let replica = replica || replica_of <> None in
   if replica && durability <> None then
     failwith "a replica has no WAL of its own: --replica-of excludes --data-dir";
@@ -688,8 +720,24 @@ let create ?(domains = 4) ?(cache_capacity = 128) ?(seed = 0x5eed) ?deadline_ms
       read_only = replica;
       repl;
       edge_src = None;
+      profile_hz = Option.value profile_hz ~default:97;
+      profile_owned = profile_hz <> None;
+      gc_tel = telemetry;
+      gc_pause_warn_ns = gc_pause_warn_ms * 1_000_000;
+      boot_wall = Unix.gettimeofday ();
     }
   in
+  (* GC telemetry rides on the telemetry switch: the Runtime_events
+     consumer is a process-wide refcounted singleton, released in
+     [shutdown]. *)
+  if t.gc_tel then Xqb_obs.Gc_tel.start ();
+  (* --profile-hz arms the continuous profiler at boot; a service
+     created without it still honors wire PROFILE START. *)
+  (match profile_hz with
+  | Some hz ->
+    Xqb_obs.Profile.configure ~hz;
+    ignore (Xqb_obs.Profile.start ~hz ())
+  | None -> ());
   if deadline_ms <> None then t.watchdog <- Some (Thread.create (watchdog_loop t) ());
   Events.info events ~kind:"lifecycle.boot"
     [
@@ -747,6 +795,38 @@ let inject_fsync_delay t secs =
   | Some d -> Durable.inject_fsync_delay d secs
   | None -> ()
 
+(* Deterministic gc-pause health (same pattern as
+   [inject_fsync_delay]): floor the telemetry's reported 10s p99 at
+   [ms] until cleared. No-op when telemetry is off. *)
+let inject_gc_pause t ms =
+  if t.gc_tel then Xqb_obs.Gc_tel.inject_pause ~ns:(ms * 1_000_000)
+
+let clear_gc_pause_injection t =
+  if t.gc_tel then Xqb_obs.Gc_tel.clear_injected ()
+
+(* -- the continuous profiler (wire PROFILE) ------------------------- *)
+
+let profile_command t (cmd : [ `Start | `Stop | `Dump | `Dump_json | `Stat ])
+    =
+  match cmd with
+  | `Start ->
+    if Xqb_obs.Profile.start ~hz:t.profile_hz () then begin
+      Events.info t.events ~kind:"profile.start"
+        [ ("hz", Events.I t.profile_hz) ];
+      Printf.sprintf "started at %d Hz" t.profile_hz
+    end
+    else Printf.sprintf "already running at %d Hz" (Xqb_obs.Profile.hz ())
+  | `Stop ->
+    if Xqb_obs.Profile.stop () then begin
+      Events.info t.events ~kind:"profile.stop"
+        [ ("samples", Events.I (Xqb_obs.Profile.samples ())) ];
+      "stopped"
+    end
+    else "not running"
+  | `Dump -> Xqb_obs.Profile.dump_folded ()
+  | `Dump_json -> Xqb_obs.Profile.dump_json ()
+  | `Stat -> Xqb_obs.Profile.stat_json ()
+
 (* -- durability (leader side) --------------------------------------- *)
 
 (* Append the in-memory journal tail to the WAL and, under the Always
@@ -777,6 +857,7 @@ let durable_commit t =
   match t.durable with
   | None -> ()
   | Some d ->
+    Xqb_obs.Profile.with_phase "wal" @@ fun () ->
     let store = Catalog.store t.catalog in
     let entries = Xqb_store.Store.journal_entries_from store t.wal_seq in
     if entries <> [] then begin
@@ -839,6 +920,7 @@ let writer_apply_wrap t apply =
         match t.durable with
         | None -> None
         | Some d ->
+          Xqb_obs.Profile.with_phase "wal" @@ fun () ->
           let entries = Xqb_store.Store.journal_entries_from store t.wal_seq in
           if entries = [] then None
           else begin
@@ -848,7 +930,7 @@ let writer_apply_wrap t apply =
   in
   match pending with
   | Some (d, lsn) ->
-    Durable.wait_durable d lsn;
+    Xqb_obs.Profile.with_phase "wal" (fun () -> Durable.wait_durable d lsn);
     log_commit t lsn []
   | None -> ()
 
@@ -1415,7 +1497,43 @@ let delta_stats_json ~jid ~apply_ns (st : Core.Update.stats) =
    snapshot the job's ∆ statistics for the wire DELTA command, and
    ring-buffer a slow-effect entry when the apply phase crossed the
    threshold. *)
-let note_effects t ~jid ~sid ~src ~trace ctx =
+(* Per-job attribution bracket: GC pause delta (poll-lagged; short
+   jobs read 0) and profiler samples by phase, captured around the
+   job body for SLOWLOG and EXPLAIN ANALYZE. *)
+let attribution_begin () =
+  ( Xqb_obs.Gc_tel.total_pause_ns (),
+    if Xqb_obs.Profile.running () then Some (Xqb_obs.Profile.phase_counts ())
+    else None )
+
+let attribution_end (gc0, ph0) =
+  ( Stdlib.max 0 (Xqb_obs.Gc_tel.total_pause_ns () - gc0),
+    match ph0 with
+    | Some before ->
+      Xqb_obs.Profile.diff_counts before (Xqb_obs.Profile.phase_counts ())
+    | None -> [] )
+
+(* EXPLAIN ANALYZE footer lines (after the Runner's own ddo/footprint
+   footers): per-phase sample counts while the profiler runs, and the
+   job's GC pause delta while telemetry is on. *)
+let attribution_suffix t att =
+  let gc_ns, samples = attribution_end att in
+  let buf = Buffer.create 64 in
+  if Xqb_obs.Profile.running () then begin
+    Buffer.add_string buf "\n-- profile samples:";
+    (match samples with
+    | [] -> Buffer.add_string buf " none"
+    | l ->
+      List.iter
+        (fun (k, n) -> Buffer.add_string buf (Printf.sprintf " %s=%d" k n))
+        l);
+    Buffer.add_string buf (Printf.sprintf " (%d Hz)" (Xqb_obs.Profile.hz ()))
+  end;
+  if t.gc_tel && Xqb_obs.Gc_tel.enabled () then
+    Buffer.add_string buf
+      (Printf.sprintf "\n-- gc: pause_ms=%.2f" (float_of_int gc_ns /. 1e6));
+  Buffer.contents buf
+
+let note_effects t ~jid ~sid ~src ~trace ?(gc_ns = 0) ?(samples = []) ctx =
   let st = ctx.Core.Context.delta_stats in
   let apply_ns = ctx.Core.Context.apply_ns in
   let snaps = st.Core.Update.snaps in
@@ -1436,6 +1554,8 @@ let note_effects t ~jid ~sid ~src ~trace ctx =
             sl_snaps = snaps;
             sl_requests = requests;
             sl_trace = trace;
+            sl_gc_ns = gc_ns;
+            sl_samples = samples;
           }
         in
         t.slowlog <-
@@ -1460,8 +1580,14 @@ let slowlog_json t =
       (List.map
          (fun e ->
            Printf.sprintf
-             "{\"jid\":%d,\"sid\":%d,\"apply_ns\":%d,\"snaps\":%d,\"requests\":%d,\"trace\":%s,\"src\":\"%s\"}"
+             "{\"jid\":%d,\"sid\":%d,\"apply_ns\":%d,\"snaps\":%d,\"requests\":%d,\"gc_pause_ns\":%d,\"profile_samples\":{%s},\"trace\":%s,\"src\":\"%s\"}"
              e.sl_jid e.sl_sid e.sl_apply_ns e.sl_snaps e.sl_requests
+             e.sl_gc_ns
+             (String.concat ","
+                (List.map
+                   (fun (k, n) ->
+                     Printf.sprintf "\"%s\":%d" (Metrics.json_escape k) n)
+                   e.sl_samples))
              (match e.sl_trace with
              | Some id -> Printf.sprintf "\"%s\"" (Metrics.json_escape id)
              | None -> "null")
@@ -1609,11 +1735,13 @@ let submit_job t sid src :
               let ctx = Engine.context s.engine in
               Core.Update.stats_reset ctx.Core.Context.delta_stats;
               ctx.Core.Context.apply_ns <- 0;
+              let att = attribution_begin () in
               Fun.protect
                 ~finally:(fun () ->
+                  let gc_ns, samples = attribution_end att in
                   note_effects t ~jid ~sid ~src
                     ~trace:(Option.map Trace.id tr)
-                    ctx)
+                    ~gc_ns ~samples ctx)
               @@ fun () ->
               Engine.with_tracer s.engine tr (fun () ->
                   Engine.with_budget s.engine (Some budget) (fun () ->
@@ -1758,16 +1886,27 @@ let explain_job t sid src :
           let ctx = Engine.context s.engine in
           Core.Update.stats_reset ctx.Core.Context.delta_stats;
           ctx.Core.Context.apply_ns <- 0;
+          let att = attribution_begin () in
           Fun.protect
             ~finally:(fun () ->
-              note_effects t ~jid ~sid ~src ~trace:(Option.map Trace.id tr) ctx)
+              let gc_ns, samples = attribution_end att in
+              note_effects t ~jid ~sid ~src ~trace:(Option.map Trace.id tr)
+                ~gc_ns ~samples ctx)
           @@ fun () ->
           Engine.with_tracer s.engine tr (fun () ->
               Engine.with_budget s.engine (Some budget) (fun () ->
                   Xqb_store.Store.transactionally (Catalog.store t.catalog)
                     (fun () ->
-                      let _, rendered = Xqb_algebra.Runner.analyze s.engine src in
-                      rendered))))
+                      let _, rendered =
+                        (* the algebraic path doesn't go through
+                           Engine.run_compiled, so label it here *)
+                        Xqb_obs.Profile.with_phase "run" @@ fun () ->
+                        Xqb_algebra.Runner.analyze s.engine src
+                      in
+                      (* same footer style as the ddo/footprint lines:
+                         sampling + GC attribution, present only when
+                         the corresponding collector is on *)
+                      rendered ^ attribution_suffix t att))))
     in
     match
       match run () with
@@ -1834,6 +1973,20 @@ let edge_json (e : edge_gauges) =
     e.eg_mode e.eg_open e.eg_peak e.eg_accepted e.eg_conn_rejects e.eg_suspended
     e.eg_suspensions e.eg_overload_rejects e.eg_requests e.eg_batches
     e.eg_max_conns
+
+(* Process identity for STATS / METRICS PROM: build info plus the
+   three gauges every dashboard wants first (memory, descriptors,
+   uptime). *)
+let build_version = "1.0.0"
+
+let process_json t =
+  Printf.sprintf
+    "{\"pid\":%d,\"rss_bytes\":%d,\"open_fds\":%d,\"uptime_s\":%.1f,\"version\":\"%s\",\"ocaml\":\"%s\"}"
+    (Unix.getpid ())
+    (Xqb_obs.Procstat.rss_bytes ())
+    (Xqb_obs.Procstat.fd_count ())
+    (Unix.gettimeofday () -. t.boot_wall)
+    build_version Sys.ocaml_version
 
 let metrics_prometheus t =
   let p = Prom.create () in
@@ -1937,6 +2090,35 @@ let metrics_prometheus t =
       "xqbang_edge_requests_total" e.eg_requests;
     Prom.counter p ~help:"Readiness-cycle admission batches." ~labels:lbl
       "xqbang_edge_batches_total" e.eg_batches);
+  (* process identity + continuous profiling + GC telemetry *)
+  Prom.gauge p
+    ~help:"Build metadata; the value is always 1."
+    ~labels:
+      [ ("version", build_version); ("ocaml_version", Sys.ocaml_version) ]
+    "xqbang_build_info" 1.;
+  Prom.gauge_i p ~help:"Resident set size in bytes."
+    "xqbang_process_resident_memory_bytes"
+    (Xqb_obs.Procstat.rss_bytes ());
+  Prom.gauge_i p ~help:"Open file descriptors."
+    "xqbang_process_open_fds"
+    (Xqb_obs.Procstat.fd_count ());
+  Prom.gauge p ~help:"Seconds since service boot."
+    "xqbang_process_uptime_seconds"
+    (Unix.gettimeofday () -. t.boot_wall);
+  Prom.gauge_i p
+    ~help:"Continuous profiler state: 1 = sampling, 0 = stopped."
+    "xqbang_profile_running"
+    (if Xqb_obs.Profile.running () then 1 else 0);
+  Prom.gauge_i p ~help:"Profiler sampling rate (Hz)."
+    "xqbang_profile_hz" (Xqb_obs.Profile.hz ());
+  Prom.counter p ~help:"Profiler samples aggregated since start/reset."
+    "xqbang_profile_samples_total"
+    (Xqb_obs.Profile.samples ());
+  Prom.counter p
+    ~help:"Profiler samples dropped (handler lock contention or table cap)."
+    "xqbang_profile_dropped_total"
+    (Xqb_obs.Profile.dropped ());
+  if t.gc_tel && Xqb_obs.Gc_tel.enabled () then Xqb_obs.Gc_tel.to_prom p;
   Prom.gauge_i p
     ~help:"Service health: 0 = ok, 1 = degraded, 2 = critical (see HEALTH)."
     "xqbang_health_status"
@@ -1963,7 +2145,14 @@ let stats_json t =
       ("telemetry", telemetry_json t);
       ("concurrency", concurrency_json t);
       ("inflight", inflight_json t);
+      ("process", process_json t);
+      ("profiler", Xqb_obs.Profile.stat_json ());
     ]
+  in
+  let extra =
+    if t.gc_tel && Xqb_obs.Gc_tel.enabled () then
+      ("gc", Xqb_obs.Gc_tel.stats_json ()) :: extra
+    else extra
   in
   let extra =
     match edge_gauges t with
@@ -2089,6 +2278,11 @@ let shutdown ?deadline t =
   Scheduler.shutdown ?deadline ~on_deadline:cancel_inflight t.sched;
   (* the pool is drained: one final fsync and the WAL closes *)
   (match t.durable with Some d -> Durable.close d | None -> ());
+  (* disarm the profiler this boot armed (a wire PROFILE START on an
+     unowned service outlives it deliberately — the profiler is
+     process-global), release the GC-telemetry refcount *)
+  if t.profile_owned then ignore (Xqb_obs.Profile.stop ());
+  if t.gc_tel then Xqb_obs.Gc_tel.stop ();
   (* last event in the sink: its presence is how the next boot knows
      this run ended clean (no flight dump) *)
   Events.info t.events ~kind:"lifecycle.shutdown" [];

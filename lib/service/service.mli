@@ -27,6 +27,14 @@ type t
     its own: [durability] and replica mode are mutually exclusive
     (@raise Failure).
 
+    Continuous profiling: [profile_hz] arms the process-global
+    sampling profiler ({!Xqb_obs.Profile}) at boot — without it the
+    profiler stays off until a wire [PROFILE START], which uses this
+    service's configured rate (default 97). [gc_pause_warn_ms]
+    (default 50) degrades health ([gc-pause], 4× = critical) when
+    the GC's p99 pause over the sliding 10s window exceeds it. Both
+    must be positive (@raise Invalid_argument).
+
     [footprint_scheduling] (default true) gates jobs on their static
     effects footprints; [false] restores the binary purity gate
     (read-everything / exclusive ⊤) — the single-writer baseline of
@@ -65,6 +73,8 @@ val create :
   ?lag_warn_frames:int ->
   ?telemetry:bool ->
   ?events_cap:int ->
+  ?profile_hz:int ->
+  ?gc_pause_warn_ms:int ->
   unit ->
   t
 
@@ -233,6 +243,22 @@ val install_crash_hooks : t -> unit
     (see {!Xqb_wal.Wal.inject_fsync_delay}); no-op without
     durability. *)
 val inject_fsync_delay : t -> float -> unit
+
+(** Fault injection for tests: floor the GC telemetry's reported 10s
+    p99 pause at [ms], deterministically tripping the [gc-pause]
+    health reason; {!clear_gc_pause_injection} reverts it. No-op
+    when telemetry is off. *)
+val inject_gc_pause : t -> int -> unit
+
+val clear_gc_pause_injection : t -> unit
+
+(** Wire [PROFILE]: drive the process-global continuous profiler.
+    [`Start] arms it at this service's [profile_hz] (idempotent),
+    [`Stop] disarms keeping the samples, [`Dump] returns the folded
+    flamegraph text, [`Dump_json] the same as JSON, [`Stat] a status
+    document. *)
+val profile_command :
+  t -> [ `Start | `Stop | `Dump | `Dump_json | `Stat ] -> string
 
 (** The last write-side job's ∆ statistics as JSON (requests by
     kind, snap-depth histogram, conflicts checked, apply-phase wall

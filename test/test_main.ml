@@ -42,4 +42,5 @@ let () =
          Test_wal.suite;
          Test_footprint.suite;
          Test_edge.suite;
+         Test_profile.suite;
        ])
